@@ -1,0 +1,94 @@
+//! Criterion harness over the figure experiments, at reduced scale so
+//! `cargo bench` stays fast. Each benchmark runs one full simulated
+//! training (3 epochs) of a scaled-down ImageNet; the *figures themselves*
+//! are regenerated at paper scale by the `fig1`/`fig3`/`fig4` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dlpipe::config::{EnvConfig, MonarchSimConfig, PipelineConfig, Setup};
+use dlpipe::geometry::DatasetGeom;
+use dlpipe::models::ModelProfile;
+use dlpipe::sim::SimTrainer;
+
+/// ~1/64 of the 100 GiB dataset, same shard structure.
+fn scaled_100g() -> DatasetGeom {
+    DatasetGeom::synth("imagenet-100g/64", 900_000 / 64, 119_300, 0.25, 1024, 0x0100)
+}
+
+/// ~1/64 of the 200 GiB dataset.
+fn scaled_200g() -> DatasetGeom {
+    DatasetGeom::synth("imagenet-200g/64", 3_000_000 / 64, 71_600, 0.25, 1024, 0x0200)
+}
+
+fn scaled_cap(geom: &DatasetGeom) -> u64 {
+    // Preserve the paper's 115/200 capacity ratio at reduced scale.
+    (geom.total_bytes() as f64 * 115.0 / 200.0) as u64
+}
+
+fn run(setup: Setup, geom: &DatasetGeom, model: &ModelProfile) -> f64 {
+    SimTrainer::new(
+        setup,
+        geom.clone(),
+        model.clone(),
+        PipelineConfig::default(),
+        EnvConfig::default(),
+    )
+    .run(3)
+    .total_seconds()
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let geom = scaled_100g();
+    let mut g = c.benchmark_group("fig1_motivation");
+    g.sample_size(10);
+    for model in [ModelProfile::lenet(), ModelProfile::alexnet()] {
+        for (label, setup) in [
+            ("lustre", Setup::VanillaLustre),
+            ("local", Setup::VanillaLocal),
+            ("caching", Setup::VanillaCaching),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(label, &model.name),
+                &setup,
+                |b, setup| b.iter(|| run(setup.clone(), &geom, &model)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let geom = scaled_100g();
+    let cap = geom.total_bytes() + (1 << 30); // full fit, like the paper
+    let mut g = c.benchmark_group("fig3_monarch_100g");
+    g.sample_size(10);
+    for model in ModelProfile::paper_models() {
+        let setup = Setup::Monarch(MonarchSimConfig::with_ssd_capacity(cap));
+        g.bench_with_input(BenchmarkId::new("monarch", &model.name), &setup, |b, setup| {
+            b.iter(|| run(setup.clone(), &geom, &model))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let geom = scaled_200g();
+    let cap = scaled_cap(&geom);
+    let mut g = c.benchmark_group("fig4_monarch_200g_partial");
+    g.sample_size(10);
+    for model in [ModelProfile::lenet(), ModelProfile::alexnet()] {
+        for (label, setup) in [
+            ("lustre", Setup::VanillaLustre),
+            ("monarch", Setup::Monarch(MonarchSimConfig::with_ssd_capacity(cap))),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(label, &model.name),
+                &setup,
+                |b, setup| b.iter(|| run(setup.clone(), &geom, &model)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(figures, bench_fig1, bench_fig3, bench_fig4);
+criterion_main!(figures);

@@ -1,0 +1,159 @@
+//! Criterion microbenchmarks for the hot components: metadata lookups,
+//! quota reservations, the copy pool, the CRC32C codec, and the
+//! discrete-event engine itself.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use monarch_core::driver::MemDriver;
+use monarch_core::hierarchy::{Quota, StorageHierarchy};
+use monarch_core::metadata::MetadataContainer;
+use monarch_core::placement::{FirstFit, PlacementPolicy};
+use monarch_core::pool::ThreadPool;
+use monarch_core::StorageDriver;
+use simfs::clock::SimTime;
+use simfs::psdev::{Kind, PsDevice};
+use simfs::EventQueue;
+use tfrecord::crc32c::crc32c;
+use tfrecord::{RecordReader, RecordWriter};
+
+fn bench_metadata(c: &mut Criterion) {
+    let meta = MetadataContainer::default();
+    for i in 0..10_000 {
+        meta.register(&format!("train-{i:05}.tfrecord"), 128 << 20, 1);
+    }
+    let mut g = c.benchmark_group("metadata");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("lookup_for_read", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let name = format!("train-{:05}.tfrecord", i % 10_000);
+            i = i.wrapping_add(7919);
+            meta.lookup_for_read(&name).unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_quota(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quota");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("reserve_release", |b| {
+        let q = Quota::new(u64::MAX / 2);
+        b.iter(|| {
+            assert!(q.try_reserve(4096));
+            q.release(4096);
+        });
+    });
+    g.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let hierarchy = StorageHierarchy::new(vec![
+        (
+            "ssd".into(),
+            Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
+            Some(u64::MAX / 2),
+        ),
+        ("pfs".into(), Arc::new(MemDriver::new("pfs")) as Arc<dyn StorageDriver>, None),
+    ])
+    .unwrap();
+    let policy = FirstFit;
+    let mut g = c.benchmark_group("placement");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("first_fit_decision", |b| {
+        b.iter(|| policy.place(&hierarchy, "f", 4096).unwrap().unwrap());
+    });
+    g.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("copy_pool");
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("submit_drain_256", |b| {
+        let pool = ThreadPool::new(6);
+        b.iter(|| {
+            for _ in 0..256 {
+                pool.submit(Box::new(|| std::hint::black_box(())));
+            }
+            pool.wait_idle();
+        });
+    });
+    g.finish();
+}
+
+fn bench_crc32c(c: &mut Criterion) {
+    let data = vec![0xa5u8; 256 << 10];
+    let mut g = c.benchmark_group("crc32c");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("256KiB", |b| b.iter(|| crc32c(std::hint::black_box(&data))));
+    g.finish();
+}
+
+fn bench_tfrecord(c: &mut Criterion) {
+    // A shard of 64 records × 4 KiB.
+    let mut w = RecordWriter::new(Vec::new());
+    for _ in 0..64 {
+        w.write_record(&vec![7u8; 4096]).unwrap();
+    }
+    let shard = w.into_inner();
+    let mut g = c.benchmark_group("tfrecord");
+    g.throughput(Throughput::Bytes(shard.len() as u64));
+    g.bench_function("decode_shard", |b| {
+        b.iter(|| {
+            let mut r = RecordReader::new(std::io::Cursor::new(&shard));
+            r.count_remaining().unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("schedule_pop_1024", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..1024u64 {
+                    q.schedule(SimTime(i * 37 % 4096), i);
+                }
+                while q.pop().is_some() {}
+                q
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("psdev_32_streams", |b| {
+        b.iter(|| {
+            let mut dev = PsDevice::new("d", 500e6, 100e6);
+            for i in 0..32u64 {
+                dev.start(
+                    SimTime::from_millis(i),
+                    1 << 20,
+                    SimTime::ZERO,
+                    Kind::Read,
+                    1.0,
+                );
+            }
+            let mut done = 0;
+            while let Some(at) = dev.next_wake() {
+                done += dev.collect_finished(at).len();
+            }
+            assert_eq!(done, 32);
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_metadata,
+    bench_quota,
+    bench_placement,
+    bench_pool,
+    bench_crc32c,
+    bench_tfrecord,
+    bench_event_queue
+);
+criterion_main!(benches);

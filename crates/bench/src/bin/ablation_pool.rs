@@ -1,0 +1,65 @@
+//! Ablation: placement thread-pool size (the paper fixes 6 threads without
+//! justification — this sweep shows the sensitivity). Workload: LeNet on
+//! the 200 GiB dataset, the configuration where copy throughput matters
+//! most.
+
+use dlpipe::config::{MonarchSimConfig, Setup};
+use dlpipe::geometry::DatasetGeom;
+use dlpipe::models::ModelProfile;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PoolRow {
+    pool_threads: usize,
+    total_seconds: f64,
+    epoch1_seconds: f64,
+    pfs_ops: u64,
+}
+
+fn main() {
+    let env = dlpipe::config::EnvConfig::default();
+    let geom = DatasetGeom::imagenet_200g();
+    let model = ModelProfile::lenet();
+    let mut rows = Vec::new();
+    for threads in [1usize, 2, 4, 6, 8, 12, 16] {
+        let cfg = MonarchSimConfig {
+            pool_threads: threads,
+            ..MonarchSimConfig::paper_default()
+        };
+        let s = monarch_bench::run_trials(
+            &Setup::Monarch(cfg),
+            &geom,
+            &model,
+            &env,
+            monarch_bench::trials().min(3),
+            monarch_bench::EPOCHS,
+        );
+        let once = monarch_bench::run_once(
+            &Setup::Monarch(MonarchSimConfig {
+                pool_threads: threads,
+                ..MonarchSimConfig::paper_default()
+            }),
+            &geom,
+            &model,
+            &env,
+            0xbeef,
+            monarch_bench::EPOCHS,
+        );
+        rows.push(PoolRow {
+            pool_threads: threads,
+            total_seconds: s.total_mean,
+            epoch1_seconds: s.epoch_mean[0],
+            pfs_ops: once.pfs_ops(),
+        });
+    }
+    println!("\n## Ablation — placement pool size (LeNet, 200 GiB)");
+    println!("{:>8} {:>12} {:>12} {:>12}", "threads", "total (s)", "epoch1 (s)", "pfs ops");
+    for r in &rows {
+        println!(
+            "{:>8} {:>12.0} {:>12.0} {:>12}",
+            r.pool_threads, r.total_seconds, r.epoch1_seconds, r.pfs_ops
+        );
+    }
+    println!("\npaper default: 6 threads");
+    monarch_bench::save_json("ablation_pool", &rows);
+}

@@ -1,0 +1,64 @@
+//! Ablation: placement option (i) vs (ii) of §III-A. The paper chooses
+//! on-demand placement during the first epoch ("to prevent any delay in
+//! the training execution time"); this experiment quantifies the
+//! alternative — stage the dataset first, then train with a fully warm
+//! cache — on both dataset sizes with LeNet.
+
+use dlpipe::config::{MonarchSimConfig, Setup};
+use dlpipe::geometry::DatasetGeom;
+use dlpipe::models::ModelProfile;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PrestageRow {
+    dataset: String,
+    variant: String,
+    prestage_seconds: f64,
+    epoch_seconds: Vec<f64>,
+    total_with_staging: f64,
+}
+
+fn main() {
+    let env = dlpipe::config::EnvConfig::default();
+    let model = ModelProfile::lenet();
+    let mut rows = Vec::new();
+    for geom in [DatasetGeom::imagenet_100g(), DatasetGeom::imagenet_200g()] {
+        for (variant, prestage) in [("on-demand (paper)", false), ("pre-stage", true)] {
+            let cfg = MonarchSimConfig { prestage, ..MonarchSimConfig::paper_default() };
+            let r = monarch_bench::run_once(
+                &Setup::Monarch(cfg),
+                &geom,
+                &model,
+                &env,
+                0xbeef,
+                monarch_bench::EPOCHS,
+            );
+            rows.push(PrestageRow {
+                dataset: geom.name.clone(),
+                variant: variant.to_string(),
+                prestage_seconds: r.prestage_seconds,
+                epoch_seconds: r.epochs.iter().map(|e| e.seconds).collect(),
+                total_with_staging: r.total_seconds() + r.prestage_seconds,
+            });
+        }
+    }
+    println!("\n## Ablation — placement option (i) pre-stage vs (ii) on-demand (LeNet)");
+    println!(
+        "{:<14} {:<18} {:>10} {:>26} {:>14}",
+        "dataset", "variant", "stage (s)", "epochs (s)", "total+stage"
+    );
+    for r in &rows {
+        let epochs: Vec<String> = r.epoch_seconds.iter().map(|s| format!("{s:.0}")).collect();
+        println!(
+            "{:<14} {:<18} {:>10.0} {:>26} {:>14.0}",
+            r.dataset,
+            r.variant,
+            r.prestage_seconds,
+            epochs.join("/"),
+            r.total_with_staging
+        );
+    }
+    println!("\n(§III-A: on-demand placement avoids delaying training start; pre-staging");
+    println!(" gives a local-speed first epoch at the cost of an idle staging phase)");
+    monarch_bench::save_json("ablation_prestage", &rows);
+}

@@ -1,0 +1,65 @@
+//! Extension experiment (§VI "consider more storage layers"): a
+//! three-level hierarchy — RAM (48 GiB) over SSD (115 GiB) over Lustre —
+//! versus the paper's two-level configuration, on the 200 GiB dataset.
+
+use dlpipe::config::{MonarchSimConfig, Setup, SimTierKind};
+use dlpipe::geometry::DatasetGeom;
+use dlpipe::models::ModelProfile;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TierRow {
+    variant: String,
+    model: String,
+    total_seconds: f64,
+    pfs_ops: u64,
+}
+
+fn main() {
+    let env = dlpipe::config::EnvConfig::default();
+    let geom = DatasetGeom::imagenet_200g();
+    let two_level = MonarchSimConfig::paper_default();
+    let three_level = MonarchSimConfig {
+        tiers: vec![(SimTierKind::Ram, 48 << 30), (SimTierKind::Ssd, 115 << 30)],
+        ..MonarchSimConfig::paper_default()
+    };
+    let mut rows = Vec::new();
+    for model in [ModelProfile::lenet(), ModelProfile::alexnet()] {
+        for (variant, cfg) in
+            [("ssd+lustre (paper)", &two_level), ("ram+ssd+lustre", &three_level)]
+        {
+            let s = monarch_bench::run_trials(
+                &Setup::Monarch(cfg.clone()),
+                &geom,
+                &model,
+                &env,
+                monarch_bench::trials().min(3),
+                monarch_bench::EPOCHS,
+            );
+            let once = monarch_bench::run_once(
+                &Setup::Monarch(cfg.clone()),
+                &geom,
+                &model,
+                &env,
+                0xbeef,
+                monarch_bench::EPOCHS,
+            );
+            rows.push(TierRow {
+                variant: variant.to_string(),
+                model: model.name.clone(),
+                total_seconds: s.total_mean,
+                pfs_ops: once.pfs_ops(),
+            });
+        }
+    }
+    println!("\n## Extension — multi-level hierarchy (200 GiB)");
+    println!("{:<22} {:<9} {:>12} {:>12}", "variant", "model", "total (s)", "pfs ops");
+    for r in &rows {
+        println!(
+            "{:<22} {:<9} {:>12.0} {:>12}",
+            r.variant, r.model, r.total_seconds, r.pfs_ops
+        );
+    }
+    println!("\n(§VI future work: more local capacity -> more placements -> fewer PFS ops)");
+    monarch_bench::save_json("ablation_tiers", &rows);
+}

@@ -1,0 +1,76 @@
+//! Sensitivity sweep: local-tier capacity as a fraction of the dataset,
+//! from 0 (pure vanilla-lustre behaviour) to 1.15 (full fit). Shows the
+//! crossover structure underlying Figs. 3 and 4: training time falls and
+//! PFS traffic drops as more of the dataset fits locally.
+
+use dlpipe::config::{MonarchSimConfig, Setup};
+use dlpipe::geometry::DatasetGeom;
+use dlpipe::models::ModelProfile;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct CapRow {
+    capacity_fraction: f64,
+    total_seconds: f64,
+    pfs_ops: u64,
+    pfs_op_reduction_pct: f64,
+}
+
+fn main() {
+    let env = dlpipe::config::EnvConfig::default();
+    let geom = DatasetGeom::imagenet_200g();
+    let model = ModelProfile::lenet();
+    let baseline = monarch_bench::run_once(
+        &Setup::VanillaLustre,
+        &geom,
+        &model,
+        &env,
+        0xbeef,
+        monarch_bench::EPOCHS,
+    );
+    let base_ops = baseline.pfs_ops();
+    let total_bytes = geom.total_bytes();
+
+    let mut rows = Vec::new();
+    for frac in [0.0, 0.15, 0.3, 0.45, 0.575, 0.7, 0.85, 1.0, 1.15] {
+        let cap = (total_bytes as f64 * frac) as u64;
+        let cfg = MonarchSimConfig::with_ssd_capacity(cap.max(1));
+        let s = monarch_bench::run_trials(
+            &Setup::Monarch(cfg.clone()),
+            &geom,
+            &model,
+            &env,
+            monarch_bench::trials().min(3),
+            monarch_bench::EPOCHS,
+        );
+        let once =
+            monarch_bench::run_once(&Setup::Monarch(cfg), &geom, &model, &env, 0xbeef, 3);
+        rows.push(CapRow {
+            capacity_fraction: frac,
+            total_seconds: s.total_mean,
+            pfs_ops: once.pfs_ops(),
+            pfs_op_reduction_pct: monarch_bench::reduction_pct(
+                base_ops as f64,
+                once.pfs_ops() as f64,
+            ),
+        });
+    }
+    println!("\n## Sensitivity — local capacity fraction (LeNet, 200 GiB)");
+    println!(
+        "vanilla-lustre baseline: {:.0}s total, {} PFS ops",
+        baseline.total_seconds(),
+        base_ops
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>14}",
+        "fraction", "total (s)", "pfs ops", "op reduction"
+    );
+    for r in &rows {
+        println!(
+            "{:>10.3} {:>12.0} {:>12} {:>13.0}%",
+            r.capacity_fraction, r.total_seconds, r.pfs_ops, r.pfs_op_reduction_pct
+        );
+    }
+    println!("\n(the paper's Fig. 4 sits at fraction 115/200 = 0.575)");
+    monarch_bench::save_json("capacity_sweep", &rows);
+}

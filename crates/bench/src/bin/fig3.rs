@@ -1,0 +1,54 @@
+//! Figure 3: per-epoch training time for vanilla-lustre, vanilla-local,
+//! vanilla-caching and MONARCH (6 copy threads, 115 GiB SSD tier) ×
+//! {LeNet, AlexNet, ResNet-50} on the 100 GiB dataset.
+
+use dlpipe::config::{MonarchSimConfig, Setup};
+use dlpipe::geometry::DatasetGeom;
+use dlpipe::models::ModelProfile;
+
+fn main() {
+    let env = dlpipe::config::EnvConfig::default();
+    let geom = DatasetGeom::imagenet_100g();
+    let n = monarch_bench::trials();
+    let mut rows = Vec::new();
+    for model in ModelProfile::paper_models() {
+        for setup in [
+            Setup::VanillaLustre,
+            Setup::VanillaLocal,
+            Setup::VanillaCaching,
+            Setup::Monarch(MonarchSimConfig::paper_default()),
+        ] {
+            rows.push(monarch_bench::run_trials(
+                &setup,
+                &geom,
+                &model,
+                &env,
+                n,
+                monarch_bench::EPOCHS,
+            ));
+        }
+    }
+    monarch_bench::print_epoch_table(
+        "Fig. 3 — evaluation: all setups incl. MONARCH, 100 GiB ImageNet-1k",
+        &rows,
+    );
+    // Headline claims of §IV-A for this figure.
+    let total = |setup: &str, model: &str| {
+        rows.iter()
+            .find(|r| r.setup == setup && r.model == model)
+            .map(|r| r.total_mean)
+            .unwrap_or(f64::NAN)
+    };
+    for model in ["lenet", "alexnet"] {
+        let lustre = total("vanilla-lustre", model);
+        let monarch = total("monarch", model);
+        println!(
+            "{model}: monarch vs vanilla-lustre: {:.0}s -> {:.0}s ({:.0}% reduction; paper: {})",
+            lustre,
+            monarch,
+            monarch_bench::reduction_pct(lustre, monarch),
+            if model == "lenet" { "1205 -> 811, 33%" } else { "1193 -> 1018, 15%" },
+        );
+    }
+    monarch_bench::save_json("fig3", &rows);
+}

@@ -1,0 +1,50 @@
+//! Figure 4: per-epoch training time for vanilla-lustre vs MONARCH on the
+//! 200 GiB dataset that only *partially* fits the 115 GiB local SSD
+//! (vanilla-local / vanilla-caching are infeasible here — the paper omits
+//! them for the same reason).
+
+use dlpipe::config::{MonarchSimConfig, Setup};
+use dlpipe::geometry::DatasetGeom;
+use dlpipe::models::ModelProfile;
+
+fn main() {
+    let env = dlpipe::config::EnvConfig::default();
+    let geom = DatasetGeom::imagenet_200g();
+    let n = monarch_bench::trials();
+    let mut rows = Vec::new();
+    for model in ModelProfile::paper_models() {
+        for setup in
+            [Setup::VanillaLustre, Setup::Monarch(MonarchSimConfig::paper_default())]
+        {
+            rows.push(monarch_bench::run_trials(
+                &setup,
+                &geom,
+                &model,
+                &env,
+                n,
+                monarch_bench::EPOCHS,
+            ));
+        }
+    }
+    monarch_bench::print_epoch_table(
+        "Fig. 4 — evaluation: 200 GiB ImageNet-1k (partial fit, 115 GiB local)",
+        &rows,
+    );
+    let total = |setup: &str, model: &str| {
+        rows.iter()
+            .find(|r| r.setup == setup && r.model == model)
+            .map(|r| r.total_mean)
+            .unwrap_or(f64::NAN)
+    };
+    for (model, anchor) in [("lenet", "2842 -> 2155, 24%"), ("alexnet", "3567 -> 3138, 12%")] {
+        let lustre = total("vanilla-lustre", model);
+        let monarch = total("monarch", model);
+        println!(
+            "{model}: monarch vs vanilla-lustre: {:.0}s -> {:.0}s ({:.0}% reduction; paper: {anchor})",
+            lustre,
+            monarch,
+            monarch_bench::reduction_pct(lustre, monarch),
+        );
+    }
+    monarch_bench::save_json("fig4", &rows);
+}

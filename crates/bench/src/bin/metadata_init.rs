@@ -1,0 +1,58 @@
+//! Metadata-initialisation table (§IV-A): the time MONARCH's metadata
+//! container takes to scan the dataset directory and build the namespace.
+//!
+//! Paper anchors: ≈13 s for the 100 GiB dataset, ≈52 s for the 200 GiB
+//! dataset.
+
+use dlpipe::config::{MonarchSimConfig, Setup};
+use dlpipe::geometry::DatasetGeom;
+use dlpipe::models::ModelProfile;
+use dlpipe::report::mean_std;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct InitRow {
+    dataset: String,
+    shards: usize,
+    init_seconds_mean: f64,
+    init_seconds_std: f64,
+}
+
+fn main() {
+    let env = dlpipe::config::EnvConfig::default();
+    let model = ModelProfile::lenet();
+    let n = monarch_bench::trials();
+    let mut rows = Vec::new();
+    for geom in [DatasetGeom::imagenet_100g(), DatasetGeom::imagenet_200g()] {
+        let xs: Vec<f64> = (0..n)
+            .map(|t| {
+                monarch_bench::run_once(
+                    &Setup::Monarch(MonarchSimConfig::paper_default()),
+                    &geom,
+                    &model,
+                    &env,
+                    0x1111 + t * 31,
+                    1, // one epoch suffices: init happens before training
+                )
+                .metadata_init_seconds
+            })
+            .collect();
+        let (mean, std) = mean_std(&xs);
+        rows.push(InitRow {
+            dataset: geom.name.clone(),
+            shards: geom.num_shards(),
+            init_seconds_mean: mean,
+            init_seconds_std: std,
+        });
+    }
+    println!("\n## Metadata-initialisation time (§IV-A)");
+    println!("{:<14} {:>8} {:>14}", "dataset", "shards", "init (s)");
+    for r in &rows {
+        println!(
+            "{:<14} {:>8} {:>9.1} +-{:.1}",
+            r.dataset, r.shards, r.init_seconds_mean, r.init_seconds_std
+        );
+    }
+    println!("\npaper anchors: ~13 s (100 GiB), ~52 s (200 GiB)");
+    monarch_bench::save_json("metadata_init", &rows);
+}

@@ -1,0 +1,61 @@
+//! Resource-usage table (§II-A and §IV-B prose): CPU / GPU utilisation per
+//! setup × model, for both dataset sizes.
+
+use dlpipe::config::{MonarchSimConfig, Setup};
+use dlpipe::geometry::DatasetGeom;
+use dlpipe::models::ModelProfile;
+
+fn main() {
+    let env = dlpipe::config::EnvConfig::default();
+    let n = monarch_bench::trials();
+
+    let mut g100 = Vec::new();
+    for model in ModelProfile::paper_models() {
+        for setup in [
+            Setup::VanillaLustre,
+            Setup::VanillaLocal,
+            Setup::VanillaCaching,
+            Setup::Monarch(MonarchSimConfig::paper_default()),
+        ] {
+            g100.push(monarch_bench::run_trials(
+                &setup,
+                &DatasetGeom::imagenet_100g(),
+                &model,
+                &env,
+                n,
+                monarch_bench::EPOCHS,
+            ));
+        }
+    }
+    monarch_bench::print_resource_table("Resource usage — 100 GiB dataset (§II-A/§IV-B)", &g100);
+    println!(
+        "paper anchors (cpu/gpu): lenet lustre 30/22 local 57/39 caching 37/28 monarch 44/31"
+    );
+    println!(
+        "                         alexnet lustre 31/58 local 42/72 caching 34/63 monarch 37/68"
+    );
+    println!("                         resnet ~10/90 everywhere");
+
+    let mut g200 = Vec::new();
+    for model in ModelProfile::paper_models() {
+        for setup in
+            [Setup::VanillaLustre, Setup::Monarch(MonarchSimConfig::paper_default())]
+        {
+            g200.push(monarch_bench::run_trials(
+                &setup,
+                &DatasetGeom::imagenet_200g(),
+                &model,
+                &env,
+                n,
+                monarch_bench::EPOCHS,
+            ));
+        }
+    }
+    monarch_bench::print_resource_table("Resource usage — 200 GiB dataset (§IV-B)", &g200);
+    println!(
+        "paper anchors (cpu/gpu): lenet lustre 36/30 monarch 46/38; alexnet lustre 31/63 monarch 33/69; resnet ~9/90"
+    );
+
+    monarch_bench::save_json("resources_100g", &g100);
+    monarch_bench::save_json("resources_200g", &g200);
+}

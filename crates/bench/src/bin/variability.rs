@@ -1,0 +1,61 @@
+//! Throughput-variability experiment (§II-A): "we observed high
+//! performance variability under the vanilla-lustre setup, since Lustre is
+//! concurrently accessed by other jobs". Runs many seeded trials of one
+//! epoch per setup and prints the spread — the error bars of Fig. 1.
+
+use dlpipe::config::{EnvConfig, Setup};
+use dlpipe::geometry::DatasetGeom;
+use dlpipe::models::ModelProfile;
+use dlpipe::report::mean_std;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct VarRow {
+    setup: String,
+    trials: u64,
+    mean_seconds: f64,
+    std_seconds: f64,
+    min_seconds: f64,
+    max_seconds: f64,
+    cov_pct: f64,
+}
+
+fn main() {
+    let env = EnvConfig::default();
+    let geom = DatasetGeom::imagenet_100g();
+    let model = ModelProfile::lenet();
+    let trials = monarch_bench::trials().max(10);
+    let mut rows = Vec::new();
+    for setup in [Setup::VanillaLustre, Setup::VanillaLocal] {
+        let xs: Vec<f64> = (0..trials)
+            .map(|t| {
+                monarch_bench::run_once(&setup, &geom, &model, &env, 0xaaaa + t * 37, 1)
+                    .epochs[0]
+                    .seconds
+            })
+            .collect();
+        let (mean, std) = mean_std(&xs);
+        rows.push(VarRow {
+            setup: setup.label().to_string(),
+            trials,
+            mean_seconds: mean,
+            std_seconds: std,
+            min_seconds: xs.iter().cloned().fold(f64::MAX, f64::min),
+            max_seconds: xs.iter().cloned().fold(f64::MIN, f64::max),
+            cov_pct: if mean > 0.0 { std / mean * 100.0 } else { 0.0 },
+        });
+    }
+    println!("\n## Epoch-time variability (§II-A, LeNet, 100 GiB, {trials} trials)");
+    println!(
+        "{:<16} {:>10} {:>8} {:>8} {:>8} {:>7}",
+        "setup", "mean (s)", "std", "min", "max", "cov"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>10.0} {:>8.1} {:>8.0} {:>8.0} {:>6.1}%",
+            r.setup, r.mean_seconds, r.std_seconds, r.min_seconds, r.max_seconds, r.cov_pct
+        );
+    }
+    println!("\n(paper: Lustre epochs vary visibly run-to-run; local epochs do not)");
+    monarch_bench::save_json("variability", &rows);
+}

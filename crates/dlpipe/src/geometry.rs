@@ -1,0 +1,179 @@
+//! Dataset geometry for the simulator: shard sizes and record counts,
+//! without materialising any bytes.
+//!
+//! The paper's dataset preparation packs a fixed number of images into each
+//! TFRecord shard (the common ImageNet recipe). That geometry is what makes
+//! the paper's reported counts line up: at 1,024 records per shard,
+//!
+//! - the 100 GiB / 900k-image dataset yields ≈880 shards of ≈117 MiB and
+//!   ≈410k chunk reads per epoch at 256 KiB, and
+//! - the 200 GiB / 3M-image dataset yields ≈2,930 shards of ≈70 MiB and
+//!   ≈800k chunk reads per epoch (the paper reports 798,340),
+//! - and a 13 s / ≈50 s metadata-initialisation scan at ~16 ms per MDS op.
+
+use serde::Serialize;
+use simfs::rng::SimRng;
+use tfrecord::FRAME_OVERHEAD;
+
+/// One shard: size on disk plus how many records it holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ShardGeom {
+    /// Total shard size in bytes (payload + framing).
+    pub bytes: u64,
+    /// Number of records packed into the shard.
+    pub records: u64,
+}
+
+/// The whole dataset as seen by the simulator.
+#[derive(Debug, Clone, Serialize)]
+pub struct DatasetGeom {
+    /// Human-readable label (experiment output).
+    pub name: String,
+    /// All shards, in file order.
+    pub shards: Vec<ShardGeom>,
+}
+
+impl DatasetGeom {
+    /// Build a geometry of `num_samples` records with `mean_sample_bytes`
+    /// (±`jitter` uniform), packed `records_per_shard` to a shard.
+    #[must_use]
+    pub fn synth(
+        name: impl Into<String>,
+        num_samples: u64,
+        mean_sample_bytes: u64,
+        jitter: f64,
+        records_per_shard: u64,
+        seed: u64,
+    ) -> Self {
+        let mut rng = SimRng::new(seed);
+        let jitter = jitter.clamp(0.0, 0.99);
+        let mut shards = Vec::with_capacity((num_samples / records_per_shard + 1) as usize);
+        let mut remaining = num_samples;
+        while remaining > 0 {
+            let n = remaining.min(records_per_shard);
+            // Sum of n jittered sample sizes; sampling per record would be
+            // 900k draws — the per-shard aggregate has the same mean and
+            // nearly the same variance contribution at this scale.
+            let f = 1.0 + jitter * (rng.unit() * 2.0 - 1.0) / (n as f64).sqrt();
+            let payload = (mean_sample_bytes as f64 * n as f64 * f) as u64;
+            shards.push(ShardGeom { bytes: payload + n * FRAME_OVERHEAD, records: n });
+            remaining -= n;
+        }
+        Self { name: name.into(), shards }
+    }
+
+    /// The paper's 100 GiB ImageNet-1k variant (900k images).
+    #[must_use]
+    pub fn imagenet_100g() -> Self {
+        Self::synth("imagenet-100g", 900_000, 119_300, 0.25, 1024, 0x0100)
+    }
+
+    /// The paper's 200 GiB ImageNet-1k variant (3M smaller images).
+    #[must_use]
+    pub fn imagenet_200g() -> Self {
+        Self::synth("imagenet-200g", 3_000_000, 71_600, 0.25, 1024, 0x0200)
+    }
+
+    /// A scaled-down geometry for fast tests. Shards stay *large relative
+    /// to the chunk size* (hundreds of chunks per shard), because MONARCH's
+    /// epoch-1 benefit — the full-shard fetch racing ahead of the chunk
+    /// readers — vanishes for small shards.
+    #[must_use]
+    pub fn miniature(name: impl Into<String>, num_samples: u64, seed: u64) -> Self {
+        Self::synth(name, num_samples, 100_000, 0.25, 512, seed)
+    }
+
+    /// Build a geometry from explicit shard descriptors — e.g. measured
+    /// from files on disk, so a simulated run models exactly the bytes a
+    /// real run reads (the cross-validation tests rely on this).
+    #[must_use]
+    pub fn from_shards(name: impl Into<String>, shards: Vec<ShardGeom>) -> Self {
+        Self { name: name.into(), shards }
+    }
+
+    /// Total size in bytes.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Total records.
+    #[must_use]
+    pub fn total_records(&self) -> u64 {
+        self.shards.iter().map(|s| s.records).sum()
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Chunk reads needed to scan everything once at `chunk_bytes`.
+    #[must_use]
+    pub fn chunk_reads_per_epoch(&self, chunk_bytes: u64) -> u64 {
+        self.shards.iter().map(|s| s.bytes.div_ceil(chunk_bytes.max(1))).sum()
+    }
+
+    /// Canonical shard file name for shard `i` (matches the on-disk
+    /// generator, so real and simulated runs agree on the namespace).
+    #[must_use]
+    pub fn shard_name(i: usize) -> String {
+        tfrecord::synth::shard_name(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GIB: f64 = (1u64 << 30) as f64;
+
+    #[test]
+    fn imagenet_100g_matches_paper_geometry() {
+        let g = DatasetGeom::imagenet_100g();
+        assert_eq!(g.total_records(), 900_000);
+        let gib = g.total_bytes() as f64 / GIB;
+        assert!((95.0..105.0).contains(&gib), "{gib} GiB");
+        assert!((850..900).contains(&g.num_shards()), "{} shards", g.num_shards());
+        let ops = g.chunk_reads_per_epoch(256 << 10);
+        assert!((380_000..440_000).contains(&ops), "{ops} ops/epoch");
+    }
+
+    #[test]
+    fn imagenet_200g_matches_paper_geometry() {
+        let g = DatasetGeom::imagenet_200g();
+        assert_eq!(g.total_records(), 3_000_000);
+        let gib = g.total_bytes() as f64 / GIB;
+        assert!((190.0..210.0).contains(&gib), "{gib} GiB");
+        assert!((2900..2960).contains(&g.num_shards()), "{} shards", g.num_shards());
+        // Paper §IV-A: 798,340 ops per epoch.
+        let ops = g.chunk_reads_per_epoch(256 << 10);
+        assert!((760_000..840_000).contains(&ops), "{ops} ops/epoch");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = DatasetGeom::synth("a", 10_000, 100_000, 0.25, 128, 7);
+        let b = DatasetGeom::synth("b", 10_000, 100_000, 0.25, 128, 7);
+        assert_eq!(a.shards, b.shards);
+        let c = DatasetGeom::synth("c", 10_000, 100_000, 0.25, 128, 8);
+        assert_ne!(a.shards, c.shards);
+    }
+
+    #[test]
+    fn last_shard_holds_remainder() {
+        let g = DatasetGeom::synth("r", 1000, 1000, 0.0, 300, 1);
+        assert_eq!(g.num_shards(), 4);
+        assert_eq!(g.shards[3].records, 100);
+        assert_eq!(g.total_records(), 1000);
+    }
+
+    #[test]
+    fn zero_jitter_is_exact() {
+        let g = DatasetGeom::synth("z", 256, 1000, 0.0, 128, 1);
+        for s in &g.shards {
+            assert_eq!(s.bytes, s.records * (1000 + FRAME_OVERHEAD));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # dlpipe — the deep-learning input pipeline and training drivers
+//!
+//! Reimplements the TensorFlow data-loading machinery the MONARCH paper
+//! relies on (parallel interleaved shard readers issuing ~256 KiB chunk
+//! reads, a bounded prefetch buffer, shuffling, the `Dataset.cache()`
+//! baseline), plus the DL model compute profiles, and drives them in two
+//! ways:
+//!
+//! - [`sim`] — a discrete-event trainer over `simfs` devices that runs the
+//!   paper's experiments at full scale (900k–3M samples) in seconds of
+//!   wall time; MONARCH's *decision* components (metadata container,
+//!   quotas, placement policies) are the real `monarch-core` code.
+//! - [`real`] — a thread-based trainer over real directories and the real
+//!   [`monarch_core::Monarch`] middleware, used by the integration tests
+//!   and examples to validate end-to-end correctness at miniature scale.
+//!
+//! The experimental *setups* of the paper are enumerated in [`config::Setup`]:
+//! `vanilla-lustre`, `vanilla-local`, `vanilla-caching`, and `monarch`.
+
+pub mod config;
+pub mod geometry;
+pub mod models;
+pub mod real;
+pub mod report;
+pub mod sim;
+
+pub use config::{EnvConfig, PipelineConfig, Setup};
+pub use geometry::{DatasetGeom, ShardGeom};
+pub use models::ModelProfile;
+pub use report::{EpochReport, RunReport};
+pub use sim::SimTrainer;

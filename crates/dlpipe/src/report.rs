@@ -1,0 +1,230 @@
+//! Run reports: per-epoch times, device counters, resource-usage proxies.
+
+use serde::Serialize;
+use simfs::DeviceStats;
+
+/// Measurements of one training epoch.
+#[derive(Debug, Clone, Serialize)]
+pub struct EpochReport {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Epoch wall time in (virtual) seconds.
+    pub seconds: f64,
+    /// Per-device counter deltas over the epoch; index matches
+    /// `RunReport::device_names`.
+    pub devices: Vec<DeviceStats>,
+    /// GPU utilisation proxy: accelerator busy time / epoch time.
+    pub gpu_util: f64,
+    /// CPU utilisation proxy: host work / epoch time.
+    pub cpu_util: f64,
+}
+
+/// Measurements of one full training run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Setup label ("vanilla-lustre", "monarch", ...).
+    pub setup: String,
+    /// Model name.
+    pub model: String,
+    /// Dataset label.
+    pub dataset: String,
+    /// Device names; per-epoch stats index into this.
+    pub device_names: Vec<String>,
+    /// Index of the PFS device within `device_names`.
+    pub pfs_device: usize,
+    /// Seconds spent in the metadata-initialisation scan (MONARCH only;
+    /// zero otherwise). Not included in epoch times, matching the paper's
+    /// separate reporting.
+    pub metadata_init_seconds: f64,
+    /// Seconds spent staging the dataset before training (placement
+    /// option (i) only; zero under the paper's on-demand option (ii)).
+    #[serde(default)]
+    pub prestage_seconds: f64,
+    /// Optional PFS read-throughput samples `(virtual_seconds, bytes/s)`,
+    /// collected when `PipelineConfig::trace_interval_secs` is set.
+    #[serde(default)]
+    pub pfs_throughput_series: Vec<(f64, f64)>,
+    /// Per-epoch measurements.
+    pub epochs: Vec<EpochReport>,
+}
+
+impl RunReport {
+    /// Total training time across epochs, seconds.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.epochs.iter().map(|e| e.seconds).sum()
+    }
+
+    /// Total I/O operations submitted to the PFS (reads + writes).
+    #[must_use]
+    pub fn pfs_ops(&self) -> u64 {
+        self.epochs.iter().map(|e| e.devices[self.pfs_device].data_ops()).sum()
+    }
+
+    /// PFS operations in one epoch.
+    #[must_use]
+    pub fn pfs_ops_epoch(&self, epoch: usize) -> u64 {
+        self.epochs[epoch].devices[self.pfs_device].data_ops()
+    }
+
+    /// Mean GPU utilisation across epochs (time-weighted).
+    #[must_use]
+    pub fn gpu_util(&self) -> f64 {
+        weighted_util(&self.epochs, |e| e.gpu_util)
+    }
+
+    /// Mean CPU utilisation across epochs (time-weighted).
+    #[must_use]
+    pub fn cpu_util(&self) -> f64 {
+        weighted_util(&self.epochs, |e| e.cpu_util)
+    }
+}
+
+fn weighted_util(epochs: &[EpochReport], f: impl Fn(&EpochReport) -> f64) -> f64 {
+    let total: f64 = epochs.iter().map(|e| e.seconds).sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    epochs.iter().map(|e| f(e) * e.seconds).sum::<f64>() / total
+}
+
+/// Mean and (population) standard deviation of a sample.
+#[must_use]
+pub fn mean_std(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Aggregate of repeated trials of the same configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct TrialSummary {
+    /// Setup label.
+    pub setup: String,
+    /// Model name.
+    pub model: String,
+    /// Per-epoch mean seconds across trials.
+    pub epoch_mean: Vec<f64>,
+    /// Per-epoch stddev across trials.
+    pub epoch_std: Vec<f64>,
+    /// Mean total seconds.
+    pub total_mean: f64,
+    /// Stddev of total seconds.
+    pub total_std: f64,
+    /// Mean PFS op count over the whole run.
+    pub pfs_ops_mean: f64,
+    /// Mean utilisations.
+    pub gpu_util: f64,
+    /// Mean CPU utilisation.
+    pub cpu_util: f64,
+}
+
+impl TrialSummary {
+    /// Summarise repeated runs (all must share setup/model/epoch count).
+    ///
+    /// # Panics
+    /// If `runs` is empty or epoch counts differ.
+    #[must_use]
+    pub fn from_runs(runs: &[RunReport]) -> Self {
+        assert!(!runs.is_empty());
+        let epochs = runs[0].epochs.len();
+        assert!(runs.iter().all(|r| r.epochs.len() == epochs));
+        let mut epoch_mean = Vec::with_capacity(epochs);
+        let mut epoch_std = Vec::with_capacity(epochs);
+        for e in 0..epochs {
+            let xs: Vec<f64> = runs.iter().map(|r| r.epochs[e].seconds).collect();
+            let (m, s) = mean_std(&xs);
+            epoch_mean.push(m);
+            epoch_std.push(s);
+        }
+        let totals: Vec<f64> = runs.iter().map(RunReport::total_seconds).collect();
+        let (total_mean, total_std) = mean_std(&totals);
+        let ops: Vec<f64> = runs.iter().map(|r| r.pfs_ops() as f64).collect();
+        let (pfs_ops_mean, _) = mean_std(&ops);
+        let gpu: Vec<f64> = runs.iter().map(RunReport::gpu_util).collect();
+        let cpu: Vec<f64> = runs.iter().map(RunReport::cpu_util).collect();
+        Self {
+            setup: runs[0].setup.clone(),
+            model: runs[0].model.clone(),
+            epoch_mean,
+            epoch_std,
+            total_mean,
+            total_std,
+            pfs_ops_mean,
+            gpu_util: mean_std(&gpu).0,
+            cpu_util: mean_std(&cpu).0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(setup: &str, secs: &[f64], pfs_ops: u64) -> RunReport {
+        RunReport {
+            setup: setup.into(),
+            model: "lenet".into(),
+            dataset: "d".into(),
+            device_names: vec!["ssd".into(), "lustre".into()],
+            pfs_device: 1,
+            metadata_init_seconds: 0.0,
+            prestage_seconds: 0.0,
+            pfs_throughput_series: Vec::new(),
+            epochs: secs
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| {
+                    let mut lustre = DeviceStats::default();
+                    for _ in 0..pfs_ops {
+                        lustre.record_read(1);
+                    }
+                    EpochReport {
+                        epoch: i,
+                        seconds: s,
+                        devices: vec![DeviceStats::default(), lustre],
+                        gpu_util: 0.5,
+                        cpu_util: 0.3,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn totals_and_ops() {
+        let r = run("x", &[10.0, 20.0, 30.0], 5);
+        assert_eq!(r.total_seconds(), 60.0);
+        assert_eq!(r.pfs_ops(), 15);
+        assert_eq!(r.pfs_ops_epoch(1), 5);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn summary_across_trials() {
+        let runs = vec![run("x", &[10.0, 20.0], 4), run("x", &[14.0, 24.0], 6)];
+        let s = TrialSummary::from_runs(&runs);
+        assert_eq!(s.epoch_mean, vec![12.0, 22.0]);
+        assert!((s.total_mean - 34.0).abs() < 1e-12);
+        assert!((s.pfs_ops_mean - 10.0).abs() < 1e-12);
+        assert!(s.epoch_std[0] > 1.9 && s.epoch_std[0] < 2.1);
+    }
+
+    #[test]
+    fn weighted_utils() {
+        let r = run("x", &[10.0, 30.0], 1);
+        assert!((r.gpu_util() - 0.5).abs() < 1e-12);
+        assert!((r.cpu_util() - 0.3).abs() < 1e-12);
+    }
+}

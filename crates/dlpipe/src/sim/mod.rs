@@ -1,0 +1,252 @@
+//! Discrete-event training driver.
+//!
+//! [`SimTrainer`] wires the input pipeline, the model compute profile, the
+//! `simfs` device models and (for the MONARCH setup) the real
+//! `monarch-core` decision components into one event-driven world, then
+//! runs a configurable number of epochs in virtual time.
+//!
+//! ## Actors
+//!
+//! - **Readers** (tf.data parallel interleave): each works through its
+//!   share of the epoch's shuffled shard list, issuing one `chunk_bytes`
+//!   read at a time; the first chunk of a Lustre-served shard pays an MDS
+//!   open. Completed chunks feed the prefetch buffer.
+//! - **Trainer**: consumes `batch_size` samples per step from the buffer,
+//!   holding the (virtual) accelerators for the model's step time.
+//!   A full prefetch buffer back-pressures the readers.
+//! - **Placement workers** (MONARCH): the paper's 6-thread copy pool,
+//!   modelled as K servers; each task reads a whole shard from the PFS and
+//!   writes it to the chosen tier, contending with the readers on both
+//!   devices. Placement decisions, quota accounting and the file-state
+//!   machine are the *real* `monarch_core` structures.
+//! - **Interference**: a Markov chain rescaling the PFS bandwidth.
+
+pub mod cluster;
+mod world;
+
+pub use cluster::{ClusterConfig, ClusterReport, ClusterTrainer, Sharding};
+pub use world::SimTrainer;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{EnvConfig, MonarchSimConfig, PipelineConfig, Setup};
+    use crate::geometry::DatasetGeom;
+    use crate::models::ModelProfile;
+
+    /// A fast miniature workload: ~1.6 GiB, 16k samples, shards of 64.
+    fn mini() -> DatasetGeom {
+        DatasetGeom::miniature("mini", 16_384, 42)
+    }
+
+    fn mini_model() -> ModelProfile {
+        // Tiny compute so runs are I/O-bound (LeNet-like).
+        ModelProfile {
+            name: "tiny".into(),
+            per_sample_step: 50e-6,
+            gpu_fraction: 0.7,
+            cpu_per_sample: 60e-6,
+            batch_size: 128,
+        }
+    }
+
+    fn run(setup: Setup, epochs: usize, seed: u64) -> crate::report::RunReport {
+        let trainer = SimTrainer::new(
+            setup,
+            mini(),
+            mini_model(),
+            PipelineConfig::default().with_seed(seed),
+            EnvConfig::default(),
+        );
+        trainer.run(epochs)
+    }
+
+    #[test]
+    fn vanilla_lustre_reads_everything_from_pfs_every_epoch() {
+        let r = run(Setup::VanillaLustre, 2, 1);
+        assert_eq!(r.epochs.len(), 2);
+        let total = mini().total_bytes();
+        for e in &r.epochs {
+            let pfs = &e.devices[r.pfs_device];
+            assert_eq!(pfs.bytes_read(), total, "epoch {} bytes", e.epoch);
+            assert!(e.seconds > 0.0);
+        }
+        // Op count = ceil-sum of chunk reads.
+        let expect_ops = mini().chunk_reads_per_epoch(256 << 10);
+        assert_eq!(r.pfs_ops_epoch(0), expect_ops);
+    }
+
+    #[test]
+    fn vanilla_local_never_touches_pfs() {
+        let r = run(Setup::VanillaLocal, 2, 1);
+        for e in &r.epochs {
+            assert_eq!(e.devices[r.pfs_device].data_ops(), 0);
+        }
+        // And it is faster than Lustre for an I/O-bound model.
+        let lustre = run(Setup::VanillaLustre, 2, 1);
+        assert!(
+            r.total_seconds() < lustre.total_seconds(),
+            "local {} !< lustre {}",
+            r.total_seconds(),
+            lustre.total_seconds()
+        );
+    }
+
+    #[test]
+    fn caching_pays_epoch1_then_serves_locally() {
+        let r = run(Setup::VanillaCaching, 3, 1);
+        let lustre = run(Setup::VanillaLustre, 3, 1);
+        // Epoch 1 reads the PFS fully and costs more than vanilla-lustre's
+        // first epoch (extra cache writes).
+        assert_eq!(
+            r.epochs[0].devices[r.pfs_device].bytes_read(),
+            mini().total_bytes()
+        );
+        assert!(r.epochs[0].seconds >= lustre.epochs[0].seconds * 0.95);
+        // Epochs 2..: PFS idle.
+        for e in &r.epochs[1..] {
+            assert_eq!(e.devices[r.pfs_device].data_ops(), 0, "epoch {}", e.epoch);
+            assert!(e.seconds < lustre.epochs[e.epoch].seconds);
+        }
+    }
+
+    #[test]
+    fn monarch_full_fit_places_everything() {
+        let cfg = MonarchSimConfig::with_ssd_capacity(4 << 30); // dataset ≈1.6 GiB
+        let r = run(Setup::Monarch(cfg), 3, 1);
+        // Epochs 2-3 read (almost) nothing from the PFS: every shard was
+        // placed during epoch 1.
+        for e in &r.epochs[1..] {
+            let pfs = e.devices[r.pfs_device].data_ops();
+            assert!(pfs < 20, "epoch {} still sent {pfs} ops to the PFS", e.epoch);
+        }
+        // Total beats vanilla-lustre.
+        let lustre = run(Setup::VanillaLustre, 3, 1);
+        assert!(r.total_seconds() < lustre.total_seconds());
+        // Metadata init was simulated and reported.
+        assert!(r.metadata_init_seconds > 0.0);
+    }
+
+    #[test]
+    fn monarch_partial_fit_bounded_by_quota() {
+        let total = mini().total_bytes();
+        let cap = total / 2;
+        let cfg = MonarchSimConfig::with_ssd_capacity(cap);
+        let r = run(Setup::Monarch(cfg), 3, 1);
+        // Epochs 2-3 still send ops to the PFS, but fewer than all of them.
+        let all_ops = mini().chunk_reads_per_epoch(256 << 10);
+        for e in &r.epochs[1..] {
+            let pfs = e.devices[r.pfs_device].reads();
+            assert!(pfs > all_ops / 4, "too few PFS ops: {pfs}");
+            assert!(pfs < all_ops, "no reduction: {pfs} of {all_ops}");
+        }
+        // SSD bytes written never exceed the quota (plus one shard slack
+        // is *not* allowed — reservations are strict).
+        let ssd_written: u64 = r.epochs.iter().map(|e| e.devices[0].bytes_written()).sum();
+        assert!(ssd_written <= cap, "wrote {ssd_written} > quota {cap}");
+    }
+
+    #[test]
+    fn monarch_partial_fit_pays_off_after_epoch_one() {
+        // At miniature scale the epoch-1 placement investment takes a few
+        // epochs to amortise (the paper's full-scale runs amortise within
+        // 3); the invariant is that steady-state epochs beat vanilla-lustre
+        // by a healthy margin while epoch 1 stays within bounds. Uses a
+        // geometry with enough shards per reader (12) that stragglers do
+        // not mask the effect.
+        let geom = DatasetGeom::miniature("mini-partial", 49_152, 42);
+        let cfg = MonarchSimConfig::with_ssd_capacity(geom.total_bytes() * 3 / 5);
+        let mk = |setup| {
+            SimTrainer::new(
+                setup,
+                geom.clone(),
+                mini_model(),
+                PipelineConfig::default().with_seed(1),
+                EnvConfig::default(),
+            )
+            .run(3)
+        };
+        let m = mk(Setup::Monarch(cfg));
+        let l = mk(Setup::VanillaLustre);
+        // Steady-state epochs send roughly (1 - capacity fraction) of the
+        // chunk reads to the PFS — the paper's §IV-A structure (≈360k of
+        // 798k ops at a 57.5% fit).
+        let all_ops = l.pfs_ops_epoch(1);
+        for e in 1..3 {
+            let frac = m.pfs_ops_epoch(e) as f64 / all_ops as f64;
+            assert!(
+                (0.25..0.55).contains(&frac),
+                "epoch {e}: PFS op fraction {frac} out of range for a 60% fit"
+            );
+        }
+        // And steady-state epochs are faster (the margin grows with scale;
+        // at this miniature scale static-interleave stragglers damp it).
+        let m_steady: f64 = m.epochs[1..].iter().map(|e| e.seconds).sum();
+        let l_steady: f64 = l.epochs[1..].iter().map(|e| e.seconds).sum();
+        assert!(
+            m_steady < l_steady,
+            "steady-state epochs should win: monarch {m_steady} vs lustre {l_steady}"
+        );
+        assert!(
+            m.total_seconds() < l.total_seconds() * 1.15,
+            "epoch-1 investment must stay bounded: {} vs {}",
+            m.total_seconds(),
+            l.total_seconds()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(Setup::VanillaLustre, 2, 7);
+        let b = run(Setup::VanillaLustre, 2, 7);
+        assert_eq!(a.total_seconds(), b.total_seconds());
+        assert_eq!(a.pfs_ops(), b.pfs_ops());
+        let c = run(Setup::VanillaLustre, 2, 8);
+        assert_ne!(a.total_seconds(), c.total_seconds());
+    }
+
+    #[test]
+    fn compute_bound_model_is_storage_insensitive() {
+        let heavy = ModelProfile {
+            name: "heavy".into(),
+            per_sample_step: 2e-3, // dwarfs any I/O path
+            gpu_fraction: 0.9,
+            cpu_per_sample: 30e-6,
+            batch_size: 128,
+        };
+        let mk = |setup| {
+            SimTrainer::new(
+                setup,
+                mini(),
+                heavy.clone(),
+                PipelineConfig::default(),
+                EnvConfig::default(),
+            )
+            .run(2)
+        };
+        let lustre = mk(Setup::VanillaLustre);
+        let local = mk(Setup::VanillaLocal);
+        let ratio = lustre.total_seconds() / local.total_seconds();
+        assert!((0.97..1.05).contains(&ratio), "ResNet-like should be flat: {ratio}");
+        // And utilisation reflects compute dominance.
+        assert!(lustre.gpu_util() > 0.8);
+    }
+
+    #[test]
+    fn gpu_util_rises_with_faster_storage() {
+        let lustre = run(Setup::VanillaLustre, 2, 3);
+        let local = run(Setup::VanillaLocal, 2, 3);
+        assert!(local.gpu_util() > lustre.gpu_util());
+        assert!(local.cpu_util() > lustre.cpu_util());
+    }
+
+    #[test]
+    fn sample_conservation() {
+        // Every epoch consumes exactly the dataset's record count — the
+        // trainer must neither starve nor over-consume.
+        let r = run(Setup::VanillaLustre, 1, 5);
+        let e = &r.epochs[0];
+        // All bytes were read exactly once.
+        assert_eq!(e.devices[r.pfs_device].bytes_read(), mini().total_bytes());
+    }
+}

@@ -1,0 +1,993 @@
+//! The event-driven training world (see module docs in `sim`).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use monarch_core::config::PolicyKind;
+use monarch_core::driver::MemDriver;
+use monarch_core::hash::FxHashMap;
+use monarch_core::hierarchy::StorageHierarchy;
+use monarch_core::metadata::{MetadataContainer, PlacementState};
+use monarch_core::placement::{FirstFit, LruEvict, PlacementPolicy, RoundRobin};
+use monarch_core::StorageDriver;
+use simfs::clock::SimTime;
+use simfs::interference::Interference;
+use simfs::psdev::{Kind, PsDevice};
+use simfs::rng::SimRng;
+use simfs::{DeviceStats, EventQueue, Mds};
+
+use crate::config::{DeviceSpec, EnvConfig, PipelineConfig, Setup, SimTierKind};
+use crate::geometry::DatasetGeom;
+use crate::models::ModelProfile;
+use crate::report::{EpochReport, RunReport};
+
+/// Events of the training world.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A device may have finished transfers (generation pattern).
+    DevWake { dev: usize, gen: u64 },
+    /// An MDS open issued by a reader completed.
+    MdsDone { reader: usize },
+    /// The trainer finished a step.
+    ComputeDone,
+    /// Background-load regime shift on the PFS.
+    InterferenceShift,
+    /// Begin the next epoch (used by the caching flush barrier).
+    StartEpoch,
+    /// Begin pre-staging the dataset (placement option (i)).
+    StartPrestage,
+    /// Sample the PFS throughput (tracing only).
+    TraceTick,
+}
+
+/// Why a transfer was issued.
+#[derive(Debug, Clone, Copy)]
+enum Purpose {
+    /// A reader's chunk read; payload samples enter the prefetch buffer.
+    Chunk { reader: usize, shard: usize },
+    /// MONARCH placement: full-shard fetch from the PFS.
+    CopyFetch { shard: usize },
+    /// MONARCH placement: full-shard write to the destination tier.
+    CopyWrite { shard: usize },
+    /// Chunk-granular cache spill (vanilla-caching, or MONARCH with the
+    /// full-file-fetch optimisation disabled).
+    CacheWrite { shard: usize },
+}
+
+struct Dev {
+    ps: PsDevice,
+    spec: DeviceSpec,
+    /// Generation for which a wake event has been scheduled.
+    scheduled_gen: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct Reader {
+    /// Shards this reader still has to stream this epoch.
+    pending: VecDeque<usize>,
+    /// Current shard and next byte offset.
+    cur: Option<(usize, u64)>,
+    /// An MDS open or a chunk transfer is outstanding.
+    inflight: bool,
+    /// Finished its share of the epoch.
+    done: bool,
+}
+
+/// Which serving logic the run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModeTag {
+    VanillaLustre,
+    VanillaLocal,
+    VanillaCaching,
+    Monarch,
+}
+
+/// MONARCH state inside the simulation — built from the *real*
+/// `monarch-core` components (metadata container, hierarchy quotas,
+/// placement policy), with the copy pool modelled as K servers.
+struct MonarchSim {
+    meta: MetadataContainer,
+    hierarchy: StorageHierarchy,
+    policy: Arc<dyn PlacementPolicy>,
+    /// Tier id → device index.
+    tier_dev: Vec<usize>,
+    /// Shards waiting for a copy worker.
+    copy_queue: VecDeque<usize>,
+    idle_workers: usize,
+    /// Configured pool size (fetch-slot count and write-stage bound).
+    pool_threads: usize,
+    /// In-flight placement writes (stage 2). The paper submits the fetch
+    /// and the write as separate pool tasks (§III-B, operations ③/④), so
+    /// a worker slot frees at fetch completion; this bound keeps the
+    /// write stage from running arbitrarily far ahead of the SSD.
+    pending_copy_writes: usize,
+    /// Destination tier of an in-flight copy, per shard.
+    copy_target: FxHashMap<usize, usize>,
+    full_fetch: bool,
+    /// Placement option (i): stage everything before the first epoch.
+    prestage: bool,
+    /// Chunk-cache mode (full_fetch = false): bytes written per shard.
+    chunk_written: FxHashMap<usize, u64>,
+    /// Placement skips (no tier had room).
+    skips: u64,
+}
+
+/// Discrete-event trainer for one `(setup, dataset, model)` combination.
+pub struct SimTrainer {
+    setup: Setup,
+    geom: DatasetGeom,
+    model: ModelProfile,
+    pipeline: PipelineConfig,
+    env: EnvConfig,
+}
+
+impl SimTrainer {
+    /// Assemble a trainer.
+    #[must_use]
+    pub fn new(
+        setup: Setup,
+        geom: DatasetGeom,
+        model: ModelProfile,
+        pipeline: PipelineConfig,
+        env: EnvConfig,
+    ) -> Self {
+        Self { setup, geom, model, pipeline, env }
+    }
+
+    /// Run `epochs` training epochs, returning the measurements.
+    #[must_use]
+    pub fn run(&self, epochs: usize) -> RunReport {
+        World::build(self).run(epochs)
+    }
+}
+
+struct World {
+    q: EventQueue<Ev>,
+    devs: Vec<Dev>,
+    mds: Mds,
+    interference: Interference,
+    rng: SimRng,
+    /// Device index of the PFS (always last).
+    lustre: usize,
+    /// Device index of the local SSD (always 0).
+    ssd: usize,
+
+    geom: DatasetGeom,
+    shard_names: Vec<String>,
+    /// records / bytes per shard (samples carried per byte).
+    samples_per_byte: Vec<f64>,
+    chunk_bytes: u64,
+
+    mode: ModeTag,
+    monarch: Option<MonarchSim>,
+    /// Fair-share weight of bulk placement fetches on the PFS.
+    bulk_share: f64,
+    /// tf.data cache volume expansion (see `EnvConfig::cache_expansion`).
+    cache_expansion: f64,
+    /// Outstanding cache-spill writes (caching flush barrier).
+    pending_cache_writes: u64,
+    /// Back-pressure bound on in-flight spill writes: the writer pool of
+    /// tf.data's cache is finite, so readers stall rather than letting
+    /// writes pile up without bound.
+    cache_write_limit: u64,
+
+    readers: Vec<Reader>,
+    purpose: FxHashMap<(usize, u64), Purpose>,
+
+    buffered_samples: f64,
+    inflight_samples: f64,
+    buffer_cap: f64,
+
+    computing: bool,
+    cur_batch: f64,
+    consumed: f64,
+    epoch_samples: f64,
+    gpu_busy: f64,
+
+    model: ModelProfile,
+    epoch: usize,
+    epochs_total: usize,
+    epoch_start: SimTime,
+    /// Instant pre-staging began (option (i) runs only).
+    prestage_started: SimTime,
+    /// Pre-staging in progress (training has not started yet).
+    prestaging: bool,
+    dev_snapshot: Vec<DeviceStats>,
+    reports: Vec<EpochReport>,
+    metadata_init_seconds: f64,
+    prestage_seconds: f64,
+    /// Throughput tracing: sampling interval, last (time, pfs bytes), series.
+    trace_interval: Option<SimTime>,
+    trace_last: (SimTime, u64),
+    trace_series: Vec<(f64, f64)>,
+}
+
+impl World {
+    fn build(t: &SimTrainer) -> Self {
+        let rng = SimRng::new(t.pipeline.seed ^ 0x4d4f_4e41);
+        let mk_dev = |spec: &DeviceSpec| Dev {
+            ps: PsDevice::new(spec.name.clone(), spec.bandwidth, spec.stream_cap),
+            spec: spec.clone(),
+            scheduled_gen: None,
+        };
+
+        // Device table. Index 0 = SSD, optional RAM in between for the
+        // multi-tier ablation, last = Lustre.
+        let (mode, monarch, devs): (ModeTag, Option<MonarchSim>, Vec<Dev>) = match &t.setup {
+            Setup::VanillaLustre => (
+                ModeTag::VanillaLustre,
+                None,
+                vec![mk_dev(&t.env.ssd), mk_dev(&t.env.lustre)],
+            ),
+            Setup::VanillaLocal => (
+                ModeTag::VanillaLocal,
+                None,
+                vec![mk_dev(&t.env.ssd), mk_dev(&t.env.lustre)],
+            ),
+            Setup::VanillaCaching => (
+                ModeTag::VanillaCaching,
+                None,
+                vec![mk_dev(&t.env.ssd), mk_dev(&t.env.lustre)],
+            ),
+            Setup::Monarch(cfg) => {
+                // Devices: one per local tier (dedup by kind), plus Lustre.
+                let mut devs = Vec::new();
+                let mut tier_dev = Vec::new();
+                for (kind, _) in &cfg.tiers {
+                    let spec = match kind {
+                        SimTierKind::Ssd => &t.env.ssd,
+                        SimTierKind::Ram => &t.env.ram,
+                    };
+                    devs.push(mk_dev(spec));
+                    tier_dev.push(devs.len() - 1);
+                }
+                devs.push(mk_dev(&t.env.lustre));
+                tier_dev.push(devs.len() - 1); // source tier -> lustre dev
+
+                // Real monarch-core decision components. The drivers are
+                // capacity-only stand-ins: the policy reads quotas, never
+                // bytes.
+                let levels: Vec<(String, Arc<dyn StorageDriver>, Option<u64>)> = cfg
+                    .tiers
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (kind, cap))| {
+                        let name = match kind {
+                            SimTierKind::Ssd => format!("ssd{i}"),
+                            SimTierKind::Ram => format!("ram{i}"),
+                        };
+                        (
+                            name.clone(),
+                            Arc::new(MemDriver::new(name)) as Arc<dyn StorageDriver>,
+                            Some(*cap),
+                        )
+                    })
+                    .chain(std::iter::once((
+                        "lustre".to_string(),
+                        Arc::new(MemDriver::new("lustre")) as Arc<dyn StorageDriver>,
+                        None,
+                    )))
+                    .collect();
+                let hierarchy = StorageHierarchy::new(levels).expect("valid sim hierarchy");
+                let policy: Arc<dyn PlacementPolicy> = match cfg.policy {
+                    PolicyKind::FirstFit => Arc::new(FirstFit),
+                    PolicyKind::RoundRobin => Arc::new(RoundRobin::default()),
+                    PolicyKind::LruEvict => Arc::new(LruEvict::new()),
+                };
+                let ms = MonarchSim {
+                    meta: MetadataContainer::default(),
+                    hierarchy,
+                    policy,
+                    tier_dev,
+                    copy_queue: VecDeque::new(),
+                    idle_workers: cfg.pool_threads.max(1),
+                    pool_threads: cfg.pool_threads.max(1),
+                    pending_copy_writes: 0,
+                    copy_target: FxHashMap::default(),
+                    full_fetch: cfg.full_file_fetch,
+                    prestage: cfg.prestage,
+                    chunk_written: FxHashMap::default(),
+                    skips: 0,
+                };
+                (ModeTag::Monarch, Some(ms), devs)
+            }
+        };
+
+        let lustre = devs.len() - 1;
+        let shard_names: Vec<String> =
+            (0..t.geom.num_shards()).map(DatasetGeom::shard_name).collect();
+        let samples_per_byte: Vec<f64> = t
+            .geom
+            .shards
+            .iter()
+            .map(|s| s.records as f64 / s.bytes as f64)
+            .collect();
+        let interference = if t.env.interference {
+            Interference::lustre_default()
+        } else {
+            Interference::none()
+        };
+        let buffer_cap = (t.pipeline.prefetch_batches * t.model.batch_size) as f64;
+        let dev_count = devs.len();
+
+        World {
+            q: EventQueue::new(),
+            devs,
+            mds: Mds::new(SimTime::from_secs_f64(t.env.mds_service_median), t.env.mds_sigma),
+            interference,
+            lustre,
+            ssd: 0,
+            geom: t.geom.clone(),
+            shard_names,
+            samples_per_byte,
+            chunk_bytes: t.pipeline.chunk_bytes,
+            mode,
+            monarch,
+            bulk_share: t.env.bulk_stream_share.max(1.0),
+            cache_expansion: t.env.cache_expansion.max(1.0),
+            pending_cache_writes: 0,
+            cache_write_limit: 4 * t.pipeline.readers.max(1) as u64,
+            readers: (0..t.pipeline.readers.max(1)).map(|_| Reader::default()).collect(),
+            purpose: FxHashMap::default(),
+            buffered_samples: 0.0,
+            inflight_samples: 0.0,
+            buffer_cap,
+            computing: false,
+            cur_batch: 0.0,
+            consumed: 0.0,
+            epoch_samples: t.geom.total_records() as f64,
+            gpu_busy: 0.0,
+            model: t.model.clone(),
+            epoch: 0,
+            epochs_total: 0,
+            epoch_start: SimTime::ZERO,
+            prestage_started: SimTime::ZERO,
+            prestaging: false,
+            dev_snapshot: vec![DeviceStats::default(); dev_count],
+            reports: Vec::new(),
+            metadata_init_seconds: 0.0,
+            prestage_seconds: 0.0,
+            trace_interval: t
+                .pipeline
+                .trace_interval_secs
+                .map(SimTime::from_secs_f64),
+            trace_last: (SimTime::ZERO, 0),
+            trace_series: Vec::new(),
+            rng,
+        }
+    }
+
+    // -- top-level loop ----------------------------------------------------
+
+    fn run(mut self, epochs: usize) -> RunReport {
+        self.epochs_total = epochs;
+
+        // MONARCH initialises its namespace by scanning the dataset
+        // directory: one MDS op per shard (paper: ≈13 s / ≈52 s).
+        if let Some(ms) = self.monarch.as_ref() {
+            let mut done = SimTime::ZERO;
+            for (i, shard) in self.geom.shards.iter().enumerate() {
+                done = self.mds.submit(done, &mut self.rng);
+                ms.meta.register(&self.shard_names[i], shard.bytes, ms.tier_dev.len() - 1);
+            }
+            self.metadata_init_seconds = done.as_secs_f64();
+            if ms.prestage {
+                // Placement option (i): stage before training; the first
+                // epoch starts when staging drains (see CopyWrite handler).
+                self.q.schedule(done, Ev::StartPrestage);
+            } else {
+                // Training starts after the scan (option ii).
+                self.q.schedule(done, Ev::StartEpoch);
+            }
+        } else {
+            self.q.schedule(SimTime::ZERO, Ev::StartEpoch);
+        }
+
+        // Interference chain on the PFS.
+        self.q.schedule(SimTime::ZERO, Ev::InterferenceShift);
+        if let Some(dt) = self.trace_interval {
+            self.q.schedule(dt, Ev::TraceTick);
+        }
+
+        // Runaway guard: hitting the cap means a livelock, not a big run.
+        let event_cap: u64 = std::env::var("MONARCH_SIM_EVENT_CAP")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2_000_000_000);
+        while self.reports.len() < self.epochs_total {
+            let Some((t, ev)) = self.q.pop() else {
+                panic!(
+                    "event queue drained before epoch {} finished \
+                     (buffered={}, consumed={}/{}, readers done: {})",
+                    self.epoch,
+                    self.buffered_samples,
+                    self.consumed,
+                    self.epoch_samples,
+                    self.readers.iter().filter(|r| r.done).count(),
+                );
+            };
+            self.handle(t, ev);
+            self.resched_devices();
+            assert!(
+                self.q.processed() < event_cap,
+                "runaway simulation: epoch {} t={:?} buffered={} inflight={} consumed={}/{} \
+                 readers done {} computing={} pending_writes={} pending_events={}",
+                self.epoch,
+                t,
+                self.buffered_samples,
+                self.inflight_samples,
+                self.consumed,
+                self.epoch_samples,
+                self.readers.iter().filter(|r| r.done).count(),
+                self.computing,
+                self.pending_cache_writes,
+                self.q.len(),
+            );
+        }
+
+        let device_names = self.devs.iter().map(|d| d.spec.name.clone()).collect();
+        RunReport {
+            setup: match self.mode {
+                ModeTag::VanillaLustre => "vanilla-lustre",
+                ModeTag::VanillaLocal => "vanilla-local",
+                ModeTag::VanillaCaching => "vanilla-caching",
+                ModeTag::Monarch => "monarch",
+            }
+            .to_string(),
+            model: self.model.name.clone(),
+            dataset: self.geom.name.clone(),
+            device_names,
+            pfs_device: self.lustre,
+            metadata_init_seconds: self.metadata_init_seconds,
+            prestage_seconds: self.prestage_seconds,
+            pfs_throughput_series: self.trace_series,
+            epochs: self.reports,
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::DevWake { dev, gen } => {
+                if self.devs[dev].ps.generation() != gen {
+                    return; // stale wake
+                }
+                let finished = self.devs[dev].ps.collect_finished(now);
+                // Force a reschedule even if nothing finished (arm-time
+                // wakes leave the generation untouched).
+                self.devs[dev].scheduled_gen = None;
+                for (id, _kind, bytes) in finished {
+                    let purpose = self
+                        .purpose
+                        .remove(&(dev, id.0))
+                        .expect("every transfer has a purpose");
+                    self.on_transfer_done(now, dev, purpose, bytes);
+                }
+            }
+            Ev::MdsDone { reader } => {
+                // The reader's current shard is open; issue its first chunk.
+                self.readers[reader].inflight = false;
+                self.reader_advance(now, reader);
+            }
+            Ev::ComputeDone => self.on_compute_done(now),
+            Ev::InterferenceShift => {
+                // Apply the chain's *current* regime now; the next regime
+                // takes effect when the next shift event fires.
+                let frac = self.interference.current_fraction();
+                let lustre = self.lustre;
+                if self.devs[lustre].spec.interference {
+                    self.devs[lustre].ps.set_scale(now, frac);
+                }
+                let (at, _next) = self.interference.step(now, &mut self.rng);
+                self.q.schedule(at, Ev::InterferenceShift);
+            }
+            Ev::StartEpoch => self.begin_epoch(now),
+            Ev::TraceTick => {
+                let bytes = self.devs[self.lustre].ps.stats().bytes_read();
+                let dt = (now - self.trace_last.0).as_secs_f64();
+                if dt > 0.0 {
+                    let rate = (bytes - self.trace_last.1) as f64 / dt;
+                    self.trace_series.push((now.as_secs_f64(), rate));
+                }
+                self.trace_last = (now, bytes);
+                if let Some(interval) = self.trace_interval {
+                    self.q.schedule(now + interval, Ev::TraceTick);
+                }
+            }
+            Ev::StartPrestage => {
+                self.prestage_started = now;
+                self.prestaging = true;
+                let ms = self.monarch.as_mut().expect("prestage implies monarch");
+                let source = ms.tier_dev.len() - 1;
+                for i in 0..self.geom.num_shards() {
+                    if ms.meta.begin_copy(&self.shard_names[i], source).unwrap_or(false) {
+                        ms.copy_queue.push_back(i);
+                    }
+                }
+                if self.monarch.as_ref().unwrap().copy_queue.is_empty() {
+                    self.q.schedule(now, Ev::StartEpoch);
+                } else {
+                    self.dispatch_copy_workers(now);
+                }
+            }
+        }
+    }
+
+    /// Keep every device's pending wake event in sync with its state.
+    fn resched_devices(&mut self) {
+        for i in 0..self.devs.len() {
+            let gen = self.devs[i].ps.generation();
+            if self.devs[i].scheduled_gen == Some(gen) {
+                continue;
+            }
+            if let Some(at) = self.devs[i].ps.next_wake() {
+                self.q.schedule(at.max(self.q.now()), Ev::DevWake { dev: i, gen });
+            }
+            self.devs[i].scheduled_gen = Some(gen);
+        }
+    }
+
+    // -- epoch lifecycle ---------------------------------------------------
+
+    fn begin_epoch(&mut self, now: SimTime) {
+        debug_assert!(
+            self.inflight_samples.abs() < 0.5
+                && self.readers.iter().all(|r| !r.inflight),
+            "epoch {} started with chunks in flight: inflight={} readers={:?}",
+            self.epoch,
+            self.inflight_samples,
+            self.readers.iter().map(|r| r.inflight).collect::<Vec<_>>(),
+        );
+        self.epoch_start = now;
+        self.consumed = 0.0;
+        self.gpu_busy = 0.0;
+        self.buffered_samples = 0.0;
+        self.inflight_samples = 0.0;
+        for (i, d) in self.devs.iter().enumerate() {
+            self.dev_snapshot[i] = d.ps.stats().clone();
+        }
+
+        // tf.data: shuffle the shard list, then deal shards to the readers
+        // round-robin (parallel interleave with cycle length = readers).
+        let mut order: Vec<usize> = (0..self.geom.num_shards()).collect();
+        self.rng.shuffle(&mut order);
+        for r in &mut self.readers {
+            r.pending.clear();
+            r.cur = None;
+            r.inflight = false;
+            r.done = false;
+        }
+        let n = self.readers.len();
+        for (i, shard) in order.into_iter().enumerate() {
+            self.readers[i % n].pending.push_back(shard);
+        }
+        for r in 0..n {
+            self.reader_advance(now, r);
+        }
+    }
+
+    fn end_epoch(&mut self, now: SimTime) {
+        let seconds = (now - self.epoch_start).as_secs_f64();
+        let devices: Vec<DeviceStats> = self
+            .devs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| d.ps.stats().delta_since(&self.dev_snapshot[i]))
+            .collect();
+        let cpu_work = self.consumed * self.model.cpu_per_sample;
+        self.reports.push(EpochReport {
+            epoch: self.epoch,
+            seconds,
+            devices,
+            gpu_util: if seconds > 0.0 { self.gpu_busy / seconds } else { 0.0 },
+            cpu_util: if seconds > 0.0 { cpu_work / seconds } else { 0.0 },
+        });
+        self.epoch += 1;
+        if self.epoch >= self.epochs_total {
+            return;
+        }
+        // Start the next epoch synchronously: a queued StartEpoch would
+        // leave a window in which another completion event could observe
+        // the "everything done" state and end the epoch twice.
+        self.begin_epoch(now);
+    }
+
+    fn maybe_finish_epoch(&mut self, now: SimTime) {
+        if self.reports.len() >= self.epochs_total {
+            return;
+        }
+        if self.computing || self.buffered_samples > 0.25 {
+            return;
+        }
+        // Vanilla-caching: the epoch is not over until the cache file is
+        // flushed — tf.data finalises the cache at iterator exhaustion, so
+        // the flush tail is part of the measured epoch time.
+        if self.mode == ModeTag::VanillaCaching && self.pending_cache_writes > 0 {
+            return;
+        }
+        if self.readers.iter().all(|r| r.done) {
+            debug_assert!(
+                (self.consumed - self.epoch_samples).abs() < 1.0,
+                "epoch ended with {} of {} samples consumed",
+                self.consumed,
+                self.epoch_samples
+            );
+            self.end_epoch(now);
+        }
+    }
+
+    // -- readers -----------------------------------------------------------
+
+    /// Device that serves a chunk of `shard` right now; MONARCH may also
+    /// kick off a background placement as a side effect (first touch).
+    fn route_chunk(&mut self, now: SimTime, shard: usize) -> usize {
+        match self.mode {
+            ModeTag::VanillaLustre => self.lustre,
+            ModeTag::VanillaLocal => self.ssd,
+            ModeTag::VanillaCaching => {
+                if self.epoch == 0 {
+                    self.lustre
+                } else {
+                    self.ssd
+                }
+            }
+            ModeTag::Monarch => {
+                let name = &self.shard_names[shard];
+                let ms = self.monarch.as_mut().expect("monarch state");
+                let info = ms.meta.lookup_for_read(name).expect("shard registered");
+                ms.policy.on_access(name, info.tier);
+                let dev = ms.tier_dev[info.tier];
+                if info.state == PlacementState::Unplaced {
+                    if ms.full_fetch {
+                        if ms.meta.begin_copy(name, 0).unwrap_or(false) {
+                            ms.copy_queue.push_back(shard);
+                            self.dispatch_copy_workers(now);
+                        }
+                    } else {
+                        // Ablation: chunk-granular caching. Reserve quota
+                        // once per shard; spill each chunk as it is read.
+                        if ms.meta.begin_copy(name, 0).unwrap_or(false) {
+                            let size = self.geom.shards[shard].bytes;
+                            match ms.policy.place(&ms.hierarchy, name, size) {
+                                Ok(Some(d)) => {
+                                    ms.copy_target.insert(shard, d.tier);
+                                    ms.chunk_written.insert(shard, 0);
+                                }
+                                _ => {
+                                    ms.skips += 1;
+                                    let _ = ms.meta.abort_copy(name, true);
+                                }
+                            }
+                        }
+                    }
+                }
+                dev
+            }
+        }
+    }
+
+    fn buffer_full(&self) -> bool {
+        self.buffered_samples + self.inflight_samples >= self.buffer_cap
+    }
+
+    /// Spill-write back-pressure: stall readers while too many cache
+    /// writes are in flight (applies to the setups that spill per chunk).
+    fn spill_backpressure(&self) -> bool {
+        let spilling = match self.mode {
+            ModeTag::VanillaCaching => self.epoch == 0,
+            ModeTag::Monarch => {
+                self.monarch.as_ref().is_some_and(|ms| !ms.full_fetch)
+            }
+            _ => false,
+        };
+        spilling && self.pending_cache_writes >= self.cache_write_limit
+    }
+
+    /// Let reader `r` issue its next operation if it can.
+    fn reader_advance(&mut self, now: SimTime, r: usize) {
+        if self.readers[r].inflight
+            || self.readers[r].done
+            || self.buffer_full()
+            || self.spill_backpressure()
+        {
+            return;
+        }
+        // Continue the current shard if it still has bytes.
+        if let Some((s, off)) = self.readers[r].cur {
+            if off < self.geom.shards[s].bytes {
+                self.issue_chunk(now, r, s, off);
+                return;
+            }
+        }
+        // Otherwise move on to the next assigned shard.
+        match self.readers[r].pending.pop_front() {
+            Some(next) => {
+                self.readers[r].cur = Some((next, 0));
+                // A freshly started shard served by Lustre pays an MDS
+                // open before its first chunk.
+                let dev = self.route_chunk(now, next);
+                if dev == self.lustre {
+                    let done = self.mds.submit(now, &mut self.rng);
+                    self.readers[r].inflight = true;
+                    self.q.schedule(done, Ev::MdsDone { reader: r });
+                } else {
+                    self.issue_chunk(now, r, next, 0);
+                }
+            }
+            None => {
+                self.readers[r].done = true;
+                self.maybe_finish_epoch(now);
+            }
+        }
+    }
+
+    fn issue_chunk(&mut self, now: SimTime, r: usize, shard: usize, offset: u64) {
+        let total = self.geom.shards[shard].bytes;
+        let len = self.chunk_bytes.min(total - offset);
+        let dev = self.route_chunk(now, shard);
+        let latency = self.sample_latency(dev);
+        let sync_cap = self.devs[dev].spec.sync_stream_cap;
+        // Epoch ≥ 2 of vanilla-caching reads the expanded cache files.
+        let weight = if self.mode == ModeTag::VanillaCaching && self.epoch > 0 {
+            self.cache_expansion
+        } else {
+            1.0
+        };
+        let id = self.devs[dev].ps.start_custom(
+            now,
+            len,
+            latency,
+            Kind::Read,
+            weight,
+            1.0,
+            Some(sync_cap),
+        );
+        self.purpose.insert((dev, id.0), Purpose::Chunk { reader: r, shard });
+        self.readers[r].cur = Some((shard, offset + len));
+        self.readers[r].inflight = true;
+        self.inflight_samples += len as f64 * self.samples_per_byte[shard];
+    }
+
+    fn sample_latency(&mut self, dev: usize) -> SimTime {
+        let spec = &self.devs[dev].spec;
+        let s = self.rng.lognormal(spec.latency_median, spec.latency_sigma);
+        SimTime::from_secs_f64(s)
+    }
+
+    // -- transfer completions ----------------------------------------------
+
+    fn on_transfer_done(&mut self, now: SimTime, dev: usize, purpose: Purpose, bytes: u64) {
+        match purpose {
+            Purpose::Chunk { reader, shard } => {
+                let samples = bytes as f64 * self.samples_per_byte[shard];
+                self.inflight_samples -= samples;
+                debug_assert!(
+                    self.inflight_samples > -0.5,
+                    "inflight underflow: epoch {} reader {reader} shard {shard} bytes {bytes} \
+                     inflight {}",
+                    self.epoch,
+                    self.inflight_samples
+                );
+                self.buffered_samples += samples;
+                self.readers[reader].inflight = false;
+
+                // Cache spills: vanilla-caching epoch 1, or MONARCH with
+                // the full-file fetch disabled.
+                let spill_to = match self.mode {
+                    ModeTag::VanillaCaching if self.epoch == 0 && dev == self.lustre => {
+                        Some((self.ssd, shard))
+                    }
+                    ModeTag::Monarch if dev == self.lustre => {
+                        let ms = self.monarch.as_ref().expect("monarch");
+                        if !ms.full_fetch {
+                            ms.copy_target
+                                .get(&shard)
+                                .map(|&tier| (ms.tier_dev[tier], shard))
+                        } else {
+                            None
+                        }
+                    }
+                    _ => None,
+                };
+                if let Some((to, shard)) = spill_to {
+                    // tf.data's cache spills the expanded record form;
+                    // MONARCH's chunk-cache ablation spills raw bytes.
+                    let expansion = if self.mode == ModeTag::VanillaCaching {
+                        self.cache_expansion
+                    } else {
+                        1.0
+                    };
+                    let weight = self.devs[to].spec.write_weight * expansion;
+                    let latency = self.sample_latency(to);
+                    let id = self.devs[to].ps.start(now, bytes, latency, Kind::Write, weight);
+                    self.purpose.insert((to, id.0), Purpose::CacheWrite { shard });
+                    self.pending_cache_writes += 1;
+                }
+
+                self.try_start_compute(now);
+                self.reader_advance(now, reader);
+                self.maybe_finish_epoch(now);
+            }
+            Purpose::CopyFetch { shard } => {
+                // Stage 2 of a placement copy: write to the chosen tier.
+                // The worker slot frees here — the write is a separate
+                // pool task in the paper's design. The write stream gets a
+                // moderate share boost: sequential, but it must not starve
+                // the readers now being served from this tier.
+                let share = 1.0;
+                let ms = self.monarch.as_mut().expect("monarch");
+                let tier = *ms.copy_target.get(&shard).expect("copy target recorded");
+                ms.idle_workers += 1;
+                ms.pending_copy_writes += 1;
+                let to = ms.tier_dev[tier];
+                let weight = self.devs[to].spec.write_weight;
+                let latency = self.sample_latency(to);
+                let id = self.devs[to].ps.start_weighted(
+                    now,
+                    bytes,
+                    latency,
+                    Kind::Write,
+                    weight,
+                    share,
+                );
+                self.purpose.insert((to, id.0), Purpose::CopyWrite { shard });
+                self.dispatch_copy_workers(now);
+            }
+            Purpose::CopyWrite { shard } => {
+                let name = self.shard_names[shard].clone();
+                let ms = self.monarch.as_mut().expect("monarch");
+                let tier = ms.copy_target.remove(&shard).expect("copy target");
+                ms.meta.finish_copy(&name, tier).expect("finish copy");
+                ms.policy.on_placed(&name, self.geom.shards[shard].bytes, tier);
+                ms.pending_copy_writes -= 1;
+                self.dispatch_copy_workers(now);
+                // Option (i): training starts once staging fully drains.
+                if self.prestaging {
+                    let ms = self.monarch.as_ref().expect("monarch");
+                    if ms.copy_queue.is_empty()
+                        && ms.pending_copy_writes == 0
+                        && ms.copy_target.is_empty()
+                        && ms.idle_workers == ms.pool_threads
+                    {
+                        self.prestaging = false;
+                        self.prestage_seconds = (now - self.prestage_started).as_secs_f64();
+                        self.q.schedule(now, Ev::StartEpoch);
+                    }
+                }
+            }
+            Purpose::CacheWrite { shard } => {
+                self.pending_cache_writes -= 1;
+                if self.mode == ModeTag::Monarch {
+                    // Chunk-cache ablation: mark the shard placed once all
+                    // of it has been spilled.
+                    let total = self.geom.shards[shard].bytes;
+                    let name = self.shard_names[shard].clone();
+                    let ms = self.monarch.as_mut().expect("monarch");
+                    if let Some(written) = ms.chunk_written.get_mut(&shard) {
+                        *written += bytes;
+                        if *written >= total {
+                            let tier = *ms.copy_target.get(&shard).expect("target");
+                            ms.copy_target.remove(&shard);
+                            ms.chunk_written.remove(&shard);
+                            ms.meta.finish_copy(&name, tier).expect("finish");
+                        }
+                    }
+                }
+                // A spill slot freed: unblock stalled readers, and let a
+                // flush-gated epoch end once the last write drains.
+                for r in 0..self.readers.len() {
+                    self.reader_advance(now, r);
+                }
+                self.maybe_finish_epoch(now);
+            }
+        }
+    }
+
+    // -- MONARCH copy pool ---------------------------------------------------
+
+    fn dispatch_copy_workers(&mut self, now: SimTime) {
+        loop {
+            let ms = self.monarch.as_mut().expect("monarch");
+            if ms.idle_workers == 0 || ms.pending_copy_writes >= 2 * ms.pool_threads {
+                return;
+            }
+            let Some(shard) = ms.copy_queue.pop_front() else { return };
+            let name = self.shard_names[shard].clone();
+            let size = self.geom.shards[shard].bytes;
+            match ms.policy.place(&ms.hierarchy, &name, size) {
+                Ok(Some(decision)) => {
+                    // Eviction-capable ablation policies: release victims.
+                    let mut reserved = decision.evict.is_empty();
+                    if !reserved {
+                        let tier = ms
+                            .hierarchy
+                            .tier(decision.tier)
+                            .expect("tier exists");
+                        for victim in &decision.evict {
+                            if let Some(vinfo) = ms.meta.get(victim) {
+                                if vinfo.tier == decision.tier {
+                                    ms.meta
+                                        .evict_to(victim, ms.hierarchy.source_id())
+                                        .expect("evict");
+                                    tier.quota
+                                        .as_ref()
+                                        .expect("local tier quota")
+                                        .release(vinfo.size);
+                                }
+                            }
+                        }
+                        reserved = tier
+                            .quota
+                            .as_ref()
+                            .expect("local tier quota")
+                            .try_reserve(size);
+                    }
+                    if !reserved {
+                        ms.skips += 1;
+                        let _ = ms.meta.abort_copy(&name, true);
+                        continue;
+                    }
+                    ms.copy_target.insert(shard, decision.tier);
+                    ms.idle_workers -= 1;
+                    let latency = self.sample_latency(self.lustre);
+                    let lustre = self.lustre;
+                    let share = self.bulk_share;
+                    let id = self.devs[lustre].ps.start_weighted(
+                        now,
+                        size,
+                        latency,
+                        Kind::Read,
+                        1.0,
+                        share,
+                    );
+                    self.purpose.insert((lustre, id.0), Purpose::CopyFetch { shard });
+                }
+                Ok(None) => {
+                    ms.skips += 1;
+                    let _ = ms.meta.abort_copy(&name, true);
+                }
+                Err(_) => unreachable!("sim policies are infallible"),
+            }
+        }
+    }
+
+    // -- trainer -------------------------------------------------------------
+
+    fn try_start_compute(&mut self, now: SimTime) {
+        if self.computing {
+            return;
+        }
+        let remaining = self.epoch_samples - self.consumed;
+        if remaining <= 0.25 {
+            return;
+        }
+        let batch = (self.model.batch_size as f64).min(remaining);
+        let readers_done = self.readers.iter().all(|r| r.done);
+        let take = if self.buffered_samples + 0.25 >= batch {
+            batch.min(self.buffered_samples)
+        } else if readers_done && self.buffered_samples > 0.25 {
+            // Final ragged batch.
+            self.buffered_samples
+        } else {
+            return;
+        };
+        self.buffered_samples -= take;
+        self.computing = true;
+        self.cur_batch = take;
+        let step = SimTime::from_secs_f64(take * self.model.per_sample_step);
+        self.q.schedule(now + step, Ev::ComputeDone);
+    }
+
+    fn on_compute_done(&mut self, now: SimTime) {
+        self.computing = false;
+        self.consumed += self.cur_batch;
+        self.gpu_busy +=
+            self.cur_batch * self.model.per_sample_step * self.model.gpu_fraction;
+        self.cur_batch = 0.0;
+        self.try_start_compute(now);
+        // The buffer drained: unblock any waiting readers.
+        for r in 0..self.readers.len() {
+            self.reader_advance(now, r);
+        }
+        self.maybe_finish_epoch(now);
+    }
+}

@@ -1,0 +1,24 @@
+//! Paper-scale smoke run (release-mode harnesses do the real figures).
+use dlpipe::config::*;
+use dlpipe::geometry::DatasetGeom;
+use dlpipe::models::ModelProfile;
+use dlpipe::sim::SimTrainer;
+
+#[test]
+#[ignore = "slow in debug; run explicitly or via the bench harness"]
+fn paper_scale_smoke() {
+    let g = DatasetGeom::imagenet_100g();
+    let start = std::time::Instant::now();
+    let r = SimTrainer::new(
+        Setup::VanillaLustre,
+        g,
+        ModelProfile::lenet(),
+        PipelineConfig::default(),
+        EnvConfig::default(),
+    )
+    .run(3);
+    println!("wall: {:?}", start.elapsed());
+    for e in &r.epochs {
+        println!("epoch {} {:.1}s ops={}", e.epoch, e.seconds, e.devices[r.pfs_device].data_ops());
+    }
+}

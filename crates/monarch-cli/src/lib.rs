@@ -1,0 +1,336 @@
+//! Library behind the `monarch` CLI binary (kept as a lib so the argument
+//! parser and command implementations are unit-testable).
+
+use std::path::PathBuf;
+
+use dlpipe::config::PipelineConfig;
+use dlpipe::real::{RealBackend, RealTrainer};
+use monarch_core::config::PolicyKind;
+use monarch_core::{Monarch, MonarchConfig};
+use tfrecord::synth::{generate, DatasetSpec};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a synthetic TFRecord dataset.
+    GenDataset {
+        /// Output directory.
+        dir: PathBuf,
+        /// Approximate total payload bytes.
+        bytes: u64,
+        /// Number of samples.
+        samples: u64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Initialise the middleware and pre-stage the dataset.
+    Stage {
+        /// Path to a `MonarchConfig` JSON file.
+        config: PathBuf,
+        /// Placement policy override.
+        policy: Option<PolicyKind>,
+    },
+    /// Initialise the middleware and print the namespace summary.
+    Inspect {
+        /// Path to a `MonarchConfig` JSON file.
+        config: PathBuf,
+    },
+    /// Stream the dataset through the middleware for N epochs.
+    Epoch {
+        /// Path to a `MonarchConfig` JSON file.
+        config: PathBuf,
+        /// Dataset directory (logical namespace root — the PFS tier).
+        data: PathBuf,
+        /// Parallel readers.
+        readers: usize,
+        /// Chunk size per read, bytes.
+        chunk: u64,
+        /// Number of epochs.
+        epochs: usize,
+    },
+}
+
+impl Command {
+    /// Usage text.
+    #[must_use]
+    pub fn usage() -> &'static str {
+        "usage:\n  \
+         monarch gen-dataset --dir DIR --bytes N --samples N [--seed N]\n  \
+         monarch stage       --config CFG.json [--policy first_fit|lru_evict|round_robin]\n  \
+         monarch inspect     --config CFG.json\n  \
+         monarch epoch       --config CFG.json --data DIR [--readers N] [--chunk BYTES] [--epochs N]"
+    }
+
+    /// Parse an argument vector (without the program name).
+    pub fn parse(args: &[String]) -> Result<Command, String> {
+        let mut it = args.iter();
+        let sub = it.next().ok_or("missing subcommand")?;
+        let mut flags = std::collections::BTreeMap::new();
+        let mut key: Option<String> = None;
+        for a in it {
+            if let Some(stripped) = a.strip_prefix("--") {
+                if let Some(k) = key.take() {
+                    return Err(format!("flag --{k} is missing a value"));
+                }
+                key = Some(stripped.to_string());
+            } else if let Some(k) = key.take() {
+                flags.insert(k, a.clone());
+            } else {
+                return Err(format!("unexpected argument: {a}"));
+            }
+        }
+        if let Some(k) = key {
+            return Err(format!("flag --{k} is missing a value"));
+        }
+        let get = |k: &str| -> Result<String, String> {
+            flags.get(k).cloned().ok_or_else(|| format!("missing --{k}"))
+        };
+        let get_u64 = |k: &str, default: Option<u64>| -> Result<u64, String> {
+            match flags.get(k) {
+                Some(v) => v.parse().map_err(|_| format!("--{k} wants a number, got {v}")),
+                None => default.ok_or_else(|| format!("missing --{k}")),
+            }
+        };
+        match sub.as_str() {
+            "gen-dataset" => Ok(Command::GenDataset {
+                dir: PathBuf::from(get("dir")?),
+                bytes: get_u64("bytes", None)?,
+                samples: get_u64("samples", None)?,
+                seed: get_u64("seed", Some(1))?,
+            }),
+            "stage" => Ok(Command::Stage {
+                config: PathBuf::from(get("config")?),
+                policy: match flags.get("policy").map(String::as_str) {
+                    None => None,
+                    Some("first_fit") => Some(PolicyKind::FirstFit),
+                    Some("lru_evict") => Some(PolicyKind::LruEvict),
+                    Some("round_robin") => Some(PolicyKind::RoundRobin),
+                    Some(other) => return Err(format!("unknown policy: {other}")),
+                },
+            }),
+            "inspect" => Ok(Command::Inspect { config: PathBuf::from(get("config")?) }),
+            "epoch" => Ok(Command::Epoch {
+                config: PathBuf::from(get("config")?),
+                data: PathBuf::from(get("data")?),
+                readers: get_u64("readers", Some(8))? as usize,
+                chunk: get_u64("chunk", Some(256 << 10))?,
+                epochs: get_u64("epochs", Some(3))? as usize,
+            }),
+            other => Err(format!("unknown subcommand: {other}")),
+        }
+    }
+}
+
+/// Load a `MonarchConfig` from a JSON file, optionally overriding the
+/// policy, and build + init the middleware.
+fn load_monarch(config: &PathBuf, policy: Option<PolicyKind>) -> Result<Monarch, String> {
+    let json = std::fs::read_to_string(config)
+        .map_err(|e| format!("read {}: {e}", config.display()))?;
+    let mut cfg = MonarchConfig::from_json(&json).map_err(|e| format!("parse config: {e}"))?;
+    if let Some(p) = policy {
+        cfg.policy = p;
+    }
+    let m = Monarch::new(cfg).map_err(|e| format!("build middleware: {e}"))?;
+    let report = m.init().map_err(|e| format!("namespace scan: {e}"))?;
+    println!(
+        "namespace: {} files, {:.1} MiB, scanned in {:?}",
+        report.files,
+        report.bytes as f64 / (1 << 20) as f64,
+        report.elapsed
+    );
+    Ok(m)
+}
+
+/// Execute a parsed command.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::GenDataset { dir, bytes, samples, seed } => {
+            let spec = DatasetSpec::miniature(bytes, samples, seed);
+            let ds = generate(&spec, &dir).map_err(|e| e.to_string())?;
+            println!(
+                "wrote {} records / {:.1} MiB across {} shards under {}",
+                ds.total_records,
+                ds.total_bytes as f64 / (1 << 20) as f64,
+                ds.shards.len(),
+                dir.display()
+            );
+            Ok(())
+        }
+        Command::Stage { config, policy } => {
+            let m = load_monarch(&config, policy)?;
+            let scheduled = m.prestage();
+            m.wait_placement_idle();
+            let stats = m.stats();
+            println!(
+                "staged: {scheduled} scheduled, {} completed, {} skipped (no room), {} failed",
+                stats.copies_completed, stats.placement_skipped, stats.copies_failed
+            );
+            let hist = m.metadata().residency_histogram(m.hierarchy().levels());
+            println!("residency per tier: {hist:?}");
+            Ok(())
+        }
+        Command::Inspect { config } => {
+            let m = load_monarch(&config, None)?;
+            for tier in m.hierarchy().tiers() {
+                match tier.quota.as_ref() {
+                    Some(q) => println!(
+                        "tier {} ({}): {:.1} / {:.1} MiB used",
+                        tier.id,
+                        tier.name,
+                        q.used() as f64 / (1 << 20) as f64,
+                        q.capacity() as f64 / (1 << 20) as f64
+                    ),
+                    None => println!("tier {} ({}): source (read-only)", tier.id, tier.name),
+                }
+            }
+            println!(
+                "stats: {}",
+                serde_json::to_string_pretty(&m.stats()).map_err(|e| e.to_string())?
+            );
+            Ok(())
+        }
+        Command::Epoch { config, data, readers, chunk, epochs } => {
+            let m = std::sync::Arc::new(load_monarch(&config, None)?);
+            let trainer = RealTrainer::new(
+                RealBackend::Monarch(std::sync::Arc::clone(&m)),
+                &data,
+                PipelineConfig { readers, chunk_bytes: chunk, prefetch_batches: 4, seed: 1, trace_interval_secs: None },
+            )
+            .map_err(|e| e.to_string())?;
+            for epoch in 0..epochs {
+                let before = m.stats();
+                let e = trainer.run_epoch(epoch).map_err(|e| e.to_string())?;
+                m.wait_placement_idle();
+                let after = m.stats();
+                let local =
+                    after.local_reads().saturating_sub(before.local_reads());
+                let pfs = after.pfs_reads().saturating_sub(before.pfs_reads());
+                println!(
+                    "epoch {}: {:.2}s, {} chunk reads ({:.1} MiB) — local {} / pfs {}",
+                    epoch + 1,
+                    e.seconds,
+                    e.chunk_reads,
+                    e.bytes as f64 / (1 << 20) as f64,
+                    local,
+                    pfs
+                );
+            }
+            println!(
+                "final stats: {}",
+                serde_json::to_string(&m.stats()).map_err(|e| e.to_string())?
+            );
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Command, String> {
+        let v: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Command::parse(&v)
+    }
+
+    #[test]
+    fn parses_gen_dataset() {
+        let cmd = parse(&[
+            "gen-dataset", "--dir", "/tmp/x", "--bytes", "1048576", "--samples", "64",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::GenDataset {
+                dir: PathBuf::from("/tmp/x"),
+                bytes: 1 << 20,
+                samples: 64,
+                seed: 1
+            }
+        );
+    }
+
+    #[test]
+    fn parses_stage_with_policy() {
+        let cmd =
+            parse(&["stage", "--config", "c.json", "--policy", "lru_evict"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Stage {
+                config: PathBuf::from("c.json"),
+                policy: Some(PolicyKind::LruEvict)
+            }
+        );
+    }
+
+    #[test]
+    fn parses_epoch_defaults() {
+        let cmd = parse(&["epoch", "--config", "c.json", "--data", "/d"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Epoch {
+                config: PathBuf::from("c.json"),
+                data: PathBuf::from("/d"),
+                readers: 8,
+                chunk: 256 << 10,
+                epochs: 3
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["bogus"]).is_err());
+        assert!(parse(&["stage"]).is_err(), "missing --config");
+        assert!(parse(&["stage", "--config"]).is_err(), "dangling flag");
+        assert!(parse(&["stage", "--config", "c", "--policy", "nope"]).is_err());
+        assert!(parse(&["epoch", "--config", "c", "--data", "/d", "--readers", "x"]).is_err());
+        assert!(parse(&["gen-dataset", "stray", "--dir", "x"]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_gen_stage_epoch() {
+        let root =
+            std::env::temp_dir().join(format!("monarch-cli-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let data = root.join("pfs");
+        run(Command::GenDataset {
+            dir: data.clone(),
+            bytes: 512 << 10,
+            samples: 32,
+            seed: 7,
+        })
+        .unwrap();
+
+        // Write a config pointing at the generated data.
+        let cfg = monarch_core::config::MonarchConfig::builder()
+            .tier(
+                monarch_core::config::TierConfig::posix(
+                    "ssd",
+                    root.join("ssd").to_string_lossy().to_string(),
+                )
+                .with_capacity(1 << 20),
+            )
+            .tier(monarch_core::config::TierConfig::posix(
+                "pfs",
+                data.to_string_lossy().to_string(),
+            ))
+            .pool_threads(2)
+            .build();
+        let cfg_path = root.join("cfg.json");
+        std::fs::write(&cfg_path, cfg.to_json()).unwrap();
+
+        run(Command::Stage { config: cfg_path.clone(), policy: None }).unwrap();
+        run(Command::Inspect { config: cfg_path.clone() }).unwrap();
+        run(Command::Epoch {
+            config: cfg_path,
+            data,
+            readers: 2,
+            chunk: 8 << 10,
+            epochs: 2,
+        })
+        .unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,29 @@
+//! `monarch` — command-line front end for the middleware.
+//!
+//! ```text
+//! monarch gen-dataset --dir DIR --bytes N --samples N [--seed N]
+//! monarch stage       --config CFG.json [--policy first_fit|lru_evict|round_robin]
+//! monarch inspect     --config CFG.json
+//! monarch epoch       --config CFG.json --data DIR [--readers N] [--chunk BYTES] [--epochs N]
+//! ```
+//!
+//! `stage` pre-places the dataset (placement option (i), §III-A);
+//! `epoch` streams the dataset through the middleware with the tf.data-like
+//! real trainer and prints per-epoch times and tier hit counts.
+
+use monarch_cli::{run, Command};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match Command::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", Command::usage());
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(cmd) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,206 @@
+//! Middleware configuration — the knobs the paper's "system designer"
+//! specifies before execution (§III-B): the ordered storage tiers, the
+//! placement policy, and the copy pool size.
+
+use serde::{Deserialize, Serialize};
+
+/// Backend kind for a tier.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum BackendKind {
+    /// Real directory tree (production path).
+    Posix {
+        /// Root directory of the backend.
+        path: String,
+    },
+    /// In-memory backend (tests, RAM tier).
+    Mem,
+}
+
+/// One tier of the hierarchy, ordered fastest-first; the final entry is the
+/// read-only PFS source holding the dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TierConfig {
+    /// Human-readable tier name.
+    pub name: String,
+    /// Backend kind.
+    pub backend: BackendKind,
+    /// Capacity in bytes; required for all tiers except the last.
+    #[serde(default)]
+    pub capacity: Option<u64>,
+}
+
+impl TierConfig {
+    /// A POSIX tier rooted at `path`.
+    pub fn posix(name: impl Into<String>, path: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            backend: BackendKind::Posix { path: path.into() },
+            capacity: None,
+        }
+    }
+
+    /// An in-memory tier.
+    pub fn mem(name: impl Into<String>) -> Self {
+        Self { name: name.into(), backend: BackendKind::Mem, capacity: None }
+    }
+
+    /// Set the capacity quota.
+    #[must_use]
+    pub fn with_capacity(mut self, bytes: u64) -> Self {
+        self.capacity = Some(bytes);
+        self
+    }
+}
+
+/// Placement policy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum PolicyKind {
+    /// The paper's top-down first-fit without eviction.
+    #[default]
+    FirstFit,
+    /// Rotate across local tiers (ablation).
+    RoundRobin,
+    /// LRU with eviction on tier 0 (ablation).
+    LruEvict,
+}
+
+/// Full middleware configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonarchConfig {
+    /// Ordered tiers; last = PFS source.
+    pub tiers: Vec<TierConfig>,
+    /// Background copy pool size (paper default: 6).
+    #[serde(default = "default_pool_threads")]
+    pub pool_threads: usize,
+    /// Placement policy.
+    #[serde(default)]
+    pub policy: PolicyKind,
+    /// When true (paper behaviour) a partial read of an unplaced file
+    /// triggers a background fetch of the *full* file, so subsequent chunks
+    /// of the same file hit local storage.
+    #[serde(default = "default_true")]
+    pub full_file_fetch: bool,
+}
+
+fn default_pool_threads() -> usize {
+    6
+}
+
+fn default_true() -> bool {
+    true
+}
+
+impl MonarchConfig {
+    /// Start building a configuration.
+    #[must_use]
+    pub fn builder() -> MonarchConfigBuilder {
+        MonarchConfigBuilder::default()
+    }
+
+    /// Parse a configuration from JSON (the FFI surface loads this from the
+    /// path in `MONARCH_CONFIG`).
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+}
+
+/// Builder for [`MonarchConfig`].
+#[derive(Debug, Default)]
+pub struct MonarchConfigBuilder {
+    tiers: Vec<TierConfig>,
+    pool_threads: Option<usize>,
+    policy: PolicyKind,
+    full_file_fetch: Option<bool>,
+}
+
+impl MonarchConfigBuilder {
+    /// Append a tier (fastest first; add the PFS last).
+    #[must_use]
+    pub fn tier(mut self, tier: TierConfig) -> Self {
+        self.tiers.push(tier);
+        self
+    }
+
+    /// Background copy pool size.
+    #[must_use]
+    pub fn pool_threads(mut self, n: usize) -> Self {
+        self.pool_threads = Some(n);
+        self
+    }
+
+    /// Placement policy.
+    #[must_use]
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Toggle the full-file-fetch optimisation.
+    #[must_use]
+    pub fn full_file_fetch(mut self, on: bool) -> Self {
+        self.full_file_fetch = Some(on);
+        self
+    }
+
+    /// Finish building.
+    #[must_use]
+    pub fn build(self) -> MonarchConfig {
+        MonarchConfig {
+            tiers: self.tiers,
+            pool_threads: self.pool_threads.unwrap_or_else(default_pool_threads),
+            policy: self.policy,
+            full_file_fetch: self.full_file_fetch.unwrap_or(true),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let cfg = MonarchConfig::builder()
+            .tier(TierConfig::mem("ssd").with_capacity(100))
+            .tier(TierConfig::mem("pfs"))
+            .build();
+        assert_eq!(cfg.pool_threads, 6);
+        assert_eq!(cfg.policy, PolicyKind::FirstFit);
+        assert!(cfg.full_file_fetch);
+        assert_eq!(cfg.tiers.len(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let cfg = MonarchConfig::builder()
+            .tier(TierConfig::posix("ssd", "/scratch").with_capacity(115 << 30))
+            .tier(TierConfig::posix("lustre", "/mnt/lustre/imagenet"))
+            .pool_threads(6)
+            .policy(PolicyKind::FirstFit)
+            .build();
+        let json = cfg.to_json();
+        let back = MonarchConfig::from_json(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn json_defaults_apply() {
+        let json = r#"{
+            "tiers": [
+                {"name": "ssd", "backend": {"posix": {"path": "/s"}}, "capacity": 10},
+                {"name": "pfs", "backend": {"posix": {"path": "/p"}}}
+            ]
+        }"#;
+        let cfg = MonarchConfig::from_json(json).unwrap();
+        assert_eq!(cfg.pool_threads, 6);
+        assert_eq!(cfg.policy, PolicyKind::FirstFit);
+        assert!(cfg.full_file_fetch);
+    }
+}

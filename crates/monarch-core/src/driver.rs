@@ -1,0 +1,415 @@
+//! Storage drivers: the per-tier I/O abstraction.
+//!
+//! A driver hides the backend behind a small object-safe trait so tiers can
+//! be backed by a real directory ([`PosixDriver`]), RAM ([`MemDriver`]), a
+//! fault-injecting wrapper ([`FaultyDriver`]) or — in the `dlpipe`
+//! simulation — a modelled device. Files are addressed by their *logical
+//! name* (the dataset-relative path), mirroring the paper's `Monarch.read`
+//! which takes a filename rather than a file descriptor.
+
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::hash::FxHashMap;
+use crate::{Error, Result};
+
+/// Backend I/O abstraction for one storage tier.
+pub trait StorageDriver: Send + Sync {
+    /// Short backend name (for stats and debugging).
+    fn name(&self) -> &str;
+
+    /// Read up to `buf.len()` bytes at `offset`; returns the bytes read
+    /// (short reads happen at end-of-file only).
+    fn read_at(&self, file: &str, offset: u64, buf: &mut [u8]) -> Result<usize>;
+
+    /// Read the entire file.
+    fn read_full(&self, file: &str) -> Result<Vec<u8>> {
+        let size = self.file_size(file)?;
+        let mut buf = vec![0u8; size as usize];
+        let n = self.read_at(file, 0, &mut buf)?;
+        buf.truncate(n);
+        Ok(buf)
+    }
+
+    /// Create or replace `file` with `data`.
+    fn write_full(&self, file: &str, data: &[u8]) -> Result<()>;
+
+    /// Remove `file` (used by eviction-capable ablation policies).
+    fn remove(&self, file: &str) -> Result<()>;
+
+    /// Size of `file` in bytes.
+    fn file_size(&self, file: &str) -> Result<u64>;
+
+    /// Enumerate `(name, size)` of every file on the backend — the
+    /// namespace-population scan run at startup.
+    fn list(&self) -> Result<Vec<(String, u64)>>;
+}
+
+// ---------------------------------------------------------------------------
+// POSIX driver
+// ---------------------------------------------------------------------------
+
+/// Driver over a real directory tree (the production path: an XFS mount on
+/// the node-local SSD, or the Lustre dataset directory).
+pub struct PosixDriver {
+    name: String,
+    root: PathBuf,
+}
+
+impl PosixDriver {
+    /// Create a driver rooted at `root`; the directory is created if absent
+    /// (local cache tiers start empty).
+    pub fn new(name: impl Into<String>, root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self { name: name.into(), root })
+    }
+
+    /// Root directory of this backend.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn resolve(&self, file: &str) -> PathBuf {
+        self.root.join(file)
+    }
+}
+
+impl StorageDriver for PosixDriver {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn read_at(&self, file: &str, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let mut f = fs::File::open(self.resolve(file))?;
+        f.seek(SeekFrom::Start(offset))?;
+        let mut filled = 0;
+        while filled < buf.len() {
+            match f.read(&mut buf[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(filled)
+    }
+
+    fn read_full(&self, file: &str) -> Result<Vec<u8>> {
+        Ok(fs::read(self.resolve(file))?)
+    }
+
+    fn write_full(&self, file: &str, data: &[u8]) -> Result<()> {
+        let path = self.resolve(file);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        // Write to a temp name then rename, so concurrent readers never see
+        // a half-copied file after the metadata flips to this tier.
+        let tmp = path.with_extension("monarch-tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(data)?;
+            f.sync_data().ok(); // best-effort: cache tiers are ephemeral
+        }
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    fn remove(&self, file: &str) -> Result<()> {
+        fs::remove_file(self.resolve(file))?;
+        Ok(())
+    }
+
+    fn file_size(&self, file: &str) -> Result<u64> {
+        Ok(fs::metadata(self.resolve(file))?.len())
+    }
+
+    fn list(&self) -> Result<Vec<(String, u64)>> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root.clone()];
+        while let Some(dir) = stack.pop() {
+            for entry in fs::read_dir(&dir)? {
+                let entry = entry?;
+                let meta = entry.metadata()?;
+                if meta.is_dir() {
+                    stack.push(entry.path());
+                } else {
+                    let rel = entry
+                        .path()
+                        .strip_prefix(&self.root)
+                        .expect("entry under root")
+                        .to_string_lossy()
+                        .into_owned();
+                    out.push((rel, meta.len()));
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory driver
+// ---------------------------------------------------------------------------
+
+/// RAM-backed driver: unit tests, the RAM tier of the multi-level
+/// extension, and a stand-in for tmpfs.
+pub struct MemDriver {
+    name: String,
+    files: RwLock<FxHashMap<String, Arc<Vec<u8>>>>,
+}
+
+impl MemDriver {
+    /// Empty in-memory backend.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), files: RwLock::new(FxHashMap::default()) }
+    }
+
+    /// Pre-populate a file (e.g. to stage a dataset on a test "PFS").
+    pub fn insert(&self, file: &str, data: Vec<u8>) {
+        self.files.write().insert(file.into(), Arc::new(data));
+    }
+
+    /// Number of files stored.
+    #[must_use]
+    pub fn file_count(&self) -> usize {
+        self.files.read().len()
+    }
+
+    /// Total stored bytes.
+    #[must_use]
+    pub fn stored_bytes(&self) -> u64 {
+        self.files.read().values().map(|d| d.len() as u64).sum()
+    }
+}
+
+impl StorageDriver for MemDriver {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn read_at(&self, file: &str, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        let data = {
+            let files = self.files.read();
+            files.get(file).cloned().ok_or_else(|| Error::UnknownFile(file.into()))?
+        };
+        let start = (offset as usize).min(data.len());
+        let n = buf.len().min(data.len() - start);
+        buf[..n].copy_from_slice(&data[start..start + n]);
+        Ok(n)
+    }
+
+    fn read_full(&self, file: &str) -> Result<Vec<u8>> {
+        let files = self.files.read();
+        files
+            .get(file)
+            .map(|d| d.as_ref().clone())
+            .ok_or_else(|| Error::UnknownFile(file.into()))
+    }
+
+    fn write_full(&self, file: &str, data: &[u8]) -> Result<()> {
+        self.files.write().insert(file.into(), Arc::new(data.to_vec()));
+        Ok(())
+    }
+
+    fn remove(&self, file: &str) -> Result<()> {
+        self.files
+            .write()
+            .remove(file)
+            .map(|_| ())
+            .ok_or_else(|| Error::UnknownFile(file.into()))
+    }
+
+    fn file_size(&self, file: &str) -> Result<u64> {
+        let files = self.files.read();
+        files
+            .get(file)
+            .map(|d| d.len() as u64)
+            .ok_or_else(|| Error::UnknownFile(file.into()))
+    }
+
+    fn list(&self) -> Result<Vec<(String, u64)>> {
+        let files = self.files.read();
+        let mut out: Vec<_> =
+            files.iter().map(|(k, v)| (k.clone(), v.len() as u64)).collect();
+        out.sort();
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// Which operations a [`FaultyDriver`] should fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail `read_at`/`read_full`.
+    Reads,
+    /// Fail `write_full`.
+    Writes,
+    /// Fail everything.
+    All,
+}
+
+/// Wrapper that fails the first `budget` matching operations — used to test
+/// that failed background copies leave metadata and quotas consistent.
+pub struct FaultyDriver<D> {
+    inner: D,
+    kind: FaultKind,
+    budget: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl<D: StorageDriver> FaultyDriver<D> {
+    /// Fail the first `budget` operations of kind `kind`, then pass through.
+    #[must_use]
+    pub fn new(inner: D, kind: FaultKind, budget: u64) -> Self {
+        Self { inner, kind, budget: AtomicU64::new(budget), injected: AtomicU64::new(0) }
+    }
+
+    /// How many faults have been injected so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn maybe_fail(&self, op: FaultKind, what: &str) -> Result<()> {
+        if self.kind != FaultKind::All && self.kind != op {
+            return Ok(());
+        }
+        let mut cur = self.budget.load(Ordering::Relaxed);
+        loop {
+            if cur == 0 {
+                return Ok(());
+            }
+            match self.budget.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.injected.fetch_add(1, Ordering::Relaxed);
+                    return Err(Error::Injected(format!("{what} on {}", self.inner.name())));
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+impl<D: StorageDriver> StorageDriver for FaultyDriver<D> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn read_at(&self, file: &str, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        self.maybe_fail(FaultKind::Reads, "read_at")?;
+        self.inner.read_at(file, offset, buf)
+    }
+
+    fn read_full(&self, file: &str) -> Result<Vec<u8>> {
+        self.maybe_fail(FaultKind::Reads, "read_full")?;
+        self.inner.read_full(file)
+    }
+
+    fn write_full(&self, file: &str, data: &[u8]) -> Result<()> {
+        self.maybe_fail(FaultKind::Writes, "write_full")?;
+        self.inner.write_full(file, data)
+    }
+
+    fn remove(&self, file: &str) -> Result<()> {
+        self.inner.remove(file)
+    }
+
+    fn file_size(&self, file: &str) -> Result<u64> {
+        self.inner.file_size(file)
+    }
+
+    fn list(&self) -> Result<Vec<(String, u64)>> {
+        self.inner.list()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_driver_basics() {
+        let d = MemDriver::new("m");
+        d.insert("a", vec![1, 2, 3, 4, 5]);
+        assert_eq!(d.file_size("a").unwrap(), 5);
+        let mut buf = [0u8; 3];
+        assert_eq!(d.read_at("a", 1, &mut buf).unwrap(), 3);
+        assert_eq!(buf, [2, 3, 4]);
+        // Read past EOF is a short read.
+        assert_eq!(d.read_at("a", 4, &mut buf).unwrap(), 1);
+        assert_eq!(d.read_full("a").unwrap(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(d.list().unwrap(), vec![("a".to_string(), 5)]);
+        d.remove("a").unwrap();
+        assert!(d.read_full("a").is_err());
+    }
+
+    #[test]
+    fn posix_driver_roundtrip() {
+        let root = std::env::temp_dir().join(format!("monarch-posix-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let d = PosixDriver::new("p", &root).unwrap();
+        d.write_full("sub/dir/file.bin", &[9u8; 100]).unwrap();
+        assert_eq!(d.file_size("sub/dir/file.bin").unwrap(), 100);
+        let mut buf = [0u8; 10];
+        assert_eq!(d.read_at("sub/dir/file.bin", 95, &mut buf).unwrap(), 5);
+        assert_eq!(d.read_full("sub/dir/file.bin").unwrap().len(), 100);
+        let listing = d.list().unwrap();
+        assert_eq!(listing, vec![("sub/dir/file.bin".to_string(), 100)]);
+        d.remove("sub/dir/file.bin").unwrap();
+        assert!(d.file_size("sub/dir/file.bin").is_err());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn posix_write_is_atomic_rename() {
+        let root = std::env::temp_dir().join(format!("monarch-atomic-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let d = PosixDriver::new("p", &root).unwrap();
+        d.write_full("f", b"first").unwrap();
+        d.write_full("f", b"second").unwrap();
+        assert_eq!(d.read_full("f").unwrap(), b"second");
+        // No leftover temp files.
+        assert_eq!(d.list().unwrap().len(), 1);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn faulty_driver_budget() {
+        let inner = MemDriver::new("m");
+        inner.insert("a", vec![0u8; 8]);
+        let d = FaultyDriver::new(inner, FaultKind::Writes, 2);
+        assert!(d.write_full("x", b"1").is_err());
+        assert!(d.write_full("x", b"1").is_err());
+        assert!(d.write_full("x", b"1").is_ok());
+        assert_eq!(d.injected(), 2);
+        // Reads unaffected by a Writes fault kind.
+        assert!(d.read_full("a").is_ok());
+    }
+
+    #[test]
+    fn faulty_driver_all_kind() {
+        let inner = MemDriver::new("m");
+        inner.insert("a", vec![0u8; 8]);
+        let d = FaultyDriver::new(inner, FaultKind::All, 1);
+        assert!(d.read_full("a").is_err());
+        assert!(d.read_full("a").is_ok());
+    }
+}

@@ -1,0 +1,63 @@
+//! # monarch-core — the MONARCH storage-tiering middleware
+//!
+//! Reimplementation of the middleware described in *MONARCH: Hierarchical
+//! Storage Management for Deep Learning Frameworks* (IEEE CLUSTER 2021).
+//! MONARCH sits between a DL framework and a hierarchy of storage backends
+//! (e.g. a compute node's local SSD above a shared parallel file system) and
+//! transparently migrates dataset files toward the fastest tier with free
+//! capacity, so that repeated-epoch training traffic stops hammering the
+//! shared PFS.
+//!
+//! The crate keeps the paper's three-module decomposition:
+//!
+//! - [`hierarchy`] — the *storage hierarchy*: an ordered list of tiers, each
+//!   backed by a [`driver::StorageDriver`] with a capacity quota; the last
+//!   tier is the read-only PFS holding the full dataset.
+//! - [`placement`] — the *placement handler*: policies deciding where a file
+//!   goes ([`placement::FirstFit`] is the paper's policy — top-down,
+//!   first tier with space, **no eviction**), plus a background copy
+//!   [`pool::ThreadPool`] that moves file contents between tiers.
+//! - [`metadata`] — the *metadata container*: an ephemeral, thread-safe
+//!   virtual namespace mapping each file to its size and current tier.
+//!
+//! The entry point is [`Monarch`], whose [`Monarch::read`] replaces the
+//! framework's `pread`: it serves the requested byte range from the file's
+//! current tier and, on first touch, schedules a background copy of the
+//! *full* file into the highest tier with room — so later chunks of a large
+//! TFRecord shard hit local storage even within the first epoch.
+//!
+//! ```no_run
+//! use monarch_core::config::{MonarchConfig, TierConfig};
+//! use monarch_core::Monarch;
+//!
+//! let cfg = MonarchConfig::builder()
+//!     .tier(TierConfig::posix("ssd", "/local/scratch").with_capacity(115 << 30))
+//!     .tier(TierConfig::posix("lustre", "/mnt/pfs/imagenet"))
+//!     .pool_threads(6)
+//!     .build();
+//! let monarch = Monarch::new(cfg).unwrap();
+//! monarch.init().unwrap();
+//! let mut buf = vec![0u8; 256 << 10];
+//! let n = monarch.read("train-00000.tfrecord", 0, &mut buf).unwrap();
+//! # let _ = n;
+//! ```
+
+pub mod config;
+pub mod driver;
+pub mod error;
+pub mod hash;
+pub mod hierarchy;
+pub mod metadata;
+pub mod middleware;
+pub mod placement;
+pub mod pool;
+pub mod stats;
+
+pub use config::MonarchConfig;
+pub use driver::StorageDriver;
+pub use error::{Error, Result};
+pub use hierarchy::{StorageHierarchy, Tier, TierId};
+pub use metadata::MetadataContainer;
+pub use middleware::{InitReport, Monarch};
+pub use placement::{PlacementDecision, PlacementPolicy};
+pub use stats::{Stats, StatsSnapshot};

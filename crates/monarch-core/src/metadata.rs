@@ -1,0 +1,328 @@
+//! The *metadata container*: an ephemeral virtual namespace over the whole
+//! storage hierarchy.
+//!
+//! Each file is tracked by a [`FileInfo`] holding its size, current tier and
+//! placement state. The namespace is populated at job start by scanning the
+//! dataset directory on the PFS tier, continuously updated while the
+//! training job runs, and simply dropped when the job ends (the paper's
+//! "ephemeral storage model").
+//!
+//! Lookups happen on every intercepted read, so the map is sharded: keys are
+//! spread over `N` independently locked hash maps (FxHash, see
+//! [`crate::hash`]), which keeps reader threads from serialising on one lock.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::hash::{hash_str, FxHashMap};
+use crate::{Error, Result, TierId};
+
+/// Placement lifecycle of one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementState {
+    /// Only present on the source (PFS) tier; not yet considered.
+    Unplaced,
+    /// A background copy toward `target` is in flight; reads still go to the
+    /// file's current tier.
+    Copying {
+        /// Destination tier of the in-flight copy.
+        target: TierId,
+    },
+    /// Resident on its current tier (which may be the PFS if placement was
+    /// skipped, e.g. because local tiers filled up).
+    Placed,
+}
+
+/// Per-file record — the paper's *file info*.
+#[derive(Debug, Clone)]
+pub struct FileInfo {
+    /// File size in bytes.
+    pub size: u64,
+    /// Tier currently serving reads for this file.
+    pub tier: TierId,
+    /// Placement lifecycle state.
+    pub state: PlacementState,
+    /// Number of times the file has been read (feeds eviction policies in
+    /// the ablation experiments; the paper's FirstFit ignores it).
+    pub reads: u64,
+}
+
+/// Sharded, thread-safe namespace.
+pub struct MetadataContainer {
+    shards: Vec<RwLock<FxHashMap<Arc<str>, FileInfo>>>,
+    mask: usize,
+}
+
+impl std::fmt::Debug for MetadataContainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetadataContainer").field("files", &self.len()).finish()
+    }
+}
+
+/// Default shard count (power of two).
+pub const DEFAULT_SHARDS: usize = 64;
+
+impl Default for MetadataContainer {
+    fn default() -> Self {
+        Self::new(DEFAULT_SHARDS)
+    }
+}
+
+impl MetadataContainer {
+    /// Create a container with `shards` lock shards (rounded up to a power
+    /// of two).
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        let n = shards.next_power_of_two().max(1);
+        Self {
+            shards: (0..n).map(|_| RwLock::new(FxHashMap::default())).collect(),
+            mask: n - 1,
+        }
+    }
+
+    #[inline]
+    fn shard(&self, name: &str) -> &RwLock<FxHashMap<Arc<str>, FileInfo>> {
+        &self.shards[(hash_str(name) as usize) & self.mask]
+    }
+
+    /// Register a file discovered on tier `tier` (normally the PFS).
+    /// Returns `false` if the name was already present (the existing entry
+    /// is kept — re-scans must not clobber live placement state).
+    pub fn register(&self, name: &str, size: u64, tier: TierId) -> bool {
+        let mut shard = self.shard(name).write();
+        if shard.contains_key(name) {
+            return false;
+        }
+        shard.insert(
+            Arc::from(name),
+            FileInfo { size, tier, state: PlacementState::Unplaced, reads: 0 },
+        );
+        true
+    }
+
+    /// Look up a file, bumping its read counter.
+    pub fn lookup_for_read(&self, name: &str) -> Result<FileInfo> {
+        let mut shard = self.shard(name).write();
+        let info = shard.get_mut(name).ok_or_else(|| Error::UnknownFile(name.into()))?;
+        info.reads += 1;
+        Ok(info.clone())
+    }
+
+    /// Look up a file without touching counters.
+    pub fn get(&self, name: &str) -> Option<FileInfo> {
+        self.shard(name).read().get(name).cloned()
+    }
+
+    /// Atomically transition `Unplaced -> Copying{target}`. Returns `true`
+    /// if this call won the race; concurrent readers of the same fresh file
+    /// must schedule exactly one background copy.
+    pub fn begin_copy(&self, name: &str, target: TierId) -> Result<bool> {
+        let mut shard = self.shard(name).write();
+        let info = shard.get_mut(name).ok_or_else(|| Error::UnknownFile(name.into()))?;
+        if info.state != PlacementState::Unplaced {
+            return Ok(false);
+        }
+        info.state = PlacementState::Copying { target };
+        Ok(true)
+    }
+
+    /// Complete an in-flight copy: the file now lives on `tier`.
+    pub fn finish_copy(&self, name: &str, tier: TierId) -> Result<()> {
+        let mut shard = self.shard(name).write();
+        let info = shard.get_mut(name).ok_or_else(|| Error::UnknownFile(name.into()))?;
+        debug_assert!(matches!(info.state, PlacementState::Copying { .. }));
+        info.tier = tier;
+        info.state = PlacementState::Placed;
+        Ok(())
+    }
+
+    /// Abort an in-flight copy; the file stays on its current tier. If
+    /// `terminal` is true the file is marked `Placed` (on the PFS) so no
+    /// further placement is attempted — used when local tiers are full.
+    pub fn abort_copy(&self, name: &str, terminal: bool) -> Result<()> {
+        let mut shard = self.shard(name).write();
+        let info = shard.get_mut(name).ok_or_else(|| Error::UnknownFile(name.into()))?;
+        info.state = if terminal { PlacementState::Placed } else { PlacementState::Unplaced };
+        Ok(())
+    }
+
+    /// Evict a file back to tier `to` (the PFS): used only by
+    /// eviction-capable ablation policies. The file becomes `Placed` on
+    /// `to` — it can be re-placed later via [`Self::reopen_placement`].
+    pub fn evict_to(&self, name: &str, to: TierId) -> Result<()> {
+        let mut shard = self.shard(name).write();
+        let info = shard.get_mut(name).ok_or_else(|| Error::UnknownFile(name.into()))?;
+        info.tier = to;
+        info.state = PlacementState::Unplaced;
+        Ok(())
+    }
+
+    /// Reset a `Placed` file back to `Unplaced` so a policy may move it
+    /// again (ablation-only).
+    pub fn reopen_placement(&self, name: &str) -> Result<()> {
+        let mut shard = self.shard(name).write();
+        let info = shard.get_mut(name).ok_or_else(|| Error::UnknownFile(name.into()))?;
+        info.state = PlacementState::Unplaced;
+        Ok(())
+    }
+
+    /// Number of registered files.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True if no files are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Total bytes across all registered files.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read().values().map(|i| i.size).sum::<u64>())
+            .sum()
+    }
+
+    /// Count of files currently resident on each tier (index = tier id).
+    #[must_use]
+    pub fn residency_histogram(&self, tiers: usize) -> Vec<u64> {
+        let mut hist = vec![0u64; tiers];
+        for shard in &self.shards {
+            for info in shard.read().values() {
+                if info.tier < tiers {
+                    hist[info.tier] += 1;
+                }
+            }
+        }
+        hist
+    }
+
+    /// Visit every entry (snapshot order is unspecified).
+    pub fn for_each<F: FnMut(&str, &FileInfo)>(&self, mut f: F) {
+        for shard in &self.shards {
+            for (name, info) in shard.read().iter() {
+                f(name, info);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn register_and_lookup() {
+        let m = MetadataContainer::default();
+        assert!(m.register("a", 10, 1));
+        assert!(!m.register("a", 99, 0), "duplicate register must be refused");
+        let info = m.lookup_for_read("a").unwrap();
+        assert_eq!(info.size, 10);
+        assert_eq!(info.tier, 1);
+        assert_eq!(info.state, PlacementState::Unplaced);
+        assert_eq!(m.get("a").unwrap().reads, 1);
+    }
+
+    #[test]
+    fn unknown_file_errors() {
+        let m = MetadataContainer::default();
+        assert!(matches!(m.lookup_for_read("nope"), Err(Error::UnknownFile(_))));
+        assert!(matches!(m.begin_copy("nope", 0), Err(Error::UnknownFile(_))));
+    }
+
+    #[test]
+    fn copy_lifecycle() {
+        let m = MetadataContainer::default();
+        m.register("f", 100, 1);
+        assert!(m.begin_copy("f", 0).unwrap());
+        assert!(!m.begin_copy("f", 0).unwrap(), "second begin must lose the race");
+        // While copying, reads still resolve to the old tier.
+        assert_eq!(m.lookup_for_read("f").unwrap().tier, 1);
+        m.finish_copy("f", 0).unwrap();
+        let info = m.get("f").unwrap();
+        assert_eq!(info.tier, 0);
+        assert_eq!(info.state, PlacementState::Placed);
+        assert!(!m.begin_copy("f", 0).unwrap(), "placed file must not re-copy");
+    }
+
+    #[test]
+    fn abort_copy_retries_or_terminates() {
+        let m = MetadataContainer::default();
+        m.register("f", 100, 1);
+        assert!(m.begin_copy("f", 0).unwrap());
+        m.abort_copy("f", false).unwrap();
+        assert_eq!(m.get("f").unwrap().state, PlacementState::Unplaced);
+        assert!(m.begin_copy("f", 0).unwrap(), "non-terminal abort allows retry");
+        m.abort_copy("f", true).unwrap();
+        assert_eq!(m.get("f").unwrap().state, PlacementState::Placed);
+        assert!(!m.begin_copy("f", 0).unwrap(), "terminal abort pins the file");
+    }
+
+    #[test]
+    fn eviction_roundtrip() {
+        let m = MetadataContainer::default();
+        m.register("f", 100, 1);
+        assert!(m.begin_copy("f", 0).unwrap());
+        m.finish_copy("f", 0).unwrap();
+        m.evict_to("f", 1).unwrap();
+        let info = m.get("f").unwrap();
+        assert_eq!(info.tier, 1);
+        assert_eq!(info.state, PlacementState::Unplaced);
+        assert!(m.begin_copy("f", 0).unwrap(), "evicted file is placeable again");
+    }
+
+    #[test]
+    fn histogram_and_totals() {
+        let m = MetadataContainer::new(4);
+        for i in 0..100 {
+            m.register(&format!("f{i}"), 10, 1);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.total_bytes(), 1000);
+        for i in 0..30 {
+            let n = format!("f{i}");
+            m.begin_copy(&n, 0).unwrap();
+            m.finish_copy(&n, 0).unwrap();
+        }
+        assert_eq!(m.residency_histogram(2), vec![30, 70]);
+    }
+
+    #[test]
+    fn concurrent_begin_copy_single_winner() {
+        let m = Arc::new(MetadataContainer::default());
+        m.register("hot", 1, 1);
+        let winners = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                let winners = Arc::clone(&winners);
+                std::thread::spawn(move || {
+                    if m.begin_copy("hot", 0).unwrap() {
+                        winners.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(winners.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        let m = MetadataContainer::new(2);
+        m.register("a", 1, 0);
+        m.register("b", 2, 0);
+        let mut seen = Vec::new();
+        m.for_each(|name, info| seen.push((name.to_string(), info.size)));
+        seen.sort();
+        assert_eq!(seen, vec![("a".into(), 1), ("b".into(), 2)]);
+    }
+}

@@ -1,0 +1,661 @@
+//! The [`Monarch`] facade: ties the metadata container, storage hierarchy,
+//! placement policy and background copy pool together and exposes the
+//! `Monarch.read` operation that replaces the framework's `pread`.
+//!
+//! Operation flow for a read of file `X` (paper §III-B):
+//!
+//! 1. look `X` up in the metadata container → current tier;
+//! 2. forward the read to that tier's storage driver and return the bytes;
+//! 3. if `X` has never been considered for placement, atomically win the
+//!    `Unplaced → Copying` transition and hand a task to the background
+//!    pool, which (a) asks the placement policy for a destination tier with
+//!    reserved quota, (b) reads the *full* file from the PFS (skipped when
+//!    the triggering read already covered the whole file), (c) writes it to
+//!    the destination, and (d) flips the metadata so subsequent reads are
+//!    served locally.
+//!
+//! Failures in the background path release reserved quota and revert the
+//! metadata, so a crashed copy degrades to "file stays on the PFS".
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::config::{BackendKind, MonarchConfig, PolicyKind};
+use crate::driver::{MemDriver, PosixDriver, StorageDriver};
+use crate::hierarchy::StorageHierarchy;
+use crate::metadata::{MetadataContainer, PlacementState};
+use crate::placement::{FirstFit, LruEvict, PlacementPolicy, RoundRobin};
+use crate::pool::ThreadPool;
+use crate::stats::{Stats, StatsSnapshot};
+use crate::{Error, Result};
+
+/// Outcome of the startup namespace scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InitReport {
+    /// Files discovered on the PFS source tier.
+    pub files: u64,
+    /// Their total size in bytes.
+    pub bytes: u64,
+    /// Wall-clock duration of the scan.
+    pub elapsed: Duration,
+}
+
+/// The MONARCH middleware instance.
+pub struct Monarch {
+    hierarchy: Arc<StorageHierarchy>,
+    metadata: Arc<MetadataContainer>,
+    policy: Arc<dyn PlacementPolicy>,
+    pool: ThreadPool,
+    stats: Arc<Stats>,
+    full_file_fetch: bool,
+    shutting_down: Arc<AtomicBool>,
+}
+
+impl Monarch {
+    /// Build a middleware instance from a configuration, constructing the
+    /// backend drivers.
+    pub fn new(config: MonarchConfig) -> Result<Self> {
+        let mut levels: Vec<(String, Arc<dyn StorageDriver>, Option<u64>)> =
+            Vec::with_capacity(config.tiers.len());
+        for tier in &config.tiers {
+            let driver: Arc<dyn StorageDriver> = match &tier.backend {
+                BackendKind::Posix { path } => {
+                    Arc::new(PosixDriver::new(tier.name.clone(), path.clone())?)
+                }
+                BackendKind::Mem => Arc::new(MemDriver::new(tier.name.clone())),
+            };
+            levels.push((tier.name.clone(), driver, tier.capacity));
+        }
+        let hierarchy = StorageHierarchy::new(levels)?;
+        let policy: Arc<dyn PlacementPolicy> = match config.policy {
+            PolicyKind::FirstFit => Arc::new(FirstFit),
+            PolicyKind::RoundRobin => Arc::new(RoundRobin::default()),
+            PolicyKind::LruEvict => Arc::new(LruEvict::new()),
+        };
+        Ok(Self::assemble(hierarchy, policy, config.pool_threads, config.full_file_fetch))
+    }
+
+    /// Build from pre-constructed parts (tests and embedders that supply
+    /// custom drivers or policies).
+    #[must_use]
+    pub fn with_parts(
+        hierarchy: StorageHierarchy,
+        policy: Arc<dyn PlacementPolicy>,
+        pool_threads: usize,
+        full_file_fetch: bool,
+    ) -> Self {
+        Self::assemble(hierarchy, policy, pool_threads, full_file_fetch)
+    }
+
+    fn assemble(
+        hierarchy: StorageHierarchy,
+        policy: Arc<dyn PlacementPolicy>,
+        pool_threads: usize,
+        full_file_fetch: bool,
+    ) -> Self {
+        let levels = hierarchy.levels();
+        Self {
+            hierarchy: Arc::new(hierarchy),
+            metadata: Arc::new(MetadataContainer::default()),
+            policy,
+            pool: ThreadPool::new(pool_threads),
+            stats: Arc::new(Stats::new(levels)),
+            full_file_fetch,
+            shutting_down: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Populate the metadata container by scanning the PFS source tier —
+    /// run once at startup, before the framework issues reads.
+    pub fn init(&self) -> Result<InitReport> {
+        let start = Instant::now();
+        let source = self.hierarchy.source();
+        let mut files = 0u64;
+        let mut bytes = 0u64;
+        for (name, size) in source.driver.list()? {
+            if self.metadata.register(&name, size, source.id) {
+                files += 1;
+                bytes += size;
+            }
+        }
+        Ok(InitReport { files, bytes, elapsed: start.elapsed() })
+    }
+
+    /// The `Monarch.read` operation: read up to `buf.len()` bytes of `file`
+    /// starting at `offset`, from whichever tier currently holds it.
+    /// Returns the number of bytes read (0 at end-of-file).
+    pub fn read(&self, file: &str, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        if self.shutting_down.load(Ordering::Acquire) {
+            return Err(Error::ShutDown);
+        }
+        let info = self.metadata.lookup_for_read(file)?;
+        self.policy.on_access(file, info.tier);
+        if offset >= info.size {
+            return Ok(0);
+        }
+        let tier = self.hierarchy.tier(info.tier)?;
+        let want = buf.len().min((info.size - offset) as usize);
+        let n = tier.driver.read_at(file, offset, &mut buf[..want])?;
+        self.stats.record_read(info.tier, n as u64);
+
+        if info.state == PlacementState::Unplaced {
+            // Paper optimisation: when the triggering read already covered
+            // the whole file, the background task reuses these bytes instead
+            // of re-reading the PFS (flow ③ is skipped). With the
+            // full-file-fetch optimisation disabled, a *partial* read does
+            // not trigger any background fetch — only whole-file reads
+            // lead to placement (the §IV-A ablation).
+            let inline = (offset == 0 && n as u64 == info.size).then(|| buf[..n].to_vec());
+            if self.full_file_fetch || inline.is_some() {
+                self.schedule_placement(file, info.size, inline);
+            }
+        }
+        Ok(n)
+    }
+
+    /// Read the entire file through the middleware.
+    pub fn read_full(&self, file: &str) -> Result<Vec<u8>> {
+        let info = self.metadata.get(file).ok_or_else(|| Error::UnknownFile(file.into()))?;
+        let mut buf = vec![0u8; info.size as usize];
+        let n = self.read(file, 0, &mut buf)?;
+        buf.truncate(n);
+        Ok(buf)
+    }
+
+    /// Size of `file` per the namespace.
+    pub fn file_size(&self, file: &str) -> Result<u64> {
+        self.metadata
+            .get(file)
+            .map(|i| i.size)
+            .ok_or_else(|| Error::UnknownFile(file.into()))
+    }
+
+    /// Hand a placement task to the background pool if this thread wins the
+    /// `Unplaced → Copying` race. Returns whether a task was scheduled.
+    fn schedule_placement(&self, file: &str, size: u64, inline_data: Option<Vec<u8>>) -> bool {
+        // The target recorded here is provisional; the policy picks the
+        // real destination inside the background task (paper §III-B: the
+        // placement handler runs on a pool thread).
+        match self.metadata.begin_copy(file, 0) {
+            Ok(true) => {}
+            _ => return false,
+        }
+        self.stats.copy_scheduled();
+        let ctx = PlacementCtx {
+            hierarchy: Arc::clone(&self.hierarchy),
+            metadata: Arc::clone(&self.metadata),
+            policy: Arc::clone(&self.policy),
+            stats: Arc::clone(&self.stats),
+            shutting_down: Arc::clone(&self.shutting_down),
+        };
+        let owned = file.to_string();
+        let submitted = self.pool.submit(Box::new(move || {
+            ctx.run(&owned, size, inline_data);
+        }));
+        if !submitted {
+            // Pool refused (shutdown): revert so the state stays clean.
+            let _ = self.metadata.abort_copy(file, false);
+        }
+        submitted
+    }
+
+    /// Block until all scheduled background copies have finished.
+    pub fn wait_placement_idle(&self) {
+        self.pool.wait_idle();
+    }
+
+    /// Pre-stage the dataset: schedule placement for every file that has
+    /// not been considered yet, without waiting for the framework to
+    /// request it. This is the paper's placement option (i) — "training
+    /// files are read from the PFS and placed in the corresponding storage
+    /// levels before executing the training phase" (§III-A). MONARCH's
+    /// default is option (ii), on-demand placement during the first epoch;
+    /// pre-staging trades job start-up delay for a fully warm first epoch.
+    ///
+    /// Returns the number of placements scheduled. Call
+    /// [`Self::wait_placement_idle`] to block until staging completes.
+    pub fn prestage(&self) -> usize {
+        let mut names = Vec::new();
+        self.metadata.for_each(|name, info| {
+            if info.state == PlacementState::Unplaced {
+                names.push((name.to_string(), info.size));
+            }
+        });
+        let mut scheduled = 0;
+        for (name, size) in names {
+            if self.shutting_down.load(Ordering::Acquire) {
+                break;
+            }
+            // Same dedup CAS as the read path; racing readers lose or win
+            // harmlessly.
+            if self.schedule_placement(&name, size, None) {
+                scheduled += 1;
+            }
+        }
+        scheduled
+    }
+
+    /// Current statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// The metadata container (read-mostly introspection).
+    #[must_use]
+    pub fn metadata(&self) -> &MetadataContainer {
+        &self.metadata
+    }
+
+    /// The storage hierarchy.
+    #[must_use]
+    pub fn hierarchy(&self) -> &StorageHierarchy {
+        &self.hierarchy
+    }
+
+    /// Number of background copy threads.
+    #[must_use]
+    pub fn pool_threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Stop accepting reads, drain in-flight copies, and join the pool.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.shutting_down.store(true, Ordering::Release);
+        self.pool.shutdown();
+        self.stats.snapshot()
+    }
+}
+
+impl std::fmt::Debug for Monarch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monarch")
+            .field("levels", &self.hierarchy.levels())
+            .field("files", &self.metadata.len())
+            .field("policy", &self.policy.name())
+            .finish()
+    }
+}
+
+/// Everything a background placement task needs (the pool outlives `&self`
+/// borrows, so tasks own `Arc`s).
+struct PlacementCtx {
+    hierarchy: Arc<StorageHierarchy>,
+    metadata: Arc<MetadataContainer>,
+    policy: Arc<dyn PlacementPolicy>,
+    stats: Arc<Stats>,
+    shutting_down: Arc<AtomicBool>,
+}
+
+impl PlacementCtx {
+    fn run(&self, file: &str, size: u64, inline_data: Option<Vec<u8>>) {
+        if self.shutting_down.load(Ordering::Acquire) {
+            let _ = self.metadata.abort_copy(file, false);
+            return;
+        }
+        match self.try_place(file, size, inline_data) {
+            Ok(true) => self.stats.copy_completed(),
+            Ok(false) => {
+                // No room anywhere: pin the file to the PFS permanently
+                // (placement for it has ended, paper §III-B last paragraph).
+                self.stats.placement_skip();
+                let _ = self.metadata.abort_copy(file, true);
+            }
+            Err(_) => {
+                // I/O failure: revert to Unplaced so a later read may retry.
+                self.stats.copy_failed();
+                let _ = self.metadata.abort_copy(file, false);
+            }
+        }
+    }
+
+    /// Returns Ok(true) if the file was placed, Ok(false) if no tier had
+    /// room, Err on I/O failure (quota released, nothing half-installed
+    /// visible to readers).
+    fn try_place(&self, file: &str, size: u64, inline_data: Option<Vec<u8>>) -> Result<bool> {
+        let Some(decision) = self.policy.place(&self.hierarchy, file, size)? else {
+            return Ok(false);
+        };
+        let dest = self.hierarchy.tier(decision.tier)?;
+        let quota = dest.quota.as_ref().ok_or(Error::UnknownTier(decision.tier))?;
+
+        // Evictions (ablation policies only): remove victims, release their
+        // quota, then reserve for the newcomer.
+        let reserved = if decision.evict.is_empty() {
+            true // policy reserved during `place`
+        } else {
+            for victim in &decision.evict {
+                if let Some(vinfo) = self.metadata.get(victim) {
+                    if vinfo.tier == decision.tier {
+                        dest.driver.remove(victim)?;
+                        self.metadata.evict_to(victim, self.hierarchy.source_id())?;
+                        quota.release(vinfo.size);
+                        self.stats.record_remove(decision.tier);
+                    }
+                }
+            }
+            quota.try_reserve(size)
+        };
+        if !reserved {
+            return Ok(false);
+        }
+
+        let install = || -> Result<()> {
+            let data = match inline_data {
+                Some(ref data) => data.clone(),
+                None => {
+                    let source = self.hierarchy.source();
+                    let data = source.driver.read_full(file)?;
+                    self.stats.record_read(source.id, data.len() as u64);
+                    data
+                }
+            };
+            dest.driver.write_full(file, &data)?;
+            self.stats.record_write(decision.tier, data.len() as u64);
+            Ok(())
+        };
+        match install() {
+            Ok(()) => {
+                self.metadata.finish_copy(file, decision.tier)?;
+                self.policy.on_placed(file, size, decision.tier);
+                Ok(true)
+            }
+            Err(e) => {
+                quota.release(size);
+                // Best effort: remove a possibly half-written destination
+                // file (the POSIX driver's rename makes this a no-op there).
+                let _ = dest.driver.remove(file);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TierConfig;
+    use crate::driver::{FaultKind, FaultyDriver};
+
+    /// Monarch over two in-memory tiers with `n` files of `size` bytes
+    /// staged on the "PFS".
+    fn mem_monarch(local_cap: u64, n: usize, size: usize) -> Monarch {
+        let pfs = MemDriver::new("pfs");
+        for i in 0..n {
+            pfs.insert(&format!("f{i:03}"), vec![i as u8; size]);
+        }
+        let hierarchy = StorageHierarchy::new(vec![
+            (
+                "ssd".into(),
+                Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
+                Some(local_cap),
+            ),
+            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
+        ])
+        .unwrap();
+        let m = Monarch::with_parts(hierarchy, Arc::new(FirstFit), 2, true);
+        m.init().unwrap();
+        m
+    }
+
+    #[test]
+    fn init_scans_namespace() {
+        let m = mem_monarch(1 << 20, 5, 100);
+        assert_eq!(m.metadata().len(), 5);
+        assert_eq!(m.metadata().total_bytes(), 500);
+        assert_eq!(m.file_size("f000").unwrap(), 100);
+    }
+
+    #[test]
+    fn first_read_from_pfs_then_local() {
+        let m = mem_monarch(1 << 20, 1, 1000);
+        let mut buf = vec![0u8; 100];
+        // Partial first read: served by the PFS.
+        assert_eq!(m.read("f000", 0, &mut buf).unwrap(), 100);
+        m.wait_placement_idle();
+        // Placement done: second read must hit the local tier.
+        assert_eq!(m.read("f000", 100, &mut buf).unwrap(), 100);
+        let stats = m.stats();
+        assert_eq!(stats.tiers[0].reads, 1, "second read should be local");
+        // PFS saw: the first partial read + the background full fetch.
+        assert_eq!(stats.tiers[1].reads, 2);
+        assert_eq!(stats.copies_completed, 1);
+        assert_eq!(m.metadata().get("f000").unwrap().tier, 0);
+    }
+
+    #[test]
+    fn prestage_places_everything_before_any_read() {
+        let m = mem_monarch(1 << 20, 5, 200);
+        let scheduled = m.prestage();
+        assert_eq!(scheduled, 5);
+        m.wait_placement_idle();
+        let stats = m.stats();
+        assert_eq!(stats.copies_completed, 5);
+        // Every file already local: the very first framework read hits
+        // tier 0 and the PFS sees only the staging fetches.
+        let mut buf = [0u8; 64];
+        m.read("f000", 0, &mut buf).unwrap();
+        let stats = m.stats();
+        assert_eq!(stats.tiers[0].reads, 1);
+        assert_eq!(stats.tiers[1].reads, 5, "one staging fetch per file");
+        // Idempotent: nothing left to schedule.
+        assert_eq!(m.prestage(), 0);
+    }
+
+    #[test]
+    fn prestage_respects_quota() {
+        let m = mem_monarch(450, 4, 200); // room for two files
+        m.prestage();
+        m.wait_placement_idle();
+        let stats = m.stats();
+        assert_eq!(stats.copies_completed, 2);
+        assert_eq!(stats.placement_skipped, 2);
+        assert_eq!(m.metadata().residency_histogram(2), vec![2, 2]);
+    }
+
+    #[test]
+    fn without_full_fetch_partial_reads_do_not_place() {
+        let pfs = MemDriver::new("pfs");
+        pfs.insert("f", vec![3u8; 1000]);
+        let hierarchy = StorageHierarchy::new(vec![
+            (
+                "ssd".into(),
+                Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
+                Some(1 << 20),
+            ),
+            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
+        ])
+        .unwrap();
+        let m = Monarch::with_parts(hierarchy, Arc::new(FirstFit), 1, false);
+        m.init().unwrap();
+        let mut buf = [0u8; 100];
+        m.read("f", 0, &mut buf).unwrap();
+        m.wait_placement_idle();
+        assert_eq!(m.stats().copies_scheduled, 0, "partial read must not fetch");
+        // A whole-file read still places (inline data, no re-fetch).
+        let mut full = vec![0u8; 1000];
+        m.read("f", 0, &mut full).unwrap();
+        m.wait_placement_idle();
+        let stats = m.stats();
+        assert_eq!(stats.copies_completed, 1);
+        assert_eq!(m.metadata().get("f").unwrap().tier, 0);
+    }
+
+    #[test]
+    fn full_read_skips_background_refetch() {
+        let m = mem_monarch(1 << 20, 1, 256);
+        let mut buf = vec![0u8; 256];
+        assert_eq!(m.read("f000", 0, &mut buf).unwrap(), 256);
+        m.wait_placement_idle();
+        let stats = m.stats();
+        // Only the triggering read touched the PFS (inline data reused).
+        assert_eq!(stats.tiers[1].reads, 1);
+        assert_eq!(stats.copies_completed, 1);
+        assert_eq!(stats.tiers[0].bytes_written, 256);
+    }
+
+    #[test]
+    fn bytes_are_correct_across_tiers() {
+        let m = mem_monarch(1 << 20, 3, 512);
+        for i in 0..3 {
+            let name = format!("f{i:03}");
+            let data = m.read_full(&name).unwrap();
+            assert_eq!(data, vec![i as u8; 512]);
+        }
+        m.wait_placement_idle();
+        for i in 0..3 {
+            let name = format!("f{i:03}");
+            let data = m.read_full(&name).unwrap();
+            assert_eq!(data, vec![i as u8; 512], "post-placement bytes must match");
+        }
+    }
+
+    #[test]
+    fn capacity_limits_placement() {
+        // Room for 2 of the 4 files only.
+        let m = mem_monarch(1200, 4, 500);
+        for i in 0..4 {
+            let mut buf = [0u8; 16];
+            m.read(&format!("f{i:03}"), 0, &mut buf).unwrap();
+        }
+        m.wait_placement_idle();
+        let stats = m.stats();
+        assert_eq!(stats.copies_completed, 2);
+        assert_eq!(stats.placement_skipped, 2);
+        let hist = m.metadata().residency_histogram(2);
+        assert_eq!(hist, vec![2, 2]);
+        // Quota reflects exactly the two placed files.
+        assert_eq!(m.hierarchy().tier(0).unwrap().quota.as_ref().unwrap().used(), 1000);
+    }
+
+    #[test]
+    fn no_eviction_under_first_fit() {
+        let m = mem_monarch(600, 3, 500);
+        for i in 0..3 {
+            let mut buf = [0u8; 16];
+            m.read(&format!("f{i:03}"), 0, &mut buf).unwrap();
+            m.wait_placement_idle();
+        }
+        let stats = m.stats();
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.copies_completed, 1);
+    }
+
+    #[test]
+    fn reads_past_eof_return_zero() {
+        let m = mem_monarch(1 << 20, 1, 100);
+        let mut buf = [0u8; 10];
+        assert_eq!(m.read("f000", 100, &mut buf).unwrap(), 0);
+        assert_eq!(m.read("f000", 1000, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn unknown_file_is_an_error() {
+        let m = mem_monarch(1 << 20, 1, 100);
+        let mut buf = [0u8; 10];
+        assert!(matches!(m.read("missing", 0, &mut buf), Err(Error::UnknownFile(_))));
+    }
+
+    #[test]
+    fn failed_copy_releases_quota_and_reverts_state() {
+        let pfs = MemDriver::new("pfs");
+        pfs.insert("f", vec![7u8; 400]);
+        let ssd = FaultyDriver::new(MemDriver::new("ssd"), FaultKind::Writes, 1);
+        let hierarchy = StorageHierarchy::new(vec![
+            ("ssd".into(), Arc::new(ssd) as Arc<dyn StorageDriver>, Some(1000)),
+            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
+        ])
+        .unwrap();
+        let m = Monarch::with_parts(hierarchy, Arc::new(FirstFit), 1, true);
+        m.init().unwrap();
+        let mut buf = [0u8; 16];
+        m.read("f", 0, &mut buf).unwrap();
+        m.wait_placement_idle();
+        let stats = m.stats();
+        assert_eq!(stats.copies_failed, 1);
+        assert_eq!(m.hierarchy().tier(0).unwrap().quota.as_ref().unwrap().used(), 0);
+        let info = m.metadata().get("f").unwrap();
+        assert_eq!(info.tier, 1, "file must stay on the PFS after a failed copy");
+        assert_eq!(info.state, PlacementState::Unplaced);
+        // A later read retries and succeeds (fault budget exhausted).
+        m.read("f", 0, &mut buf).unwrap();
+        m.wait_placement_idle();
+        assert_eq!(m.stats().copies_completed, 1);
+        assert_eq!(m.metadata().get("f").unwrap().tier, 0);
+    }
+
+    #[test]
+    fn concurrent_readers_single_copy() {
+        let m = Arc::new(mem_monarch(1 << 20, 1, 4096));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    let mut buf = vec![0u8; 256];
+                    for off in (0..4096).step_by(256) {
+                        assert_eq!(m.read("f000", off, &mut buf).unwrap(), 256);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        m.wait_placement_idle();
+        let stats = m.stats();
+        assert_eq!(stats.copies_scheduled, 1, "dedup: one copy despite 8 readers");
+        assert_eq!(stats.copies_completed, 1);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_reads() {
+        let m = mem_monarch(1 << 20, 1, 100);
+        let stats = m.shutdown();
+        assert_eq!(stats.copies_failed, 0);
+    }
+
+    #[test]
+    fn constructs_from_config_with_mem_backends() {
+        let cfg = MonarchConfig::builder()
+            .tier(TierConfig::mem("ram").with_capacity(1 << 20))
+            .tier(TierConfig::mem("pfs"))
+            .pool_threads(2)
+            .build();
+        let m = Monarch::new(cfg).unwrap();
+        assert_eq!(m.pool_threads(), 2);
+        assert_eq!(m.hierarchy().levels(), 2);
+    }
+
+    #[test]
+    fn lru_policy_evicts_through_middleware() {
+        let pfs = MemDriver::new("pfs");
+        for i in 0..3 {
+            pfs.insert(&format!("f{i}"), vec![i as u8; 400]);
+        }
+        let hierarchy = StorageHierarchy::new(vec![
+            (
+                "ssd".into(),
+                Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
+                Some(900),
+            ),
+            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
+        ])
+        .unwrap();
+        let m = Monarch::with_parts(hierarchy, Arc::new(LruEvict::new()), 1, true);
+        m.init().unwrap();
+        let mut buf = [0u8; 16];
+        for i in 0..3 {
+            m.read(&format!("f{i}"), 0, &mut buf).unwrap();
+            m.wait_placement_idle();
+        }
+        let stats = m.stats();
+        assert!(stats.evictions >= 1, "third file must evict an earlier one");
+        // Quota never oversubscribed.
+        assert!(m.hierarchy().tier(0).unwrap().quota.as_ref().unwrap().used() <= 900);
+        // All three files still readable with correct bytes.
+        for i in 0..3 {
+            assert_eq!(m.read_full(&format!("f{i}")).unwrap(), vec![i as u8; 400]);
+        }
+    }
+}

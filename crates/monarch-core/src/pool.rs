@@ -1,0 +1,189 @@
+//! Background copy thread pool.
+//!
+//! The paper's prototype used the CTPL C++ thread-pool library; this is an
+//! equivalent built on crossbeam channels: a fixed set of worker threads
+//! draining a task queue, with graceful shutdown (drain-then-join) and an
+//! in-flight counter so callers can wait for quiescence — used by tests and
+//! by the end-of-epoch barrier in the real trainer.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+
+/// A unit of background work.
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    /// Tasks submitted but not yet finished (queued + running).
+    pending: AtomicUsize,
+    /// Total tasks ever submitted.
+    submitted: AtomicU64,
+    /// Wakes `wait_idle` when `pending` hits zero.
+    idle_mutex: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+/// Fixed-size background worker pool.
+pub struct ThreadPool {
+    tx: Option<Sender<Task>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers (minimum 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx): (Sender<Task>, Receiver<Task>) = channel::unbounded();
+        let shared = Arc::new(Shared {
+            pending: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+            idle_mutex: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = rx.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("monarch-copy-{i}"))
+                    .spawn(move || {
+                        while let Ok(task) = rx.recv() {
+                            task();
+                            if shared.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                let _guard = shared.idle_mutex.lock();
+                                shared.idle_cv.notify_all();
+                            }
+                        }
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { tx: Some(tx), workers, shared }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a task. Returns `false` if the pool is shutting down.
+    pub fn submit(&self, task: Task) -> bool {
+        let Some(tx) = self.tx.as_ref() else { return false };
+        self.shared.pending.fetch_add(1, Ordering::AcqRel);
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        if tx.send(task).is_err() {
+            self.shared.pending.fetch_sub(1, Ordering::AcqRel);
+            return false;
+        }
+        true
+    }
+
+    /// Tasks submitted but not yet completed.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::Acquire)
+    }
+
+    /// Total tasks ever submitted.
+    #[must_use]
+    pub fn submitted(&self) -> u64 {
+        self.shared.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Block until no tasks are queued or running.
+    pub fn wait_idle(&self) {
+        let mut guard = self.shared.idle_mutex.lock();
+        while self.shared.pending.load(Ordering::Acquire) != 0 {
+            self.shared.idle_cv.wait(&mut guard);
+        }
+    }
+
+    /// Drain outstanding work and join the workers.
+    pub fn shutdown(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            drop(tx); // closes the channel; workers exit after draining
+            for w in self.workers.drain(..) {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_all_tasks() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicU32::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            assert!(pool.submit(Box::new(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            })));
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(pool.submitted(), 100);
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn wait_idle_on_empty_pool_returns() {
+        let pool = ThreadPool::new(1);
+        pool.wait_idle();
+    }
+
+    #[test]
+    fn shutdown_drains_queue() {
+        let mut pool = ThreadPool::new(1);
+        let counter = Arc::new(AtomicU32::new(0));
+        for _ in 0..16 {
+            let c = Arc::clone(&counter);
+            pool.submit(Box::new(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                c.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+        // Submitting after shutdown is refused.
+        assert!(!pool.submit(Box::new(|| {})));
+    }
+
+    #[test]
+    fn min_one_thread() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn tasks_run_concurrently() {
+        // With 4 workers, 4 tasks that each wait for the others should all
+        // make progress (deadlocks if the pool serialized them).
+        let pool = ThreadPool::new(4);
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        for _ in 0..4 {
+            let b = Arc::clone(&barrier);
+            pool.submit(Box::new(move || {
+                b.wait();
+            }));
+        }
+        pool.wait_idle();
+    }
+}

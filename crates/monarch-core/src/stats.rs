@@ -1,0 +1,228 @@
+//! Middleware statistics: per-tier operation and byte counters.
+//!
+//! The paper's headline secondary metric is the number of I/O operations
+//! submitted to the shared PFS; [`Stats`] counts reads/writes/bytes per
+//! tier plus placement outcomes, all with relaxed atomics on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::Serialize;
+
+use crate::TierId;
+
+/// Per-tier atomic counters.
+#[derive(Debug, Default)]
+pub struct TierCounters {
+    reads: AtomicU64,
+    bytes_read: AtomicU64,
+    writes: AtomicU64,
+    bytes_written: AtomicU64,
+    removes: AtomicU64,
+}
+
+/// Aggregate middleware counters.
+#[derive(Debug)]
+pub struct Stats {
+    tiers: Vec<TierCounters>,
+    copies_scheduled: AtomicU64,
+    copies_completed: AtomicU64,
+    copies_failed: AtomicU64,
+    placement_skipped: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Stats {
+    /// Counters for a hierarchy with `tiers` levels.
+    #[must_use]
+    pub fn new(tiers: usize) -> Self {
+        Self {
+            tiers: (0..tiers).map(|_| TierCounters::default()).collect(),
+            copies_scheduled: AtomicU64::new(0),
+            copies_completed: AtomicU64::new(0),
+            copies_failed: AtomicU64::new(0),
+            placement_skipped: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a read of `bytes` served by `tier`.
+    #[inline]
+    pub fn record_read(&self, tier: TierId, bytes: u64) {
+        let t = &self.tiers[tier];
+        t.reads.fetch_add(1, Ordering::Relaxed);
+        t.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record a write of `bytes` to `tier`.
+    #[inline]
+    pub fn record_write(&self, tier: TierId, bytes: u64) {
+        let t = &self.tiers[tier];
+        t.writes.fetch_add(1, Ordering::Relaxed);
+        t.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record a file removal on `tier` (eviction).
+    #[inline]
+    pub fn record_remove(&self, tier: TierId) {
+        self.tiers[tier].removes.fetch_add(1, Ordering::Relaxed);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A background copy was scheduled.
+    pub fn copy_scheduled(&self) {
+        self.copies_scheduled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A background copy completed.
+    pub fn copy_completed(&self) {
+        self.copies_completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A background copy failed (quota released, metadata reverted).
+    pub fn copy_failed(&self) {
+        self.copies_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Placement skipped because no local tier had room.
+    pub fn placement_skip(&self) {
+        self.placement_skipped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Immutable snapshot for reporting.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            tiers: self
+                .tiers
+                .iter()
+                .map(|t| TierSnapshot {
+                    reads: t.reads.load(Ordering::Relaxed),
+                    bytes_read: t.bytes_read.load(Ordering::Relaxed),
+                    writes: t.writes.load(Ordering::Relaxed),
+                    bytes_written: t.bytes_written.load(Ordering::Relaxed),
+                    removes: t.removes.load(Ordering::Relaxed),
+                })
+                .collect(),
+            copies_scheduled: self.copies_scheduled.load(Ordering::Relaxed),
+            copies_completed: self.copies_completed.load(Ordering::Relaxed),
+            copies_failed: self.copies_failed.load(Ordering::Relaxed),
+            placement_skipped: self.placement_skipped.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of one tier's counters.
+#[derive(Debug, Clone, Copy, Default, Serialize, PartialEq, Eq)]
+pub struct TierSnapshot {
+    /// Read operations served by this tier.
+    pub reads: u64,
+    /// Bytes read from this tier.
+    pub bytes_read: u64,
+    /// Write operations to this tier (placement copies).
+    pub writes: u64,
+    /// Bytes written to this tier.
+    pub bytes_written: u64,
+    /// Files removed from this tier (evictions).
+    pub removes: u64,
+}
+
+/// Snapshot of the whole middleware.
+#[derive(Debug, Clone, Default, Serialize, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Per-tier counters, index = tier id (last = PFS).
+    pub tiers: Vec<TierSnapshot>,
+    /// Background copies scheduled.
+    pub copies_scheduled: u64,
+    /// Background copies completed successfully.
+    pub copies_completed: u64,
+    /// Background copies that failed.
+    pub copies_failed: u64,
+    /// Files left on the PFS because no local tier had room.
+    pub placement_skipped: u64,
+    /// Files evicted (ablation policies only).
+    pub evictions: u64,
+}
+
+impl StatsSnapshot {
+    /// Reads served by the PFS (last tier).
+    #[must_use]
+    pub fn pfs_reads(&self) -> u64 {
+        self.tiers.last().map_or(0, |t| t.reads)
+    }
+
+    /// Reads served by local tiers.
+    #[must_use]
+    pub fn local_reads(&self) -> u64 {
+        self.tiers.iter().rev().skip(1).map(|t| t.reads).sum()
+    }
+
+    /// Fraction of reads that hit a local tier (0 when no reads yet).
+    #[must_use]
+    pub fn local_hit_ratio(&self) -> f64 {
+        let local = self.local_reads();
+        let total = local + self.pfs_reads();
+        if total == 0 {
+            0.0
+        } else {
+            local as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = Stats::new(2);
+        s.record_read(0, 100);
+        s.record_read(1, 50);
+        s.record_read(1, 50);
+        s.record_write(0, 500);
+        s.copy_scheduled();
+        s.copy_completed();
+        let snap = s.snapshot();
+        assert_eq!(snap.tiers[0].reads, 1);
+        assert_eq!(snap.tiers[0].bytes_read, 100);
+        assert_eq!(snap.tiers[1].reads, 2);
+        assert_eq!(snap.tiers[0].writes, 1);
+        assert_eq!(snap.tiers[0].bytes_written, 500);
+        assert_eq!(snap.copies_scheduled, 1);
+        assert_eq!(snap.copies_completed, 1);
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let s = Stats::new(2);
+        assert_eq!(s.snapshot().local_hit_ratio(), 0.0);
+        s.record_read(0, 1);
+        s.record_read(0, 1);
+        s.record_read(0, 1);
+        s.record_read(1, 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.local_reads(), 3);
+        assert_eq!(snap.pfs_reads(), 1);
+        assert!((snap.local_hit_ratio() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eviction_counting() {
+        let s = Stats::new(3);
+        s.record_remove(0);
+        s.record_remove(1);
+        let snap = s.snapshot();
+        assert_eq!(snap.evictions, 2);
+        assert_eq!(snap.tiers[0].removes, 1);
+        assert_eq!(snap.tiers[1].removes, 1);
+    }
+
+    #[test]
+    fn snapshot_serializes() {
+        let s = Stats::new(2);
+        s.record_read(1, 10);
+        let json = serde_json::to_string(&s.snapshot()).unwrap();
+        assert!(json.contains("\"reads\":1"));
+    }
+}

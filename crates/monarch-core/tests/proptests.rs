@@ -1,0 +1,182 @@
+//! Property-based tests for the middleware's core invariants.
+
+use std::sync::Arc;
+
+use monarch_core::driver::MemDriver;
+use monarch_core::hierarchy::{Quota, StorageHierarchy};
+use monarch_core::metadata::PlacementState;
+use monarch_core::placement::{FirstFit, LruEvict, PlacementPolicy, RoundRobin};
+use monarch_core::{Monarch, StorageDriver};
+use proptest::prelude::*;
+
+/// Build a hierarchy of `caps` local mem tiers plus a mem PFS holding the
+/// given files.
+fn build(caps: &[u64], files: &[(String, u64)]) -> StorageHierarchy {
+    let pfs = MemDriver::new("pfs");
+    for (name, size) in files {
+        pfs.insert(name, vec![0xa5u8; *size as usize]);
+    }
+    let mut levels: Vec<(String, Arc<dyn StorageDriver>, Option<u64>)> = caps
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            (
+                format!("t{i}"),
+                Arc::new(MemDriver::new(format!("t{i}"))) as Arc<dyn StorageDriver>,
+                Some(c),
+            )
+        })
+        .collect();
+    levels.push(("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None));
+    StorageHierarchy::new(levels).unwrap()
+}
+
+fn file_set(n: usize) -> Vec<(String, u64)> {
+    (0..n).map(|i| (format!("f{i:04}"), 0)).collect()
+}
+
+proptest! {
+    /// Quota is never oversubscribed, whatever the interleaving of
+    /// reservations and releases.
+    #[test]
+    fn quota_never_oversubscribed(cap in 1u64..10_000, ops in prop::collection::vec((0u64..512, any::<bool>()), 1..200)) {
+        let q = Quota::new(cap);
+        let mut held: Vec<u64> = Vec::new();
+        for (bytes, release_first) in ops {
+            if release_first && !held.is_empty() {
+                let b = held.swap_remove(0);
+                q.release(b);
+            }
+            if q.try_reserve(bytes) {
+                held.push(bytes);
+            }
+            let total: u64 = held.iter().sum();
+            prop_assert_eq!(q.used(), total);
+            prop_assert!(q.used() <= cap);
+        }
+    }
+
+    /// FirstFit invariants: a placed file's reserved bytes land on the
+    /// first tier that could hold it, never evicting, never oversubscribing.
+    #[test]
+    fn first_fit_invariants(caps in prop::collection::vec(64u64..2048, 1..4),
+                            sizes in prop::collection::vec(1u64..512, 1..64)) {
+        let files: Vec<(String, u64)> = sizes.iter().enumerate()
+            .map(|(i, &s)| (format!("f{i:04}"), s))
+            .collect();
+        let h = build(&caps, &file_set(files.len()));
+        let p = FirstFit;
+        for (name, size) in &files {
+            if let Some(d) = p.place(&h, name, *size).unwrap() {
+                prop_assert!(d.evict.is_empty());
+                prop_assert!(d.tier < caps.len());
+                // Every faster tier was genuinely full for this size.
+                for t in 0..d.tier {
+                    let free = h.tier(t).unwrap().quota.as_ref().unwrap().free();
+                    prop_assert!(free < *size, "tier {t} had {free} free for {size}");
+                }
+            }
+        }
+        for (i, &cap) in caps.iter().enumerate() {
+            let used = h.tier(i).unwrap().quota.as_ref().unwrap().used();
+            prop_assert!(used <= cap);
+        }
+    }
+
+    /// RoundRobin never oversubscribes either.
+    #[test]
+    fn round_robin_respects_quota(caps in prop::collection::vec(64u64..1024, 2..4),
+                                  sizes in prop::collection::vec(1u64..256, 1..64)) {
+        let h = build(&caps, &[]);
+        let p = RoundRobin::default();
+        for (i, &size) in sizes.iter().enumerate() {
+            let _ = p.place(&h, &format!("f{i}"), size).unwrap();
+        }
+        for (i, &cap) in caps.iter().enumerate() {
+            prop_assert!(h.tier(i).unwrap().quota.as_ref().unwrap().used() <= cap);
+        }
+    }
+
+    /// End-to-end: any workload of (file, offset) reads against a
+    /// middleware with arbitrary local capacity serves exactly the staged
+    /// bytes, and afterwards every file is in a consistent placement state
+    /// with tier-0 usage within quota.
+    #[test]
+    fn middleware_serves_correct_bytes(
+        cap in 0u64..4096,
+        nfiles in 1usize..12,
+        reads in prop::collection::vec((0usize..12, 0u64..600), 1..80),
+    ) {
+        let files: Vec<(String, u64)> = (0..nfiles)
+            .map(|i| (format!("f{i:04}"), 64 + (i as u64 * 37) % 400))
+            .collect();
+        let pfs = MemDriver::new("pfs");
+        let mut contents = Vec::new();
+        for (i, (name, size)) in files.iter().enumerate() {
+            let data: Vec<u8> = (0..*size).map(|j| (i as u8) ^ (j as u8)).collect();
+            pfs.insert(name, data.clone());
+            contents.push(data);
+        }
+        let h = StorageHierarchy::new(vec![
+            ("ssd".into(), Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>, Some(cap)),
+            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
+        ]).unwrap();
+        let m = Monarch::with_parts(h, Arc::new(FirstFit), 2, true);
+        m.init().unwrap();
+        let mut buf = vec![0u8; 128];
+        for (fi, offset) in reads {
+            let fi = fi % nfiles;
+            let (name, size) = &files[fi];
+            let n = m.read(name, offset, &mut buf).unwrap();
+            if offset >= *size {
+                prop_assert_eq!(n, 0);
+            } else {
+                let want = (*size - offset).min(buf.len() as u64) as usize;
+                prop_assert_eq!(n, want);
+                prop_assert_eq!(&buf[..n], &contents[fi][offset as usize..offset as usize + n]);
+            }
+        }
+        m.wait_placement_idle();
+        let used = m.hierarchy().tier(0).unwrap().quota.as_ref().unwrap().used();
+        prop_assert!(used <= cap);
+        // Placement states are terminal-consistent: nothing left Copying.
+        m.metadata().for_each(|_, info| {
+            assert_ne!(
+                std::mem::discriminant(&info.state),
+                std::mem::discriminant(&PlacementState::Copying { target: 0 })
+            );
+        });
+        let stats = m.stats();
+        prop_assert_eq!(stats.copies_scheduled,
+                        stats.copies_completed + stats.copies_failed + stats.placement_skipped);
+        prop_assert_eq!(stats.evictions, 0);
+    }
+
+    /// LRU ablation policy: tier-0 usage stays within quota across an
+    /// arbitrary access pattern even with evictions happening.
+    #[test]
+    fn lru_quota_safe(cap in 200u64..1000,
+                      accesses in prop::collection::vec(0usize..10, 1..60)) {
+        let files: Vec<(String, u64)> = (0..10)
+            .map(|i| (format!("f{i}"), 100 + (i as u64 * 53) % 150))
+            .collect();
+        let pfs = MemDriver::new("pfs");
+        for (name, size) in &files {
+            pfs.insert(name, vec![1u8; *size as usize]);
+        }
+        let h = StorageHierarchy::new(vec![
+            ("ssd".into(), Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>, Some(cap)),
+            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
+        ]).unwrap();
+        let m = Monarch::with_parts(h, Arc::new(LruEvict::new()), 1, true);
+        m.init().unwrap();
+        let mut buf = vec![0u8; 64];
+        for fi in accesses {
+            let (name, _) = &files[fi];
+            m.read(name, 0, &mut buf).unwrap();
+            m.wait_placement_idle();
+            let used = m.hierarchy().tier(0).unwrap().quota.as_ref().unwrap().used();
+            prop_assert!(used <= cap, "used {used} > cap {cap}");
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! # monarch-ffi — the C ABI a DL framework integrates against
+//!
+//! The paper integrates MONARCH into TensorFlow by changing six lines:
+//! instantiate the middleware, register the driver, and replace the POSIX
+//! `pread` with `Monarch.read` (which takes a *filename* instead of a file
+//! descriptor). This crate exposes exactly that surface as a `cdylib`, so
+//! a framework's POSIX file-system driver can do the same against the Rust
+//! implementation:
+//!
+//! ```c
+//! monarch_t *m = monarch_init_json(config_json);        // 1
+//! /* ... in the storage driver's PRead():               */
+//! long n = monarch_read(m, filename, offset, buf, len); // 2 (was pread)
+//! /* ... at teardown:                                   */
+//! monarch_shutdown(m);                                  // 3
+//! ```
+//!
+//! All functions are panic-safe (panics are caught and converted to error
+//! codes) and thread-safe (the middleware is internally synchronised).
+
+use std::ffi::{c_char, c_int, c_long, CStr, CString};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::ptr;
+
+use monarch_core::{Monarch, MonarchConfig};
+
+/// Opaque middleware handle exposed to C.
+pub struct MonarchHandle {
+    inner: Monarch,
+}
+
+/// Error codes returned by the C API.
+pub mod errcode {
+    /// Operation succeeded.
+    pub const OK: i64 = 0;
+    /// A pointer argument was null or a string was not valid UTF-8.
+    pub const EINVAL: i64 = -1;
+    /// The configuration could not be parsed or applied.
+    pub const ECONFIG: i64 = -2;
+    /// The file is not present in the namespace.
+    pub const ENOENT: i64 = -3;
+    /// An I/O error occurred in a storage backend.
+    pub const EIO: i64 = -4;
+    /// An internal panic was caught.
+    pub const EPANIC: i64 = -5;
+}
+
+fn to_str<'a>(ptr: *const c_char) -> Option<&'a str> {
+    if ptr.is_null() {
+        return None;
+    }
+    // SAFETY: caller passes a NUL-terminated string (C API contract).
+    unsafe { CStr::from_ptr(ptr) }.to_str().ok()
+}
+
+/// Create a middleware instance from a JSON configuration string (see
+/// [`monarch_core::config::MonarchConfig`] for the schema) and scan the
+/// PFS tier to populate the namespace. Returns null on failure.
+///
+/// # Safety
+/// `config_json` must be a valid NUL-terminated C string or null.
+#[no_mangle]
+pub unsafe extern "C" fn monarch_init_json(config_json: *const c_char) -> *mut MonarchHandle {
+    let result = catch_unwind(|| {
+        let json = to_str(config_json)?;
+        let cfg = MonarchConfig::from_json(json).ok()?;
+        let inner = Monarch::new(cfg).ok()?;
+        inner.init().ok()?;
+        Some(Box::new(MonarchHandle { inner }))
+    });
+    match result {
+        Ok(Some(handle)) => Box::into_raw(handle),
+        _ => ptr::null_mut(),
+    }
+}
+
+/// The `Monarch.read` operation: read up to `len` bytes of `filename`
+/// starting at `offset` into `buf`. Returns the byte count (0 at EOF) or a
+/// negative [`errcode`].
+///
+/// # Safety
+/// `handle` must come from [`monarch_init_json`] and not be freed;
+/// `filename` must be NUL-terminated; `buf` must point to `len` writable
+/// bytes.
+#[no_mangle]
+pub unsafe extern "C" fn monarch_read(
+    handle: *mut MonarchHandle,
+    filename: *const c_char,
+    offset: u64,
+    buf: *mut u8,
+    len: usize,
+) -> c_long {
+    if handle.is_null() || buf.is_null() {
+        return errcode::EINVAL as c_long;
+    }
+    let Some(name) = to_str(filename) else {
+        return errcode::EINVAL as c_long;
+    };
+    // SAFETY: caller guarantees buf/len per the contract above.
+    let slice = unsafe { std::slice::from_raw_parts_mut(buf, len) };
+    let monarch = unsafe { &(*handle).inner };
+    let outcome = catch_unwind(AssertUnwindSafe(|| monarch.read(name, offset, slice)));
+    match outcome {
+        Ok(Ok(n)) => n as c_long,
+        Ok(Err(monarch_core::Error::UnknownFile(_))) => errcode::ENOENT as c_long,
+        Ok(Err(_)) => errcode::EIO as c_long,
+        Err(_) => errcode::EPANIC as c_long,
+    }
+}
+
+/// Size of `filename` per the namespace, or a negative [`errcode`].
+///
+/// # Safety
+/// Same contract as [`monarch_read`] for `handle` and `filename`.
+#[no_mangle]
+pub unsafe extern "C" fn monarch_file_size(
+    handle: *mut MonarchHandle,
+    filename: *const c_char,
+) -> c_long {
+    if handle.is_null() {
+        return errcode::EINVAL as c_long;
+    }
+    let Some(name) = to_str(filename) else {
+        return errcode::EINVAL as c_long;
+    };
+    let monarch = unsafe { &(*handle).inner };
+    match catch_unwind(AssertUnwindSafe(|| monarch.file_size(name))) {
+        Ok(Ok(size)) => size as c_long,
+        Ok(Err(monarch_core::Error::UnknownFile(_))) => errcode::ENOENT as c_long,
+        Ok(Err(_)) => errcode::EIO as c_long,
+        Err(_) => errcode::EPANIC as c_long,
+    }
+}
+
+/// Number of files registered in the namespace, or a negative [`errcode`].
+///
+/// # Safety
+/// `handle` must come from [`monarch_init_json`] and not be freed.
+#[no_mangle]
+pub unsafe extern "C" fn monarch_file_count(handle: *mut MonarchHandle) -> c_long {
+    if handle.is_null() {
+        return errcode::EINVAL as c_long;
+    }
+    let monarch = unsafe { &(*handle).inner };
+    monarch.metadata().len() as c_long
+}
+
+/// Export the middleware statistics as a JSON document. The returned
+/// string must be released with [`monarch_string_free`]. Null on failure.
+///
+/// # Safety
+/// `handle` must come from [`monarch_init_json`] and not be freed.
+#[no_mangle]
+pub unsafe extern "C" fn monarch_stats_json(handle: *mut MonarchHandle) -> *mut c_char {
+    if handle.is_null() {
+        return ptr::null_mut();
+    }
+    let monarch = unsafe { &(*handle).inner };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        serde_json::to_string(&monarch.stats()).ok()
+    }));
+    match outcome {
+        Ok(Some(json)) => match CString::new(json) {
+            Ok(c) => c.into_raw(),
+            Err(_) => ptr::null_mut(),
+        },
+        _ => ptr::null_mut(),
+    }
+}
+
+/// Release a string returned by [`monarch_stats_json`].
+///
+/// # Safety
+/// `s` must come from this library and not be freed twice.
+#[no_mangle]
+pub unsafe extern "C" fn monarch_string_free(s: *mut c_char) {
+    if !s.is_null() {
+        // SAFETY: produced by CString::into_raw above.
+        drop(unsafe { CString::from_raw(s) });
+    }
+}
+
+/// Block until all background placement copies are finished (tests,
+/// graceful teardown).
+///
+/// # Safety
+/// `handle` must come from [`monarch_init_json`] and not be freed.
+#[no_mangle]
+pub unsafe extern "C" fn monarch_wait_idle(handle: *mut MonarchHandle) -> c_int {
+    if handle.is_null() {
+        return errcode::EINVAL as c_int;
+    }
+    let monarch = unsafe { &(*handle).inner };
+    match catch_unwind(AssertUnwindSafe(|| monarch.wait_placement_idle())) {
+        Ok(()) => 0,
+        Err(_) => errcode::EPANIC as c_int,
+    }
+}
+
+/// Destroy the middleware: drains the copy pool and frees the handle.
+///
+/// # Safety
+/// `handle` must come from [`monarch_init_json`]; it must not be used
+/// afterwards.
+#[no_mangle]
+pub unsafe extern "C" fn monarch_shutdown(handle: *mut MonarchHandle) {
+    if handle.is_null() {
+        return;
+    }
+    // SAFETY: unique ownership returns to Rust here.
+    let boxed = unsafe { Box::from_raw(handle) };
+    let _ = catch_unwind(AssertUnwindSafe(move || {
+        let _ = boxed.inner.shutdown();
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monarch_core::config::{MonarchConfig, TierConfig};
+    use std::ffi::CString;
+
+    /// Build a config over two real directories with staged data.
+    fn staged_config(tag: &str) -> (CString, std::path::PathBuf, u64) {
+        let root =
+            std::env::temp_dir().join(format!("monarch-ffi-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let data = root.join("pfs");
+        std::fs::create_dir_all(&data).unwrap();
+        let mut total = 0u64;
+        for i in 0..4 {
+            let content = vec![i as u8; 1000 + i as usize];
+            total += content.len() as u64;
+            std::fs::write(data.join(format!("f{i}")), content).unwrap();
+        }
+        let cfg = MonarchConfig::builder()
+            .tier(
+                TierConfig::posix("ssd", root.join("ssd").to_string_lossy().to_string())
+                    .with_capacity(1 << 20),
+            )
+            .tier(TierConfig::posix("pfs", data.to_string_lossy().to_string()))
+            .pool_threads(2)
+            .build();
+        (CString::new(cfg.to_json()).unwrap(), root, total)
+    }
+
+    #[test]
+    fn full_lifecycle_through_c_abi() {
+        let (json, root, _total) = staged_config("lifecycle");
+        unsafe {
+            let h = monarch_init_json(json.as_ptr());
+            assert!(!h.is_null());
+            assert_eq!(monarch_file_count(h), 4);
+
+            let name = CString::new("f2").unwrap();
+            assert_eq!(monarch_file_size(h, name.as_ptr()), 1002);
+
+            let mut buf = vec![0u8; 4096];
+            let n = monarch_read(h, name.as_ptr(), 0, buf.as_mut_ptr(), buf.len());
+            assert_eq!(n, 1002);
+            assert!(buf[..1002].iter().all(|&b| b == 2));
+
+            // Offset read.
+            let n = monarch_read(h, name.as_ptr(), 1000, buf.as_mut_ptr(), buf.len());
+            assert_eq!(n, 2);
+
+            // EOF.
+            let n = monarch_read(h, name.as_ptr(), 5000, buf.as_mut_ptr(), buf.len());
+            assert_eq!(n, 0);
+
+            assert_eq!(monarch_wait_idle(h), 0);
+            let stats = monarch_stats_json(h);
+            assert!(!stats.is_null());
+            let s = CStr::from_ptr(stats).to_str().unwrap().to_string();
+            assert!(s.contains("copies_completed"), "{s}");
+            monarch_string_free(stats);
+
+            // Second read is served locally now.
+            let n = monarch_read(h, name.as_ptr(), 0, buf.as_mut_ptr(), buf.len());
+            assert_eq!(n, 1002);
+
+            monarch_shutdown(h);
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn error_codes() {
+        let (json, root, _) = staged_config("errors");
+        unsafe {
+            assert!(monarch_init_json(ptr::null()).is_null());
+            let bad = CString::new("{not json").unwrap();
+            assert!(monarch_init_json(bad.as_ptr()).is_null());
+
+            let h = monarch_init_json(json.as_ptr());
+            assert!(!h.is_null());
+            let missing = CString::new("nope").unwrap();
+            let mut buf = [0u8; 8];
+            assert_eq!(
+                monarch_read(h, missing.as_ptr(), 0, buf.as_mut_ptr(), buf.len()),
+                errcode::ENOENT as c_long
+            );
+            assert_eq!(
+                monarch_read(h, ptr::null(), 0, buf.as_mut_ptr(), buf.len()),
+                errcode::EINVAL as c_long
+            );
+            let f0 = CString::new("f0").unwrap();
+            assert_eq!(
+                monarch_read(h, f0.as_ptr(), 0, ptr::null_mut(), 8),
+                errcode::EINVAL as c_long
+            );
+            assert_eq!(monarch_file_size(h, missing.as_ptr()), errcode::ENOENT as c_long);
+            monarch_shutdown(h);
+            monarch_shutdown(ptr::null_mut()); // tolerated
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,135 @@
+//! Virtual time: integer nanoseconds since simulation start.
+//!
+//! Integer time keeps the event heap ordering exact and the simulation
+//! bit-for-bit deterministic across platforms (f64 comparisons would not
+//! be).
+
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::Serialize;
+
+/// A point in virtual time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Largest representable time (used as "never").
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// From whole seconds.
+    #[must_use]
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// From fractional seconds (rounds to nanoseconds; saturates at 0).
+    #[must_use]
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// From microseconds.
+    #[must_use]
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// From milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// As fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Nanoseconds value.
+    #[must_use]
+    pub fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        debug_assert!(self.0 >= rhs.0, "SimTime underflow: {} - {}", self.0, rhs.0);
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+/// Duration needed to move `bytes` at `rate` bytes/second.
+#[must_use]
+pub fn transfer_time(bytes: u64, rate_bytes_per_sec: f64) -> SimTime {
+    if rate_bytes_per_sec <= 0.0 {
+        return SimTime::MAX;
+    }
+    SimTime::from_secs_f64(bytes as f64 / rate_bytes_per_sec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_secs(2).nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_millis(3).nanos(), 3_000_000);
+        assert_eq!(SimTime::from_micros(5).nanos(), 5_000);
+        assert!((SimTime::from_secs_f64(1.5).as_secs_f64() - 1.5).abs() < 1e-9);
+        assert_eq!(SimTime::from_secs_f64(-1.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_millis(500);
+        assert_eq!((a + b).nanos(), 1_500_000_000);
+        assert_eq!((a - b).nanos(), 500_000_000);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+    }
+
+    #[test]
+    fn transfer_time_math() {
+        // 1 MiB at 1 MiB/s = 1 s.
+        let t = transfer_time(1 << 20, (1 << 20) as f64);
+        assert_eq!(t, SimTime::from_secs(1));
+        assert_eq!(transfer_time(1, 0.0), SimTime::MAX);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = [SimTime::from_secs(3), SimTime::ZERO, SimTime::from_millis(1)];
+        v.sort();
+        assert_eq!(v[0], SimTime::ZERO);
+        assert_eq!(v[2], SimTime::from_secs(3));
+    }
+}

@@ -1,0 +1,194 @@
+//! Deterministic event queue: the heart of the discrete-event engine.
+//!
+//! Events are `(time, payload)` pairs; ties break in submission order
+//! (FIFO), so a simulation with a fixed RNG seed is bit-for-bit
+//! reproducible. Cancellation is handled by the *generation pattern* at the
+//! call sites (a stale wake-up carries an old generation number and is
+//! ignored) rather than by removing heap entries, which keeps `pop` O(log n)
+//! without tombstone bookkeeping.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::clock::SimTime;
+
+/// One scheduled entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Key {
+    time: SimTime,
+    seq: u64,
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap of timed events with FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Key, u64)>>,
+    payloads: Vec<Option<E>>,
+    free: Vec<usize>,
+    seq: u64,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            payloads: Vec::new(),
+            free: Vec::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time — the timestamp of the last popped event.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events popped so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedule `payload` at absolute time `at`. Scheduling in the past
+    /// (before `now`) is a logic error in debug builds and clamps to `now`
+    /// in release builds.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        let at = at.max(self.now);
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.payloads[slot] = Some(payload);
+                slot
+            }
+            None => {
+                self.payloads.push(Some(payload));
+                self.payloads.len() - 1
+            }
+        };
+        let key = Key { time: at, seq: self.seq };
+        self.seq += 1;
+        self.heap.push(Reverse((key, slot as u64)));
+    }
+
+    /// Schedule `payload` after a delay relative to `now`.
+    pub fn schedule_after(&mut self, delay: SimTime, payload: E) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Pop the earliest event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse((key, slot)) = self.heap.pop()?;
+        let payload = self.payloads[slot as usize].take().expect("payload present");
+        self.free.push(slot as usize);
+        self.now = key.time;
+        self.processed += 1;
+        Some((key.time, payload))
+    }
+
+    /// Timestamp of the next event without popping it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((k, _))| k.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), "c");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(1), "a"));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(2), "b"));
+        assert_eq!(q.now(), SimTime::from_secs(2));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(3), "c"));
+        assert!(q.pop().is_none());
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn schedule_after_uses_now() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), 0u32);
+        q.pop();
+        q.schedule_after(SimTime::from_secs(2), 1u32);
+        assert_eq!(q.pop().unwrap(), (SimTime::from_secs(7), 1));
+    }
+
+    #[test]
+    fn slot_reuse_does_not_corrupt() {
+        let mut q = EventQueue::new();
+        for round in 0..10u64 {
+            for i in 0..50u64 {
+                q.schedule(SimTime(round * 100 + i), round * 50 + i);
+            }
+            for i in 0..50u64 {
+                let (_, v) = q.pop().unwrap();
+                assert_eq!(v, round * 50 + i);
+            }
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn past_scheduling_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(1), ());
+    }
+}

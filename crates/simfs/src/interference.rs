@@ -1,0 +1,177 @@
+//! Background-load interference on the shared PFS.
+//!
+//! Lustre bandwidth observed by one job varies with what every other job on
+//! the machine is doing (paper §II-A: "high performance variability under
+//! the vanilla-lustre setup, since Lustre is concurrently accessed by other
+//! jobs"). We model this as a continuous-time Markov chain over discrete
+//! load states; each state scales the PFS device's available bandwidth and
+//! dwells for an exponentially distributed time.
+
+use crate::clock::SimTime;
+use crate::rng::SimRng;
+
+/// One interference regime.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadState {
+    /// Fraction of nominal PFS bandwidth available to our job.
+    pub bandwidth_fraction: f64,
+    /// Mean dwell time in this state.
+    pub mean_dwell: SimTime,
+    /// Relative probability of entering this state.
+    pub weight: f64,
+}
+
+/// Markov-modulated interference process.
+#[derive(Debug)]
+pub struct Interference {
+    states: Vec<LoadState>,
+    current: usize,
+}
+
+impl Interference {
+    /// Build from a state table; `initial` indexes the starting state.
+    ///
+    /// # Panics
+    /// If `states` is empty or `initial` out of range.
+    #[must_use]
+    pub fn new(states: Vec<LoadState>, initial: usize) -> Self {
+        assert!(!states.is_empty() && initial < states.len());
+        Self { states, current: initial }
+    }
+
+    /// The profile used for the Frontera Lustre experiments: mostly
+    /// moderate sharing, with excursions to near-exclusive and to heavily
+    /// contended. Dwell times of tens of seconds give the epoch-scale
+    /// variability the paper reports.
+    #[must_use]
+    pub fn lustre_default() -> Self {
+        Self::new(
+            vec![
+                // Quiet: our job sees most of its nominal share.
+                LoadState {
+                    bandwidth_fraction: 1.0,
+                    mean_dwell: SimTime::from_secs(40),
+                    weight: 0.3,
+                },
+                // Typical sharing.
+                LoadState {
+                    bandwidth_fraction: 0.72,
+                    mean_dwell: SimTime::from_secs(60),
+                    weight: 0.45,
+                },
+                // Busy.
+                LoadState {
+                    bandwidth_fraction: 0.5,
+                    mean_dwell: SimTime::from_secs(30),
+                    weight: 0.2,
+                },
+                // Storm (checkpoint burst elsewhere on the machine).
+                LoadState {
+                    bandwidth_fraction: 0.3,
+                    mean_dwell: SimTime::from_secs(12),
+                    weight: 0.05,
+                },
+            ],
+            1,
+        )
+    }
+
+    /// A constant-bandwidth stand-in (local devices see no interference).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::new(
+            vec![LoadState {
+                bandwidth_fraction: 1.0,
+                mean_dwell: SimTime::from_secs(3600),
+                weight: 1.0,
+            }],
+            0,
+        )
+    }
+
+    /// Bandwidth fraction of the current state.
+    #[must_use]
+    pub fn current_fraction(&self) -> f64 {
+        self.states[self.current].bandwidth_fraction
+    }
+
+    /// Sample the next transition: returns `(transition_time, new_fraction)`
+    /// and moves the chain.
+    pub fn step(&mut self, now: SimTime, rng: &mut SimRng) -> (SimTime, f64) {
+        let dwell = rng.exp(self.states[self.current].mean_dwell.as_secs_f64());
+        let at = now + SimTime::from_secs_f64(dwell);
+        // Choose the next state by weight, excluding self-transitions when
+        // there is more than one state.
+        if self.states.len() > 1 {
+            loop {
+                let weights: Vec<f64> = self.states.iter().map(|s| s.weight).collect();
+                let next = rng.weighted_index(&weights);
+                if next != self.current {
+                    self.current = next;
+                    break;
+                }
+            }
+        }
+        (at, self.states[self.current].bandwidth_fraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_constant() {
+        let mut i = Interference::none();
+        let mut rng = SimRng::new(1);
+        assert_eq!(i.current_fraction(), 1.0);
+        let (_, f) = i.step(SimTime::ZERO, &mut rng);
+        assert_eq!(f, 1.0);
+    }
+
+    #[test]
+    fn transitions_move_forward_in_time() {
+        let mut i = Interference::lustre_default();
+        let mut rng = SimRng::new(2);
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            let (at, f) = i.step(now, &mut rng);
+            assert!(at > now);
+            assert!((0.0..=1.0).contains(&f));
+            now = at;
+        }
+    }
+
+    #[test]
+    fn visits_multiple_states() {
+        let mut i = Interference::lustre_default();
+        let mut rng = SimRng::new(3);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut now = SimTime::ZERO;
+        for _ in 0..200 {
+            let (at, f) = i.step(now, &mut rng);
+            seen.insert((f * 100.0) as u32);
+            now = at;
+        }
+        assert!(seen.len() >= 3, "chain stuck: {seen:?}");
+    }
+
+    #[test]
+    fn long_run_average_is_reasonable() {
+        // Time-weighted mean fraction should sit between the extremes and
+        // nearer the heavily weighted states.
+        let mut i = Interference::lustre_default();
+        let mut rng = SimRng::new(4);
+        let mut now = SimTime::ZERO;
+        let mut cur = i.current_fraction();
+        let mut weighted = 0.0;
+        for _ in 0..2000 {
+            let (at, f) = i.step(now, &mut rng);
+            weighted += cur * (at - now).as_secs_f64();
+            cur = f;
+            now = at;
+        }
+        let avg = weighted / now.as_secs_f64();
+        assert!((0.55..0.95).contains(&avg), "avg fraction {avg}");
+    }
+}

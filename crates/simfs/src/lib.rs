@@ -1,0 +1,38 @@
+//! # simfs — discrete-event storage simulation
+//!
+//! The MONARCH paper evaluates on a Frontera compute node: a shared Lustre
+//! PFS (variable throughput, metadata server latency, contention from other
+//! jobs) below a node-local SATA SSD. This crate models that environment so
+//! the paper's experiments can run at full scale (hundreds of thousands of
+//! I/O operations per epoch) in seconds of wall time:
+//!
+//! - [`clock::SimTime`] — virtual nanosecond clock.
+//! - [`engine::EventQueue`] — deterministic event heap (FIFO tie-break).
+//! - [`psdev::PsDevice`] — processor-sharing fluid device: concurrent
+//!   transfers share bandwidth fairly, each additionally capped by a
+//!   per-stream rate (client link / single-stream SSD limit).
+//! - [`mds::Mds`] — FIFO metadata server (open/stat costs on the PFS).
+//! - [`interference::Interference`] — Markov-modulated background load that
+//!   scales the PFS bandwidth over time, reproducing the throughput
+//!   variability the paper observes on the shared Lustre.
+//! - [`device::DeviceStats`] — per-device op/byte counters, the basis of
+//!   the paper's "I/O operations submitted to the PFS" metric.
+//!
+//! The crate deliberately contains no workload logic: the DL input
+//! pipeline, the trainer, and MONARCH's placement workers are actors built
+//! on these primitives in the `dlpipe` crate.
+
+pub mod clock;
+pub mod device;
+pub mod engine;
+pub mod interference;
+pub mod mds;
+pub mod psdev;
+pub mod rng;
+
+pub use clock::SimTime;
+pub use device::DeviceStats;
+pub use engine::EventQueue;
+pub use interference::Interference;
+pub use mds::Mds;
+pub use psdev::{PsDevice, TransferId};

@@ -1,0 +1,522 @@
+//! Processor-sharing fluid device model.
+//!
+//! All concurrent transfers on a device drain simultaneously, each at rate
+//! `min(per_stream_cap, total_bandwidth / n_active)` — the classic fluid
+//! approximation of fair-shared storage bandwidth. A transfer optionally
+//! starts with a latency phase (seek / RPC round-trip) during which it
+//! consumes no bandwidth.
+//!
+//! The device is passive: it never touches the event queue. Callers drive
+//! it with the *generation pattern*:
+//!
+//! 1. After any mutation, [`PsDevice::generation`] changes; the caller
+//!    schedules a wake-up event carrying the new generation at
+//!    [`PsDevice::next_wake`].
+//! 2. When a wake-up fires, the caller ignores it if its generation is
+//!    stale; otherwise it calls [`PsDevice::collect_finished`] and
+//!    reschedules.
+//!
+//! This keeps completion-time recomputation (needed whenever the number of
+//! sharers changes) out of the heap: stale entries are simply skipped.
+
+use crate::clock::SimTime;
+use crate::device::DeviceStats;
+
+/// Identifier of an in-flight transfer on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TransferId(pub u64);
+
+/// Transfer direction (for stats and write-cost weighting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Data read.
+    Read,
+    /// Data write (placement copies, tf.data cache spills).
+    Write,
+}
+
+#[derive(Debug)]
+struct Transfer {
+    id: TransferId,
+    /// Cost-scaled bytes still to drain (bytes × weight).
+    remaining: f64,
+    /// Real payload bytes (for stats).
+    bytes: u64,
+    /// Instant the transfer enters the sharing pool (start + latency).
+    arm_at: SimTime,
+    /// Weighted-fair-share weight: a transfer receives bandwidth
+    /// `B × share / Σ shares` (capped). Deeply pipelined bulk sequential
+    /// streams get a larger share than synchronous small reads — the
+    /// asymmetry MONARCH's full-file fetch exploits on Lustre.
+    share: f64,
+    /// Per-transfer rate cap override (`None` = the device's cap).
+    /// Synchronous small reads are capped well below what a pipelined
+    /// bulk stream achieves on the same device.
+    cap: Option<f64>,
+    kind: Kind,
+}
+
+/// Processor-sharing device.
+#[derive(Debug)]
+pub struct PsDevice {
+    name: String,
+    /// Nominal aggregate bandwidth, bytes/s.
+    base_bandwidth: f64,
+    /// Current interference scale in `(0, 1]`.
+    scale: f64,
+    /// Per-transfer rate cap, bytes/s.
+    per_stream_cap: f64,
+    transfers: Vec<Transfer>,
+    last_update: SimTime,
+    generation: u64,
+    next_id: u64,
+    stats: DeviceStats,
+}
+
+/// Completion tolerance, in cost-scaled bytes. Wake-up times round up to
+/// whole nanoseconds, so a finished transfer may show a sub-byte residue.
+const EPSILON: f64 = 0.5;
+
+impl PsDevice {
+    /// A device with `bandwidth` bytes/s shared among transfers, each
+    /// individually capped at `per_stream_cap` bytes/s.
+    #[must_use]
+    pub fn new(name: impl Into<String>, bandwidth: f64, per_stream_cap: f64) -> Self {
+        assert!(bandwidth > 0.0 && per_stream_cap > 0.0);
+        Self {
+            name: name.into(),
+            base_bandwidth: bandwidth,
+            scale: 1.0,
+            per_stream_cap,
+            transfers: Vec::new(),
+            last_update: SimTime::ZERO,
+            generation: 0,
+            next_id: 0,
+            stats: DeviceStats::default(),
+        }
+    }
+
+    /// Device name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current mutation generation (see module docs).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of in-flight transfers (armed or in latency phase).
+    #[must_use]
+    pub fn active(&self) -> usize {
+        self.transfers.len()
+    }
+
+    /// Per-device counters.
+    #[must_use]
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// Current effective aggregate bandwidth.
+    #[must_use]
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.base_bandwidth * self.scale
+    }
+
+    /// Sum of share weights of transfers armed at `t`.
+    fn armed_share_at(&self, t: SimTime) -> f64 {
+        self.transfers
+            .iter()
+            .filter(|tr| tr.arm_at <= t)
+            .map(|tr| tr.share)
+            .sum()
+    }
+
+    /// Drain rate of one transfer given the total armed share.
+    fn rate_of(&self, share: f64, total_share: f64, cap: Option<f64>) -> f64 {
+        if total_share <= 0.0 {
+            0.0
+        } else {
+            (self.effective_bandwidth() * share / total_share)
+                .min(cap.unwrap_or(self.per_stream_cap))
+        }
+    }
+
+    /// Advance the fluid state to `now`, draining armed transfers. Handles
+    /// arm boundaries inside the interval piecewise.
+    fn advance(&mut self, now: SimTime) {
+        while self.last_update < now {
+            // Next arm boundary strictly inside the remaining interval.
+            let boundary = self
+                .transfers
+                .iter()
+                .map(|t| t.arm_at)
+                .filter(|&a| a > self.last_update && a < now)
+                .min()
+                .unwrap_or(now);
+            let dt = (boundary - self.last_update).as_secs_f64();
+            let total_share = self.armed_share_at(self.last_update);
+            if total_share > 0.0 && dt > 0.0 {
+                let bw = self.effective_bandwidth();
+                let dev_cap = self.per_stream_cap;
+                let cut = self.last_update;
+                for t in &mut self.transfers {
+                    if t.arm_at <= cut {
+                        let rate =
+                            (bw * t.share / total_share).min(t.cap.unwrap_or(dev_cap));
+                        t.remaining = (t.remaining - rate * dt).max(0.0);
+                    }
+                }
+            }
+            self.last_update = boundary;
+        }
+        self.last_update = now;
+    }
+
+    /// Begin a transfer of `bytes` at `now`; it joins the sharing pool
+    /// after `latency`. `weight > 1` makes the transfer consume
+    /// proportionally more drain capacity (SSD writes are slower than
+    /// reads). `share` is the weighted-fair-share weight (1.0 = a normal
+    /// synchronous stream; bulk pipelined streams use more).
+    pub fn start(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        latency: SimTime,
+        kind: Kind,
+        weight: f64,
+    ) -> TransferId {
+        self.start_custom(now, bytes, latency, kind, weight, 1.0, None)
+    }
+
+    /// [`Self::start`] with an explicit fair-share weight.
+    pub fn start_weighted(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        latency: SimTime,
+        kind: Kind,
+        weight: f64,
+        share: f64,
+    ) -> TransferId {
+        self.start_custom(now, bytes, latency, kind, weight, share, None)
+    }
+
+    /// [`Self::start`] with an explicit fair-share weight and rate cap.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_custom(
+        &mut self,
+        now: SimTime,
+        bytes: u64,
+        latency: SimTime,
+        kind: Kind,
+        weight: f64,
+        share: f64,
+        cap: Option<f64>,
+    ) -> TransferId {
+        debug_assert!(weight > 0.0 && share > 0.0);
+        self.advance(now);
+        let id = TransferId(self.next_id);
+        self.next_id += 1;
+        self.transfers.push(Transfer {
+            id,
+            remaining: (bytes as f64 * weight).max(1.0),
+            bytes,
+            arm_at: now + latency,
+            share,
+            cap,
+            kind,
+        });
+        self.generation += 1;
+        id
+    }
+
+    /// Update the interference scale (fraction of nominal bandwidth
+    /// available), clamped to `[0.01, 1.0]`.
+    pub fn set_scale(&mut self, now: SimTime, scale: f64) {
+        self.advance(now);
+        self.scale = scale.clamp(0.01, 1.0);
+        self.generation += 1;
+    }
+
+    /// Earliest instant something happens: a transfer arms or the earliest
+    /// armed transfer finishes. `None` when idle.
+    #[must_use]
+    pub fn next_wake(&self) -> Option<SimTime> {
+        if self.transfers.is_empty() {
+            return None;
+        }
+        let next_arm = self
+            .transfers
+            .iter()
+            .map(|t| t.arm_at)
+            .filter(|&a| a > self.last_update)
+            .min();
+        let total_share = self.armed_share_at(self.last_update);
+        let next_done = if total_share > 0.0 {
+            self.transfers
+                .iter()
+                .filter(|t| t.arm_at <= self.last_update)
+                .map(|t| {
+                    if t.remaining <= EPSILON {
+                        self.last_update
+                    } else {
+                        // Round up so the wake never fires a hair early.
+                        let rate = self.rate_of(t.share, total_share, t.cap);
+                        let secs = t.remaining / rate;
+                        self.last_update + SimTime((secs * 1e9).ceil() as u64 + 1)
+                    }
+                })
+                .min()
+        } else {
+            None
+        };
+        match (next_arm, next_done) {
+            (Some(a), Some(d)) => Some(a.min(d)),
+            (Some(a), None) => Some(a),
+            (None, d) => d,
+        }
+    }
+
+    /// Advance to `now` and remove every finished transfer, returning
+    /// `(id, kind, bytes)` triples. Bumps the generation when anything
+    /// finished.
+    pub fn collect_finished(&mut self, now: SimTime) -> Vec<(TransferId, Kind, u64)> {
+        self.advance(now);
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.transfers.len() {
+            let t = &self.transfers[i];
+            if t.arm_at <= now && t.remaining <= EPSILON {
+                let t = self.transfers.swap_remove(i);
+                match t.kind {
+                    Kind::Read => self.stats.record_read(t.bytes),
+                    Kind::Write => self.stats.record_write(t.bytes),
+                }
+                done.push((t.id, t.kind, t.bytes));
+            } else {
+                i += 1;
+            }
+        }
+        if !done.is_empty() {
+            self.generation += 1;
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a device to completion of all transfers, returning
+    /// `(finish_time, id)` pairs in completion order.
+    fn drain(dev: &mut PsDevice) -> Vec<(SimTime, TransferId)> {
+        let mut out = Vec::new();
+        while let Some(at) = dev.next_wake() {
+            for (id, _, _) in dev.collect_finished(at) {
+                out.push((at, id));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_transfer_bandwidth_limited() {
+        // 100 MB at 100 MB/s with a generous cap: 1 second.
+        let mut dev = PsDevice::new("d", 100e6, 1e9);
+        let id = dev.start(SimTime::ZERO, 100_000_000, SimTime::ZERO, Kind::Read, 1.0);
+        let done = drain(&mut dev);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1, id);
+        let t = done[0].0.as_secs_f64();
+        assert!((t - 1.0).abs() < 1e-6, "took {t}s");
+    }
+
+    #[test]
+    fn per_stream_cap_limits_single_stream() {
+        // Device has 1 GB/s total but a 100 MB/s stream cap.
+        let mut dev = PsDevice::new("d", 1e9, 100e6);
+        dev.start(SimTime::ZERO, 100_000_000, SimTime::ZERO, Kind::Read, 1.0);
+        let done = drain(&mut dev);
+        let t = done[0].0.as_secs_f64();
+        assert!((t - 1.0).abs() < 1e-6, "took {t}s");
+    }
+
+    #[test]
+    fn two_equal_transfers_share_fairly() {
+        let mut dev = PsDevice::new("d", 100e6, 1e9);
+        dev.start(SimTime::ZERO, 50_000_000, SimTime::ZERO, Kind::Read, 1.0);
+        dev.start(SimTime::ZERO, 50_000_000, SimTime::ZERO, Kind::Read, 1.0);
+        let done = drain(&mut dev);
+        // Both finish together at 1 s (each got 50 MB/s).
+        for (t, _) in &done {
+            assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn short_transfer_finishes_first_then_long_speeds_up() {
+        let mut dev = PsDevice::new("d", 100e6, 1e9);
+        let long = dev.start(SimTime::ZERO, 150_000_000, SimTime::ZERO, Kind::Read, 1.0);
+        let short = dev.start(SimTime::ZERO, 50_000_000, SimTime::ZERO, Kind::Read, 1.0);
+        let done = drain(&mut dev);
+        assert_eq!(done[0].1, short);
+        // Short: 50 MB at 50 MB/s = 1 s. Long: 50 MB in the first second,
+        // then 100 MB alone at 100 MB/s = 1 more second → 2 s.
+        assert!((done[0].0.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert_eq!(done[1].1, long);
+        assert!((done[1].0.as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn latency_delays_arming() {
+        let mut dev = PsDevice::new("d", 100e6, 1e9);
+        dev.start(SimTime::ZERO, 100_000_000, SimTime::from_secs(1), Kind::Read, 1.0);
+        let done = drain(&mut dev);
+        assert!((done[0].0.as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn late_arrival_shares_from_arm_time() {
+        let mut dev = PsDevice::new("d", 100e6, 1e9);
+        let a = dev.start(SimTime::ZERO, 100_000_000, SimTime::ZERO, Kind::Read, 1.0);
+        // Second transfer arms at t=0.5 s.
+        let b = dev.start(SimTime::ZERO, 50_000_000, SimTime::from_millis(500), Kind::Read, 1.0);
+        let done = drain(&mut dev);
+        // a: 50 MB alone in [0,0.5], then shares 50 MB/s → needs 1 more s → 1.5 s.
+        // b: 50 MB at 50 MB/s from 0.5 → also 1.5 s.
+        let ta = done.iter().find(|(_, id)| *id == a).unwrap().0.as_secs_f64();
+        let tb = done.iter().find(|(_, id)| *id == b).unwrap().0.as_secs_f64();
+        assert!((ta - 1.5).abs() < 1e-6, "a at {ta}");
+        assert!((tb - 1.5).abs() < 1e-6, "b at {tb}");
+    }
+
+    #[test]
+    fn write_weight_slows_drain() {
+        // Weight 2.0: a 50 MB write behaves like 100 MB.
+        let mut dev = PsDevice::new("d", 100e6, 1e9);
+        dev.start(SimTime::ZERO, 50_000_000, SimTime::ZERO, Kind::Write, 2.0);
+        let done = drain(&mut dev);
+        assert!((done[0].0.as_secs_f64() - 1.0).abs() < 1e-6);
+        // Stats still record the real 50 MB.
+        assert_eq!(dev.stats().bytes_written(), 50_000_000);
+        assert_eq!(dev.stats().writes(), 1);
+    }
+
+    #[test]
+    fn interference_scale_slows_everything() {
+        let mut dev = PsDevice::new("d", 100e6, 1e9);
+        dev.start(SimTime::ZERO, 100_000_000, SimTime::ZERO, Kind::Read, 1.0);
+        // Halve bandwidth at t=0.5: 50 MB done, remaining 50 MB at 50 MB/s
+        // → finishes at 1.5 s.
+        dev.set_scale(SimTime::from_millis(500), 0.5);
+        let done = drain(&mut dev);
+        assert!((done[0].0.as_secs_f64() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn generation_bumps_on_mutation() {
+        let mut dev = PsDevice::new("d", 1e6, 1e6);
+        let g0 = dev.generation();
+        dev.start(SimTime::ZERO, 10, SimTime::ZERO, Kind::Read, 1.0);
+        assert_ne!(dev.generation(), g0);
+        let g1 = dev.generation();
+        dev.set_scale(SimTime::ZERO, 0.9);
+        assert_ne!(dev.generation(), g1);
+    }
+
+    #[test]
+    fn idle_device_has_no_wake() {
+        let dev = PsDevice::new("d", 1e6, 1e6);
+        assert!(dev.next_wake().is_none());
+        assert_eq!(dev.active(), 0);
+    }
+
+    #[test]
+    fn weighted_share_splits_bandwidth() {
+        // share 3 vs share 1 on a 100 MB/s device: 75 vs 25 MB/s.
+        let mut dev = PsDevice::new("d", 100e6, 1e9);
+        let big = dev.start_weighted(SimTime::ZERO, 75_000_000, SimTime::ZERO, Kind::Read, 1.0, 3.0);
+        let small = dev.start_weighted(SimTime::ZERO, 25_000_000, SimTime::ZERO, Kind::Read, 1.0, 1.0);
+        let done = drain(&mut dev);
+        // Both finish together at t = 1 s.
+        for (t, id) in &done {
+            assert!((t.as_secs_f64() - 1.0).abs() < 1e-6, "{id:?} at {t:?}");
+        }
+        let _ = (big, small);
+    }
+
+    #[test]
+    fn per_transfer_cap_overrides_device_cap() {
+        // Device cap 200 MB/s, but this transfer is capped at 25 MB/s.
+        let mut dev = PsDevice::new("d", 1e9, 200e6);
+        dev.start_custom(
+            SimTime::ZERO,
+            25_000_000,
+            SimTime::ZERO,
+            Kind::Read,
+            1.0,
+            1.0,
+            Some(25e6),
+        );
+        let done = drain(&mut dev);
+        assert!((done[0].0.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capped_and_uncapped_coexist() {
+        // A sync stream (cap 25 MB/s) and a bulk stream share a 200 MB/s
+        // device: the bulk stream gets the leftover headroom only through
+        // its share; with equal shares each is offered 100, so sync is
+        // cap-bound at 25 and bulk runs at 100.
+        let mut dev = PsDevice::new("d", 200e6, 1e9);
+        let sync = dev.start_custom(
+            SimTime::ZERO,
+            25_000_000,
+            SimTime::ZERO,
+            Kind::Read,
+            1.0,
+            1.0,
+            Some(25e6),
+        );
+        let bulk = dev.start_weighted(SimTime::ZERO, 100_000_000, SimTime::ZERO, Kind::Read, 1.0, 1.0);
+        let done = drain(&mut dev);
+        let t_sync = done.iter().find(|(_, id)| *id == sync).unwrap().0.as_secs_f64();
+        let t_bulk = done.iter().find(|(_, id)| *id == bulk).unwrap().0.as_secs_f64();
+        assert!((t_sync - 1.0).abs() < 1e-6, "sync at {t_sync}");
+        assert!((t_bulk - 1.0).abs() < 1e-6, "bulk at {t_bulk}");
+    }
+
+    #[test]
+    fn weighted_share_respects_cap() {
+        // Huge share still cannot exceed the per-stream cap.
+        let mut dev = PsDevice::new("d", 1e9, 50e6);
+        dev.start_weighted(SimTime::ZERO, 50_000_000, SimTime::ZERO, Kind::Read, 1.0, 100.0);
+        let done = drain(&mut dev);
+        assert!((done[0].0.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conservation_under_load() {
+        // Many staggered transfers: total service time cannot beat the
+        // aggregate bandwidth bound.
+        let mut dev = PsDevice::new("d", 100e6, 30e6);
+        let total_bytes: u64 = 40 * 10_000_000;
+        for i in 0..40u64 {
+            dev.start(SimTime::from_millis(i * 10), 10_000_000, SimTime::ZERO, Kind::Read, 1.0);
+        }
+        let done = drain(&mut dev);
+        assert_eq!(done.len(), 40);
+        let makespan = done.last().unwrap().0.as_secs_f64();
+        let lower_bound = total_bytes as f64 / 100e6;
+        assert!(makespan >= lower_bound - 1e-3, "makespan {makespan} < bound {lower_bound}");
+        // And the per-stream cap means it cannot be faster than
+        // total/(cap × streams) either once streams < B/cap.
+        assert_eq!(dev.stats().reads(), 40);
+        assert_eq!(dev.stats().bytes_read(), total_bytes);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the discrete-event substrate.
+
+use proptest::prelude::*;
+use simfs::clock::SimTime;
+use simfs::psdev::{Kind, PsDevice};
+use simfs::rng::SimRng;
+use simfs::{EventQueue, Mds};
+
+proptest! {
+    /// The event queue pops in non-decreasing time order and FIFO within
+    /// equal timestamps, for arbitrary schedules.
+    #[test]
+    fn queue_total_order(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), (t, i));
+        }
+        let mut last = (0u64, 0usize);
+        let mut first = true;
+        while let Some((at, (t, i))) = q.pop() {
+            prop_assert_eq!(at, SimTime(t));
+            if !first {
+                prop_assert!(t > last.0 || (t == last.0 && i > last.1),
+                             "order violated: {:?} then {:?}", last, (t, i));
+            }
+            last = (t, i);
+            first = false;
+        }
+    }
+
+    /// Fluid conservation: however transfers are staggered, the makespan is
+    /// at least total_bytes / aggregate_bandwidth and at least the last
+    /// arrival plus its own minimum service time under the stream cap.
+    #[test]
+    fn psdev_conservation(
+        starts in prop::collection::vec((0u64..5_000u64, 1u64..50u64), 1..40),
+        bw_mb in 10u64..500u64,
+        cap_mb in 5u64..500u64,
+    ) {
+        let bw = bw_mb as f64 * 1e6;
+        let cap = cap_mb as f64 * 1e6;
+        let mut dev = PsDevice::new("d", bw, cap);
+        let mut events: Vec<(SimTime, u64)> = starts
+            .iter()
+            .map(|&(ms, mb)| (SimTime::from_millis(ms), mb * 1_000_000))
+            .collect();
+        events.sort();
+        let total: u64 = events.iter().map(|&(_, b)| b).sum();
+        // Interleave starts with drains so `advance` never sees the future.
+        let mut pending = events.into_iter().peekable();
+        let mut finished = 0usize;
+        let mut last_finish = SimTime::ZERO;
+        let n = starts.len();
+        while finished < n {
+            let next_start = pending.peek().map(|&(t, _)| t);
+            let next_wake = dev.next_wake();
+            let start_first = match (next_start, next_wake) {
+                (Some(s), Some(w)) => s <= w,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if start_first {
+                let (t, bytes) = pending.next().unwrap();
+                dev.start(t, bytes, SimTime::ZERO, Kind::Read, 1.0);
+            } else {
+                let w = next_wake.unwrap();
+                for _ in dev.collect_finished(w) {
+                    finished += 1;
+                    last_finish = w;
+                }
+            }
+        }
+        prop_assert_eq!(finished, n);
+        let bound = total as f64 / bw;
+        prop_assert!(last_finish.as_secs_f64() + 1e-6 >= bound,
+                     "makespan {} < conservation bound {}", last_finish.as_secs_f64(), bound);
+        prop_assert_eq!(dev.stats().bytes_read(), total);
+        prop_assert_eq!(dev.stats().reads() as usize, n);
+    }
+
+    /// MDS completions are strictly increasing regardless of submit times.
+    #[test]
+    fn mds_fifo_monotone(submits in prop::collection::vec(0u64..10_000, 1..100), sigma in 0.0f64..0.8) {
+        let mut submits = submits;
+        submits.sort_unstable();
+        let mut mds = Mds::new(SimTime::from_millis(2), sigma);
+        let mut rng = SimRng::new(11);
+        let mut last = SimTime::ZERO;
+        for &s in &submits {
+            let done = mds.submit(SimTime::from_millis(s), &mut rng);
+            prop_assert!(done > last);
+            prop_assert!(done > SimTime::from_millis(s));
+            last = done;
+        }
+        prop_assert_eq!(mds.ops() as usize, submits.len());
+    }
+}

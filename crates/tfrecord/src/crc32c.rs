@@ -1,0 +1,129 @@
+//! Software CRC32C (Castagnoli polynomial, reflected 0x82F63B78) with the
+//! TFRecord masking scheme.
+//!
+//! Implemented in-repo to honour the offline dependency policy. Uses a
+//! slicing-by-4 table for reasonable throughput without `unsafe` or SIMD;
+//! record framing is not on the hot simulated path, so portability wins.
+
+/// Reflected CRC32C polynomial.
+const POLY: u32 = 0x82f6_3b78;
+
+/// TFRecord crc mask delta constant.
+const MASK_DELTA: u32 = 0xa282_ead8;
+
+/// 4 tables of 256 entries for slicing-by-4.
+static TABLES: [[u32; 256]; 4] = build_tables();
+
+const fn build_tables() -> [[u32; 256]; 4] {
+    let mut t = [[0u32; 256]; 4];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            k += 1;
+        }
+        t[0][i] = crc;
+        i += 1;
+    }
+    let mut j = 1;
+    while j < 4 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[j - 1][i];
+            t[j][i] = (prev >> 8) ^ t[0][(prev & 0xff) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    t
+}
+
+/// Compute the CRC32C of `data`.
+#[must_use]
+pub fn crc32c(data: &[u8]) -> u32 {
+    extend(0, data)
+}
+
+/// Extend a running CRC32C value with more bytes.
+#[must_use]
+pub fn extend(crc: u32, data: &[u8]) -> u32 {
+    let mut crc = !crc;
+    let mut chunks = data.chunks_exact(4);
+    for c in &mut chunks {
+        crc ^= u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        crc = TABLES[3][(crc & 0xff) as usize]
+            ^ TABLES[2][((crc >> 8) & 0xff) as usize]
+            ^ TABLES[1][((crc >> 16) & 0xff) as usize]
+            ^ TABLES[0][(crc >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// Apply TensorFlow's crc masking, used so that CRCs stored alongside data
+/// do not themselves look like data being CRC'd.
+#[must_use]
+pub fn mask(crc: u32) -> u32 {
+    crc.rotate_right(15).wrapping_add(MASK_DELTA)
+}
+
+/// Invert [`mask`].
+#[must_use]
+pub fn unmask(masked: u32) -> u32 {
+    masked.wrapping_sub(MASK_DELTA).rotate_left(15)
+}
+
+/// Masked CRC32C of `data` — the quantity TFRecord stores on disk.
+#[must_use]
+pub fn masked_crc32c(data: &[u8]) -> u32 {
+    mask(crc32c(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference vectors from RFC 3720 appendix B.4 (iSCSI CRC32C test
+    // patterns) and the classic "123456789" check value.
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32c(b"123456789"), 0xe306_9283);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8a91_36aa);
+        assert_eq!(crc32c(&[0xffu8; 32]), 0x62a8_ab43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46dd_794e);
+        let descending: Vec<u8> = (0u8..32).rev().collect();
+        assert_eq!(crc32c(&descending), 0x113f_db5c);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(crc32c(b""), 0);
+    }
+
+    #[test]
+    fn extend_matches_whole() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let (a, b) = data.split_at(split);
+            assert_eq!(extend(crc32c(a), b), crc32c(data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn mask_roundtrip() {
+        for v in [0u32, 1, 0xdead_beef, u32::MAX, 0xe306_9283] {
+            assert_eq!(unmask(mask(v)), v);
+        }
+    }
+
+    #[test]
+    fn mask_is_not_identity() {
+        // Masking must change the value for typical CRCs (TF requirement).
+        assert_ne!(mask(0xe306_9283), 0xe306_9283);
+    }
+}

@@ -1,0 +1,181 @@
+//! Shard indexing: byte offsets of every record inside a TFRecord shard.
+//!
+//! The DL input pipeline reads shards in fixed-size chunks (TensorFlow's
+//! buffered reader issues ~256 KiB `pread`s), but batching operates on
+//! records. The index bridges the two views and also lets tests validate
+//! that chunked reassembly yields exactly the original records.
+
+use std::io::Read;
+
+use crate::reader::RecordReader;
+use crate::Result;
+
+/// Location of one record inside a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordSpan {
+    /// Byte offset of the start of the record frame.
+    pub offset: u64,
+    /// Payload length (excluding the 16-byte frame overhead).
+    pub payload_len: u64,
+}
+
+impl RecordSpan {
+    /// Total framed length on disk.
+    #[must_use]
+    pub fn framed_len(&self) -> u64 {
+        self.payload_len + crate::FRAME_OVERHEAD
+    }
+
+    /// One-past-the-end byte offset of the frame.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.offset + self.framed_len()
+    }
+}
+
+/// Index of all records in a shard.
+#[derive(Debug, Clone, Default)]
+pub struct ShardIndex {
+    spans: Vec<RecordSpan>,
+    total_len: u64,
+}
+
+impl ShardIndex {
+    /// Build an index by scanning a whole shard (validates all CRCs).
+    pub fn build<R: Read>(reader: R) -> Result<Self> {
+        let mut r = RecordReader::new(reader);
+        let mut spans = Vec::new();
+        loop {
+            let offset = r.offset();
+            match r.next_record_ref()? {
+                Some(payload) => spans.push(RecordSpan {
+                    offset,
+                    payload_len: payload.len() as u64,
+                }),
+                None => break,
+            }
+        }
+        let total_len = r.offset();
+        Ok(Self { spans, total_len })
+    }
+
+    /// Build an index synthetically from known payload lengths, without any
+    /// I/O. Used by the simulator, which tracks geometry but not bytes.
+    #[must_use]
+    pub fn from_payload_lens(lens: &[u64]) -> Self {
+        let mut spans = Vec::with_capacity(lens.len());
+        let mut offset = 0;
+        for &len in lens {
+            spans.push(RecordSpan { offset, payload_len: len });
+            offset += len + crate::FRAME_OVERHEAD;
+        }
+        Self { spans, total_len: offset }
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if the shard holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total shard size in bytes.
+    #[must_use]
+    pub fn total_len(&self) -> u64 {
+        self.total_len
+    }
+
+    /// Span of record `i`.
+    #[must_use]
+    pub fn span(&self, i: usize) -> Option<RecordSpan> {
+        self.spans.get(i).copied()
+    }
+
+    /// All spans.
+    #[must_use]
+    pub fn spans(&self) -> &[RecordSpan] {
+        &self.spans
+    }
+
+    /// Index of the record containing byte `offset`, if any.
+    #[must_use]
+    pub fn record_at(&self, offset: u64) -> Option<usize> {
+        if offset >= self.total_len {
+            return None;
+        }
+        match self.spans.binary_search_by(|s| s.offset.cmp(&offset)) {
+            Ok(i) => Some(i),
+            Err(0) => None,
+            Err(i) => {
+                let s = self.spans[i - 1];
+                (offset < s.end()).then_some(i - 1)
+            }
+        }
+    }
+
+    /// Number of `chunk_size` reads needed to scan the whole shard
+    /// sequentially — the unit of "I/O operations" the paper counts.
+    #[must_use]
+    pub fn chunk_reads(&self, chunk_size: u64) -> u64 {
+        self.total_len.div_ceil(chunk_size.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RecordWriter;
+    use std::io::Cursor;
+
+    fn shard(sizes: &[u64]) -> Vec<u8> {
+        let mut w = RecordWriter::new(Vec::new());
+        for &s in sizes {
+            w.write_record(&vec![0u8; s as usize]).unwrap();
+        }
+        w.into_inner()
+    }
+
+    #[test]
+    fn build_matches_synthetic() {
+        let sizes = [100u64, 0, 17, 4096];
+        let bytes = shard(&sizes);
+        let built = ShardIndex::build(Cursor::new(&bytes)).unwrap();
+        let synth = ShardIndex::from_payload_lens(&sizes);
+        assert_eq!(built.spans(), synth.spans());
+        assert_eq!(built.total_len(), bytes.len() as u64);
+        assert_eq!(built.total_len(), synth.total_len());
+    }
+
+    #[test]
+    fn record_at_finds_containing_record() {
+        let idx = ShardIndex::from_payload_lens(&[10, 20]);
+        // record 0 occupies [0, 26), record 1 occupies [26, 62)
+        assert_eq!(idx.record_at(0), Some(0));
+        assert_eq!(idx.record_at(25), Some(0));
+        assert_eq!(idx.record_at(26), Some(1));
+        assert_eq!(idx.record_at(61), Some(1));
+        assert_eq!(idx.record_at(62), None);
+    }
+
+    #[test]
+    fn chunk_reads_rounds_up() {
+        let idx = ShardIndex::from_payload_lens(&[100]); // 116 bytes
+        assert_eq!(idx.chunk_reads(100), 2);
+        assert_eq!(idx.chunk_reads(116), 1);
+        assert_eq!(idx.chunk_reads(1), 116);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = ShardIndex::from_payload_lens(&[]);
+        assert!(idx.is_empty());
+        assert_eq!(idx.total_len(), 0);
+        assert_eq!(idx.record_at(0), None);
+        assert_eq!(idx.chunk_reads(4096), 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Streaming TFRecord reader.
+
+use std::io::Read;
+
+use crate::crc32c::masked_crc32c;
+use crate::{Result, TfRecordError};
+
+/// Default per-record sanity limit (1 GiB). Real TFRecord files never carry
+/// records this large; the limit turns corrupt length headers into clean
+/// errors instead of huge allocations.
+pub const DEFAULT_MAX_RECORD_LEN: u64 = 1 << 30;
+
+/// Reads TFRecord-framed records from an underlying reader.
+pub struct RecordReader<R: Read> {
+    inner: R,
+    offset: u64,
+    max_record_len: u64,
+    /// Reusable payload buffer (perf-book "workhorse collection" idiom).
+    buf: Vec<u8>,
+}
+
+impl<R: Read> RecordReader<R> {
+    /// Wrap `inner` in a record reader.
+    pub fn new(inner: R) -> Self {
+        Self { inner, offset: 0, max_record_len: DEFAULT_MAX_RECORD_LEN, buf: Vec::new() }
+    }
+
+    /// Override the per-record length sanity limit.
+    #[must_use]
+    pub fn with_max_record_len(mut self, limit: u64) -> Self {
+        self.max_record_len = limit;
+        self
+    }
+
+    /// Byte offset of the next record (start-of-frame).
+    #[must_use]
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    /// Read the next record, returning `None` at a clean end-of-file.
+    pub fn next_record(&mut self) -> Result<Option<Vec<u8>>> {
+        match self.next_record_ref()? {
+            Some(payload) => Ok(Some(payload.to_vec())),
+            None => Ok(None),
+        }
+    }
+
+    /// Read the next record into the internal buffer, avoiding a fresh
+    /// allocation per record. The returned slice is valid until the next
+    /// call.
+    pub fn next_record_ref(&mut self) -> Result<Option<&[u8]>> {
+        let start = self.offset;
+        let mut len_bytes = [0u8; 8];
+        match read_exact_or_eof(&mut self.inner, &mut len_bytes)? {
+            ReadOutcome::Eof => return Ok(None),
+            ReadOutcome::Partial => return Err(TfRecordError::Truncated { offset: start }),
+            ReadOutcome::Full => {}
+        }
+        let mut crc_bytes = [0u8; 4];
+        if read_exact_or_eof(&mut self.inner, &mut crc_bytes)? != ReadOutcome::Full {
+            return Err(TfRecordError::Truncated { offset: start });
+        }
+        if u32::from_le_bytes(crc_bytes) != masked_crc32c(&len_bytes) {
+            return Err(TfRecordError::BadLengthCrc { offset: start });
+        }
+        let len = u64::from_le_bytes(len_bytes);
+        if len > self.max_record_len {
+            return Err(TfRecordError::OversizedRecord {
+                offset: start,
+                len,
+                limit: self.max_record_len,
+            });
+        }
+        self.buf.clear();
+        self.buf.resize(len as usize, 0);
+        if read_exact_or_eof(&mut self.inner, &mut self.buf)? != ReadOutcome::Full {
+            return Err(TfRecordError::Truncated { offset: start });
+        }
+        let mut data_crc = [0u8; 4];
+        if read_exact_or_eof(&mut self.inner, &mut data_crc)? != ReadOutcome::Full {
+            return Err(TfRecordError::Truncated { offset: start });
+        }
+        if u32::from_le_bytes(data_crc) != masked_crc32c(&self.buf) {
+            return Err(TfRecordError::BadDataCrc { offset: start });
+        }
+        self.offset = start + crate::FRAME_OVERHEAD + len;
+        Ok(Some(&self.buf))
+    }
+
+    /// Iterate over all remaining records, validating CRCs, and return how
+    /// many there were and the payload byte total.
+    pub fn count_remaining(&mut self) -> Result<(u64, u64)> {
+        let mut n = 0u64;
+        let mut bytes = 0u64;
+        while let Some(rec) = self.next_record_ref()? {
+            n += 1;
+            bytes += rec.len() as u64;
+        }
+        Ok((n, bytes))
+    }
+}
+
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+enum ReadOutcome {
+    Full,
+    Partial,
+    Eof,
+}
+
+/// Like `read_exact`, but distinguishes a clean EOF at the first byte from a
+/// truncation in the middle of the buffer.
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 { ReadOutcome::Eof } else { ReadOutcome::Partial })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RecordWriter;
+    use std::io::Cursor;
+
+    fn sample_file(sizes: &[usize]) -> Vec<u8> {
+        let mut w = RecordWriter::new(Vec::new());
+        for (i, &s) in sizes.iter().enumerate() {
+            w.write_record(&vec![i as u8; s]).unwrap();
+        }
+        w.into_inner()
+    }
+
+    #[test]
+    fn offsets_advance_by_framed_len() {
+        let buf = sample_file(&[10, 0, 7]);
+        let mut r = RecordReader::new(Cursor::new(&buf));
+        assert_eq!(r.offset(), 0);
+        r.next_record_ref().unwrap();
+        assert_eq!(r.offset(), 26);
+        r.next_record_ref().unwrap();
+        assert_eq!(r.offset(), 42);
+        r.next_record_ref().unwrap();
+        assert_eq!(r.offset(), 65);
+    }
+
+    #[test]
+    fn count_remaining_counts_all() {
+        let buf = sample_file(&[5, 5, 5, 1]);
+        let mut r = RecordReader::new(Cursor::new(&buf));
+        assert_eq!(r.count_remaining().unwrap(), (4, 16));
+    }
+
+    #[test]
+    fn oversize_limit_enforced() {
+        let buf = sample_file(&[100]);
+        let mut r = RecordReader::new(Cursor::new(&buf)).with_max_record_len(50);
+        assert!(matches!(
+            r.next_record(),
+            Err(TfRecordError::OversizedRecord { len: 100, limit: 50, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_clean_eof() {
+        let mut r = RecordReader::new(Cursor::new(Vec::<u8>::new()));
+        assert!(r.next_record().unwrap().is_none());
+    }
+}

@@ -1,0 +1,368 @@
+//! MXNet RecordIO container format.
+//!
+//! The paper (§I) names RecordIO alongside TFRecords as the packed formats
+//! DL frameworks use to avoid small-file metadata storms. The on-disk
+//! layout per record is:
+//!
+//! ```text
+//! u32 little-endian  magic      (0xced7230a)
+//! u32 little-endian  lrecord    (upper 3 bits: continuation flag,
+//!                                lower 29 bits: payload length)
+//! [u8; length]       payload
+//! padding to a 4-byte boundary
+//! ```
+//!
+//! Records larger than the 29-bit length field are split into continuation
+//! parts (flags 1 = first, 2 = middle, 3 = last).
+
+use std::io::{Read, Write};
+
+/// RecordIO magic word.
+pub const MAGIC: u32 = 0xced7_230a;
+
+/// Maximum bytes representable in one part (29-bit length).
+pub const MAX_PART_LEN: usize = (1 << 29) - 1;
+
+/// Errors from the RecordIO codec.
+#[derive(Debug)]
+pub enum RecordIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The magic word did not match.
+    BadMagic { offset: u64, found: u32 },
+    /// A continuation chain was malformed (e.g. middle part without a
+    /// first part).
+    BadContinuation { offset: u64 },
+    /// A part claimed a length above the configured sanity limit.
+    OversizedPart {
+        /// Frame offset.
+        offset: u64,
+        /// Claimed length.
+        len: usize,
+        /// Configured limit.
+        limit: usize,
+    },
+    /// The file ended inside a record.
+    Truncated { offset: u64 },
+}
+
+impl std::fmt::Display for RecordIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordIoError::Io(e) => write!(f, "i/o error: {e}"),
+            RecordIoError::BadMagic { offset, found } => {
+                write!(f, "bad magic {found:#010x} at offset {offset}")
+            }
+            RecordIoError::BadContinuation { offset } => {
+                write!(f, "malformed continuation chain at offset {offset}")
+            }
+            RecordIoError::OversizedPart { offset, len, limit } => {
+                write!(f, "part at offset {offset} claims {len} bytes (limit {limit})")
+            }
+            RecordIoError::Truncated { offset } => {
+                write!(f, "file truncated inside record at offset {offset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordIoError {}
+
+impl From<std::io::Error> for RecordIoError {
+    fn from(e: std::io::Error) -> Self {
+        RecordIoError::Io(e)
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, RecordIoError>;
+
+fn pack_lrecord(flag: u32, len: usize) -> u32 {
+    debug_assert!(len <= MAX_PART_LEN);
+    (flag << 29) | (len as u32)
+}
+
+fn unpack_lrecord(word: u32) -> (u32, usize) {
+    (word >> 29, (word & ((1 << 29) - 1)) as usize)
+}
+
+fn padding_of(len: usize) -> usize {
+    (4 - (len % 4)) % 4
+}
+
+/// Streaming RecordIO writer.
+pub struct RecordIoWriter<W: Write> {
+    inner: W,
+    records: u64,
+    bytes: u64,
+}
+
+impl<W: Write> RecordIoWriter<W> {
+    /// Wrap `inner`.
+    pub fn new(inner: W) -> Self {
+        Self { inner, records: 0, bytes: 0 }
+    }
+
+    /// Append one logical record, splitting into continuation parts if it
+    /// exceeds the 29-bit part limit.
+    pub fn write_record(&mut self, payload: &[u8]) -> Result<()> {
+        let parts: Vec<&[u8]> = if payload.is_empty() {
+            vec![&[][..]]
+        } else {
+            payload.chunks(MAX_PART_LEN).collect()
+        };
+        let n = parts.len();
+        for (i, part) in parts.iter().enumerate() {
+            let flag = if n == 1 {
+                0
+            } else if i == 0 {
+                1
+            } else if i == n - 1 {
+                3
+            } else {
+                2
+            };
+            self.inner.write_all(&MAGIC.to_le_bytes())?;
+            self.inner.write_all(&pack_lrecord(flag, part.len()).to_le_bytes())?;
+            self.inner.write_all(part)?;
+            let pad = padding_of(part.len());
+            self.inner.write_all(&[0u8; 3][..pad])?;
+            self.bytes += 8 + part.len() as u64 + pad as u64;
+        }
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Logical records written.
+    #[must_use]
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// Bytes emitted, including framing and padding.
+    #[must_use]
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Unwrap the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+/// Streaming RecordIO reader.
+pub struct RecordIoReader<R: Read> {
+    inner: R,
+    offset: u64,
+    max_part_len: usize,
+}
+
+impl<R: Read> RecordIoReader<R> {
+    /// Wrap `inner`.
+    pub fn new(inner: R) -> Self {
+        Self { inner, offset: 0, max_part_len: MAX_PART_LEN }
+    }
+
+    /// Cap the per-part length accepted from headers — turns corrupt
+    /// length fields into clean errors instead of huge allocations.
+    #[must_use]
+    pub fn with_max_part_len(mut self, limit: usize) -> Self {
+        self.max_part_len = limit;
+        self
+    }
+
+    /// Byte offset of the next frame.
+    #[must_use]
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+
+    fn read_u32(&mut self) -> Result<Option<u32>> {
+        let mut buf = [0u8; 4];
+        let mut filled = 0;
+        while filled < 4 {
+            match self.inner.read(&mut buf[filled..]) {
+                Ok(0) if filled == 0 => return Ok(None),
+                Ok(0) => return Err(RecordIoError::Truncated { offset: self.offset }),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.offset += 4;
+        Ok(Some(u32::from_le_bytes(buf)))
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<()> {
+        let start = self.offset;
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.inner.read(&mut buf[filled..]) {
+                Ok(0) => return Err(RecordIoError::Truncated { offset: start }),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.offset += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Read one part frame: `(flag, payload)`.
+    fn next_part(&mut self) -> Result<Option<(u32, Vec<u8>)>> {
+        let frame_start = self.offset;
+        let Some(magic) = self.read_u32()? else { return Ok(None) };
+        if magic != MAGIC {
+            return Err(RecordIoError::BadMagic { offset: frame_start, found: magic });
+        }
+        let Some(word) = self.read_u32()? else {
+            return Err(RecordIoError::Truncated { offset: frame_start });
+        };
+        let (flag, len) = unpack_lrecord(word);
+        if len > self.max_part_len {
+            return Err(RecordIoError::OversizedPart {
+                offset: frame_start,
+                len,
+                limit: self.max_part_len,
+            });
+        }
+        let mut payload = vec![0u8; len];
+        self.read_exact(&mut payload)?;
+        let mut pad = [0u8; 3];
+        self.read_exact(&mut pad[..padding_of(len)])?;
+        Ok(Some((flag, payload)))
+    }
+
+    /// Read the next logical record, reassembling continuation chains.
+    pub fn next_record(&mut self) -> Result<Option<Vec<u8>>> {
+        let start = self.offset;
+        let Some((flag, payload)) = self.next_part()? else { return Ok(None) };
+        match flag {
+            0 => Ok(Some(payload)),
+            1 => {
+                let mut whole = payload;
+                loop {
+                    let part_off = self.offset;
+                    let Some((flag, part)) = self.next_part()? else {
+                        return Err(RecordIoError::Truncated { offset: part_off });
+                    };
+                    match flag {
+                        2 => whole.extend_from_slice(&part),
+                        3 => {
+                            whole.extend_from_slice(&part);
+                            return Ok(Some(whole));
+                        }
+                        _ => return Err(RecordIoError::BadContinuation { offset: part_off }),
+                    }
+                }
+            }
+            _ => Err(RecordIoError::BadContinuation { offset: start }),
+        }
+    }
+}
+
+#[cfg(test)]
+impl<W: Write> RecordIoWriter<W> {
+    /// Test-only access to the raw sink (hand-crafted frames).
+    fn inner_mut(&mut self) -> &mut W {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(payloads: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        let mut w = RecordIoWriter::new(Vec::new());
+        for p in payloads {
+            w.write_record(p).unwrap();
+        }
+        let buf = w.into_inner();
+        let mut r = RecordIoReader::new(Cursor::new(buf));
+        let mut out = Vec::new();
+        while let Some(rec) = r.next_record().unwrap() {
+            out.push(rec);
+        }
+        out
+    }
+
+    #[test]
+    fn simple_roundtrip() {
+        let payloads = vec![b"hello".to_vec(), Vec::new(), vec![7u8; 1000]];
+        assert_eq!(roundtrip(&payloads), payloads);
+    }
+
+    #[test]
+    fn framing_is_padded_to_word_boundary() {
+        let mut w = RecordIoWriter::new(Vec::new());
+        w.write_record(b"abc").unwrap(); // 3 bytes -> 1 byte padding
+        assert_eq!(w.bytes_written(), 8 + 3 + 1);
+        let buf = w.into_inner();
+        assert_eq!(buf.len() % 4, 0);
+        assert_eq!(&buf[0..4], &MAGIC.to_le_bytes());
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let mut w = RecordIoWriter::new(Vec::new());
+        w.write_record(b"data").unwrap();
+        let mut buf = w.into_inner();
+        buf[0] ^= 0xff;
+        let mut r = RecordIoReader::new(Cursor::new(buf));
+        assert!(matches!(r.next_record(), Err(RecordIoError::BadMagic { offset: 0, .. })));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let mut w = RecordIoWriter::new(Vec::new());
+        w.write_record(&[1u8; 64]).unwrap();
+        let mut buf = w.into_inner();
+        buf.truncate(buf.len() - 10);
+        let mut r = RecordIoReader::new(Cursor::new(buf));
+        assert!(matches!(r.next_record(), Err(RecordIoError::Truncated { .. })));
+    }
+
+    #[test]
+    fn lrecord_packing() {
+        for (flag, len) in [(0u32, 0usize), (1, 5), (2, MAX_PART_LEN), (3, 12345)] {
+            assert_eq!(unpack_lrecord(pack_lrecord(flag, len)), (flag, len));
+        }
+    }
+
+    #[test]
+    fn continuation_chain_roundtrip() {
+        // Force multi-part records by writing parts manually with the
+        // writer's chunking path: emulate a tiny MAX by splitting by hand.
+        let mut w = RecordIoWriter::new(Vec::new());
+        let big = vec![0x5au8; 100];
+        // Manually emit a 3-part chain: first(40) middle(40) last(20).
+        for (i, chunk) in [(1u32, &big[..40]), (2, &big[40..80]), (3, &big[80..])] {
+            w.inner_mut().write_all(&MAGIC.to_le_bytes()).unwrap();
+            w.inner_mut()
+                .write_all(&pack_lrecord(i, chunk.len()).to_le_bytes())
+                .unwrap();
+            w.inner_mut().write_all(chunk).unwrap();
+        }
+        let buf = w.into_inner();
+        let mut r = RecordIoReader::new(Cursor::new(buf));
+        assert_eq!(r.next_record().unwrap().unwrap(), big);
+        assert!(r.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn orphan_continuation_is_an_error() {
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&MAGIC.to_le_bytes());
+        raw.extend_from_slice(&pack_lrecord(2, 4).to_le_bytes());
+        raw.extend_from_slice(&[0u8; 4]);
+        let mut r = RecordIoReader::new(Cursor::new(raw));
+        assert!(matches!(
+            r.next_record(),
+            Err(RecordIoError::BadContinuation { offset: 0 })
+        ));
+    }
+}
+

@@ -1,0 +1,277 @@
+//! Synthetic ImageNet-style sharded dataset generation.
+//!
+//! The paper trains from a truncated ImageNet-1k converted to TFRecords:
+//! 900k images / 100 GiB (≈116 KiB per sample) and a 3M-image / 200 GiB
+//! variant (≈70 KiB per sample). Samples are packed into large shards that
+//! the framework reads in ~256 KiB chunks. This module creates datasets with
+//! that geometry, either as real bytes on disk (correctness tests, examples)
+//! or as a pure size description (the simulator).
+
+use std::fs::{self, File};
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::{RecordWriter, Result};
+
+/// Geometry of a synthetic sharded dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Total number of samples (records).
+    pub num_samples: u64,
+    /// Mean payload size of a sample, bytes.
+    pub mean_sample_bytes: u64,
+    /// Uniform jitter around the mean, as a fraction of the mean (e.g. 0.2
+    /// gives sizes in `[0.8, 1.2] * mean`). JPEG sizes vary; uniform jitter
+    /// is enough to exercise the variable-size code paths.
+    pub size_jitter: f64,
+    /// Target shard size in bytes; samples are appended to a shard until it
+    /// would exceed this, then a new shard starts.
+    pub shard_bytes: u64,
+    /// RNG seed, so generated datasets are reproducible.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Paper-scale 100 GiB dataset (900k samples). Used by the simulator;
+    /// far too large to materialise on disk in tests.
+    #[must_use]
+    pub fn imagenet_100g() -> Self {
+        Self {
+            num_samples: 900_000,
+            mean_sample_bytes: 119_300, // ≈ 100 GiB / 900k
+            size_jitter: 0.25,
+            shard_bytes: 128 << 20,
+            seed: 0x0100,
+        }
+    }
+
+    /// Paper-scale 200 GiB dataset (3M samples, smaller images).
+    #[must_use]
+    pub fn imagenet_200g() -> Self {
+        Self {
+            num_samples: 3_000_000,
+            mean_sample_bytes: 71_600, // ≈ 200 GiB / 3M
+            size_jitter: 0.25,
+            shard_bytes: 128 << 20,
+            seed: 0x0200,
+        }
+    }
+
+    /// A miniature dataset suitable for materialising on disk in tests and
+    /// examples (same structure, ~`total_bytes` in size).
+    #[must_use]
+    pub fn miniature(total_bytes: u64, samples: u64, seed: u64) -> Self {
+        Self {
+            num_samples: samples,
+            mean_sample_bytes: (total_bytes / samples.max(1)).max(1),
+            size_jitter: 0.25,
+            shard_bytes: (total_bytes / 8).max(4096),
+            seed,
+        }
+    }
+
+    /// Deterministically compute the payload sizes of every sample.
+    #[must_use]
+    pub fn sample_sizes(&self) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let jitter = self.size_jitter.clamp(0.0, 0.99);
+        let mean = self.mean_sample_bytes as f64;
+        (0..self.num_samples)
+            .map(|_| {
+                let f = 1.0 + jitter * (rng.gen::<f64>() * 2.0 - 1.0);
+                (mean * f).max(1.0) as u64
+            })
+            .collect()
+    }
+
+    /// Partition the samples into shards per the `shard_bytes` rule.
+    /// Returns, per shard, the payload lengths of its records.
+    #[must_use]
+    pub fn shard_layout(&self) -> Vec<Vec<u64>> {
+        let mut shards: Vec<Vec<u64>> = Vec::new();
+        let mut cur: Vec<u64> = Vec::new();
+        let mut cur_bytes = 0u64;
+        for len in self.sample_sizes() {
+            let framed = len + crate::FRAME_OVERHEAD;
+            if cur_bytes > 0 && cur_bytes + framed > self.shard_bytes {
+                shards.push(std::mem::take(&mut cur));
+                cur_bytes = 0;
+            }
+            cur_bytes += framed;
+            cur.push(len);
+        }
+        if !cur.is_empty() {
+            shards.push(cur);
+        }
+        shards
+    }
+
+    /// Total on-disk size of the dataset (payload + framing).
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.sample_sizes()
+            .iter()
+            .map(|l| l + crate::FRAME_OVERHEAD)
+            .sum()
+    }
+}
+
+/// A dataset that was materialised on disk.
+#[derive(Debug, Clone)]
+pub struct MaterializedDataset {
+    /// Directory holding the shard files.
+    pub dir: PathBuf,
+    /// Shard file paths in generation order.
+    pub shards: Vec<PathBuf>,
+    /// Total bytes written.
+    pub total_bytes: u64,
+    /// Total records written.
+    pub total_records: u64,
+}
+
+/// Generate the dataset as real TFRecord shard files under `dir`.
+///
+/// Payloads are pseudo-random bytes prefixed with a 16-byte header
+/// (`sample_id`, `label`) so integration tests can verify that bytes served
+/// through MONARCH are exactly the bytes of the right sample.
+pub fn generate(spec: &DatasetSpec, dir: &Path) -> Result<MaterializedDataset> {
+    fs::create_dir_all(dir)?;
+    let layout = spec.shard_layout();
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x5eed_da7a);
+    let mut shards = Vec::with_capacity(layout.len());
+    let mut total_bytes = 0u64;
+    let mut total_records = 0u64;
+    let mut sample_id = 0u64;
+    let mut payload = Vec::new();
+    for (i, shard) in layout.iter().enumerate() {
+        let path = dir.join(shard_name(i));
+        let file = File::create(&path)?;
+        let mut w = RecordWriter::new(BufWriter::new(file));
+        for &len in shard {
+            payload.clear();
+            payload.resize(len as usize, 0);
+            fill_sample(&mut payload, sample_id, &mut rng);
+            w.write_record(&payload)?;
+            sample_id += 1;
+        }
+        total_bytes += w.bytes_written();
+        total_records += w.records_written();
+        w.flush()?;
+        shards.push(path);
+    }
+    Ok(MaterializedDataset { dir: dir.to_path_buf(), shards, total_bytes, total_records })
+}
+
+/// Canonical shard file name (mirrors TF's `train-00042-of-.....` style,
+/// without the total count so shards can stream out).
+#[must_use]
+pub fn shard_name(index: usize) -> String {
+    format!("train-{index:05}.tfrecord")
+}
+
+/// Fill a sample payload: 16-byte header (id, label) + deterministic bytes.
+fn fill_sample(buf: &mut [u8], sample_id: u64, rng: &mut StdRng) {
+    if buf.len() >= 16 {
+        buf[0..8].copy_from_slice(&sample_id.to_le_bytes());
+        let label = sample_id % 1000; // ImageNet-1k label space
+        buf[8..16].copy_from_slice(&label.to_le_bytes());
+        rng.fill_bytes(&mut buf[16..]);
+    } else {
+        rng.fill_bytes(buf);
+    }
+}
+
+/// Parse the sample header back out of a payload.
+#[must_use]
+pub fn parse_sample_header(payload: &[u8]) -> Option<(u64, u64)> {
+    if payload.len() < 16 {
+        return None;
+    }
+    let id = u64::from_le_bytes(payload[0..8].try_into().ok()?);
+    let label = u64::from_le_bytes(payload[8..16].try_into().ok()?);
+    Some((id, label))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RecordReader, ShardIndex};
+    use std::io::BufReader;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tfrecord-synth-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn layout_respects_shard_budget() {
+        let spec = DatasetSpec::miniature(1 << 20, 64, 7);
+        let layout = spec.shard_layout();
+        assert!(layout.len() > 1, "mini dataset should produce several shards");
+        for shard in &layout {
+            let bytes: u64 = shard.iter().map(|l| l + crate::FRAME_OVERHEAD).sum();
+            assert!(bytes <= spec.shard_bytes || shard.len() == 1);
+        }
+        let total: usize = layout.iter().map(Vec::len).sum();
+        assert_eq!(total as u64, spec.num_samples);
+    }
+
+    #[test]
+    fn layout_is_deterministic() {
+        let spec = DatasetSpec::miniature(1 << 20, 64, 7);
+        assert_eq!(spec.shard_layout(), spec.shard_layout());
+        assert_eq!(spec.total_bytes(), spec.total_bytes());
+    }
+
+    #[test]
+    fn generated_files_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let spec = DatasetSpec::miniature(256 << 10, 32, 42);
+        let ds = generate(&spec, &dir).unwrap();
+        assert_eq!(ds.total_records, 32);
+        let mut seen = 0u64;
+        for path in &ds.shards {
+            let mut r = RecordReader::new(BufReader::new(File::open(path).unwrap()));
+            while let Some(rec) = r.next_record_ref().unwrap() {
+                let (id, label) = parse_sample_header(rec).unwrap();
+                assert_eq!(id, seen);
+                assert_eq!(label, seen % 1000);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 32);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_agrees_with_layout() {
+        let dir = tmpdir("index");
+        let spec = DatasetSpec::miniature(128 << 10, 16, 3);
+        let ds = generate(&spec, &dir).unwrap();
+        let layout = spec.shard_layout();
+        for (path, lens) in ds.shards.iter().zip(&layout) {
+            let idx = ShardIndex::build(BufReader::new(File::open(path).unwrap())).unwrap();
+            let synth = ShardIndex::from_payload_lens(lens);
+            assert_eq!(idx.spans(), synth.spans());
+            assert_eq!(idx.total_len(), fs::metadata(path).unwrap().len());
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn paper_scale_specs_have_paper_geometry() {
+        let g100 = DatasetSpec::imagenet_100g();
+        // 900k samples at ~119 KB ≈ 100 GiB (within 5%).
+        let approx = g100.num_samples * (g100.mean_sample_bytes + crate::FRAME_OVERHEAD);
+        let gib = approx as f64 / (1u64 << 30) as f64;
+        assert!((95.0..105.0).contains(&gib), "100G spec sizes to {gib} GiB");
+        let g200 = DatasetSpec::imagenet_200g();
+        let approx = g200.num_samples * (g200.mean_sample_bytes + crate::FRAME_OVERHEAD);
+        let gib = approx as f64 / (1u64 << 30) as f64;
+        assert!((190.0..210.0).contains(&gib), "200G spec sizes to {gib} GiB");
+    }
+}

@@ -1,0 +1,22 @@
+//! # MONARCH — hierarchical storage management for deep learning frameworks
+//!
+//! Facade crate for the MONARCH reproduction (Dantas et al., IEEE CLUSTER
+//! 2021). It re-exports the workspace crates so that downstream users can
+//! depend on a single package:
+//!
+//! - [`core`] — the middleware itself: storage hierarchy, placement handler,
+//!   metadata container, background copy pool, and the [`core::Monarch`]
+//!   facade that intercepts framework reads.
+//! - [`sim`] — the discrete-event storage simulator used to reproduce the
+//!   paper's Frontera/Lustre environment (PFS, local SSD, interference).
+//! - [`tfrecord`] — the TFRecord on-disk format and a synthetic
+//!   ImageNet-style dataset generator.
+//! - [`dlpipe`] — the TensorFlow-like input pipeline, model compute profiles,
+//!   training drivers (real and simulated), and the paper's four setups.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use dlpipe;
+pub use monarch_core as core;
+pub use simfs as sim;
+pub use tfrecord;
