@@ -18,6 +18,13 @@ struct EvictRow {
     pfs_ops: u64,
     pfs_bytes_read: u64,
     ssd_bytes_written: u64,
+    /// Placements completed (telemetry registry of the single-run trial).
+    copies_completed: u64,
+    /// Evictions — files pushed out to make room (LRU only; the paper's
+    /// FirstFit never evicts). A strict subset of `removes`.
+    evictions: u64,
+    /// All removals from local tiers, evictions included.
+    removes: u64,
 }
 
 fn run(variant: &str, cfg: MonarchSimConfig, rows: &mut Vec<EvictRow>) {
@@ -37,12 +44,16 @@ fn run(variant: &str, cfg: MonarchSimConfig, rows: &mut Vec<EvictRow>) {
     let pfs_bytes: u64 =
         once.epochs.iter().map(|e| e.devices[once.pfs_device].bytes_read()).sum();
     let ssd_written: u64 = once.epochs.iter().map(|e| e.devices[0].bytes_written()).sum();
+    let t = once.telemetry.as_ref();
     rows.push(EvictRow {
         variant: variant.to_string(),
         total_seconds: s.total_mean,
         pfs_ops: once.pfs_ops(),
         pfs_bytes_read: pfs_bytes,
         ssd_bytes_written: ssd_written,
+        copies_completed: t.map_or(0, |t| t.stats.copies_completed),
+        evictions: t.map_or(0, |t| t.stats.evictions),
+        removes: t.map_or(0, |t| t.stats.removes),
     });
 }
 
@@ -68,17 +79,19 @@ fn main() {
 
     println!("\n## Ablation — eviction policy & full-file fetch (LeNet, 200 GiB)");
     println!(
-        "{:<30} {:>11} {:>11} {:>14} {:>14}",
-        "variant", "total (s)", "pfs ops", "pfs GiB read", "ssd GiB wrtn"
+        "{:<30} {:>11} {:>11} {:>14} {:>14} {:>8} {:>9}",
+        "variant", "total (s)", "pfs ops", "pfs GiB read", "ssd GiB wrtn", "copies", "evictions"
     );
     for r in &rows {
         println!(
-            "{:<30} {:>11.0} {:>11} {:>14.1} {:>14.1}",
+            "{:<30} {:>11.0} {:>11} {:>14.1} {:>14.1} {:>8} {:>9}",
             r.variant,
             r.total_seconds,
             r.pfs_ops,
             r.pfs_bytes_read as f64 / (1u64 << 30) as f64,
             r.ssd_bytes_written as f64 / (1u64 << 30) as f64,
+            r.copies_completed,
+            r.evictions,
         );
     }
     println!("\npaper claim (§III-A): eviction would accentuate I/O thrashing — expect");

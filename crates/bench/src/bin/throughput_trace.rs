@@ -6,13 +6,19 @@ use dlpipe::config::{EnvConfig, MonarchSimConfig, PipelineConfig, Setup};
 use dlpipe::geometry::DatasetGeom;
 use dlpipe::models::ModelProfile;
 use dlpipe::sim::SimTrainer;
+use monarch_core::telemetry::{TelemetrySnapshot, TimeSeries};
 use serde::Serialize;
 
 #[derive(Serialize)]
 struct TraceDoc {
     setup: String,
     window_secs: f64,
-    series: Vec<(f64, f64)>,
+    /// Shared schema with the real trainer's trace (`RealEpoch::throughput`).
+    series: TimeSeries,
+    /// Full telemetry snapshot of the run (MONARCH setups only): latency
+    /// quantiles, copy counters, journal totals.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    telemetry: Option<TelemetrySnapshot>,
 }
 
 fn sparkline(rate: f64, max: f64) -> String {
@@ -39,11 +45,7 @@ fn main() {
         let r = SimTrainer::new(setup, geom.clone(), model.clone(), pipeline, env.clone())
             .run(2);
         println!("\n## PFS read throughput over time — {label} (LeNet, 100 GiB, 2 epochs)");
-        let max = r
-            .pfs_throughput_series
-            .iter()
-            .map(|&(_, v)| v)
-            .fold(1.0f64, f64::max);
+        let max = r.pfs_throughput_series.max_value().max(1.0);
         for &(t, rate) in &r.pfs_throughput_series {
             println!(
                 "{:7.0}s {:7.0} MB/s |{}",
@@ -52,10 +54,20 @@ fn main() {
                 sparkline(rate, max)
             );
         }
+        if let Some(t) = r.telemetry.as_ref() {
+            println!(
+                " placement: {} copies, p50 {:.1}s / p99 {:.1}s, queue-wait p99 {:.1}s",
+                t.stats.copies_completed,
+                t.copy_duration.p50_nanos as f64 / 1e9,
+                t.copy_duration.p99_nanos as f64 / 1e9,
+                t.queue_wait.p99_nanos as f64 / 1e9,
+            );
+        }
         docs.push(TraceDoc {
             setup: label,
             window_secs: window,
             series: r.pfs_throughput_series,
+            telemetry: r.telemetry,
         });
     }
     println!("\n(vanilla: plateaus at the interference regimes; monarch: epoch-1 copy");

@@ -1,5 +1,6 @@
 //! Run reports: per-epoch times, device counters, resource-usage proxies.
 
+use monarch_core::telemetry::{TelemetrySnapshot, TimeSeries};
 use serde::Serialize;
 use simfs::DeviceStats;
 
@@ -41,9 +42,14 @@ pub struct RunReport {
     #[serde(default)]
     pub prestage_seconds: f64,
     /// Optional PFS read-throughput samples `(virtual_seconds, bytes/s)`,
-    /// collected when `PipelineConfig::trace_interval_secs` is set.
+    /// collected when `PipelineConfig::trace_interval_secs` is set. The
+    /// simulator and the real trainer emit the same [`TimeSeries`] schema.
     #[serde(default)]
-    pub pfs_throughput_series: Vec<(f64, f64)>,
+    pub pfs_throughput_series: TimeSeries,
+    /// Telemetry snapshot of the MONARCH registry at run end (histograms,
+    /// copy counters, journal totals); `None` for non-MONARCH setups.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub telemetry: Option<TelemetrySnapshot>,
     /// Per-epoch measurements.
     pub epochs: Vec<EpochReport>,
 }
@@ -174,7 +180,8 @@ mod tests {
             pfs_device: 1,
             metadata_init_seconds: 0.0,
             prestage_seconds: 0.0,
-            pfs_throughput_series: Vec::new(),
+            pfs_throughput_series: TimeSeries::new(),
+            telemetry: None,
             epochs: secs
                 .iter()
                 .enumerate()

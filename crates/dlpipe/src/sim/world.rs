@@ -3,12 +3,14 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use monarch_core::config::PolicyKind;
+use monarch_core::config::{PolicyKind, TelemetryConfig};
 use monarch_core::driver::MemDriver;
 use monarch_core::hash::FxHashMap;
 use monarch_core::hierarchy::StorageHierarchy;
 use monarch_core::metadata::{MetadataContainer, PlacementState};
 use monarch_core::placement::{FirstFit, LruEvict, PlacementPolicy, RoundRobin};
+use monarch_core::stats::Stats;
+use monarch_core::telemetry::{EventKind, TelemetryRegistry, ThroughputSampler};
 use monarch_core::StorageDriver;
 use simfs::clock::SimTime;
 use simfs::interference::Interference;
@@ -110,6 +112,13 @@ struct MonarchSim {
     chunk_written: FxHashMap<usize, u64>,
     /// Placement skips (no tier had room).
     skips: u64,
+    /// Telemetry registry fed with *virtual* timestamps; shares the event
+    /// schema and histogram types with the real middleware.
+    telemetry: Arc<TelemetryRegistry>,
+    /// Virtual enqueue instant per queued shard (queue-wait histogram).
+    copy_enqueued: FxHashMap<usize, SimTime>,
+    /// Virtual dispatch instant per in-flight copy (duration histogram).
+    copy_started: FxHashMap<usize, SimTime>,
 }
 
 /// Discrete-event trainer for one `(setup, dataset, model)` combination.
@@ -196,10 +205,20 @@ struct World {
     reports: Vec<EpochReport>,
     metadata_init_seconds: f64,
     prestage_seconds: f64,
-    /// Throughput tracing: sampling interval, last (time, pfs bytes), series.
+    /// Throughput tracing: sampling interval and the rate sampler fed with
+    /// cumulative PFS read bytes at each tick.
     trace_interval: Option<SimTime>,
-    trace_last: (SimTime, u64),
-    trace_series: Vec<(f64, f64)>,
+    sampler: ThroughputSampler,
+}
+
+/// Virtual-clock timestamp in microseconds (journal resolution).
+fn vmicros(t: SimTime) -> u64 {
+    (t.as_secs_f64() * 1e6) as u64
+}
+
+/// Virtual duration in nanoseconds (histogram resolution).
+fn vnanos(d: SimTime) -> u64 {
+    (d.as_secs_f64() * 1e9) as u64
 }
 
 impl World {
@@ -268,6 +287,14 @@ impl World {
                         None,
                     )))
                     .collect();
+                let tier_names: Vec<String> =
+                    levels.iter().map(|(name, _, _)| name.clone()).collect();
+                let stats = Arc::new(Stats::new(tier_names.len()));
+                let telemetry = Arc::new(TelemetryRegistry::new(
+                    tier_names,
+                    stats,
+                    &TelemetryConfig::default(),
+                ));
                 let hierarchy = StorageHierarchy::new(levels).expect("valid sim hierarchy");
                 let policy: Arc<dyn PlacementPolicy> = match cfg.policy {
                     PolicyKind::FirstFit => Arc::new(FirstFit),
@@ -288,6 +315,9 @@ impl World {
                     prestage: cfg.prestage,
                     chunk_written: FxHashMap::default(),
                     skips: 0,
+                    telemetry,
+                    copy_enqueued: FxHashMap::default(),
+                    copy_started: FxHashMap::default(),
                 };
                 (ModeTag::Monarch, Some(ms), devs)
             }
@@ -351,8 +381,9 @@ impl World {
                 .pipeline
                 .trace_interval_secs
                 .map(SimTime::from_secs_f64),
-            trace_last: (SimTime::ZERO, 0),
-            trace_series: Vec::new(),
+            sampler: ThroughputSampler::new(
+                t.pipeline.trace_interval_secs.unwrap_or(1.0),
+            ),
             rng,
         }
     }
@@ -440,7 +471,8 @@ impl World {
             pfs_device: self.lustre,
             metadata_init_seconds: self.metadata_init_seconds,
             prestage_seconds: self.prestage_seconds,
-            pfs_throughput_series: self.trace_series,
+            telemetry: self.monarch.as_ref().map(|ms| ms.telemetry.snapshot()),
+            pfs_throughput_series: self.sampler.into_series(),
             epochs: self.reports,
         }
     }
@@ -483,12 +515,7 @@ impl World {
             Ev::StartEpoch => self.begin_epoch(now),
             Ev::TraceTick => {
                 let bytes = self.devs[self.lustre].ps.stats().bytes_read();
-                let dt = (now - self.trace_last.0).as_secs_f64();
-                if dt > 0.0 {
-                    let rate = (bytes - self.trace_last.1) as f64 / dt;
-                    self.trace_series.push((now.as_secs_f64(), rate));
-                }
-                self.trace_last = (now, bytes);
+                self.sampler.force_sample(now.as_secs_f64(), bytes);
                 if let Some(interval) = self.trace_interval {
                     self.q.schedule(now + interval, Ev::TraceTick);
                 }
@@ -501,6 +528,15 @@ impl World {
                 for i in 0..self.geom.num_shards() {
                     if ms.meta.begin_copy(&self.shard_names[i], source).unwrap_or(false) {
                         ms.copy_queue.push_back(i);
+                        ms.copy_enqueued.insert(i, now);
+                        ms.telemetry.stats().copy_scheduled();
+                        ms.telemetry.event_at(
+                            vmicros(now),
+                            EventKind::CopyScheduled {
+                                file: self.shard_names[i].clone(),
+                                bytes: self.geom.shards[i].bytes,
+                            },
+                        );
                     }
                 }
                 if self.monarch.as_ref().unwrap().copy_queue.is_empty() {
@@ -640,6 +676,15 @@ impl World {
                     if ms.full_fetch {
                         if ms.meta.begin_copy(name, 0).unwrap_or(false) {
                             ms.copy_queue.push_back(shard);
+                            ms.copy_enqueued.insert(shard, now);
+                            ms.telemetry.stats().copy_scheduled();
+                            ms.telemetry.event_at(
+                                vmicros(now),
+                                EventKind::CopyScheduled {
+                                    file: name.clone(),
+                                    bytes: self.geom.shards[shard].bytes,
+                                },
+                            );
                             self.dispatch_copy_workers(now);
                         }
                     } else {
@@ -647,13 +692,41 @@ impl World {
                         // once per shard; spill each chunk as it is read.
                         if ms.meta.begin_copy(name, 0).unwrap_or(false) {
                             let size = self.geom.shards[shard].bytes;
+                            ms.telemetry.stats().copy_scheduled();
+                            ms.telemetry.event_at(
+                                vmicros(now),
+                                EventKind::CopyScheduled { file: name.clone(), bytes: size },
+                            );
                             match ms.policy.place(&ms.hierarchy, name, size) {
                                 Ok(Some(d)) => {
+                                    let (used, capacity) = ms
+                                        .hierarchy
+                                        .tier(d.tier)
+                                        .and_then(|t| t.quota.as_ref())
+                                        .map(|q| (q.used(), q.capacity()))
+                                        .unwrap_or((0, 0));
+                                    ms.telemetry.event_at(
+                                        vmicros(now),
+                                        EventKind::PlacementDecided {
+                                            file: name.clone(),
+                                            tier: d.tier,
+                                            used,
+                                            capacity,
+                                        },
+                                    );
                                     ms.copy_target.insert(shard, d.tier);
                                     ms.chunk_written.insert(shard, 0);
                                 }
                                 _ => {
                                     ms.skips += 1;
+                                    ms.telemetry.stats().placement_skip();
+                                    ms.telemetry.event_at(
+                                        vmicros(now),
+                                        EventKind::PlacementSkipped {
+                                            file: name.clone(),
+                                            reason: "no local tier had room".into(),
+                                        },
+                                    );
                                     let _ = ms.meta.abort_copy(name, true);
                                 }
                             }
@@ -724,6 +797,11 @@ impl World {
         let total = self.geom.shards[shard].bytes;
         let len = self.chunk_bytes.min(total - offset);
         let dev = self.route_chunk(now, shard);
+        if let Some(ms) = self.monarch.as_ref() {
+            if let Some(tier) = ms.tier_dev.iter().position(|&d| d == dev) {
+                ms.telemetry.stats().record_read(tier, len);
+            }
+        }
         let latency = self.sample_latency(dev);
         let sync_cap = self.devs[dev].spec.sync_stream_cap;
         // Epoch ≥ 2 of vanilla-caching reads the expanded cache files.
@@ -834,11 +912,26 @@ impl World {
             }
             Purpose::CopyWrite { shard } => {
                 let name = self.shard_names[shard].clone();
+                let size = self.geom.shards[shard].bytes;
                 let ms = self.monarch.as_mut().expect("monarch");
                 let tier = ms.copy_target.remove(&shard).expect("copy target");
                 ms.meta.finish_copy(&name, tier).expect("finish copy");
-                ms.policy.on_placed(&name, self.geom.shards[shard].bytes, tier);
+                ms.policy.on_placed(&name, size, tier);
                 ms.pending_copy_writes -= 1;
+                ms.telemetry.stats().copy_completed();
+                ms.telemetry.stats().record_write(tier, size);
+                let micros = match ms.copy_started.remove(&shard) {
+                    Some(at) => {
+                        let d = now - at;
+                        ms.telemetry.copy_duration().record(vnanos(d));
+                        vmicros(d)
+                    }
+                    None => 0,
+                };
+                ms.telemetry.event_at(
+                    vmicros(now),
+                    EventKind::CopyCompleted { file: name.clone(), tier, bytes: size, micros },
+                );
                 self.dispatch_copy_workers(now);
                 // Option (i): training starts once staging fully drains.
                 if self.prestaging {
@@ -869,6 +962,17 @@ impl World {
                             ms.copy_target.remove(&shard);
                             ms.chunk_written.remove(&shard);
                             ms.meta.finish_copy(&name, tier).expect("finish");
+                            ms.telemetry.stats().copy_completed();
+                            ms.telemetry.stats().record_write(tier, total);
+                            ms.telemetry.event_at(
+                                vmicros(now),
+                                EventKind::CopyCompleted {
+                                    file: name.clone(),
+                                    tier,
+                                    bytes: total,
+                                    micros: 0,
+                                },
+                            );
                         }
                     }
                 }
@@ -912,6 +1016,15 @@ impl World {
                                         .as_ref()
                                         .expect("local tier quota")
                                         .release(vinfo.size);
+                                    ms.telemetry.stats().record_evict(decision.tier);
+                                    ms.telemetry.event_at(
+                                        vmicros(now),
+                                        EventKind::Evicted {
+                                            file: victim.clone(),
+                                            tier: decision.tier,
+                                            bytes: vinfo.size,
+                                        },
+                                    );
                                 }
                             }
                         }
@@ -923,8 +1036,43 @@ impl World {
                     }
                     if !reserved {
                         ms.skips += 1;
+                        ms.telemetry.stats().placement_skip();
+                        ms.copy_enqueued.remove(&shard);
+                        ms.telemetry.event_at(
+                            vmicros(now),
+                            EventKind::PlacementSkipped {
+                                file: name.clone(),
+                                reason: "no local tier had room".into(),
+                            },
+                        );
                         let _ = ms.meta.abort_copy(&name, true);
                         continue;
+                    }
+                    if let Some(at) = ms.copy_enqueued.remove(&shard) {
+                        ms.telemetry.queue_wait().record(vnanos(now - at));
+                    }
+                    ms.copy_started.insert(shard, now);
+                    ms.telemetry.event_at(
+                        vmicros(now),
+                        EventKind::CopyStarted { file: name.clone() },
+                    );
+                    {
+                        let quota = ms
+                            .hierarchy
+                            .tier(decision.tier)
+                            .expect("tier exists")
+                            .quota
+                            .as_ref()
+                            .expect("local tier quota");
+                        ms.telemetry.event_at(
+                            vmicros(now),
+                            EventKind::PlacementDecided {
+                                file: name.clone(),
+                                tier: decision.tier,
+                                used: quota.used(),
+                                capacity: quota.capacity(),
+                            },
+                        );
                     }
                     ms.copy_target.insert(shard, decision.tier);
                     ms.idle_workers -= 1;
@@ -943,6 +1091,15 @@ impl World {
                 }
                 Ok(None) => {
                     ms.skips += 1;
+                    ms.telemetry.stats().placement_skip();
+                    ms.copy_enqueued.remove(&shard);
+                    ms.telemetry.event_at(
+                        vmicros(now),
+                        EventKind::PlacementSkipped {
+                            file: name.clone(),
+                            reason: "no local tier had room".into(),
+                        },
+                    );
                     let _ = ms.meta.abort_copy(&name, true);
                 }
                 Err(_) => unreachable!("sim policies are infallible"),

@@ -256,6 +256,27 @@ fn throughput_tracing_produces_a_series() {
 }
 
 #[test]
+fn monarch_sim_attaches_telemetry_snapshot() {
+    let r = run(Setup::Monarch(MonarchSimConfig::with_ssd_capacity(8 << 30)), 3);
+    let t = r.telemetry.as_ref().expect("monarch runs attach a telemetry snapshot");
+    let shards = geom().num_shards() as u64;
+    // Full fit: every shard is scheduled once and every copy completes
+    // (epoch 3 is PFS-free, so placement drained earlier).
+    assert_eq!(t.stats.copies_scheduled, shards);
+    assert_eq!(t.stats.copies_completed, shards);
+    assert_eq!(t.copy_duration.count, shards);
+    assert_eq!(t.queue_wait.count, shards);
+    assert!(t.copy_duration.p50_nanos > 0, "virtual copy durations recorded");
+    // Each placement writes the full shard into tier 0.
+    assert_eq!(t.stats.tiers[0].writes, shards);
+    assert!(t.stats.tiers[0].reads > 0, "later epochs read locally");
+    // Lifecycle events: scheduled, started, decided, completed per shard.
+    assert!(t.events_recorded >= 4 * shards, "events: {}", t.events_recorded);
+    // Vanilla setups carry no registry.
+    assert!(run(Setup::VanillaLustre, 1).telemetry.is_none());
+}
+
+#[test]
 fn op_counts_are_exact_chunk_math() {
     let r = run(Setup::VanillaLustre, 1);
     assert_eq!(

@@ -48,6 +48,25 @@ pub enum Command {
         /// Number of epochs.
         epochs: usize,
     },
+    /// Render the telemetry registry (same registry the FFI exposes via
+    /// `monarch_metrics_text`).
+    Metrics {
+        /// Path to a `MonarchConfig` JSON file.
+        config: PathBuf,
+        /// Output format.
+        format: MetricsFormat,
+        /// Re-render every N seconds until interrupted.
+        watch: Option<f64>,
+    },
+}
+
+/// Output format for `monarch metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Prometheus-style exposition text.
+    Text,
+    /// Pretty-printed `TelemetrySnapshot` JSON.
+    Json,
 }
 
 impl Command {
@@ -58,7 +77,8 @@ impl Command {
          monarch gen-dataset --dir DIR --bytes N --samples N [--seed N]\n  \
          monarch stage       --config CFG.json [--policy first_fit|lru_evict|round_robin]\n  \
          monarch inspect     --config CFG.json\n  \
-         monarch epoch       --config CFG.json --data DIR [--readers N] [--chunk BYTES] [--epochs N]"
+         monarch epoch       --config CFG.json --data DIR [--readers N] [--chunk BYTES] [--epochs N]\n  \
+         monarch metrics     --config CFG.json [--format text|json] [--watch SECS]"
     }
 
     /// Parse an argument vector (without the program name).
@@ -115,6 +135,21 @@ impl Command {
                 readers: get_u64("readers", Some(8))? as usize,
                 chunk: get_u64("chunk", Some(256 << 10))?,
                 epochs: get_u64("epochs", Some(3))? as usize,
+            }),
+            "metrics" => Ok(Command::Metrics {
+                config: PathBuf::from(get("config")?),
+                format: match flags.get("format").map(String::as_str) {
+                    None | Some("text") => MetricsFormat::Text,
+                    Some("json") => MetricsFormat::Json,
+                    Some(other) => return Err(format!("unknown format: {other}")),
+                },
+                watch: match flags.get("watch") {
+                    None => None,
+                    Some(v) => match v.parse::<f64>() {
+                        Ok(secs) if secs > 0.0 => Some(secs),
+                        _ => return Err(format!("--watch wants a positive number of seconds, got {v}")),
+                    },
+                },
             }),
             other => Err(format!("unknown subcommand: {other}")),
         }
@@ -221,6 +256,26 @@ pub fn run(cmd: Command) -> Result<(), String> {
             );
             Ok(())
         }
+        Command::Metrics { config, format, watch } => {
+            let m = load_monarch(&config, None)?;
+            let render = |m: &Monarch| -> Result<String, String> {
+                match format {
+                    MetricsFormat::Text => Ok(m.metrics_text()),
+                    MetricsFormat::Json => {
+                        serde_json::to_string_pretty(&m.telemetry_snapshot())
+                            .map_err(|e| e.to_string())
+                    }
+                }
+            };
+            match watch {
+                None => println!("{}", render(&m)?),
+                Some(secs) => loop {
+                    println!("{}", render(&m)?);
+                    std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+                },
+            }
+            Ok(())
+        }
     }
 }
 
@@ -279,6 +334,31 @@ mod tests {
     }
 
     #[test]
+    fn parses_metrics_defaults_and_overrides() {
+        let cmd = parse(&["metrics", "--config", "c.json"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Metrics {
+                config: PathBuf::from("c.json"),
+                format: MetricsFormat::Text,
+                watch: None
+            }
+        );
+        let cmd = parse(&[
+            "metrics", "--config", "c.json", "--format", "json", "--watch", "0.5",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Metrics {
+                config: PathBuf::from("c.json"),
+                format: MetricsFormat::Json,
+                watch: Some(0.5)
+            }
+        );
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(parse(&[]).is_err());
         assert!(parse(&["bogus"]).is_err());
@@ -287,6 +367,9 @@ mod tests {
         assert!(parse(&["stage", "--config", "c", "--policy", "nope"]).is_err());
         assert!(parse(&["epoch", "--config", "c", "--data", "/d", "--readers", "x"]).is_err());
         assert!(parse(&["gen-dataset", "stray", "--dir", "x"]).is_err());
+        assert!(parse(&["metrics", "--config", "c", "--format", "yaml"]).is_err());
+        assert!(parse(&["metrics", "--config", "c", "--watch", "-1"]).is_err());
+        assert!(parse(&["metrics", "--config", "c", "--watch", "soon"]).is_err());
     }
 
     #[test]
@@ -324,13 +407,22 @@ mod tests {
         run(Command::Stage { config: cfg_path.clone(), policy: None }).unwrap();
         run(Command::Inspect { config: cfg_path.clone() }).unwrap();
         run(Command::Epoch {
-            config: cfg_path,
+            config: cfg_path.clone(),
             data,
             readers: 2,
             chunk: 8 << 10,
             epochs: 2,
         })
         .unwrap();
+        // One-shot metrics renders in both formats against the same config.
+        run(Command::Metrics {
+            config: cfg_path.clone(),
+            format: MetricsFormat::Text,
+            watch: None,
+        })
+        .unwrap();
+        run(Command::Metrics { config: cfg_path, format: MetricsFormat::Json, watch: None })
+            .unwrap();
         std::fs::remove_dir_all(&root).unwrap();
     }
 }

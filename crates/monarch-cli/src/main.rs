@@ -5,11 +5,14 @@
 //! monarch stage       --config CFG.json [--policy first_fit|lru_evict|round_robin]
 //! monarch inspect     --config CFG.json
 //! monarch epoch       --config CFG.json --data DIR [--readers N] [--chunk BYTES] [--epochs N]
+//! monarch metrics     --config CFG.json [--format text|json] [--watch SECS]
 //! ```
 //!
 //! `stage` pre-places the dataset (placement option (i), §III-A);
 //! `epoch` streams the dataset through the middleware with the tf.data-like
-//! real trainer and prints per-epoch times and tier hit counts.
+//! real trainer and prints per-epoch times and tier hit counts;
+//! `metrics` renders the telemetry registry (Prometheus-style text or a JSON
+//! snapshot — the same registry the C FFI exposes via `monarch_metrics_text`).
 
 use monarch_cli::{run, Command};
 

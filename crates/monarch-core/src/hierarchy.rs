@@ -176,6 +176,19 @@ impl StorageHierarchy {
         &self.tiers
     }
 
+    /// Replace each tier's driver with `wrap(tier_id, driver)` — the hook
+    /// [`crate::Monarch`] uses to interpose
+    /// [`crate::driver::TimedDriver`] latency instrumentation at exactly
+    /// one point, the driver boundary.
+    pub fn instrument_drivers<F>(&mut self, mut wrap: F)
+    where
+        F: FnMut(TierId, Arc<dyn StorageDriver>) -> Arc<dyn StorageDriver>,
+    {
+        for tier in &mut self.tiers {
+            tier.driver = wrap(tier.id, Arc::clone(&tier.driver));
+        }
+    }
+
     /// True when every local tier lacks room for even a minimal file — the
     /// condition under which the placement phase ends early.
     #[must_use]
@@ -269,6 +282,22 @@ mod tests {
         let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert!(total <= 1000);
         assert_eq!(q.used(), total);
+    }
+
+    #[test]
+    fn instrument_drivers_wraps_every_tier() {
+        use crate::driver::TimedDriver;
+        use crate::telemetry::LatencyHistogram;
+        let mut h = two_level(100);
+        let hist = Arc::new(LatencyHistogram::new());
+        let reads = Arc::clone(&hist);
+        h.instrument_drivers(move |_, driver| {
+            Arc::new(TimedDriver::new(driver, Arc::clone(&reads), Arc::new(LatencyHistogram::new())))
+        });
+        let mut buf = [0u8; 1];
+        let _ = h.tier(0).unwrap().driver.read_at("missing", 0, &mut buf);
+        let _ = h.tier(1).unwrap().driver.read_at("missing", 0, &mut buf);
+        assert_eq!(hist.count(), 2, "both tiers' drivers are wrapped");
     }
 
     #[test]

@@ -52,8 +52,9 @@ pub mod middleware;
 pub mod placement;
 pub mod pool;
 pub mod stats;
+pub mod telemetry;
 
-pub use config::MonarchConfig;
+pub use config::{MonarchConfig, TelemetryConfig};
 pub use driver::StorageDriver;
 pub use error::{Error, Result};
 pub use hierarchy::{StorageHierarchy, Tier, TierId};
@@ -61,3 +62,7 @@ pub use metadata::MetadataContainer;
 pub use middleware::{InitReport, Monarch};
 pub use placement::{PlacementDecision, PlacementPolicy};
 pub use stats::{Stats, StatsSnapshot};
+pub use telemetry::{
+    Event, EventJournal, EventKind, HistogramSnapshot, LatencyHistogram, TelemetryRegistry,
+    TelemetrySnapshot, ThroughputSampler, TimeSeries,
+};

@@ -21,13 +21,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::config::{BackendKind, MonarchConfig, PolicyKind};
-use crate::driver::{MemDriver, PosixDriver, StorageDriver};
-use crate::hierarchy::StorageHierarchy;
+use crate::config::{BackendKind, MonarchConfig, PolicyKind, TelemetryConfig};
+use crate::driver::{MemDriver, PosixDriver, StorageDriver, TimedDriver};
+use crate::hierarchy::{StorageHierarchy, TierId};
 use crate::metadata::{MetadataContainer, PlacementState};
 use crate::placement::{FirstFit, LruEvict, PlacementPolicy, RoundRobin};
 use crate::pool::ThreadPool;
 use crate::stats::{Stats, StatsSnapshot};
+use crate::telemetry::{EventKind, TelemetryRegistry, TelemetrySnapshot};
 use crate::{Error, Result};
 
 /// Outcome of the startup namespace scan.
@@ -48,6 +49,7 @@ pub struct Monarch {
     policy: Arc<dyn PlacementPolicy>,
     pool: ThreadPool,
     stats: Arc<Stats>,
+    telemetry: Arc<TelemetryRegistry>,
     full_file_fetch: bool,
     shutting_down: Arc<AtomicBool>,
 }
@@ -73,11 +75,18 @@ impl Monarch {
             PolicyKind::RoundRobin => Arc::new(RoundRobin::default()),
             PolicyKind::LruEvict => Arc::new(LruEvict::new()),
         };
-        Ok(Self::assemble(hierarchy, policy, config.pool_threads, config.full_file_fetch))
+        Ok(Self::assemble(
+            hierarchy,
+            policy,
+            config.pool_threads,
+            config.full_file_fetch,
+            config.telemetry,
+        ))
     }
 
     /// Build from pre-constructed parts (tests and embedders that supply
-    /// custom drivers or policies).
+    /// custom drivers or policies). Telemetry uses its defaults; use
+    /// [`Monarch::with_parts_telemetry`] to override.
     #[must_use]
     pub fn with_parts(
         hierarchy: StorageHierarchy,
@@ -85,22 +94,60 @@ impl Monarch {
         pool_threads: usize,
         full_file_fetch: bool,
     ) -> Self {
-        Self::assemble(hierarchy, policy, pool_threads, full_file_fetch)
+        Self::assemble(hierarchy, policy, pool_threads, full_file_fetch, TelemetryConfig::default())
     }
 
-    fn assemble(
+    /// [`Monarch::with_parts`] with explicit telemetry configuration —
+    /// benches use [`TelemetryConfig::disabled`] for an uninstrumented
+    /// baseline.
+    #[must_use]
+    pub fn with_parts_telemetry(
         hierarchy: StorageHierarchy,
         policy: Arc<dyn PlacementPolicy>,
         pool_threads: usize,
         full_file_fetch: bool,
+        telemetry: TelemetryConfig,
     ) -> Self {
-        let levels = hierarchy.levels();
+        Self::assemble(hierarchy, policy, pool_threads, full_file_fetch, telemetry)
+    }
+
+    fn assemble(
+        mut hierarchy: StorageHierarchy,
+        policy: Arc<dyn PlacementPolicy>,
+        pool_threads: usize,
+        full_file_fetch: bool,
+        tcfg: TelemetryConfig,
+    ) -> Self {
+        let stats = Arc::new(Stats::new(hierarchy.levels()));
+        let tier_names: Vec<String> =
+            hierarchy.tiers().iter().map(|t| t.name.clone()).collect();
+        let telemetry =
+            Arc::new(TelemetryRegistry::new(tier_names, Arc::clone(&stats), &tcfg));
+        // When telemetry is off the drivers stay unwrapped and the pool
+        // unstamped — a true zero-overhead baseline.
+        let pool = if tcfg.enabled {
+            hierarchy.instrument_drivers(|id, driver| {
+                Arc::new(TimedDriver::new(
+                    driver,
+                    Arc::clone(telemetry.read_latency(id)),
+                    Arc::clone(telemetry.write_latency(id)),
+                ))
+            });
+            ThreadPool::with_telemetry(
+                pool_threads,
+                Arc::clone(telemetry.queue_wait()),
+                Arc::clone(telemetry.pool_exec()),
+            )
+        } else {
+            ThreadPool::new(pool_threads)
+        };
         Self {
             hierarchy: Arc::new(hierarchy),
             metadata: Arc::new(MetadataContainer::default()),
             policy,
-            pool: ThreadPool::new(pool_threads),
-            stats: Arc::new(Stats::new(levels)),
+            pool,
+            stats,
+            telemetry,
             full_file_fetch,
             shutting_down: Arc::new(AtomicBool::new(false)),
         }
@@ -182,11 +229,13 @@ impl Monarch {
             _ => return false,
         }
         self.stats.copy_scheduled();
+        self.telemetry.event(EventKind::CopyScheduled { file: file.to_string(), bytes: size });
         let ctx = PlacementCtx {
             hierarchy: Arc::clone(&self.hierarchy),
             metadata: Arc::clone(&self.metadata),
             policy: Arc::clone(&self.policy),
             stats: Arc::clone(&self.stats),
+            telemetry: Arc::clone(&self.telemetry),
             shutting_down: Arc::clone(&self.shutting_down),
         };
         let owned = file.to_string();
@@ -242,6 +291,30 @@ impl Monarch {
         self.stats.snapshot()
     }
 
+    /// The telemetry registry (histograms, journal, stats).
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<TelemetryRegistry> {
+        &self.telemetry
+    }
+
+    /// Snapshot of every histogram plus the counters.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// Prometheus-style text exposition of the registry.
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        self.telemetry.prometheus_text()
+    }
+
+    /// Buffered journal events as JSON lines (non-destructive).
+    #[must_use]
+    pub fn events_json(&self) -> String {
+        self.telemetry.events_json()
+    }
+
     /// The metadata container (read-mostly introspection).
     #[must_use]
     pub fn metadata(&self) -> &MetadataContainer {
@@ -285,6 +358,7 @@ struct PlacementCtx {
     metadata: Arc<MetadataContainer>,
     policy: Arc<dyn PlacementPolicy>,
     stats: Arc<Stats>,
+    telemetry: Arc<TelemetryRegistry>,
     shutting_down: Arc<AtomicBool>,
 }
 
@@ -294,28 +368,55 @@ impl PlacementCtx {
             let _ = self.metadata.abort_copy(file, false);
             return;
         }
+        let started = Instant::now();
+        self.telemetry.event(EventKind::CopyStarted { file: file.to_string() });
         match self.try_place(file, size, inline_data) {
-            Ok(true) => self.stats.copy_completed(),
-            Ok(false) => {
+            Ok(Some(tier)) => {
+                self.stats.copy_completed();
+                let elapsed = started.elapsed();
+                if self.telemetry.is_enabled() {
+                    self.telemetry.copy_duration().record_duration(elapsed);
+                }
+                self.telemetry.event(EventKind::CopyCompleted {
+                    file: file.to_string(),
+                    tier,
+                    bytes: size,
+                    micros: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+                });
+            }
+            Ok(None) => {
                 // No room anywhere: pin the file to the PFS permanently
                 // (placement for it has ended, paper §III-B last paragraph).
                 self.stats.placement_skip();
+                self.telemetry.event(EventKind::PlacementSkipped {
+                    file: file.to_string(),
+                    reason: "no local tier had room".to_string(),
+                });
                 let _ = self.metadata.abort_copy(file, true);
             }
-            Err(_) => {
+            Err(e) => {
                 // I/O failure: revert to Unplaced so a later read may retry.
                 self.stats.copy_failed();
+                self.telemetry.event(EventKind::CopyFailed {
+                    file: file.to_string(),
+                    reason: e.to_string(),
+                });
                 let _ = self.metadata.abort_copy(file, false);
             }
         }
     }
 
-    /// Returns Ok(true) if the file was placed, Ok(false) if no tier had
-    /// room, Err on I/O failure (quota released, nothing half-installed
-    /// visible to readers).
-    fn try_place(&self, file: &str, size: u64, inline_data: Option<Vec<u8>>) -> Result<bool> {
+    /// Returns `Ok(Some(tier))` if the file was placed on `tier`,
+    /// `Ok(None)` if no tier had room, `Err` on I/O failure (quota
+    /// released, nothing half-installed visible to readers).
+    fn try_place(
+        &self,
+        file: &str,
+        size: u64,
+        inline_data: Option<Vec<u8>>,
+    ) -> Result<Option<TierId>> {
         let Some(decision) = self.policy.place(&self.hierarchy, file, size)? else {
-            return Ok(false);
+            return Ok(None);
         };
         let dest = self.hierarchy.tier(decision.tier)?;
         let quota = dest.quota.as_ref().ok_or(Error::UnknownTier(decision.tier))?;
@@ -331,15 +432,26 @@ impl PlacementCtx {
                         dest.driver.remove(victim)?;
                         self.metadata.evict_to(victim, self.hierarchy.source_id())?;
                         quota.release(vinfo.size);
-                        self.stats.record_remove(decision.tier);
+                        self.stats.record_evict(decision.tier);
+                        self.telemetry.event(EventKind::Evicted {
+                            file: victim.clone(),
+                            tier: decision.tier,
+                            bytes: vinfo.size,
+                        });
                     }
                 }
             }
             quota.try_reserve(size)
         };
         if !reserved {
-            return Ok(false);
+            return Ok(None);
         }
+        self.telemetry.event(EventKind::PlacementDecided {
+            file: file.to_string(),
+            tier: decision.tier,
+            used: quota.used(),
+            capacity: quota.capacity(),
+        });
 
         let install = || -> Result<()> {
             let data = match inline_data {
@@ -359,13 +471,19 @@ impl PlacementCtx {
             Ok(()) => {
                 self.metadata.finish_copy(file, decision.tier)?;
                 self.policy.on_placed(file, size, decision.tier);
-                Ok(true)
+                Ok(Some(decision.tier))
             }
             Err(e) => {
                 quota.release(size);
                 // Best effort: remove a possibly half-written destination
                 // file (the POSIX driver's rename makes this a no-op there).
-                let _ = dest.driver.remove(file);
+                if dest.driver.remove(file).is_ok() {
+                    self.stats.record_remove(decision.tier);
+                    self.telemetry.event(EventKind::Removed {
+                        file: file.to_string(),
+                        tier: decision.tier,
+                    });
+                }
                 Err(e)
             }
         }
@@ -625,6 +743,149 @@ mod tests {
         let m = Monarch::new(cfg).unwrap();
         assert_eq!(m.pool_threads(), 2);
         assert_eq!(m.hierarchy().levels(), 2);
+    }
+
+    #[test]
+    fn journal_captures_copy_lifecycle_under_concurrency() {
+        // Acceptance: the journal records the full copy lifecycle
+        // (scheduled → started → completed) for every file while 8 reader
+        // threads hammer the read path concurrently.
+        let n_files = 8;
+        let m = Arc::new(mem_monarch(1 << 20, n_files, 4096));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    let mut buf = vec![0u8; 512];
+                    for i in 0..n_files {
+                        let name = format!("f{:03}", (i + t) % n_files);
+                        for off in (0..4096).step_by(512) {
+                            assert_eq!(m.read(&name, off, &mut buf).unwrap(), 512);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        m.wait_placement_idle();
+        let stats = m.stats();
+        assert_eq!(stats.copies_completed, n_files as u64);
+        // All files are local now: this pass is guaranteed to time tier-0
+        // reads.
+        for i in 0..n_files {
+            m.read_full(&format!("f{i:03}")).unwrap();
+        }
+
+        let events = m.telemetry().journal().events();
+        // Sequence numbers strictly increase across the buffered events.
+        for pair in events.windows(2) {
+            assert!(pair[0].seq < pair[1].seq);
+        }
+        for i in 0..n_files {
+            let name = format!("f{i:03}");
+            let of = |tag: &str| {
+                events
+                    .iter()
+                    .find(|e| e.kind.tag() == tag && e.kind.file() == name)
+                    .unwrap_or_else(|| panic!("{tag} event for {name}"))
+                    .seq
+            };
+            let (sched, started, decided, done) = (
+                of("copy_scheduled"),
+                of("copy_started"),
+                of("placement_decided"),
+                of("copy_completed"),
+            );
+            assert!(sched < started && started < decided && decided < done);
+        }
+        // Exactly one lifecycle per file despite 8 racing readers.
+        assert_eq!(
+            events.iter().filter(|e| e.kind.tag() == "copy_completed").count(),
+            n_files
+        );
+
+        // Histograms saw the traffic: local + PFS reads, copy durations,
+        // queue waits.
+        let snap = m.telemetry_snapshot();
+        assert_eq!(snap.copy_duration.count, n_files as u64);
+        assert_eq!(snap.queue_wait.count, n_files as u64);
+        assert!(snap.read_latency[0].count > 0, "local reads timed");
+        assert!(snap.read_latency[1].count > 0, "PFS reads timed");
+        assert!(snap.write_latency[0].count == n_files as u64, "one install write per file");
+        assert!(snap.read_latency[1].p99_nanos >= snap.read_latency[1].p50_nanos);
+
+        // Both exposition formats render the same registry.
+        let text = m.metrics_text();
+        assert!(text.contains(&format!("monarch_copies_completed_total {n_files}")));
+        assert!(text.contains("monarch_read_latency_seconds{tier=\"ssd\",quantile=\"0.99\"}"));
+        let json_lines = m.events_json();
+        assert_eq!(json_lines.lines().count(), events.len());
+    }
+
+    #[test]
+    fn telemetry_disabled_records_nothing() {
+        let pfs = MemDriver::new("pfs");
+        pfs.insert("f", vec![1u8; 1024]);
+        let hierarchy = StorageHierarchy::new(vec![
+            (
+                "ssd".into(),
+                Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
+                Some(1 << 20),
+            ),
+            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
+        ])
+        .unwrap();
+        let m = Monarch::with_parts_telemetry(
+            hierarchy,
+            Arc::new(FirstFit),
+            1,
+            true,
+            TelemetryConfig::disabled(),
+        );
+        m.init().unwrap();
+        let mut buf = [0u8; 128];
+        m.read("f", 0, &mut buf).unwrap();
+        m.wait_placement_idle();
+        assert_eq!(m.stats().copies_completed, 1, "placement still works");
+        let snap = m.telemetry_snapshot();
+        assert_eq!(snap.read_latency[0].count + snap.read_latency[1].count, 0);
+        assert_eq!(snap.queue_wait.count, 0);
+        assert_eq!(snap.copy_duration.count, 0);
+        assert_eq!(snap.events_recorded, 0);
+        assert_eq!(m.events_json(), "");
+        // Counters still render (they are stats-driven, not histogram-driven).
+        assert!(m.metrics_text().contains("monarch_copies_completed_total 1"));
+    }
+
+    #[test]
+    fn journal_disablable_separately_from_histograms() {
+        let pfs = MemDriver::new("pfs");
+        pfs.insert("f", vec![1u8; 256]);
+        let hierarchy = StorageHierarchy::new(vec![
+            (
+                "ssd".into(),
+                Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
+                Some(1 << 20),
+            ),
+            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
+        ])
+        .unwrap();
+        let m = Monarch::with_parts_telemetry(
+            hierarchy,
+            Arc::new(FirstFit),
+            1,
+            true,
+            TelemetryConfig { journal: false, ..TelemetryConfig::default() },
+        );
+        m.init().unwrap();
+        let mut buf = [0u8; 256];
+        m.read("f", 0, &mut buf).unwrap();
+        m.wait_placement_idle();
+        let snap = m.telemetry_snapshot();
+        assert_eq!(snap.events_recorded, 0, "journal off");
+        assert!(snap.read_latency[1].count > 0, "histograms still on");
     }
 
     #[test]

@@ -5,13 +5,22 @@
 //! draining a task queue, with graceful shutdown (drain-then-join) and an
 //! in-flight counter so callers can wait for quiescence — used by tests and
 //! by the end-of-epoch barrier in the real trainer.
+//!
+//! Accounting invariant: every increment of `pending` is matched by exactly
+//! one decrement-and-notify, whether the task runs, panics, or is refused
+//! by a closing channel. `wait_idle` correctness depends on this — a leaked
+//! increment parks waiters forever.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
+
+use crate::telemetry::LatencyHistogram;
 
 /// A unit of background work.
 pub type Task = Box<dyn FnOnce() + Send + 'static>;
@@ -19,11 +28,39 @@ pub type Task = Box<dyn FnOnce() + Send + 'static>;
 struct Shared {
     /// Tasks submitted but not yet finished (queued + running).
     pending: AtomicUsize,
-    /// Total tasks ever submitted.
+    /// Total tasks ever submitted (accepted by the queue).
     submitted: AtomicU64,
+    /// Tasks whose closure panicked (caught; the worker survives).
+    panicked: AtomicU64,
     /// Wakes `wait_idle` when `pending` hits zero.
     idle_mutex: Mutex<()>,
     idle_cv: Condvar,
+}
+
+impl Shared {
+    fn new() -> Self {
+        Self {
+            pending: AtomicUsize::new(0),
+            submitted: AtomicU64::new(0),
+            panicked: AtomicU64::new(0),
+            idle_mutex: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        }
+    }
+
+    /// Balance one `pending` increment and wake idle waiters at zero.
+    fn finish_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.idle_mutex.lock();
+            self.idle_cv.notify_all();
+        }
+    }
+}
+
+/// Queue-wait and execution-span histograms attached to a pool.
+struct PoolHists {
+    queue_wait: Arc<LatencyHistogram>,
+    exec: Arc<LatencyHistogram>,
 }
 
 /// Fixed-size background worker pool.
@@ -31,20 +68,31 @@ pub struct ThreadPool {
     tx: Option<Sender<Task>>,
     workers: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
+    hists: Option<Arc<PoolHists>>,
 }
 
 impl ThreadPool {
     /// Spawn a pool with `threads` workers (minimum 1).
     #[must_use]
     pub fn new(threads: usize) -> Self {
+        Self::build(threads, None)
+    }
+
+    /// Spawn a pool that stamps every task's queue wait (submit → start)
+    /// into `queue_wait` and its execution span into `exec`.
+    #[must_use]
+    pub fn with_telemetry(
+        threads: usize,
+        queue_wait: Arc<LatencyHistogram>,
+        exec: Arc<LatencyHistogram>,
+    ) -> Self {
+        Self::build(threads, Some(Arc::new(PoolHists { queue_wait, exec })))
+    }
+
+    fn build(threads: usize, hists: Option<Arc<PoolHists>>) -> Self {
         let threads = threads.max(1);
         let (tx, rx): (Sender<Task>, Receiver<Task>) = channel::unbounded();
-        let shared = Arc::new(Shared {
-            pending: AtomicUsize::new(0),
-            submitted: AtomicU64::new(0),
-            idle_mutex: Mutex::new(()),
-            idle_cv: Condvar::new(),
-        });
+        let shared = Arc::new(Shared::new());
         let workers = (0..threads)
             .map(|i| {
                 let rx = rx.clone();
@@ -53,17 +101,20 @@ impl ThreadPool {
                     .name(format!("monarch-copy-{i}"))
                     .spawn(move || {
                         while let Ok(task) = rx.recv() {
-                            task();
-                            if shared.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-                                let _guard = shared.idle_mutex.lock();
-                                shared.idle_cv.notify_all();
+                            // A panicking task must not kill the worker or
+                            // leak its `pending` increment: either would
+                            // eventually hang `wait_idle`.
+                            let outcome = catch_unwind(AssertUnwindSafe(task));
+                            if outcome.is_err() {
+                                shared.panicked.fetch_add(1, Ordering::Relaxed);
                             }
+                            shared.finish_one();
                         }
                     })
                     .expect("spawn pool worker")
             })
             .collect();
-        Self { tx: Some(tx), workers, shared }
+        Self { tx: Some(tx), workers, shared, hists }
     }
 
     /// Number of worker threads.
@@ -75,12 +126,28 @@ impl ThreadPool {
     /// Submit a task. Returns `false` if the pool is shutting down.
     pub fn submit(&self, task: Task) -> bool {
         let Some(tx) = self.tx.as_ref() else { return false };
+        let task: Task = match &self.hists {
+            Some(hists) => {
+                let hists = Arc::clone(hists);
+                let queued_at = Instant::now();
+                Box::new(move || {
+                    hists.queue_wait.record_duration(queued_at.elapsed());
+                    let started_at = Instant::now();
+                    task();
+                    hists.exec.record_duration(started_at.elapsed());
+                })
+            }
+            None => task,
+        };
         self.shared.pending.fetch_add(1, Ordering::AcqRel);
-        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         if tx.send(task).is_err() {
-            self.shared.pending.fetch_sub(1, Ordering::AcqRel);
+            // Shutdown raced us: roll back our increment through the same
+            // path a finished task takes, so a waiter that observed the
+            // transient pending count is woken rather than parked forever.
+            self.shared.finish_one();
             return false;
         }
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         true
     }
 
@@ -90,10 +157,17 @@ impl ThreadPool {
         self.shared.pending.load(Ordering::Acquire)
     }
 
-    /// Total tasks ever submitted.
+    /// Total tasks accepted (refused submissions are not counted).
     #[must_use]
     pub fn submitted(&self) -> u64 {
         self.shared.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Tasks whose closure panicked (the panic is caught and counted; the
+    /// worker keeps serving).
+    #[must_use]
+    pub fn panicked(&self) -> u64 {
+        self.shared.panicked.load(Ordering::Relaxed)
     }
 
     /// Block until no tasks are queued or running.
@@ -162,8 +236,10 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(counter.load(Ordering::Relaxed), 16);
-        // Submitting after shutdown is refused.
+        // Submitting after shutdown is refused and not counted.
         assert!(!pool.submit(Box::new(|| {})));
+        assert_eq!(pool.submitted(), 16);
+        assert_eq!(pool.pending(), 0);
     }
 
     #[test]
@@ -185,5 +261,80 @@ mod tests {
             }));
         }
         pool.wait_idle();
+    }
+
+    #[test]
+    fn panicking_task_does_not_leak_pending_or_kill_worker() {
+        // Regression: a panic used to unwind past the decrement, leaving
+        // `pending` stuck above zero (wait_idle hangs) and killing the
+        // worker thread.
+        let pool = ThreadPool::new(1);
+        let counter = Arc::new(AtomicU32::new(0));
+        pool.submit(Box::new(|| panic!("task panic")));
+        let c = Arc::clone(&counter);
+        pool.submit(Box::new(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        }));
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::Relaxed), 1, "worker survived the panic");
+        assert_eq!(pool.pending(), 0);
+        assert_eq!(pool.panicked(), 1);
+    }
+
+    /// A pool whose channel is already closed on the receiver side, so
+    /// `submit` deterministically hits the failed-send branch.
+    fn dead_channel_pool() -> ThreadPool {
+        let (tx, rx) = channel::unbounded::<Task>();
+        drop(rx);
+        ThreadPool { tx: Some(tx), workers: Vec::new(), shared: Arc::new(Shared::new()), hists: None }
+    }
+
+    #[test]
+    fn failed_send_keeps_pending_balanced() {
+        // Regression: the failed-send rollback used to skip the idle
+        // notification, so a waiter that observed the transient increment
+        // could park forever.
+        let pool = Arc::new(dead_channel_pool());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        // Waiters hammer wait_idle while submits transiently bump pending.
+        let waiters: Vec<_> = (0..2)
+            .map(|_| {
+                let p = Arc::clone(&pool);
+                let s = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !s.load(Ordering::Relaxed) {
+                        p.wait_idle();
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..1000 {
+            assert!(!pool.submit(Box::new(|| {})));
+            assert_eq!(pool.pending(), 0, "failed send must roll back pending");
+        }
+        assert_eq!(pool.submitted(), 0, "refused submissions are not counted");
+        stop.store(true, Ordering::Relaxed);
+        for w in waiters {
+            w.join().unwrap();
+        }
+        pool.wait_idle();
+    }
+
+    #[test]
+    fn telemetry_pool_records_spans() {
+        let queue_wait = Arc::new(LatencyHistogram::new());
+        let exec = Arc::new(LatencyHistogram::new());
+        let pool =
+            ThreadPool::with_telemetry(2, Arc::clone(&queue_wait), Arc::clone(&exec));
+        for _ in 0..10 {
+            pool.submit(Box::new(|| {
+                std::thread::sleep(Duration::from_micros(200));
+            }));
+        }
+        pool.wait_idle();
+        assert_eq!(queue_wait.count(), 10);
+        assert_eq!(exec.count(), 10);
+        // Execution spans include the 200µs sleep.
+        assert!(exec.quantile(0.5) >= 200_000, "p50 exec = {}", exec.quantile(0.5));
     }
 }

@@ -6,7 +6,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 use crate::TierId;
 
@@ -29,6 +29,7 @@ pub struct Stats {
     copies_failed: AtomicU64,
     placement_skipped: AtomicU64,
     evictions: AtomicU64,
+    removes: AtomicU64,
 }
 
 impl Stats {
@@ -42,6 +43,7 @@ impl Stats {
             copies_failed: AtomicU64::new(0),
             placement_skipped: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            removes: AtomicU64::new(0),
         }
     }
 
@@ -61,10 +63,22 @@ impl Stats {
         t.bytes_written.fetch_add(bytes, Ordering::Relaxed);
     }
 
-    /// Record a file removal on `tier` (eviction).
+    /// Record a file removal on `tier` for a non-eviction reason
+    /// (failed-copy cleanup, teardown). Policy-driven evictions go through
+    /// [`Stats::record_evict`] instead — conflating the two would miscount
+    /// cleanup as cache thrashing.
     #[inline]
     pub fn record_remove(&self, tier: TierId) {
         self.tiers[tier].removes.fetch_add(1, Ordering::Relaxed);
+        self.removes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a policy-driven eviction of a file from `tier`. Counts as
+    /// both a removal (the file left the tier) and an eviction.
+    #[inline]
+    pub fn record_evict(&self, tier: TierId) {
+        self.tiers[tier].removes.fetch_add(1, Ordering::Relaxed);
+        self.removes.fetch_add(1, Ordering::Relaxed);
         self.evictions.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -108,12 +122,13 @@ impl Stats {
             copies_failed: self.copies_failed.load(Ordering::Relaxed),
             placement_skipped: self.placement_skipped.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            removes: self.removes.load(Ordering::Relaxed),
         }
     }
 }
 
 /// Snapshot of one tier's counters.
-#[derive(Debug, Clone, Copy, Default, Serialize, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize, PartialEq, Eq)]
 pub struct TierSnapshot {
     /// Read operations served by this tier.
     pub reads: u64,
@@ -123,12 +138,12 @@ pub struct TierSnapshot {
     pub writes: u64,
     /// Bytes written to this tier.
     pub bytes_written: u64,
-    /// Files removed from this tier (evictions).
+    /// Files removed from this tier (evictions plus cleanup).
     pub removes: u64,
 }
 
 /// Snapshot of the whole middleware.
-#[derive(Debug, Clone, Default, Serialize, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Per-tier counters, index = tier id (last = PFS).
     pub tiers: Vec<TierSnapshot>,
@@ -140,8 +155,13 @@ pub struct StatsSnapshot {
     pub copies_failed: u64,
     /// Files left on the PFS because no local tier had room.
     pub placement_skipped: u64,
-    /// Files evicted (ablation policies only).
+    /// Files evicted by a placement policy (ablation policies only) —
+    /// strictly a subset of `removes`.
     pub evictions: u64,
+    /// Files removed for any reason (evictions plus failed-copy cleanup
+    /// and teardown).
+    #[serde(default)]
+    pub removes: u64,
 }
 
 impl StatsSnapshot {
@@ -210,12 +230,28 @@ mod tests {
     #[test]
     fn eviction_counting() {
         let s = Stats::new(3);
-        s.record_remove(0);
-        s.record_remove(1);
+        s.record_evict(0);
+        s.record_evict(1);
         let snap = s.snapshot();
         assert_eq!(snap.evictions, 2);
+        assert_eq!(snap.removes, 2);
         assert_eq!(snap.tiers[0].removes, 1);
         assert_eq!(snap.tiers[1].removes, 1);
+    }
+
+    #[test]
+    fn remove_is_not_eviction() {
+        // Non-eviction cleanup (failed copy, teardown) must not inflate the
+        // eviction counter — the paper's no-eviction argument depends on
+        // reporting zero evictions under FirstFit.
+        let s = Stats::new(2);
+        s.record_remove(0);
+        s.record_remove(0);
+        s.record_evict(0);
+        let snap = s.snapshot();
+        assert_eq!(snap.removes, 3);
+        assert_eq!(snap.evictions, 1);
+        assert_eq!(snap.tiers[0].removes, 3);
     }
 
     #[test]

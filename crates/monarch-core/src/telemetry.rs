@@ -1,0 +1,1187 @@
+//! Telemetry: latency histograms, a copy-lifecycle event journal, and a
+//! registry that renders both as JSON and Prometheus-style text.
+//!
+//! The paper's evaluation (§II-A, §IV) is built on *observed* storage
+//! behaviour — per-tier I/O ops, within-epoch PFS throughput regimes,
+//! background-copy hand-off timing. This module is the substrate for those
+//! observations, shared by the real middleware and the `dlpipe` simulator:
+//!
+//! - [`LatencyHistogram`] — a lock-free log-linear histogram (relaxed
+//!   atomic buckets, mergeable, p50/p90/p99/max) for per-tier read/write
+//!   latency, background-copy duration, and pool queue-wait time;
+//! - [`EventJournal`] — a bounded ring buffer of structured
+//!   [`Event`]s covering the copy lifecycle (scheduled → started →
+//!   completed/failed), placement decisions and evictions, drainable as
+//!   JSON lines;
+//! - [`TelemetryRegistry`] — owns the histograms, the journal and the
+//!   [`Stats`] counters, and renders a JSON snapshot
+//!   ([`TelemetryRegistry::snapshot`]) or Prometheus text exposition
+//!   ([`TelemetryRegistry::prometheus_text`]);
+//! - [`TimeSeries`] / [`ThroughputSampler`] — the shared time-series
+//!   schema used by both the simulator's PFS throughput trace and the
+//!   real trainer.
+//!
+//! Recording is cheap by construction: histogram recording is a handful of
+//! relaxed atomic adds, the journal is an `O(1)` ring append behind a short
+//! critical section, and both can be disabled via
+//! [`crate::config::TelemetryConfig`], which turns every record call into
+//! an early return.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::Stats;
+use crate::TierId;
+
+// ---------------------------------------------------------------------------
+// Log-linear latency histogram
+// ---------------------------------------------------------------------------
+
+/// Sub-buckets per power-of-two range: 16 → worst-case relative bucket
+/// width 1/16, so quantile estimates are within ~6.25% of exact.
+const SUB_BUCKETS: u64 = 16;
+/// log2 of [`SUB_BUCKETS`].
+const SUB_BITS: u32 = 4;
+/// Values below this are counted exactly (one bucket per value).
+const LINEAR_MAX: u64 = SUB_BUCKETS;
+/// Total bucket count: 16 exact + 16 per octave for octaves 4..=63.
+const NUM_BUCKETS: usize = (LINEAR_MAX + (64 - SUB_BITS as u64) * SUB_BUCKETS) as usize;
+
+/// Bucket index for `value` (log-linear layout).
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value < LINEAR_MAX {
+        value as usize
+    } else {
+        // Highest set bit; >= SUB_BITS because value >= LINEAR_MAX.
+        let msb = 63 - value.leading_zeros();
+        let group = msb - SUB_BITS;
+        let sub = (value >> group) - SUB_BUCKETS; // 0..SUB_BUCKETS
+        (LINEAR_MAX + u64::from(group) * SUB_BUCKETS + sub) as usize
+    }
+}
+
+/// Inclusive `(low, high)` value range covered by bucket `idx`.
+#[inline]
+fn bucket_bounds(idx: usize) -> (u64, u64) {
+    let idx = idx as u64;
+    if idx < LINEAR_MAX {
+        (idx, idx)
+    } else {
+        let group = (idx - LINEAR_MAX) / SUB_BUCKETS;
+        let sub = (idx - LINEAR_MAX) % SUB_BUCKETS;
+        let low = (SUB_BUCKETS + sub) << group;
+        let width = 1u64 << group;
+        (low, low + width - 1)
+    }
+}
+
+/// Lock-free log-linear latency histogram.
+///
+/// Values are dimensionless `u64`s; the middleware records nanoseconds, the
+/// simulator records virtual-time nanoseconds. Recording touches one bucket
+/// plus three scalar counters, all with relaxed atomics — safe to call from
+/// any number of threads on the read hot path. Quantile estimates return
+/// the upper bound of the containing bucket, so they are exact to within
+/// one bucket (≤ 1/16 relative error above 16).
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a wall-clock duration, in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded value (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean recorded value (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            0
+        } else {
+            self.sum() / n
+        }
+    }
+
+    /// Estimate of the `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket containing the target rank, clamped to the observed maximum.
+    /// Within one bucket of the exact order statistic.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> =
+            self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (idx, &c) in counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_bounds(idx).1.min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Fold another histogram's counts into this one.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let v = theirs.load(Ordering::Relaxed);
+            if v != 0 {
+                mine.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// Immutable summary for reporting.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum_nanos: self.sum(),
+            max_nanos: self.max(),
+            mean_nanos: self.mean(),
+            p50_nanos: self.quantile(0.50),
+            p90_nanos: self.quantile(0.90),
+            p99_nanos: self.quantile(0.99),
+        }
+    }
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count())
+            .field("mean", &self.mean())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+/// Summary of one [`LatencyHistogram`]. All values are in the histogram's
+/// recording unit (nanoseconds for the real middleware and the simulator's
+/// virtual clock alike).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum_nanos: u64,
+    /// Largest observation.
+    pub max_nanos: u64,
+    /// Mean observation.
+    pub mean_nanos: u64,
+    /// Median estimate (within one bucket).
+    pub p50_nanos: u64,
+    /// 90th-percentile estimate.
+    pub p90_nanos: u64,
+    /// 99th-percentile estimate.
+    pub p99_nanos: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Event journal
+// ---------------------------------------------------------------------------
+
+/// A structured telemetry event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case", tag = "event")]
+pub enum EventKind {
+    /// A background copy was handed to the pool.
+    CopyScheduled {
+        /// Logical file name.
+        file: String,
+        /// File size in bytes.
+        bytes: u64,
+    },
+    /// A pool worker began executing the copy.
+    CopyStarted {
+        /// Logical file name.
+        file: String,
+    },
+    /// The copy installed the file on `tier`.
+    CopyCompleted {
+        /// Logical file name.
+        file: String,
+        /// Destination tier.
+        tier: TierId,
+        /// Bytes written.
+        bytes: u64,
+        /// Copy duration, microseconds (wall clock or virtual).
+        micros: u64,
+    },
+    /// The copy failed; quota was released and metadata reverted.
+    CopyFailed {
+        /// Logical file name.
+        file: String,
+        /// Failure description.
+        reason: String,
+    },
+    /// The placement policy chose a destination tier.
+    PlacementDecided {
+        /// Logical file name.
+        file: String,
+        /// Chosen tier.
+        tier: TierId,
+        /// Tier quota bytes in use after the reservation.
+        used: u64,
+        /// Tier quota capacity in bytes.
+        capacity: u64,
+    },
+    /// No tier had room; the file stays on the PFS.
+    PlacementSkipped {
+        /// Logical file name.
+        file: String,
+        /// Why placement was skipped.
+        reason: String,
+    },
+    /// A file was evicted from a tier (ablation policies only).
+    Evicted {
+        /// Logical file name.
+        file: String,
+        /// Tier the file was evicted from.
+        tier: TierId,
+        /// File size in bytes.
+        bytes: u64,
+    },
+    /// A file was removed from a tier for a non-eviction reason
+    /// (failed-copy cleanup, teardown).
+    Removed {
+        /// Logical file name.
+        file: String,
+        /// Tier the file was removed from.
+        tier: TierId,
+    },
+}
+
+impl EventKind {
+    /// The snake_case tag used in JSON lines and displays.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::CopyScheduled { .. } => "copy_scheduled",
+            EventKind::CopyStarted { .. } => "copy_started",
+            EventKind::CopyCompleted { .. } => "copy_completed",
+            EventKind::CopyFailed { .. } => "copy_failed",
+            EventKind::PlacementDecided { .. } => "placement_decided",
+            EventKind::PlacementSkipped { .. } => "placement_skipped",
+            EventKind::Evicted { .. } => "evicted",
+            EventKind::Removed { .. } => "removed",
+        }
+    }
+
+    /// Logical file name the event refers to.
+    #[must_use]
+    pub fn file(&self) -> &str {
+        match self {
+            EventKind::CopyScheduled { file, .. }
+            | EventKind::CopyStarted { file }
+            | EventKind::CopyCompleted { file, .. }
+            | EventKind::CopyFailed { file, .. }
+            | EventKind::PlacementDecided { file, .. }
+            | EventKind::PlacementSkipped { file, .. }
+            | EventKind::Evicted { file, .. }
+            | EventKind::Removed { file, .. } => file,
+        }
+    }
+}
+
+/// One journal entry: a sequence number, a timestamp (microseconds since
+/// registry creation — wall clock in the middleware, virtual time in the
+/// simulator) and the event payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Monotonic sequence number (global across the journal's lifetime,
+    /// including events later overwritten by the ring).
+    pub seq: u64,
+    /// Microseconds since the registry was created.
+    pub t_us: u64,
+    /// The event payload.
+    #[serde(flatten)]
+    pub kind: EventKind,
+}
+
+/// Append a JSON string literal (with escaping) to `out`.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Event {
+    /// Render the event as one JSON object (no trailing newline). This is
+    /// hand-rolled so the FFI/CLI drain path has no serializer dependency;
+    /// the schema matches the `serde` derive on this type.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let mut o = String::with_capacity(96);
+        o.push_str("{\"seq\":");
+        o.push_str(&self.seq.to_string());
+        o.push_str(",\"t_us\":");
+        o.push_str(&self.t_us.to_string());
+        o.push_str(",\"event\":\"");
+        o.push_str(self.kind.tag());
+        o.push_str("\",\"file\":");
+        push_json_str(&mut o, self.kind.file());
+        match &self.kind {
+            EventKind::CopyScheduled { bytes, .. } => {
+                o.push_str(&format!(",\"bytes\":{bytes}"));
+            }
+            EventKind::CopyStarted { .. } => {}
+            EventKind::CopyCompleted { tier, bytes, micros, .. } => {
+                o.push_str(&format!(",\"tier\":{tier},\"bytes\":{bytes},\"micros\":{micros}"));
+            }
+            EventKind::CopyFailed { reason, .. }
+            | EventKind::PlacementSkipped { reason, .. } => {
+                o.push_str(",\"reason\":");
+                push_json_str(&mut o, reason);
+            }
+            EventKind::PlacementDecided { tier, used, capacity, .. } => {
+                o.push_str(&format!(",\"tier\":{tier},\"used\":{used},\"capacity\":{capacity}"));
+            }
+            EventKind::Evicted { tier, bytes, .. } => {
+                o.push_str(&format!(",\"tier\":{tier},\"bytes\":{bytes}"));
+            }
+            EventKind::Removed { tier, .. } => {
+                o.push_str(&format!(",\"tier\":{tier}"));
+            }
+        }
+        o.push('}');
+        o
+    }
+}
+
+/// Bounded ring-buffer journal of [`Event`]s.
+///
+/// Appends are `O(1)`: under the (short) lock the ring pops its oldest
+/// entry when full and pushes the new one. When disabled, `record` is a
+/// single relaxed atomic load.
+pub struct EventJournal {
+    enabled: AtomicBool,
+    capacity: usize,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    buf: Mutex<VecDeque<Event>>,
+}
+
+impl EventJournal {
+    /// A journal keeping at most `capacity` events (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize, enabled: bool) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            enabled: AtomicBool::new(enabled),
+            capacity,
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            buf: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+        }
+    }
+
+    /// Whether recording is currently enabled.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable recording at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Maximum events retained.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events recorded over the journal's lifetime (including overwritten
+    /// ones).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Events overwritten by the ring bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Events currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("journal lock").len()
+    }
+
+    /// True when nothing is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append an event stamped `t_us` microseconds.
+    pub fn record_at(&self, t_us: u64, kind: EventKind) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut buf = self.buf.lock().expect("journal lock");
+        // Sequence assigned under the lock so buffered events are strictly
+        // ordered by seq.
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(Event { seq, t_us, kind });
+    }
+
+    /// Copy out the buffered events, oldest first (non-destructive).
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        self.buf.lock().expect("journal lock").iter().cloned().collect()
+    }
+
+    /// Remove and return the buffered events, oldest first.
+    #[must_use]
+    pub fn drain(&self) -> Vec<Event> {
+        self.buf.lock().expect("journal lock").drain(..).collect()
+    }
+
+    /// Render events as JSON lines (one object per line, oldest first).
+    /// `drain` empties the buffer; otherwise the journal is left intact.
+    #[must_use]
+    pub fn json_lines(&self, drain: bool) -> String {
+        let events = if drain { self.drain() } else { self.events() };
+        let mut out = String::with_capacity(events.len() * 96);
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push('\n');
+            }
+            out.push_str(&e.to_json_line());
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for EventJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventJournal")
+            .field("enabled", &self.is_enabled())
+            .field("capacity", &self.capacity)
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Time series
+// ---------------------------------------------------------------------------
+
+/// A `(seconds, value)` series — the shared schema for throughput traces
+/// emitted by the simulator (virtual seconds) and the real trainer
+/// (wall-clock seconds). Serializes as a bare array of pairs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TimeSeries(pub Vec<(f64, f64)>);
+
+impl TimeSeries {
+    /// An empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a `(seconds, value)` sample.
+    pub fn push(&mut self, t_secs: f64, value: f64) {
+        self.0.push((t_secs, value));
+    }
+
+    /// The raw samples.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.0
+    }
+
+    /// Largest sampled value (0 when empty).
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        self.0.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+}
+
+impl std::ops::Deref for TimeSeries {
+    type Target = Vec<(f64, f64)>;
+
+    fn deref(&self) -> &Self::Target {
+        &self.0
+    }
+}
+
+impl<'a> IntoIterator for &'a TimeSeries {
+    type Item = &'a (f64, f64);
+    type IntoIter = std::slice::Iter<'a, (f64, f64)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl IntoIterator for TimeSeries {
+    type Item = (f64, f64);
+    type IntoIter = std::vec::IntoIter<(f64, f64)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl From<Vec<(f64, f64)>> for TimeSeries {
+    fn from(v: Vec<(f64, f64)>) -> Self {
+        Self(v)
+    }
+}
+
+/// Turns a monotonically increasing byte counter into a rate
+/// [`TimeSeries`]: feed it `(t_secs, cumulative_bytes)` observations and it
+/// emits one `(t, bytes/s)` sample per elapsed `interval`.
+#[derive(Debug, Clone)]
+pub struct ThroughputSampler {
+    interval: f64,
+    last_t: f64,
+    last_v: u64,
+    series: TimeSeries,
+}
+
+impl ThroughputSampler {
+    /// Sample every `interval` seconds.
+    #[must_use]
+    pub fn new(interval: f64) -> Self {
+        Self { interval: interval.max(f64::MIN_POSITIVE), last_t: 0.0, last_v: 0, series: TimeSeries::new() }
+    }
+
+    /// Observe the cumulative counter at time `t_secs`; emits a sample when
+    /// at least one interval has elapsed since the previous emission.
+    pub fn observe(&mut self, t_secs: f64, cumulative: u64) {
+        if t_secs - self.last_t >= self.interval {
+            self.force_sample(t_secs, cumulative);
+        }
+    }
+
+    /// Emit a sample now regardless of the interval (used by the
+    /// simulator's scheduled trace ticks).
+    pub fn force_sample(&mut self, t_secs: f64, cumulative: u64) {
+        let dt = t_secs - self.last_t;
+        if dt > 0.0 {
+            let rate = cumulative.saturating_sub(self.last_v) as f64 / dt;
+            self.series.push(t_secs, rate);
+        }
+        self.last_t = t_secs;
+        self.last_v = cumulative;
+    }
+
+    /// The series collected so far.
+    #[must_use]
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Consume the sampler, returning the series.
+    #[must_use]
+    pub fn into_series(self) -> TimeSeries {
+        self.series
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// The telemetry registry: owns the middleware's histograms, event journal
+/// and [`Stats`] counters, and renders them for export.
+///
+/// One registry is shared by a [`crate::Monarch`] instance and everything
+/// it spawns (drivers, copy pool); the `dlpipe` simulator builds its own
+/// over the same types so both emit identical schemas.
+pub struct TelemetryRegistry {
+    tier_names: Vec<String>,
+    enabled: bool,
+    stats: Arc<Stats>,
+    read_latency: Vec<Arc<LatencyHistogram>>,
+    write_latency: Vec<Arc<LatencyHistogram>>,
+    copy_duration: Arc<LatencyHistogram>,
+    queue_wait: Arc<LatencyHistogram>,
+    pool_exec: Arc<LatencyHistogram>,
+    journal: EventJournal,
+    origin: Instant,
+}
+
+impl TelemetryRegistry {
+    /// A registry over `tier_names` (ordered fastest-first, PFS last),
+    /// sharing the middleware's `stats`, configured by `cfg`.
+    #[must_use]
+    pub fn new(
+        tier_names: Vec<String>,
+        stats: Arc<Stats>,
+        cfg: &crate::config::TelemetryConfig,
+    ) -> Self {
+        let levels = tier_names.len();
+        Self {
+            tier_names,
+            enabled: cfg.enabled,
+            stats,
+            read_latency: (0..levels).map(|_| Arc::new(LatencyHistogram::new())).collect(),
+            write_latency: (0..levels).map(|_| Arc::new(LatencyHistogram::new())).collect(),
+            copy_duration: Arc::new(LatencyHistogram::new()),
+            queue_wait: Arc::new(LatencyHistogram::new()),
+            pool_exec: Arc::new(LatencyHistogram::new()),
+            journal: EventJournal::new(cfg.journal_capacity, cfg.enabled && cfg.journal),
+            origin: Instant::now(),
+        }
+    }
+
+    /// Whether histogram/journal recording is enabled at all.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Ordered tier names (PFS last).
+    #[must_use]
+    pub fn tier_names(&self) -> &[String] {
+        &self.tier_names
+    }
+
+    /// The shared counters.
+    #[must_use]
+    pub fn stats(&self) -> &Arc<Stats> {
+        &self.stats
+    }
+
+    /// Microseconds elapsed since the registry was created.
+    #[must_use]
+    pub fn now_micros(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Per-tier read-latency histogram.
+    #[must_use]
+    pub fn read_latency(&self, tier: TierId) -> &Arc<LatencyHistogram> {
+        &self.read_latency[tier]
+    }
+
+    /// Per-tier write-latency histogram.
+    #[must_use]
+    pub fn write_latency(&self, tier: TierId) -> &Arc<LatencyHistogram> {
+        &self.write_latency[tier]
+    }
+
+    /// Background-copy duration histogram.
+    #[must_use]
+    pub fn copy_duration(&self) -> &Arc<LatencyHistogram> {
+        &self.copy_duration
+    }
+
+    /// Pool queue-wait histogram (submit → task start).
+    #[must_use]
+    pub fn queue_wait(&self) -> &Arc<LatencyHistogram> {
+        &self.queue_wait
+    }
+
+    /// Pool task-execution histogram.
+    #[must_use]
+    pub fn pool_exec(&self) -> &Arc<LatencyHistogram> {
+        &self.pool_exec
+    }
+
+    /// The event journal.
+    #[must_use]
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
+    /// Record `kind` stamped with the registry's wall clock.
+    pub fn event(&self, kind: EventKind) {
+        if self.journal.is_enabled() {
+            self.journal.record_at(self.now_micros(), kind);
+        }
+    }
+
+    /// Record `kind` with an explicit timestamp (the simulator's virtual
+    /// clock).
+    pub fn event_at(&self, t_us: u64, kind: EventKind) {
+        self.journal.record_at(t_us, kind);
+    }
+
+    /// Immutable snapshot of every histogram plus the counters.
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            tier_names: self.tier_names.clone(),
+            stats: self.stats.snapshot(),
+            read_latency: self.read_latency.iter().map(|h| h.snapshot()).collect(),
+            write_latency: self.write_latency.iter().map(|h| h.snapshot()).collect(),
+            copy_duration: self.copy_duration.snapshot(),
+            queue_wait: self.queue_wait.snapshot(),
+            pool_exec: self.pool_exec.snapshot(),
+            events_recorded: self.journal.recorded(),
+            events_dropped: self.journal.dropped(),
+        }
+    }
+
+    /// Buffered journal events as JSON lines (non-destructive).
+    #[must_use]
+    pub fn events_json(&self) -> String {
+        self.journal.json_lines(false)
+    }
+
+    /// Drain the journal, returning the events as JSON lines.
+    #[must_use]
+    pub fn drain_events_json(&self) -> String {
+        self.journal.json_lines(true)
+    }
+
+    /// Prometheus-style text exposition: counters as `counter` metrics,
+    /// histograms as `summary` metrics with p50/p90/p99 quantiles in
+    /// seconds.
+    #[must_use]
+    pub fn prometheus_text(&self) -> String {
+        let snap = self.stats.snapshot();
+        let mut o = String::with_capacity(4096);
+
+        let tier_counter =
+            |o: &mut String, name: &str, help: &str, get: &dyn Fn(usize) -> u64| {
+                o.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+                for (i, tname) in self.tier_names.iter().enumerate() {
+                    o.push_str(&format!("{name}{{tier=\"{tname}\"}} {}\n", get(i)));
+                }
+            };
+        tier_counter(&mut o, "monarch_tier_reads_total", "Read operations served per tier.", &|i| {
+            snap.tiers[i].reads
+        });
+        tier_counter(
+            &mut o,
+            "monarch_tier_read_bytes_total",
+            "Bytes read per tier.",
+            &|i| snap.tiers[i].bytes_read,
+        );
+        tier_counter(
+            &mut o,
+            "monarch_tier_writes_total",
+            "Write operations (placement copies) per tier.",
+            &|i| snap.tiers[i].writes,
+        );
+        tier_counter(
+            &mut o,
+            "monarch_tier_written_bytes_total",
+            "Bytes written per tier.",
+            &|i| snap.tiers[i].bytes_written,
+        );
+        tier_counter(
+            &mut o,
+            "monarch_tier_removes_total",
+            "Files removed per tier (evictions plus cleanup).",
+            &|i| snap.tiers[i].removes,
+        );
+
+        let scalar = |o: &mut String, name: &str, help: &str, v: u64| {
+            o.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"));
+        };
+        scalar(&mut o, "monarch_copies_scheduled_total", "Background copies scheduled.", snap.copies_scheduled);
+        scalar(&mut o, "monarch_copies_completed_total", "Background copies completed.", snap.copies_completed);
+        scalar(&mut o, "monarch_copies_failed_total", "Background copies failed.", snap.copies_failed);
+        scalar(&mut o, "monarch_placement_skipped_total", "Placements skipped (no local tier had room).", snap.placement_skipped);
+        scalar(&mut o, "monarch_evictions_total", "Files evicted from local tiers.", snap.evictions);
+        scalar(&mut o, "monarch_removes_total", "Files removed for any reason.", snap.removes);
+        scalar(&mut o, "monarch_journal_events_total", "Telemetry events recorded.", self.journal.recorded());
+        scalar(&mut o, "monarch_journal_dropped_total", "Telemetry events overwritten by the ring bound.", self.journal.dropped());
+
+        let summary_quantiles = [("0.5", 0.50f64), ("0.9", 0.90), ("0.99", 0.99)];
+        let secs = |nanos: u64| nanos as f64 / 1e9;
+        let tier_summary =
+            |o: &mut String, name: &str, help: &str, hists: &[Arc<LatencyHistogram>]| {
+                o.push_str(&format!("# HELP {name} {help}\n# TYPE {name} summary\n"));
+                for (tname, h) in self.tier_names.iter().zip(hists.iter()) {
+                    for (label, q) in summary_quantiles {
+                        o.push_str(&format!(
+                            "{name}{{tier=\"{tname}\",quantile=\"{label}\"}} {}\n",
+                            secs(h.quantile(q))
+                        ));
+                    }
+                    o.push_str(&format!("{name}_sum{{tier=\"{tname}\"}} {}\n", secs(h.sum())));
+                    o.push_str(&format!("{name}_count{{tier=\"{tname}\"}} {}\n", h.count()));
+                }
+            };
+        tier_summary(
+            &mut o,
+            "monarch_read_latency_seconds",
+            "Per-tier read latency.",
+            &self.read_latency,
+        );
+        tier_summary(
+            &mut o,
+            "monarch_write_latency_seconds",
+            "Per-tier write latency.",
+            &self.write_latency,
+        );
+
+        let plain_summary = |o: &mut String, name: &str, help: &str, h: &LatencyHistogram| {
+            o.push_str(&format!("# HELP {name} {help}\n# TYPE {name} summary\n"));
+            for (label, q) in summary_quantiles {
+                o.push_str(&format!("{name}{{quantile=\"{label}\"}} {}\n", secs(h.quantile(q))));
+            }
+            o.push_str(&format!("{name}_sum {}\n", secs(h.sum())));
+            o.push_str(&format!("{name}_count {}\n", h.count()));
+        };
+        plain_summary(
+            &mut o,
+            "monarch_copy_duration_seconds",
+            "Background-copy duration (schedule-to-install).",
+            &self.copy_duration,
+        );
+        plain_summary(
+            &mut o,
+            "monarch_pool_queue_wait_seconds",
+            "Copy-pool queue wait (submit to task start).",
+            &self.queue_wait,
+        );
+        plain_summary(
+            &mut o,
+            "monarch_pool_exec_seconds",
+            "Copy-pool task execution time.",
+            &self.pool_exec,
+        );
+        o
+    }
+}
+
+impl std::fmt::Debug for TelemetryRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryRegistry")
+            .field("tiers", &self.tier_names)
+            .field("enabled", &self.enabled)
+            .field("journal", &self.journal)
+            .finish()
+    }
+}
+
+/// Serializable snapshot of the whole registry — attached to bench results
+/// JSON and rendered by `monarch metrics --format json`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Ordered tier names (PFS last).
+    pub tier_names: Vec<String>,
+    /// Operation/byte counters.
+    pub stats: crate::stats::StatsSnapshot,
+    /// Per-tier read-latency summaries (index = tier id).
+    pub read_latency: Vec<HistogramSnapshot>,
+    /// Per-tier write-latency summaries.
+    pub write_latency: Vec<HistogramSnapshot>,
+    /// Background-copy duration summary.
+    pub copy_duration: HistogramSnapshot,
+    /// Pool queue-wait summary.
+    pub queue_wait: HistogramSnapshot,
+    /// Pool execution-time summary.
+    pub pool_exec: HistogramSnapshot,
+    /// Journal events recorded over the lifetime.
+    pub events_recorded: u64,
+    /// Journal events overwritten by the ring bound.
+    pub events_dropped: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TelemetryConfig;
+
+    #[test]
+    fn bucket_index_monotone_and_bounded() {
+        let mut prev = 0usize;
+        for shift in 0..63 {
+            let v = 1u64 << shift;
+            for probe in [v, v + 1, v + (v >> 1)] {
+                let idx = bucket_index(probe);
+                assert!(idx < NUM_BUCKETS, "idx {idx} for {probe}");
+                assert!(idx >= prev || probe < LINEAR_MAX, "non-monotone at {probe}");
+                prev = idx.max(prev);
+                let (lo, hi) = bucket_bounds(idx);
+                assert!(lo <= probe && probe <= hi, "{probe} not in [{lo},{hi}]");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(15), 15);
+        assert_eq!(bucket_index(16), 16);
+    }
+
+    #[test]
+    fn histogram_counts_and_quantiles() {
+        let h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.max(), 1000);
+        // Within one log-linear bucket (≤ 1/16 relative) of exact.
+        let p50 = h.quantile(0.5) as f64;
+        assert!((p50 - 500.0).abs() / 500.0 <= 1.0 / 16.0 + 1e-9, "p50 = {p50}");
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p99 - 990.0).abs() / 990.0 <= 1.0 / 16.0 + 1e-9, "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn histogram_empty_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.snapshot(), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for v in 0..100 {
+            a.record(v);
+            b.record(v + 1000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert_eq!(a.max(), 1099);
+        assert!(a.quantile(0.9) >= 1000);
+    }
+
+    #[test]
+    fn journal_ring_bound_and_order() {
+        let j = EventJournal::new(4, true);
+        for i in 0..10u64 {
+            j.record_at(i, EventKind::CopyStarted { file: format!("f{i}") });
+        }
+        assert_eq!(j.recorded(), 10);
+        assert_eq!(j.dropped(), 6);
+        let events = j.events();
+        assert_eq!(events.len(), 4);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        // Drain empties.
+        assert_eq!(j.drain().len(), 4);
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn journal_disabled_records_nothing() {
+        let j = EventJournal::new(4, false);
+        j.record_at(0, EventKind::CopyStarted { file: "f".into() });
+        assert_eq!(j.recorded(), 0);
+        assert!(j.is_empty());
+        j.set_enabled(true);
+        j.record_at(1, EventKind::CopyStarted { file: "f".into() });
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn event_json_lines() {
+        let j = EventJournal::new(8, true);
+        j.record_at(5, EventKind::CopyScheduled { file: "a/b".into(), bytes: 42 });
+        j.record_at(
+            9,
+            EventKind::CopyCompleted { file: "a\"b".into(), tier: 0, bytes: 7, micros: 3 },
+        );
+        let lines = j.json_lines(false);
+        let mut it = lines.lines();
+        assert_eq!(
+            it.next().unwrap(),
+            r#"{"seq":0,"t_us":5,"event":"copy_scheduled","file":"a/b","bytes":42}"#
+        );
+        assert_eq!(
+            it.next().unwrap(),
+            r#"{"seq":1,"t_us":9,"event":"copy_completed","file":"a\"b","tier":0,"bytes":7,"micros":3}"#
+        );
+        assert!(it.next().is_none());
+        // Every line is valid JSON per serde too.
+        for line in lines.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v.get("seq").is_some());
+            assert!(v.get("event").is_some());
+        }
+    }
+
+    #[test]
+    fn sampler_emits_rates() {
+        let mut s = ThroughputSampler::new(10.0);
+        s.observe(5.0, 100); // too early
+        assert!(s.series().is_empty());
+        s.observe(10.0, 1000);
+        assert_eq!(s.series().points().len(), 1);
+        let (t, rate) = s.series().points()[0];
+        assert!((t - 10.0).abs() < 1e-9);
+        assert!((rate - 100.0).abs() < 1e-9);
+        s.observe(30.0, 1000); // no new bytes → zero rate
+        let (_, rate2) = s.series().points()[1];
+        assert_eq!(rate2, 0.0);
+        assert_eq!(s.into_series().len(), 2);
+    }
+
+    fn registry() -> TelemetryRegistry {
+        TelemetryRegistry::new(
+            vec!["ssd".into(), "pfs".into()],
+            Arc::new(Stats::new(2)),
+            &TelemetryConfig::default(),
+        )
+    }
+
+    #[test]
+    fn prometheus_exposition_format() {
+        let r = registry();
+        r.stats().record_read(0, 100);
+        r.stats().record_read(1, 50);
+        r.read_latency(0).record(4_000);
+        r.copy_duration().record(1_000_000);
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE monarch_tier_reads_total counter"));
+        assert!(text.contains("monarch_tier_reads_total{tier=\"ssd\"} 1"));
+        assert!(text.contains("monarch_tier_reads_total{tier=\"pfs\"} 1"));
+        assert!(text.contains("monarch_tier_read_bytes_total{tier=\"ssd\"} 100"));
+        assert!(text.contains("# TYPE monarch_read_latency_seconds summary"));
+        assert!(text.contains("monarch_read_latency_seconds_count{tier=\"ssd\"} 1"));
+        assert!(text.contains("monarch_copy_duration_seconds_count 1"));
+        assert!(text.contains("monarch_pool_queue_wait_seconds_count 0"));
+        // Every non-comment line is `name{labels} value` or `name value`
+        // with a parseable float value.
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+            value.parse::<f64>().expect("metric value parses");
+        }
+    }
+
+    #[test]
+    fn registry_snapshot_roundtrip() {
+        let r = registry();
+        r.stats().record_read(0, 10);
+        r.read_latency(0).record(5_000);
+        r.event(EventKind::CopyScheduled { file: "f".into(), bytes: 10 });
+        let snap = r.snapshot();
+        assert_eq!(snap.tier_names, vec!["ssd", "pfs"]);
+        assert_eq!(snap.stats.tiers[0].reads, 1);
+        assert_eq!(snap.read_latency[0].count, 1);
+        assert_eq!(snap.events_recorded, 1);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TelemetrySnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn disabled_registry_keeps_journal_off() {
+        let cfg = TelemetryConfig { enabled: false, ..TelemetryConfig::default() };
+        let r = TelemetryRegistry::new(
+            vec!["ssd".into(), "pfs".into()],
+            Arc::new(Stats::new(2)),
+            &cfg,
+        );
+        assert!(!r.is_enabled());
+        r.event(EventKind::CopyStarted { file: "f".into() });
+        assert!(r.journal().is_empty());
+        assert_eq!(r.events_json(), "");
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(LatencyHistogram::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(h.count(), 80_000);
+        assert_eq!(h.max(), 79_999);
+    }
+}

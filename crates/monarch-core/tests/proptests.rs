@@ -6,6 +6,7 @@ use monarch_core::driver::MemDriver;
 use monarch_core::hierarchy::{Quota, StorageHierarchy};
 use monarch_core::metadata::PlacementState;
 use monarch_core::placement::{FirstFit, LruEvict, PlacementPolicy, RoundRobin};
+use monarch_core::telemetry::LatencyHistogram;
 use monarch_core::{Monarch, StorageDriver};
 use proptest::prelude::*;
 
@@ -150,6 +151,58 @@ proptest! {
         prop_assert_eq!(stats.copies_scheduled,
                         stats.copies_completed + stats.copies_failed + stats.placement_skipped);
         prop_assert_eq!(stats.evictions, 0);
+    }
+
+    /// Concurrent histogram recording never loses a sample: count, sum and
+    /// max are exact whatever the thread interleaving.
+    #[test]
+    fn histogram_concurrent_never_loses_counts(
+        chunks in prop::collection::vec(
+            prop::collection::vec(0u64..1_000_000_000, 1..200), 1..8),
+    ) {
+        let h = LatencyHistogram::new();
+        let expected_count: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+        let expected_sum: u64 = chunks.iter().flatten().sum();
+        let expected_max: u64 = chunks.iter().flatten().copied().max().unwrap_or(0);
+        std::thread::scope(|s| {
+            let h = &h;
+            for chunk in &chunks {
+                s.spawn(move || {
+                    for &v in chunk {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(h.count(), expected_count);
+        prop_assert_eq!(h.sum(), expected_sum);
+        prop_assert_eq!(h.max(), expected_max);
+    }
+
+    /// Quantile estimates stay within one log-linear bucket of the exact
+    /// order statistic: exact below the linear range, ≤ 1/16 relative
+    /// error above it.
+    #[test]
+    fn histogram_quantile_within_one_bucket(
+        values in prop::collection::vec(0u64..(1u64 << 44), 1..500),
+        qs in prop::collection::vec(0.0f64..=1.0, 1..6),
+    ) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in qs {
+            let est = h.quantile(q);
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+            let exact = sorted[rank];
+            prop_assert!(est >= exact, "q={} est={} exact={}", q, est, exact);
+            prop_assert!(
+                est <= exact + exact / 16 + 1,
+                "q={} est={} exact={}", q, est, exact
+            );
+        }
     }
 
     /// LRU ablation policy: tier-0 usage stays within quota across an

@@ -168,7 +168,54 @@ pub unsafe extern "C" fn monarch_stats_json(handle: *mut MonarchHandle) -> *mut 
     }
 }
 
-/// Release a string returned by [`monarch_stats_json`].
+/// Export the telemetry registry as Prometheus-style text exposition
+/// (counters plus p50/p90/p99 latency summaries) — the same registry the
+/// CLI's `monarch metrics` renders. The returned string must be released
+/// with [`monarch_string_free`]. Null on failure.
+///
+/// # Safety
+/// `handle` must come from [`monarch_init_json`] and not be freed.
+#[no_mangle]
+pub unsafe extern "C" fn monarch_metrics_text(handle: *mut MonarchHandle) -> *mut c_char {
+    if handle.is_null() {
+        return ptr::null_mut();
+    }
+    let monarch = unsafe { &(*handle).inner };
+    let outcome = catch_unwind(AssertUnwindSafe(|| monarch.metrics_text()));
+    match outcome {
+        Ok(text) => match CString::new(text) {
+            Ok(c) => c.into_raw(),
+            Err(_) => ptr::null_mut(),
+        },
+        Err(_) => ptr::null_mut(),
+    }
+}
+
+/// Export the buffered telemetry journal as JSON lines (one event object
+/// per line, oldest first; empty string when the journal is empty or
+/// disabled). Non-destructive. The returned string must be released with
+/// [`monarch_string_free`]. Null on failure.
+///
+/// # Safety
+/// `handle` must come from [`monarch_init_json`] and not be freed.
+#[no_mangle]
+pub unsafe extern "C" fn monarch_events_json(handle: *mut MonarchHandle) -> *mut c_char {
+    if handle.is_null() {
+        return ptr::null_mut();
+    }
+    let monarch = unsafe { &(*handle).inner };
+    let outcome = catch_unwind(AssertUnwindSafe(|| monarch.events_json()));
+    match outcome {
+        Ok(lines) => match CString::new(lines) {
+            Ok(c) => c.into_raw(),
+            Err(_) => ptr::null_mut(),
+        },
+        Err(_) => ptr::null_mut(),
+    }
+}
+
+/// Release a string returned by [`monarch_stats_json`],
+/// [`monarch_metrics_text`] or [`monarch_events_json`].
 ///
 /// # Safety
 /// `s` must come from this library and not be freed twice.
@@ -278,6 +325,50 @@ mod tests {
             // Second read is served locally now.
             let n = monarch_read(h, name.as_ptr(), 0, buf.as_mut_ptr(), buf.len());
             assert_eq!(n, 1002);
+
+            monarch_shutdown(h);
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn metrics_text_roundtrip() {
+        let (json, root, _) = staged_config("metrics");
+        unsafe {
+            let h = monarch_init_json(json.as_ptr());
+            assert!(!h.is_null());
+            let name = CString::new("f1").unwrap();
+            let mut buf = vec![0u8; 4096];
+            assert!(monarch_read(h, name.as_ptr(), 0, buf.as_mut_ptr(), buf.len()) > 0);
+            assert_eq!(monarch_wait_idle(h), 0);
+
+            // Prometheus text: valid UTF-8, carries the per-tier counters
+            // and latency summaries, freed via monarch_string_free.
+            let text_ptr = monarch_metrics_text(h);
+            assert!(!text_ptr.is_null());
+            let text = CStr::from_ptr(text_ptr).to_str().expect("valid UTF-8").to_string();
+            assert!(text.contains("# TYPE monarch_tier_reads_total counter"), "{text}");
+            assert!(text.contains("monarch_tier_reads_total{tier=\"ssd\"}"));
+            assert!(text.contains("monarch_read_latency_seconds{tier=\"pfs\",quantile=\"0.99\"}"));
+            assert!(text.contains("monarch_copies_completed_total 1"));
+            monarch_string_free(text_ptr);
+
+            // Journal JSON lines: each line parses as a JSON object with
+            // the event schema.
+            let ev_ptr = monarch_events_json(h);
+            assert!(!ev_ptr.is_null());
+            let events = CStr::from_ptr(ev_ptr).to_str().expect("valid UTF-8").to_string();
+            assert!(!events.is_empty());
+            for line in events.lines() {
+                let v: serde_json::Value = serde_json::from_str(line).unwrap();
+                assert!(v.get("seq").is_some() && v.get("event").is_some(), "{line}");
+            }
+            assert!(events.contains("\"event\":\"copy_completed\""));
+            monarch_string_free(ev_ptr);
+
+            // Null handle → null, not a crash.
+            assert!(monarch_metrics_text(ptr::null_mut()).is_null());
+            assert!(monarch_events_json(ptr::null_mut()).is_null());
 
             monarch_shutdown(h);
         }

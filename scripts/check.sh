@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Repository-wide quality gate: formatting, lints (warnings promoted to
+# errors), and the full test suite. Run before pushing.
+#
+#   scripts/check.sh            # everything
+#   scripts/check.sh fmt        # just one stage: fmt | clippy | test
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+stage="${1:-all}"
+
+run_fmt() {
+    echo "==> cargo fmt --all --check"
+    cargo fmt --all --check
+}
+
+run_clippy() {
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+}
+
+run_test() {
+    echo "==> cargo test --workspace -q"
+    cargo test --workspace -q
+}
+
+case "$stage" in
+    fmt) run_fmt ;;
+    clippy) run_clippy ;;
+    test) run_test ;;
+    all)
+        run_fmt
+        run_clippy
+        run_test
+        ;;
+    *)
+        echo "usage: scripts/check.sh [fmt|clippy|test|all]" >&2
+        exit 2
+        ;;
+esac
+
+echo "OK"
