@@ -108,10 +108,19 @@ fn warmed_monarch(tcfg: TelemetryConfig) -> Monarch {
 fn bench_telemetry_read_path(c: &mut Criterion) {
     let mut g = c.benchmark_group("telemetry_read_path");
     g.throughput(Throughput::Bytes(4096));
-    let variants: [(&str, TelemetryConfig); 3] = [
+    let variants: [(&str, TelemetryConfig); 5] = [
         ("disabled", TelemetryConfig::disabled()),
         ("journal_off", TelemetryConfig { journal: false, ..TelemetryConfig::default() }),
+        // "full" has tracing *off* (the default): the read path pays one
+        // branch on an immutable bool. Comparing it with the trace_*
+        // variants quantifies the span-recording overhead and verifies
+        // the sampling-off path stays within noise of PR 1's full config.
         ("full", TelemetryConfig::default()),
+        ("trace_every_64", TelemetryConfig {
+            trace_sample_every_n: 64,
+            ..TelemetryConfig::default()
+        }),
+        ("trace_all", TelemetryConfig::with_tracing()),
     ];
     for (label, tcfg) in variants {
         let m = warmed_monarch(tcfg);

@@ -172,6 +172,10 @@ pub struct MonarchSimConfig {
     /// reported separately from the epoch times, like the
     /// metadata-initialisation phase.
     pub prestage: bool,
+    /// Record a virtual-time causal span tree for every N-th chunk read
+    /// (plus the copy it triggers) and export it in
+    /// `RunReport::trace_json`. 0 (the paper default) disables tracing.
+    pub trace_sample_every_n: u64,
 }
 
 impl MonarchSimConfig {
@@ -185,7 +189,15 @@ impl MonarchSimConfig {
             policy: PolicyKind::FirstFit,
             full_file_fetch: true,
             prestage: false,
+            trace_sample_every_n: 0,
         }
+    }
+
+    /// The paper default with virtual-time tracing on for every read —
+    /// what the sim side of the trace experiments uses.
+    #[must_use]
+    pub fn with_tracing() -> Self {
+        Self { trace_sample_every_n: 1, ..Self::paper_default() }
     }
 
     /// Same but with a custom SSD quota (capacity sweeps).
@@ -236,6 +248,8 @@ mod tests {
         assert_eq!(m.pool_threads, 6);
         assert_eq!(m.tiers, vec![(SimTierKind::Ssd, 115u64 << 30)]);
         assert!(m.full_file_fetch);
+        assert_eq!(m.trace_sample_every_n, 0, "sim tracing is opt-in");
+        assert_eq!(MonarchSimConfig::with_tracing().trace_sample_every_n, 1);
     }
 
     #[test]

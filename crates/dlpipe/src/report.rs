@@ -50,6 +50,12 @@ pub struct RunReport {
     /// copy counters, journal totals); `None` for non-MONARCH setups.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub telemetry: Option<TelemetrySnapshot>,
+    /// Chrome Trace Event / Perfetto JSON of the virtual-time span tree,
+    /// present when `MonarchSimConfig::trace_sample_every_n > 0`. Same
+    /// schema the real middleware exports via `Monarch::trace_json`, so
+    /// both load identically in `ui.perfetto.dev`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace_json: Option<String>,
     /// Per-epoch measurements.
     pub epochs: Vec<EpochReport>,
 }
@@ -182,6 +188,7 @@ mod tests {
             prestage_seconds: 0.0,
             pfs_throughput_series: TimeSeries::new(),
             telemetry: None,
+            trace_json: None,
             epochs: secs
                 .iter()
                 .enumerate()

@@ -196,6 +196,35 @@ mod tests {
     }
 
     #[test]
+    fn monarch_traced_run_exports_flow_linked_virtual_spans() {
+        let r = run(Setup::Monarch(MonarchSimConfig::with_tracing()), 1, 1);
+        let json = r.trace_json.as_deref().expect("traced run exports JSON");
+        // Foreground tree, background copy pipeline, and the flow
+        // endpoints linking them — all in virtual time.
+        for needle in [
+            "\"driver_pread\"",
+            "\"metadata_lookup\"",
+            "\"tier_resolve\"",
+            "\"copy_scheduled\"",
+            "\"queue_wait\"",
+            "\"placement_decide\"",
+            "\"copy_read\"",
+            "\"copy_write\"",
+            "\"copy_exec\"",
+            "\"ph\":\"s\"",
+            "\"ph\":\"f\"",
+            "\"outcome\":\"completed\"",
+            "sim-reader-0",
+            "sim-copy-0",
+        ] {
+            assert!(json.contains(needle), "missing {needle}");
+        }
+        // The paper-default configuration records nothing.
+        let off = run(Setup::Monarch(MonarchSimConfig::paper_default()), 1, 1);
+        assert!(off.trace_json.is_none(), "tracing must be opt-in");
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let a = run(Setup::VanillaLustre, 2, 7);
         let b = run(Setup::VanillaLustre, 2, 7);

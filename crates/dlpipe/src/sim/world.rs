@@ -11,6 +11,7 @@ use monarch_core::metadata::{MetadataContainer, PlacementState};
 use monarch_core::placement::{FirstFit, LruEvict, PlacementPolicy, RoundRobin};
 use monarch_core::stats::Stats;
 use monarch_core::telemetry::{EventKind, TelemetryRegistry, ThroughputSampler};
+use monarch_core::trace::{names, FlowPhase, SpanRecord, QUEUE_TRACK};
 use monarch_core::StorageDriver;
 use simfs::clock::SimTime;
 use simfs::interference::Interference;
@@ -42,11 +43,20 @@ enum Ev {
     TraceTick,
 }
 
+/// Synthetic trace track for the pre-stage scheduler (no reader owns it).
+const SIM_PRESTAGE_TRACK: u64 = 99;
+/// First synthetic trace track for readers (`100 + reader index`).
+const SIM_READER_TRACK0: u64 = 100;
+/// First synthetic trace track for copy workers (`200 + worker index`).
+const SIM_COPY_TRACK0: u64 = 200;
+
 /// Why a transfer was issued.
 #[derive(Debug, Clone, Copy)]
 enum Purpose {
     /// A reader's chunk read; payload samples enter the prefetch buffer.
-    Chunk { reader: usize, shard: usize },
+    /// `issued`/`traced` carry the trace-span start and the sampling
+    /// decision from issue time to completion time.
+    Chunk { reader: usize, shard: usize, issued: SimTime, traced: bool },
     /// MONARCH placement: full-shard fetch from the PFS.
     CopyFetch { shard: usize },
     /// MONARCH placement: full-shard write to the destination tier.
@@ -119,6 +129,24 @@ struct MonarchSim {
     copy_enqueued: FxHashMap<usize, SimTime>,
     /// Virtual dispatch instant per in-flight copy (duration histogram).
     copy_started: FxHashMap<usize, SimTime>,
+    /// Flow id per scheduled-but-not-dispatched copy (tracing runs only).
+    copy_flow: FxHashMap<usize, u64>,
+    /// Shards whose scheduled copy still awaits a traced PFS-served chunk
+    /// read to carry the flow start (`ph:"s"`).
+    flow_start_pending: FxHashMap<usize, u64>,
+    /// Trace identity of each dispatched copy (tracing runs only).
+    copy_trace: FxHashMap<usize, CopyTrace>,
+}
+
+/// Virtual-time trace identity of one dispatched placement copy: the
+/// flow linking it back to the read that scheduled it, the pre-allocated
+/// `copy_exec` span id its children parent to, the synthetic worker
+/// track, and the fetch→write stage boundary.
+struct CopyTrace {
+    flow: u64,
+    exec_id: u64,
+    tid: u64,
+    write_started: SimTime,
 }
 
 /// Discrete-event trainer for one `(setup, dataset, model)` combination.
@@ -293,8 +321,28 @@ impl World {
                 let telemetry = Arc::new(TelemetryRegistry::new(
                     tier_names,
                     stats,
-                    &TelemetryConfig::default(),
+                    &TelemetryConfig {
+                        trace_sample_every_n: cfg.trace_sample_every_n,
+                        ..TelemetryConfig::default()
+                    },
                 ));
+                // The sim has no OS threads: give every actor a stable
+                // synthetic track so the exported trace renders readers
+                // and copy workers as separate named rows.
+                let tr = telemetry.trace();
+                if tr.is_enabled() {
+                    tr.set_track_name(QUEUE_TRACK, "copy-queue");
+                    tr.set_track_name(SIM_PRESTAGE_TRACK, "sim-prestage");
+                    for r in 0..t.pipeline.readers.max(1) {
+                        tr.set_track_name(
+                            SIM_READER_TRACK0 + r as u64,
+                            format!("sim-reader-{r}"),
+                        );
+                    }
+                    for w in 0..cfg.pool_threads.max(1) {
+                        tr.set_track_name(SIM_COPY_TRACK0 + w as u64, format!("sim-copy-{w}"));
+                    }
+                }
                 let hierarchy = StorageHierarchy::new(levels).expect("valid sim hierarchy");
                 let policy: Arc<dyn PlacementPolicy> = match cfg.policy {
                     PolicyKind::FirstFit => Arc::new(FirstFit),
@@ -318,6 +366,9 @@ impl World {
                     telemetry,
                     copy_enqueued: FxHashMap::default(),
                     copy_started: FxHashMap::default(),
+                    copy_flow: FxHashMap::default(),
+                    flow_start_pending: FxHashMap::default(),
+                    copy_trace: FxHashMap::default(),
                 };
                 (ModeTag::Monarch, Some(ms), devs)
             }
@@ -472,6 +523,10 @@ impl World {
             metadata_init_seconds: self.metadata_init_seconds,
             prestage_seconds: self.prestage_seconds,
             telemetry: self.monarch.as_ref().map(|ms| ms.telemetry.snapshot()),
+            trace_json: self.monarch.as_ref().and_then(|ms| {
+                let tr = ms.telemetry.trace();
+                tr.is_enabled().then(|| tr.export_chrome_json())
+            }),
             pfs_throughput_series: self.sampler.into_series(),
             epochs: self.reports,
         }
@@ -525,6 +580,7 @@ impl World {
                 self.prestaging = true;
                 let ms = self.monarch.as_mut().expect("prestage implies monarch");
                 let source = ms.tier_dev.len() - 1;
+                let tr = Arc::clone(ms.telemetry.trace());
                 for i in 0..self.geom.num_shards() {
                     if ms.meta.begin_copy(&self.shard_names[i], source).unwrap_or(false) {
                         ms.copy_queue.push_back(i);
@@ -537,6 +593,26 @@ impl World {
                                 bytes: self.geom.shards[i].bytes,
                             },
                         );
+                        if tr.is_enabled() {
+                            // No foreground read exists, so the schedule
+                            // span itself carries the flow start (like the
+                            // real middleware's prestage path).
+                            let flow = tr.next_id();
+                            ms.copy_flow.insert(i, flow);
+                            tr.record(
+                                SpanRecord::new(
+                                    names::COPY_SCHEDULED,
+                                    "copy",
+                                    SIM_PRESTAGE_TRACK,
+                                    vmicros(now),
+                                    0,
+                                )
+                                .with_id(tr.next_id())
+                                .with_flow(flow, FlowPhase::Start)
+                                .arg_str("file", self.shard_names[i].clone())
+                                .arg_u64("bytes", self.geom.shards[i].bytes),
+                            );
+                        }
                     }
                 }
                 if self.monarch.as_ref().unwrap().copy_queue.is_empty() {
@@ -653,9 +729,10 @@ impl World {
 
     // -- readers -----------------------------------------------------------
 
-    /// Device that serves a chunk of `shard` right now; MONARCH may also
-    /// kick off a background placement as a side effect (first touch).
-    fn route_chunk(&mut self, now: SimTime, shard: usize) -> usize {
+    /// Device that serves a chunk of `shard` right now for reader `r`;
+    /// MONARCH may also kick off a background placement as a side effect
+    /// (first touch).
+    fn route_chunk(&mut self, now: SimTime, r: usize, shard: usize) -> usize {
         match self.mode {
             ModeTag::VanillaLustre => self.lustre,
             ModeTag::VanillaLocal => self.ssd,
@@ -685,6 +762,28 @@ impl World {
                                     bytes: self.geom.shards[shard].bytes,
                                 },
                             );
+                            let tr = Arc::clone(ms.telemetry.trace());
+                            if tr.is_enabled() {
+                                // The flow start rides on the first traced
+                                // PFS-served `driver_pread` of this shard,
+                                // mirroring the real read path.
+                                let flow = tr.next_id();
+                                ms.copy_flow.insert(shard, flow);
+                                ms.flow_start_pending.insert(shard, flow);
+                                tr.record(
+                                    SpanRecord::new(
+                                        names::COPY_SCHEDULED,
+                                        "copy",
+                                        SIM_READER_TRACK0 + r as u64,
+                                        vmicros(now),
+                                        0,
+                                    )
+                                    .with_id(tr.next_id())
+                                    .arg_u64("flow", flow)
+                                    .arg_str("file", name.clone())
+                                    .arg_u64("bytes", self.geom.shards[shard].bytes),
+                                );
+                            }
                             self.dispatch_copy_workers(now);
                         }
                     } else {
@@ -702,6 +801,7 @@ impl World {
                                     let (used, capacity) = ms
                                         .hierarchy
                                         .tier(d.tier)
+                                        .ok()
                                         .and_then(|t| t.quota.as_ref())
                                         .map(|q| (q.used(), q.capacity()))
                                         .unwrap_or((0, 0));
@@ -777,7 +877,7 @@ impl World {
                 self.readers[r].cur = Some((next, 0));
                 // A freshly started shard served by Lustre pays an MDS
                 // open before its first chunk.
-                let dev = self.route_chunk(now, next);
+                let dev = self.route_chunk(now, r, next);
                 if dev == self.lustre {
                     let done = self.mds.submit(now, &mut self.rng);
                     self.readers[r].inflight = true;
@@ -796,11 +896,13 @@ impl World {
     fn issue_chunk(&mut self, now: SimTime, r: usize, shard: usize, offset: u64) {
         let total = self.geom.shards[shard].bytes;
         let len = self.chunk_bytes.min(total - offset);
-        let dev = self.route_chunk(now, shard);
+        let dev = self.route_chunk(now, r, shard);
+        let mut traced = false;
         if let Some(ms) = self.monarch.as_ref() {
             if let Some(tier) = ms.tier_dev.iter().position(|&d| d == dev) {
                 ms.telemetry.stats().record_read(tier, len);
             }
+            traced = ms.telemetry.trace().sample_read();
         }
         let latency = self.sample_latency(dev);
         let sync_cap = self.devs[dev].spec.sync_stream_cap;
@@ -819,7 +921,10 @@ impl World {
             1.0,
             Some(sync_cap),
         );
-        self.purpose.insert((dev, id.0), Purpose::Chunk { reader: r, shard });
+        self.purpose.insert(
+            (dev, id.0),
+            Purpose::Chunk { reader: r, shard, issued: now, traced },
+        );
         self.readers[r].cur = Some((shard, offset + len));
         self.readers[r].inflight = true;
         self.inflight_samples += len as f64 * self.samples_per_byte[shard];
@@ -831,11 +936,73 @@ impl World {
         SimTime::from_secs_f64(s)
     }
 
+    /// Record the virtual-time span tree of one sampled chunk read:
+    /// `read` with `metadata_lookup` / `tier_resolve` / `driver_pread`
+    /// children, the same shape the real middleware records. A PFS-served
+    /// read whose shard has a copy awaiting its flow start carries the
+    /// `ph:"s"` endpoint on its `driver_pread`.
+    fn record_read_spans(
+        &mut self,
+        now: SimTime,
+        dev: usize,
+        reader: usize,
+        shard: usize,
+        issued: SimTime,
+        bytes: u64,
+    ) {
+        let lustre = self.lustre;
+        let Some(ms) = self.monarch.as_mut() else { return };
+        let tr = Arc::clone(ms.telemetry.trace());
+        if !tr.is_enabled() {
+            return;
+        }
+        let tid = SIM_READER_TRACK0 + reader as u64;
+        let t0 = vmicros(issued);
+        let dur = vmicros(now - issued).max(1);
+        let read_id = tr.next_id();
+        let tier = ms
+            .tier_dev
+            .iter()
+            .position(|&d| d == dev)
+            .unwrap_or(ms.tier_dev.len() - 1);
+        let tier_name =
+            ms.hierarchy.tier(tier).map(|t| t.name.clone()).unwrap_or_default();
+        // The lookup and resolve steps are instantaneous in virtual time;
+        // zero-duration children keep the tree shape identical.
+        tr.record(
+            SpanRecord::new(names::METADATA_LOOKUP, "read", tid, t0, 0)
+                .with_id(tr.next_id())
+                .with_parent(read_id),
+        );
+        tr.record(
+            SpanRecord::new(names::TIER_RESOLVE, "read", tid, t0, 0)
+                .with_id(tr.next_id())
+                .with_parent(read_id),
+        );
+        let mut pread = SpanRecord::new(names::DRIVER_PREAD, "read", tid, t0, dur)
+            .with_id(tr.next_id())
+            .with_parent(read_id)
+            .arg_str("tier", tier_name)
+            .arg_u64("bytes", bytes);
+        if dev == lustre {
+            if let Some(flow) = ms.flow_start_pending.remove(&shard) {
+                pread = pread.with_flow(flow, FlowPhase::Start);
+            }
+        }
+        tr.record(pread);
+        tr.record(
+            SpanRecord::new(names::READ, "read", tid, t0, dur)
+                .with_id(read_id)
+                .arg_str("file", self.shard_names[shard].clone())
+                .arg_u64("bytes", bytes),
+        );
+    }
+
     // -- transfer completions ----------------------------------------------
 
     fn on_transfer_done(&mut self, now: SimTime, dev: usize, purpose: Purpose, bytes: u64) {
         match purpose {
-            Purpose::Chunk { reader, shard } => {
+            Purpose::Chunk { reader, shard, issued, traced } => {
                 let samples = bytes as f64 * self.samples_per_byte[shard];
                 self.inflight_samples -= samples;
                 debug_assert!(
@@ -847,6 +1014,9 @@ impl World {
                 );
                 self.buffered_samples += samples;
                 self.readers[reader].inflight = false;
+                if traced {
+                    self.record_read_spans(now, dev, reader, shard, issued, bytes);
+                }
 
                 // Cache spills: vanilla-caching epoch 1, or MONARCH with
                 // the full-file fetch disabled.
@@ -896,6 +1066,27 @@ impl World {
                 let tier = *ms.copy_target.get(&shard).expect("copy target recorded");
                 ms.idle_workers += 1;
                 ms.pending_copy_writes += 1;
+                let tr = Arc::clone(ms.telemetry.trace());
+                let fetch_started = ms.copy_started.get(&shard).copied().unwrap_or(now);
+                let src_name = ms.hierarchy.source().name.clone();
+                if let Some(ct) = ms.copy_trace.get_mut(&shard) {
+                    if tr.is_enabled() {
+                        tr.record(
+                            SpanRecord::new(
+                                names::COPY_READ,
+                                "copy",
+                                ct.tid,
+                                vmicros(fetch_started),
+                                vmicros(now - fetch_started),
+                            )
+                            .with_id(tr.next_id())
+                            .with_parent(ct.exec_id)
+                            .arg_str("tier", src_name)
+                            .arg_u64("bytes", bytes),
+                        );
+                    }
+                    ct.write_started = now;
+                }
                 let to = ms.tier_dev[tier];
                 let weight = self.devs[to].spec.write_weight;
                 let latency = self.sample_latency(to);
@@ -920,7 +1111,8 @@ impl World {
                 ms.pending_copy_writes -= 1;
                 ms.telemetry.stats().copy_completed();
                 ms.telemetry.stats().record_write(tier, size);
-                let micros = match ms.copy_started.remove(&shard) {
+                let started = ms.copy_started.remove(&shard);
+                let micros = match started {
                     Some(at) => {
                         let d = now - at;
                         ms.telemetry.copy_duration().record(vnanos(d));
@@ -932,6 +1124,47 @@ impl World {
                     vmicros(now),
                     EventKind::CopyCompleted { file: name.clone(), tier, bytes: size, micros },
                 );
+                if let Some(ct) = ms.copy_trace.remove(&shard) {
+                    let tr = Arc::clone(ms.telemetry.trace());
+                    if tr.is_enabled() {
+                        let dst =
+                            ms.hierarchy.tier(tier).map(|t| t.name.clone()).unwrap_or_default();
+                        tr.record(
+                            SpanRecord::new(
+                                names::COPY_WRITE,
+                                "copy",
+                                ct.tid,
+                                vmicros(ct.write_started),
+                                vmicros(now - ct.write_started),
+                            )
+                            .with_id(tr.next_id())
+                            .with_parent(ct.exec_id)
+                            .arg_str("tier", dst.clone())
+                            .arg_u64("bytes", size),
+                        );
+                        tr.record(
+                            SpanRecord::new(names::METADATA_REGISTER, "copy", ct.tid, vmicros(now), 0)
+                                .with_id(tr.next_id())
+                                .with_parent(ct.exec_id)
+                                .arg_str("tier", dst),
+                        );
+                        let t_exec = vmicros(started.unwrap_or(now));
+                        tr.record(
+                            SpanRecord::new(
+                                names::COPY_EXEC,
+                                "copy",
+                                ct.tid,
+                                t_exec,
+                                vmicros(now).saturating_sub(t_exec),
+                            )
+                            .with_id(ct.exec_id)
+                            .with_flow(ct.flow, FlowPhase::Finish)
+                            .arg_str("file", name.clone())
+                            .arg_u64("bytes", size)
+                            .arg_str("outcome", "completed"),
+                        );
+                    }
+                }
                 self.dispatch_copy_workers(now);
                 // Option (i): training starts once staging fully drains.
                 if self.prestaging {
@@ -1038,6 +1271,8 @@ impl World {
                         ms.skips += 1;
                         ms.telemetry.stats().placement_skip();
                         ms.copy_enqueued.remove(&shard);
+                        ms.copy_flow.remove(&shard);
+                        ms.flow_start_pending.remove(&shard);
                         ms.telemetry.event_at(
                             vmicros(now),
                             EventKind::PlacementSkipped {
@@ -1048,7 +1283,8 @@ impl World {
                         let _ = ms.meta.abort_copy(&name, true);
                         continue;
                     }
-                    if let Some(at) = ms.copy_enqueued.remove(&shard) {
+                    let queued_at = ms.copy_enqueued.remove(&shard);
+                    if let Some(at) = queued_at {
                         ms.telemetry.queue_wait().record(vnanos(now - at));
                     }
                     ms.copy_started.insert(shard, now);
@@ -1056,6 +1292,43 @@ impl World {
                         vmicros(now),
                         EventKind::CopyStarted { file: name.clone() },
                     );
+                    let tr = Arc::clone(ms.telemetry.trace());
+                    if tr.is_enabled() {
+                        if let Some(flow) = ms.copy_flow.remove(&shard) {
+                            let exec_id = tr.next_id();
+                            let tid = SIM_COPY_TRACK0 + (shard % ms.pool_threads) as u64;
+                            if let Some(at) = queued_at {
+                                tr.record(
+                                    SpanRecord::new(
+                                        names::QUEUE_WAIT,
+                                        "copy",
+                                        QUEUE_TRACK,
+                                        vmicros(at),
+                                        vmicros(now - at),
+                                    )
+                                    .with_id(tr.next_id())
+                                    .arg_str("file", name.clone()),
+                                );
+                            }
+                            let mut pd = SpanRecord::new(
+                                names::PLACEMENT_DECIDE,
+                                "copy",
+                                tid,
+                                vmicros(now),
+                                0,
+                            )
+                            .with_id(tr.next_id())
+                            .with_parent(exec_id);
+                            for (key, value) in decision.trace_args(&ms.hierarchy) {
+                                pd.args.push((key, value));
+                            }
+                            tr.record(pd);
+                            ms.copy_trace.insert(
+                                shard,
+                                CopyTrace { flow, exec_id, tid, write_started: SimTime::ZERO },
+                            );
+                        }
+                    }
                     {
                         let quota = ms
                             .hierarchy
@@ -1093,6 +1366,8 @@ impl World {
                     ms.skips += 1;
                     ms.telemetry.stats().placement_skip();
                     ms.copy_enqueued.remove(&shard);
+                    ms.copy_flow.remove(&shard);
+                    ms.flow_start_pending.remove(&shard);
                     ms.telemetry.event_at(
                         vmicros(now),
                         EventKind::PlacementSkipped {

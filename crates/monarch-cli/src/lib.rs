@@ -58,6 +58,25 @@ pub enum Command {
         /// Re-render every N seconds until interrupted.
         watch: Option<f64>,
     },
+    /// Stream the dataset through the middleware with causal tracing on
+    /// and write a Chrome Trace Event / Perfetto JSON file.
+    Trace {
+        /// Path to a `MonarchConfig` JSON file.
+        config: PathBuf,
+        /// Dataset directory (logical namespace root — the PFS tier).
+        data: PathBuf,
+        /// Output path for the trace JSON.
+        out: PathBuf,
+        /// Parallel readers.
+        readers: usize,
+        /// Chunk size per read, bytes.
+        chunk: u64,
+        /// Keep running whole epochs until this many seconds elapsed
+        /// (`None` = exactly one epoch).
+        duration: Option<f64>,
+        /// Trace every N-th read (1 = every read).
+        sample: u64,
+    },
 }
 
 /// Output format for `monarch metrics`.
@@ -78,7 +97,8 @@ impl Command {
          monarch stage       --config CFG.json [--policy first_fit|lru_evict|round_robin]\n  \
          monarch inspect     --config CFG.json\n  \
          monarch epoch       --config CFG.json --data DIR [--readers N] [--chunk BYTES] [--epochs N]\n  \
-         monarch metrics     --config CFG.json [--format text|json] [--watch SECS]"
+         monarch metrics     --config CFG.json [--format text|json] [--watch SECS]\n  \
+         monarch trace       --config CFG.json --data DIR --out TRACE.json [--readers N] [--chunk BYTES] [--duration SECS] [--sample N]"
     }
 
     /// Parse an argument vector (without the program name).
@@ -149,6 +169,28 @@ impl Command {
                         Ok(secs) if secs > 0.0 => Some(secs),
                         _ => return Err(format!("--watch wants a positive number of seconds, got {v}")),
                     },
+                },
+            }),
+            "trace" => Ok(Command::Trace {
+                config: PathBuf::from(get("config")?),
+                data: PathBuf::from(get("data")?),
+                out: PathBuf::from(get("out")?),
+                readers: get_u64("readers", Some(4))? as usize,
+                chunk: get_u64("chunk", Some(256 << 10))?,
+                duration: match flags.get("duration") {
+                    None => None,
+                    Some(v) => match v.parse::<f64>() {
+                        Ok(secs) if secs > 0.0 => Some(secs),
+                        _ => {
+                            return Err(format!(
+                                "--duration wants a positive number of seconds, got {v}"
+                            ))
+                        }
+                    },
+                },
+                sample: match get_u64("sample", Some(1))? {
+                    0 => return Err("--sample must be >= 1 (0 disables tracing)".into()),
+                    n => n,
                 },
             }),
             other => Err(format!("unknown subcommand: {other}")),
@@ -269,11 +311,67 @@ pub fn run(cmd: Command) -> Result<(), String> {
             };
             match watch {
                 None => println!("{}", render(&m)?),
+                // Both renderers are non-draining (snapshots, not queue
+                // pops), so every tick sees the full cumulative state —
+                // a watch loop never steals events from another consumer.
                 Some(secs) => loop {
                     println!("{}", render(&m)?);
                     std::thread::sleep(std::time::Duration::from_secs_f64(secs));
                 },
             }
+            Ok(())
+        }
+        Command::Trace { config, data, out, readers, chunk, duration, sample } => {
+            let json = std::fs::read_to_string(&config)
+                .map_err(|e| format!("read {}: {e}", config.display()))?;
+            let mut cfg =
+                MonarchConfig::from_json(&json).map_err(|e| format!("parse config: {e}"))?;
+            // The subcommand's whole point is a trace: force telemetry on
+            // and apply the sampling rate regardless of what the config
+            // file says.
+            cfg.telemetry.enabled = true;
+            cfg.telemetry.trace_sample_every_n = sample;
+            let m = Monarch::new(cfg).map_err(|e| format!("build middleware: {e}"))?;
+            m.init().map_err(|e| format!("namespace scan: {e}"))?;
+            let m = std::sync::Arc::new(m);
+            let trainer = RealTrainer::new(
+                RealBackend::Monarch(std::sync::Arc::clone(&m)),
+                &data,
+                PipelineConfig {
+                    readers,
+                    chunk_bytes: chunk,
+                    prefetch_batches: 4,
+                    seed: 1,
+                    trace_interval_secs: None,
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            let deadline = duration
+                .map(|secs| std::time::Instant::now() + std::time::Duration::from_secs_f64(secs));
+            let mut epochs = 0usize;
+            loop {
+                let e = trainer.run_epoch(epochs).map_err(|e| e.to_string())?;
+                m.wait_placement_idle();
+                epochs += 1;
+                println!(
+                    "epoch {epochs}: {:.2}s, {} chunk reads",
+                    e.seconds, e.chunk_reads
+                );
+                match deadline {
+                    Some(d) if std::time::Instant::now() < d => {}
+                    _ => break,
+                }
+            }
+            let trace = m.trace_json();
+            std::fs::write(&out, &trace).map_err(|e| format!("write {}: {e}", out.display()))?;
+            let tr = m.telemetry().trace();
+            println!(
+                "trace: {} spans recorded ({} dropped) over {epochs} epoch(s) → {}",
+                tr.spans_recorded(),
+                tr.spans_dropped(),
+                out.display()
+            );
+            println!("open it in https://ui.perfetto.dev or chrome://tracing");
             Ok(())
         }
     }
@@ -359,6 +457,41 @@ mod tests {
     }
 
     #[test]
+    fn parses_trace_defaults_and_overrides() {
+        let cmd =
+            parse(&["trace", "--config", "c.json", "--data", "/d", "--out", "t.json"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Trace {
+                config: PathBuf::from("c.json"),
+                data: PathBuf::from("/d"),
+                out: PathBuf::from("t.json"),
+                readers: 4,
+                chunk: 256 << 10,
+                duration: None,
+                sample: 1
+            }
+        );
+        let cmd = parse(&[
+            "trace", "--config", "c.json", "--data", "/d", "--out", "t.json", "--duration",
+            "2.5", "--sample", "8", "--readers", "2", "--chunk", "4096",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Trace {
+                config: PathBuf::from("c.json"),
+                data: PathBuf::from("/d"),
+                out: PathBuf::from("t.json"),
+                readers: 2,
+                chunk: 4096,
+                duration: Some(2.5),
+                sample: 8
+            }
+        );
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(parse(&[]).is_err());
         assert!(parse(&["bogus"]).is_err());
@@ -370,6 +503,13 @@ mod tests {
         assert!(parse(&["metrics", "--config", "c", "--format", "yaml"]).is_err());
         assert!(parse(&["metrics", "--config", "c", "--watch", "-1"]).is_err());
         assert!(parse(&["metrics", "--config", "c", "--watch", "soon"]).is_err());
+        assert!(parse(&["trace", "--config", "c", "--data", "/d"]).is_err(), "missing --out");
+        assert!(parse(&["trace", "--config", "c", "--data", "/d", "--out", "t", "--sample", "0"])
+            .is_err());
+        assert!(
+            parse(&["trace", "--config", "c", "--data", "/d", "--out", "t", "--duration", "0"])
+                .is_err()
+        );
     }
 
     #[test]
@@ -421,8 +561,30 @@ mod tests {
             watch: None,
         })
         .unwrap();
-        run(Command::Metrics { config: cfg_path, format: MetricsFormat::Json, watch: None })
-            .unwrap();
+        run(Command::Metrics {
+            config: cfg_path.clone(),
+            format: MetricsFormat::Json,
+            watch: None,
+        })
+        .unwrap();
+        // A traced run writes a Perfetto-loadable JSON file with flow-linked
+        // read and copy spans.
+        let trace_path = root.join("trace.json");
+        run(Command::Trace {
+            config: cfg_path,
+            data: root.join("pfs"),
+            out: trace_path.clone(),
+            readers: 2,
+            chunk: 8 << 10,
+            duration: None,
+            sample: 1,
+        })
+        .unwrap();
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&trace).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        assert!(events.iter().any(|e| e["name"] == "read"));
+        assert!(events.iter().any(|e| e["name"] == "driver_pread"));
         std::fs::remove_dir_all(&root).unwrap();
     }
 }

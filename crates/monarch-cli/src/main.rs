@@ -6,13 +6,18 @@
 //! monarch inspect     --config CFG.json
 //! monarch epoch       --config CFG.json --data DIR [--readers N] [--chunk BYTES] [--epochs N]
 //! monarch metrics     --config CFG.json [--format text|json] [--watch SECS]
+//! monarch trace       --config CFG.json --data DIR --out TRACE.json [--readers N] [--chunk BYTES] [--duration SECS] [--sample N]
 //! ```
 //!
 //! `stage` pre-places the dataset (placement option (i), §III-A);
 //! `epoch` streams the dataset through the middleware with the tf.data-like
 //! real trainer and prints per-epoch times and tier hit counts;
 //! `metrics` renders the telemetry registry (Prometheus-style text or a JSON
-//! snapshot — the same registry the C FFI exposes via `monarch_metrics_text`).
+//! snapshot — the same registry the C FFI exposes via `monarch_metrics_text`);
+//! `trace` runs epochs with causal request tracing on and writes a
+//! Chrome Trace Event / Perfetto JSON file (open in `ui.perfetto.dev`)
+//! whose flow arrows link each sampled foreground read to the background
+//! copy it scheduled.
 
 use monarch_cli::{run, Command};
 

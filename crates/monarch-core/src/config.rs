@@ -85,11 +85,25 @@ pub struct TelemetryConfig {
     /// Ring-buffer bound: oldest events are overwritten past this count.
     #[serde(default = "default_journal_capacity")]
     pub journal_capacity: usize,
+    /// Record a causal span tree for every N-th `read` (plus the copy it
+    /// spawns). 0 — the default — disables tracing entirely; the read
+    /// path then pays a single branch on an immutable bool.
+    #[serde(default)]
+    pub trace_sample_every_n: u64,
+    /// Span-ring bound: oldest spans are dropped past this count.
+    #[serde(default = "default_trace_capacity")]
+    pub trace_capacity: usize,
 }
 
 impl Default for TelemetryConfig {
     fn default() -> Self {
-        Self { enabled: true, journal: true, journal_capacity: default_journal_capacity() }
+        Self {
+            enabled: true,
+            journal: true,
+            journal_capacity: default_journal_capacity(),
+            trace_sample_every_n: 0,
+            trace_capacity: default_trace_capacity(),
+        }
     }
 }
 
@@ -97,7 +111,14 @@ impl TelemetryConfig {
     /// Everything off: no histograms, no journal, unwrapped drivers.
     #[must_use]
     pub fn disabled() -> Self {
-        Self { enabled: false, journal: false, journal_capacity: default_journal_capacity() }
+        Self { enabled: false, journal: false, ..Self::default() }
+    }
+
+    /// Defaults plus tracing on every read — what `monarch trace` and the
+    /// trace tests use.
+    #[must_use]
+    pub fn with_tracing() -> Self {
+        Self { trace_sample_every_n: 1, ..Self::default() }
     }
 }
 
@@ -132,6 +153,10 @@ fn default_true() -> bool {
 
 fn default_journal_capacity() -> usize {
     4096
+}
+
+fn default_trace_capacity() -> usize {
+    65536
 }
 
 impl MonarchConfig {
@@ -256,6 +281,8 @@ mod tests {
         assert!(cfg.telemetry.enabled);
         assert!(cfg.telemetry.journal);
         assert_eq!(cfg.telemetry.journal_capacity, 4096);
+        assert_eq!(cfg.telemetry.trace_sample_every_n, 0, "tracing is opt-in");
+        assert_eq!(cfg.telemetry.trace_capacity, 65536);
     }
 
     #[test]
@@ -265,13 +292,19 @@ mod tests {
                 {"name": "ssd", "backend": "mem", "capacity": 10},
                 {"name": "pfs", "backend": "mem"}
             ],
-            "telemetry": {"enabled": true, "journal": false, "journal_capacity": 16}
+            "telemetry": {"enabled": true, "journal": false, "journal_capacity": 16,
+                          "trace_sample_every_n": 8, "trace_capacity": 1024}
         }"#;
         let cfg = MonarchConfig::from_json(json).unwrap();
         assert!(cfg.telemetry.enabled);
         assert!(!cfg.telemetry.journal);
         assert_eq!(cfg.telemetry.journal_capacity, 16);
+        assert_eq!(cfg.telemetry.trace_sample_every_n, 8);
+        assert_eq!(cfg.telemetry.trace_capacity, 1024);
         let off = TelemetryConfig::disabled();
         assert!(!off.enabled && !off.journal);
+        assert_eq!(off.trace_sample_every_n, 0);
+        let tracing = TelemetryConfig::with_tracing();
+        assert!(tracing.enabled && tracing.trace_sample_every_n == 1);
     }
 }

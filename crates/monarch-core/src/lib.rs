@@ -53,6 +53,7 @@ pub mod placement;
 pub mod pool;
 pub mod stats;
 pub mod telemetry;
+pub mod trace;
 
 pub use config::{MonarchConfig, TelemetryConfig};
 pub use driver::StorageDriver;
@@ -66,3 +67,4 @@ pub use telemetry::{
     Event, EventJournal, EventKind, HistogramSnapshot, LatencyHistogram, TelemetryRegistry,
     TelemetrySnapshot, ThroughputSampler, TimeSeries,
 };
+pub use trace::{ArgValue, FlowPhase, SpanRecord, TraceRecorder};

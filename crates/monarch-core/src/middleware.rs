@@ -26,9 +26,10 @@ use crate::driver::{MemDriver, PosixDriver, StorageDriver, TimedDriver};
 use crate::hierarchy::{StorageHierarchy, TierId};
 use crate::metadata::{MetadataContainer, PlacementState};
 use crate::placement::{FirstFit, LruEvict, PlacementPolicy, RoundRobin};
-use crate::pool::ThreadPool;
+use crate::pool::{TaskCtx, ThreadPool};
 use crate::stats::{Stats, StatsSnapshot};
 use crate::telemetry::{EventKind, TelemetryRegistry, TelemetrySnapshot};
+use crate::trace::{names, FlowPhase, SpanRecord, QUEUE_TRACK};
 use crate::{Error, Result};
 
 /// Outcome of the startup namespace scan.
@@ -141,9 +142,26 @@ impl Monarch {
         } else {
             ThreadPool::new(pool_threads)
         };
+        let metadata = Arc::new(MetadataContainer::default());
+        // A panicking copy task must not strand the file in `Copying`:
+        // report which copy died and revert it so a later read can retry
+        // (same degradation as an I/O failure — the file stays on the PFS).
+        {
+            let stats = Arc::clone(&stats);
+            let telemetry = Arc::clone(&telemetry);
+            let metadata = Arc::clone(&metadata);
+            pool.set_panic_handler(Arc::new(move |ctx: &TaskCtx| {
+                stats.copy_failed();
+                telemetry.event(EventKind::CopyFailed {
+                    file: ctx.label.clone(),
+                    reason: "background copy task panicked".to_string(),
+                });
+                let _ = metadata.abort_copy(&ctx.label, false);
+            }));
+        }
         Self {
             hierarchy: Arc::new(hierarchy),
-            metadata: Arc::new(MetadataContainer::default()),
+            metadata,
             policy,
             pool,
             stats,
@@ -173,19 +191,41 @@ impl Monarch {
     /// starting at `offset`, from whichever tier currently holds it.
     /// Returns the number of bytes read (0 at end-of-file).
     pub fn read(&self, file: &str, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        self.read_impl(file, offset, buf, 0)
+    }
+
+    /// [`Monarch::read`] with an optional trace parent (`0` = root): the
+    /// recorded `read` span is parented under the caller's span so
+    /// `read_full` renders as one tree in the viewer.
+    fn read_impl(&self, file: &str, offset: u64, buf: &mut [u8], parent: u64) -> Result<usize> {
         if self.shutting_down.load(Ordering::Acquire) {
             return Err(Error::ShutDown);
         }
+        // Sampled reads record a span tree: read → metadata_lookup →
+        // tier_resolve → driver_pread. Timestamps are captured inline (the
+        // spans themselves are built after the I/O completes, off the
+        // timed path); with tracing off this is one branch on an
+        // immutable bool.
+        let tr = self.telemetry.trace();
+        let sampled = tr.sample_read();
+        let t0 = if sampled { self.telemetry.now_micros() } else { 0 };
         let info = self.metadata.lookup_for_read(file)?;
         self.policy.on_access(file, info.tier);
+        let t_lookup = if sampled { self.telemetry.now_micros() } else { 0 };
         if offset >= info.size {
             return Ok(0);
         }
         let tier = self.hierarchy.tier(info.tier)?;
+        let t_resolve = if sampled { self.telemetry.now_micros() } else { 0 };
         let want = buf.len().min((info.size - offset) as usize);
         let n = tier.driver.read_at(file, offset, &mut buf[..want])?;
+        let t_pread = if sampled { self.telemetry.now_micros() } else { 0 };
         self.stats.record_read(info.tier, n as u64);
 
+        // Allocate the read span id eagerly so the background copy it may
+        // spawn can be parented/flow-linked to it.
+        let read_id = if sampled { tr.next_id() } else { 0 };
+        let mut flow = 0u64;
         if info.state == PlacementState::Unplaced {
             // Paper optimisation: when the triggering read already covered
             // the whole file, the background task reuses these bytes instead
@@ -195,8 +235,45 @@ impl Monarch {
             // lead to placement (the §IV-A ablation).
             let inline = (offset == 0 && n as u64 == info.size).then(|| buf[..n].to_vec());
             if self.full_file_fetch || inline.is_some() {
-                self.schedule_placement(file, info.size, inline);
+                let candidate = if sampled { tr.next_id() } else { 0 };
+                if self.schedule_placement(file, info.size, inline, read_id, candidate, false) {
+                    flow = candidate;
+                }
             }
+        }
+        if sampled {
+            let tid = tr.register_current_thread();
+            tr.record(
+                SpanRecord::new(names::METADATA_LOOKUP, "read", tid, t0, t_lookup - t0)
+                    .with_id(tr.next_id())
+                    .with_parent(read_id),
+            );
+            tr.record(
+                SpanRecord::new(names::TIER_RESOLVE, "read", tid, t_lookup, t_resolve - t_lookup)
+                    .with_id(tr.next_id())
+                    .with_parent(read_id)
+                    .arg_str("tier", &tier.name),
+            );
+            // The flow starts at the foreground pread and finishes at the
+            // background copy_exec — the causal arrow in the viewer.
+            let mut pread =
+                SpanRecord::new(names::DRIVER_PREAD, "read", tid, t_resolve, t_pread - t_resolve)
+                    .with_id(tr.next_id())
+                    .with_parent(read_id)
+                    .arg_str("tier", &tier.name)
+                    .arg_u64("bytes", n as u64);
+            if flow != 0 {
+                pread = pread.with_flow(flow, FlowPhase::Start);
+            }
+            tr.record(pread);
+            tr.record(
+                SpanRecord::new(names::READ, "read", tid, t0, self.telemetry.now_micros() - t0)
+                    .with_id(read_id)
+                    .with_parent(parent)
+                    .arg_str("file", file)
+                    .arg_u64("offset", offset)
+                    .arg_u64("bytes", n as u64),
+            );
         }
         Ok(n)
     }
@@ -204,9 +281,22 @@ impl Monarch {
     /// Read the entire file through the middleware.
     pub fn read_full(&self, file: &str) -> Result<Vec<u8>> {
         let info = self.metadata.get(file).ok_or_else(|| Error::UnknownFile(file.into()))?;
+        let tr = self.telemetry.trace();
+        let traced = tr.is_enabled();
+        let t0 = if traced { self.telemetry.now_micros() } else { 0 };
+        let id = if traced { tr.next_id() } else { 0 };
         let mut buf = vec![0u8; info.size as usize];
-        let n = self.read(file, 0, &mut buf)?;
+        let n = self.read_impl(file, 0, &mut buf, id)?;
         buf.truncate(n);
+        if traced {
+            let tid = tr.register_current_thread();
+            tr.record(
+                SpanRecord::new(names::READ_FULL, "read", tid, t0, self.telemetry.now_micros() - t0)
+                    .with_id(id)
+                    .arg_str("file", file)
+                    .arg_u64("bytes", n as u64),
+            );
+        }
         Ok(buf)
     }
 
@@ -220,7 +310,22 @@ impl Monarch {
 
     /// Hand a placement task to the background pool if this thread wins the
     /// `Unplaced → Copying` race. Returns whether a task was scheduled.
-    fn schedule_placement(&self, file: &str, size: u64, inline_data: Option<Vec<u8>>) -> bool {
+    ///
+    /// `trace_parent`/`flow` are nonzero when the triggering operation was
+    /// sampled: a `copy_scheduled` span is recorded under the parent and
+    /// `flow` rides along to the pool thread, where `copy_exec` finishes it.
+    /// `start_flow` puts the flow's start endpoint on the `copy_scheduled`
+    /// span itself (prestage — there is no foreground `driver_pread` to
+    /// carry it).
+    fn schedule_placement(
+        &self,
+        file: &str,
+        size: u64,
+        inline_data: Option<Vec<u8>>,
+        trace_parent: u64,
+        flow: u64,
+        start_flow: bool,
+    ) -> bool {
         // The target recorded here is provisional; the policy picks the
         // real destination inside the background task (paper §III-B: the
         // placement handler runs on a pool thread).
@@ -230,6 +335,23 @@ impl Monarch {
         }
         self.stats.copy_scheduled();
         self.telemetry.event(EventKind::CopyScheduled { file: file.to_string(), bytes: size });
+        let tr = self.telemetry.trace();
+        let queued_us = if flow != 0 { self.telemetry.now_micros() } else { 0 };
+        if flow != 0 {
+            let sched =
+                SpanRecord::new(names::COPY_SCHEDULED, "copy", tr.register_current_thread(), queued_us, 0)
+                    .with_id(tr.next_id())
+                    .with_parent(trace_parent)
+                    .arg_str("file", file)
+                    .arg_u64("bytes", size);
+            // `with_flow` makes the exporter emit the `flow` arg itself, so
+            // only the non-starting variant adds it explicitly.
+            tr.record(if start_flow {
+                sched.with_flow(flow, FlowPhase::Start)
+            } else {
+                sched.arg_u64("flow", flow)
+            });
+        }
         let ctx = PlacementCtx {
             hierarchy: Arc::clone(&self.hierarchy),
             metadata: Arc::clone(&self.metadata),
@@ -237,11 +359,17 @@ impl Monarch {
             stats: Arc::clone(&self.stats),
             telemetry: Arc::clone(&self.telemetry),
             shutting_down: Arc::clone(&self.shutting_down),
+            flow,
+            queued_us,
         };
         let owned = file.to_string();
-        let submitted = self.pool.submit(Box::new(move || {
-            ctx.run(&owned, size, inline_data);
-        }));
+        let task_ctx = TaskCtx { label: file.to_string(), flow };
+        let submitted = self.pool.submit_with(
+            Some(task_ctx),
+            Box::new(move || {
+                ctx.run(&owned, size, inline_data);
+            }),
+        );
         if !submitted {
             // Pool refused (shutdown): revert so the state stays clean.
             let _ = self.metadata.abort_copy(file, false);
@@ -265,22 +393,36 @@ impl Monarch {
     /// Returns the number of placements scheduled. Call
     /// [`Self::wait_placement_idle`] to block until staging completes.
     pub fn prestage(&self) -> usize {
-        let mut names = Vec::new();
+        let tr = self.telemetry.trace();
+        let traced = tr.is_enabled();
+        let t0 = if traced { self.telemetry.now_micros() } else { 0 };
+        let prestage_id = if traced { tr.next_id() } else { 0 };
+        let mut unplaced = Vec::new();
         self.metadata.for_each(|name, info| {
             if info.state == PlacementState::Unplaced {
-                names.push((name.to_string(), info.size));
+                unplaced.push((name.to_string(), info.size));
             }
         });
         let mut scheduled = 0;
-        for (name, size) in names {
+        for (name, size) in unplaced {
             if self.shutting_down.load(Ordering::Acquire) {
                 break;
             }
             // Same dedup CAS as the read path; racing readers lose or win
-            // harmlessly.
-            if self.schedule_placement(&name, size, None) {
+            // harmlessly. Each staged copy gets its own flow, started on
+            // the copy_scheduled span (no foreground pread exists here).
+            let flow = if traced { tr.next_id() } else { 0 };
+            if self.schedule_placement(&name, size, None, prestage_id, flow, true) {
                 scheduled += 1;
             }
+        }
+        if traced {
+            let tid = tr.register_current_thread();
+            tr.record(
+                SpanRecord::new(names::PRESTAGE, "read", tid, t0, self.telemetry.now_micros() - t0)
+                    .with_id(prestage_id)
+                    .arg_u64("scheduled", scheduled as u64),
+            );
         }
         scheduled
     }
@@ -313,6 +455,14 @@ impl Monarch {
     #[must_use]
     pub fn events_json(&self) -> String {
         self.telemetry.events_json()
+    }
+
+    /// Chrome Trace Event / Perfetto JSON for the recorded span trees
+    /// (non-destructive; `{"traceEvents": []}` shell when tracing is off).
+    /// Load the output in `ui.perfetto.dev` or `chrome://tracing`.
+    #[must_use]
+    pub fn trace_json(&self) -> String {
+        self.telemetry.trace().export_chrome_json()
     }
 
     /// The metadata container (read-mostly introspection).
@@ -360,6 +510,20 @@ struct PlacementCtx {
     stats: Arc<Stats>,
     telemetry: Arc<TelemetryRegistry>,
     shutting_down: Arc<AtomicBool>,
+    /// Flow id linking back to the sampled foreground operation that
+    /// scheduled this copy; 0 when the trigger was not sampled.
+    flow: u64,
+    /// Registry-clock timestamp of the moment the task was enqueued
+    /// (queue-wait span start); 0 when untraced.
+    queued_us: u64,
+}
+
+/// Per-copy trace context threaded into `try_place` so the chunk-level
+/// spans (`placement_decide` / `copy_read` / `copy_write` /
+/// `metadata_register`) parent under the enclosing `copy_exec`.
+struct CopyTraceCtx {
+    tid: u64,
+    exec_id: u64,
 }
 
 impl PlacementCtx {
@@ -368,9 +532,53 @@ impl PlacementCtx {
             let _ = self.metadata.abort_copy(file, false);
             return;
         }
+        let tr = self.telemetry.trace();
+        let traced = self.flow != 0 && tr.is_enabled();
+        let exec_t0 = if traced { self.telemetry.now_micros() } else { 0 };
+        let copy_trace = if traced {
+            // The queue-wait interval spans enqueue → dequeue; it renders on
+            // its own reserved track because it belongs to neither the
+            // scheduling nor the executing thread.
+            tr.record(
+                SpanRecord::new(
+                    names::QUEUE_WAIT,
+                    "copy",
+                    QUEUE_TRACK,
+                    self.queued_us,
+                    exec_t0.saturating_sub(self.queued_us),
+                )
+                .with_id(tr.next_id())
+                .arg_str("file", file),
+            );
+            Some(CopyTraceCtx { tid: tr.register_current_thread(), exec_id: tr.next_id() })
+        } else {
+            None
+        };
         let started = Instant::now();
         self.telemetry.event(EventKind::CopyStarted { file: file.to_string() });
-        match self.try_place(file, size, inline_data) {
+        let result = self.try_place(file, size, inline_data, copy_trace.as_ref());
+        if let Some(ct) = &copy_trace {
+            let outcome = match &result {
+                Ok(Some(_)) => "completed",
+                Ok(None) => "skipped",
+                Err(_) => "failed",
+            };
+            tr.record(
+                SpanRecord::new(
+                    names::COPY_EXEC,
+                    "copy",
+                    ct.tid,
+                    exec_t0,
+                    self.telemetry.now_micros() - exec_t0,
+                )
+                .with_id(ct.exec_id)
+                .with_flow(self.flow, FlowPhase::Finish)
+                .arg_str("file", file)
+                .arg_u64("bytes", size)
+                .arg_str("outcome", outcome),
+            );
+        }
+        match result {
             Ok(Some(tier)) => {
                 self.stats.copy_completed();
                 let elapsed = started.elapsed();
@@ -414,8 +622,32 @@ impl PlacementCtx {
         file: &str,
         size: u64,
         inline_data: Option<Vec<u8>>,
+        ct: Option<&CopyTraceCtx>,
     ) -> Result<Option<TierId>> {
-        let Some(decision) = self.policy.place(&self.hierarchy, file, size)? else {
+        let tr = self.telemetry.trace();
+        let t_decide = if ct.is_some() { self.telemetry.now_micros() } else { 0 };
+        let decision = self.policy.place(&self.hierarchy, file, size)?;
+        if let Some(ct) = ct {
+            let mut span = SpanRecord::new(
+                names::PLACEMENT_DECIDE,
+                "copy",
+                ct.tid,
+                t_decide,
+                self.telemetry.now_micros() - t_decide,
+            )
+            .with_id(tr.next_id())
+            .with_parent(ct.exec_id)
+            .arg_str("policy", self.policy.name().to_string());
+            if let Some(d) = &decision {
+                for (key, value) in d.trace_args(&self.hierarchy) {
+                    span.args.push((key, value));
+                }
+            } else {
+                span = span.arg_str("tier", "none");
+            }
+            tr.record(span);
+        }
+        let Some(decision) = decision else {
             return Ok(None);
         };
         let dest = self.hierarchy.tier(decision.tier)?;
@@ -457,20 +689,67 @@ impl PlacementCtx {
             let data = match inline_data {
                 Some(ref data) => data.clone(),
                 None => {
+                    let t_read = if ct.is_some() { self.telemetry.now_micros() } else { 0 };
                     let source = self.hierarchy.source();
                     let data = source.driver.read_full(file)?;
                     self.stats.record_read(source.id, data.len() as u64);
+                    if let Some(ct) = ct {
+                        tr.record(
+                            SpanRecord::new(
+                                names::COPY_READ,
+                                "copy",
+                                ct.tid,
+                                t_read,
+                                self.telemetry.now_micros() - t_read,
+                            )
+                            .with_id(tr.next_id())
+                            .with_parent(ct.exec_id)
+                            .arg_str("tier", &source.name)
+                            .arg_u64("bytes", data.len() as u64),
+                        );
+                    }
                     data
                 }
             };
+            let t_write = if ct.is_some() { self.telemetry.now_micros() } else { 0 };
             dest.driver.write_full(file, &data)?;
             self.stats.record_write(decision.tier, data.len() as u64);
+            if let Some(ct) = ct {
+                tr.record(
+                    SpanRecord::new(
+                        names::COPY_WRITE,
+                        "copy",
+                        ct.tid,
+                        t_write,
+                        self.telemetry.now_micros() - t_write,
+                    )
+                    .with_id(tr.next_id())
+                    .with_parent(ct.exec_id)
+                    .arg_str("tier", &dest.name)
+                    .arg_u64("bytes", data.len() as u64),
+                );
+            }
             Ok(())
         };
         match install() {
             Ok(()) => {
+                let t_reg = if ct.is_some() { self.telemetry.now_micros() } else { 0 };
                 self.metadata.finish_copy(file, decision.tier)?;
                 self.policy.on_placed(file, size, decision.tier);
+                if let Some(ct) = ct {
+                    tr.record(
+                        SpanRecord::new(
+                            names::METADATA_REGISTER,
+                            "copy",
+                            ct.tid,
+                            t_reg,
+                            self.telemetry.now_micros() - t_reg,
+                        )
+                        .with_id(tr.next_id())
+                        .with_parent(ct.exec_id)
+                        .arg_str("tier", &dest.name),
+                    );
+                }
                 Ok(Some(decision.tier))
             }
             Err(e) => {
@@ -819,7 +1098,7 @@ mod tests {
         // Both exposition formats render the same registry.
         let text = m.metrics_text();
         assert!(text.contains(&format!("monarch_copies_completed_total {n_files}")));
-        assert!(text.contains("monarch_read_latency_seconds{tier=\"ssd\",quantile=\"0.99\"}"));
+        assert!(text.contains("monarch_read_latency_seconds_bucket{tier=\"ssd\",le=\"+Inf\"}"));
         let json_lines = m.events_json();
         assert_eq!(json_lines.lines().count(), events.len());
     }
@@ -886,6 +1165,171 @@ mod tests {
         let snap = m.telemetry_snapshot();
         assert_eq!(snap.events_recorded, 0, "journal off");
         assert!(snap.read_latency[1].count > 0, "histograms still on");
+    }
+
+    /// Two-tier mem hierarchy with one staged file and the given telemetry.
+    fn traced_monarch(tcfg: TelemetryConfig, size: usize) -> Monarch {
+        let pfs = MemDriver::new("pfs");
+        pfs.insert("f", vec![9u8; size]);
+        let hierarchy = StorageHierarchy::new(vec![
+            (
+                "ssd".into(),
+                Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
+                Some(1 << 20),
+            ),
+            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
+        ])
+        .unwrap();
+        let m = Monarch::with_parts_telemetry(hierarchy, Arc::new(FirstFit), 1, true, tcfg);
+        m.init().unwrap();
+        m
+    }
+
+    #[test]
+    fn sampled_read_produces_flow_linked_span_tree() {
+        let m = traced_monarch(TelemetryConfig::with_tracing(), 4096);
+        // Partial read: the background task must re-fetch from the PFS,
+        // so the copy_read child span appears too.
+        let mut buf = [0u8; 256];
+        m.read("f", 0, &mut buf).unwrap();
+        m.wait_placement_idle();
+
+        let tr = m.telemetry().trace();
+        let spans = tr.spans();
+        let by_name = |n: &str| spans.iter().filter(|s| s.name == n).count();
+        for name in [
+            names::READ,
+            names::METADATA_LOOKUP,
+            names::TIER_RESOLVE,
+            names::DRIVER_PREAD,
+            names::COPY_SCHEDULED,
+            names::QUEUE_WAIT,
+            names::COPY_EXEC,
+            names::PLACEMENT_DECIDE,
+            names::COPY_READ,
+            names::COPY_WRITE,
+            names::METADATA_REGISTER,
+        ] {
+            assert_eq!(by_name(name), 1, "exactly one {name} span");
+        }
+        // The foreground pread starts the flow the background copy_exec
+        // finishes — the causal link the tentpole is about.
+        let pread = spans.iter().find(|s| s.name == names::DRIVER_PREAD).unwrap();
+        let exec = spans.iter().find(|s| s.name == names::COPY_EXEC).unwrap();
+        assert_ne!(pread.flow, 0);
+        assert_eq!(pread.flow, exec.flow);
+        assert_eq!(pread.flow_phase, FlowPhase::Start);
+        assert_eq!(exec.flow_phase, FlowPhase::Finish);
+        // Foreground children hang off the read span; copy children off
+        // copy_exec.
+        let read = spans.iter().find(|s| s.name == names::READ).unwrap();
+        assert_eq!(pread.parent, read.id);
+        let reg = spans.iter().find(|s| s.name == names::METADATA_REGISTER).unwrap();
+        assert_eq!(reg.parent, exec.id);
+        // The queue-wait interval renders on its reserved track.
+        let qw = spans.iter().find(|s| s.name == names::QUEUE_WAIT).unwrap();
+        assert_eq!(qw.tid, QUEUE_TRACK);
+        // The export carries it all plus the flow endpoints.
+        let json = m.trace_json();
+        assert!(json.contains("\"ph\":\"s\"") && json.contains("\"ph\":\"f\""));
+        assert!(json.contains("\"driver_pread\""));
+        assert_eq!(m.telemetry_snapshot().spans_recorded, tr.spans_recorded());
+    }
+
+    #[test]
+    fn tracing_off_records_no_spans() {
+        let m = traced_monarch(TelemetryConfig::default(), 1024);
+        let mut buf = [0u8; 128];
+        m.read("f", 0, &mut buf).unwrap();
+        m.wait_placement_idle();
+        let tr = m.telemetry().trace();
+        assert!(!tr.is_enabled());
+        assert_eq!(tr.spans_recorded(), 0);
+        assert_eq!(m.trace_json(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"monarch\"}}]}");
+    }
+
+    #[test]
+    fn prestage_trace_links_copies_to_the_prestage_span() {
+        let pfs = MemDriver::new("pfs");
+        for i in 0..3 {
+            pfs.insert(&format!("f{i}"), vec![i as u8; 100]);
+        }
+        let hierarchy = StorageHierarchy::new(vec![
+            (
+                "ssd".into(),
+                Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
+                Some(1 << 20),
+            ),
+            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
+        ])
+        .unwrap();
+        let m = Monarch::with_parts_telemetry(
+            hierarchy,
+            Arc::new(FirstFit),
+            2,
+            true,
+            TelemetryConfig::with_tracing(),
+        );
+        m.init().unwrap();
+        assert_eq!(m.prestage(), 3);
+        m.wait_placement_idle();
+        let spans = m.telemetry().trace().spans();
+        let prestage = spans.iter().find(|s| s.name == names::PRESTAGE).unwrap();
+        let scheds: Vec<_> = spans.iter().filter(|s| s.name == names::COPY_SCHEDULED).collect();
+        assert_eq!(scheds.len(), 3);
+        for s in &scheds {
+            assert_eq!(s.parent, prestage.id);
+            assert_eq!(s.flow_phase, FlowPhase::Start, "prestage flows start at scheduling");
+        }
+        assert_eq!(spans.iter().filter(|s| s.name == names::COPY_EXEC).count(), 3);
+    }
+
+    #[test]
+    fn panicking_copy_task_is_journaled_and_reverted() {
+        /// A policy whose `place` panics — models a buggy policy plugin.
+        struct PanickingPolicy;
+        impl PlacementPolicy for PanickingPolicy {
+            fn name(&self) -> &str {
+                "panicking"
+            }
+            fn place(
+                &self,
+                _hierarchy: &StorageHierarchy,
+                file: &str,
+                _size: u64,
+            ) -> Result<Option<crate::placement::PlacementDecision>> {
+                panic!("policy exploded for {file}");
+            }
+        }
+        let pfs = MemDriver::new("pfs");
+        pfs.insert("f", vec![1u8; 512]);
+        let hierarchy = StorageHierarchy::new(vec![
+            (
+                "ssd".into(),
+                Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
+                Some(1 << 20),
+            ),
+            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
+        ])
+        .unwrap();
+        let m = Monarch::with_parts(hierarchy, Arc::new(PanickingPolicy), 1, true);
+        m.init().unwrap();
+        let mut buf = [0u8; 64];
+        m.read("f", 0, &mut buf).unwrap();
+        m.wait_placement_idle();
+        // The panic handler reported which file's copy died and reverted
+        // the metadata so a later read can retry.
+        assert_eq!(m.stats().copies_failed, 1);
+        let events = m.telemetry().journal().events();
+        let failed = events
+            .iter()
+            .find(|e| e.kind.tag() == "copy_failed")
+            .expect("copy_failed journaled");
+        assert_eq!(failed.kind.file(), "f");
+        assert!(m.events_json().contains("panicked"));
+        let info = m.metadata().get("f").unwrap();
+        assert_eq!(info.state, PlacementState::Unplaced, "copy state reverted");
+        assert_eq!(info.tier, 1, "file stays on the PFS");
     }
 
     #[test]

@@ -28,6 +28,29 @@ pub struct PlacementDecision {
     pub evict: Vec<String>,
 }
 
+impl PlacementDecision {
+    /// Span attributes describing this decision: the destination tier (id
+    /// and name), its remaining free quota at decision time, and how many
+    /// evictions the decision requires — what a `placement_decide` span
+    /// shows in the trace viewer.
+    #[must_use]
+    pub fn trace_args(
+        &self,
+        hierarchy: &StorageHierarchy,
+    ) -> Vec<(&'static str, crate::trace::ArgValue)> {
+        use crate::trace::ArgValue;
+        let mut args = vec![("tier_id", ArgValue::U64(self.tier as u64))];
+        if let Ok(tier) = hierarchy.tier(self.tier) {
+            args.push(("tier", ArgValue::Str(tier.name.clone())));
+            if let Some(quota) = &tier.quota {
+                args.push(("free_bytes", ArgValue::U64(quota.free())));
+            }
+        }
+        args.push(("evictions", ArgValue::U64(self.evict.len() as u64)));
+        args
+    }
+}
+
 /// A data-placement policy. Implementations must be thread-safe: reader
 /// threads and background copy workers call concurrently.
 pub trait PlacementPolicy: Send + Sync {
@@ -269,6 +292,19 @@ mod tests {
             None,
         ));
         StorageHierarchy::new(levels).unwrap()
+    }
+
+    #[test]
+    fn trace_args_describe_the_decision() {
+        use crate::trace::ArgValue;
+        let h = hierarchy(&[100, 100]);
+        let d = FirstFit.place(&h, "a", 60).unwrap().unwrap();
+        let args = d.trace_args(&h);
+        assert!(args.contains(&("tier_id", ArgValue::U64(0))));
+        assert!(args.contains(&("tier", ArgValue::Str("t0".into()))));
+        // place() already reserved the 60 bytes, so 40 remain free.
+        assert!(args.contains(&("free_bytes", ArgValue::U64(40))));
+        assert!(args.contains(&("evictions", ArgValue::U64(0))));
     }
 
     #[test]

@@ -25,6 +25,29 @@ use crate::telemetry::LatencyHistogram;
 /// A unit of background work.
 pub type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// Submission context carried across the channel alongside a task: which
+/// file the task is working on and the trace flow id linking it to the
+/// read that scheduled it. Reported to the panic handler when the task
+/// dies, so `panicked()` bumps come with a culprit instead of a bare
+/// count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskCtx {
+    /// What the task was doing (the middleware passes the file name).
+    pub label: String,
+    /// Trace flow id (0 when the scheduling read was not sampled).
+    pub flow: u64,
+}
+
+/// Callback invoked on a worker thread when a task with a [`TaskCtx`]
+/// panics.
+pub type PanicHandler = Arc<dyn Fn(&TaskCtx) + Send + Sync>;
+
+/// What travels through the channel: the closure plus its context.
+struct Job {
+    ctx: Option<TaskCtx>,
+    run: Task,
+}
+
 struct Shared {
     /// Tasks submitted but not yet finished (queued + running).
     pending: AtomicUsize,
@@ -35,6 +58,8 @@ struct Shared {
     /// Wakes `wait_idle` when `pending` hits zero.
     idle_mutex: Mutex<()>,
     idle_cv: Condvar,
+    /// Invoked (cold path) when a task with a [`TaskCtx`] panics.
+    on_panic: Mutex<Option<PanicHandler>>,
 }
 
 impl Shared {
@@ -45,6 +70,7 @@ impl Shared {
             panicked: AtomicU64::new(0),
             idle_mutex: Mutex::new(()),
             idle_cv: Condvar::new(),
+            on_panic: Mutex::new(None),
         }
     }
 
@@ -65,7 +91,7 @@ struct PoolHists {
 
 /// Fixed-size background worker pool.
 pub struct ThreadPool {
-    tx: Option<Sender<Task>>,
+    tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
     hists: Option<Arc<PoolHists>>,
@@ -91,7 +117,7 @@ impl ThreadPool {
 
     fn build(threads: usize, hists: Option<Arc<PoolHists>>) -> Self {
         let threads = threads.max(1);
-        let (tx, rx): (Sender<Task>, Receiver<Task>) = channel::unbounded();
+        let (tx, rx): (Sender<Job>, Receiver<Job>) = channel::unbounded();
         let shared = Arc::new(Shared::new());
         let workers = (0..threads)
             .map(|i| {
@@ -100,13 +126,19 @@ impl ThreadPool {
                 std::thread::Builder::new()
                     .name(format!("monarch-copy-{i}"))
                     .spawn(move || {
-                        while let Ok(task) = rx.recv() {
+                        while let Ok(job) = rx.recv() {
                             // A panicking task must not kill the worker or
                             // leak its `pending` increment: either would
                             // eventually hang `wait_idle`.
-                            let outcome = catch_unwind(AssertUnwindSafe(task));
+                            let outcome = catch_unwind(AssertUnwindSafe(job.run));
                             if outcome.is_err() {
                                 shared.panicked.fetch_add(1, Ordering::Relaxed);
+                                if let Some(ctx) = job.ctx.as_ref() {
+                                    let handler = shared.on_panic.lock().clone();
+                                    if let Some(h) = handler {
+                                        h(ctx);
+                                    }
+                                }
                             }
                             shared.finish_one();
                         }
@@ -117,6 +149,13 @@ impl ThreadPool {
         Self { tx: Some(tx), workers, shared, hists }
     }
 
+    /// Install the callback invoked when a task submitted with a
+    /// [`TaskCtx`] panics. The middleware uses this to journal a
+    /// `copy_failed` event naming the file whose copy died.
+    pub fn set_panic_handler(&self, handler: PanicHandler) {
+        *self.shared.on_panic.lock() = Some(handler);
+    }
+
     /// Number of worker threads.
     #[must_use]
     pub fn threads(&self) -> usize {
@@ -125,6 +164,13 @@ impl ThreadPool {
 
     /// Submit a task. Returns `false` if the pool is shutting down.
     pub fn submit(&self, task: Task) -> bool {
+        self.submit_with(None, task)
+    }
+
+    /// Submit a task with a [`TaskCtx`] carried across the channel, so a
+    /// panic can be attributed. Returns `false` if the pool is shutting
+    /// down.
+    pub fn submit_with(&self, ctx: Option<TaskCtx>, task: Task) -> bool {
         let Some(tx) = self.tx.as_ref() else { return false };
         let task: Task = match &self.hists {
             Some(hists) => {
@@ -140,7 +186,7 @@ impl ThreadPool {
             None => task,
         };
         self.shared.pending.fetch_add(1, Ordering::AcqRel);
-        if tx.send(task).is_err() {
+        if tx.send(Job { ctx, run: task }).is_err() {
             // Shutdown raced us: roll back our increment through the same
             // path a finished task takes, so a waiter that observed the
             // transient pending count is woken rather than parked forever.
@@ -284,7 +330,7 @@ mod tests {
     /// A pool whose channel is already closed on the receiver side, so
     /// `submit` deterministically hits the failed-send branch.
     fn dead_channel_pool() -> ThreadPool {
-        let (tx, rx) = channel::unbounded::<Task>();
+        let (tx, rx) = channel::unbounded::<Job>();
         drop(rx);
         ThreadPool { tx: Some(tx), workers: Vec::new(), shared: Arc::new(Shared::new()), hists: None }
     }
@@ -318,6 +364,30 @@ mod tests {
             w.join().unwrap();
         }
         pool.wait_idle();
+    }
+
+    #[test]
+    fn panic_handler_reports_task_context() {
+        let pool = ThreadPool::new(1);
+        let seen: Arc<Mutex<Vec<TaskCtx>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        pool.set_panic_handler(Arc::new(move |ctx: &TaskCtx| {
+            sink.lock().push(ctx.clone());
+        }));
+        // A context-less panic bumps the counter but stays anonymous.
+        pool.submit(Box::new(|| panic!("anonymous")));
+        // A context-carrying panic reports which file's copy died.
+        pool.submit_with(
+            Some(TaskCtx { label: "train-00042.tfrecord".into(), flow: 7 }),
+            Box::new(|| panic!("copy died")),
+        );
+        pool.wait_idle();
+        assert_eq!(pool.panicked(), 2);
+        let seen = seen.lock();
+        assert_eq!(
+            *seen,
+            vec![TaskCtx { label: "train-00042.tfrecord".into(), flow: 7 }]
+        );
     }
 
     #[test]

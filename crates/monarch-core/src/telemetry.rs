@@ -76,7 +76,9 @@ fn bucket_bounds(idx: usize) -> (u64, u64) {
         let sub = (idx - LINEAR_MAX) % SUB_BUCKETS;
         let low = (SUB_BUCKETS + sub) << group;
         let width = 1u64 << group;
-        (low, low + width - 1)
+        // `low + (width - 1)`: the top bucket's high is exactly u64::MAX,
+        // so adding width first would overflow.
+        (low, low + (width - 1))
     }
 }
 
@@ -180,6 +182,25 @@ impl LatencyHistogram {
             }
         }
         self.max()
+    }
+
+    /// Count of observations `<= bound` nanoseconds, for Prometheus-style
+    /// cumulative `_bucket{le="..."}` exposition. Quantized to the
+    /// log-linear grid: only whole buckets whose upper bound is within
+    /// `bound` are counted, so the result can undercount by at most the
+    /// population of the partially-covered bucket (≤ 1/16 relative width).
+    #[must_use]
+    pub fn count_le(&self, bound: u64) -> u64 {
+        let mut cum = 0u64;
+        for (idx, bucket) in self.buckets.iter().enumerate() {
+            let (low, high) = bucket_bounds(idx);
+            if high <= bound {
+                cum += bucket.load(Ordering::Relaxed);
+            } else if low > bound {
+                break;
+            }
+        }
+        cum
     }
 
     /// Fold another histogram's counts into this one.
@@ -363,8 +384,9 @@ pub struct Event {
     pub kind: EventKind,
 }
 
-/// Append a JSON string literal (with escaping) to `out`.
-fn push_json_str(out: &mut String, s: &str) {
+/// Append a JSON string literal (with escaping) to `out`. Shared with
+/// the trace exporter so both hand-rolled emitters escape identically.
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -688,6 +710,7 @@ pub struct TelemetryRegistry {
     queue_wait: Arc<LatencyHistogram>,
     pool_exec: Arc<LatencyHistogram>,
     journal: EventJournal,
+    trace: Arc<crate::trace::TraceRecorder>,
     origin: Instant,
 }
 
@@ -711,6 +734,10 @@ impl TelemetryRegistry {
             queue_wait: Arc::new(LatencyHistogram::new()),
             pool_exec: Arc::new(LatencyHistogram::new()),
             journal: EventJournal::new(cfg.journal_capacity, cfg.enabled && cfg.journal),
+            trace: Arc::new(crate::trace::TraceRecorder::new(
+                if cfg.enabled { cfg.trace_sample_every_n } else { 0 },
+                cfg.trace_capacity,
+            )),
             origin: Instant::now(),
         }
     }
@@ -775,6 +802,12 @@ impl TelemetryRegistry {
         &self.journal
     }
 
+    /// The span recorder (disabled unless `trace_sample_every_n > 0`).
+    #[must_use]
+    pub fn trace(&self) -> &Arc<crate::trace::TraceRecorder> {
+        &self.trace
+    }
+
     /// Record `kind` stamped with the registry's wall clock.
     pub fn event(&self, kind: EventKind) {
         if self.journal.is_enabled() {
@@ -801,24 +834,33 @@ impl TelemetryRegistry {
             pool_exec: self.pool_exec.snapshot(),
             events_recorded: self.journal.recorded(),
             events_dropped: self.journal.dropped(),
+            spans_recorded: self.trace.spans_recorded(),
+            spans_dropped: self.trace.spans_dropped(),
         }
     }
 
-    /// Buffered journal events as JSON lines (non-destructive).
+    /// Buffered journal events as JSON lines. **Non-destructive**: the
+    /// ring keeps its contents, so repeated calls (e.g. `monarch metrics
+    /// --watch` ticks, or several FFI consumers) all see the same events.
+    /// Use [`Self::drain_events_json`] only when this consumer should be
+    /// the sole reader — drained events are gone for everyone else.
     #[must_use]
     pub fn events_json(&self) -> String {
         self.journal.json_lines(false)
     }
 
-    /// Drain the journal, returning the events as JSON lines.
+    /// Drain the journal, returning the events as JSON lines. Destructive:
+    /// the ring is emptied, so any other consumer misses the drained
+    /// events (their `seq` numbers still count toward `recorded()`).
     #[must_use]
     pub fn drain_events_json(&self) -> String {
         self.journal.json_lines(true)
     }
 
     /// Prometheus-style text exposition: counters as `counter` metrics,
-    /// histograms as `summary` metrics with p50/p90/p99 quantiles in
-    /// seconds.
+    /// latency histograms as `histogram` metrics with cumulative
+    /// `_bucket{le="..."}` lines (seconds), so `histogram_quantile()`
+    /// works on the scraped series.
     #[must_use]
     pub fn prometheus_text(&self) -> String {
         let snap = self.stats.snapshot();
@@ -870,57 +912,77 @@ impl TelemetryRegistry {
         scalar(&mut o, "monarch_removes_total", "Files removed for any reason.", snap.removes);
         scalar(&mut o, "monarch_journal_events_total", "Telemetry events recorded.", self.journal.recorded());
         scalar(&mut o, "monarch_journal_dropped_total", "Telemetry events overwritten by the ring bound.", self.journal.dropped());
+        scalar(&mut o, "monarch_trace_spans_total", "Trace spans recorded.", self.trace.spans_recorded());
+        scalar(&mut o, "monarch_trace_spans_dropped_total", "Trace spans dropped by the span-ring bound.", self.trace.spans_dropped());
 
-        let summary_quantiles = [("0.5", 0.50f64), ("0.9", 0.90), ("0.99", 0.99)];
+        // Cumulative histogram exposition so PromQL `histogram_quantile()`
+        // works. The `le` ladder is in seconds; `count_le` quantizes to
+        // the log-linear grid (documented on the method). Internal values
+        // are nanoseconds.
+        let le_ladder: [(&str, u64); 8] = [
+            ("0.000001", 1_000),
+            ("0.00001", 10_000),
+            ("0.0001", 100_000),
+            ("0.001", 1_000_000),
+            ("0.01", 10_000_000),
+            ("0.1", 100_000_000),
+            ("1", 1_000_000_000),
+            ("10", 10_000_000_000),
+        ];
         let secs = |nanos: u64| nanos as f64 / 1e9;
-        let tier_summary =
+        let buckets = |o: &mut String, name: &str, tier: Option<&str>, h: &LatencyHistogram| {
+            let label = |le: &str| match tier {
+                Some(t) => format!("{{tier=\"{t}\",le=\"{le}\"}}"),
+                None => format!("{{le=\"{le}\"}}"),
+            };
+            for (le, bound) in le_ladder {
+                o.push_str(&format!("{name}_bucket{} {}\n", label(le), h.count_le(bound)));
+            }
+            o.push_str(&format!("{name}_bucket{} {}\n", label("+Inf"), h.count()));
+            let plain = |suffix: &str| match tier {
+                Some(t) => format!("{name}_{suffix}{{tier=\"{t}\"}}"),
+                None => format!("{name}_{suffix}"),
+            };
+            o.push_str(&format!("{} {}\n", plain("sum"), secs(h.sum())));
+            o.push_str(&format!("{} {}\n", plain("count"), h.count()));
+        };
+        let tier_histogram =
             |o: &mut String, name: &str, help: &str, hists: &[Arc<LatencyHistogram>]| {
-                o.push_str(&format!("# HELP {name} {help}\n# TYPE {name} summary\n"));
+                o.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
                 for (tname, h) in self.tier_names.iter().zip(hists.iter()) {
-                    for (label, q) in summary_quantiles {
-                        o.push_str(&format!(
-                            "{name}{{tier=\"{tname}\",quantile=\"{label}\"}} {}\n",
-                            secs(h.quantile(q))
-                        ));
-                    }
-                    o.push_str(&format!("{name}_sum{{tier=\"{tname}\"}} {}\n", secs(h.sum())));
-                    o.push_str(&format!("{name}_count{{tier=\"{tname}\"}} {}\n", h.count()));
+                    buckets(o, name, Some(tname), h);
                 }
             };
-        tier_summary(
+        tier_histogram(
             &mut o,
             "monarch_read_latency_seconds",
             "Per-tier read latency.",
             &self.read_latency,
         );
-        tier_summary(
+        tier_histogram(
             &mut o,
             "monarch_write_latency_seconds",
             "Per-tier write latency.",
             &self.write_latency,
         );
 
-        let plain_summary = |o: &mut String, name: &str, help: &str, h: &LatencyHistogram| {
-            o.push_str(&format!("# HELP {name} {help}\n# TYPE {name} summary\n"));
-            for (label, q) in summary_quantiles {
-                o.push_str(&format!("{name}{{quantile=\"{label}\"}} {}\n", secs(h.quantile(q))));
-            }
-            o.push_str(&format!("{name}_sum {}\n", secs(h.sum())));
-            o.push_str(&format!("{name}_count {}\n", h.count()));
+        let plain_histogram = |o: &mut String, name: &str, help: &str, h: &LatencyHistogram| {
+            o.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+            buckets(o, name, None, h);
         };
-        plain_summary(
+        plain_histogram(
             &mut o,
             "monarch_copy_duration_seconds",
             "Background-copy duration (schedule-to-install).",
             &self.copy_duration,
         );
-        plain_summary(
+        plain_histogram(
             &mut o,
             "monarch_pool_queue_wait_seconds",
             "Copy-pool queue wait (submit to task start).",
             &self.queue_wait,
         );
-        plain_summary(
+        plain_histogram(
             &mut o,
             "monarch_pool_exec_seconds",
             "Copy-pool task execution time.",
@@ -962,6 +1024,12 @@ pub struct TelemetrySnapshot {
     pub events_recorded: u64,
     /// Journal events overwritten by the ring bound.
     pub events_dropped: u64,
+    /// Trace spans recorded over the lifetime (0 unless tracing is on).
+    #[serde(default)]
+    pub spans_recorded: u64,
+    /// Trace spans dropped by the span-ring bound.
+    #[serde(default)]
+    pub spans_dropped: u64,
 }
 
 #[cfg(test)]
@@ -1004,6 +1072,34 @@ mod tests {
         let p99 = h.quantile(0.99) as f64;
         assert!((p99 - 990.0).abs() / 990.0 <= 1.0 / 16.0 + 1e-9, "p99 = {p99}");
         assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn histogram_count_le_is_cumulative_and_quantized() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count_le(u64::MAX), 0);
+        for v in [5u64, 500, 5_000, 5_000_000] {
+            h.record(v);
+        }
+        // Exact below LINEAR_MAX, whole-bucket cumulative above.
+        assert_eq!(h.count_le(4), 0);
+        assert_eq!(h.count_le(5), 1);
+        assert_eq!(h.count_le(1_000), 2);
+        assert_eq!(h.count_le(10_000), 3);
+        assert_eq!(h.count_le(u64::MAX), 4);
+        // Monotone over the exposition ladder.
+        let mut prev = 0;
+        for bound in [1_000u64, 10_000, 100_000, 1_000_000, 10_000_000, u64::MAX] {
+            let c = h.count_le(bound);
+            assert!(c >= prev, "count_le not monotone at {bound}");
+            prev = c;
+        }
+        // Quantization: a value whose bucket straddles the bound is
+        // excluded (undercount, never overcount).
+        let g = LatencyHistogram::new();
+        g.record(1_000_000); // bucket [983040, 1015807]
+        assert_eq!(g.count_le(1_000_000), 0);
+        assert_eq!(g.count_le(1_015_807), 1);
     }
 
     #[test]
@@ -1120,10 +1216,23 @@ mod tests {
         assert!(text.contains("monarch_tier_reads_total{tier=\"ssd\"} 1"));
         assert!(text.contains("monarch_tier_reads_total{tier=\"pfs\"} 1"));
         assert!(text.contains("monarch_tier_read_bytes_total{tier=\"ssd\"} 100"));
-        assert!(text.contains("# TYPE monarch_read_latency_seconds summary"));
+        assert!(text.contains("# TYPE monarch_read_latency_seconds histogram"));
         assert!(text.contains("monarch_read_latency_seconds_count{tier=\"ssd\"} 1"));
         assert!(text.contains("monarch_copy_duration_seconds_count 1"));
         assert!(text.contains("monarch_pool_queue_wait_seconds_count 0"));
+        // The 4 µs observation lands in the ≤ 10 µs bucket and every
+        // later one (cumulative), ending at +Inf = count.
+        assert!(text.contains("monarch_read_latency_seconds_bucket{tier=\"ssd\",le=\"0.000001\"} 0"));
+        assert!(text.contains("monarch_read_latency_seconds_bucket{tier=\"ssd\",le=\"0.00001\"} 1"));
+        assert!(text.contains("monarch_read_latency_seconds_bucket{tier=\"ssd\",le=\"+Inf\"} 1"));
+        // The 1 ms copy duration sits in a bucket straddling the 1 ms
+        // bound (grid quantization), so it first appears at le="0.01".
+        assert!(text.contains("monarch_copy_duration_seconds_bucket{le=\"0.000001\"} 0"));
+        assert!(text.contains("monarch_copy_duration_seconds_bucket{le=\"0.01\"} 1"));
+        assert!(text.contains("monarch_copy_duration_seconds_bucket{le=\"+Inf\"} 1"));
+        // Journal/trace drop counters are exposed for scrape-side alerts.
+        assert!(text.contains("# TYPE monarch_journal_dropped_total counter"));
+        assert!(text.contains("# TYPE monarch_trace_spans_dropped_total counter"));
         // Every non-comment line is `name{labels} value` or `name value`
         // with a parseable float value.
         for line in text.lines() {

@@ -1,0 +1,181 @@
+//! Integration tests for the causal tracing subsystem: span-tree
+//! well-formedness under heavy thread contention, Chrome Trace Event
+//! schema conformance of the exporter, and the golden disabled shell.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use monarch_core::driver::MemDriver;
+use monarch_core::hierarchy::StorageHierarchy;
+use monarch_core::placement::FirstFit;
+use monarch_core::trace::{names, FlowPhase, QUEUE_TRACK};
+use monarch_core::{Monarch, StorageDriver, TelemetryConfig};
+
+const FILE_BYTES: usize = 64 << 10;
+
+/// A two-tier in-memory middleware with `files` shards pre-written to
+/// the PFS tier, full-file fetch on, and the given telemetry knobs.
+fn traced_monarch(files: usize, tcfg: TelemetryConfig) -> Monarch {
+    let pfs = Arc::new(MemDriver::new("pfs"));
+    for i in 0..files {
+        pfs.write_full(&format!("f{i}"), &vec![i as u8; FILE_BYTES]).unwrap();
+    }
+    let hierarchy = StorageHierarchy::new(vec![
+        (
+            "ssd".into(),
+            Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
+            Some(1 << 30),
+        ),
+        ("pfs".into(), pfs as Arc<dyn StorageDriver>, None),
+    ])
+    .unwrap();
+    let m = Monarch::with_parts_telemetry(hierarchy, Arc::new(FirstFit), 4, true, tcfg);
+    m.init().unwrap();
+    m
+}
+
+/// 8 reader threads hammer 16 shared files while the copy pool places
+/// all of them in the background; the recorded span forest must stay
+/// well-formed: unique non-zero ids, resolvable parent edges, child
+/// intervals nested in their parents, and exactly one start/finish
+/// endpoint per copy flow.
+#[test]
+fn span_tree_is_well_formed_under_thread_contention() {
+    const THREADS: usize = 8;
+    const READS: usize = 64;
+    const FILES: usize = 16;
+    let m = Arc::new(traced_monarch(FILES, TelemetryConfig::with_tracing()));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                let mut buf = vec![0u8; 4096];
+                for i in 0..READS {
+                    let name = format!("f{}", (t + i * 7) % FILES);
+                    let off = ((i * 4096) % (FILE_BYTES - 4096)) as u64;
+                    let n = m.read(&name, off, &mut buf).unwrap();
+                    assert_eq!(n, 4096);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    m.wait_placement_idle();
+
+    let tr = m.telemetry().trace();
+    assert_eq!(tr.spans_dropped(), 0, "ring must not overflow at this scale");
+    let spans = tr.spans();
+    // Every read is sampled, so there is at least a root span per read.
+    assert!(spans.len() >= THREADS * READS, "only {} spans", spans.len());
+
+    let mut by_id = HashMap::new();
+    for s in &spans {
+        assert_ne!(s.id, 0, "span {:?} has no id", s.name);
+        assert!(by_id.insert(s.id, s).is_none(), "duplicate span id {}", s.id);
+    }
+
+    // Parent edges resolve and child intervals nest (2 us of slack
+    // absorbs microsecond truncation at the interval ends).
+    for s in &spans {
+        if s.parent == 0 {
+            continue;
+        }
+        let p = by_id
+            .get(&s.parent)
+            .unwrap_or_else(|| panic!("{} has dangling parent {}", s.name, s.parent));
+        assert!(s.ts_us >= p.ts_us, "{} starts before parent {}", s.name, p.name);
+        assert!(
+            s.ts_us + s.dur_us <= p.ts_us + p.dur_us + 2,
+            "{} ends after parent {}",
+            s.name,
+            p.name
+        );
+    }
+
+    // Each file's single background copy finishes exactly one flow whose
+    // start rode the foreground read that scheduled it.
+    let mut starts: HashMap<u64, usize> = HashMap::new();
+    let mut finishes: HashMap<u64, usize> = HashMap::new();
+    for s in &spans {
+        match s.flow_phase {
+            FlowPhase::Start => *starts.entry(s.flow).or_insert(0) += 1,
+            FlowPhase::Finish => *finishes.entry(s.flow).or_insert(0) += 1,
+            FlowPhase::None => {}
+        }
+    }
+    let execs: Vec<_> = spans.iter().filter(|s| s.name == names::COPY_EXEC).collect();
+    assert_eq!(execs.len(), FILES, "one completed copy per shared file");
+    for e in &execs {
+        assert_ne!(e.flow, 0, "copy_exec must be flow-linked");
+        assert_eq!(e.flow_phase, FlowPhase::Finish);
+        assert_eq!(starts.get(&e.flow), Some(&1), "flow {} starts", e.flow);
+        assert_eq!(finishes.get(&e.flow), Some(&1), "flow {} finishes", e.flow);
+    }
+
+    // Queue-wait spans render on the dedicated queue track.
+    let qw: Vec<_> = spans.iter().filter(|s| s.name == names::QUEUE_WAIT).collect();
+    assert!(!qw.is_empty(), "copies must record queue time");
+    for s in &qw {
+        assert_eq!(s.tid, QUEUE_TRACK);
+    }
+}
+
+/// The exporter's output is valid Chrome Trace Event JSON: an object
+/// with `displayTimeUnit` and `traceEvents`, only `X`/`M`/`s`/`f`
+/// phases, ids in `args`, `bp:"e"` on finishes, and paired flow ids.
+#[test]
+fn export_conforms_to_chrome_trace_schema() {
+    let m = traced_monarch(4, TelemetryConfig::with_tracing());
+    let mut buf = vec![0u8; 4096];
+    for i in 0..4 {
+        m.read(&format!("f{i}"), 0, &mut buf).unwrap();
+    }
+    m.wait_placement_idle();
+
+    let v: serde_json::Value = serde_json::from_str(&m.trace_json()).unwrap();
+    assert_eq!(v["displayTimeUnit"], "ms");
+    let events = v["traceEvents"].as_array().unwrap();
+    assert!(!events.is_empty());
+    let mut flow_starts = HashSet::new();
+    let mut flow_finishes = HashSet::new();
+    for e in events {
+        assert_eq!(e["pid"], 1);
+        match e["ph"].as_str().unwrap() {
+            "X" => {
+                assert!(e["name"].is_string() && e["cat"].is_string());
+                assert!(e["ts"].is_u64() && e["dur"].is_u64() && e["tid"].is_u64());
+                let args = e["args"].as_object().unwrap();
+                assert!(args["span_id"].as_u64().unwrap() > 0);
+                assert!(args.contains_key("parent_id"));
+            }
+            "M" => assert!(e["args"]["name"].is_string()),
+            "s" => {
+                flow_starts.insert(e["id"].as_u64().unwrap());
+            }
+            "f" => {
+                assert_eq!(e["bp"], "e");
+                flow_finishes.insert(e["id"].as_u64().unwrap());
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(!flow_starts.is_empty(), "warm-up copies must emit flows");
+    assert_eq!(flow_starts, flow_finishes, "every emitted flow must resolve");
+}
+
+/// With tracing off (the default), the export is the empty golden shell
+/// no matter how much traffic went through — the recorder is inert.
+#[test]
+fn disabled_export_matches_golden_shell() {
+    let m = traced_monarch(2, TelemetryConfig::default());
+    let mut buf = vec![0u8; 4096];
+    for _ in 0..8 {
+        m.read("f0", 0, &mut buf).unwrap();
+    }
+    m.wait_placement_idle();
+    assert!(!m.telemetry().trace().is_enabled());
+    let golden = include_str!("golden/trace_disabled.json");
+    assert_eq!(m.trace_json(), golden.trim_end());
+}

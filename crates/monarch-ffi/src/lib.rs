@@ -169,9 +169,10 @@ pub unsafe extern "C" fn monarch_stats_json(handle: *mut MonarchHandle) -> *mut 
 }
 
 /// Export the telemetry registry as Prometheus-style text exposition
-/// (counters plus p50/p90/p99 latency summaries) — the same registry the
-/// CLI's `monarch metrics` renders. The returned string must be released
-/// with [`monarch_string_free`]. Null on failure.
+/// (counters plus cumulative latency histograms, `histogram_quantile()`
+/// ready) — the same registry the CLI's `monarch metrics` renders. The
+/// returned string must be released with [`monarch_string_free`]. Null on
+/// failure.
 ///
 /// # Safety
 /// `handle` must come from [`monarch_init_json`] and not be freed.
@@ -214,8 +215,33 @@ pub unsafe extern "C" fn monarch_events_json(handle: *mut MonarchHandle) -> *mut
     }
 }
 
+/// Export the recorded trace spans as a Chrome Trace Event / Perfetto
+/// JSON document (load it in `ui.perfetto.dev`). Non-destructive; returns
+/// the empty-trace shell when tracing is off (`trace_sample_every_n: 0`).
+/// The returned string must be released with [`monarch_string_free`].
+/// Null on failure.
+///
+/// # Safety
+/// `handle` must come from [`monarch_init_json`] and not be freed.
+#[no_mangle]
+pub unsafe extern "C" fn monarch_trace_json(handle: *mut MonarchHandle) -> *mut c_char {
+    if handle.is_null() {
+        return ptr::null_mut();
+    }
+    let monarch = unsafe { &(*handle).inner };
+    let outcome = catch_unwind(AssertUnwindSafe(|| monarch.trace_json()));
+    match outcome {
+        Ok(json) => match CString::new(json) {
+            Ok(c) => c.into_raw(),
+            Err(_) => ptr::null_mut(),
+        },
+        Err(_) => ptr::null_mut(),
+    }
+}
+
 /// Release a string returned by [`monarch_stats_json`],
-/// [`monarch_metrics_text`] or [`monarch_events_json`].
+/// [`monarch_metrics_text`], [`monarch_events_json`] or
+/// [`monarch_trace_json`].
 ///
 /// # Safety
 /// `s` must come from this library and not be freed twice.
@@ -349,7 +375,8 @@ mod tests {
             let text = CStr::from_ptr(text_ptr).to_str().expect("valid UTF-8").to_string();
             assert!(text.contains("# TYPE monarch_tier_reads_total counter"), "{text}");
             assert!(text.contains("monarch_tier_reads_total{tier=\"ssd\"}"));
-            assert!(text.contains("monarch_read_latency_seconds{tier=\"pfs\",quantile=\"0.99\"}"));
+            assert!(text.contains("# TYPE monarch_read_latency_seconds histogram"), "{text}");
+            assert!(text.contains("monarch_read_latency_seconds_bucket{tier=\"pfs\",le=\"+Inf\"}"));
             assert!(text.contains("monarch_copies_completed_total 1"));
             monarch_string_free(text_ptr);
 
@@ -369,6 +396,51 @@ mod tests {
             // Null handle → null, not a crash.
             assert!(monarch_metrics_text(ptr::null_mut()).is_null());
             assert!(monarch_events_json(ptr::null_mut()).is_null());
+
+            monarch_shutdown(h);
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn trace_json_roundtrip() {
+        use monarch_core::TelemetryConfig;
+        let root =
+            std::env::temp_dir().join(format!("monarch-ffi-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let data = root.join("pfs");
+        std::fs::create_dir_all(&data).unwrap();
+        std::fs::write(data.join("f0"), vec![7u8; 2048]).unwrap();
+        let cfg = MonarchConfig::builder()
+            .tier(
+                TierConfig::posix("ssd", root.join("ssd").to_string_lossy().to_string())
+                    .with_capacity(1 << 20),
+            )
+            .tier(TierConfig::posix("pfs", data.to_string_lossy().to_string()))
+            .pool_threads(1)
+            .telemetry(TelemetryConfig::with_tracing())
+            .build();
+        let json = CString::new(cfg.to_json()).unwrap();
+        unsafe {
+            let h = monarch_init_json(json.as_ptr());
+            assert!(!h.is_null());
+            let name = CString::new("f0").unwrap();
+            let mut buf = vec![0u8; 256];
+            assert!(monarch_read(h, name.as_ptr(), 0, buf.as_mut_ptr(), buf.len()) > 0);
+            assert_eq!(monarch_wait_idle(h), 0);
+
+            let tr_ptr = monarch_trace_json(h);
+            assert!(!tr_ptr.is_null());
+            let trace = CStr::from_ptr(tr_ptr).to_str().expect("valid UTF-8").to_string();
+            let v: serde_json::Value = serde_json::from_str(&trace).unwrap();
+            let events = v["traceEvents"].as_array().unwrap();
+            assert!(events.iter().any(|e| e["name"] == "driver_pread"));
+            assert!(events.iter().any(|e| e["name"] == "copy_exec"));
+            assert!(events.iter().any(|e| e["ph"] == "s"));
+            monarch_string_free(tr_ptr);
+
+            // Null handle → null, not a crash.
+            assert!(monarch_trace_json(ptr::null_mut()).is_null());
 
             monarch_shutdown(h);
         }

@@ -3,7 +3,7 @@
 # errors), and the full test suite. Run before pushing.
 #
 #   scripts/check.sh            # everything
-#   scripts/check.sh fmt        # just one stage: fmt | clippy | test
+#   scripts/check.sh fmt        # just one stage: fmt | clippy | test | trace
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,17 +24,56 @@ run_test() {
     cargo test --workspace -q
 }
 
+# Tracing end to end: the focused test targets, then a CLI smoke run that
+# generates a dataset, records one traced window, and checks the export
+# is valid JSON with flow-linked copy spans.
+run_trace() {
+    echo "==> cargo test -p monarch-core --test trace -q"
+    cargo test -p monarch-core --test trace -q
+    echo "==> cargo test -p monarch --test trace_e2e -q"
+    cargo test -p monarch --test trace_e2e -q
+
+    echo "==> monarch trace smoke run"
+    local tmp
+    tmp="$(mktemp -d)"
+    # shellcheck disable=SC2064  # expand $tmp now, not at exit
+    trap "rm -rf '$tmp'" EXIT
+    cargo run -q -p monarch-cli -- gen-dataset \
+        --dir "$tmp/pfs" --bytes $((8 << 20)) --samples 256 --seed 7
+    cat > "$tmp/cfg.json" <<EOF
+{
+  "tiers": [
+    {"name": "ssd", "backend": {"posix": {"path": "$tmp/ssd"}}, "capacity": 1073741824},
+    {"name": "pfs", "backend": {"posix": {"path": "$tmp/pfs"}}}
+  ],
+  "pool_threads": 4
+}
+EOF
+    cargo run -q -p monarch-cli -- trace \
+        --config "$tmp/cfg.json" --data "$tmp/pfs" --out "$tmp/trace.json" \
+        --duration 1
+    python3 -m json.tool "$tmp/trace.json" > /dev/null
+    for needle in '"driver_pread"' '"copy_exec"' '"ph":"s"' '"ph":"f"'; do
+        grep -q "$needle" "$tmp/trace.json" \
+            || { echo "trace smoke: missing $needle" >&2; exit 1; }
+    done
+    rm -rf "$tmp"
+    trap - EXIT
+}
+
 case "$stage" in
     fmt) run_fmt ;;
     clippy) run_clippy ;;
     test) run_test ;;
+    trace) run_trace ;;
     all)
         run_fmt
         run_clippy
         run_test
+        run_trace
         ;;
     *)
-        echo "usage: scripts/check.sh [fmt|clippy|test|all]" >&2
+        echo "usage: scripts/check.sh [fmt|clippy|test|trace|all]" >&2
         exit 2
         ;;
 esac
