@@ -11,6 +11,7 @@ use monarch_core::hierarchy::{Quota, StorageHierarchy};
 use monarch_core::metadata::MetadataContainer;
 use monarch_core::placement::{FirstFit, PlacementPolicy};
 use monarch_core::pool::ThreadPool;
+use monarch_core::prefetch::{AccessPlan, PrefetchConfig};
 use monarch_core::{Monarch, StorageDriver, TelemetryConfig};
 use simfs::clock::SimTime;
 use simfs::psdev::{Kind, PsDevice};
@@ -85,7 +86,7 @@ fn bench_pool(c: &mut Criterion) {
 
 /// A warmed-up in-memory Monarch: one 256 KiB file already placed on the
 /// local tier, so `read` exercises the steady-state hot path.
-fn warmed_monarch(tcfg: TelemetryConfig) -> Monarch {
+fn warmed_monarch(tcfg: TelemetryConfig, pf: PrefetchConfig) -> Monarch {
     let pfs = Arc::new(MemDriver::new("pfs"));
     pfs.write_full("f", &vec![0xa5u8; 256 << 10]).unwrap();
     let hierarchy = StorageHierarchy::new(vec![
@@ -97,7 +98,7 @@ fn warmed_monarch(tcfg: TelemetryConfig) -> Monarch {
         ("pfs".into(), pfs as Arc<dyn StorageDriver>, None),
     ])
     .unwrap();
-    let m = Monarch::with_parts_telemetry(hierarchy, Arc::new(FirstFit), 2, true, tcfg);
+    let m = Monarch::with_parts_prefetch(hierarchy, Arc::new(FirstFit), 2, true, tcfg, pf);
     m.init().unwrap();
     let mut buf = vec![0u8; 4096];
     m.read("f", 0, &mut buf).unwrap();
@@ -108,22 +109,41 @@ fn warmed_monarch(tcfg: TelemetryConfig) -> Monarch {
 fn bench_telemetry_read_path(c: &mut Criterion) {
     let mut g = c.benchmark_group("telemetry_read_path");
     g.throughput(Throughput::Bytes(4096));
-    let variants: [(&str, TelemetryConfig); 5] = [
-        ("disabled", TelemetryConfig::disabled()),
-        ("journal_off", TelemetryConfig { journal: false, ..TelemetryConfig::default() }),
+    let pf_on = PrefetchConfig { lookahead: 4, max_inflight_bytes: 256 << 20 };
+    let variants: [(&str, TelemetryConfig, PrefetchConfig); 7] = [
+        ("disabled", TelemetryConfig::disabled(), PrefetchConfig::disabled()),
+        (
+            "journal_off",
+            TelemetryConfig { journal: false, ..TelemetryConfig::default() },
+            PrefetchConfig::disabled(),
+        ),
         // "full" has tracing *off* (the default): the read path pays one
         // branch on an immutable bool. Comparing it with the trace_*
         // variants quantifies the span-recording overhead and verifies
         // the sampling-off path stays within noise of PR 1's full config.
-        ("full", TelemetryConfig::default()),
-        ("trace_every_64", TelemetryConfig {
-            trace_sample_every_n: 64,
-            ..TelemetryConfig::default()
-        }),
-        ("trace_all", TelemetryConfig::with_tracing()),
+        ("full", TelemetryConfig::default(), PrefetchConfig::disabled()),
+        (
+            "trace_every_64",
+            TelemetryConfig { trace_sample_every_n: 64, ..TelemetryConfig::default() },
+            PrefetchConfig::disabled(),
+        ),
+        ("trace_all", TelemetryConfig::with_tracing(), PrefetchConfig::disabled()),
+        // prefetch_off vs prefetch_on isolates the clairvoyant window's
+        // per-read cost: the cursor advance and hit bookkeeping against an
+        // active plan covering the file being read. prefetch_off is the
+        // engine compiled in but disabled (no plan, `None` fast path) —
+        // the configuration every non-clairvoyant user runs.
+        ("prefetch_off", TelemetryConfig::default(), PrefetchConfig::disabled()),
+        ("prefetch_on", TelemetryConfig::default(), pf_on),
     ];
-    for (label, tcfg) in variants {
-        let m = warmed_monarch(tcfg);
+    for (label, tcfg, pf) in variants {
+        let m = warmed_monarch(tcfg, pf);
+        if pf.enabled() {
+            // An active plan containing the benched file: every read pays
+            // the full on_read path (cursor advance + note bookkeeping).
+            m.submit_plan(&AccessPlan::new(vec!["f".into()]));
+            m.wait_placement_idle();
+        }
         g.bench_function(label, |b| {
             let mut buf = vec![0u8; 4096];
             let mut off = 0u64;

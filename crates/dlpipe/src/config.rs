@@ -176,6 +176,12 @@ pub struct MonarchSimConfig {
     /// (plus the copy it triggers) and export it in
     /// `RunReport::trace_json`. 0 (the paper default) disables tracing.
     pub trace_sample_every_n: u64,
+    /// Clairvoyant prefetch lookahead: each epoch's shuffled shard order
+    /// is handed to the placement layer as an access plan, and up to this
+    /// many plan entries ahead of the foreground read cursor are staged
+    /// through a low-priority copy lane (demand copies preempt them).
+    /// 0 (the paper default) keeps the purely reactive behaviour.
+    pub prefetch_lookahead: usize,
 }
 
 impl MonarchSimConfig {
@@ -190,6 +196,7 @@ impl MonarchSimConfig {
             full_file_fetch: true,
             prestage: false,
             trace_sample_every_n: 0,
+            prefetch_lookahead: 0,
         }
     }
 
@@ -204,6 +211,13 @@ impl MonarchSimConfig {
     #[must_use]
     pub fn with_ssd_capacity(capacity: u64) -> Self {
         Self { tiers: vec![(SimTierKind::Ssd, capacity)], ..Self::paper_default() }
+    }
+
+    /// The paper default with clairvoyant prefetching at the given
+    /// lookahead — the `prefetch` sim mode.
+    #[must_use]
+    pub fn with_prefetch(lookahead: usize) -> Self {
+        Self { prefetch_lookahead: lookahead, ..Self::paper_default() }
     }
 }
 
@@ -249,7 +263,9 @@ mod tests {
         assert_eq!(m.tiers, vec![(SimTierKind::Ssd, 115u64 << 30)]);
         assert!(m.full_file_fetch);
         assert_eq!(m.trace_sample_every_n, 0, "sim tracing is opt-in");
+        assert_eq!(m.prefetch_lookahead, 0, "prefetch is opt-in");
         assert_eq!(MonarchSimConfig::with_tracing().trace_sample_every_n, 1);
+        assert_eq!(MonarchSimConfig::with_prefetch(32).prefetch_lookahead, 32);
     }
 
     #[test]

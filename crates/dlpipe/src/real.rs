@@ -93,14 +93,24 @@ impl RealTrainer {
         &self.shards
     }
 
+    /// The exact shard order [`RealTrainer::run_epoch`] will stream for
+    /// `epoch` — the shuffle is seeded, so a caller can compute the order
+    /// beforehand and hand it to [`Monarch::submit_plan`] as a clairvoyant
+    /// access plan.
+    #[must_use]
+    pub fn epoch_order(&self, epoch: usize) -> Vec<String> {
+        let mut order = self.shards.clone();
+        let mut rng = SimRng::new(self.pipeline.seed ^ (epoch as u64).wrapping_mul(0x9e37));
+        rng.shuffle(&mut order);
+        order
+    }
+
     /// Run one epoch: shuffle shards, stream them with N reader threads in
     /// `chunk_bytes` reads, fold every delivered byte into the
     /// fingerprint.
     pub fn run_epoch(&self, epoch: usize) -> monarch_core::Result<RealEpoch> {
         let start = Instant::now();
-        let mut order: Vec<String> = self.shards.clone();
-        let mut rng = SimRng::new(self.pipeline.seed ^ (epoch as u64).wrapping_mul(0x9e37));
-        rng.shuffle(&mut order);
+        let order = self.epoch_order(epoch);
 
         let reads = Arc::new(AtomicU64::new(0));
         let bytes = Arc::new(AtomicU64::new(0));
@@ -223,6 +233,29 @@ mod tests {
             assert!(w[1].0 > w[0].0, "trace times must increase");
         }
         assert!(e.throughput.max_value() > 0.0);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn epoch_order_predicts_the_shuffle() {
+        let root = tmp("order");
+        let data = root.join("data");
+        make_dataset(&data);
+        let backend = RealBackend::Direct(PosixDriver::new("pfs", &data).unwrap());
+        let t = RealTrainer::new(backend, &data, PipelineConfig {
+            readers: 1,
+            chunk_bytes: 8 << 10,
+            prefetch_batches: 2,
+            seed: 42,
+            trace_interval_secs: None,
+        })
+        .unwrap();
+        // Deterministic, a permutation of the shard set, and epoch-varying.
+        assert_eq!(t.epoch_order(0), t.epoch_order(0));
+        let mut sorted = t.epoch_order(3);
+        sorted.sort();
+        assert_eq!(sorted, t.shards());
+        assert_ne!(t.epoch_order(0), t.epoch_order(1), "epochs share a shuffle");
         fs::remove_dir_all(&root).unwrap();
     }
 

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use monarch_core::config::{PolicyKind, TelemetryConfig};
 use monarch_core::driver::MemDriver;
-use monarch_core::hash::FxHashMap;
+use monarch_core::hash::{FxHashMap, FxHashSet};
 use monarch_core::hierarchy::StorageHierarchy;
 use monarch_core::metadata::{MetadataContainer, PlacementState};
 use monarch_core::placement::{FirstFit, LruEvict, PlacementPolicy, RoundRobin};
@@ -103,8 +103,33 @@ struct MonarchSim {
     policy: Arc<dyn PlacementPolicy>,
     /// Tier id → device index.
     tier_dev: Vec<usize>,
-    /// Shards waiting for a copy worker.
+    /// Shards waiting for a copy worker (demand lane — always drained
+    /// before the prefetch lane).
     copy_queue: VecDeque<usize>,
+    /// Shards staged by the clairvoyant prefetcher, awaiting a worker
+    /// (low-priority lane; a foreground read of a queued shard promotes
+    /// it to the demand lane instead of duplicating the copy).
+    prefetch_queue: VecDeque<usize>,
+    /// Clairvoyant lookahead (0 = reactive only).
+    prefetch_lookahead: usize,
+    /// This epoch's access plan: shard ids in foreground read order.
+    plan: Vec<usize>,
+    /// Shard id → plan index.
+    plan_pos: FxHashMap<usize, usize>,
+    /// One past the furthest plan entry a reader has started.
+    plan_cursor: usize,
+    /// Next plan index the prefetcher considers issuing.
+    plan_issued: usize,
+    /// Prefetch-issued shards → whether a foreground read reached them.
+    prefetch_issued: FxHashMap<usize, bool>,
+    /// Readers parked on a planned shard whose staged copy is in flight:
+    /// the clairvoyant contract serves such reads from the copy when it
+    /// lands rather than double-reading the shard from the PFS.
+    waiting_readers: FxHashMap<usize, Vec<usize>>,
+    /// Shards whose staging fetch has landed in memory but whose tier
+    /// write-back is still draining: a foreground read is served straight
+    /// from the copy's buffer, costing no device time.
+    buffer_ready: FxHashSet<usize>,
     idle_workers: usize,
     /// Configured pool size (fetch-slot count and write-stage bound).
     pool_threads: usize,
@@ -355,6 +380,15 @@ impl World {
                     policy,
                     tier_dev,
                     copy_queue: VecDeque::new(),
+                    prefetch_queue: VecDeque::new(),
+                    prefetch_lookahead: cfg.prefetch_lookahead,
+                    plan: Vec::new(),
+                    plan_pos: FxHashMap::default(),
+                    plan_cursor: 0,
+                    plan_issued: 0,
+                    prefetch_issued: FxHashMap::default(),
+                    waiting_readers: FxHashMap::default(),
+                    buffer_ready: FxHashSet::default(),
                     idle_workers: cfg.pool_threads.max(1),
                     pool_threads: cfg.pool_threads.max(1),
                     pending_copy_writes: 0,
@@ -669,8 +703,23 @@ impl World {
             r.done = false;
         }
         let n = self.readers.len();
-        for (i, shard) in order.into_iter().enumerate() {
+        for (i, &shard) in order.iter().enumerate() {
             self.readers[i % n].pending.push_back(shard);
+        }
+        // Clairvoyant mode: the shuffled order *is* the epoch's access
+        // plan — hand it to the prefetcher before the readers start.
+        if let Some(ms) = self.monarch.as_mut() {
+            if ms.prefetch_lookahead > 0 {
+                ms.plan_pos = order.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+                ms.plan = order;
+                ms.plan_cursor = 0;
+                ms.plan_issued = 0;
+                ms.prefetch_queue.clear();
+                ms.prefetch_issued.clear();
+                ms.waiting_readers.clear();
+                ms.buffer_ready.clear();
+                self.pump_prefetch(now);
+            }
         }
         for r in 0..n {
             self.reader_advance(now, r);
@@ -749,6 +798,22 @@ impl World {
                 let info = ms.meta.lookup_for_read(name).expect("shard registered");
                 ms.policy.on_access(name, info.tier);
                 let dev = ms.tier_dev[info.tier];
+                // Demand preemption: a foreground read of a shard still
+                // sitting in the prefetch lane moves it to the demand lane
+                // — one copy, higher priority, no duplicate.
+                let mut promoted = false;
+                if ms.prefetch_lookahead > 0 {
+                    if let Some(pos) = ms.prefetch_queue.iter().position(|&s| s == shard) {
+                        ms.prefetch_queue.remove(pos);
+                        ms.copy_queue.push_back(shard);
+                        ms.telemetry.stats().prefetch_promote();
+                        ms.telemetry.event_at(
+                            vmicros(now),
+                            EventKind::PrefetchPromoted { file: name.clone() },
+                        );
+                        promoted = true;
+                    }
+                }
                 if info.state == PlacementState::Unplaced {
                     if ms.full_fetch {
                         if ms.meta.begin_copy(name, 0).unwrap_or(false) {
@@ -833,6 +898,11 @@ impl World {
                         }
                     }
                 }
+                if promoted {
+                    // The promoted copy may be a parked reader's wake-up
+                    // call: make sure an idle worker picks it up now.
+                    self.dispatch_copy_workers(now);
+                }
                 dev
             }
         }
@@ -878,6 +948,20 @@ impl World {
                 // A freshly started shard served by Lustre pays an MDS
                 // open before its first chunk.
                 let dev = self.route_chunk(now, r, next);
+                self.prefetch_note_read(now, next);
+                // Clairvoyant interception, in precedence order: a shard
+                // whose staged fetch already landed in memory is consumed
+                // from the copy buffer outright; one whose copy is still
+                // in flight parks the reader until the fetch completes —
+                // either way the read never races a duplicate synchronous
+                // fetch against its own staging copy over the PFS.
+                if self.clairvoyant_buffer_serve(now, r, next) {
+                    self.reader_advance(now, r);
+                    return;
+                }
+                if self.prefetch_park(r, next) {
+                    return;
+                }
                 if dev == self.lustre {
                     let done = self.mds.submit(now, &mut self.rng);
                     self.readers[r].inflight = true;
@@ -1100,12 +1184,38 @@ impl World {
                 );
                 self.purpose.insert((to, id.0), Purpose::CopyWrite { shard });
                 self.dispatch_copy_workers(now);
+                // The fetch stage moved the shard into memory: mark it
+                // buffer-ready and serve any parked readers out of the
+                // copy's buffer while the write-back drains.
+                let released = {
+                    let ms = self.monarch.as_mut().expect("monarch");
+                    if ms.prefetch_lookahead > 0 {
+                        ms.buffer_ready.insert(shard);
+                    }
+                    ms.waiting_readers.remove(&shard).unwrap_or_default()
+                };
+                if !released.is_empty() {
+                    let ms = self.monarch.as_mut().expect("monarch");
+                    if ms.prefetch_issued.contains_key(&shard) {
+                        ms.telemetry.stats().prefetch_hit();
+                    }
+                    for &r in &released {
+                        self.readers[r].inflight = false;
+                        self.serve_from_buffer(now, r, shard);
+                    }
+                    for r in released {
+                        self.reader_advance(now, r);
+                    }
+                }
             }
             Purpose::CopyWrite { shard } => {
                 let name = self.shard_names[shard].clone();
                 let size = self.geom.shards[shard].bytes;
                 let ms = self.monarch.as_mut().expect("monarch");
                 let tier = ms.copy_target.remove(&shard).expect("copy target");
+                // Write-back drained: the copy buffer is gone; later reads
+                // of this shard go through the tier device as normal.
+                ms.buffer_ready.remove(&shard);
                 ms.meta.finish_copy(&name, tier).expect("finish copy");
                 ms.policy.on_placed(&name, size, tier);
                 ms.pending_copy_writes -= 1;
@@ -1219,6 +1329,144 @@ impl World {
         }
     }
 
+    // -- MONARCH clairvoyant prefetch ----------------------------------------
+
+    /// Advance the foreground read cursor past `shard`, count a prefetch
+    /// hit when a staged shard is read from a local tier, and let the
+    /// prefetcher issue further plan entries the cursor unlocked.
+    fn prefetch_note_read(&mut self, now: SimTime, shard: usize) {
+        {
+            let Some(ms) = self.monarch.as_mut() else { return };
+            if ms.prefetch_lookahead == 0 {
+                return;
+            }
+            if let Some(&pos) = ms.plan_pos.get(&shard) {
+                ms.plan_cursor = ms.plan_cursor.max(pos + 1);
+            }
+            let source = ms.tier_dev.len() - 1;
+            if let Some(read_seen) = ms.prefetch_issued.get_mut(&shard) {
+                if !*read_seen {
+                    *read_seen = true;
+                    if let Some(info) = ms.meta.get(&self.shard_names[shard]) {
+                        if info.tier != source && info.state == PlacementState::Placed {
+                            ms.telemetry.stats().prefetch_hit();
+                        }
+                    }
+                }
+            }
+        }
+        self.pump_prefetch(now);
+    }
+
+    /// Park reader `r` at the head of `shard` when a prefetch-issued copy
+    /// of it is still streaming in from the PFS: the reader is woken by
+    /// that fetch's completion and served from the copy's buffer, instead
+    /// of double-reading the shard synchronously from the PFS while the
+    /// bulk copy streams the same bytes. Reactive mode (`lookahead == 0`)
+    /// never parks, and neither do shards the prefetcher did not issue —
+    /// demand copies keep today's read-through behaviour byte for byte.
+    fn prefetch_park(&mut self, r: usize, shard: usize) -> bool {
+        let name = &self.shard_names[shard];
+        let parked = match self.monarch.as_mut() {
+            Some(ms)
+                if ms.prefetch_lookahead > 0
+                    && ms.prefetch_issued.contains_key(&shard)
+                    && !ms.buffer_ready.contains(&shard) =>
+            {
+                let copying = matches!(
+                    ms.meta.get(name),
+                    Some(info) if matches!(info.state, PlacementState::Copying { .. })
+                );
+                if copying {
+                    ms.waiting_readers.entry(shard).or_default().push(r);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        };
+        if parked {
+            self.readers[r].inflight = true;
+        }
+        parked
+    }
+
+    /// Serve the whole of `shard` to reader `r` when its staged fetch has
+    /// already landed in memory (write-back still draining). Counts as a
+    /// prefetch hit. Returns false when the shard is not buffer-ready.
+    fn clairvoyant_buffer_serve(&mut self, now: SimTime, r: usize, shard: usize) -> bool {
+        let hit = match self.monarch.as_mut() {
+            Some(ms)
+                if ms.prefetch_lookahead > 0
+                    && ms.prefetch_issued.contains_key(&shard)
+                    && ms.buffer_ready.contains(&shard) =>
+            {
+                ms.telemetry.stats().prefetch_hit();
+                true
+            }
+            _ => false,
+        };
+        if hit {
+            self.serve_from_buffer(now, r, shard);
+        }
+        hit
+    }
+
+    /// Consume `shard` straight out of the staging copy's in-memory
+    /// buffer: the placement fetch already moved the bytes into RAM, so
+    /// the foreground read costs no further device time — only the
+    /// trainer's own consumption rate.
+    fn serve_from_buffer(&mut self, now: SimTime, r: usize, shard: usize) {
+        let bytes = self.geom.shards[shard].bytes;
+        if let Some(ms) = self.monarch.as_ref() {
+            if let Some(&tier) = ms.copy_target.get(&shard) {
+                ms.telemetry.stats().record_read(tier, bytes);
+            }
+        }
+        self.readers[r].cur = Some((shard, bytes));
+        self.buffered_samples += bytes as f64 * self.samples_per_byte[shard];
+        self.try_start_compute(now);
+    }
+
+    /// Issue plan entries into the prefetch lane up to `cursor +
+    /// lookahead`. Entries already copying or placed resolve silently
+    /// (their `begin_copy` CAS fails).
+    fn pump_prefetch(&mut self, now: SimTime) {
+        let mut scheduled = false;
+        {
+            let ms = self.monarch.as_mut().expect("monarch");
+            if ms.prefetch_lookahead == 0 {
+                return;
+            }
+            while ms.plan_issued < ms.plan.len()
+                && ms.plan_issued < ms.plan_cursor + ms.prefetch_lookahead
+            {
+                let shard = ms.plan[ms.plan_issued];
+                ms.plan_issued += 1;
+                let name = &self.shard_names[shard];
+                if ms.meta.begin_copy(name, 0).unwrap_or(false) {
+                    ms.prefetch_queue.push_back(shard);
+                    ms.copy_enqueued.insert(shard, now);
+                    ms.prefetch_issued.insert(shard, false);
+                    ms.telemetry.stats().copy_scheduled();
+                    ms.telemetry.stats().prefetch_scheduled();
+                    ms.telemetry.event_at(
+                        vmicros(now),
+                        EventKind::PrefetchScheduled {
+                            file: name.clone(),
+                            bytes: self.geom.shards[shard].bytes,
+                        },
+                    );
+                    scheduled = true;
+                }
+            }
+        }
+        if scheduled {
+            self.dispatch_copy_workers(now);
+        }
+    }
+
     // -- MONARCH copy pool ---------------------------------------------------
 
     fn dispatch_copy_workers(&mut self, now: SimTime) {
@@ -1227,7 +1475,13 @@ impl World {
             if ms.idle_workers == 0 || ms.pending_copy_writes >= 2 * ms.pool_threads {
                 return;
             }
-            let Some(shard) = ms.copy_queue.pop_front() else { return };
+            let (shard, prefetch_lane) = match ms.copy_queue.pop_front() {
+                Some(s) => (s, false),
+                None => match ms.prefetch_queue.pop_front() {
+                    Some(s) => (s, true),
+                    None => return,
+                },
+            };
             let name = self.shard_names[shard].clone();
             let size = self.geom.shards[shard].bytes;
             match ms.policy.place(&ms.hierarchy, &name, size) {
@@ -1281,11 +1535,27 @@ impl World {
                             },
                         );
                         let _ = ms.meta.abort_copy(&name, true);
+                        // A parked reader must not wait on a copy that
+                        // will never land: fall back to reading through.
+                        ms.prefetch_issued.remove(&shard);
+                        if let Some(stranded) = ms.waiting_readers.remove(&shard) {
+                            for &r in &stranded {
+                                self.readers[r].inflight = false;
+                            }
+                            for r in stranded {
+                                self.reader_advance(now, r);
+                            }
+                        }
                         continue;
                     }
                     let queued_at = ms.copy_enqueued.remove(&shard);
                     if let Some(at) = queued_at {
-                        ms.telemetry.queue_wait().record(vnanos(now - at));
+                        let wait = vnanos(now - at);
+                        if prefetch_lane {
+                            ms.telemetry.queue_wait_prefetch().record(wait);
+                        } else {
+                            ms.telemetry.queue_wait().record(wait);
+                        }
                     }
                     ms.copy_started.insert(shard, now);
                     ms.telemetry.event_at(
@@ -1376,6 +1646,15 @@ impl World {
                         },
                     );
                     let _ = ms.meta.abort_copy(&name, true);
+                    ms.prefetch_issued.remove(&shard);
+                    if let Some(stranded) = ms.waiting_readers.remove(&shard) {
+                        for &r in &stranded {
+                            self.readers[r].inflight = false;
+                        }
+                        for r in stranded {
+                            self.reader_advance(now, r);
+                        }
+                    }
                 }
                 Err(_) => unreachable!("sim policies are infallible"),
             }

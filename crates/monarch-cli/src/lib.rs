@@ -35,7 +35,8 @@ pub enum Command {
         /// Path to a `MonarchConfig` JSON file.
         config: PathBuf,
     },
-    /// Stream the dataset through the middleware for N epochs.
+    /// Stream the dataset through the middleware for N epochs
+    /// (subcommand `epoch`, alias `run`).
     Epoch {
         /// Path to a `MonarchConfig` JSON file.
         config: PathBuf,
@@ -47,6 +48,10 @@ pub enum Command {
         chunk: u64,
         /// Number of epochs.
         epochs: usize,
+        /// Clairvoyant prefetch lookahead override: submit each epoch's
+        /// shard order as an access plan and stage that many files ahead
+        /// of the read cursor (`0` = use the config file's setting).
+        prefetch: usize,
     },
     /// Render the telemetry registry (same registry the FFI exposes via
     /// `monarch_metrics_text`).
@@ -96,7 +101,7 @@ impl Command {
          monarch gen-dataset --dir DIR --bytes N --samples N [--seed N]\n  \
          monarch stage       --config CFG.json [--policy first_fit|lru_evict|round_robin]\n  \
          monarch inspect     --config CFG.json\n  \
-         monarch epoch       --config CFG.json --data DIR [--readers N] [--chunk BYTES] [--epochs N]\n  \
+         monarch epoch|run   --config CFG.json --data DIR [--readers N] [--chunk BYTES] [--epochs N] [--prefetch N]\n  \
          monarch metrics     --config CFG.json [--format text|json] [--watch SECS]\n  \
          monarch trace       --config CFG.json --data DIR --out TRACE.json [--readers N] [--chunk BYTES] [--duration SECS] [--sample N]"
     }
@@ -149,12 +154,13 @@ impl Command {
                 },
             }),
             "inspect" => Ok(Command::Inspect { config: PathBuf::from(get("config")?) }),
-            "epoch" => Ok(Command::Epoch {
+            "epoch" | "run" => Ok(Command::Epoch {
                 config: PathBuf::from(get("config")?),
                 data: PathBuf::from(get("data")?),
                 readers: get_u64("readers", Some(8))? as usize,
                 chunk: get_u64("chunk", Some(256 << 10))?,
                 epochs: get_u64("epochs", Some(3))? as usize,
+                prefetch: get_u64("prefetch", Some(0))? as usize,
             }),
             "metrics" => Ok(Command::Metrics {
                 config: PathBuf::from(get("config")?),
@@ -199,13 +205,20 @@ impl Command {
 }
 
 /// Load a `MonarchConfig` from a JSON file, optionally overriding the
-/// policy, and build + init the middleware.
-fn load_monarch(config: &PathBuf, policy: Option<PolicyKind>) -> Result<Monarch, String> {
+/// policy and the prefetch lookahead, and build + init the middleware.
+fn load_monarch(
+    config: &PathBuf,
+    policy: Option<PolicyKind>,
+    prefetch: Option<usize>,
+) -> Result<Monarch, String> {
     let json = std::fs::read_to_string(config)
         .map_err(|e| format!("read {}: {e}", config.display()))?;
     let mut cfg = MonarchConfig::from_json(&json).map_err(|e| format!("parse config: {e}"))?;
     if let Some(p) = policy {
         cfg.policy = p;
+    }
+    if let Some(n) = prefetch {
+        cfg.prefetch_lookahead = n;
     }
     let m = Monarch::new(cfg).map_err(|e| format!("build middleware: {e}"))?;
     let report = m.init().map_err(|e| format!("namespace scan: {e}"))?;
@@ -234,7 +247,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Stage { config, policy } => {
-            let m = load_monarch(&config, policy)?;
+            let m = load_monarch(&config, policy, None)?;
             let scheduled = m.prestage();
             m.wait_placement_idle();
             let stats = m.stats();
@@ -247,7 +260,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Inspect { config } => {
-            let m = load_monarch(&config, None)?;
+            let m = load_monarch(&config, None, None)?;
             for tier in m.hierarchy().tiers() {
                 match tier.quota.as_ref() {
                     Some(q) => println!(
@@ -266,8 +279,12 @@ pub fn run(cmd: Command) -> Result<(), String> {
             );
             Ok(())
         }
-        Command::Epoch { config, data, readers, chunk, epochs } => {
-            let m = std::sync::Arc::new(load_monarch(&config, None)?);
+        Command::Epoch { config, data, readers, chunk, epochs, prefetch } => {
+            let m = std::sync::Arc::new(load_monarch(
+                &config,
+                None,
+                (prefetch > 0).then_some(prefetch),
+            )?);
             let trainer = RealTrainer::new(
                 RealBackend::Monarch(std::sync::Arc::clone(&m)),
                 &data,
@@ -276,13 +293,18 @@ pub fn run(cmd: Command) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
             for epoch in 0..epochs {
                 let before = m.stats();
+                // The trainer's shuffle is seeded, so the upcoming shard
+                // order is known exactly: hand it to the middleware as a
+                // clairvoyant access plan (no-op when prefetch is off).
+                let plan = monarch_core::AccessPlan::new(trainer.epoch_order(epoch));
+                let admitted = m.submit_plan(&plan);
                 let e = trainer.run_epoch(epoch).map_err(|e| e.to_string())?;
                 m.wait_placement_idle();
                 let after = m.stats();
                 let local =
                     after.local_reads().saturating_sub(before.local_reads());
                 let pfs = after.pfs_reads().saturating_sub(before.pfs_reads());
-                println!(
+                print!(
                     "epoch {}: {:.2}s, {} chunk reads ({:.1} MiB) — local {} / pfs {}",
                     epoch + 1,
                     e.seconds,
@@ -291,6 +313,16 @@ pub fn run(cmd: Command) -> Result<(), String> {
                     local,
                     pfs
                 );
+                if admitted > 0 {
+                    println!(
+                        " — prefetch: {} staged, {} hits, {} promoted",
+                        after.prefetches_scheduled - before.prefetches_scheduled,
+                        after.prefetch_hits - before.prefetch_hits,
+                        after.prefetch_promoted - before.prefetch_promoted
+                    );
+                } else {
+                    println!();
+                }
             }
             println!(
                 "final stats: {}",
@@ -299,7 +331,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Metrics { config, format, watch } => {
-            let m = load_monarch(&config, None)?;
+            let m = load_monarch(&config, None, None)?;
             let render = |m: &Monarch| -> Result<String, String> {
                 match format {
                     MetricsFormat::Text => Ok(m.metrics_text()),
@@ -426,9 +458,28 @@ mod tests {
                 data: PathBuf::from("/d"),
                 readers: 8,
                 chunk: 256 << 10,
-                epochs: 3
+                epochs: 3,
+                prefetch: 0
             }
         );
+    }
+
+    #[test]
+    fn run_is_an_epoch_alias_with_prefetch() {
+        let cmd =
+            parse(&["run", "--config", "c.json", "--data", "/d", "--prefetch", "16"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Epoch {
+                config: PathBuf::from("c.json"),
+                data: PathBuf::from("/d"),
+                readers: 8,
+                chunk: 256 << 10,
+                epochs: 3,
+                prefetch: 16
+            }
+        );
+        assert!(parse(&["run", "--config", "c", "--data", "/d", "--prefetch", "x"]).is_err());
     }
 
     #[test]
@@ -548,10 +599,21 @@ mod tests {
         run(Command::Inspect { config: cfg_path.clone() }).unwrap();
         run(Command::Epoch {
             config: cfg_path.clone(),
-            data,
+            data: data.clone(),
             readers: 2,
             chunk: 8 << 10,
             epochs: 2,
+            prefetch: 0,
+        })
+        .unwrap();
+        // The `run --prefetch` path: plan-driven staging over the same data.
+        run(Command::Epoch {
+            config: cfg_path.clone(),
+            data,
+            readers: 2,
+            chunk: 8 << 10,
+            epochs: 1,
+            prefetch: 8,
         })
         .unwrap();
         // One-shot metrics renders in both formats against the same config.

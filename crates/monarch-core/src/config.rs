@@ -141,10 +141,26 @@ pub struct MonarchConfig {
     /// Telemetry recording knobs.
     #[serde(default)]
     pub telemetry: TelemetryConfig,
+    /// Clairvoyant prefetch: how many access-plan entries past the
+    /// foreground read cursor may have copies in flight. 0 — the default —
+    /// disables prefetching; submitted plans are ignored and behaviour is
+    /// identical to reactive placement.
+    #[serde(default)]
+    pub prefetch_lookahead: usize,
+    /// Cap on the summed size of issued-but-unfinished prefetch copies
+    /// (backpressure so prefetch cannot flood the copy pool). 0 means
+    /// unbounded; the default is 256 MiB. Only meaningful when
+    /// `prefetch_lookahead > 0`.
+    #[serde(default = "default_prefetch_max_inflight_bytes")]
+    pub prefetch_max_inflight_bytes: u64,
 }
 
 fn default_pool_threads() -> usize {
     6
+}
+
+fn default_prefetch_max_inflight_bytes() -> u64 {
+    256 << 20
 }
 
 fn default_true() -> bool {
@@ -186,6 +202,8 @@ pub struct MonarchConfigBuilder {
     policy: PolicyKind,
     full_file_fetch: Option<bool>,
     telemetry: Option<TelemetryConfig>,
+    prefetch_lookahead: Option<usize>,
+    prefetch_max_inflight_bytes: Option<u64>,
 }
 
 impl MonarchConfigBuilder {
@@ -224,6 +242,21 @@ impl MonarchConfigBuilder {
         self
     }
 
+    /// Clairvoyant prefetch lookahead (plan entries past the read cursor;
+    /// 0 disables prefetching).
+    #[must_use]
+    pub fn prefetch_lookahead(mut self, n: usize) -> Self {
+        self.prefetch_lookahead = Some(n);
+        self
+    }
+
+    /// Cap on in-flight prefetch copy bytes (0 = unbounded).
+    #[must_use]
+    pub fn prefetch_max_inflight_bytes(mut self, bytes: u64) -> Self {
+        self.prefetch_max_inflight_bytes = Some(bytes);
+        self
+    }
+
     /// Finish building.
     #[must_use]
     pub fn build(self) -> MonarchConfig {
@@ -233,6 +266,10 @@ impl MonarchConfigBuilder {
             policy: self.policy,
             full_file_fetch: self.full_file_fetch.unwrap_or(true),
             telemetry: self.telemetry.unwrap_or_default(),
+            prefetch_lookahead: self.prefetch_lookahead.unwrap_or(0),
+            prefetch_max_inflight_bytes: self
+                .prefetch_max_inflight_bytes
+                .unwrap_or_else(default_prefetch_max_inflight_bytes),
         }
     }
 }
@@ -251,6 +288,33 @@ mod tests {
         assert_eq!(cfg.policy, PolicyKind::FirstFit);
         assert!(cfg.full_file_fetch);
         assert_eq!(cfg.tiers.len(), 2);
+        assert_eq!(cfg.prefetch_lookahead, 0, "prefetch is opt-in");
+        assert_eq!(cfg.prefetch_max_inflight_bytes, 256 << 20);
+    }
+
+    #[test]
+    fn prefetch_knobs_build_and_parse() {
+        let cfg = MonarchConfig::builder()
+            .tier(TierConfig::mem("ssd").with_capacity(100))
+            .tier(TierConfig::mem("pfs"))
+            .prefetch_lookahead(32)
+            .prefetch_max_inflight_bytes(64 << 20)
+            .build();
+        assert_eq!(cfg.prefetch_lookahead, 32);
+        assert_eq!(cfg.prefetch_max_inflight_bytes, 64 << 20);
+        let back = MonarchConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(cfg, back);
+
+        let json = r#"{
+            "tiers": [
+                {"name": "ssd", "backend": "mem", "capacity": 10},
+                {"name": "pfs", "backend": "mem"}
+            ],
+            "prefetch_lookahead": 8
+        }"#;
+        let cfg = MonarchConfig::from_json(json).unwrap();
+        assert_eq!(cfg.prefetch_lookahead, 8);
+        assert_eq!(cfg.prefetch_max_inflight_bytes, 256 << 20, "default cap applies");
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod metadata;
 pub mod middleware;
 pub mod placement;
 pub mod pool;
+pub mod prefetch;
 pub mod stats;
 pub mod telemetry;
 pub mod trace;
@@ -62,6 +63,7 @@ pub use hierarchy::{StorageHierarchy, Tier, TierId};
 pub use metadata::MetadataContainer;
 pub use middleware::{InitReport, Monarch};
 pub use placement::{PlacementDecision, PlacementPolicy};
+pub use prefetch::{AccessPlan, PrefetchConfig, PrefetchWindow};
 pub use stats::{Stats, StatsSnapshot};
 pub use telemetry::{
     Event, EventJournal, EventKind, HistogramSnapshot, LatencyHistogram, TelemetryRegistry,

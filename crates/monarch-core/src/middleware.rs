@@ -21,12 +21,15 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::Mutex;
+
 use crate::config::{BackendKind, MonarchConfig, PolicyKind, TelemetryConfig};
 use crate::driver::{MemDriver, PosixDriver, StorageDriver, TimedDriver};
 use crate::hierarchy::{StorageHierarchy, TierId};
 use crate::metadata::{MetadataContainer, PlacementState};
 use crate::placement::{FirstFit, LruEvict, PlacementPolicy, RoundRobin};
-use crate::pool::{TaskCtx, ThreadPool};
+use crate::pool::{Lane, TaskCtx, ThreadPool};
+use crate::prefetch::{AccessPlan, PrefetchConfig, PrefetchWindow};
 use crate::stats::{Stats, StatsSnapshot};
 use crate::telemetry::{EventKind, TelemetryRegistry, TelemetrySnapshot};
 use crate::trace::{names, FlowPhase, SpanRecord, QUEUE_TRACK};
@@ -53,6 +56,17 @@ pub struct Monarch {
     telemetry: Arc<TelemetryRegistry>,
     full_file_fetch: bool,
     shutting_down: Arc<AtomicBool>,
+    /// Clairvoyant prefetcher — present only when `prefetch_lookahead > 0`,
+    /// so a disabled configuration takes zero extra branches on the read
+    /// path beyond one `Option` check.
+    prefetch: Option<PrefetchEngine>,
+}
+
+/// Runtime state of the clairvoyant prefetcher: the knobs plus the window
+/// over the currently submitted access plan (`None` until a plan arrives).
+struct PrefetchEngine {
+    cfg: PrefetchConfig,
+    window: Mutex<Option<PrefetchWindow>>,
 }
 
 impl Monarch {
@@ -76,12 +90,17 @@ impl Monarch {
             PolicyKind::RoundRobin => Arc::new(RoundRobin::default()),
             PolicyKind::LruEvict => Arc::new(LruEvict::new()),
         };
+        let prefetch = PrefetchConfig {
+            lookahead: config.prefetch_lookahead,
+            max_inflight_bytes: config.prefetch_max_inflight_bytes,
+        };
         Ok(Self::assemble(
             hierarchy,
             policy,
             config.pool_threads,
             config.full_file_fetch,
             config.telemetry,
+            prefetch,
         ))
     }
 
@@ -95,7 +114,14 @@ impl Monarch {
         pool_threads: usize,
         full_file_fetch: bool,
     ) -> Self {
-        Self::assemble(hierarchy, policy, pool_threads, full_file_fetch, TelemetryConfig::default())
+        Self::assemble(
+            hierarchy,
+            policy,
+            pool_threads,
+            full_file_fetch,
+            TelemetryConfig::default(),
+            PrefetchConfig::disabled(),
+        )
     }
 
     /// [`Monarch::with_parts`] with explicit telemetry configuration —
@@ -109,7 +135,29 @@ impl Monarch {
         full_file_fetch: bool,
         telemetry: TelemetryConfig,
     ) -> Self {
-        Self::assemble(hierarchy, policy, pool_threads, full_file_fetch, telemetry)
+        Self::assemble(
+            hierarchy,
+            policy,
+            pool_threads,
+            full_file_fetch,
+            telemetry,
+            PrefetchConfig::disabled(),
+        )
+    }
+
+    /// [`Monarch::with_parts_telemetry`] with clairvoyant prefetching
+    /// enabled (tests and benches; production goes through
+    /// [`Monarch::new`] and the config knobs).
+    #[must_use]
+    pub fn with_parts_prefetch(
+        hierarchy: StorageHierarchy,
+        policy: Arc<dyn PlacementPolicy>,
+        pool_threads: usize,
+        full_file_fetch: bool,
+        telemetry: TelemetryConfig,
+        prefetch: PrefetchConfig,
+    ) -> Self {
+        Self::assemble(hierarchy, policy, pool_threads, full_file_fetch, telemetry, prefetch)
     }
 
     fn assemble(
@@ -118,6 +166,7 @@ impl Monarch {
         pool_threads: usize,
         full_file_fetch: bool,
         tcfg: TelemetryConfig,
+        pf: PrefetchConfig,
     ) -> Self {
         let stats = Arc::new(Stats::new(hierarchy.levels()));
         let tier_names: Vec<String> =
@@ -137,6 +186,7 @@ impl Monarch {
             ThreadPool::with_telemetry(
                 pool_threads,
                 Arc::clone(telemetry.queue_wait()),
+                Arc::clone(telemetry.queue_wait_prefetch()),
                 Arc::clone(telemetry.pool_exec()),
             )
         } else {
@@ -168,6 +218,7 @@ impl Monarch {
             telemetry,
             full_file_fetch,
             shutting_down: Arc::new(AtomicBool::new(false)),
+            prefetch: pf.enabled().then(|| PrefetchEngine { cfg: pf, window: Mutex::new(None) }),
         }
     }
 
@@ -241,6 +292,13 @@ impl Monarch {
                 }
             }
         }
+        // Clairvoyant bookkeeping: advance the plan cursor past this file,
+        // count a hit, upgrade a still-queued prefetch copy to the demand
+        // lane, and release more of the plan to the prefetcher.
+        let prefetch_flow = match &self.prefetch {
+            Some(engine) => self.prefetch_note_read(engine, file, info.tier),
+            None => 0,
+        };
         if sampled {
             let tid = tr.register_current_thread();
             tr.record(
@@ -266,14 +324,20 @@ impl Monarch {
                 pread = pread.with_flow(flow, FlowPhase::Start);
             }
             tr.record(pread);
-            tr.record(
+            let mut read_span =
                 SpanRecord::new(names::READ, "read", tid, t0, self.telemetry.now_micros() - t0)
                     .with_id(read_id)
                     .with_parent(parent)
                     .arg_str("file", file)
                     .arg_u64("offset", offset)
-                    .arg_u64("bytes", n as u64),
-            );
+                    .arg_u64("bytes", n as u64);
+            // Point the read back at the prefetch copy that staged (or is
+            // staging) its file — the clairvoyant analogue of the
+            // demand-path flow arrow.
+            if prefetch_flow != 0 {
+                read_span = read_span.arg_u64("prefetch_flow", prefetch_flow);
+            }
+            tr.record(read_span);
         }
         Ok(n)
     }
@@ -427,6 +491,226 @@ impl Monarch {
         scheduled
     }
 
+    /// Submit the access plan for the upcoming epoch — the ordered file
+    /// sequence of the framework's (seeded) shuffle. The prefetcher stages
+    /// plan entries ahead of the foreground read cursor, at most
+    /// `prefetch_lookahead` positions ahead and within the in-flight byte
+    /// budget, on the pool's low-priority prefetch lane.
+    ///
+    /// A previously submitted plan is canceled first (queued prefetch
+    /// copies are withdrawn; running ones finish). Names missing from the
+    /// metadata namespace are dropped. Returns the number of admitted
+    /// (known, deduplicated) entries — `0` when prefetching is disabled
+    /// (`prefetch_lookahead == 0`), in which case this is a no-op.
+    pub fn submit_plan(&self, plan: &AccessPlan) -> usize {
+        let Some(engine) = &self.prefetch else { return 0 };
+        self.cancel_window(engine);
+        let mut files = Vec::with_capacity(plan.len());
+        for name in plan.files() {
+            if let Some(info) = self.metadata.get(name) {
+                files.push((name.clone(), info.size));
+            }
+        }
+        let window = PrefetchWindow::new(files, engine.cfg);
+        let admitted = window.len();
+        *engine.window.lock() = Some(window);
+        let tr = self.telemetry.trace();
+        if tr.is_enabled() {
+            tr.record(
+                SpanRecord::new(
+                    names::PLAN_SUBMIT,
+                    "read",
+                    tr.register_current_thread(),
+                    self.telemetry.now_micros(),
+                    0,
+                )
+                .with_id(tr.next_id())
+                .arg_u64("entries", plan.len() as u64)
+                .arg_u64("admitted", admitted as u64),
+            );
+        }
+        self.pump_prefetch();
+        admitted
+    }
+
+    /// Cancel the current access plan: withdraw queued-but-unstarted
+    /// prefetch copies (their metadata reverts to `Unplaced`) and close the
+    /// window. Returns the number of withdrawn copies. Running copies are
+    /// not interrupted.
+    pub fn cancel_prefetch_plan(&self) -> usize {
+        match &self.prefetch {
+            Some(engine) => self.cancel_window(engine),
+            None => 0,
+        }
+    }
+
+    /// Tear down the current window (plan switch, explicit cancel, or
+    /// shutdown): pull queued prefetch jobs out of the pool, revert their
+    /// metadata, and settle hit/waste accounting for the closed plan.
+    fn cancel_window(&self, engine: &PrefetchEngine) -> usize {
+        let mut guard = engine.window.lock();
+        let Some(mut window) = guard.take() else { return 0 };
+        let canceled = self.pool.drain_prefetch();
+        let withdrawn = canceled.len();
+        for ctx in canceled {
+            let _ = self.metadata.abort_copy(&ctx.label, false);
+            self.stats.prefetch_cancel();
+            self.telemetry.event(EventKind::PrefetchCanceled { file: ctx.label.clone() });
+            window.resolve_by_name(&ctx.label);
+        }
+        // Wasted work: staged onto a local tier but never read before the
+        // plan closed. (Copies still running when the plan closes are in
+        // `Copying` and settle as neither hit nor waste.)
+        let source = self.hierarchy.source_id();
+        for (name, issued, read_seen) in window.drain() {
+            if issued && !read_seen {
+                if let Some(info) = self.metadata.get(&name) {
+                    if info.state == PlacementState::Placed && info.tier != source {
+                        self.stats.prefetch_wasted();
+                    }
+                }
+            }
+        }
+        withdrawn
+    }
+
+    /// Issue as much of the plan as the lookahead window and byte budget
+    /// allow. Runs inline on plan submission and after each foreground
+    /// read (the cursor advance is what releases more of the plan).
+    fn pump_prefetch(&self) {
+        let Some(engine) = &self.prefetch else { return };
+        loop {
+            let (idx, name, size) = {
+                let mut guard = engine.window.lock();
+                let Some(window) = guard.as_mut() else { return };
+                // Copies that left `Copying` (completed, skipped, failed,
+                // or reverted by the panic handler) release byte budget.
+                window.poll_resolved(|name| {
+                    !matches!(
+                        self.metadata.get(name),
+                        Some(crate::metadata::FileInfo {
+                            state: PlacementState::Copying { .. },
+                            ..
+                        })
+                    )
+                });
+                match window.next_to_issue() {
+                    Some(pick) => pick,
+                    None => return,
+                }
+            };
+            // Scheduling happens outside the window lock: it touches the
+            // metadata CAS, the journal, and the pool queue.
+            let flow = self.schedule_prefetch(&name, size);
+            let mut guard = engine.window.lock();
+            if let Some(window) = guard.as_mut() {
+                match flow {
+                    Some(f) => window.set_flow(idx, f),
+                    // Lost the CAS (a demand copy got there first, or the
+                    // file is already placed) or the pool refused: the
+                    // entry is settled, release its budget share.
+                    None => window.resolve(idx),
+                }
+            }
+        }
+    }
+
+    /// Schedule one prefetch copy on the low-priority lane. Returns the
+    /// trace flow id (`0` when tracing is off) on success, `None` when the
+    /// copy was not scheduled (placement already in progress or done, or
+    /// the pool is shutting down).
+    fn schedule_prefetch(&self, file: &str, size: u64) -> Option<u64> {
+        if self.shutting_down.load(Ordering::Acquire) {
+            return None;
+        }
+        match self.metadata.begin_copy(file, 0) {
+            Ok(true) => {}
+            _ => return None,
+        }
+        self.stats.copy_scheduled();
+        self.stats.prefetch_scheduled();
+        self.telemetry
+            .event(EventKind::PrefetchScheduled { file: file.to_string(), bytes: size });
+        let tr = self.telemetry.trace();
+        let traced = tr.is_enabled();
+        let flow = if traced { tr.next_id() } else { 0 };
+        let queued_us = if traced { self.telemetry.now_micros() } else { 0 };
+        if traced {
+            // Like prestage, the flow starts at the scheduling span (there
+            // is no foreground pread yet — the read it serves may be far in
+            // the future) and finishes at the background copy_exec.
+            tr.record(
+                SpanRecord::new(
+                    names::PREFETCH_SCHEDULED,
+                    "copy",
+                    tr.register_current_thread(),
+                    queued_us,
+                    0,
+                )
+                .with_id(tr.next_id())
+                .arg_str("file", file)
+                .arg_u64("bytes", size)
+                .with_flow(flow, FlowPhase::Start),
+            );
+        }
+        let ctx = PlacementCtx {
+            hierarchy: Arc::clone(&self.hierarchy),
+            metadata: Arc::clone(&self.metadata),
+            policy: Arc::clone(&self.policy),
+            stats: Arc::clone(&self.stats),
+            telemetry: Arc::clone(&self.telemetry),
+            shutting_down: Arc::clone(&self.shutting_down),
+            flow,
+            queued_us,
+        };
+        let owned = file.to_string();
+        let task_ctx = TaskCtx { label: file.to_string(), flow };
+        let submitted = self.pool.submit_on(
+            Lane::Prefetch,
+            Some(task_ctx),
+            Box::new(move || ctx.run(&owned, size, None)),
+        );
+        if !submitted {
+            let _ = self.metadata.abort_copy(file, false);
+            return None;
+        }
+        Some(flow)
+    }
+
+    /// Read-path prefetch bookkeeping. Returns the flow id of the prefetch
+    /// copy issued for this file (`0` if none / untraced) so the read span
+    /// can point back at it.
+    fn prefetch_note_read(&self, engine: &PrefetchEngine, file: &str, served: TierId) -> u64 {
+        let note = {
+            let mut guard = engine.window.lock();
+            let Some(window) = guard.as_mut() else { return 0 };
+            match window.on_read(file) {
+                Some(note) => note,
+                None => return 0,
+            }
+        };
+        let mut flow = 0;
+        if note.issued {
+            flow = note.flow;
+            if note.first_read && served != self.hierarchy.source_id() {
+                // The plan staged this file before its first read arrived.
+                self.stats.prefetch_hit();
+            }
+            if !note.resolved && self.pool.promote(file) {
+                // Dedup guard: the file's copy is still *queued* on the
+                // prefetch lane — upgrade that job's priority instead of
+                // letting the demand path wait behind unrelated prefetches
+                // (it cannot enqueue a duplicate: the metadata CAS is held
+                // by the queued job).
+                self.stats.prefetch_promote();
+                self.telemetry.event(EventKind::PrefetchPromoted { file: file.to_string() });
+            }
+        }
+        // The cursor moved: more of the plan may now be issued.
+        self.pump_prefetch();
+        flow
+    }
+
     /// Current statistics snapshot.
     #[must_use]
     pub fn stats(&self) -> StatsSnapshot {
@@ -483,10 +767,22 @@ impl Monarch {
         self.pool.threads()
     }
 
-    /// Stop accepting reads, drain in-flight copies, and join the pool.
+    /// Stop accepting reads, cancel queued prefetches, drain in-flight
+    /// copies, and join the pool. Worker threads that died outside the
+    /// per-task panic catch are counted in the returned snapshot
+    /// (`pool_join_failures`) and journaled, instead of being silently
+    /// discarded.
     pub fn shutdown(mut self) -> StatsSnapshot {
         self.shutting_down.store(true, Ordering::Release);
+        if let Some(engine) = &self.prefetch {
+            self.cancel_window(engine);
+        }
         self.pool.shutdown();
+        for _ in 0..self.pool.join_failures() {
+            self.stats.pool_join_failure();
+            self.telemetry
+                .event(EventKind::WorkerJoinFailed { file: "monarch-copy-worker".to_string() });
+        }
         self.stats.snapshot()
     }
 }
@@ -774,6 +1070,7 @@ mod tests {
     use super::*;
     use crate::config::TierConfig;
     use crate::driver::{FaultKind, FaultyDriver};
+    use parking_lot::Condvar;
 
     /// Monarch over two in-memory tiers with `n` files of `size` bytes
     /// staged on the "PFS".
@@ -1330,6 +1627,274 @@ mod tests {
         let info = m.metadata().get("f").unwrap();
         assert_eq!(info.state, PlacementState::Unplaced, "copy state reverted");
         assert_eq!(info.tier, 1, "file stays on the PFS");
+    }
+
+    /// Monarch with clairvoyant prefetching over two in-memory tiers with
+    /// `n` files of `size` bytes staged on the "PFS".
+    fn prefetch_monarch(local_cap: u64, n: usize, size: usize, cfg: PrefetchConfig) -> Monarch {
+        let pfs = MemDriver::new("pfs");
+        for i in 0..n {
+            pfs.insert(&format!("f{i:03}"), vec![i as u8; size]);
+        }
+        let hierarchy = StorageHierarchy::new(vec![
+            (
+                "ssd".into(),
+                Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
+                Some(local_cap),
+            ),
+            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
+        ])
+        .unwrap();
+        let m = Monarch::with_parts_prefetch(
+            hierarchy,
+            Arc::new(FirstFit),
+            2,
+            true,
+            TelemetryConfig::default(),
+            cfg,
+        );
+        m.init().unwrap();
+        m
+    }
+
+    fn plan_of(n: usize) -> AccessPlan {
+        AccessPlan::new((0..n).map(|i| format!("f{i:03}")).collect())
+    }
+
+    #[test]
+    fn full_plan_prefetch_stages_everything_before_first_read() {
+        let m = prefetch_monarch(
+            1 << 20,
+            6,
+            512,
+            PrefetchConfig { lookahead: 16, max_inflight_bytes: 0 },
+        );
+        assert_eq!(m.submit_plan(&plan_of(6)), 6);
+        m.wait_placement_idle();
+        let stats = m.stats();
+        assert_eq!(stats.prefetches_scheduled, 6);
+        assert_eq!(stats.copies_completed, 6);
+        // Epoch 1: every foreground read is a fast-tier hit.
+        for i in 0..6 {
+            let name = format!("f{i:03}");
+            assert_eq!(m.read_full(&name).unwrap(), vec![i as u8; 512]);
+        }
+        let stats = m.stats();
+        assert_eq!(stats.tiers[0].reads, 6, "all epoch-1 reads local");
+        assert_eq!(stats.tiers[1].reads, 6, "PFS saw only the staging fetches");
+        assert_eq!(stats.prefetch_hits, 6);
+        let events = m.telemetry().journal().events();
+        assert_eq!(events.iter().filter(|e| e.kind.tag() == "prefetch_scheduled").count(), 6);
+        // Everything was read: a clean shutdown reports no waste.
+        let stats = m.shutdown();
+        assert_eq!(stats.prefetch_wasted, 0);
+        assert_eq!(stats.pool_join_failures, 0);
+    }
+
+    #[test]
+    fn lookahead_bounds_how_far_prefetch_runs_ahead() {
+        let m = prefetch_monarch(
+            1 << 20,
+            8,
+            256,
+            PrefetchConfig { lookahead: 2, max_inflight_bytes: 0 },
+        );
+        assert_eq!(m.submit_plan(&plan_of(8)), 8);
+        m.wait_placement_idle();
+        // Cursor 0 + lookahead 2: only the first two entries may be staged.
+        assert_eq!(m.stats().copies_completed, 2);
+        // Each foreground read advances the cursor and releases one more.
+        m.read_full("f000").unwrap();
+        m.wait_placement_idle();
+        assert_eq!(m.stats().copies_completed, 3);
+        m.read_full("f001").unwrap();
+        m.wait_placement_idle();
+        assert_eq!(m.stats().copies_completed, 4);
+    }
+
+    /// A `MemDriver` whose `read_full` — the background copy's source fetch
+    /// — blocks until the gate opens. Foreground `read_at` is not gated, so
+    /// tests can pin a copy inside a pool worker while reads proceed.
+    struct GatedDriver {
+        inner: MemDriver,
+        open: Gate,
+    }
+
+    type Gate = Arc<(Mutex<bool>, Condvar)>;
+
+    impl GatedDriver {
+        fn new(inner: MemDriver) -> (Self, Gate) {
+            let open = Arc::new((Mutex::new(false), Condvar::new()));
+            (Self { inner, open: Arc::clone(&open) }, open)
+        }
+    }
+
+    fn open_gate(gate: &Gate) {
+        *gate.0.lock() = true;
+        gate.1.notify_all();
+    }
+
+    impl StorageDriver for GatedDriver {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn read_at(&self, file: &str, offset: u64, buf: &mut [u8]) -> Result<usize> {
+            self.inner.read_at(file, offset, buf)
+        }
+        fn read_full(&self, file: &str) -> Result<Vec<u8>> {
+            let (lock, cv) = &*self.open;
+            let mut open = lock.lock();
+            while !*open {
+                cv.wait(&mut open);
+            }
+            drop(open);
+            self.inner.read_full(file)
+        }
+        fn write_full(&self, file: &str, data: &[u8]) -> Result<()> {
+            self.inner.write_full(file, data)
+        }
+        fn remove(&self, file: &str) -> Result<()> {
+            self.inner.remove(file)
+        }
+        fn file_size(&self, file: &str) -> Result<u64> {
+            self.inner.file_size(file)
+        }
+        fn list(&self) -> Result<Vec<(String, u64)>> {
+            self.inner.list()
+        }
+    }
+
+    /// One worker, gated PFS: after `submit_plan` the first plan entry is
+    /// pinned inside the worker and the second is still queued on the
+    /// prefetch lane.
+    fn gated_prefetch_monarch(lookahead: usize) -> (Monarch, Gate) {
+        let pfs = MemDriver::new("pfs");
+        pfs.insert("f000", vec![0u8; 512]);
+        pfs.insert("f001", vec![1u8; 512]);
+        let (gated, gate) = GatedDriver::new(pfs);
+        let hierarchy = StorageHierarchy::new(vec![
+            (
+                "ssd".into(),
+                Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
+                Some(1 << 20),
+            ),
+            ("pfs".into(), Arc::new(gated) as Arc<dyn StorageDriver>, None),
+        ])
+        .unwrap();
+        let m = Monarch::with_parts_prefetch(
+            hierarchy,
+            Arc::new(FirstFit),
+            1,
+            true,
+            TelemetryConfig::default(),
+            PrefetchConfig { lookahead, max_inflight_bytes: 0 },
+        );
+        m.init().unwrap();
+        (m, gate)
+    }
+
+    #[test]
+    fn demand_read_promotes_queued_prefetch_instead_of_duplicating() {
+        // Regression (dedup guard): a demand read for a file whose prefetch
+        // copy is still queued must upgrade that job's lane, not schedule a
+        // second copy of the same file.
+        let (m, gate) = gated_prefetch_monarch(2);
+        assert_eq!(m.submit_plan(&plan_of(2)), 2);
+        assert_eq!(m.stats().prefetches_scheduled, 2);
+        // Foreground read of the *queued* entry (f001): the metadata CAS is
+        // held by the queued prefetch job, so the demand path cannot
+        // duplicate it — instead the job jumps to the demand lane.
+        let mut buf = [0u8; 64];
+        m.read("f001", 0, &mut buf).unwrap();
+        let stats = m.stats();
+        assert_eq!(stats.prefetch_promoted, 1, "queued job upgraded");
+        assert_eq!(stats.copies_scheduled, 2, "no duplicate copy for f001");
+        open_gate(&gate);
+        m.wait_placement_idle();
+        let stats = m.stats();
+        assert_eq!(stats.copies_completed, 2);
+        // f001's first read raced the copy (PFS-served): not a hit. f000
+        // is local by now, so its first read is one.
+        assert_eq!(stats.prefetch_hits, 0);
+        m.read("f000", 0, &mut buf).unwrap();
+        assert_eq!(m.stats().prefetch_hits, 1);
+        let events = m.telemetry().journal().events();
+        let promoted: Vec<_> =
+            events.iter().filter(|e| e.kind.tag() == "prefetch_promoted").collect();
+        assert_eq!(promoted.len(), 1);
+        assert_eq!(promoted[0].kind.file(), "f001");
+    }
+
+    #[test]
+    fn cancel_withdraws_queued_prefetches_and_reverts_metadata() {
+        let (m, gate) = gated_prefetch_monarch(2);
+        assert_eq!(m.submit_plan(&plan_of(2)), 2);
+        // Wait until the worker has dequeued f000 (its copy_started event
+        // fires just before the gated source fetch): from then on exactly
+        // one job — f001 — is still queued and cancelable.
+        let f000_started = || {
+            m.telemetry()
+                .journal()
+                .events()
+                .iter()
+                .any(|e| e.kind.tag() == "copy_started" && e.kind.file() == "f000")
+        };
+        for _ in 0..10_000 {
+            if f000_started() {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        assert!(f000_started(), "worker never picked up the first prefetch");
+        assert_eq!(m.cancel_prefetch_plan(), 1);
+        let stats = m.stats();
+        assert_eq!(stats.prefetch_canceled, 1);
+        open_gate(&gate);
+        m.wait_placement_idle();
+        let stats = m.stats();
+        assert_eq!(stats.copies_completed, 1, "only the running copy finished");
+        assert_eq!(m.metadata().get("f000").unwrap().tier, 0);
+        let info = m.metadata().get("f001").unwrap();
+        assert_eq!(info.state, PlacementState::Unplaced, "canceled copy reverted");
+        assert_eq!(info.tier, 1);
+        let events = m.telemetry().journal().events();
+        let canceled: Vec<_> =
+            events.iter().filter(|e| e.kind.tag() == "prefetch_canceled").collect();
+        assert_eq!(canceled.len(), 1);
+        assert_eq!(canceled[0].kind.file(), "f001");
+        // A second cancel is a no-op: the window is gone.
+        assert_eq!(m.cancel_prefetch_plan(), 0);
+    }
+
+    #[test]
+    fn unread_prefetched_files_count_as_wasted_at_plan_close() {
+        let m = prefetch_monarch(
+            1 << 20,
+            4,
+            256,
+            PrefetchConfig { lookahead: 8, max_inflight_bytes: 0 },
+        );
+        assert_eq!(m.submit_plan(&plan_of(4)), 4);
+        m.wait_placement_idle();
+        // Only the first file is ever read.
+        m.read_full("f000").unwrap();
+        let stats = m.shutdown();
+        assert_eq!(stats.prefetch_hits, 1);
+        assert_eq!(stats.prefetch_wasted, 3, "staged but never read");
+    }
+
+    #[test]
+    fn disabled_prefetch_makes_plans_a_no_op() {
+        // `with_parts` builds with prefetching disabled (lookahead 0) —
+        // submitting a plan must change nothing relative to reactive mode.
+        let m = mem_monarch(1 << 20, 3, 128);
+        assert_eq!(m.submit_plan(&plan_of(3)), 0);
+        assert_eq!(m.cancel_prefetch_plan(), 0);
+        m.wait_placement_idle();
+        let stats = m.stats();
+        assert_eq!(stats.copies_scheduled, 0);
+        assert_eq!(stats.prefetches_scheduled, 0);
+        assert_eq!(m.telemetry().journal().events().len(), 0);
     }
 
     #[test]

@@ -1,23 +1,33 @@
-//! Background copy thread pool.
+//! Background copy thread pool with two priority lanes.
 //!
 //! The paper's prototype used the CTPL C++ thread-pool library; this is an
-//! equivalent built on crossbeam channels: a fixed set of worker threads
-//! draining a task queue, with graceful shutdown (drain-then-join) and an
-//! in-flight counter so callers can wait for quiescence — used by tests and
-//! by the end-of-epoch barrier in the real trainer.
+//! equivalent built on an internal two-lane queue: a fixed set of worker
+//! threads draining a *demand* lane (copies scheduled by a foreground read
+//! miss) before a *prefetch* lane (copies issued ahead of the read cursor by
+//! the clairvoyant prefetcher), with graceful shutdown (drain-then-join) and
+//! an in-flight counter so callers can wait for quiescence — used by tests
+//! and by the end-of-epoch barrier in the real trainer.
+//!
+//! The lane split is what lets prefetch traffic ride along without ever
+//! starving demand misses: a worker always prefers the demand lane, and a
+//! queued prefetch job can be [`ThreadPool::promote`]d into the demand lane
+//! when a foreground read arrives for its file (the dedup guard — the read
+//! upgrades the existing job instead of enqueueing a duplicate copy).
+//! Queued-but-unstarted prefetch jobs can also be bulk-canceled with
+//! [`ThreadPool::drain_prefetch`] at an epoch boundary.
 //!
 //! Accounting invariant: every increment of `pending` is matched by exactly
-//! one decrement-and-notify, whether the task runs, panics, or is refused
-//! by a closing channel. `wait_idle` correctness depends on this — a leaked
-//! increment parks waiters forever.
+//! one decrement-and-notify, whether the task runs, panics, is refused by a
+//! closed pool, or is canceled out of the prefetch lane. `wait_idle`
+//! correctness depends on this — a leaked increment parks waiters forever.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 
 use crate::telemetry::LatencyHistogram;
@@ -25,11 +35,22 @@ use crate::telemetry::LatencyHistogram;
 /// A unit of background work.
 pub type Task = Box<dyn FnOnce() + Send + 'static>;
 
-/// Submission context carried across the channel alongside a task: which
+/// Which priority lane a task is queued on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lane {
+    /// Copies scheduled by a foreground read miss. Always drained first.
+    Demand,
+    /// Copies issued ahead of the read cursor. Run only when the demand
+    /// lane is empty; may be promoted or canceled while queued.
+    Prefetch,
+}
+
+/// Submission context carried through the queue alongside a task: which
 /// file the task is working on and the trace flow id linking it to the
 /// read that scheduled it. Reported to the panic handler when the task
 /// dies, so `panicked()` bumps come with a culprit instead of a bare
-/// count.
+/// count; also the key used by [`ThreadPool::promote`] and
+/// [`ThreadPool::drain_prefetch`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskCtx {
     /// What the task was doing (the middleware passes the file name).
@@ -42,10 +63,18 @@ pub struct TaskCtx {
 /// panics.
 pub type PanicHandler = Arc<dyn Fn(&TaskCtx) + Send + Sync>;
 
-/// What travels through the channel: the closure plus its context.
+/// What travels through the queue: the closure plus its context.
 struct Job {
     ctx: Option<TaskCtx>,
     run: Task,
+}
+
+/// The two lanes plus the closed flag, under one lock so lane moves
+/// (promotion) and shutdown are atomic with respect to workers popping.
+struct Queues {
+    demand: VecDeque<Job>,
+    prefetch: VecDeque<Job>,
+    closed: bool,
 }
 
 struct Shared {
@@ -55,6 +84,12 @@ struct Shared {
     submitted: AtomicU64,
     /// Tasks whose closure panicked (caught; the worker survives).
     panicked: AtomicU64,
+    /// Worker threads that could not be joined at shutdown (their thread
+    /// panicked outside the per-task catch).
+    join_failures: AtomicU64,
+    /// Lane queues; workers sleep on `work_cv` when both are empty.
+    queues: Mutex<Queues>,
+    work_cv: Condvar,
     /// Wakes `wait_idle` when `pending` hits zero.
     idle_mutex: Mutex<()>,
     idle_cv: Condvar,
@@ -63,11 +98,18 @@ struct Shared {
 }
 
 impl Shared {
-    fn new() -> Self {
+    fn new(closed: bool) -> Self {
         Self {
             pending: AtomicUsize::new(0),
             submitted: AtomicU64::new(0),
             panicked: AtomicU64::new(0),
+            join_failures: AtomicU64::new(0),
+            queues: Mutex::new(Queues {
+                demand: VecDeque::new(),
+                prefetch: VecDeque::new(),
+                closed,
+            }),
+            work_cv: Condvar::new(),
             idle_mutex: Mutex::new(()),
             idle_cv: Condvar::new(),
             on_panic: Mutex::new(None),
@@ -83,15 +125,17 @@ impl Shared {
     }
 }
 
-/// Queue-wait and execution-span histograms attached to a pool.
+/// Queue-wait and execution-span histograms attached to a pool. Queue
+/// waits are split by lane so prefetch backlog cannot be mistaken for
+/// demand-path latency.
 struct PoolHists {
-    queue_wait: Arc<LatencyHistogram>,
+    queue_wait_demand: Arc<LatencyHistogram>,
+    queue_wait_prefetch: Arc<LatencyHistogram>,
     exec: Arc<LatencyHistogram>,
 }
 
 /// Fixed-size background worker pool.
 pub struct ThreadPool {
-    tx: Option<Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
     hists: Option<Arc<PoolHists>>,
@@ -105,48 +149,65 @@ impl ThreadPool {
     }
 
     /// Spawn a pool that stamps every task's queue wait (submit → start)
-    /// into `queue_wait` and its execution span into `exec`.
+    /// into the per-lane histogram and its execution span into `exec`.
     #[must_use]
     pub fn with_telemetry(
         threads: usize,
-        queue_wait: Arc<LatencyHistogram>,
+        queue_wait_demand: Arc<LatencyHistogram>,
+        queue_wait_prefetch: Arc<LatencyHistogram>,
         exec: Arc<LatencyHistogram>,
     ) -> Self {
-        Self::build(threads, Some(Arc::new(PoolHists { queue_wait, exec })))
+        Self::build(
+            threads,
+            Some(Arc::new(PoolHists { queue_wait_demand, queue_wait_prefetch, exec })),
+        )
     }
 
     fn build(threads: usize, hists: Option<Arc<PoolHists>>) -> Self {
         let threads = threads.max(1);
-        let (tx, rx): (Sender<Job>, Receiver<Job>) = channel::unbounded();
-        let shared = Arc::new(Shared::new());
+        let shared = Arc::new(Shared::new(false));
         let workers = (0..threads)
             .map(|i| {
-                let rx = rx.clone();
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("monarch-copy-{i}"))
-                    .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            // A panicking task must not kill the worker or
-                            // leak its `pending` increment: either would
-                            // eventually hang `wait_idle`.
-                            let outcome = catch_unwind(AssertUnwindSafe(job.run));
-                            if outcome.is_err() {
-                                shared.panicked.fetch_add(1, Ordering::Relaxed);
-                                if let Some(ctx) = job.ctx.as_ref() {
-                                    let handler = shared.on_panic.lock().clone();
-                                    if let Some(h) = handler {
-                                        h(ctx);
-                                    }
+                    .spawn(move || loop {
+                        let job = {
+                            let mut q = shared.queues.lock();
+                            loop {
+                                let next = q
+                                    .demand
+                                    .pop_front()
+                                    .or_else(|| q.prefetch.pop_front());
+                                if let Some(job) = next {
+                                    break Some(job);
+                                }
+                                if q.closed {
+                                    break None;
+                                }
+                                shared.work_cv.wait(&mut q);
+                            }
+                        };
+                        let Some(job) = job else { return };
+                        // A panicking task must not kill the worker or
+                        // leak its `pending` increment: either would
+                        // eventually hang `wait_idle`.
+                        let outcome = catch_unwind(AssertUnwindSafe(job.run));
+                        if outcome.is_err() {
+                            shared.panicked.fetch_add(1, Ordering::Relaxed);
+                            if let Some(ctx) = job.ctx.as_ref() {
+                                let handler = shared.on_panic.lock().clone();
+                                if let Some(h) = handler {
+                                    h(ctx);
                                 }
                             }
-                            shared.finish_one();
                         }
+                        shared.finish_one();
                     })
                     .expect("spawn pool worker")
             })
             .collect();
-        Self { tx: Some(tx), workers, shared, hists }
+        Self { workers, shared, hists }
     }
 
     /// Install the callback invoked when a task submitted with a
@@ -162,22 +223,31 @@ impl ThreadPool {
         self.workers.len()
     }
 
-    /// Submit a task. Returns `false` if the pool is shutting down.
+    /// Submit a demand-lane task. Returns `false` if the pool is shutting
+    /// down.
     pub fn submit(&self, task: Task) -> bool {
-        self.submit_with(None, task)
+        self.submit_on(Lane::Demand, None, task)
     }
 
-    /// Submit a task with a [`TaskCtx`] carried across the channel, so a
-    /// panic can be attributed. Returns `false` if the pool is shutting
-    /// down.
+    /// Submit a demand-lane task with a [`TaskCtx`], so a panic can be
+    /// attributed. Returns `false` if the pool is shutting down.
     pub fn submit_with(&self, ctx: Option<TaskCtx>, task: Task) -> bool {
-        let Some(tx) = self.tx.as_ref() else { return false };
+        self.submit_on(Lane::Demand, ctx, task)
+    }
+
+    /// Submit a task on a specific lane. Returns `false` if the pool is
+    /// shutting down.
+    pub fn submit_on(&self, lane: Lane, ctx: Option<TaskCtx>, task: Task) -> bool {
         let task: Task = match &self.hists {
             Some(hists) => {
                 let hists = Arc::clone(hists);
                 let queued_at = Instant::now();
                 Box::new(move || {
-                    hists.queue_wait.record_duration(queued_at.elapsed());
+                    let wait = match lane {
+                        Lane::Demand => &hists.queue_wait_demand,
+                        Lane::Prefetch => &hists.queue_wait_prefetch,
+                    };
+                    wait.record_duration(queued_at.elapsed());
                     let started_at = Instant::now();
                     task();
                     hists.exec.record_duration(started_at.elapsed());
@@ -186,15 +256,74 @@ impl ThreadPool {
             None => task,
         };
         self.shared.pending.fetch_add(1, Ordering::AcqRel);
-        if tx.send(Job { ctx, run: task }).is_err() {
-            // Shutdown raced us: roll back our increment through the same
-            // path a finished task takes, so a waiter that observed the
-            // transient pending count is woken rather than parked forever.
-            self.shared.finish_one();
-            return false;
+        {
+            let mut q = self.shared.queues.lock();
+            if q.closed {
+                drop(q);
+                // Shutdown raced us: roll back our increment through the
+                // same path a finished task takes, so a waiter that
+                // observed the transient pending count is woken rather
+                // than parked forever.
+                self.shared.finish_one();
+                return false;
+            }
+            let job = Job { ctx, run: task };
+            match lane {
+                Lane::Demand => q.demand.push_back(job),
+                Lane::Prefetch => q.prefetch.push_back(job),
+            }
         }
+        self.shared.work_cv.notify_one();
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
         true
+    }
+
+    /// Move a queued prefetch-lane job to the back of the demand lane
+    /// (dedup guard: a demand miss for a file already queued as a prefetch
+    /// upgrades the existing job instead of enqueueing a duplicate).
+    /// Returns `false` when no queued prefetch job carries `label` — it
+    /// already started, finished, or never existed.
+    pub fn promote(&self, label: &str) -> bool {
+        let mut q = self.shared.queues.lock();
+        let Some(i) = q
+            .prefetch
+            .iter()
+            .position(|j| j.ctx.as_ref().is_some_and(|c| c.label == label))
+        else {
+            return false;
+        };
+        let job = q.prefetch.remove(i).expect("position is in bounds");
+        q.demand.push_back(job);
+        true
+    }
+
+    /// Cancel every queued-but-unstarted prefetch-lane job, balancing
+    /// their `pending` increments, and return the contexts of the removed
+    /// jobs so the caller can revert their side effects (e.g. metadata
+    /// `Copying` states). Running jobs are unaffected.
+    pub fn drain_prefetch(&self) -> Vec<TaskCtx> {
+        let dropped: Vec<Job> = {
+            let mut q = self.shared.queues.lock();
+            q.prefetch.drain(..).collect()
+        };
+        let mut ctxs = Vec::with_capacity(dropped.len());
+        for job in dropped {
+            if let Some(ctx) = job.ctx {
+                ctxs.push(ctx);
+            }
+            self.shared.finish_one();
+        }
+        ctxs
+    }
+
+    /// Number of queued (not yet started) jobs on a lane.
+    #[must_use]
+    pub fn queued(&self, lane: Lane) -> usize {
+        let q = self.shared.queues.lock();
+        match lane {
+            Lane::Demand => q.demand.len(),
+            Lane::Prefetch => q.prefetch.len(),
+        }
     }
 
     /// Tasks submitted but not yet completed.
@@ -216,6 +345,14 @@ impl ThreadPool {
         self.shared.panicked.load(Ordering::Relaxed)
     }
 
+    /// Worker threads that could not be joined at the last shutdown —
+    /// each one died of a panic outside the per-task catch. Surfaced in
+    /// the middleware's stats and journal instead of panicking the caller.
+    #[must_use]
+    pub fn join_failures(&self) -> u64 {
+        self.shared.join_failures.load(Ordering::Relaxed)
+    }
+
     /// Block until no tasks are queued or running.
     pub fn wait_idle(&self) {
         let mut guard = self.shared.idle_mutex.lock();
@@ -224,12 +361,22 @@ impl ThreadPool {
         }
     }
 
-    /// Drain outstanding work and join the workers.
+    /// Drain outstanding work and join the workers. A worker that cannot
+    /// be joined (it died of a panic outside the per-task catch) is
+    /// counted in [`ThreadPool::join_failures`] rather than propagating
+    /// the panic into the caller.
     pub fn shutdown(&mut self) {
-        if let Some(tx) = self.tx.take() {
-            drop(tx); // closes the channel; workers exit after draining
-            for w in self.workers.drain(..) {
-                let _ = w.join();
+        {
+            let mut q = self.shared.queues.lock();
+            if q.closed && self.workers.is_empty() {
+                return;
+            }
+            q.closed = true;
+        }
+        self.shared.work_cv.notify_all();
+        for w in self.workers.drain(..) {
+            if w.join().is_err() {
+                self.shared.join_failures.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -245,6 +392,7 @@ impl Drop for ThreadPool {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU32;
+    use std::sync::Barrier;
     use std::time::Duration;
 
     #[test]
@@ -286,6 +434,7 @@ mod tests {
         assert!(!pool.submit(Box::new(|| {})));
         assert_eq!(pool.submitted(), 16);
         assert_eq!(pool.pending(), 0);
+        assert_eq!(pool.join_failures(), 0);
     }
 
     #[test]
@@ -299,7 +448,7 @@ mod tests {
         // With 4 workers, 4 tasks that each wait for the others should all
         // make progress (deadlocks if the pool serialized them).
         let pool = ThreadPool::new(4);
-        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let barrier = Arc::new(Barrier::new(4));
         for _ in 0..4 {
             let b = Arc::clone(&barrier);
             pool.submit(Box::new(move || {
@@ -327,20 +476,18 @@ mod tests {
         assert_eq!(pool.panicked(), 1);
     }
 
-    /// A pool whose channel is already closed on the receiver side, so
-    /// `submit` deterministically hits the failed-send branch.
-    fn dead_channel_pool() -> ThreadPool {
-        let (tx, rx) = channel::unbounded::<Job>();
-        drop(rx);
-        ThreadPool { tx: Some(tx), workers: Vec::new(), shared: Arc::new(Shared::new()), hists: None }
+    /// A pool already closed with no workers, so `submit`
+    /// deterministically hits the refused-submission branch.
+    fn closed_pool() -> ThreadPool {
+        ThreadPool { workers: Vec::new(), shared: Arc::new(Shared::new(true)), hists: None }
     }
 
     #[test]
     fn failed_send_keeps_pending_balanced() {
-        // Regression: the failed-send rollback used to skip the idle
-        // notification, so a waiter that observed the transient increment
-        // could park forever.
-        let pool = Arc::new(dead_channel_pool());
+        // Regression: the refused-submission rollback used to skip the
+        // idle notification, so a waiter that observed the transient
+        // increment could park forever.
+        let pool = Arc::new(closed_pool());
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         // Waiters hammer wait_idle while submits transiently bump pending.
         let waiters: Vec<_> = (0..2)
@@ -356,7 +503,7 @@ mod tests {
             .collect();
         for _ in 0..1000 {
             assert!(!pool.submit(Box::new(|| {})));
-            assert_eq!(pool.pending(), 0, "failed send must roll back pending");
+            assert_eq!(pool.pending(), 0, "refused submit must roll back pending");
         }
         assert_eq!(pool.submitted(), 0, "refused submissions are not counted");
         stop.store(true, Ordering::Relaxed);
@@ -391,20 +538,119 @@ mod tests {
     }
 
     #[test]
-    fn telemetry_pool_records_spans() {
+    fn telemetry_pool_records_spans_per_lane() {
         let queue_wait = Arc::new(LatencyHistogram::new());
+        let queue_wait_prefetch = Arc::new(LatencyHistogram::new());
         let exec = Arc::new(LatencyHistogram::new());
-        let pool =
-            ThreadPool::with_telemetry(2, Arc::clone(&queue_wait), Arc::clone(&exec));
+        let pool = ThreadPool::with_telemetry(
+            2,
+            Arc::clone(&queue_wait),
+            Arc::clone(&queue_wait_prefetch),
+            Arc::clone(&exec),
+        );
         for _ in 0..10 {
             pool.submit(Box::new(|| {
                 std::thread::sleep(Duration::from_micros(200));
             }));
         }
+        for _ in 0..3 {
+            pool.submit_on(Lane::Prefetch, None, Box::new(|| {}));
+        }
         pool.wait_idle();
-        assert_eq!(queue_wait.count(), 10);
-        assert_eq!(exec.count(), 10);
+        assert_eq!(queue_wait.count(), 10, "demand lane histogram");
+        assert_eq!(queue_wait_prefetch.count(), 3, "prefetch lane histogram");
+        assert_eq!(exec.count(), 13);
         // Execution spans include the 200µs sleep.
         assert!(exec.quantile(0.5) >= 200_000, "p50 exec = {}", exec.quantile(0.5));
+    }
+
+    /// Pin the single worker inside a gate task so queued jobs pile up
+    /// deterministically, then release the gate.
+    fn gated_pool() -> (ThreadPool, Arc<Barrier>) {
+        let pool = ThreadPool::new(1);
+        let gate = Arc::new(Barrier::new(2));
+        let g = Arc::clone(&gate);
+        pool.submit(Box::new(move || {
+            g.wait();
+        }));
+        (pool, gate)
+    }
+
+    fn push(order: &Arc<Mutex<Vec<String>>>, tag: &str) -> Task {
+        let o = Arc::clone(order);
+        let tag = tag.to_string();
+        Box::new(move || o.lock().push(tag))
+    }
+
+    #[test]
+    fn demand_lane_preempts_prefetch_lane() {
+        let (pool, gate) = gated_pool();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            pool.submit_on(Lane::Prefetch, None, push(&order, &format!("p{i}")));
+        }
+        // Submitted last, runs first: the demand lane always wins.
+        pool.submit(push(&order, "demand"));
+        assert_eq!(pool.queued(Lane::Prefetch), 3);
+        assert_eq!(pool.queued(Lane::Demand), 1);
+        gate.wait();
+        pool.wait_idle();
+        assert_eq!(*order.lock(), vec!["demand", "p0", "p1", "p2"]);
+    }
+
+    #[test]
+    fn promote_moves_queued_prefetch_into_demand_lane() {
+        let (pool, gate) = gated_pool();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let ctx = |label: &str| Some(TaskCtx { label: label.into(), flow: 0 });
+        pool.submit_on(Lane::Prefetch, ctx("a"), push(&order, "a"));
+        pool.submit_on(Lane::Prefetch, ctx("b"), push(&order, "b"));
+        pool.submit(push(&order, "demand"));
+
+        assert!(pool.promote("b"), "queued prefetch job is promotable");
+        assert!(!pool.promote("b"), "a job promotes at most once");
+        assert!(!pool.promote("missing"));
+        assert_eq!(pool.queued(Lane::Demand), 2);
+        assert_eq!(pool.queued(Lane::Prefetch), 1);
+
+        gate.wait();
+        pool.wait_idle();
+        // "b" jumped the prefetch lane but queues behind existing demand.
+        assert_eq!(*order.lock(), vec!["demand", "b", "a"]);
+    }
+
+    #[test]
+    fn drain_prefetch_cancels_queued_jobs_and_stays_balanced() {
+        let (pool, gate) = gated_pool();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let ctx = |label: &str| Some(TaskCtx { label: label.into(), flow: 3 });
+        pool.submit_on(Lane::Prefetch, ctx("a"), push(&order, "a"));
+        pool.submit_on(Lane::Prefetch, ctx("b"), push(&order, "b"));
+        pool.submit(push(&order, "demand"));
+
+        let canceled = pool.drain_prefetch();
+        let labels: Vec<&str> = canceled.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(labels, vec!["a", "b"]);
+        assert_eq!(pool.queued(Lane::Prefetch), 0);
+
+        gate.wait();
+        pool.wait_idle();
+        assert_eq!(*order.lock(), vec!["demand"], "canceled closures never ran");
+        assert_eq!(pool.pending(), 0, "drained jobs balanced their pending bumps");
+    }
+
+    #[test]
+    fn shutdown_counts_join_failures_instead_of_panicking() {
+        let mut pool = ThreadPool::new(1);
+        // Inject a worker that dies outside the per-task catch — joining
+        // it yields Err. Shutdown must swallow it and count it.
+        let doomed = std::thread::Builder::new()
+            .name("monarch-copy-doomed".into())
+            .spawn(|| panic!("worker died outside a task"))
+            .unwrap();
+        pool.workers.push(doomed);
+        pool.shutdown();
+        assert_eq!(pool.join_failures(), 1);
+        assert!(!pool.submit(Box::new(|| {})), "pool is closed after shutdown");
     }
 }

@@ -30,6 +30,12 @@ pub struct Stats {
     placement_skipped: AtomicU64,
     evictions: AtomicU64,
     removes: AtomicU64,
+    prefetches_scheduled: AtomicU64,
+    prefetch_hits: AtomicU64,
+    prefetch_wasted: AtomicU64,
+    prefetch_promoted: AtomicU64,
+    prefetch_canceled: AtomicU64,
+    pool_join_failures: AtomicU64,
 }
 
 impl Stats {
@@ -44,6 +50,12 @@ impl Stats {
             placement_skipped: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             removes: AtomicU64::new(0),
+            prefetches_scheduled: AtomicU64::new(0),
+            prefetch_hits: AtomicU64::new(0),
+            prefetch_wasted: AtomicU64::new(0),
+            prefetch_promoted: AtomicU64::new(0),
+            prefetch_canceled: AtomicU64::new(0),
+            pool_join_failures: AtomicU64::new(0),
         }
     }
 
@@ -102,6 +114,40 @@ impl Stats {
         self.placement_skipped.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A prefetch copy was issued from an access plan (also counted in
+    /// `copies_scheduled` — prefetches are ordinary background copies).
+    pub fn prefetch_scheduled(&self) {
+        self.prefetches_scheduled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A file's first foreground read was served by a local tier thanks to
+    /// a prefetch copy that landed ahead of the cursor.
+    pub fn prefetch_hit(&self) {
+        self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A prefetched file was staged but never read before its plan ended.
+    pub fn prefetch_wasted(&self) {
+        self.prefetch_wasted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A demand read arrived for a file whose prefetch copy was still
+    /// queued; the job was promoted to the demand lane (dedup guard).
+    pub fn prefetch_promote(&self) {
+        self.prefetch_promoted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A queued prefetch copy was canceled (plan replaced or dropped).
+    pub fn prefetch_cancel(&self) {
+        self.prefetch_canceled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A copy-pool worker could not be joined at shutdown (it died of a
+    /// panic outside the per-task catch).
+    pub fn pool_join_failure(&self) {
+        self.pool_join_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Immutable snapshot for reporting.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -123,6 +169,12 @@ impl Stats {
             placement_skipped: self.placement_skipped.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             removes: self.removes.load(Ordering::Relaxed),
+            prefetches_scheduled: self.prefetches_scheduled.load(Ordering::Relaxed),
+            prefetch_hits: self.prefetch_hits.load(Ordering::Relaxed),
+            prefetch_wasted: self.prefetch_wasted.load(Ordering::Relaxed),
+            prefetch_promoted: self.prefetch_promoted.load(Ordering::Relaxed),
+            prefetch_canceled: self.prefetch_canceled.load(Ordering::Relaxed),
+            pool_join_failures: self.pool_join_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -162,6 +214,25 @@ pub struct StatsSnapshot {
     /// and teardown).
     #[serde(default)]
     pub removes: u64,
+    /// Background copies issued by the clairvoyant prefetcher (subset of
+    /// `copies_scheduled`).
+    #[serde(default)]
+    pub prefetches_scheduled: u64,
+    /// First reads served locally because a prefetch copy landed first.
+    #[serde(default)]
+    pub prefetch_hits: u64,
+    /// Prefetched files never read before their plan ended.
+    #[serde(default)]
+    pub prefetch_wasted: u64,
+    /// Queued prefetch copies promoted to the demand lane by a read.
+    #[serde(default)]
+    pub prefetch_promoted: u64,
+    /// Queued prefetch copies canceled before running.
+    #[serde(default)]
+    pub prefetch_canceled: u64,
+    /// Copy-pool workers that could not be joined at shutdown.
+    #[serde(default)]
+    pub pool_join_failures: u64,
 }
 
 impl StatsSnapshot {
@@ -252,6 +323,35 @@ mod tests {
         assert_eq!(snap.removes, 3);
         assert_eq!(snap.evictions, 1);
         assert_eq!(snap.tiers[0].removes, 3);
+    }
+
+    #[test]
+    fn prefetch_counters_accumulate() {
+        let s = Stats::new(2);
+        s.prefetch_scheduled();
+        s.prefetch_scheduled();
+        s.prefetch_hit();
+        s.prefetch_wasted();
+        s.prefetch_promote();
+        s.prefetch_cancel();
+        s.pool_join_failure();
+        let snap = s.snapshot();
+        assert_eq!(snap.prefetches_scheduled, 2);
+        assert_eq!(snap.prefetch_hits, 1);
+        assert_eq!(snap.prefetch_wasted, 1);
+        assert_eq!(snap.prefetch_promoted, 1);
+        assert_eq!(snap.prefetch_canceled, 1);
+        assert_eq!(snap.pool_join_failures, 1);
+    }
+
+    #[test]
+    fn legacy_snapshot_json_defaults_prefetch_fields() {
+        // Old snapshots without the prefetch fields still deserialize.
+        let legacy = r#"{"tiers":[],"copies_scheduled":0,"copies_completed":0,
+                         "copies_failed":0,"placement_skipped":0,"evictions":0}"#;
+        let back: StatsSnapshot = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.prefetch_hits, 0);
+        assert_eq!(back.pool_join_failures, 0);
     }
 
     #[test]

@@ -335,6 +335,34 @@ pub enum EventKind {
         /// Tier the file was removed from.
         tier: TierId,
     },
+    /// A prefetch copy was issued from an access plan (the prefetch-lane
+    /// analogue of `copy_scheduled`).
+    PrefetchScheduled {
+        /// Logical file name.
+        file: String,
+        /// File size in bytes.
+        bytes: u64,
+    },
+    /// A demand read arrived for a file whose prefetch copy was still
+    /// queued; the job was promoted to the demand lane instead of
+    /// enqueueing a duplicate.
+    PrefetchPromoted {
+        /// Logical file name.
+        file: String,
+    },
+    /// A queued prefetch copy was canceled before running (its plan was
+    /// replaced or dropped).
+    PrefetchCanceled {
+        /// Logical file name.
+        file: String,
+    },
+    /// A copy-pool worker thread could not be joined at shutdown (it died
+    /// of a panic outside the per-task catch). `file` carries the worker's
+    /// thread name.
+    WorkerJoinFailed {
+        /// Worker thread name (reported in the journal's file column).
+        file: String,
+    },
 }
 
 impl EventKind {
@@ -350,6 +378,10 @@ impl EventKind {
             EventKind::PlacementSkipped { .. } => "placement_skipped",
             EventKind::Evicted { .. } => "evicted",
             EventKind::Removed { .. } => "removed",
+            EventKind::PrefetchScheduled { .. } => "prefetch_scheduled",
+            EventKind::PrefetchPromoted { .. } => "prefetch_promoted",
+            EventKind::PrefetchCanceled { .. } => "prefetch_canceled",
+            EventKind::WorkerJoinFailed { .. } => "worker_join_failed",
         }
     }
 
@@ -364,7 +396,11 @@ impl EventKind {
             | EventKind::PlacementDecided { file, .. }
             | EventKind::PlacementSkipped { file, .. }
             | EventKind::Evicted { file, .. }
-            | EventKind::Removed { file, .. } => file,
+            | EventKind::Removed { file, .. }
+            | EventKind::PrefetchScheduled { file, .. }
+            | EventKind::PrefetchPromoted { file }
+            | EventKind::PrefetchCanceled { file }
+            | EventKind::WorkerJoinFailed { file } => file,
         }
     }
 }
@@ -420,10 +456,14 @@ impl Event {
         o.push_str("\",\"file\":");
         push_json_str(&mut o, self.kind.file());
         match &self.kind {
-            EventKind::CopyScheduled { bytes, .. } => {
+            EventKind::CopyScheduled { bytes, .. }
+            | EventKind::PrefetchScheduled { bytes, .. } => {
                 o.push_str(&format!(",\"bytes\":{bytes}"));
             }
-            EventKind::CopyStarted { .. } => {}
+            EventKind::CopyStarted { .. }
+            | EventKind::PrefetchPromoted { .. }
+            | EventKind::PrefetchCanceled { .. }
+            | EventKind::WorkerJoinFailed { .. } => {}
             EventKind::CopyCompleted { tier, bytes, micros, .. } => {
                 o.push_str(&format!(",\"tier\":{tier},\"bytes\":{bytes},\"micros\":{micros}"));
             }
@@ -708,6 +748,7 @@ pub struct TelemetryRegistry {
     write_latency: Vec<Arc<LatencyHistogram>>,
     copy_duration: Arc<LatencyHistogram>,
     queue_wait: Arc<LatencyHistogram>,
+    queue_wait_prefetch: Arc<LatencyHistogram>,
     pool_exec: Arc<LatencyHistogram>,
     journal: EventJournal,
     trace: Arc<crate::trace::TraceRecorder>,
@@ -732,6 +773,7 @@ impl TelemetryRegistry {
             write_latency: (0..levels).map(|_| Arc::new(LatencyHistogram::new())).collect(),
             copy_duration: Arc::new(LatencyHistogram::new()),
             queue_wait: Arc::new(LatencyHistogram::new()),
+            queue_wait_prefetch: Arc::new(LatencyHistogram::new()),
             pool_exec: Arc::new(LatencyHistogram::new()),
             journal: EventJournal::new(cfg.journal_capacity, cfg.enabled && cfg.journal),
             trace: Arc::new(crate::trace::TraceRecorder::new(
@@ -784,10 +826,18 @@ impl TelemetryRegistry {
         &self.copy_duration
     }
 
-    /// Pool queue-wait histogram (submit → task start).
+    /// Demand-lane pool queue-wait histogram (submit → task start).
     #[must_use]
     pub fn queue_wait(&self) -> &Arc<LatencyHistogram> {
         &self.queue_wait
+    }
+
+    /// Prefetch-lane pool queue-wait histogram. Split from the demand lane
+    /// so prefetch backlog (expected — the lane only runs when demand is
+    /// empty) cannot be mistaken for demand-path latency.
+    #[must_use]
+    pub fn queue_wait_prefetch(&self) -> &Arc<LatencyHistogram> {
+        &self.queue_wait_prefetch
     }
 
     /// Pool task-execution histogram.
@@ -831,6 +881,7 @@ impl TelemetryRegistry {
             write_latency: self.write_latency.iter().map(|h| h.snapshot()).collect(),
             copy_duration: self.copy_duration.snapshot(),
             queue_wait: self.queue_wait.snapshot(),
+            queue_wait_prefetch: self.queue_wait_prefetch.snapshot(),
             pool_exec: self.pool_exec.snapshot(),
             events_recorded: self.journal.recorded(),
             events_dropped: self.journal.dropped(),
@@ -910,6 +961,12 @@ impl TelemetryRegistry {
         scalar(&mut o, "monarch_placement_skipped_total", "Placements skipped (no local tier had room).", snap.placement_skipped);
         scalar(&mut o, "monarch_evictions_total", "Files evicted from local tiers.", snap.evictions);
         scalar(&mut o, "monarch_removes_total", "Files removed for any reason.", snap.removes);
+        scalar(&mut o, "monarch_prefetches_scheduled_total", "Prefetch copies issued from access plans.", snap.prefetches_scheduled);
+        scalar(&mut o, "monarch_prefetch_hits_total", "First reads served locally thanks to a prefetch copy.", snap.prefetch_hits);
+        scalar(&mut o, "monarch_prefetch_wasted_total", "Prefetched files never read before their plan ended.", snap.prefetch_wasted);
+        scalar(&mut o, "monarch_prefetch_promoted_total", "Queued prefetch copies promoted to the demand lane.", snap.prefetch_promoted);
+        scalar(&mut o, "monarch_prefetch_canceled_total", "Queued prefetch copies canceled before running.", snap.prefetch_canceled);
+        scalar(&mut o, "monarch_pool_join_failures_total", "Copy-pool workers that could not be joined at shutdown.", snap.pool_join_failures);
         scalar(&mut o, "monarch_journal_events_total", "Telemetry events recorded.", self.journal.recorded());
         scalar(&mut o, "monarch_journal_dropped_total", "Telemetry events overwritten by the ring bound.", self.journal.dropped());
         scalar(&mut o, "monarch_trace_spans_total", "Trace spans recorded.", self.trace.spans_recorded());
@@ -979,8 +1036,14 @@ impl TelemetryRegistry {
         plain_histogram(
             &mut o,
             "monarch_pool_queue_wait_seconds",
-            "Copy-pool queue wait (submit to task start).",
+            "Demand-lane copy-pool queue wait (submit to task start).",
             &self.queue_wait,
+        );
+        plain_histogram(
+            &mut o,
+            "monarch_pool_prefetch_queue_wait_seconds",
+            "Prefetch-lane copy-pool queue wait (submit to task start).",
+            &self.queue_wait_prefetch,
         );
         plain_histogram(
             &mut o,
@@ -1016,8 +1079,11 @@ pub struct TelemetrySnapshot {
     pub write_latency: Vec<HistogramSnapshot>,
     /// Background-copy duration summary.
     pub copy_duration: HistogramSnapshot,
-    /// Pool queue-wait summary.
+    /// Demand-lane pool queue-wait summary.
     pub queue_wait: HistogramSnapshot,
+    /// Prefetch-lane pool queue-wait summary.
+    #[serde(default)]
+    pub queue_wait_prefetch: HistogramSnapshot,
     /// Pool execution-time summary.
     pub pool_exec: HistogramSnapshot,
     /// Journal events recorded over the lifetime.
@@ -1161,6 +1227,10 @@ mod tests {
             9,
             EventKind::CopyCompleted { file: "a\"b".into(), tier: 0, bytes: 7, micros: 3 },
         );
+        j.record_at(11, EventKind::PrefetchScheduled { file: "c".into(), bytes: 9 });
+        j.record_at(12, EventKind::PrefetchPromoted { file: "c".into() });
+        j.record_at(13, EventKind::PrefetchCanceled { file: "d".into() });
+        j.record_at(14, EventKind::WorkerJoinFailed { file: "monarch-copy-1".into() });
         let lines = j.json_lines(false);
         let mut it = lines.lines();
         assert_eq!(
@@ -1170,6 +1240,22 @@ mod tests {
         assert_eq!(
             it.next().unwrap(),
             r#"{"seq":1,"t_us":9,"event":"copy_completed","file":"a\"b","tier":0,"bytes":7,"micros":3}"#
+        );
+        assert_eq!(
+            it.next().unwrap(),
+            r#"{"seq":2,"t_us":11,"event":"prefetch_scheduled","file":"c","bytes":9}"#
+        );
+        assert_eq!(
+            it.next().unwrap(),
+            r#"{"seq":3,"t_us":12,"event":"prefetch_promoted","file":"c"}"#
+        );
+        assert_eq!(
+            it.next().unwrap(),
+            r#"{"seq":4,"t_us":13,"event":"prefetch_canceled","file":"d"}"#
+        );
+        assert_eq!(
+            it.next().unwrap(),
+            r#"{"seq":5,"t_us":14,"event":"worker_join_failed","file":"monarch-copy-1"}"#
         );
         assert!(it.next().is_none());
         // Every line is valid JSON per serde too.
@@ -1220,6 +1306,11 @@ mod tests {
         assert!(text.contains("monarch_read_latency_seconds_count{tier=\"ssd\"} 1"));
         assert!(text.contains("monarch_copy_duration_seconds_count 1"));
         assert!(text.contains("monarch_pool_queue_wait_seconds_count 0"));
+        assert!(text.contains("monarch_pool_prefetch_queue_wait_seconds_count 0"));
+        assert!(text.contains("monarch_prefetches_scheduled_total 0"));
+        assert!(text.contains("monarch_prefetch_hits_total 0"));
+        assert!(text.contains("monarch_prefetch_wasted_total 0"));
+        assert!(text.contains("monarch_pool_join_failures_total 0"));
         // The 4 µs observation lands in the ≤ 10 µs bucket and every
         // later one (cumulative), ending at +Inf = count.
         assert!(text.contains("monarch_read_latency_seconds_bucket{tier=\"ssd\",le=\"0.000001\"} 0"));

@@ -78,6 +78,12 @@ pub mod names {
     pub const COPY_WRITE: &str = "copy_write";
     /// Residency registration that completes a copy.
     pub const METADATA_REGISTER: &str = "metadata_register";
+    /// Access-plan submission root span (one per `submit_plan` call).
+    pub const PLAN_SUBMIT: &str = "plan_submit";
+    /// Prefetch copy admitted to the pool's prefetch lane (carries the
+    /// flow start; the serving read references the same flow id in its
+    /// `prefetch_flow` arg).
+    pub const PREFETCH_SCHEDULED: &str = "prefetch_scheduled";
 }
 
 /// Reserved track id for queue-wait spans. Queue waits start at submit

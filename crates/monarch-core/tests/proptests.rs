@@ -6,9 +6,22 @@ use monarch_core::driver::MemDriver;
 use monarch_core::hierarchy::{Quota, StorageHierarchy};
 use monarch_core::metadata::PlacementState;
 use monarch_core::placement::{FirstFit, LruEvict, PlacementPolicy, RoundRobin};
+use monarch_core::prefetch::{PrefetchConfig, PrefetchWindow};
 use monarch_core::telemetry::LatencyHistogram;
 use monarch_core::{Monarch, StorageDriver};
 use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Greedily issue everything the window allows, asserting each entry is
+/// issued at most once, then resolve it (copy "completes" instantly).
+fn pump_window(w: &mut PrefetchWindow, issued: &mut [bool]) -> Result<(), TestCaseError> {
+    while let Some((idx, _, _)) = w.next_to_issue() {
+        prop_assert!(!issued[idx], "entry {} issued twice", idx);
+        issued[idx] = true;
+        w.resolve(idx);
+    }
+    Ok(())
+}
 
 /// Build a hierarchy of `caps` local mem tiers plus a mem PFS holding the
 /// given files.
@@ -202,6 +215,112 @@ proptest! {
                 est <= exact + exact / 16 + 1,
                 "q={} est={} exact={}", q, est, exact
             );
+        }
+    }
+
+    /// Prefetch window safety under any interleaving of issue pumps,
+    /// foreground reads (in and out of plan), resolves (valid and bogus
+    /// indices) and oracle sweeps: the issue frontier never outruns
+    /// `cursor + lookahead`, no entry is ever issued twice, the byte cap
+    /// holds whenever more than one copy is in flight, and the epoch-end
+    /// drain leaves the window inert with exact accounting.
+    #[test]
+    fn prefetch_window_invariants(
+        lookahead in 0usize..8,
+        max_bytes in prop_oneof![Just(0u64), 1u64..2000],
+        sizes in prop::collection::vec(1u64..600, 0..30),
+        ops in prop::collection::vec((0u8..4, 0usize..32), 0..200),
+    ) {
+        let files: Vec<(String, u64)> = sizes.iter().enumerate()
+            .map(|(i, &s)| (format!("f{i:03}"), s))
+            .collect();
+        let mut w = PrefetchWindow::new(
+            files.clone(),
+            PrefetchConfig { lookahead, max_inflight_bytes: max_bytes },
+        );
+        let mut issued = std::collections::HashSet::new();
+        for (op, arg) in ops {
+            match op {
+                0 => {
+                    if let Some((idx, name, size)) = w.next_to_issue() {
+                        prop_assert!(lookahead > 0, "disabled window issued a copy");
+                        prop_assert!(
+                            idx < w.cursor() + lookahead,
+                            "issued {} beyond cursor {} + lookahead {}",
+                            idx, w.cursor(), lookahead
+                        );
+                        prop_assert!(issued.insert(idx), "entry {} issued twice", idx);
+                        prop_assert_eq!(name.as_str(), files[idx].0.as_str());
+                        prop_assert_eq!(size, files[idx].1);
+                    }
+                }
+                1 => {
+                    let name = format!("f{arg:03}");
+                    let before = w.cursor();
+                    let note = w.on_read(&name);
+                    if arg < files.len() {
+                        let n = note.expect("in-plan read observed");
+                        prop_assert_eq!(n.index, arg);
+                        prop_assert!(w.cursor() >= before, "cursor moved backwards");
+                        prop_assert!(w.cursor() >= arg + 1, "cursor behind the read");
+                    } else {
+                        prop_assert!(note.is_none(), "out-of-plan read noted");
+                        prop_assert_eq!(w.cursor(), before);
+                    }
+                }
+                2 => w.resolve(arg),
+                _ => w.poll_resolved(|n| n.ends_with('7')),
+            }
+            prop_assert!(w.inflight() <= issued.len());
+            if max_bytes > 0 && w.inflight() > 1 {
+                prop_assert!(
+                    w.inflight_bytes() <= max_bytes,
+                    "{} in-flight bytes exceed the {} cap",
+                    w.inflight_bytes(), max_bytes
+                );
+            }
+        }
+        // Epoch boundary: drain closes the window cleanly and reports the
+        // exact issue record.
+        let report = w.drain();
+        prop_assert_eq!(report.len(), files.len());
+        prop_assert_eq!(w.inflight(), 0);
+        prop_assert_eq!(w.inflight_bytes(), 0);
+        prop_assert!(w.next_to_issue().is_none(), "drained window issued");
+        for (i, (name, was_issued, _)) in report.iter().enumerate() {
+            prop_assert_eq!(name.as_str(), files[i].0.as_str());
+            prop_assert_eq!(*was_issued, issued.contains(&i));
+        }
+    }
+
+    /// Liveness complement to the safety test: whatever read order the
+    /// foreground takes, pumping after every read stages each plan entry
+    /// exactly once, and a full read pass flushes the whole plan.
+    #[test]
+    fn prefetch_window_issues_every_entry_exactly_once(
+        n in 1usize..40,
+        lookahead in 1usize..6,
+        reads in prop::collection::vec(0usize..40, 0..120),
+    ) {
+        let files: Vec<(String, u64)> = (0..n).map(|i| (format!("f{i:03}"), 8)).collect();
+        let mut w = PrefetchWindow::new(
+            files,
+            PrefetchConfig { lookahead, max_inflight_bytes: 0 },
+        );
+        let mut issued = vec![false; n];
+        pump_window(&mut w, &mut issued)?;
+        for ri in reads {
+            w.on_read(&format!("f{:03}", ri % n));
+            pump_window(&mut w, &mut issued)?;
+        }
+        for i in 0..n {
+            w.on_read(&format!("f{i:03}"));
+            pump_window(&mut w, &mut issued)?;
+        }
+        prop_assert!(issued.iter().all(|&b| b), "full read pass must flush the plan");
+        prop_assert_eq!(w.cursor(), n);
+        for (name, was_issued, read_seen) in w.drain() {
+            prop_assert!(was_issued && read_seen, "{} missed", name);
         }
     }
 

@@ -253,6 +253,58 @@ pub unsafe extern "C" fn monarch_string_free(s: *mut c_char) {
     }
 }
 
+/// Submit a clairvoyant access plan: `plan` is a newline-separated list of
+/// file names in the order the framework will read them during the upcoming
+/// epoch (blank lines ignored). The middleware stages the listed files into
+/// faster tiers ahead of the read cursor, within the configured lookahead
+/// and in-flight byte budget. Any previous plan is cancelled first. Returns
+/// the number of plan entries admitted to the prefetch window (0 when
+/// prefetching is disabled, i.e. `prefetch_lookahead: 0`), or a negative
+/// [`errcode`].
+///
+/// # Safety
+/// `handle` must come from [`monarch_init_json`] and not be freed; `plan`
+/// must be a valid NUL-terminated C string.
+#[no_mangle]
+pub unsafe extern "C" fn monarch_submit_plan(
+    handle: *mut MonarchHandle,
+    plan: *const c_char,
+) -> c_long {
+    if handle.is_null() {
+        return errcode::EINVAL as c_long;
+    }
+    let Some(text) = to_str(plan) else {
+        return errcode::EINVAL as c_long;
+    };
+    let monarch = unsafe { &(*handle).inner };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let plan = monarch_core::AccessPlan::from_lines(text);
+        monarch.submit_plan(&plan)
+    }));
+    match outcome {
+        Ok(admitted) => admitted as c_long,
+        Err(_) => errcode::EPANIC as c_long,
+    }
+}
+
+/// Cancel the active access plan, if any: queued prefetch copies are
+/// withdrawn (in-flight ones finish). Returns the number of withdrawn
+/// queued copies, or a negative [`errcode`].
+///
+/// # Safety
+/// `handle` must come from [`monarch_init_json`] and not be freed.
+#[no_mangle]
+pub unsafe extern "C" fn monarch_cancel_plan(handle: *mut MonarchHandle) -> c_long {
+    if handle.is_null() {
+        return errcode::EINVAL as c_long;
+    }
+    let monarch = unsafe { &(*handle).inner };
+    match catch_unwind(AssertUnwindSafe(|| monarch.cancel_prefetch_plan())) {
+        Ok(withdrawn) => withdrawn as c_long,
+        Err(_) => errcode::EPANIC as c_long,
+    }
+}
+
 /// Block until all background placement copies are finished (tests,
 /// graceful teardown).
 ///
@@ -441,6 +493,69 @@ mod tests {
 
             // Null handle → null, not a crash.
             assert!(monarch_trace_json(ptr::null_mut()).is_null());
+
+            monarch_shutdown(h);
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn access_plan_through_c_abi() {
+        let root =
+            std::env::temp_dir().join(format!("monarch-ffi-plan-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let data = root.join("pfs");
+        std::fs::create_dir_all(&data).unwrap();
+        for i in 0..3 {
+            std::fs::write(data.join(format!("f{i}")), vec![i as u8; 2048]).unwrap();
+        }
+        let cfg = MonarchConfig::builder()
+            .tier(
+                TierConfig::posix("ssd", root.join("ssd").to_string_lossy().to_string())
+                    .with_capacity(1 << 20),
+            )
+            .tier(TierConfig::posix("pfs", data.to_string_lossy().to_string()))
+            .pool_threads(2)
+            .prefetch_lookahead(8)
+            .build();
+        let json = CString::new(cfg.to_json()).unwrap();
+        unsafe {
+            let h = monarch_init_json(json.as_ptr());
+            assert!(!h.is_null());
+
+            // Unknown names are skipped; blank lines ignored.
+            let plan = CString::new("f0\nf1\n\nf2\nghost\n").unwrap();
+            assert_eq!(monarch_submit_plan(h, plan.as_ptr()), 3);
+            assert_eq!(monarch_wait_idle(h), 0);
+
+            // All three files were staged before any read.
+            let stats = monarch_stats_json(h);
+            let s = CStr::from_ptr(stats).to_str().unwrap().to_string();
+            let v: serde_json::Value = serde_json::from_str(&s).unwrap();
+            assert_eq!(v["prefetches_scheduled"], 3, "{s}");
+            assert_eq!(v["copies_completed"], 3, "{s}");
+            monarch_string_free(stats);
+
+            // Reads now hit the fast tier and count as prefetch hits.
+            let name = CString::new("f1").unwrap();
+            let mut buf = vec![0u8; 4096];
+            assert_eq!(monarch_read(h, name.as_ptr(), 0, buf.as_mut_ptr(), buf.len()), 2048);
+            let stats = monarch_stats_json(h);
+            let s = CStr::from_ptr(stats).to_str().unwrap().to_string();
+            let v: serde_json::Value = serde_json::from_str(&s).unwrap();
+            assert_eq!(v["prefetch_hits"], 1, "{s}");
+            monarch_string_free(stats);
+
+            // Nothing left queued, so cancelling withdraws zero.
+            assert_eq!(monarch_cancel_plan(h), 0);
+
+            // Argument validation.
+            assert_eq!(monarch_submit_plan(h, ptr::null()), errcode::EINVAL as c_long);
+            assert_eq!(
+                monarch_submit_plan(ptr::null_mut(), plan.as_ptr()),
+                errcode::EINVAL as c_long
+            );
+            assert_eq!(monarch_cancel_plan(ptr::null_mut()), errcode::EINVAL as c_long);
 
             monarch_shutdown(h);
         }

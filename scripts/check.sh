@@ -3,7 +3,7 @@
 # errors), and the full test suite. Run before pushing.
 #
 #   scripts/check.sh            # everything
-#   scripts/check.sh fmt        # just one stage: fmt | clippy | test | trace
+#   scripts/check.sh fmt        # one stage: fmt | clippy | test | trace | prefetch
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -61,19 +61,61 @@ EOF
     trap - EXIT
 }
 
+# Clairvoyant prefetch end to end: the focused test targets (window
+# invariants + cross-driver acceptance), then a CLI smoke run where a
+# full-plan `run --prefetch` epoch must report staged copies serving
+# reads.
+run_prefetch() {
+    echo "==> cargo test -p monarch-core --test proptests -q"
+    cargo test -p monarch-core --test proptests -q
+    echo "==> cargo test -p monarch --test prefetch_e2e -q"
+    cargo test -p monarch --test prefetch_e2e -q
+
+    echo "==> monarch run --prefetch smoke"
+    local tmp
+    tmp="$(mktemp -d)"
+    # shellcheck disable=SC2064  # expand $tmp now, not at exit
+    trap "rm -rf '$tmp'" EXIT
+    cargo run -q -p monarch-cli -- gen-dataset \
+        --dir "$tmp/pfs" --bytes $((8 << 20)) --samples 256 --seed 7
+    cat > "$tmp/cfg.json" <<EOF
+{
+  "tiers": [
+    {"name": "ssd", "backend": {"posix": {"path": "$tmp/ssd"}}, "capacity": 1073741824},
+    {"name": "pfs", "backend": {"posix": {"path": "$tmp/pfs"}}}
+  ],
+  "pool_threads": 4
+}
+EOF
+    cargo run -q -p monarch-cli -- run \
+        --config "$tmp/cfg.json" --data "$tmp/pfs" --epochs 2 --prefetch 64 \
+        | tee "$tmp/run.out"
+    # Epoch 1 must stage copies; some epoch must record plan hits (on a
+    # tiny local-FS dataset readers can outrun epoch-1 staging — the
+    # promoted copies then serve epoch 2's planned reads).
+    grep -Eq 'prefetch: [1-9][0-9]* staged' "$tmp/run.out" \
+        || { echo "prefetch smoke: nothing staged" >&2; exit 1; }
+    grep -Eq ' [1-9][0-9]* hits,' "$tmp/run.out" \
+        || { echo "prefetch smoke: no planned read was served locally" >&2; exit 1; }
+    rm -rf "$tmp"
+    trap - EXIT
+}
+
 case "$stage" in
     fmt) run_fmt ;;
     clippy) run_clippy ;;
     test) run_test ;;
     trace) run_trace ;;
+    prefetch) run_prefetch ;;
     all)
         run_fmt
         run_clippy
         run_test
         run_trace
+        run_prefetch
         ;;
     *)
-        echo "usage: scripts/check.sh [fmt|clippy|test|trace|all]" >&2
+        echo "usage: scripts/check.sh [fmt|clippy|test|trace|prefetch|all]" >&2
         exit 2
         ;;
 esac
