@@ -12,7 +12,7 @@ use monarch_core::metadata::MetadataContainer;
 use monarch_core::placement::{FirstFit, PlacementPolicy};
 use monarch_core::pool::ThreadPool;
 use monarch_core::prefetch::{AccessPlan, PrefetchConfig};
-use monarch_core::{Monarch, StorageDriver, TelemetryConfig};
+use monarch_core::{Monarch, MonarchBuilder, StorageDriver, TelemetryConfig};
 use simfs::clock::SimTime;
 use simfs::psdev::{Kind, PsDevice};
 use simfs::EventQueue;
@@ -98,7 +98,14 @@ fn warmed_monarch(tcfg: TelemetryConfig, pf: PrefetchConfig) -> Monarch {
         ("pfs".into(), pfs as Arc<dyn StorageDriver>, None),
     ])
     .unwrap();
-    let m = Monarch::with_parts_prefetch(hierarchy, Arc::new(FirstFit), 2, true, tcfg, pf);
+    let m = MonarchBuilder::new()
+        .hierarchy(hierarchy)
+        .policy(Arc::new(FirstFit))
+        .pool_threads(2)
+        .telemetry(tcfg)
+        .prefetch(pf)
+        .build()
+        .unwrap();
     m.init().unwrap();
     let mut buf = vec![0u8; 4096];
     m.read("f", 0, &mut buf).unwrap();

@@ -9,10 +9,11 @@ use monarch_core::hash::{FxHashMap, FxHashSet};
 use monarch_core::hierarchy::StorageHierarchy;
 use monarch_core::metadata::{MetadataContainer, PlacementState};
 use monarch_core::placement::{FirstFit, LruEvict, PlacementPolicy, RoundRobin};
+use monarch_core::pool::Lane;
 use monarch_core::stats::Stats;
 use monarch_core::telemetry::{EventKind, TelemetryRegistry, ThroughputSampler};
 use monarch_core::trace::{names, FlowPhase, SpanRecord, QUEUE_TRACK};
-use monarch_core::StorageDriver;
+use monarch_core::{LaneQueues, StorageDriver};
 use simfs::clock::SimTime;
 use simfs::interference::Interference;
 use simfs::psdev::{Kind, PsDevice};
@@ -103,13 +104,12 @@ struct MonarchSim {
     policy: Arc<dyn PlacementPolicy>,
     /// Tier id → device index.
     tier_dev: Vec<usize>,
-    /// Shards waiting for a copy worker (demand lane — always drained
-    /// before the prefetch lane).
-    copy_queue: VecDeque<usize>,
-    /// Shards staged by the clairvoyant prefetcher, awaiting a worker
-    /// (low-priority lane; a foreground read of a queued shard promotes
-    /// it to the demand lane instead of duplicating the copy).
-    prefetch_queue: VecDeque<usize>,
+    /// Shard ids awaiting a copy worker, on the same two-lane discipline
+    /// the real engine uses: the demand lane always drains first, a
+    /// foreground read of a queued prefetch entry promotes it instead of
+    /// duplicating the copy, and a plan boundary bulk-cancels the
+    /// prefetch lane.
+    lanes: LaneQueues<usize>,
     /// Clairvoyant lookahead (0 = reactive only).
     prefetch_lookahead: usize,
     /// This epoch's access plan: shard ids in foreground read order.
@@ -379,8 +379,7 @@ impl World {
                     hierarchy,
                     policy,
                     tier_dev,
-                    copy_queue: VecDeque::new(),
-                    prefetch_queue: VecDeque::new(),
+                    lanes: LaneQueues::new(),
                     prefetch_lookahead: cfg.prefetch_lookahead,
                     plan: Vec::new(),
                     plan_pos: FxHashMap::default(),
@@ -617,7 +616,7 @@ impl World {
                 let tr = Arc::clone(ms.telemetry.trace());
                 for i in 0..self.geom.num_shards() {
                     if ms.meta.begin_copy(&self.shard_names[i], source).unwrap_or(false) {
-                        ms.copy_queue.push_back(i);
+                        ms.lanes.push(Lane::Demand, i);
                         ms.copy_enqueued.insert(i, now);
                         ms.telemetry.stats().copy_scheduled();
                         ms.telemetry.event_at(
@@ -649,7 +648,7 @@ impl World {
                         }
                     }
                 }
-                if self.monarch.as_ref().unwrap().copy_queue.is_empty() {
+                if self.monarch.as_ref().unwrap().lanes.is_empty() {
                     self.q.schedule(now, Ev::StartEpoch);
                 } else {
                     self.dispatch_copy_workers(now);
@@ -714,7 +713,7 @@ impl World {
                 ms.plan = order;
                 ms.plan_cursor = 0;
                 ms.plan_issued = 0;
-                ms.prefetch_queue.clear();
+                ms.lanes.drain_prefetch();
                 ms.prefetch_issued.clear();
                 ms.waiting_readers.clear();
                 ms.buffer_ready.clear();
@@ -802,22 +801,18 @@ impl World {
                 // sitting in the prefetch lane moves it to the demand lane
                 // — one copy, higher priority, no duplicate.
                 let mut promoted = false;
-                if ms.prefetch_lookahead > 0 {
-                    if let Some(pos) = ms.prefetch_queue.iter().position(|&s| s == shard) {
-                        ms.prefetch_queue.remove(pos);
-                        ms.copy_queue.push_back(shard);
-                        ms.telemetry.stats().prefetch_promote();
-                        ms.telemetry.event_at(
-                            vmicros(now),
-                            EventKind::PrefetchPromoted { file: name.clone() },
-                        );
-                        promoted = true;
-                    }
+                if ms.prefetch_lookahead > 0 && ms.lanes.promote_where(|&s| s == shard) {
+                    ms.telemetry.stats().prefetch_promote();
+                    ms.telemetry.event_at(
+                        vmicros(now),
+                        EventKind::PrefetchPromoted { file: name.clone() },
+                    );
+                    promoted = true;
                 }
                 if info.state == PlacementState::Unplaced {
                     if ms.full_fetch {
                         if ms.meta.begin_copy(name, 0).unwrap_or(false) {
-                            ms.copy_queue.push_back(shard);
+                            ms.lanes.push(Lane::Demand, shard);
                             ms.copy_enqueued.insert(shard, now);
                             ms.telemetry.stats().copy_scheduled();
                             ms.telemetry.event_at(
@@ -1279,7 +1274,7 @@ impl World {
                 // Option (i): training starts once staging fully drains.
                 if self.prestaging {
                     let ms = self.monarch.as_ref().expect("monarch");
-                    if ms.copy_queue.is_empty()
+                    if ms.lanes.queued(Lane::Demand) == 0
                         && ms.pending_copy_writes == 0
                         && ms.copy_target.is_empty()
                         && ms.idle_workers == ms.pool_threads
@@ -1446,7 +1441,7 @@ impl World {
                 ms.plan_issued += 1;
                 let name = &self.shard_names[shard];
                 if ms.meta.begin_copy(name, 0).unwrap_or(false) {
-                    ms.prefetch_queue.push_back(shard);
+                    ms.lanes.push(Lane::Prefetch, shard);
                     ms.copy_enqueued.insert(shard, now);
                     ms.prefetch_issued.insert(shard, false);
                     ms.telemetry.stats().copy_scheduled();
@@ -1475,13 +1470,8 @@ impl World {
             if ms.idle_workers == 0 || ms.pending_copy_writes >= 2 * ms.pool_threads {
                 return;
             }
-            let (shard, prefetch_lane) = match ms.copy_queue.pop_front() {
-                Some(s) => (s, false),
-                None => match ms.prefetch_queue.pop_front() {
-                    Some(s) => (s, true),
-                    None => return,
-                },
-            };
+            let Some((shard, lane)) = ms.lanes.pop() else { return };
+            let prefetch_lane = lane == Lane::Prefetch;
             let name = self.shard_names[shard].clone();
             let size = self.geom.shards[shard].bytes;
             match ms.policy.place(&ms.hierarchy, &name, size) {

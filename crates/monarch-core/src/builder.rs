@@ -1,0 +1,271 @@
+//! [`MonarchBuilder`]: the one way to assemble a [`Monarch`] instance.
+//!
+//! Every optional part — placement policy, pool size, telemetry knobs,
+//! clairvoyant prefetch — has a sensible default, so the common test setup
+//! is `MonarchBuilder::new().hierarchy(h).build()?`. Production configs go
+//! through [`MonarchBuilder::from_config`], which also constructs the
+//! backend drivers. The builder wires the shared parts (stats, telemetry,
+//! metadata) into a [`TransferEngine`](crate::transfer::TransferEngine)
+//! and hands the engine to the read-path facade.
+
+use std::sync::Arc;
+
+use crate::config::{default_pool_threads, BackendKind, MonarchConfig, PolicyKind, TelemetryConfig};
+use crate::driver::{MemDriver, PosixDriver, StorageDriver, TimedDriver};
+use crate::hierarchy::StorageHierarchy;
+use crate::metadata::MetadataContainer;
+use crate::middleware::Monarch;
+use crate::placement::{FirstFit, LruEvict, PlacementPolicy, RoundRobin};
+use crate::prefetch::PrefetchConfig;
+use crate::stats::Stats;
+use crate::telemetry::TelemetryRegistry;
+use crate::transfer::TransferEngine;
+use crate::{Error, Result};
+
+/// Builder for [`Monarch`]. Only the storage hierarchy is mandatory.
+pub struct MonarchBuilder {
+    hierarchy: Option<StorageHierarchy>,
+    policy: Arc<dyn PlacementPolicy>,
+    pool_threads: usize,
+    full_file_fetch: bool,
+    telemetry: TelemetryConfig,
+    prefetch: PrefetchConfig,
+}
+
+impl Default for MonarchBuilder {
+    fn default() -> Self {
+        Self {
+            hierarchy: None,
+            policy: Arc::new(FirstFit),
+            pool_threads: default_pool_threads(),
+            full_file_fetch: true,
+            telemetry: TelemetryConfig::default(),
+            prefetch: PrefetchConfig::disabled(),
+        }
+    }
+}
+
+impl MonarchBuilder {
+    /// Start with defaults: first-fit placement, the paper's 6-thread copy
+    /// pool, full-file fetch on, default telemetry, prefetching off.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Seed the builder from a configuration, constructing the backend
+    /// drivers (`Posix` tiers touch the filesystem, hence `Result`). The
+    /// setters can still override any part before [`Self::build`].
+    pub fn from_config(config: MonarchConfig) -> Result<Self> {
+        let mut levels: Vec<(String, Arc<dyn StorageDriver>, Option<u64>)> =
+            Vec::with_capacity(config.tiers.len());
+        for tier in &config.tiers {
+            let driver: Arc<dyn StorageDriver> = match &tier.backend {
+                BackendKind::Posix { path } => {
+                    Arc::new(PosixDriver::new(tier.name.clone(), path.clone())?)
+                }
+                BackendKind::Mem => Arc::new(MemDriver::new(tier.name.clone())),
+            };
+            levels.push((tier.name.clone(), driver, tier.capacity));
+        }
+        let policy: Arc<dyn PlacementPolicy> = match config.policy {
+            PolicyKind::FirstFit => Arc::new(FirstFit),
+            PolicyKind::RoundRobin => Arc::new(RoundRobin::default()),
+            PolicyKind::LruEvict => Arc::new(LruEvict::new()),
+        };
+        Ok(Self {
+            hierarchy: Some(StorageHierarchy::new(levels)?),
+            policy,
+            pool_threads: config.pool_threads,
+            full_file_fetch: config.full_file_fetch,
+            telemetry: config.telemetry,
+            prefetch: PrefetchConfig {
+                lookahead: config.prefetch_lookahead,
+                max_inflight_bytes: config.prefetch_max_inflight_bytes,
+            },
+        })
+    }
+
+    /// The storage hierarchy (mandatory).
+    #[must_use]
+    pub fn hierarchy(mut self, hierarchy: StorageHierarchy) -> Self {
+        self.hierarchy = Some(hierarchy);
+        self
+    }
+
+    /// Placement policy (default: [`FirstFit`]).
+    #[must_use]
+    pub fn policy(mut self, policy: Arc<dyn PlacementPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Background copy pool size (default: the paper's 6).
+    #[must_use]
+    pub fn pool_threads(mut self, threads: usize) -> Self {
+        self.pool_threads = threads;
+        self
+    }
+
+    /// Whether a partial read of an unplaced file triggers a full-file
+    /// background fetch (default: true, the paper behaviour).
+    #[must_use]
+    pub fn full_file_fetch(mut self, on: bool) -> Self {
+        self.full_file_fetch = on;
+        self
+    }
+
+    /// Telemetry knobs (default: histograms + journal on, tracing off).
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Clairvoyant prefetch knobs (default: disabled).
+    #[must_use]
+    pub fn prefetch(mut self, prefetch: PrefetchConfig) -> Self {
+        self.prefetch = prefetch;
+        self
+    }
+
+    /// Assemble the middleware: stats + telemetry registry, instrumented
+    /// drivers (when telemetry is on), the transfer engine owning the copy
+    /// pool and prefetch window, and the read-path facade over them.
+    pub fn build(self) -> Result<Monarch> {
+        let mut hierarchy = self.hierarchy.ok_or_else(|| {
+            Error::InvalidConfig("MonarchBuilder requires a storage hierarchy".into())
+        })?;
+        let stats = Arc::new(Stats::new(hierarchy.levels()));
+        let tier_names: Vec<String> = hierarchy.tiers().iter().map(|t| t.name.clone()).collect();
+        let telemetry =
+            Arc::new(TelemetryRegistry::new(tier_names, Arc::clone(&stats), &self.telemetry));
+        // When telemetry is off the drivers stay unwrapped — a true
+        // zero-overhead baseline.
+        if self.telemetry.enabled {
+            hierarchy.instrument_drivers(|id, driver| {
+                Arc::new(TimedDriver::new(
+                    driver,
+                    Arc::clone(telemetry.read_latency(id)),
+                    Arc::clone(telemetry.write_latency(id)),
+                ))
+            });
+        }
+        let hierarchy = Arc::new(hierarchy);
+        let metadata = Arc::new(MetadataContainer::default());
+        let engine = TransferEngine::new(
+            Arc::clone(&hierarchy),
+            Arc::clone(&metadata),
+            self.policy,
+            Arc::clone(&stats),
+            Arc::clone(&telemetry),
+            self.pool_threads,
+            self.prefetch,
+        );
+        Ok(Monarch::from_parts(
+            hierarchy,
+            metadata,
+            stats,
+            telemetry,
+            engine,
+            self.full_file_fetch,
+        ))
+    }
+}
+
+impl Monarch {
+    /// Build from pre-constructed parts.
+    #[deprecated(note = "use `MonarchBuilder` instead")]
+    #[must_use]
+    pub fn with_parts(
+        hierarchy: StorageHierarchy,
+        policy: Arc<dyn PlacementPolicy>,
+        pool_threads: usize,
+        full_file_fetch: bool,
+    ) -> Self {
+        MonarchBuilder::new()
+            .hierarchy(hierarchy)
+            .policy(policy)
+            .pool_threads(pool_threads)
+            .full_file_fetch(full_file_fetch)
+            .build()
+            .expect("hierarchy is provided")
+    }
+
+    /// Build from parts with explicit telemetry configuration.
+    #[deprecated(note = "use `MonarchBuilder` instead")]
+    #[must_use]
+    pub fn with_parts_telemetry(
+        hierarchy: StorageHierarchy,
+        policy: Arc<dyn PlacementPolicy>,
+        pool_threads: usize,
+        full_file_fetch: bool,
+        telemetry: TelemetryConfig,
+    ) -> Self {
+        MonarchBuilder::new()
+            .hierarchy(hierarchy)
+            .policy(policy)
+            .pool_threads(pool_threads)
+            .full_file_fetch(full_file_fetch)
+            .telemetry(telemetry)
+            .build()
+            .expect("hierarchy is provided")
+    }
+
+    /// Build from parts with telemetry and prefetch configuration.
+    #[deprecated(note = "use `MonarchBuilder` instead")]
+    #[must_use]
+    pub fn with_parts_prefetch(
+        hierarchy: StorageHierarchy,
+        policy: Arc<dyn PlacementPolicy>,
+        pool_threads: usize,
+        full_file_fetch: bool,
+        telemetry: TelemetryConfig,
+        prefetch: PrefetchConfig,
+    ) -> Self {
+        MonarchBuilder::new()
+            .hierarchy(hierarchy)
+            .policy(policy)
+            .pool_threads(pool_threads)
+            .full_file_fetch(full_file_fetch)
+            .telemetry(telemetry)
+            .prefetch(prefetch)
+            .build()
+            .expect("hierarchy is provided")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_hierarchy() -> StorageHierarchy {
+        let pfs = MemDriver::new("pfs");
+        pfs.insert("f", vec![9u8; 64]);
+        let ssd = Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>;
+        StorageHierarchy::new(vec![
+            ("ssd".into(), ssd, Some(1 << 20)),
+            ("pfs".into(), Arc::new(pfs), None),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let m = MonarchBuilder::new().hierarchy(tiny_hierarchy()).build().unwrap();
+        assert_eq!(m.pool_threads(), 6);
+    }
+
+    /// The deprecated constructors must stay behaviour-compatible until
+    /// external embedders migrate to the builder.
+    #[test]
+    #[allow(deprecated)]
+    fn with_parts_shims_still_assemble_a_working_instance() {
+        let m = Monarch::with_parts(tiny_hierarchy(), Arc::new(FirstFit), 1, true);
+        m.init().unwrap();
+        let mut buf = [0u8; 64];
+        assert_eq!(m.read("f", 0, &mut buf).unwrap(), 64);
+        m.wait_placement_idle();
+        assert_eq!(m.stats().copies_completed, 1);
+    }
+}

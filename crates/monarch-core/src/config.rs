@@ -155,7 +155,7 @@ pub struct MonarchConfig {
     pub prefetch_max_inflight_bytes: u64,
 }
 
-fn default_pool_threads() -> usize {
+pub(crate) fn default_pool_threads() -> usize {
     6
 }
 

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::hash::FxHashMap;
 use crate::telemetry::LatencyHistogram;
@@ -308,6 +308,81 @@ impl StorageDriver for TimedDriver {
         let out = self.inner.write_full(file, data);
         self.writes.record_duration(start.elapsed());
         out
+    }
+
+    fn remove(&self, file: &str) -> Result<()> {
+        self.inner.remove(file)
+    }
+
+    fn file_size(&self, file: &str) -> Result<u64> {
+        self.inner.file_size(file)
+    }
+
+    fn list(&self) -> Result<Vec<(String, u64)>> {
+        self.inner.list()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gated driver (test support)
+// ---------------------------------------------------------------------------
+
+/// Shared latch that holds a [`GatedDriver`]'s full-file reads closed until
+/// [`open_gate`] is called.
+pub type Gate = Arc<(Mutex<bool>, Condvar)>;
+
+/// Open `gate`, releasing every blocked and future `read_full` of the
+/// [`GatedDriver`] it came from.
+pub fn open_gate(gate: &Gate) {
+    let (lock, cv) = &**gate;
+    *lock.lock() = true;
+    cv.notify_all();
+}
+
+/// Test-support wrapper whose `read_full` blocks until its [`Gate`] opens.
+///
+/// Background copies fetch the source through `read_full`, so pinning a
+/// worker inside one makes queueing, promotion, and cancellation behaviour
+/// deterministic: jobs pile up behind the blocked copy in a known order.
+/// Foreground `read_at` is deliberately *not* gated — reads keep being
+/// served from the source while the copy pipeline is wedged, exactly the
+/// degraded mode the middleware promises.
+pub struct GatedDriver<D> {
+    inner: D,
+    gate: Gate,
+}
+
+impl<D: StorageDriver> GatedDriver<D> {
+    /// Wrap `inner` behind a closed gate; returns the driver and the gate
+    /// handle used to open it later.
+    #[must_use]
+    pub fn new(inner: D) -> (Self, Gate) {
+        let gate: Gate = Arc::new((Mutex::new(false), Condvar::new()));
+        (Self { inner, gate: Arc::clone(&gate) }, gate)
+    }
+}
+
+impl<D: StorageDriver> StorageDriver for GatedDriver<D> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn read_at(&self, file: &str, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        self.inner.read_at(file, offset, buf)
+    }
+
+    fn read_full(&self, file: &str) -> Result<Vec<u8>> {
+        let (lock, cv) = &*self.gate;
+        let mut open = lock.lock();
+        while !*open {
+            cv.wait(&mut open);
+        }
+        drop(open);
+        self.inner.read_full(file)
+    }
+
+    fn write_full(&self, file: &str, data: &[u8]) -> Result<()> {
+        self.inner.write_full(file, data)
     }
 
     fn remove(&self, file: &str) -> Result<()> {

@@ -20,11 +20,14 @@
 //! - [`metadata`] — the *metadata container*: an ephemeral, thread-safe
 //!   virtual namespace mapping each file to its size and current tier.
 //!
-//! The entry point is [`Monarch`], whose [`Monarch::read`] replaces the
-//! framework's `pread`: it serves the requested byte range from the file's
-//! current tier and, on first touch, schedules a background copy of the
-//! *full* file into the highest tier with room — so later chunks of a large
-//! TFRecord shard hit local storage even within the first epoch.
+//! The entry point is [`Monarch`], built through [`MonarchBuilder`]. Its
+//! [`Monarch::read`] replaces the framework's `pread`: it serves the
+//! requested byte range from the file's current tier and, on first touch,
+//! hands a demand intent to the [`transfer::TransferEngine`] — the single
+//! copy pipeline behind demand placement, pre-staging, clairvoyant
+//! prefetch, and eviction — which copies the *full* file into the highest
+//! tier with room, so later chunks of a large TFRecord shard hit local
+//! storage even within the first epoch.
 //!
 //! ```no_run
 //! use monarch_core::config::{MonarchConfig, TierConfig};
@@ -42,6 +45,7 @@
 //! # let _ = n;
 //! ```
 
+pub mod builder;
 pub mod config;
 pub mod driver;
 pub mod error;
@@ -55,7 +59,9 @@ pub mod prefetch;
 pub mod stats;
 pub mod telemetry;
 pub mod trace;
+pub mod transfer;
 
+pub use builder::MonarchBuilder;
 pub use config::{MonarchConfig, TelemetryConfig};
 pub use driver::StorageDriver;
 pub use error::{Error, Result};
@@ -70,3 +76,4 @@ pub use telemetry::{
     TelemetrySnapshot, ThroughputSampler, TimeSeries,
 };
 pub use trace::{ArgValue, FlowPhase, SpanRecord, TraceRecorder};
+pub use transfer::{DrainReport, LaneQueues, ReadCtx, TransferEngine};

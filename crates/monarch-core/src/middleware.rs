@@ -1,18 +1,20 @@
-//! The [`Monarch`] facade: ties the metadata container, storage hierarchy,
-//! placement policy and background copy pool together and exposes the
-//! `Monarch.read` operation that replaces the framework's `pread`.
+//! The [`Monarch`] facade: the read path.
+//!
+//! `Monarch` ties the metadata container and storage hierarchy to the
+//! `Monarch.read` operation that replaces the framework's `pread`, and
+//! hands every data-movement *intent* to the
+//! [`TransferEngine`](crate::transfer::TransferEngine) — one copy pipeline
+//! for demand placement, pre-staging, clairvoyant prefetch, and eviction.
+//! Construction goes through [`crate::MonarchBuilder`].
 //!
 //! Operation flow for a read of file `X` (paper §III-B):
 //!
 //! 1. look `X` up in the metadata container → current tier;
 //! 2. forward the read to that tier's storage driver and return the bytes;
-//! 3. if `X` has never been considered for placement, atomically win the
-//!    `Unplaced → Copying` transition and hand a task to the background
-//!    pool, which (a) asks the placement policy for a destination tier with
-//!    reserved quota, (b) reads the *full* file from the PFS (skipped when
-//!    the triggering read already covered the whole file), (c) writes it to
-//!    the destination, and (d) flips the metadata so subsequent reads are
-//!    served locally.
+//! 3. if `X` has never been considered for placement, hand a demand intent
+//!    to the engine, which atomically wins the `Unplaced → Copying`
+//!    transition and runs the policy + full-file copy on a pool thread,
+//!    flipping the metadata so subsequent reads are served locally.
 //!
 //! Failures in the background path release reserved quota and revert the
 //! metadata, so a crashed copy degrades to "file stays on the PFS".
@@ -21,18 +23,15 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
-
-use crate::config::{BackendKind, MonarchConfig, PolicyKind, TelemetryConfig};
-use crate::driver::{MemDriver, PosixDriver, StorageDriver, TimedDriver};
-use crate::hierarchy::{StorageHierarchy, TierId};
+use crate::builder::MonarchBuilder;
+use crate::config::MonarchConfig;
+use crate::hierarchy::StorageHierarchy;
 use crate::metadata::{MetadataContainer, PlacementState};
-use crate::placement::{FirstFit, LruEvict, PlacementPolicy, RoundRobin};
-use crate::pool::{Lane, TaskCtx, ThreadPool};
-use crate::prefetch::{AccessPlan, PrefetchConfig, PrefetchWindow};
+use crate::prefetch::AccessPlan;
 use crate::stats::{Stats, StatsSnapshot};
-use crate::telemetry::{EventKind, TelemetryRegistry, TelemetrySnapshot};
-use crate::trace::{names, FlowPhase, SpanRecord, QUEUE_TRACK};
+use crate::telemetry::{TelemetryRegistry, TelemetrySnapshot};
+use crate::trace::{names, FlowPhase, SpanRecord};
+use crate::transfer::{ReadCtx, TransferEngine};
 use crate::{Error, Result};
 
 /// Outcome of the startup namespace scan.
@@ -50,176 +49,34 @@ pub struct InitReport {
 pub struct Monarch {
     hierarchy: Arc<StorageHierarchy>,
     metadata: Arc<MetadataContainer>,
-    policy: Arc<dyn PlacementPolicy>,
-    pool: ThreadPool,
     stats: Arc<Stats>,
     telemetry: Arc<TelemetryRegistry>,
+    engine: TransferEngine,
     full_file_fetch: bool,
+    /// Shared with the engine (its drain sets it), so reads are rejected
+    /// as soon as shutdown begins.
     shutting_down: Arc<AtomicBool>,
-    /// Clairvoyant prefetcher — present only when `prefetch_lookahead > 0`,
-    /// so a disabled configuration takes zero extra branches on the read
-    /// path beyond one `Option` check.
-    prefetch: Option<PrefetchEngine>,
-}
-
-/// Runtime state of the clairvoyant prefetcher: the knobs plus the window
-/// over the currently submitted access plan (`None` until a plan arrives).
-struct PrefetchEngine {
-    cfg: PrefetchConfig,
-    window: Mutex<Option<PrefetchWindow>>,
 }
 
 impl Monarch {
     /// Build a middleware instance from a configuration, constructing the
-    /// backend drivers.
+    /// backend drivers. Equivalent to
+    /// `MonarchBuilder::from_config(config)?.build()`.
     pub fn new(config: MonarchConfig) -> Result<Self> {
-        let mut levels: Vec<(String, Arc<dyn StorageDriver>, Option<u64>)> =
-            Vec::with_capacity(config.tiers.len());
-        for tier in &config.tiers {
-            let driver: Arc<dyn StorageDriver> = match &tier.backend {
-                BackendKind::Posix { path } => {
-                    Arc::new(PosixDriver::new(tier.name.clone(), path.clone())?)
-                }
-                BackendKind::Mem => Arc::new(MemDriver::new(tier.name.clone())),
-            };
-            levels.push((tier.name.clone(), driver, tier.capacity));
-        }
-        let hierarchy = StorageHierarchy::new(levels)?;
-        let policy: Arc<dyn PlacementPolicy> = match config.policy {
-            PolicyKind::FirstFit => Arc::new(FirstFit),
-            PolicyKind::RoundRobin => Arc::new(RoundRobin::default()),
-            PolicyKind::LruEvict => Arc::new(LruEvict::new()),
-        };
-        let prefetch = PrefetchConfig {
-            lookahead: config.prefetch_lookahead,
-            max_inflight_bytes: config.prefetch_max_inflight_bytes,
-        };
-        Ok(Self::assemble(
-            hierarchy,
-            policy,
-            config.pool_threads,
-            config.full_file_fetch,
-            config.telemetry,
-            prefetch,
-        ))
+        MonarchBuilder::from_config(config)?.build()
     }
 
-    /// Build from pre-constructed parts (tests and embedders that supply
-    /// custom drivers or policies). Telemetry uses its defaults; use
-    /// [`Monarch::with_parts_telemetry`] to override.
-    #[must_use]
-    pub fn with_parts(
-        hierarchy: StorageHierarchy,
-        policy: Arc<dyn PlacementPolicy>,
-        pool_threads: usize,
+    /// Assemble the facade over parts the builder constructed.
+    pub(crate) fn from_parts(
+        hierarchy: Arc<StorageHierarchy>,
+        metadata: Arc<MetadataContainer>,
+        stats: Arc<Stats>,
+        telemetry: Arc<TelemetryRegistry>,
+        engine: TransferEngine,
         full_file_fetch: bool,
     ) -> Self {
-        Self::assemble(
-            hierarchy,
-            policy,
-            pool_threads,
-            full_file_fetch,
-            TelemetryConfig::default(),
-            PrefetchConfig::disabled(),
-        )
-    }
-
-    /// [`Monarch::with_parts`] with explicit telemetry configuration —
-    /// benches use [`TelemetryConfig::disabled`] for an uninstrumented
-    /// baseline.
-    #[must_use]
-    pub fn with_parts_telemetry(
-        hierarchy: StorageHierarchy,
-        policy: Arc<dyn PlacementPolicy>,
-        pool_threads: usize,
-        full_file_fetch: bool,
-        telemetry: TelemetryConfig,
-    ) -> Self {
-        Self::assemble(
-            hierarchy,
-            policy,
-            pool_threads,
-            full_file_fetch,
-            telemetry,
-            PrefetchConfig::disabled(),
-        )
-    }
-
-    /// [`Monarch::with_parts_telemetry`] with clairvoyant prefetching
-    /// enabled (tests and benches; production goes through
-    /// [`Monarch::new`] and the config knobs).
-    #[must_use]
-    pub fn with_parts_prefetch(
-        hierarchy: StorageHierarchy,
-        policy: Arc<dyn PlacementPolicy>,
-        pool_threads: usize,
-        full_file_fetch: bool,
-        telemetry: TelemetryConfig,
-        prefetch: PrefetchConfig,
-    ) -> Self {
-        Self::assemble(hierarchy, policy, pool_threads, full_file_fetch, telemetry, prefetch)
-    }
-
-    fn assemble(
-        mut hierarchy: StorageHierarchy,
-        policy: Arc<dyn PlacementPolicy>,
-        pool_threads: usize,
-        full_file_fetch: bool,
-        tcfg: TelemetryConfig,
-        pf: PrefetchConfig,
-    ) -> Self {
-        let stats = Arc::new(Stats::new(hierarchy.levels()));
-        let tier_names: Vec<String> =
-            hierarchy.tiers().iter().map(|t| t.name.clone()).collect();
-        let telemetry =
-            Arc::new(TelemetryRegistry::new(tier_names, Arc::clone(&stats), &tcfg));
-        // When telemetry is off the drivers stay unwrapped and the pool
-        // unstamped — a true zero-overhead baseline.
-        let pool = if tcfg.enabled {
-            hierarchy.instrument_drivers(|id, driver| {
-                Arc::new(TimedDriver::new(
-                    driver,
-                    Arc::clone(telemetry.read_latency(id)),
-                    Arc::clone(telemetry.write_latency(id)),
-                ))
-            });
-            ThreadPool::with_telemetry(
-                pool_threads,
-                Arc::clone(telemetry.queue_wait()),
-                Arc::clone(telemetry.queue_wait_prefetch()),
-                Arc::clone(telemetry.pool_exec()),
-            )
-        } else {
-            ThreadPool::new(pool_threads)
-        };
-        let metadata = Arc::new(MetadataContainer::default());
-        // A panicking copy task must not strand the file in `Copying`:
-        // report which copy died and revert it so a later read can retry
-        // (same degradation as an I/O failure — the file stays on the PFS).
-        {
-            let stats = Arc::clone(&stats);
-            let telemetry = Arc::clone(&telemetry);
-            let metadata = Arc::clone(&metadata);
-            pool.set_panic_handler(Arc::new(move |ctx: &TaskCtx| {
-                stats.copy_failed();
-                telemetry.event(EventKind::CopyFailed {
-                    file: ctx.label.clone(),
-                    reason: "background copy task panicked".to_string(),
-                });
-                let _ = metadata.abort_copy(&ctx.label, false);
-            }));
-        }
-        Self {
-            hierarchy: Arc::new(hierarchy),
-            metadata,
-            policy,
-            pool,
-            stats,
-            telemetry,
-            full_file_fetch,
-            shutting_down: Arc::new(AtomicBool::new(false)),
-            prefetch: pf.enabled().then(|| PrefetchEngine { cfg: pf, window: Mutex::new(None) }),
-        }
+        let shutting_down = engine.shutdown_flag();
+        Self { hierarchy, metadata, stats, telemetry, engine, full_file_fetch, shutting_down }
     }
 
     /// Populate the metadata container by scanning the PFS source tier —
@@ -261,7 +118,7 @@ impl Monarch {
         let sampled = tr.sample_read();
         let t0 = if sampled { self.telemetry.now_micros() } else { 0 };
         let info = self.metadata.lookup_for_read(file)?;
-        self.policy.on_access(file, info.tier);
+        self.engine.note_access(file, info.tier);
         let t_lookup = if sampled { self.telemetry.now_micros() } else { 0 };
         if offset >= info.size {
             return Ok(0);
@@ -287,7 +144,8 @@ impl Monarch {
             let inline = (offset == 0 && n as u64 == info.size).then(|| buf[..n].to_vec());
             if self.full_file_fetch || inline.is_some() {
                 let candidate = if sampled { tr.next_id() } else { 0 };
-                if self.schedule_placement(file, info.size, inline, read_id, candidate, false) {
+                if self.engine.demand(file, info.size, inline, ReadCtx::traced(read_id, candidate))
+                {
                     flow = candidate;
                 }
             }
@@ -295,10 +153,7 @@ impl Monarch {
         // Clairvoyant bookkeeping: advance the plan cursor past this file,
         // count a hit, upgrade a still-queued prefetch copy to the demand
         // lane, and release more of the plan to the prefetcher.
-        let prefetch_flow = match &self.prefetch {
-            Some(engine) => self.prefetch_note_read(engine, file, info.tier),
-            None => 0,
-        };
+        let prefetch_flow = self.engine.note_read(file, info.tier);
         if sampled {
             let tid = tr.register_current_thread();
             tr.record(
@@ -372,78 +227,9 @@ impl Monarch {
             .ok_or_else(|| Error::UnknownFile(file.into()))
     }
 
-    /// Hand a placement task to the background pool if this thread wins the
-    /// `Unplaced → Copying` race. Returns whether a task was scheduled.
-    ///
-    /// `trace_parent`/`flow` are nonzero when the triggering operation was
-    /// sampled: a `copy_scheduled` span is recorded under the parent and
-    /// `flow` rides along to the pool thread, where `copy_exec` finishes it.
-    /// `start_flow` puts the flow's start endpoint on the `copy_scheduled`
-    /// span itself (prestage — there is no foreground `driver_pread` to
-    /// carry it).
-    fn schedule_placement(
-        &self,
-        file: &str,
-        size: u64,
-        inline_data: Option<Vec<u8>>,
-        trace_parent: u64,
-        flow: u64,
-        start_flow: bool,
-    ) -> bool {
-        // The target recorded here is provisional; the policy picks the
-        // real destination inside the background task (paper §III-B: the
-        // placement handler runs on a pool thread).
-        match self.metadata.begin_copy(file, 0) {
-            Ok(true) => {}
-            _ => return false,
-        }
-        self.stats.copy_scheduled();
-        self.telemetry.event(EventKind::CopyScheduled { file: file.to_string(), bytes: size });
-        let tr = self.telemetry.trace();
-        let queued_us = if flow != 0 { self.telemetry.now_micros() } else { 0 };
-        if flow != 0 {
-            let sched =
-                SpanRecord::new(names::COPY_SCHEDULED, "copy", tr.register_current_thread(), queued_us, 0)
-                    .with_id(tr.next_id())
-                    .with_parent(trace_parent)
-                    .arg_str("file", file)
-                    .arg_u64("bytes", size);
-            // `with_flow` makes the exporter emit the `flow` arg itself, so
-            // only the non-starting variant adds it explicitly.
-            tr.record(if start_flow {
-                sched.with_flow(flow, FlowPhase::Start)
-            } else {
-                sched.arg_u64("flow", flow)
-            });
-        }
-        let ctx = PlacementCtx {
-            hierarchy: Arc::clone(&self.hierarchy),
-            metadata: Arc::clone(&self.metadata),
-            policy: Arc::clone(&self.policy),
-            stats: Arc::clone(&self.stats),
-            telemetry: Arc::clone(&self.telemetry),
-            shutting_down: Arc::clone(&self.shutting_down),
-            flow,
-            queued_us,
-        };
-        let owned = file.to_string();
-        let task_ctx = TaskCtx { label: file.to_string(), flow };
-        let submitted = self.pool.submit_with(
-            Some(task_ctx),
-            Box::new(move || {
-                ctx.run(&owned, size, inline_data);
-            }),
-        );
-        if !submitted {
-            // Pool refused (shutdown): revert so the state stays clean.
-            let _ = self.metadata.abort_copy(file, false);
-        }
-        submitted
-    }
-
     /// Block until all scheduled background copies have finished.
     pub fn wait_placement_idle(&self) {
-        self.pool.wait_idle();
+        self.engine.wait_idle();
     }
 
     /// Pre-stage the dataset: schedule placement for every file that has
@@ -476,7 +262,7 @@ impl Monarch {
             // harmlessly. Each staged copy gets its own flow, started on
             // the copy_scheduled span (no foreground pread exists here).
             let flow = if traced { tr.next_id() } else { 0 };
-            if self.schedule_placement(&name, size, None, prestage_id, flow, true) {
+            if self.engine.demand(&name, size, None, ReadCtx::staged(prestage_id, flow)) {
                 scheduled += 1;
             }
         }
@@ -492,7 +278,7 @@ impl Monarch {
     }
 
     /// Submit the access plan for the upcoming epoch — the ordered file
-    /// sequence of the framework's (seeded) shuffle. The prefetcher stages
+    /// sequence of the framework's (seeded) shuffle. The engine stages
     /// plan entries ahead of the foreground read cursor, at most
     /// `prefetch_lookahead` positions ahead and within the in-flight byte
     /// budget, on the pool's low-priority prefetch lane.
@@ -503,34 +289,7 @@ impl Monarch {
     /// (known, deduplicated) entries — `0` when prefetching is disabled
     /// (`prefetch_lookahead == 0`), in which case this is a no-op.
     pub fn submit_plan(&self, plan: &AccessPlan) -> usize {
-        let Some(engine) = &self.prefetch else { return 0 };
-        self.cancel_window(engine);
-        let mut files = Vec::with_capacity(plan.len());
-        for name in plan.files() {
-            if let Some(info) = self.metadata.get(name) {
-                files.push((name.clone(), info.size));
-            }
-        }
-        let window = PrefetchWindow::new(files, engine.cfg);
-        let admitted = window.len();
-        *engine.window.lock() = Some(window);
-        let tr = self.telemetry.trace();
-        if tr.is_enabled() {
-            tr.record(
-                SpanRecord::new(
-                    names::PLAN_SUBMIT,
-                    "read",
-                    tr.register_current_thread(),
-                    self.telemetry.now_micros(),
-                    0,
-                )
-                .with_id(tr.next_id())
-                .arg_u64("entries", plan.len() as u64)
-                .arg_u64("admitted", admitted as u64),
-            );
-        }
-        self.pump_prefetch();
-        admitted
+        self.engine.plan(plan)
     }
 
     /// Cancel the current access plan: withdraw queued-but-unstarted
@@ -538,177 +297,15 @@ impl Monarch {
     /// window. Returns the number of withdrawn copies. Running copies are
     /// not interrupted.
     pub fn cancel_prefetch_plan(&self) -> usize {
-        match &self.prefetch {
-            Some(engine) => self.cancel_window(engine),
-            None => 0,
-        }
+        self.engine.cancel_plan()
     }
 
-    /// Tear down the current window (plan switch, explicit cancel, or
-    /// shutdown): pull queued prefetch jobs out of the pool, revert their
-    /// metadata, and settle hit/waste accounting for the closed plan.
-    fn cancel_window(&self, engine: &PrefetchEngine) -> usize {
-        let mut guard = engine.window.lock();
-        let Some(mut window) = guard.take() else { return 0 };
-        let canceled = self.pool.drain_prefetch();
-        let withdrawn = canceled.len();
-        for ctx in canceled {
-            let _ = self.metadata.abort_copy(&ctx.label, false);
-            self.stats.prefetch_cancel();
-            self.telemetry.event(EventKind::PrefetchCanceled { file: ctx.label.clone() });
-            window.resolve_by_name(&ctx.label);
-        }
-        // Wasted work: staged onto a local tier but never read before the
-        // plan closed. (Copies still running when the plan closes are in
-        // `Copying` and settle as neither hit nor waste.)
-        let source = self.hierarchy.source_id();
-        for (name, issued, read_seen) in window.drain() {
-            if issued && !read_seen {
-                if let Some(info) = self.metadata.get(&name) {
-                    if info.state == PlacementState::Placed && info.tier != source {
-                        self.stats.prefetch_wasted();
-                    }
-                }
-            }
-        }
-        withdrawn
-    }
-
-    /// Issue as much of the plan as the lookahead window and byte budget
-    /// allow. Runs inline on plan submission and after each foreground
-    /// read (the cursor advance is what releases more of the plan).
-    fn pump_prefetch(&self) {
-        let Some(engine) = &self.prefetch else { return };
-        loop {
-            let (idx, name, size) = {
-                let mut guard = engine.window.lock();
-                let Some(window) = guard.as_mut() else { return };
-                // Copies that left `Copying` (completed, skipped, failed,
-                // or reverted by the panic handler) release byte budget.
-                window.poll_resolved(|name| {
-                    !matches!(
-                        self.metadata.get(name),
-                        Some(crate::metadata::FileInfo {
-                            state: PlacementState::Copying { .. },
-                            ..
-                        })
-                    )
-                });
-                match window.next_to_issue() {
-                    Some(pick) => pick,
-                    None => return,
-                }
-            };
-            // Scheduling happens outside the window lock: it touches the
-            // metadata CAS, the journal, and the pool queue.
-            let flow = self.schedule_prefetch(&name, size);
-            let mut guard = engine.window.lock();
-            if let Some(window) = guard.as_mut() {
-                match flow {
-                    Some(f) => window.set_flow(idx, f),
-                    // Lost the CAS (a demand copy got there first, or the
-                    // file is already placed) or the pool refused: the
-                    // entry is settled, release its budget share.
-                    None => window.resolve(idx),
-                }
-            }
-        }
-    }
-
-    /// Schedule one prefetch copy on the low-priority lane. Returns the
-    /// trace flow id (`0` when tracing is off) on success, `None` when the
-    /// copy was not scheduled (placement already in progress or done, or
-    /// the pool is shutting down).
-    fn schedule_prefetch(&self, file: &str, size: u64) -> Option<u64> {
-        if self.shutting_down.load(Ordering::Acquire) {
-            return None;
-        }
-        match self.metadata.begin_copy(file, 0) {
-            Ok(true) => {}
-            _ => return None,
-        }
-        self.stats.copy_scheduled();
-        self.stats.prefetch_scheduled();
-        self.telemetry
-            .event(EventKind::PrefetchScheduled { file: file.to_string(), bytes: size });
-        let tr = self.telemetry.trace();
-        let traced = tr.is_enabled();
-        let flow = if traced { tr.next_id() } else { 0 };
-        let queued_us = if traced { self.telemetry.now_micros() } else { 0 };
-        if traced {
-            // Like prestage, the flow starts at the scheduling span (there
-            // is no foreground pread yet — the read it serves may be far in
-            // the future) and finishes at the background copy_exec.
-            tr.record(
-                SpanRecord::new(
-                    names::PREFETCH_SCHEDULED,
-                    "copy",
-                    tr.register_current_thread(),
-                    queued_us,
-                    0,
-                )
-                .with_id(tr.next_id())
-                .arg_str("file", file)
-                .arg_u64("bytes", size)
-                .with_flow(flow, FlowPhase::Start),
-            );
-        }
-        let ctx = PlacementCtx {
-            hierarchy: Arc::clone(&self.hierarchy),
-            metadata: Arc::clone(&self.metadata),
-            policy: Arc::clone(&self.policy),
-            stats: Arc::clone(&self.stats),
-            telemetry: Arc::clone(&self.telemetry),
-            shutting_down: Arc::clone(&self.shutting_down),
-            flow,
-            queued_us,
-        };
-        let owned = file.to_string();
-        let task_ctx = TaskCtx { label: file.to_string(), flow };
-        let submitted = self.pool.submit_on(
-            Lane::Prefetch,
-            Some(task_ctx),
-            Box::new(move || ctx.run(&owned, size, None)),
-        );
-        if !submitted {
-            let _ = self.metadata.abort_copy(file, false);
-            return None;
-        }
-        Some(flow)
-    }
-
-    /// Read-path prefetch bookkeeping. Returns the flow id of the prefetch
-    /// copy issued for this file (`0` if none / untraced) so the read span
-    /// can point back at it.
-    fn prefetch_note_read(&self, engine: &PrefetchEngine, file: &str, served: TierId) -> u64 {
-        let note = {
-            let mut guard = engine.window.lock();
-            let Some(window) = guard.as_mut() else { return 0 };
-            match window.on_read(file) {
-                Some(note) => note,
-                None => return 0,
-            }
-        };
-        let mut flow = 0;
-        if note.issued {
-            flow = note.flow;
-            if note.first_read && served != self.hierarchy.source_id() {
-                // The plan staged this file before its first read arrived.
-                self.stats.prefetch_hit();
-            }
-            if !note.resolved && self.pool.promote(file) {
-                // Dedup guard: the file's copy is still *queued* on the
-                // prefetch lane — upgrade that job's priority instead of
-                // letting the demand path wait behind unrelated prefetches
-                // (it cannot enqueue a duplicate: the metadata CAS is held
-                // by the queued job).
-                self.stats.prefetch_promote();
-                self.telemetry.event(EventKind::PrefetchPromoted { file: file.to_string() });
-            }
-        }
-        // The cursor moved: more of the plan may now be issued.
-        self.pump_prefetch();
-        flow
+    /// Evict `file` from its local tier back to the PFS source, freeing
+    /// its quota. Returns `Ok(false)` when the file is not locally
+    /// resident (still on the source, or a copy is in flight). The file
+    /// reverts to `Unplaced`, so a later read may place it again.
+    pub fn evict(&self, file: &str) -> Result<bool> {
+        self.engine.evict(file)
     }
 
     /// Current statistics snapshot.
@@ -764,25 +361,16 @@ impl Monarch {
     /// Number of background copy threads.
     #[must_use]
     pub fn pool_threads(&self) -> usize {
-        self.pool.threads()
+        self.engine.threads()
     }
 
-    /// Stop accepting reads, cancel queued prefetches, drain in-flight
-    /// copies, and join the pool. Worker threads that died outside the
-    /// per-task panic catch are counted in the returned snapshot
-    /// (`pool_join_failures`) and journaled, instead of being silently
-    /// discarded.
+    /// Stop accepting reads, cancel queued prefetches *before* joining the
+    /// workers, drain in-flight copies, and join the pool. Worker threads
+    /// that died outside the per-task panic catch are counted in the
+    /// returned snapshot (`pool_join_failures`) and journaled, instead of
+    /// being silently discarded.
     pub fn shutdown(mut self) -> StatsSnapshot {
-        self.shutting_down.store(true, Ordering::Release);
-        if let Some(engine) = &self.prefetch {
-            self.cancel_window(engine);
-        }
-        self.pool.shutdown();
-        for _ in 0..self.pool.join_failures() {
-            self.stats.pool_join_failure();
-            self.telemetry
-                .event(EventKind::WorkerJoinFailed { file: "monarch-copy-worker".to_string() });
-        }
+        self.engine.drain();
         self.stats.snapshot()
     }
 }
@@ -792,285 +380,29 @@ impl std::fmt::Debug for Monarch {
         f.debug_struct("Monarch")
             .field("levels", &self.hierarchy.levels())
             .field("files", &self.metadata.len())
-            .field("policy", &self.policy.name())
+            .field("policy", &self.engine.policy_name())
             .finish()
-    }
-}
-
-/// Everything a background placement task needs (the pool outlives `&self`
-/// borrows, so tasks own `Arc`s).
-struct PlacementCtx {
-    hierarchy: Arc<StorageHierarchy>,
-    metadata: Arc<MetadataContainer>,
-    policy: Arc<dyn PlacementPolicy>,
-    stats: Arc<Stats>,
-    telemetry: Arc<TelemetryRegistry>,
-    shutting_down: Arc<AtomicBool>,
-    /// Flow id linking back to the sampled foreground operation that
-    /// scheduled this copy; 0 when the trigger was not sampled.
-    flow: u64,
-    /// Registry-clock timestamp of the moment the task was enqueued
-    /// (queue-wait span start); 0 when untraced.
-    queued_us: u64,
-}
-
-/// Per-copy trace context threaded into `try_place` so the chunk-level
-/// spans (`placement_decide` / `copy_read` / `copy_write` /
-/// `metadata_register`) parent under the enclosing `copy_exec`.
-struct CopyTraceCtx {
-    tid: u64,
-    exec_id: u64,
-}
-
-impl PlacementCtx {
-    fn run(&self, file: &str, size: u64, inline_data: Option<Vec<u8>>) {
-        if self.shutting_down.load(Ordering::Acquire) {
-            let _ = self.metadata.abort_copy(file, false);
-            return;
-        }
-        let tr = self.telemetry.trace();
-        let traced = self.flow != 0 && tr.is_enabled();
-        let exec_t0 = if traced { self.telemetry.now_micros() } else { 0 };
-        let copy_trace = if traced {
-            // The queue-wait interval spans enqueue → dequeue; it renders on
-            // its own reserved track because it belongs to neither the
-            // scheduling nor the executing thread.
-            tr.record(
-                SpanRecord::new(
-                    names::QUEUE_WAIT,
-                    "copy",
-                    QUEUE_TRACK,
-                    self.queued_us,
-                    exec_t0.saturating_sub(self.queued_us),
-                )
-                .with_id(tr.next_id())
-                .arg_str("file", file),
-            );
-            Some(CopyTraceCtx { tid: tr.register_current_thread(), exec_id: tr.next_id() })
-        } else {
-            None
-        };
-        let started = Instant::now();
-        self.telemetry.event(EventKind::CopyStarted { file: file.to_string() });
-        let result = self.try_place(file, size, inline_data, copy_trace.as_ref());
-        if let Some(ct) = &copy_trace {
-            let outcome = match &result {
-                Ok(Some(_)) => "completed",
-                Ok(None) => "skipped",
-                Err(_) => "failed",
-            };
-            tr.record(
-                SpanRecord::new(
-                    names::COPY_EXEC,
-                    "copy",
-                    ct.tid,
-                    exec_t0,
-                    self.telemetry.now_micros() - exec_t0,
-                )
-                .with_id(ct.exec_id)
-                .with_flow(self.flow, FlowPhase::Finish)
-                .arg_str("file", file)
-                .arg_u64("bytes", size)
-                .arg_str("outcome", outcome),
-            );
-        }
-        match result {
-            Ok(Some(tier)) => {
-                self.stats.copy_completed();
-                let elapsed = started.elapsed();
-                if self.telemetry.is_enabled() {
-                    self.telemetry.copy_duration().record_duration(elapsed);
-                }
-                self.telemetry.event(EventKind::CopyCompleted {
-                    file: file.to_string(),
-                    tier,
-                    bytes: size,
-                    micros: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
-                });
-            }
-            Ok(None) => {
-                // No room anywhere: pin the file to the PFS permanently
-                // (placement for it has ended, paper §III-B last paragraph).
-                self.stats.placement_skip();
-                self.telemetry.event(EventKind::PlacementSkipped {
-                    file: file.to_string(),
-                    reason: "no local tier had room".to_string(),
-                });
-                let _ = self.metadata.abort_copy(file, true);
-            }
-            Err(e) => {
-                // I/O failure: revert to Unplaced so a later read may retry.
-                self.stats.copy_failed();
-                self.telemetry.event(EventKind::CopyFailed {
-                    file: file.to_string(),
-                    reason: e.to_string(),
-                });
-                let _ = self.metadata.abort_copy(file, false);
-            }
-        }
-    }
-
-    /// Returns `Ok(Some(tier))` if the file was placed on `tier`,
-    /// `Ok(None)` if no tier had room, `Err` on I/O failure (quota
-    /// released, nothing half-installed visible to readers).
-    fn try_place(
-        &self,
-        file: &str,
-        size: u64,
-        inline_data: Option<Vec<u8>>,
-        ct: Option<&CopyTraceCtx>,
-    ) -> Result<Option<TierId>> {
-        let tr = self.telemetry.trace();
-        let t_decide = if ct.is_some() { self.telemetry.now_micros() } else { 0 };
-        let decision = self.policy.place(&self.hierarchy, file, size)?;
-        if let Some(ct) = ct {
-            let mut span = SpanRecord::new(
-                names::PLACEMENT_DECIDE,
-                "copy",
-                ct.tid,
-                t_decide,
-                self.telemetry.now_micros() - t_decide,
-            )
-            .with_id(tr.next_id())
-            .with_parent(ct.exec_id)
-            .arg_str("policy", self.policy.name().to_string());
-            if let Some(d) = &decision {
-                for (key, value) in d.trace_args(&self.hierarchy) {
-                    span.args.push((key, value));
-                }
-            } else {
-                span = span.arg_str("tier", "none");
-            }
-            tr.record(span);
-        }
-        let Some(decision) = decision else {
-            return Ok(None);
-        };
-        let dest = self.hierarchy.tier(decision.tier)?;
-        let quota = dest.quota.as_ref().ok_or(Error::UnknownTier(decision.tier))?;
-
-        // Evictions (ablation policies only): remove victims, release their
-        // quota, then reserve for the newcomer.
-        let reserved = if decision.evict.is_empty() {
-            true // policy reserved during `place`
-        } else {
-            for victim in &decision.evict {
-                if let Some(vinfo) = self.metadata.get(victim) {
-                    if vinfo.tier == decision.tier {
-                        dest.driver.remove(victim)?;
-                        self.metadata.evict_to(victim, self.hierarchy.source_id())?;
-                        quota.release(vinfo.size);
-                        self.stats.record_evict(decision.tier);
-                        self.telemetry.event(EventKind::Evicted {
-                            file: victim.clone(),
-                            tier: decision.tier,
-                            bytes: vinfo.size,
-                        });
-                    }
-                }
-            }
-            quota.try_reserve(size)
-        };
-        if !reserved {
-            return Ok(None);
-        }
-        self.telemetry.event(EventKind::PlacementDecided {
-            file: file.to_string(),
-            tier: decision.tier,
-            used: quota.used(),
-            capacity: quota.capacity(),
-        });
-
-        let install = || -> Result<()> {
-            let data = match inline_data {
-                Some(ref data) => data.clone(),
-                None => {
-                    let t_read = if ct.is_some() { self.telemetry.now_micros() } else { 0 };
-                    let source = self.hierarchy.source();
-                    let data = source.driver.read_full(file)?;
-                    self.stats.record_read(source.id, data.len() as u64);
-                    if let Some(ct) = ct {
-                        tr.record(
-                            SpanRecord::new(
-                                names::COPY_READ,
-                                "copy",
-                                ct.tid,
-                                t_read,
-                                self.telemetry.now_micros() - t_read,
-                            )
-                            .with_id(tr.next_id())
-                            .with_parent(ct.exec_id)
-                            .arg_str("tier", &source.name)
-                            .arg_u64("bytes", data.len() as u64),
-                        );
-                    }
-                    data
-                }
-            };
-            let t_write = if ct.is_some() { self.telemetry.now_micros() } else { 0 };
-            dest.driver.write_full(file, &data)?;
-            self.stats.record_write(decision.tier, data.len() as u64);
-            if let Some(ct) = ct {
-                tr.record(
-                    SpanRecord::new(
-                        names::COPY_WRITE,
-                        "copy",
-                        ct.tid,
-                        t_write,
-                        self.telemetry.now_micros() - t_write,
-                    )
-                    .with_id(tr.next_id())
-                    .with_parent(ct.exec_id)
-                    .arg_str("tier", &dest.name)
-                    .arg_u64("bytes", data.len() as u64),
-                );
-            }
-            Ok(())
-        };
-        match install() {
-            Ok(()) => {
-                let t_reg = if ct.is_some() { self.telemetry.now_micros() } else { 0 };
-                self.metadata.finish_copy(file, decision.tier)?;
-                self.policy.on_placed(file, size, decision.tier);
-                if let Some(ct) = ct {
-                    tr.record(
-                        SpanRecord::new(
-                            names::METADATA_REGISTER,
-                            "copy",
-                            ct.tid,
-                            t_reg,
-                            self.telemetry.now_micros() - t_reg,
-                        )
-                        .with_id(tr.next_id())
-                        .with_parent(ct.exec_id)
-                        .arg_str("tier", &dest.name),
-                    );
-                }
-                Ok(Some(decision.tier))
-            }
-            Err(e) => {
-                quota.release(size);
-                // Best effort: remove a possibly half-written destination
-                // file (the POSIX driver's rename makes this a no-op there).
-                if dest.driver.remove(file).is_ok() {
-                    self.stats.record_remove(decision.tier);
-                    self.telemetry.event(EventKind::Removed {
-                        file: file.to_string(),
-                        tier: decision.tier,
-                    });
-                }
-                Err(e)
-            }
-        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::TierConfig;
-    use crate::driver::{FaultKind, FaultyDriver};
-    use parking_lot::Condvar;
+    use crate::config::{TelemetryConfig, TierConfig};
+    use crate::driver::{FaultKind, FaultyDriver, MemDriver, StorageDriver};
+    use crate::placement::{FirstFit, LruEvict, PlacementPolicy};
+
+    fn two_tier(
+        local: Arc<dyn StorageDriver>,
+        cap: u64,
+        pfs: Arc<dyn StorageDriver>,
+    ) -> StorageHierarchy {
+        StorageHierarchy::new(vec![
+            ("ssd".into(), local, Some(cap)),
+            ("pfs".into(), pfs, None),
+        ])
+        .unwrap()
+    }
 
     /// Monarch over two in-memory tiers with `n` files of `size` bytes
     /// staged on the "PFS".
@@ -1079,18 +411,19 @@ mod tests {
         for i in 0..n {
             pfs.insert(&format!("f{i:03}"), vec![i as u8; size]);
         }
-        let hierarchy = StorageHierarchy::new(vec![
-            (
-                "ssd".into(),
-                Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
-                Some(local_cap),
-            ),
-            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
-        ])
-        .unwrap();
-        let m = Monarch::with_parts(hierarchy, Arc::new(FirstFit), 2, true);
+        let hierarchy = two_tier(Arc::new(MemDriver::new("ssd")), local_cap, Arc::new(pfs));
+        let m = MonarchBuilder::new()
+            .hierarchy(hierarchy)
+            .pool_threads(2)
+            .build()
+            .unwrap();
         m.init().unwrap();
         m
+    }
+
+    #[test]
+    fn builder_requires_a_hierarchy() {
+        assert!(matches!(MonarchBuilder::new().build(), Err(Error::InvalidConfig(_))));
     }
 
     #[test]
@@ -1152,16 +485,13 @@ mod tests {
     fn without_full_fetch_partial_reads_do_not_place() {
         let pfs = MemDriver::new("pfs");
         pfs.insert("f", vec![3u8; 1000]);
-        let hierarchy = StorageHierarchy::new(vec![
-            (
-                "ssd".into(),
-                Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
-                Some(1 << 20),
-            ),
-            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
-        ])
-        .unwrap();
-        let m = Monarch::with_parts(hierarchy, Arc::new(FirstFit), 1, false);
+        let hierarchy = two_tier(Arc::new(MemDriver::new("ssd")), 1 << 20, Arc::new(pfs));
+        let m = MonarchBuilder::new()
+            .hierarchy(hierarchy)
+            .pool_threads(1)
+            .full_file_fetch(false)
+            .build()
+            .unwrap();
         m.init().unwrap();
         let mut buf = [0u8; 100];
         m.read("f", 0, &mut buf).unwrap();
@@ -1256,12 +586,8 @@ mod tests {
         let pfs = MemDriver::new("pfs");
         pfs.insert("f", vec![7u8; 400]);
         let ssd = FaultyDriver::new(MemDriver::new("ssd"), FaultKind::Writes, 1);
-        let hierarchy = StorageHierarchy::new(vec![
-            ("ssd".into(), Arc::new(ssd) as Arc<dyn StorageDriver>, Some(1000)),
-            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
-        ])
-        .unwrap();
-        let m = Monarch::with_parts(hierarchy, Arc::new(FirstFit), 1, true);
+        let hierarchy = two_tier(Arc::new(ssd), 1000, Arc::new(pfs));
+        let m = MonarchBuilder::new().hierarchy(hierarchy).pool_threads(1).build().unwrap();
         m.init().unwrap();
         let mut buf = [0u8; 16];
         m.read("f", 0, &mut buf).unwrap();
@@ -1307,6 +633,23 @@ mod tests {
         let m = mem_monarch(1 << 20, 1, 100);
         let stats = m.shutdown();
         assert_eq!(stats.copies_failed, 0);
+    }
+
+    #[test]
+    fn evict_frees_the_local_tier_through_the_facade() {
+        let m = mem_monarch(1 << 20, 1, 300);
+        let mut buf = [0u8; 300];
+        m.read("f000", 0, &mut buf).unwrap();
+        m.wait_placement_idle();
+        assert_eq!(m.metadata().get("f000").unwrap().tier, 0);
+        assert!(m.evict("f000").unwrap());
+        assert_eq!(m.metadata().get("f000").unwrap().tier, 1);
+        assert_eq!(m.hierarchy().tier(0).unwrap().quota.as_ref().unwrap().used(), 0);
+        assert_eq!(m.stats().evictions, 1);
+        // Still readable (from the PFS), and the read re-places it.
+        m.read("f000", 0, &mut buf).unwrap();
+        m.wait_placement_idle();
+        assert_eq!(m.metadata().get("f000").unwrap().tier, 0);
     }
 
     #[test]
@@ -1404,22 +747,13 @@ mod tests {
     fn telemetry_disabled_records_nothing() {
         let pfs = MemDriver::new("pfs");
         pfs.insert("f", vec![1u8; 1024]);
-        let hierarchy = StorageHierarchy::new(vec![
-            (
-                "ssd".into(),
-                Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
-                Some(1 << 20),
-            ),
-            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
-        ])
-        .unwrap();
-        let m = Monarch::with_parts_telemetry(
-            hierarchy,
-            Arc::new(FirstFit),
-            1,
-            true,
-            TelemetryConfig::disabled(),
-        );
+        let hierarchy = two_tier(Arc::new(MemDriver::new("ssd")), 1 << 20, Arc::new(pfs));
+        let m = MonarchBuilder::new()
+            .hierarchy(hierarchy)
+            .pool_threads(1)
+            .telemetry(TelemetryConfig::disabled())
+            .build()
+            .unwrap();
         m.init().unwrap();
         let mut buf = [0u8; 128];
         m.read("f", 0, &mut buf).unwrap();
@@ -1439,22 +773,13 @@ mod tests {
     fn journal_disablable_separately_from_histograms() {
         let pfs = MemDriver::new("pfs");
         pfs.insert("f", vec![1u8; 256]);
-        let hierarchy = StorageHierarchy::new(vec![
-            (
-                "ssd".into(),
-                Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
-                Some(1 << 20),
-            ),
-            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
-        ])
-        .unwrap();
-        let m = Monarch::with_parts_telemetry(
-            hierarchy,
-            Arc::new(FirstFit),
-            1,
-            true,
-            TelemetryConfig { journal: false, ..TelemetryConfig::default() },
-        );
+        let hierarchy = two_tier(Arc::new(MemDriver::new("ssd")), 1 << 20, Arc::new(pfs));
+        let m = MonarchBuilder::new()
+            .hierarchy(hierarchy)
+            .pool_threads(1)
+            .telemetry(TelemetryConfig { journal: false, ..TelemetryConfig::default() })
+            .build()
+            .unwrap();
         m.init().unwrap();
         let mut buf = [0u8; 256];
         m.read("f", 0, &mut buf).unwrap();
@@ -1462,123 +787,6 @@ mod tests {
         let snap = m.telemetry_snapshot();
         assert_eq!(snap.events_recorded, 0, "journal off");
         assert!(snap.read_latency[1].count > 0, "histograms still on");
-    }
-
-    /// Two-tier mem hierarchy with one staged file and the given telemetry.
-    fn traced_monarch(tcfg: TelemetryConfig, size: usize) -> Monarch {
-        let pfs = MemDriver::new("pfs");
-        pfs.insert("f", vec![9u8; size]);
-        let hierarchy = StorageHierarchy::new(vec![
-            (
-                "ssd".into(),
-                Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
-                Some(1 << 20),
-            ),
-            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
-        ])
-        .unwrap();
-        let m = Monarch::with_parts_telemetry(hierarchy, Arc::new(FirstFit), 1, true, tcfg);
-        m.init().unwrap();
-        m
-    }
-
-    #[test]
-    fn sampled_read_produces_flow_linked_span_tree() {
-        let m = traced_monarch(TelemetryConfig::with_tracing(), 4096);
-        // Partial read: the background task must re-fetch from the PFS,
-        // so the copy_read child span appears too.
-        let mut buf = [0u8; 256];
-        m.read("f", 0, &mut buf).unwrap();
-        m.wait_placement_idle();
-
-        let tr = m.telemetry().trace();
-        let spans = tr.spans();
-        let by_name = |n: &str| spans.iter().filter(|s| s.name == n).count();
-        for name in [
-            names::READ,
-            names::METADATA_LOOKUP,
-            names::TIER_RESOLVE,
-            names::DRIVER_PREAD,
-            names::COPY_SCHEDULED,
-            names::QUEUE_WAIT,
-            names::COPY_EXEC,
-            names::PLACEMENT_DECIDE,
-            names::COPY_READ,
-            names::COPY_WRITE,
-            names::METADATA_REGISTER,
-        ] {
-            assert_eq!(by_name(name), 1, "exactly one {name} span");
-        }
-        // The foreground pread starts the flow the background copy_exec
-        // finishes — the causal link the tentpole is about.
-        let pread = spans.iter().find(|s| s.name == names::DRIVER_PREAD).unwrap();
-        let exec = spans.iter().find(|s| s.name == names::COPY_EXEC).unwrap();
-        assert_ne!(pread.flow, 0);
-        assert_eq!(pread.flow, exec.flow);
-        assert_eq!(pread.flow_phase, FlowPhase::Start);
-        assert_eq!(exec.flow_phase, FlowPhase::Finish);
-        // Foreground children hang off the read span; copy children off
-        // copy_exec.
-        let read = spans.iter().find(|s| s.name == names::READ).unwrap();
-        assert_eq!(pread.parent, read.id);
-        let reg = spans.iter().find(|s| s.name == names::METADATA_REGISTER).unwrap();
-        assert_eq!(reg.parent, exec.id);
-        // The queue-wait interval renders on its reserved track.
-        let qw = spans.iter().find(|s| s.name == names::QUEUE_WAIT).unwrap();
-        assert_eq!(qw.tid, QUEUE_TRACK);
-        // The export carries it all plus the flow endpoints.
-        let json = m.trace_json();
-        assert!(json.contains("\"ph\":\"s\"") && json.contains("\"ph\":\"f\""));
-        assert!(json.contains("\"driver_pread\""));
-        assert_eq!(m.telemetry_snapshot().spans_recorded, tr.spans_recorded());
-    }
-
-    #[test]
-    fn tracing_off_records_no_spans() {
-        let m = traced_monarch(TelemetryConfig::default(), 1024);
-        let mut buf = [0u8; 128];
-        m.read("f", 0, &mut buf).unwrap();
-        m.wait_placement_idle();
-        let tr = m.telemetry().trace();
-        assert!(!tr.is_enabled());
-        assert_eq!(tr.spans_recorded(), 0);
-        assert_eq!(m.trace_json(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"monarch\"}}]}");
-    }
-
-    #[test]
-    fn prestage_trace_links_copies_to_the_prestage_span() {
-        let pfs = MemDriver::new("pfs");
-        for i in 0..3 {
-            pfs.insert(&format!("f{i}"), vec![i as u8; 100]);
-        }
-        let hierarchy = StorageHierarchy::new(vec![
-            (
-                "ssd".into(),
-                Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
-                Some(1 << 20),
-            ),
-            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
-        ])
-        .unwrap();
-        let m = Monarch::with_parts_telemetry(
-            hierarchy,
-            Arc::new(FirstFit),
-            2,
-            true,
-            TelemetryConfig::with_tracing(),
-        );
-        m.init().unwrap();
-        assert_eq!(m.prestage(), 3);
-        m.wait_placement_idle();
-        let spans = m.telemetry().trace().spans();
-        let prestage = spans.iter().find(|s| s.name == names::PRESTAGE).unwrap();
-        let scheds: Vec<_> = spans.iter().filter(|s| s.name == names::COPY_SCHEDULED).collect();
-        assert_eq!(scheds.len(), 3);
-        for s in &scheds {
-            assert_eq!(s.parent, prestage.id);
-            assert_eq!(s.flow_phase, FlowPhase::Start, "prestage flows start at scheduling");
-        }
-        assert_eq!(spans.iter().filter(|s| s.name == names::COPY_EXEC).count(), 3);
     }
 
     #[test]
@@ -1600,16 +808,13 @@ mod tests {
         }
         let pfs = MemDriver::new("pfs");
         pfs.insert("f", vec![1u8; 512]);
-        let hierarchy = StorageHierarchy::new(vec![
-            (
-                "ssd".into(),
-                Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
-                Some(1 << 20),
-            ),
-            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
-        ])
-        .unwrap();
-        let m = Monarch::with_parts(hierarchy, Arc::new(PanickingPolicy), 1, true);
+        let hierarchy = two_tier(Arc::new(MemDriver::new("ssd")), 1 << 20, Arc::new(pfs));
+        let m = MonarchBuilder::new()
+            .hierarchy(hierarchy)
+            .policy(Arc::new(PanickingPolicy))
+            .pool_threads(1)
+            .build()
+            .unwrap();
         m.init().unwrap();
         let mut buf = [0u8; 64];
         m.read("f", 0, &mut buf).unwrap();
@@ -1629,266 +834,13 @@ mod tests {
         assert_eq!(info.tier, 1, "file stays on the PFS");
     }
 
-    /// Monarch with clairvoyant prefetching over two in-memory tiers with
-    /// `n` files of `size` bytes staged on the "PFS".
-    fn prefetch_monarch(local_cap: u64, n: usize, size: usize, cfg: PrefetchConfig) -> Monarch {
-        let pfs = MemDriver::new("pfs");
-        for i in 0..n {
-            pfs.insert(&format!("f{i:03}"), vec![i as u8; size]);
-        }
-        let hierarchy = StorageHierarchy::new(vec![
-            (
-                "ssd".into(),
-                Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
-                Some(local_cap),
-            ),
-            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
-        ])
-        .unwrap();
-        let m = Monarch::with_parts_prefetch(
-            hierarchy,
-            Arc::new(FirstFit),
-            2,
-            true,
-            TelemetryConfig::default(),
-            cfg,
-        );
-        m.init().unwrap();
-        m
-    }
-
-    fn plan_of(n: usize) -> AccessPlan {
-        AccessPlan::new((0..n).map(|i| format!("f{i:03}")).collect())
-    }
-
-    #[test]
-    fn full_plan_prefetch_stages_everything_before_first_read() {
-        let m = prefetch_monarch(
-            1 << 20,
-            6,
-            512,
-            PrefetchConfig { lookahead: 16, max_inflight_bytes: 0 },
-        );
-        assert_eq!(m.submit_plan(&plan_of(6)), 6);
-        m.wait_placement_idle();
-        let stats = m.stats();
-        assert_eq!(stats.prefetches_scheduled, 6);
-        assert_eq!(stats.copies_completed, 6);
-        // Epoch 1: every foreground read is a fast-tier hit.
-        for i in 0..6 {
-            let name = format!("f{i:03}");
-            assert_eq!(m.read_full(&name).unwrap(), vec![i as u8; 512]);
-        }
-        let stats = m.stats();
-        assert_eq!(stats.tiers[0].reads, 6, "all epoch-1 reads local");
-        assert_eq!(stats.tiers[1].reads, 6, "PFS saw only the staging fetches");
-        assert_eq!(stats.prefetch_hits, 6);
-        let events = m.telemetry().journal().events();
-        assert_eq!(events.iter().filter(|e| e.kind.tag() == "prefetch_scheduled").count(), 6);
-        // Everything was read: a clean shutdown reports no waste.
-        let stats = m.shutdown();
-        assert_eq!(stats.prefetch_wasted, 0);
-        assert_eq!(stats.pool_join_failures, 0);
-    }
-
-    #[test]
-    fn lookahead_bounds_how_far_prefetch_runs_ahead() {
-        let m = prefetch_monarch(
-            1 << 20,
-            8,
-            256,
-            PrefetchConfig { lookahead: 2, max_inflight_bytes: 0 },
-        );
-        assert_eq!(m.submit_plan(&plan_of(8)), 8);
-        m.wait_placement_idle();
-        // Cursor 0 + lookahead 2: only the first two entries may be staged.
-        assert_eq!(m.stats().copies_completed, 2);
-        // Each foreground read advances the cursor and releases one more.
-        m.read_full("f000").unwrap();
-        m.wait_placement_idle();
-        assert_eq!(m.stats().copies_completed, 3);
-        m.read_full("f001").unwrap();
-        m.wait_placement_idle();
-        assert_eq!(m.stats().copies_completed, 4);
-    }
-
-    /// A `MemDriver` whose `read_full` — the background copy's source fetch
-    /// — blocks until the gate opens. Foreground `read_at` is not gated, so
-    /// tests can pin a copy inside a pool worker while reads proceed.
-    struct GatedDriver {
-        inner: MemDriver,
-        open: Gate,
-    }
-
-    type Gate = Arc<(Mutex<bool>, Condvar)>;
-
-    impl GatedDriver {
-        fn new(inner: MemDriver) -> (Self, Gate) {
-            let open = Arc::new((Mutex::new(false), Condvar::new()));
-            (Self { inner, open: Arc::clone(&open) }, open)
-        }
-    }
-
-    fn open_gate(gate: &Gate) {
-        *gate.0.lock() = true;
-        gate.1.notify_all();
-    }
-
-    impl StorageDriver for GatedDriver {
-        fn name(&self) -> &str {
-            self.inner.name()
-        }
-        fn read_at(&self, file: &str, offset: u64, buf: &mut [u8]) -> Result<usize> {
-            self.inner.read_at(file, offset, buf)
-        }
-        fn read_full(&self, file: &str) -> Result<Vec<u8>> {
-            let (lock, cv) = &*self.open;
-            let mut open = lock.lock();
-            while !*open {
-                cv.wait(&mut open);
-            }
-            drop(open);
-            self.inner.read_full(file)
-        }
-        fn write_full(&self, file: &str, data: &[u8]) -> Result<()> {
-            self.inner.write_full(file, data)
-        }
-        fn remove(&self, file: &str) -> Result<()> {
-            self.inner.remove(file)
-        }
-        fn file_size(&self, file: &str) -> Result<u64> {
-            self.inner.file_size(file)
-        }
-        fn list(&self) -> Result<Vec<(String, u64)>> {
-            self.inner.list()
-        }
-    }
-
-    /// One worker, gated PFS: after `submit_plan` the first plan entry is
-    /// pinned inside the worker and the second is still queued on the
-    /// prefetch lane.
-    fn gated_prefetch_monarch(lookahead: usize) -> (Monarch, Gate) {
-        let pfs = MemDriver::new("pfs");
-        pfs.insert("f000", vec![0u8; 512]);
-        pfs.insert("f001", vec![1u8; 512]);
-        let (gated, gate) = GatedDriver::new(pfs);
-        let hierarchy = StorageHierarchy::new(vec![
-            (
-                "ssd".into(),
-                Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
-                Some(1 << 20),
-            ),
-            ("pfs".into(), Arc::new(gated) as Arc<dyn StorageDriver>, None),
-        ])
-        .unwrap();
-        let m = Monarch::with_parts_prefetch(
-            hierarchy,
-            Arc::new(FirstFit),
-            1,
-            true,
-            TelemetryConfig::default(),
-            PrefetchConfig { lookahead, max_inflight_bytes: 0 },
-        );
-        m.init().unwrap();
-        (m, gate)
-    }
-
-    #[test]
-    fn demand_read_promotes_queued_prefetch_instead_of_duplicating() {
-        // Regression (dedup guard): a demand read for a file whose prefetch
-        // copy is still queued must upgrade that job's lane, not schedule a
-        // second copy of the same file.
-        let (m, gate) = gated_prefetch_monarch(2);
-        assert_eq!(m.submit_plan(&plan_of(2)), 2);
-        assert_eq!(m.stats().prefetches_scheduled, 2);
-        // Foreground read of the *queued* entry (f001): the metadata CAS is
-        // held by the queued prefetch job, so the demand path cannot
-        // duplicate it — instead the job jumps to the demand lane.
-        let mut buf = [0u8; 64];
-        m.read("f001", 0, &mut buf).unwrap();
-        let stats = m.stats();
-        assert_eq!(stats.prefetch_promoted, 1, "queued job upgraded");
-        assert_eq!(stats.copies_scheduled, 2, "no duplicate copy for f001");
-        open_gate(&gate);
-        m.wait_placement_idle();
-        let stats = m.stats();
-        assert_eq!(stats.copies_completed, 2);
-        // f001's first read raced the copy (PFS-served): not a hit. f000
-        // is local by now, so its first read is one.
-        assert_eq!(stats.prefetch_hits, 0);
-        m.read("f000", 0, &mut buf).unwrap();
-        assert_eq!(m.stats().prefetch_hits, 1);
-        let events = m.telemetry().journal().events();
-        let promoted: Vec<_> =
-            events.iter().filter(|e| e.kind.tag() == "prefetch_promoted").collect();
-        assert_eq!(promoted.len(), 1);
-        assert_eq!(promoted[0].kind.file(), "f001");
-    }
-
-    #[test]
-    fn cancel_withdraws_queued_prefetches_and_reverts_metadata() {
-        let (m, gate) = gated_prefetch_monarch(2);
-        assert_eq!(m.submit_plan(&plan_of(2)), 2);
-        // Wait until the worker has dequeued f000 (its copy_started event
-        // fires just before the gated source fetch): from then on exactly
-        // one job — f001 — is still queued and cancelable.
-        let f000_started = || {
-            m.telemetry()
-                .journal()
-                .events()
-                .iter()
-                .any(|e| e.kind.tag() == "copy_started" && e.kind.file() == "f000")
-        };
-        for _ in 0..10_000 {
-            if f000_started() {
-                break;
-            }
-            std::thread::sleep(Duration::from_micros(100));
-        }
-        assert!(f000_started(), "worker never picked up the first prefetch");
-        assert_eq!(m.cancel_prefetch_plan(), 1);
-        let stats = m.stats();
-        assert_eq!(stats.prefetch_canceled, 1);
-        open_gate(&gate);
-        m.wait_placement_idle();
-        let stats = m.stats();
-        assert_eq!(stats.copies_completed, 1, "only the running copy finished");
-        assert_eq!(m.metadata().get("f000").unwrap().tier, 0);
-        let info = m.metadata().get("f001").unwrap();
-        assert_eq!(info.state, PlacementState::Unplaced, "canceled copy reverted");
-        assert_eq!(info.tier, 1);
-        let events = m.telemetry().journal().events();
-        let canceled: Vec<_> =
-            events.iter().filter(|e| e.kind.tag() == "prefetch_canceled").collect();
-        assert_eq!(canceled.len(), 1);
-        assert_eq!(canceled[0].kind.file(), "f001");
-        // A second cancel is a no-op: the window is gone.
-        assert_eq!(m.cancel_prefetch_plan(), 0);
-    }
-
-    #[test]
-    fn unread_prefetched_files_count_as_wasted_at_plan_close() {
-        let m = prefetch_monarch(
-            1 << 20,
-            4,
-            256,
-            PrefetchConfig { lookahead: 8, max_inflight_bytes: 0 },
-        );
-        assert_eq!(m.submit_plan(&plan_of(4)), 4);
-        m.wait_placement_idle();
-        // Only the first file is ever read.
-        m.read_full("f000").unwrap();
-        let stats = m.shutdown();
-        assert_eq!(stats.prefetch_hits, 1);
-        assert_eq!(stats.prefetch_wasted, 3, "staged but never read");
-    }
-
     #[test]
     fn disabled_prefetch_makes_plans_a_no_op() {
-        // `with_parts` builds with prefetching disabled (lookahead 0) —
+        // The builder defaults to prefetching disabled (lookahead 0) —
         // submitting a plan must change nothing relative to reactive mode.
         let m = mem_monarch(1 << 20, 3, 128);
-        assert_eq!(m.submit_plan(&plan_of(3)), 0);
+        let plan = AccessPlan::new((0..3).map(|i| format!("f{i:03}")).collect());
+        assert_eq!(m.submit_plan(&plan), 0);
         assert_eq!(m.cancel_prefetch_plan(), 0);
         m.wait_placement_idle();
         let stats = m.stats();
@@ -1903,16 +855,13 @@ mod tests {
         for i in 0..3 {
             pfs.insert(&format!("f{i}"), vec![i as u8; 400]);
         }
-        let hierarchy = StorageHierarchy::new(vec![
-            (
-                "ssd".into(),
-                Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
-                Some(900),
-            ),
-            ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
-        ])
-        .unwrap();
-        let m = Monarch::with_parts(hierarchy, Arc::new(LruEvict::new()), 1, true);
+        let hierarchy = two_tier(Arc::new(MemDriver::new("ssd")), 900, Arc::new(pfs));
+        let m = MonarchBuilder::new()
+            .hierarchy(hierarchy)
+            .policy(Arc::new(LruEvict::new()))
+            .pool_threads(1)
+            .build()
+            .unwrap();
         m.init().unwrap();
         let mut buf = [0u8; 16];
         for i in 0..3 {

@@ -1,10 +1,11 @@
 //! Background copy thread pool with two priority lanes.
 //!
 //! The paper's prototype used the CTPL C++ thread-pool library; this is an
-//! equivalent built on an internal two-lane queue: a fixed set of worker
-//! threads draining a *demand* lane (copies scheduled by a foreground read
-//! miss) before a *prefetch* lane (copies issued ahead of the read cursor by
-//! the clairvoyant prefetcher), with graceful shutdown (drain-then-join) and
+//! equivalent built on the shared two-lane queue discipline
+//! ([`crate::transfer::LaneQueues`]): a fixed set of worker threads
+//! draining a *demand* lane (copies scheduled by a foreground read miss)
+//! before a *prefetch* lane (copies issued ahead of the read cursor by the
+//! clairvoyant prefetcher), with graceful shutdown (drain-then-join) and
 //! an in-flight counter so callers can wait for quiescence — used by tests
 //! and by the end-of-epoch barrier in the real trainer.
 //!
@@ -21,7 +22,6 @@
 //! closed pool, or is canceled out of the prefetch lane. `wait_idle`
 //! correctness depends on this — a leaked increment parks waiters forever.
 
-use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -31,6 +31,7 @@ use std::time::Instant;
 use parking_lot::{Condvar, Mutex};
 
 use crate::telemetry::LatencyHistogram;
+use crate::transfer::LaneQueues;
 
 /// A unit of background work.
 pub type Task = Box<dyn FnOnce() + Send + 'static>;
@@ -72,8 +73,7 @@ struct Job {
 /// The two lanes plus the closed flag, under one lock so lane moves
 /// (promotion) and shutdown are atomic with respect to workers popping.
 struct Queues {
-    demand: VecDeque<Job>,
-    prefetch: VecDeque<Job>,
+    lanes: LaneQueues<Job>,
     closed: bool,
 }
 
@@ -104,11 +104,7 @@ impl Shared {
             submitted: AtomicU64::new(0),
             panicked: AtomicU64::new(0),
             join_failures: AtomicU64::new(0),
-            queues: Mutex::new(Queues {
-                demand: VecDeque::new(),
-                prefetch: VecDeque::new(),
-                closed,
-            }),
+            queues: Mutex::new(Queues { lanes: LaneQueues::new(), closed }),
             work_cv: Condvar::new(),
             idle_mutex: Mutex::new(()),
             idle_cv: Condvar::new(),
@@ -175,11 +171,7 @@ impl ThreadPool {
                         let job = {
                             let mut q = shared.queues.lock();
                             loop {
-                                let next = q
-                                    .demand
-                                    .pop_front()
-                                    .or_else(|| q.prefetch.pop_front());
-                                if let Some(job) = next {
+                                if let Some((job, _lane)) = q.lanes.pop() {
                                     break Some(job);
                                 }
                                 if q.closed {
@@ -267,11 +259,7 @@ impl ThreadPool {
                 self.shared.finish_one();
                 return false;
             }
-            let job = Job { ctx, run: task };
-            match lane {
-                Lane::Demand => q.demand.push_back(job),
-                Lane::Prefetch => q.prefetch.push_back(job),
-            }
+            q.lanes.push(lane, Job { ctx, run: task });
         }
         self.shared.work_cv.notify_one();
         self.shared.submitted.fetch_add(1, Ordering::Relaxed);
@@ -285,16 +273,7 @@ impl ThreadPool {
     /// already started, finished, or never existed.
     pub fn promote(&self, label: &str) -> bool {
         let mut q = self.shared.queues.lock();
-        let Some(i) = q
-            .prefetch
-            .iter()
-            .position(|j| j.ctx.as_ref().is_some_and(|c| c.label == label))
-        else {
-            return false;
-        };
-        let job = q.prefetch.remove(i).expect("position is in bounds");
-        q.demand.push_back(job);
-        true
+        q.lanes.promote_where(|j| j.ctx.as_ref().is_some_and(|c| c.label == label))
     }
 
     /// Cancel every queued-but-unstarted prefetch-lane job, balancing
@@ -304,7 +283,7 @@ impl ThreadPool {
     pub fn drain_prefetch(&self) -> Vec<TaskCtx> {
         let dropped: Vec<Job> = {
             let mut q = self.shared.queues.lock();
-            q.prefetch.drain(..).collect()
+            q.lanes.drain_prefetch()
         };
         let mut ctxs = Vec::with_capacity(dropped.len());
         for job in dropped {
@@ -319,11 +298,7 @@ impl ThreadPool {
     /// Number of queued (not yet started) jobs on a lane.
     #[must_use]
     pub fn queued(&self, lane: Lane) -> usize {
-        let q = self.shared.queues.lock();
-        match lane {
-            Lane::Demand => q.demand.len(),
-            Lane::Prefetch => q.prefetch.len(),
-        }
+        self.shared.queues.lock().lanes.queued(lane)
     }
 
     /// Tasks submitted but not yet completed.
@@ -573,6 +548,11 @@ mod tests {
         pool.submit(Box::new(move || {
             g.wait();
         }));
+        // Wait for the worker to dequeue the gate job, so the `queued`
+        // counts below see only the jobs a test submits afterwards.
+        while pool.queued(Lane::Demand) != 0 {
+            std::thread::yield_now();
+        }
         (pool, gate)
     }
 

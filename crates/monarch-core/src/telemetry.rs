@@ -363,6 +363,12 @@ pub enum EventKind {
         /// Worker thread name (reported in the journal's file column).
         file: String,
     },
+    /// The transfer engine's drain withdrew queued prefetch copies before
+    /// joining its workers (the per-file cancels precede this summary).
+    PrefetchDrained {
+        /// Number of queued prefetch copies withdrawn.
+        canceled: u64,
+    },
 }
 
 impl EventKind {
@@ -382,6 +388,7 @@ impl EventKind {
             EventKind::PrefetchPromoted { .. } => "prefetch_promoted",
             EventKind::PrefetchCanceled { .. } => "prefetch_canceled",
             EventKind::WorkerJoinFailed { .. } => "worker_join_failed",
+            EventKind::PrefetchDrained { .. } => "prefetch_drained",
         }
     }
 
@@ -401,6 +408,8 @@ impl EventKind {
             | EventKind::PrefetchPromoted { file }
             | EventKind::PrefetchCanceled { file }
             | EventKind::WorkerJoinFailed { file } => file,
+            // A drain summary is not about any one file.
+            EventKind::PrefetchDrained { .. } => "",
         }
     }
 }
@@ -480,6 +489,9 @@ impl Event {
             }
             EventKind::Removed { tier, .. } => {
                 o.push_str(&format!(",\"tier\":{tier}"));
+            }
+            EventKind::PrefetchDrained { canceled } => {
+                o.push_str(&format!(",\"canceled\":{canceled}"));
             }
         }
         o.push('}');

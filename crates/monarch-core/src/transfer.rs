@@ -1,0 +1,1282 @@
+//! The transfer engine: one copy pipeline for demand placement,
+//! clairvoyant prefetch, and eviction.
+//!
+//! MONARCH's data movement used to be wired directly into the `Monarch`
+//! facade; this module carves it out as [`TransferEngine`], which owns the
+//! two-lane copy [`ThreadPool`], the [`PrefetchWindow`] over the submitted
+//! access plan, the [`PlacementPolicy`], and all copy-lifecycle telemetry
+//! and trace emission. The read path keeps only lookup → tier-resolve →
+//! `driver.pread` and hands every movement *intent* to the engine:
+//!
+//! - [`TransferEngine::demand`] — place a file after a foreground miss
+//!   (or pre-stage it), on the lane carried by the request's [`ReadCtx`];
+//! - [`TransferEngine::plan`] — stage upcoming plan entries on the
+//!   low-priority prefetch lane, bounded by the lookahead window;
+//! - [`TransferEngine::evict`] — push a resident file back to the PFS;
+//! - [`TransferEngine::drain`] — cancel queued prefetch work *before*
+//!   joining the workers, so shutdown never executes speculative copies.
+//!
+//! The same lane discipline (demand first, promote-on-demand, bulk cancel)
+//! is captured by the generic [`LaneQueues`], shared between the real pool
+//! and the `dlpipe` discrete-event simulator so both backends run one copy
+//! pipeline rather than two hand-maintained replicas.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::hierarchy::{StorageHierarchy, TierId};
+use crate::metadata::{FileInfo, MetadataContainer, PlacementState};
+use crate::placement::PlacementPolicy;
+use crate::pool::{Lane, TaskCtx, ThreadPool};
+use crate::prefetch::{AccessPlan, PrefetchConfig, PrefetchWindow};
+use crate::stats::Stats;
+use crate::telemetry::{EventKind, TelemetryRegistry};
+use crate::trace::{names, FlowPhase, SpanRecord, QUEUE_TRACK};
+use crate::{Error, Result};
+
+// ---------------------------------------------------------------------------
+// LaneQueues — the shared two-lane queue discipline
+// ---------------------------------------------------------------------------
+
+/// Two priority lanes, generic over what queues on them.
+///
+/// The [`ThreadPool`] queues whole jobs; the `dlpipe` simulator queues
+/// shard indices — both need the same discipline: the demand lane always
+/// drains first, a queued prefetch entry can be promoted into the demand
+/// lane when a foreground read arrives for it, and queued prefetch entries
+/// can be bulk-canceled at a plan boundary.
+#[derive(Debug)]
+pub struct LaneQueues<T> {
+    demand: VecDeque<T>,
+    prefetch: VecDeque<T>,
+}
+
+impl<T> Default for LaneQueues<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> LaneQueues<T> {
+    /// Two empty lanes.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { demand: VecDeque::new(), prefetch: VecDeque::new() }
+    }
+
+    /// Queue `item` at the back of `lane`.
+    pub fn push(&mut self, lane: Lane, item: T) {
+        match lane {
+            Lane::Demand => self.demand.push_back(item),
+            Lane::Prefetch => self.prefetch.push_back(item),
+        }
+    }
+
+    /// Dequeue the next item, demand lane first. Returns the lane the item
+    /// was popped from (an entry promoted out of the prefetch lane reports
+    /// [`Lane::Demand`] — it runs at demand priority).
+    pub fn pop(&mut self) -> Option<(T, Lane)> {
+        if let Some(item) = self.demand.pop_front() {
+            return Some((item, Lane::Demand));
+        }
+        self.prefetch.pop_front().map(|item| (item, Lane::Prefetch))
+    }
+
+    /// Move the first queued prefetch entry matching `pred` to the back of
+    /// the demand lane (the dedup guard: a demand miss upgrades the
+    /// existing queued job instead of enqueueing a duplicate). Returns
+    /// `false` when no queued prefetch entry matches.
+    pub fn promote_where(&mut self, pred: impl FnMut(&T) -> bool) -> bool {
+        let Some(i) = self.prefetch.iter().position(pred) else {
+            return false;
+        };
+        let item = self.prefetch.remove(i).expect("position is in bounds");
+        self.demand.push_back(item);
+        true
+    }
+
+    /// Remove and return every queued prefetch entry (bulk cancel). The
+    /// demand lane is untouched.
+    pub fn drain_prefetch(&mut self) -> Vec<T> {
+        self.prefetch.drain(..).collect()
+    }
+
+    /// Number of entries queued on `lane`.
+    #[must_use]
+    pub fn queued(&self, lane: Lane) -> usize {
+        match lane {
+            Lane::Demand => self.demand.len(),
+            Lane::Prefetch => self.prefetch.len(),
+        }
+    }
+
+    /// Total queued entries across both lanes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.demand.len() + self.prefetch.len()
+    }
+
+    /// Whether both lanes are empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.demand.is_empty() && self.prefetch.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ReadCtx — request-scoped context threaded into the engine
+// ---------------------------------------------------------------------------
+
+/// Request-scoped context a caller threads into [`TransferEngine::demand`]:
+/// trace linkage, the lane to queue on, and an optional freshness deadline.
+/// Replaces the `(trace_parent, flow, start_flow)` argument tuples the
+/// middleware used to pass around.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadCtx {
+    /// Span id of the operation that triggered the copy (`0` = unsampled).
+    pub parent: u64,
+    /// Trace flow id linking the trigger to the background `copy_exec`
+    /// (`0` = unsampled).
+    pub flow: u64,
+    /// Put the flow's start endpoint on the `copy_scheduled` span itself —
+    /// used when no foreground `driver_pread` exists to carry it
+    /// (pre-staging, prefetch).
+    pub start_flow: bool,
+    /// Pool lane to queue the copy on.
+    pub lane: Lane,
+    /// Drop the copy (reverting its metadata) if a worker has not started
+    /// it by this instant. `None` = no deadline.
+    pub deadline: Option<Instant>,
+}
+
+impl Default for ReadCtx {
+    fn default() -> Self {
+        Self::untraced()
+    }
+}
+
+impl ReadCtx {
+    /// Unsampled demand-lane request — the common fast path.
+    #[must_use]
+    pub fn untraced() -> Self {
+        Self { parent: 0, flow: 0, start_flow: false, lane: Lane::Demand, deadline: None }
+    }
+
+    /// Sampled request: the flow starts at the caller's foreground
+    /// `driver_pread` span and finishes at the background `copy_exec`.
+    #[must_use]
+    pub fn traced(parent: u64, flow: u64) -> Self {
+        Self { parent, flow, ..Self::untraced() }
+    }
+
+    /// Sampled request with no foreground read (pre-staging): the flow
+    /// starts at the `copy_scheduled` span itself.
+    #[must_use]
+    pub fn staged(parent: u64, flow: u64) -> Self {
+        Self { parent, flow, start_flow: true, ..Self::untraced() }
+    }
+
+    /// Queue on `lane` instead of the default demand lane.
+    #[must_use]
+    pub fn on_lane(mut self, lane: Lane) -> Self {
+        self.lane = lane;
+        self
+    }
+
+    /// Attach a start deadline: the copy is dropped (metadata reverted, a
+    /// `copy_failed` event journaled) if still queued past `deadline`.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TransferEngine
+// ---------------------------------------------------------------------------
+
+/// What [`TransferEngine::drain`] did on the way down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Queued prefetch copies withdrawn before the workers were joined.
+    pub canceled: usize,
+    /// Worker threads that could not be joined (died outside the per-task
+    /// panic catch).
+    pub join_failures: u64,
+}
+
+/// Runtime state of the clairvoyant prefetcher: the knobs plus the window
+/// over the currently submitted access plan (`None` until a plan arrives).
+struct PrefetchState {
+    cfg: PrefetchConfig,
+    window: Mutex<Option<PrefetchWindow>>,
+}
+
+/// The movement engine: every inter-tier copy — demand placement,
+/// pre-staging, clairvoyant prefetch — and every eviction goes through
+/// here. Owns the two-lane pool and the plan window; shares the hierarchy,
+/// metadata, stats and telemetry with the read path.
+pub struct TransferEngine {
+    hierarchy: Arc<StorageHierarchy>,
+    metadata: Arc<MetadataContainer>,
+    policy: Arc<dyn PlacementPolicy>,
+    stats: Arc<Stats>,
+    telemetry: Arc<TelemetryRegistry>,
+    shutting_down: Arc<AtomicBool>,
+    pool: ThreadPool,
+    /// Present only when `prefetch.lookahead > 0`, so a disabled
+    /// configuration takes zero extra branches beyond one `Option` check.
+    prefetch: Option<PrefetchState>,
+}
+
+impl std::fmt::Debug for TransferEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransferEngine")
+            .field("threads", &self.pool.threads())
+            .field("policy", &self.policy.name())
+            .field("prefetch", &self.prefetch.is_some())
+            .finish()
+    }
+}
+
+impl TransferEngine {
+    /// Assemble an engine over shared parts. The pool is built with
+    /// per-lane queue-wait stamping when the registry is enabled, and its
+    /// panic handler reverts the dying copy's metadata so a later read can
+    /// retry.
+    #[must_use]
+    pub fn new(
+        hierarchy: Arc<StorageHierarchy>,
+        metadata: Arc<MetadataContainer>,
+        policy: Arc<dyn PlacementPolicy>,
+        stats: Arc<Stats>,
+        telemetry: Arc<TelemetryRegistry>,
+        pool_threads: usize,
+        prefetch: PrefetchConfig,
+    ) -> Self {
+        let pool = if telemetry.is_enabled() {
+            ThreadPool::with_telemetry(
+                pool_threads,
+                Arc::clone(telemetry.queue_wait()),
+                Arc::clone(telemetry.queue_wait_prefetch()),
+                Arc::clone(telemetry.pool_exec()),
+            )
+        } else {
+            ThreadPool::new(pool_threads)
+        };
+        // A panicking copy task must not strand the file in `Copying`:
+        // report which copy died and revert it so a later read can retry
+        // (same degradation as an I/O failure — the file stays on the PFS).
+        {
+            let stats = Arc::clone(&stats);
+            let telemetry = Arc::clone(&telemetry);
+            let metadata = Arc::clone(&metadata);
+            pool.set_panic_handler(Arc::new(move |ctx: &TaskCtx| {
+                stats.copy_failed();
+                telemetry.event(EventKind::CopyFailed {
+                    file: ctx.label.clone(),
+                    reason: "background copy task panicked".to_string(),
+                });
+                let _ = metadata.abort_copy(&ctx.label, false);
+            }));
+        }
+        Self {
+            hierarchy,
+            metadata,
+            policy,
+            stats,
+            telemetry,
+            shutting_down: Arc::new(AtomicBool::new(false)),
+            pool,
+            prefetch: prefetch
+                .enabled()
+                .then(|| PrefetchState { cfg: prefetch, window: Mutex::new(None) }),
+        }
+    }
+
+    /// The engine's shutdown flag — shared with the read path so reads are
+    /// rejected as soon as a drain begins.
+    #[must_use]
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutting_down)
+    }
+
+    /// Name of the placement policy driving this engine.
+    #[must_use]
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    /// Number of copy worker threads.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Copies queued (not yet started) on `lane`.
+    #[must_use]
+    pub fn queued(&self, lane: Lane) -> usize {
+        self.pool.queued(lane)
+    }
+
+    /// Block until no copies are queued or running.
+    pub fn wait_idle(&self) {
+        self.pool.wait_idle();
+    }
+
+    /// Read-path recency signal: forward a foreground access to the
+    /// placement policy (LRU-style policies feed on this).
+    pub fn note_access(&self, file: &str, tier: TierId) {
+        self.policy.on_access(file, tier);
+    }
+
+    /// Hand a placement copy to the pool if this request wins the
+    /// `Unplaced → Copying` race. Returns whether a copy was scheduled.
+    ///
+    /// `inline_data` short-circuits the source fetch when the triggering
+    /// read already covered the whole file. The [`ReadCtx`] carries trace
+    /// linkage (a `copy_scheduled` span is recorded under `ctx.parent` when
+    /// sampled), the lane to queue on, and an optional start deadline.
+    pub fn demand(
+        &self,
+        file: &str,
+        size: u64,
+        inline_data: Option<Vec<u8>>,
+        ctx: ReadCtx,
+    ) -> bool {
+        // The target recorded here is provisional; the policy picks the
+        // real destination inside the background task (paper §III-B: the
+        // placement handler runs on a pool thread).
+        match self.metadata.begin_copy(file, 0) {
+            Ok(true) => {}
+            _ => return false,
+        }
+        self.stats.copy_scheduled();
+        self.telemetry.event(EventKind::CopyScheduled { file: file.to_string(), bytes: size });
+        let tr = self.telemetry.trace();
+        let queued_us = if ctx.flow != 0 { self.telemetry.now_micros() } else { 0 };
+        if ctx.flow != 0 {
+            let sched = SpanRecord::new(
+                names::COPY_SCHEDULED,
+                "copy",
+                tr.register_current_thread(),
+                queued_us,
+                0,
+            )
+            .with_id(tr.next_id())
+            .with_parent(ctx.parent)
+            .arg_str("file", file)
+            .arg_u64("bytes", size);
+            // `with_flow` makes the exporter emit the `flow` arg itself, so
+            // only the non-starting variant adds it explicitly.
+            tr.record(if ctx.start_flow {
+                sched.with_flow(ctx.flow, FlowPhase::Start)
+            } else {
+                sched.arg_u64("flow", ctx.flow)
+            });
+        }
+        let job = CopyJob {
+            hierarchy: Arc::clone(&self.hierarchy),
+            metadata: Arc::clone(&self.metadata),
+            policy: Arc::clone(&self.policy),
+            stats: Arc::clone(&self.stats),
+            telemetry: Arc::clone(&self.telemetry),
+            shutting_down: Arc::clone(&self.shutting_down),
+            flow: ctx.flow,
+            queued_us,
+            deadline: ctx.deadline,
+        };
+        let owned = file.to_string();
+        let task_ctx = TaskCtx { label: file.to_string(), flow: ctx.flow };
+        let submitted = self.pool.submit_on(
+            ctx.lane,
+            Some(task_ctx),
+            Box::new(move || job.run(&owned, size, inline_data)),
+        );
+        if !submitted {
+            // Pool refused (shutdown): revert so the state stays clean.
+            let _ = self.metadata.abort_copy(file, false);
+        }
+        submitted
+    }
+
+    /// Submit the access plan for the upcoming epoch. A previously
+    /// submitted plan is canceled first (queued prefetch copies are
+    /// withdrawn; running ones finish). Names missing from the metadata
+    /// namespace are dropped. Returns the number of admitted entries —
+    /// `0` when prefetching is disabled, in which case this is a no-op.
+    pub fn plan(&self, plan: &AccessPlan) -> usize {
+        let Some(state) = &self.prefetch else { return 0 };
+        self.close_window(state);
+        let mut files = Vec::with_capacity(plan.len());
+        for name in plan.files() {
+            if let Some(info) = self.metadata.get(name) {
+                files.push((name.clone(), info.size));
+            }
+        }
+        let window = PrefetchWindow::new(files, state.cfg);
+        let admitted = window.len();
+        *state.window.lock() = Some(window);
+        let tr = self.telemetry.trace();
+        if tr.is_enabled() {
+            tr.record(
+                SpanRecord::new(
+                    names::PLAN_SUBMIT,
+                    "read",
+                    tr.register_current_thread(),
+                    self.telemetry.now_micros(),
+                    0,
+                )
+                .with_id(tr.next_id())
+                .arg_u64("entries", plan.len() as u64)
+                .arg_u64("admitted", admitted as u64),
+            );
+        }
+        self.pump();
+        admitted
+    }
+
+    /// Cancel the current access plan: withdraw queued-but-unstarted
+    /// prefetch copies (their metadata reverts to `Unplaced`) and close
+    /// the window. Returns the number of withdrawn copies. Running copies
+    /// are not interrupted.
+    pub fn cancel_plan(&self) -> usize {
+        match &self.prefetch {
+            Some(state) => self.close_window(state),
+            None => 0,
+        }
+    }
+
+    /// Read-path prefetch bookkeeping: advance the plan cursor past
+    /// `file`, count a hit when the plan staged it in time, upgrade a
+    /// still-queued prefetch copy to the demand lane, and release more of
+    /// the plan. Returns the flow id of the prefetch copy issued for this
+    /// file (`0` if none / untraced) so the read span can point back at it.
+    pub fn note_read(&self, file: &str, served: TierId) -> u64 {
+        let Some(state) = &self.prefetch else { return 0 };
+        let note = {
+            let mut guard = state.window.lock();
+            let Some(window) = guard.as_mut() else { return 0 };
+            match window.on_read(file) {
+                Some(note) => note,
+                None => return 0,
+            }
+        };
+        let mut flow = 0;
+        if note.issued {
+            flow = note.flow;
+            if note.first_read && served != self.hierarchy.source_id() {
+                // The plan staged this file before its first read arrived.
+                self.stats.prefetch_hit();
+            }
+            if !note.resolved && self.pool.promote(file) {
+                // Dedup guard: the file's copy is still *queued* on the
+                // prefetch lane — upgrade that job's priority instead of
+                // letting the demand path wait behind unrelated prefetches
+                // (it cannot enqueue a duplicate: the metadata CAS is held
+                // by the queued job).
+                self.stats.prefetch_promote();
+                self.telemetry.event(EventKind::PrefetchPromoted { file: file.to_string() });
+            }
+        }
+        // The cursor moved: more of the plan may now be issued.
+        self.pump();
+        flow
+    }
+
+    /// Evict `file` from its local tier back to the PFS source: the
+    /// counterpart intent to [`TransferEngine::demand`], for policies and
+    /// operators that want to free local capacity explicitly. Returns
+    /// `Ok(false)` when the file is not locally resident (on the source,
+    /// or a copy is in flight). The file reverts to `Unplaced`, so a later
+    /// read may place it again.
+    pub fn evict(&self, file: &str) -> Result<bool> {
+        let info =
+            self.metadata.get(file).ok_or_else(|| Error::UnknownFile(file.to_string()))?;
+        let source = self.hierarchy.source_id();
+        if info.state != PlacementState::Placed || info.tier == source {
+            return Ok(false);
+        }
+        let tier = self.hierarchy.tier(info.tier)?;
+        tier.driver.remove(file)?;
+        self.metadata.evict_to(file, source)?;
+        if let Some(quota) = tier.quota.as_ref() {
+            quota.release(info.size);
+        }
+        self.stats.record_evict(info.tier);
+        self.telemetry.event(EventKind::Evicted {
+            file: file.to_string(),
+            tier: info.tier,
+            bytes: info.size,
+        });
+        Ok(true)
+    }
+
+    /// Shut the pipeline down: stop accepting work, withdraw every queued
+    /// prefetch copy *before* joining the workers (shutdown must never
+    /// spend time executing speculative copies), settle plan accounting,
+    /// then drain the demand lane and join. The canceled count is
+    /// journaled; unjoinable workers are counted, not propagated.
+    pub fn drain(&mut self) -> DrainReport {
+        self.shutting_down.store(true, Ordering::Release);
+        let canceled = match &self.prefetch {
+            Some(state) => self.close_window(state),
+            // No prefetcher was configured, but purge the lane anyway so
+            // the ordering guarantee does not depend on configuration.
+            None => self.withdraw_queued(None),
+        };
+        if canceled > 0 {
+            self.telemetry.event(EventKind::PrefetchDrained { canceled: canceled as u64 });
+        }
+        self.pool.shutdown();
+        let join_failures = self.pool.join_failures();
+        for _ in 0..join_failures {
+            self.stats.pool_join_failure();
+            self.telemetry
+                .event(EventKind::WorkerJoinFailed { file: "monarch-copy-worker".to_string() });
+        }
+        DrainReport { canceled, join_failures }
+    }
+
+    /// Tear down the current window (plan switch, explicit cancel, or
+    /// drain): pull queued prefetch jobs out of the pool, revert their
+    /// metadata, and settle hit/waste accounting for the closed plan.
+    fn close_window(&self, state: &PrefetchState) -> usize {
+        let mut guard = state.window.lock();
+        let mut window = guard.take();
+        let withdrawn = self.withdraw_queued(window.as_mut());
+        let Some(mut window) = window else { return withdrawn };
+        // Wasted work: staged onto a local tier but never read before the
+        // plan closed. (Copies still running when the plan closes are in
+        // `Copying` and settle as neither hit nor waste.)
+        let source = self.hierarchy.source_id();
+        for (name, issued, read_seen) in window.drain() {
+            if issued && !read_seen {
+                if let Some(info) = self.metadata.get(&name) {
+                    if info.state == PlacementState::Placed && info.tier != source {
+                        self.stats.prefetch_wasted();
+                    }
+                }
+            }
+        }
+        withdrawn
+    }
+
+    /// Withdraw every queued-but-unstarted prefetch copy from the pool and
+    /// revert its side effects; settle the entries in `window` when one is
+    /// still open. Returns the number withdrawn.
+    fn withdraw_queued(&self, mut window: Option<&mut PrefetchWindow>) -> usize {
+        let canceled = self.pool.drain_prefetch();
+        let withdrawn = canceled.len();
+        for ctx in canceled {
+            let _ = self.metadata.abort_copy(&ctx.label, false);
+            self.stats.prefetch_cancel();
+            self.telemetry.event(EventKind::PrefetchCanceled { file: ctx.label.clone() });
+            if let Some(window) = window.as_deref_mut() {
+                window.resolve_by_name(&ctx.label);
+            }
+        }
+        withdrawn
+    }
+
+    /// Issue as much of the plan as the lookahead window and byte budget
+    /// allow. Runs inline on plan submission and after each foreground
+    /// read (the cursor advance is what releases more of the plan).
+    fn pump(&self) {
+        let Some(state) = &self.prefetch else { return };
+        loop {
+            let (idx, name, size) = {
+                let mut guard = state.window.lock();
+                let Some(window) = guard.as_mut() else { return };
+                // Copies that left `Copying` (completed, skipped, failed,
+                // or reverted by the panic handler) release byte budget.
+                window.poll_resolved(|name| {
+                    !matches!(
+                        self.metadata.get(name),
+                        Some(FileInfo { state: PlacementState::Copying { .. }, .. })
+                    )
+                });
+                match window.next_to_issue() {
+                    Some(pick) => pick,
+                    None => return,
+                }
+            };
+            // Scheduling happens outside the window lock: it touches the
+            // metadata CAS, the journal, and the pool queue.
+            let flow = self.schedule_prefetch(&name, size);
+            let mut guard = state.window.lock();
+            if let Some(window) = guard.as_mut() {
+                match flow {
+                    Some(f) => window.set_flow(idx, f),
+                    // Lost the CAS (a demand copy got there first, or the
+                    // file is already placed) or the pool refused: the
+                    // entry is settled, release its budget share.
+                    None => window.resolve(idx),
+                }
+            }
+        }
+    }
+
+    /// Schedule one prefetch copy on the low-priority lane. Returns the
+    /// trace flow id (`0` when tracing is off) on success, `None` when the
+    /// copy was not scheduled (placement already in progress or done, or
+    /// the pool is shutting down).
+    fn schedule_prefetch(&self, file: &str, size: u64) -> Option<u64> {
+        if self.shutting_down.load(Ordering::Acquire) {
+            return None;
+        }
+        match self.metadata.begin_copy(file, 0) {
+            Ok(true) => {}
+            _ => return None,
+        }
+        self.stats.copy_scheduled();
+        self.stats.prefetch_scheduled();
+        self.telemetry
+            .event(EventKind::PrefetchScheduled { file: file.to_string(), bytes: size });
+        let tr = self.telemetry.trace();
+        let traced = tr.is_enabled();
+        let flow = if traced { tr.next_id() } else { 0 };
+        let queued_us = if traced { self.telemetry.now_micros() } else { 0 };
+        if traced {
+            // Like prestage, the flow starts at the scheduling span (there
+            // is no foreground pread yet — the read it serves may be far in
+            // the future) and finishes at the background copy_exec.
+            tr.record(
+                SpanRecord::new(
+                    names::PREFETCH_SCHEDULED,
+                    "copy",
+                    tr.register_current_thread(),
+                    queued_us,
+                    0,
+                )
+                .with_id(tr.next_id())
+                .arg_str("file", file)
+                .arg_u64("bytes", size)
+                .with_flow(flow, FlowPhase::Start),
+            );
+        }
+        let job = CopyJob {
+            hierarchy: Arc::clone(&self.hierarchy),
+            metadata: Arc::clone(&self.metadata),
+            policy: Arc::clone(&self.policy),
+            stats: Arc::clone(&self.stats),
+            telemetry: Arc::clone(&self.telemetry),
+            shutting_down: Arc::clone(&self.shutting_down),
+            flow,
+            queued_us,
+            deadline: None,
+        };
+        let owned = file.to_string();
+        let task_ctx = TaskCtx { label: file.to_string(), flow };
+        let submitted = self.pool.submit_on(
+            Lane::Prefetch,
+            Some(task_ctx),
+            Box::new(move || job.run(&owned, size, None)),
+        );
+        if !submitted {
+            let _ = self.metadata.abort_copy(file, false);
+            return None;
+        }
+        Some(flow)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CopyJob — the background placement task
+// ---------------------------------------------------------------------------
+
+/// Everything a background placement task needs (the pool outlives `&self`
+/// borrows, so tasks own `Arc`s).
+struct CopyJob {
+    hierarchy: Arc<StorageHierarchy>,
+    metadata: Arc<MetadataContainer>,
+    policy: Arc<dyn PlacementPolicy>,
+    stats: Arc<Stats>,
+    telemetry: Arc<TelemetryRegistry>,
+    shutting_down: Arc<AtomicBool>,
+    /// Flow id linking back to the sampled foreground operation that
+    /// scheduled this copy; 0 when the trigger was not sampled.
+    flow: u64,
+    /// Registry-clock timestamp of the moment the task was enqueued
+    /// (queue-wait span start); 0 when untraced.
+    queued_us: u64,
+    /// Drop the copy if a worker has not started it by this instant.
+    deadline: Option<Instant>,
+}
+
+/// Per-copy trace context threaded into `try_place` so the chunk-level
+/// spans (`placement_decide` / `copy_read` / `copy_write` /
+/// `metadata_register`) parent under the enclosing `copy_exec`.
+struct CopyTraceCtx {
+    tid: u64,
+    exec_id: u64,
+}
+
+impl CopyJob {
+    fn run(&self, file: &str, size: u64, inline_data: Option<Vec<u8>>) {
+        if self.shutting_down.load(Ordering::Acquire) {
+            let _ = self.metadata.abort_copy(file, false);
+            return;
+        }
+        if self.deadline.is_some_and(|d| Instant::now() > d) {
+            // The request's freshness window closed while the copy sat in
+            // the queue: doing the work now would be wasted bandwidth.
+            // Same degradation as a failed copy — revert, retry on a later
+            // touch.
+            self.stats.copy_failed();
+            self.telemetry.event(EventKind::CopyFailed {
+                file: file.to_string(),
+                reason: "copy deadline expired before a worker started it".to_string(),
+            });
+            let _ = self.metadata.abort_copy(file, false);
+            return;
+        }
+        let tr = self.telemetry.trace();
+        let traced = self.flow != 0 && tr.is_enabled();
+        let exec_t0 = if traced { self.telemetry.now_micros() } else { 0 };
+        let copy_trace = if traced {
+            // The queue-wait interval spans enqueue → dequeue; it renders on
+            // its own reserved track because it belongs to neither the
+            // scheduling nor the executing thread.
+            tr.record(
+                SpanRecord::new(
+                    names::QUEUE_WAIT,
+                    "copy",
+                    QUEUE_TRACK,
+                    self.queued_us,
+                    exec_t0.saturating_sub(self.queued_us),
+                )
+                .with_id(tr.next_id())
+                .arg_str("file", file),
+            );
+            Some(CopyTraceCtx { tid: tr.register_current_thread(), exec_id: tr.next_id() })
+        } else {
+            None
+        };
+        let started = Instant::now();
+        self.telemetry.event(EventKind::CopyStarted { file: file.to_string() });
+        let result = self.try_place(file, size, inline_data, copy_trace.as_ref());
+        if let Some(ct) = &copy_trace {
+            let outcome = match &result {
+                Ok(Some(_)) => "completed",
+                Ok(None) => "skipped",
+                Err(_) => "failed",
+            };
+            tr.record(
+                SpanRecord::new(
+                    names::COPY_EXEC,
+                    "copy",
+                    ct.tid,
+                    exec_t0,
+                    self.telemetry.now_micros() - exec_t0,
+                )
+                .with_id(ct.exec_id)
+                .with_flow(self.flow, FlowPhase::Finish)
+                .arg_str("file", file)
+                .arg_u64("bytes", size)
+                .arg_str("outcome", outcome),
+            );
+        }
+        match result {
+            Ok(Some(tier)) => {
+                self.stats.copy_completed();
+                let elapsed = started.elapsed();
+                if self.telemetry.is_enabled() {
+                    self.telemetry.copy_duration().record_duration(elapsed);
+                }
+                self.telemetry.event(EventKind::CopyCompleted {
+                    file: file.to_string(),
+                    tier,
+                    bytes: size,
+                    micros: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+                });
+            }
+            Ok(None) => {
+                // No room anywhere: pin the file to the PFS permanently
+                // (placement for it has ended, paper §III-B last paragraph).
+                self.stats.placement_skip();
+                self.telemetry.event(EventKind::PlacementSkipped {
+                    file: file.to_string(),
+                    reason: "no local tier had room".to_string(),
+                });
+                let _ = self.metadata.abort_copy(file, true);
+            }
+            Err(e) => {
+                // I/O failure: revert to Unplaced so a later read may retry.
+                self.stats.copy_failed();
+                self.telemetry.event(EventKind::CopyFailed {
+                    file: file.to_string(),
+                    reason: e.to_string(),
+                });
+                let _ = self.metadata.abort_copy(file, false);
+            }
+        }
+    }
+
+    /// Returns `Ok(Some(tier))` if the file was placed on `tier`,
+    /// `Ok(None)` if no tier had room, `Err` on I/O failure (quota
+    /// released, nothing half-installed visible to readers).
+    fn try_place(
+        &self,
+        file: &str,
+        size: u64,
+        inline_data: Option<Vec<u8>>,
+        ct: Option<&CopyTraceCtx>,
+    ) -> Result<Option<TierId>> {
+        let tr = self.telemetry.trace();
+        let t_decide = if ct.is_some() { self.telemetry.now_micros() } else { 0 };
+        let decision = self.policy.place(&self.hierarchy, file, size)?;
+        if let Some(ct) = ct {
+            let mut span = SpanRecord::new(
+                names::PLACEMENT_DECIDE,
+                "copy",
+                ct.tid,
+                t_decide,
+                self.telemetry.now_micros() - t_decide,
+            )
+            .with_id(tr.next_id())
+            .with_parent(ct.exec_id)
+            .arg_str("policy", self.policy.name().to_string());
+            if let Some(d) = &decision {
+                for (key, value) in d.trace_args(&self.hierarchy) {
+                    span.args.push((key, value));
+                }
+            } else {
+                span = span.arg_str("tier", "none");
+            }
+            tr.record(span);
+        }
+        let Some(decision) = decision else {
+            return Ok(None);
+        };
+        let dest = self.hierarchy.tier(decision.tier)?;
+        let quota = dest.quota.as_ref().ok_or(Error::UnknownTier(decision.tier))?;
+
+        // Evictions (ablation policies only): remove victims, release their
+        // quota, then reserve for the newcomer.
+        let reserved = if decision.evict.is_empty() {
+            true // policy reserved during `place`
+        } else {
+            for victim in &decision.evict {
+                if let Some(vinfo) = self.metadata.get(victim) {
+                    if vinfo.tier == decision.tier {
+                        dest.driver.remove(victim)?;
+                        self.metadata.evict_to(victim, self.hierarchy.source_id())?;
+                        quota.release(vinfo.size);
+                        self.stats.record_evict(decision.tier);
+                        self.telemetry.event(EventKind::Evicted {
+                            file: victim.clone(),
+                            tier: decision.tier,
+                            bytes: vinfo.size,
+                        });
+                    }
+                }
+            }
+            quota.try_reserve(size)
+        };
+        if !reserved {
+            return Ok(None);
+        }
+        self.telemetry.event(EventKind::PlacementDecided {
+            file: file.to_string(),
+            tier: decision.tier,
+            used: quota.used(),
+            capacity: quota.capacity(),
+        });
+
+        let install = || -> Result<()> {
+            let data = match inline_data {
+                Some(ref data) => data.clone(),
+                None => {
+                    let t_read = if ct.is_some() { self.telemetry.now_micros() } else { 0 };
+                    let source = self.hierarchy.source();
+                    let data = source.driver.read_full(file)?;
+                    self.stats.record_read(source.id, data.len() as u64);
+                    if let Some(ct) = ct {
+                        tr.record(
+                            SpanRecord::new(
+                                names::COPY_READ,
+                                "copy",
+                                ct.tid,
+                                t_read,
+                                self.telemetry.now_micros() - t_read,
+                            )
+                            .with_id(tr.next_id())
+                            .with_parent(ct.exec_id)
+                            .arg_str("tier", &source.name)
+                            .arg_u64("bytes", data.len() as u64),
+                        );
+                    }
+                    data
+                }
+            };
+            let t_write = if ct.is_some() { self.telemetry.now_micros() } else { 0 };
+            dest.driver.write_full(file, &data)?;
+            self.stats.record_write(decision.tier, data.len() as u64);
+            if let Some(ct) = ct {
+                tr.record(
+                    SpanRecord::new(
+                        names::COPY_WRITE,
+                        "copy",
+                        ct.tid,
+                        t_write,
+                        self.telemetry.now_micros() - t_write,
+                    )
+                    .with_id(tr.next_id())
+                    .with_parent(ct.exec_id)
+                    .arg_str("tier", &dest.name)
+                    .arg_u64("bytes", data.len() as u64),
+                );
+            }
+            Ok(())
+        };
+        match install() {
+            Ok(()) => {
+                let t_reg = if ct.is_some() { self.telemetry.now_micros() } else { 0 };
+                self.metadata.finish_copy(file, decision.tier)?;
+                self.policy.on_placed(file, size, decision.tier);
+                if let Some(ct) = ct {
+                    tr.record(
+                        SpanRecord::new(
+                            names::METADATA_REGISTER,
+                            "copy",
+                            ct.tid,
+                            t_reg,
+                            self.telemetry.now_micros() - t_reg,
+                        )
+                        .with_id(tr.next_id())
+                        .with_parent(ct.exec_id)
+                        .arg_str("tier", &dest.name),
+                    );
+                }
+                Ok(Some(decision.tier))
+            }
+            Err(e) => {
+                quota.release(size);
+                // Best effort: remove a possibly half-written destination
+                // file (the POSIX driver's rename makes this a no-op there).
+                if dest.driver.remove(file).is_ok() {
+                    self.stats.record_remove(decision.tier);
+                    self.telemetry.event(EventKind::Removed {
+                        file: file.to_string(),
+                        tier: decision.tier,
+                    });
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TelemetryConfig;
+    use crate::driver::{open_gate, Gate, GatedDriver, MemDriver, StorageDriver};
+    use crate::placement::FirstFit;
+    use std::time::Duration;
+
+    // -- LaneQueues ---------------------------------------------------------
+
+    #[test]
+    fn lane_queues_pop_demand_first() {
+        let mut q = LaneQueues::new();
+        q.push(Lane::Prefetch, "p0");
+        q.push(Lane::Prefetch, "p1");
+        q.push(Lane::Demand, "d0");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.queued(Lane::Demand), 1);
+        assert_eq!(q.queued(Lane::Prefetch), 2);
+        assert_eq!(q.pop(), Some(("d0", Lane::Demand)));
+        assert_eq!(q.pop(), Some(("p0", Lane::Prefetch)));
+        assert_eq!(q.pop(), Some(("p1", Lane::Prefetch)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn lane_queues_promote_moves_entry_behind_existing_demand() {
+        let mut q = LaneQueues::new();
+        q.push(Lane::Prefetch, "a");
+        q.push(Lane::Prefetch, "b");
+        q.push(Lane::Demand, "d");
+        assert!(q.promote_where(|&x| x == "b"));
+        assert!(!q.promote_where(|&x| x == "b"), "an entry promotes at most once");
+        assert!(!q.promote_where(|&x| x == "missing"));
+        // Promoted entries queue behind existing demand but report the
+        // demand lane when popped.
+        assert_eq!(q.pop(), Some(("d", Lane::Demand)));
+        assert_eq!(q.pop(), Some(("b", Lane::Demand)));
+        assert_eq!(q.pop(), Some(("a", Lane::Prefetch)));
+    }
+
+    #[test]
+    fn lane_queues_drain_prefetch_leaves_demand() {
+        let mut q = LaneQueues::new();
+        q.push(Lane::Prefetch, 1);
+        q.push(Lane::Demand, 2);
+        q.push(Lane::Prefetch, 3);
+        assert_eq!(q.drain_prefetch(), vec![1, 3]);
+        assert_eq!(q.queued(Lane::Prefetch), 0);
+        assert_eq!(q.pop(), Some((2, Lane::Demand)));
+    }
+
+    // -- TransferEngine driven directly (no Monarch) ------------------------
+
+    /// A PFS holding `n` 512-byte files named `f000`, `f001`, ...
+    fn staged_pfs(n: usize) -> MemDriver {
+        let pfs = MemDriver::new("pfs");
+        for i in 0..n {
+            pfs.insert(&format!("f{i:03}"), vec![i as u8; 512]);
+        }
+        pfs
+    }
+
+    fn assemble(
+        pfs: Arc<dyn StorageDriver>,
+        threads: usize,
+        prefetch: PrefetchConfig,
+    ) -> TransferEngine {
+        let hierarchy = Arc::new(
+            StorageHierarchy::new(vec![
+                (
+                    "ssd".into(),
+                    Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
+                    Some(1 << 20),
+                ),
+                ("pfs".into(), pfs, None),
+            ])
+            .unwrap(),
+        );
+        let metadata = Arc::new(MetadataContainer::default());
+        for (name, size) in hierarchy.source().driver.list().unwrap() {
+            metadata.register(&name, size, hierarchy.source_id());
+        }
+        let stats = Arc::new(Stats::new(hierarchy.levels()));
+        let telemetry = Arc::new(TelemetryRegistry::new(
+            vec!["ssd".into(), "pfs".into()],
+            Arc::clone(&stats),
+            &TelemetryConfig::default(),
+        ));
+        let policy = Arc::new(FirstFit);
+        TransferEngine::new(hierarchy, metadata, policy, stats, telemetry, threads, prefetch)
+    }
+
+    /// Single-worker engine over a gated PFS: a demand copy pins the
+    /// worker inside the gated source fetch, so queued jobs pile up
+    /// deterministically behind it.
+    fn gated_engine(n: usize, lookahead: usize) -> (TransferEngine, Gate) {
+        let (gated, gate) = GatedDriver::new(staged_pfs(n));
+        let engine = assemble(
+            Arc::new(gated),
+            1,
+            PrefetchConfig { lookahead, max_inflight_bytes: 0 },
+        );
+        (engine, gate)
+    }
+
+    /// Pin the single worker: schedule a demand copy of `file` and wait
+    /// for its `copy_started` journal event (fired just before the gated
+    /// source fetch blocks).
+    fn pin_worker(engine: &TransferEngine, file: &str) {
+        assert!(engine.demand(file, 512, None, ReadCtx::untraced()));
+        let started = || {
+            engine
+                .telemetry
+                .journal()
+                .events()
+                .iter()
+                .any(|e| e.kind.tag() == "copy_started" && e.kind.file() == file)
+        };
+        for _ in 0..10_000 {
+            if started() {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        panic!("worker never started the pinning copy of {file}");
+    }
+
+    fn started_order(engine: &TransferEngine) -> Vec<String> {
+        engine
+            .telemetry
+            .journal()
+            .events()
+            .iter()
+            .filter(|e| e.kind.tag() == "copy_started")
+            .map(|e| e.kind.file().to_string())
+            .collect()
+    }
+
+    fn plan_of(names: &[&str]) -> AccessPlan {
+        AccessPlan::new(names.iter().map(|s| (*s).to_string()).collect())
+    }
+
+    #[test]
+    fn demand_runs_before_queued_prefetch() {
+        let (mut engine, gate) = gated_engine(4, 8);
+        pin_worker(&engine, "f000");
+        // Two plan entries queue on the prefetch lane behind the pinned
+        // copy; a later demand copy must still run before both.
+        assert_eq!(engine.plan(&plan_of(&["f001", "f002"])), 2);
+        assert_eq!(engine.queued(Lane::Prefetch), 2);
+        assert!(engine.demand("f003", 512, None, ReadCtx::untraced()));
+        open_gate(&gate);
+        engine.wait_idle();
+        assert_eq!(started_order(&engine), vec!["f000", "f003", "f001", "f002"]);
+        assert_eq!(engine.stats.snapshot().copies_completed, 4);
+        let report = engine.drain();
+        assert_eq!(report, DrainReport { canceled: 0, join_failures: 0 });
+    }
+
+    #[test]
+    fn note_read_promotes_queued_prefetch_job() {
+        let (mut engine, gate) = gated_engine(3, 8);
+        pin_worker(&engine, "f000");
+        assert_eq!(engine.plan(&plan_of(&["f001", "f002"])), 2);
+        // A foreground read for the *second* queued entry upgrades its
+        // existing job to the demand lane instead of duplicating the copy.
+        engine.note_read("f002", engine.hierarchy.source_id());
+        let stats = engine.stats.snapshot();
+        assert_eq!(stats.prefetch_promoted, 1);
+        assert_eq!(stats.copies_scheduled, 3, "no duplicate copy for f002");
+        assert_eq!(engine.queued(Lane::Demand), 1);
+        assert_eq!(engine.queued(Lane::Prefetch), 1);
+        open_gate(&gate);
+        engine.wait_idle();
+        assert_eq!(started_order(&engine), vec!["f000", "f002", "f001"]);
+        engine.drain();
+    }
+
+    #[test]
+    fn drain_cancels_queued_prefetch_before_joining_workers() {
+        // Regression (shutdown ordering): with the worker pinned inside an
+        // in-flight copy, drain() must withdraw the queued prefetch jobs
+        // *before* joining — otherwise the worker would execute the
+        // speculative copies on its way out.
+        let (mut engine, gate) = gated_engine(3, 8);
+        pin_worker(&engine, "f000");
+        assert_eq!(engine.plan(&plan_of(&["f001", "f002"])), 2);
+        // Release the in-flight copy only after drain has begun joining.
+        let opener = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            open_gate(&gate);
+        });
+        let report = engine.drain();
+        opener.join().unwrap();
+        assert_eq!(report.canceled, 2, "both queued prefetch copies withdrawn");
+        assert_eq!(report.join_failures, 0);
+        // The in-flight copy finished; the canceled ones never ran and
+        // their metadata reverted.
+        assert_eq!(started_order(&engine), vec!["f000"]);
+        assert_eq!(engine.metadata.get("f000").unwrap().state, PlacementState::Placed);
+        for f in ["f001", "f002"] {
+            let info = engine.metadata.get(f).unwrap();
+            assert_eq!(info.state, PlacementState::Unplaced, "{f} reverted");
+            assert_eq!(info.tier, engine.hierarchy.source_id());
+        }
+        let stats = engine.stats.snapshot();
+        assert_eq!(stats.prefetch_canceled, 2);
+        assert_eq!(stats.copies_completed, 1);
+        // The canceled count is journaled, after the per-file cancels.
+        let events = engine.telemetry.journal().events();
+        let drained = events
+            .iter()
+            .find(|e| e.kind.tag() == "prefetch_drained")
+            .expect("drain journals the canceled count");
+        assert!(drained.to_json_line().contains("\"canceled\":2"));
+        let last_cancel = events
+            .iter()
+            .filter(|e| e.kind.tag() == "prefetch_canceled")
+            .map(|e| e.seq)
+            .max()
+            .unwrap();
+        assert!(drained.seq > last_cancel);
+    }
+
+    #[test]
+    fn expired_deadline_drops_copy_instead_of_running_it() {
+        let (mut engine, gate) = gated_engine(2, 0);
+        pin_worker(&engine, "f000");
+        // Queued behind the pinned worker with an already-expired deadline:
+        // by the time a worker dequeues it, the freshness window is gone.
+        let expired = Instant::now();
+        assert!(engine.demand("f001", 512, None, ReadCtx::untraced().with_deadline(expired)));
+        std::thread::sleep(Duration::from_millis(2));
+        open_gate(&gate);
+        engine.wait_idle();
+        let stats = engine.stats.snapshot();
+        assert_eq!(stats.copies_completed, 1, "only the pinned copy ran");
+        assert_eq!(stats.copies_failed, 1);
+        let info = engine.metadata.get("f001").unwrap();
+        assert_eq!(info.state, PlacementState::Unplaced, "dropped copy reverted");
+        let events = engine.telemetry.journal().events();
+        let failed = events
+            .iter()
+            .find(|e| e.kind.tag() == "copy_failed" && e.kind.file() == "f001")
+            .expect("deadline drop journaled");
+        assert!(failed.to_json_line().contains("deadline"));
+        // The copy never started: no copy_started event for f001.
+        assert_eq!(started_order(&engine), vec!["f000"]);
+        engine.drain();
+    }
+
+    #[test]
+    fn evict_returns_resident_file_to_the_source() {
+        let mut engine = assemble(Arc::new(staged_pfs(2)), 2, PrefetchConfig::disabled());
+        assert!(engine.demand("f000", 512, None, ReadCtx::untraced()));
+        engine.wait_idle();
+        assert_eq!(engine.metadata.get("f000").unwrap().tier, 0);
+        let quota_used =
+            || engine.hierarchy.tier(0).unwrap().quota.as_ref().unwrap().used();
+        assert_eq!(quota_used(), 512);
+
+        assert!(engine.evict("f000").unwrap());
+        let info = engine.metadata.get("f000").unwrap();
+        assert_eq!(info.tier, engine.hierarchy.source_id());
+        assert_eq!(info.state, PlacementState::Unplaced);
+        assert_eq!(quota_used(), 0, "eviction released the quota");
+        assert_eq!(engine.stats.snapshot().evictions, 1);
+        assert!(engine
+            .telemetry
+            .journal()
+            .events()
+            .iter()
+            .any(|e| e.kind.tag() == "evicted" && e.kind.file() == "f000"));
+
+        // Not resident any more: a second evict is a no-op...
+        assert!(!engine.evict("f000").unwrap());
+        // ...an unknown name is an error...
+        assert!(matches!(engine.evict("missing"), Err(Error::UnknownFile(_))));
+        // ...and a later demand places the file again.
+        assert!(engine.demand("f000", 512, None, ReadCtx::untraced()));
+        engine.wait_idle();
+        assert_eq!(engine.metadata.get("f000").unwrap().tier, 0);
+        engine.drain();
+    }
+
+    #[test]
+    fn drain_without_prefetcher_still_purges_the_lane() {
+        // The ordering guarantee must not depend on configuration: even
+        // with no prefetcher, jobs sitting on the prefetch lane are
+        // withdrawn rather than executed at shutdown.
+        let (gated, gate) = GatedDriver::new(staged_pfs(3));
+        let mut engine = assemble(Arc::new(gated), 1, PrefetchConfig::disabled());
+        pin_worker(&engine, "f000");
+        assert!(engine.demand("f001", 512, None, ReadCtx::untraced().on_lane(Lane::Prefetch)));
+        let opener = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            open_gate(&gate);
+        });
+        let report = engine.drain();
+        opener.join().unwrap();
+        assert_eq!(report.canceled, 1);
+        assert_eq!(engine.metadata.get("f001").unwrap().state, PlacementState::Unplaced);
+        assert_eq!(started_order(&engine), vec!["f000"]);
+    }
+}

@@ -8,7 +8,7 @@ use monarch_core::metadata::PlacementState;
 use monarch_core::placement::{FirstFit, LruEvict, PlacementPolicy, RoundRobin};
 use monarch_core::prefetch::{PrefetchConfig, PrefetchWindow};
 use monarch_core::telemetry::LatencyHistogram;
-use monarch_core::{Monarch, StorageDriver};
+use monarch_core::{MonarchBuilder, StorageDriver};
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 
@@ -135,7 +135,12 @@ proptest! {
             ("ssd".into(), Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>, Some(cap)),
             ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
         ]).unwrap();
-        let m = Monarch::with_parts(h, Arc::new(FirstFit), 2, true);
+        let m = MonarchBuilder::new()
+            .hierarchy(h)
+            .policy(Arc::new(FirstFit))
+            .pool_threads(2)
+            .build()
+            .unwrap();
         m.init().unwrap();
         let mut buf = vec![0u8; 128];
         for (fi, offset) in reads {
@@ -340,7 +345,12 @@ proptest! {
             ("ssd".into(), Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>, Some(cap)),
             ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
         ]).unwrap();
-        let m = Monarch::with_parts(h, Arc::new(LruEvict::new()), 1, true);
+        let m = MonarchBuilder::new()
+            .hierarchy(h)
+            .policy(Arc::new(LruEvict::new()))
+            .pool_threads(1)
+            .build()
+            .unwrap();
         m.init().unwrap();
         let mut buf = vec![0u8; 64];
         for fi in accesses {

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use monarch_core::driver::{FaultKind, FaultyDriver, MemDriver, StorageDriver};
 use monarch_core::hierarchy::StorageHierarchy;
 use monarch_core::placement::{FirstFit, LruEvict};
-use monarch_core::Monarch;
+use monarch_core::MonarchBuilder;
 
 /// Stage `n` files of `size` bytes with deterministic contents.
 fn stage(n: usize, size: usize) -> MemDriver {
@@ -40,12 +40,14 @@ fn concurrent_reads_are_always_correct() {
     const FILES: usize = 40;
     const SIZE: usize = 4096;
     let pfs = stage(FILES, SIZE);
-    let m = Arc::new(Monarch::with_parts(
-        hierarchy(pfs, (FILES as u64 * SIZE as u64) / 2),
-        Arc::new(FirstFit),
-        4,
-        true,
-    ));
+    let m = Arc::new(
+        MonarchBuilder::new()
+            .hierarchy(hierarchy(pfs, (FILES as u64 * SIZE as u64) / 2))
+            .policy(Arc::new(FirstFit))
+            .pool_threads(4)
+            .build()
+            .unwrap(),
+    );
     m.init().unwrap();
 
     let errors = Arc::new(AtomicU64::new(0));
@@ -96,7 +98,14 @@ fn fault_storm_leaves_state_consistent() {
         ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
     ])
     .unwrap();
-    let m = Arc::new(Monarch::with_parts(hierarchy, Arc::new(FirstFit), 3, true));
+    let m = Arc::new(
+        MonarchBuilder::new()
+            .hierarchy(hierarchy)
+            .policy(Arc::new(FirstFit))
+            .pool_threads(3)
+            .build()
+            .unwrap(),
+    );
     m.init().unwrap();
 
     // Several passes so failed placements get retried on later touches.
@@ -133,12 +142,14 @@ fn lru_churn_under_concurrency() {
     const SIZE: usize = 3000;
     let cap = (FILES as u64 * SIZE as u64) / 4;
     let pfs = stage(FILES, SIZE);
-    let m = Arc::new(Monarch::with_parts(
-        hierarchy(pfs, cap),
-        Arc::new(LruEvict::new()),
-        3,
-        true,
-    ));
+    let m = Arc::new(
+        MonarchBuilder::new()
+            .hierarchy(hierarchy(pfs, cap))
+            .policy(Arc::new(LruEvict::new()))
+            .pool_threads(3)
+            .build()
+            .unwrap(),
+    );
     m.init().unwrap();
 
     std::thread::scope(|s| {
@@ -174,12 +185,14 @@ fn prestage_races_with_readers() {
     const FILES: usize = 32;
     const SIZE: usize = 1024;
     let pfs = stage(FILES, SIZE);
-    let m = Arc::new(Monarch::with_parts(
-        hierarchy(pfs, u64::MAX / 2),
-        Arc::new(FirstFit),
-        4,
-        true,
-    ));
+    let m = Arc::new(
+        MonarchBuilder::new()
+            .hierarchy(hierarchy(pfs, u64::MAX / 2))
+            .policy(Arc::new(FirstFit))
+            .pool_threads(4)
+            .build()
+            .unwrap(),
+    );
     m.init().unwrap();
 
     std::thread::scope(|s| {

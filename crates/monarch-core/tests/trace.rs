@@ -9,7 +9,7 @@ use monarch_core::driver::MemDriver;
 use monarch_core::hierarchy::StorageHierarchy;
 use monarch_core::placement::FirstFit;
 use monarch_core::trace::{names, FlowPhase, QUEUE_TRACK};
-use monarch_core::{Monarch, StorageDriver, TelemetryConfig};
+use monarch_core::{Monarch, MonarchBuilder, StorageDriver, TelemetryConfig};
 
 const FILE_BYTES: usize = 64 << 10;
 
@@ -29,7 +29,36 @@ fn traced_monarch(files: usize, tcfg: TelemetryConfig) -> Monarch {
         ("pfs".into(), pfs as Arc<dyn StorageDriver>, None),
     ])
     .unwrap();
-    let m = Monarch::with_parts_telemetry(hierarchy, Arc::new(FirstFit), 4, true, tcfg);
+    let m = MonarchBuilder::new()
+        .hierarchy(hierarchy)
+        .policy(Arc::new(FirstFit))
+        .pool_threads(4)
+        .telemetry(tcfg)
+        .build()
+        .unwrap();
+    m.init().unwrap();
+    m
+}
+
+/// A single-file, single-worker variant: span-per-name counts are exact.
+fn traced_one(tcfg: TelemetryConfig, size: usize) -> Monarch {
+    let pfs = MemDriver::new("pfs");
+    pfs.insert("f", vec![9u8; size]);
+    let hierarchy = StorageHierarchy::new(vec![
+        (
+            "ssd".into(),
+            Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
+            Some(1 << 20),
+        ),
+        ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
+    ])
+    .unwrap();
+    let m = MonarchBuilder::new()
+        .hierarchy(hierarchy)
+        .pool_threads(1)
+        .telemetry(tcfg)
+        .build()
+        .unwrap();
     m.init().unwrap();
     m
 }
@@ -178,4 +207,112 @@ fn disabled_export_matches_golden_shell() {
     assert!(!m.telemetry().trace().is_enabled());
     let golden = include_str!("golden/trace_disabled.json");
     assert_eq!(m.trace_json(), golden.trim_end());
+}
+
+/// A sampled partial read produces the full span tree — foreground
+/// lookup/resolve/pread children under the read span, copy-side spans
+/// under `copy_exec` — with the pread starting the flow the background
+/// copy finishes.
+#[test]
+fn sampled_read_produces_flow_linked_span_tree() {
+    let m = traced_one(TelemetryConfig::with_tracing(), 4096);
+    // Partial read: the background task must re-fetch from the PFS,
+    // so the copy_read child span appears too.
+    let mut buf = [0u8; 256];
+    m.read("f", 0, &mut buf).unwrap();
+    m.wait_placement_idle();
+
+    let tr = m.telemetry().trace();
+    let spans = tr.spans();
+    let by_name = |n: &str| spans.iter().filter(|s| s.name == n).count();
+    for name in [
+        names::READ,
+        names::METADATA_LOOKUP,
+        names::TIER_RESOLVE,
+        names::DRIVER_PREAD,
+        names::COPY_SCHEDULED,
+        names::QUEUE_WAIT,
+        names::COPY_EXEC,
+        names::PLACEMENT_DECIDE,
+        names::COPY_READ,
+        names::COPY_WRITE,
+        names::METADATA_REGISTER,
+    ] {
+        assert_eq!(by_name(name), 1, "exactly one {name} span");
+    }
+    // The foreground pread starts the flow the background copy_exec
+    // finishes — the causal link the trace subsystem is about.
+    let pread = spans.iter().find(|s| s.name == names::DRIVER_PREAD).unwrap();
+    let exec = spans.iter().find(|s| s.name == names::COPY_EXEC).unwrap();
+    assert_ne!(pread.flow, 0);
+    assert_eq!(pread.flow, exec.flow);
+    assert_eq!(pread.flow_phase, FlowPhase::Start);
+    assert_eq!(exec.flow_phase, FlowPhase::Finish);
+    // Foreground children hang off the read span; copy children off
+    // copy_exec.
+    let read = spans.iter().find(|s| s.name == names::READ).unwrap();
+    assert_eq!(pread.parent, read.id);
+    let reg = spans.iter().find(|s| s.name == names::METADATA_REGISTER).unwrap();
+    assert_eq!(reg.parent, exec.id);
+    // The queue-wait interval renders on its reserved track.
+    let qw = spans.iter().find(|s| s.name == names::QUEUE_WAIT).unwrap();
+    assert_eq!(qw.tid, QUEUE_TRACK);
+    // The export carries it all plus the flow endpoints.
+    let json = m.trace_json();
+    assert!(json.contains("\"ph\":\"s\"") && json.contains("\"ph\":\"f\""));
+    assert!(json.contains("\"driver_pread\""));
+    assert_eq!(m.telemetry_snapshot().spans_recorded, tr.spans_recorded());
+}
+
+#[test]
+fn tracing_off_records_no_spans() {
+    let m = traced_one(TelemetryConfig::default(), 1024);
+    let mut buf = [0u8; 128];
+    m.read("f", 0, &mut buf).unwrap();
+    m.wait_placement_idle();
+    let tr = m.telemetry().trace();
+    assert!(!tr.is_enabled());
+    assert_eq!(tr.spans_recorded(), 0);
+    assert_eq!(
+        m.trace_json(),
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{\"name\":\"process_name\",\
+         \"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"monarch\"}}]}"
+    );
+}
+
+/// Pre-staged copies parent under the prestage span and start their own
+/// flows at scheduling time (no foreground pread exists to carry them).
+#[test]
+fn prestage_trace_links_copies_to_the_prestage_span() {
+    let pfs = MemDriver::new("pfs");
+    for i in 0..3 {
+        pfs.insert(&format!("g{i}"), vec![i as u8; 100]);
+    }
+    let hierarchy = StorageHierarchy::new(vec![
+        (
+            "ssd".into(),
+            Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
+            Some(1 << 20),
+        ),
+        ("pfs".into(), Arc::new(pfs) as Arc<dyn StorageDriver>, None),
+    ])
+    .unwrap();
+    let m = MonarchBuilder::new()
+        .hierarchy(hierarchy)
+        .pool_threads(2)
+        .telemetry(TelemetryConfig::with_tracing())
+        .build()
+        .unwrap();
+    m.init().unwrap();
+    assert_eq!(m.prestage(), 3);
+    m.wait_placement_idle();
+    let spans = m.telemetry().trace().spans();
+    let prestage = spans.iter().find(|s| s.name == names::PRESTAGE).unwrap();
+    let scheds: Vec<_> = spans.iter().filter(|s| s.name == names::COPY_SCHEDULED).collect();
+    assert_eq!(scheds.len(), 3);
+    for s in &scheds {
+        assert_eq!(s.parent, prestage.id);
+        assert_eq!(s.flow_phase, FlowPhase::Start, "prestage flows start at scheduling");
+    }
+    assert_eq!(spans.iter().filter(|s| s.name == names::COPY_EXEC).count(), 3);
 }

@@ -3,7 +3,7 @@
 # errors), and the full test suite. Run before pushing.
 #
 #   scripts/check.sh            # everything
-#   scripts/check.sh fmt        # one stage: fmt | clippy | test | trace | prefetch
+#   scripts/check.sh fmt        # one stage: fmt | clippy | size | test | trace | prefetch
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,6 +12,22 @@ stage="${1:-all}"
 run_fmt() {
     echo "==> cargo fmt --all --check"
     cargo fmt --all --check
+}
+
+# The TransferEngine refactor's structural gate: the middleware must stay
+# a thin read-path facade. If it creeps back toward the pre-refactor
+# monolith, move the new code into `transfer.rs` (copy/staging machinery)
+# or `builder.rs` (assembly) instead of raising the limit.
+run_size() {
+    local limit=900
+    local file="crates/monarch-core/src/middleware.rs"
+    local lines
+    lines=$(wc -l < "$file")
+    echo "==> middleware facade size: $lines lines (limit $limit)"
+    if [ "$lines" -gt "$limit" ]; then
+        echo "size gate: $file has $lines lines > $limit" >&2
+        exit 1
+    fi
 }
 
 run_clippy() {
@@ -104,18 +120,20 @@ EOF
 case "$stage" in
     fmt) run_fmt ;;
     clippy) run_clippy ;;
+    size) run_size ;;
     test) run_test ;;
     trace) run_trace ;;
     prefetch) run_prefetch ;;
     all)
         run_fmt
         run_clippy
+        run_size
         run_test
         run_trace
         run_prefetch
         ;;
     *)
-        echo "usage: scripts/check.sh [fmt|clippy|test|trace|prefetch|all]" >&2
+        echo "usage: scripts/check.sh [fmt|clippy|size|test|trace|prefetch|all]" >&2
         exit 2
         ;;
 esac
