@@ -1,0 +1,45 @@
+//! Offline stand-in for `crossbeam`: MPMC `channel::unbounded` on top of
+//! `std::sync::mpsc` with a mutex-shared receiver. Covers only what
+//! dlpipe's real backend uses (unbounded, send, recv, Clone on both ends).
+
+pub mod channel {
+    use std::sync::{mpsc, Arc, Mutex};
+
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.lock().expect("receiver poisoned").recv()
+        }
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.lock().expect("receiver poisoned").try_recv()
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}

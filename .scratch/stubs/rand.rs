@@ -1,0 +1,128 @@
+//! Offline stand-in for the `rand` crate: a splitmix64-backed `StdRng`
+//! covering exactly the API surface simfs/tfrecord use (`seed_from_u64`,
+//! `gen`, `gen_range`, `fill_bytes`). Deterministic but NOT the real
+//! StdRng stream — fine for compile + smoke runs, not for golden values.
+
+pub mod rngs {
+    /// Seeded deterministic RNG (splitmix64).
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+use rngs::StdRng;
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+}
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types `Rng::gen` can produce.
+pub trait Sample {
+    fn sample<R: RngCore + ?Sized>(r: &mut R) -> Self;
+}
+
+impl Sample for u64 {
+    fn sample<R: RngCore + ?Sized>(r: &mut R) -> Self {
+        r.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample<R: RngCore + ?Sized>(r: &mut R) -> Self {
+        (r.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for usize {
+    fn sample<R: RngCore + ?Sized>(r: &mut R) -> Self {
+        r.next_u64() as usize
+    }
+}
+
+impl Sample for f64 {
+    fn sample<R: RngCore + ?Sized>(r: &mut R) -> Self {
+        (r.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Sample for bool {
+    fn sample<R: RngCore + ?Sized>(r: &mut R) -> Self {
+        r.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges `Rng::gen_range` accepts.
+pub trait SampleRange {
+    type Output;
+    fn sample<R: RngCore + ?Sized>(self, r: &mut R) -> Self::Output;
+}
+
+impl SampleRange for std::ops::Range<u64> {
+    type Output = u64;
+    fn sample<R: RngCore + ?Sized>(self, r: &mut R) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + r.next_u64() % (self.end - self.start)
+    }
+}
+
+impl SampleRange for std::ops::Range<usize> {
+    type Output = usize;
+    fn sample<R: RngCore + ?Sized>(self, r: &mut R) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + (r.next_u64() as usize) % (self.end - self.start)
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<usize> {
+    type Output = usize;
+    fn sample<R: RngCore + ?Sized>(self, r: &mut R) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range");
+        lo + (r.next_u64() as usize) % (hi - lo + 1)
+    }
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(self, r: &mut R) -> f64 {
+        let u = f64::sample(r);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}

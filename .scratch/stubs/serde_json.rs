@@ -1,0 +1,336 @@
+//! Offline stand-in for serde_json with a real `Value` parser, so tests
+//! that inspect hand-emitted JSON run for real. `to_string`/`from_str` on
+//! derived types fail at runtime (no-op derives) — a known stub artifact.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[derive(Debug)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Map = BTreeMap<String, Value>;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+    pub fn is_u64(&self) -> bool {
+        self.as_u64().is_some()
+    }
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        self.as_i64() == Some(*other as i64)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        self.as_i64() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.b.get(self.i).copied()
+    }
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.i += 1;
+        }
+        c
+    }
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        match self.bump() {
+            Some(x) if x == c => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?} at {}", c as char, self.i)),
+        }
+    }
+    fn lit(&mut self, s: &str, v: Value) -> Result<Value, String> {
+        if self.b[self.i..].starts_with(s.as_bytes()) {
+            self.i += s.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at {}", self.i))
+        }
+    }
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let c = *self.b.get(self.i).ok_or("eof in string")?;
+            self.i += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self.b.get(self.i).ok_or("eof in escape")?;
+                    self.i += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.b.get(self.i..self.i + 4).ok_or("short \\u")?;
+                            self.i += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape {e}")),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundary for multi-byte UTF-8.
+                    let start = self.i - 1;
+                    let mut end = self.i;
+                    while end < self.b.len() && self.b[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.b[start..end]).map_err(|e| e.to_string())?,
+                    );
+                    self.i = end;
+                }
+            }
+        }
+    }
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek().ok_or("eof")? {
+            b'{' => {
+                self.bump();
+                let mut map = Map::new();
+                if self.peek() == Some(b'}') {
+                    self.bump();
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let k = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let v = self.value()?;
+                    map.insert(k, v);
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b'}') => return Ok(Value::Object(map)),
+                        other => return Err(format!("bad object sep {other:?}")),
+                    }
+                }
+            }
+            b'[' => {
+                self.bump();
+                let mut arr = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.bump();
+                    return Ok(Value::Array(arr));
+                }
+                loop {
+                    arr.push(self.value()?);
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(Value::Array(arr)),
+                        other => return Err(format!("bad array sep {other:?}")),
+                    }
+                }
+            }
+            b'"' => {
+                self.skip_ws();
+                Ok(Value::String(self.string()?))
+            }
+            b't' => {
+                self.skip_ws();
+                self.lit("true", Value::Bool(true))
+            }
+            b'f' => {
+                self.skip_ws();
+                self.lit("false", Value::Bool(false))
+            }
+            b'n' => {
+                self.skip_ws();
+                self.lit("null", Value::Null)
+            }
+            _ => {
+                self.skip_ws();
+                let start = self.i;
+                while self.i < self.b.len()
+                    && matches!(self.b[self.i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    self.i += 1;
+                }
+                std::str::from_utf8(&self.b[start..self.i])
+                    .map_err(|e| e.to_string())?
+                    .parse::<f64>()
+                    .map(Value::Number)
+                    .map_err(|e| e.to_string())
+            }
+        }
+    }
+}
+
+pub fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { b: s.as_bytes(), i: 0 };
+    let v = p.value().map_err(Error)?;
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err(Error(format!("trailing data at {}", p.i)));
+    }
+    Ok(v)
+}
+
+impl<'de> serde::Deserialize<'de> for Value {
+    fn __stub_from_json(s: &str) -> Option<Self> {
+        parse_value(s).ok()
+    }
+}
+
+impl serde::Serialize for Value {}
+
+pub fn from_str<'a, T: serde::Deserialize<'a>>(s: &'a str) -> Result<T, Error> {
+    T::__stub_from_json(s)
+        .ok_or_else(|| Error("from_str unsupported for this type in the offline stub".into()))
+}
+
+pub fn to_string<T: ?Sized + serde::Serialize>(v: &T) -> Result<String, Error> {
+    v.__stub_to_json()
+        .ok_or_else(|| Error("to_string unsupported in the offline stub".into()))
+}
+
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(v: &T) -> Result<String, Error> {
+    to_string(v)
+}
