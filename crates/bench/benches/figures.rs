@@ -11,12 +11,26 @@ use dlpipe::sim::SimTrainer;
 
 /// ~1/64 of the 100 GiB dataset, same shard structure.
 fn scaled_100g() -> DatasetGeom {
-    DatasetGeom::synth("imagenet-100g/64", 900_000 / 64, 119_300, 0.25, 1024, 0x0100)
+    DatasetGeom::synth(
+        "imagenet-100g/64",
+        900_000 / 64,
+        119_300,
+        0.25,
+        1024,
+        0x0100,
+    )
 }
 
 /// ~1/64 of the 200 GiB dataset.
 fn scaled_200g() -> DatasetGeom {
-    DatasetGeom::synth("imagenet-200g/64", 3_000_000 / 64, 71_600, 0.25, 1024, 0x0200)
+    DatasetGeom::synth(
+        "imagenet-200g/64",
+        3_000_000 / 64,
+        71_600,
+        0.25,
+        1024,
+        0x0200,
+    )
 }
 
 fn scaled_cap(geom: &DatasetGeom) -> u64 {
@@ -46,11 +60,9 @@ fn bench_fig1(c: &mut Criterion) {
             ("local", Setup::VanillaLocal),
             ("caching", Setup::VanillaCaching),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(label, &model.name),
-                &setup,
-                |b, setup| b.iter(|| run(setup.clone(), &geom, &model)),
-            );
+            g.bench_with_input(BenchmarkId::new(label, &model.name), &setup, |b, setup| {
+                b.iter(|| run(setup.clone(), &geom, &model))
+            });
         }
     }
     g.finish();
@@ -63,9 +75,11 @@ fn bench_fig3(c: &mut Criterion) {
     g.sample_size(10);
     for model in ModelProfile::paper_models() {
         let setup = Setup::Monarch(MonarchSimConfig::with_ssd_capacity(cap));
-        g.bench_with_input(BenchmarkId::new("monarch", &model.name), &setup, |b, setup| {
-            b.iter(|| run(setup.clone(), &geom, &model))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("monarch", &model.name),
+            &setup,
+            |b, setup| b.iter(|| run(setup.clone(), &geom, &model)),
+        );
     }
     g.finish();
 }
@@ -78,13 +92,14 @@ fn bench_fig4(c: &mut Criterion) {
     for model in [ModelProfile::lenet(), ModelProfile::alexnet()] {
         for (label, setup) in [
             ("lustre", Setup::VanillaLustre),
-            ("monarch", Setup::Monarch(MonarchSimConfig::with_ssd_capacity(cap))),
+            (
+                "monarch",
+                Setup::Monarch(MonarchSimConfig::with_ssd_capacity(cap)),
+            ),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(label, &model.name),
-                &setup,
-                |b, setup| b.iter(|| run(setup.clone(), &geom, &model)),
-            );
+            g.bench_with_input(BenchmarkId::new(label, &model.name), &setup, |b, setup| {
+                b.iter(|| run(setup.clone(), &geom, &model))
+            });
         }
     }
     g.finish();

@@ -39,11 +39,17 @@ fn run(variant: &str, cfg: MonarchSimConfig, rows: &mut Vec<EvictRow>) {
         monarch_bench::trials().min(3),
         monarch_bench::EPOCHS,
     );
-    let once =
-        monarch_bench::run_once(&Setup::Monarch(cfg), &geom, &model, &env, 0xbeef, 3);
-    let pfs_bytes: u64 =
-        once.epochs.iter().map(|e| e.devices[once.pfs_device].bytes_read()).sum();
-    let ssd_written: u64 = once.epochs.iter().map(|e| e.devices[0].bytes_written()).sum();
+    let once = monarch_bench::run_once(&Setup::Monarch(cfg), &geom, &model, &env, 0xbeef, 3);
+    let pfs_bytes: u64 = once
+        .epochs
+        .iter()
+        .map(|e| e.devices[once.pfs_device].bytes_read())
+        .sum();
+    let ssd_written: u64 = once
+        .epochs
+        .iter()
+        .map(|e| e.devices[0].bytes_written())
+        .sum();
     let t = once.telemetry.as_ref();
     rows.push(EvictRow {
         variant: variant.to_string(),
@@ -59,7 +65,11 @@ fn run(variant: &str, cfg: MonarchSimConfig, rows: &mut Vec<EvictRow>) {
 
 fn main() {
     let mut rows = Vec::new();
-    run("first-fit (paper)", MonarchSimConfig::paper_default(), &mut rows);
+    run(
+        "first-fit (paper)",
+        MonarchSimConfig::paper_default(),
+        &mut rows,
+    );
     run(
         "lru-evict",
         MonarchSimConfig {

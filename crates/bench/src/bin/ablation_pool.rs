@@ -53,7 +53,10 @@ fn main() {
         });
     }
     println!("\n## Ablation — placement pool size (LeNet, 200 GiB)");
-    println!("{:>8} {:>12} {:>12} {:>12}", "threads", "total (s)", "epoch1 (s)", "pfs ops");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "threads", "total (s)", "epoch1 (s)", "pfs ops"
+    );
     for r in &rows {
         println!(
             "{:>8} {:>12.0} {:>12.0} {:>12}",

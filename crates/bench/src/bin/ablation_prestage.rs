@@ -24,7 +24,10 @@ fn main() {
     let mut rows = Vec::new();
     for geom in [DatasetGeom::imagenet_100g(), DatasetGeom::imagenet_200g()] {
         for (variant, prestage) in [("on-demand (paper)", false), ("pre-stage", true)] {
-            let cfg = MonarchSimConfig { prestage, ..MonarchSimConfig::paper_default() };
+            let cfg = MonarchSimConfig {
+                prestage,
+                ..MonarchSimConfig::paper_default()
+            };
             let r = monarch_bench::run_once(
                 &Setup::Monarch(cfg),
                 &geom,

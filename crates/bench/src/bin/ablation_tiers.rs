@@ -25,9 +25,10 @@ fn main() {
     };
     let mut rows = Vec::new();
     for model in [ModelProfile::lenet(), ModelProfile::alexnet()] {
-        for (variant, cfg) in
-            [("ssd+lustre (paper)", &two_level), ("ram+ssd+lustre", &three_level)]
-        {
+        for (variant, cfg) in [
+            ("ssd+lustre (paper)", &two_level),
+            ("ram+ssd+lustre", &three_level),
+        ] {
             let s = monarch_bench::run_trials(
                 &Setup::Monarch(cfg.clone()),
                 &geom,
@@ -53,7 +54,10 @@ fn main() {
         }
     }
     println!("\n## Extension — multi-level hierarchy (200 GiB)");
-    println!("{:<22} {:<9} {:>12} {:>12}", "variant", "model", "total (s)", "pfs ops");
+    println!(
+        "{:<22} {:<9} {:>12} {:>12}",
+        "variant", "model", "total (s)", "pfs ops"
+    );
     for r in &rows {
         println!(
             "{:<22} {:<9} {:>12.0} {:>12}",

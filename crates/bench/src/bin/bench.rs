@@ -1,0 +1,165 @@
+//! Bench-history tool: regenerate `BENCH_*.json` snapshots and gate a
+//! fresh run against a committed baseline.
+//!
+//! ```text
+//! bench snapshot --name read_path         # rewrite BENCH_read_path.json
+//! bench snapshot --name sim_epoch         # rewrite BENCH_sim_epoch.json
+//! bench compare --baseline BENCH_read_path.json --tolerance 15% [--retries 3]
+//! ```
+//!
+//! `compare` reruns the baseline's workload in-process and fails (exit 1)
+//! if any baseline entry regresses beyond the tolerance in its bad
+//! direction. Wall-clock benches are noisy, so the run is retried (up to
+//! `--retries` attempts, default 3) and passes if *any* attempt is clean;
+//! improvements always pass.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use monarch_bench::snapshot;
+
+const USAGE: &str = "usage:
+  bench snapshot --name <read_path|sim_epoch>
+  bench compare --baseline <BENCH_*.json> [--tolerance 15%] [--retries 3]";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("bench: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// `15%`, `15`, or `0.15` → `0.15`.
+fn parse_tolerance(s: &str) -> Option<f64> {
+    let (num, pct) = match s.strip_suffix('%') {
+        Some(n) => (n, true),
+        None => (s, false),
+    };
+    let v: f64 = num.trim().parse().ok()?;
+    let frac = if pct || v > 1.0 { v / 100.0 } else { v };
+    (frac >= 0.0).then_some(frac)
+}
+
+fn next_value(args: &mut std::vec::IntoIter<String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn run_snapshot(mut args: std::vec::IntoIter<String>) -> Result<String, String> {
+    let mut name = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--name" => name = Some(next_value(&mut args, "--name")?),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    let name = name.ok_or("snapshot requires --name")?;
+    let doc = snapshot::generate(&name)?;
+    let path = snapshot::write(&doc)?;
+    Ok(format!(
+        "[saved {} — {} entries @ {}]",
+        path.display(),
+        doc.entries.len(),
+        doc.git_rev
+    ))
+}
+
+fn run_compare(mut args: std::vec::IntoIter<String>) -> Result<String, String> {
+    let mut baseline_path = None;
+    let mut tolerance = 0.15;
+    let mut retries = 3usize;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => {
+                baseline_path = Some(PathBuf::from(next_value(&mut args, "--baseline")?))
+            }
+            "--tolerance" => {
+                let raw = next_value(&mut args, "--tolerance")?;
+                tolerance = parse_tolerance(&raw)
+                    .ok_or_else(|| format!("bad tolerance '{raw}' (try 15%)"))?;
+            }
+            "--retries" => {
+                let raw = next_value(&mut args, "--retries")?;
+                retries = raw.parse().map_err(|_| format!("bad retries '{raw}'"))?;
+                if retries == 0 {
+                    return Err("retries must be >= 1".into());
+                }
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    let baseline_path = baseline_path.ok_or("compare requires --baseline")?;
+    let baseline = snapshot::load(&baseline_path)?;
+    println!(
+        "comparing against {} ({} entries @ {}, tolerance {:.0}%, up to {} attempts)",
+        baseline_path.display(),
+        baseline.entries.len(),
+        baseline.git_rev,
+        tolerance * 100.0,
+        retries,
+    );
+    // Per-entry retry: an entry passes once it lands within tolerance in
+    // *any* attempt (wall-clock noise rarely hits the same benchmark
+    // twice); only entries that regress in every attempt fail the gate.
+    let mut outstanding = baseline.clone();
+    for attempt in 1..=retries {
+        let run = snapshot::generate(&baseline.name)?;
+        let violations = snapshot::compare(&outstanding, &run, tolerance);
+        if violations.is_empty() {
+            return Ok(format!(
+                "perf gate OK: {} entries within {:.0}% (attempt {attempt}/{retries}, rev {})",
+                baseline.entries.len(),
+                tolerance * 100.0,
+                run.git_rev,
+            ));
+        }
+        eprintln!(
+            "attempt {attempt}/{retries}: {} regression(s)",
+            violations.len()
+        );
+        for v in &violations {
+            eprintln!("  {}: {}", v.id, v.detail);
+        }
+        outstanding
+            .entries
+            .retain(|e| violations.iter().any(|v| v.id == e.id));
+    }
+    Err(format!(
+        "perf gate FAILED: {} entry(ies) beyond tolerance in all {retries} attempts",
+        outstanding.entries.len()
+    ))
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return fail("missing subcommand");
+    }
+    let sub = args.remove(0);
+    let result = match sub.as_str() {
+        "snapshot" => run_snapshot(args.into_iter()),
+        "compare" => run_compare(args.into_iter()),
+        other => return fail(&format!("unknown subcommand '{other}'")),
+    };
+    match result {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("bench: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_tolerance;
+
+    #[test]
+    fn tolerance_forms() {
+        assert_eq!(parse_tolerance("15%"), Some(0.15));
+        assert_eq!(parse_tolerance("15"), Some(0.15));
+        assert_eq!(parse_tolerance("0.15"), Some(0.15));
+        assert_eq!(parse_tolerance("x"), None);
+        assert_eq!(parse_tolerance("-5%"), None);
+    }
+}

@@ -43,8 +43,7 @@ fn main() {
             monarch_bench::trials().min(3),
             monarch_bench::EPOCHS,
         );
-        let once =
-            monarch_bench::run_once(&Setup::Monarch(cfg), &geom, &model, &env, 0xbeef, 3);
+        let once = monarch_bench::run_once(&Setup::Monarch(cfg), &geom, &model, &env, 0xbeef, 3);
         rows.push(CapRow {
             capacity_fraction: frac,
             total_seconds: s.total_mean,

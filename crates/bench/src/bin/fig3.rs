@@ -47,7 +47,11 @@ fn main() {
             lustre,
             monarch,
             monarch_bench::reduction_pct(lustre, monarch),
-            if model == "lenet" { "1205 -> 811, 33%" } else { "1193 -> 1018, 15%" },
+            if model == "lenet" {
+                "1205 -> 811, 33%"
+            } else {
+                "1193 -> 1018, 15%"
+            },
         );
     }
     monarch_bench::save_json("fig3", &rows);

@@ -13,9 +13,10 @@ fn main() {
     let n = monarch_bench::trials();
     let mut rows = Vec::new();
     for model in ModelProfile::paper_models() {
-        for setup in
-            [Setup::VanillaLustre, Setup::Monarch(MonarchSimConfig::paper_default())]
-        {
+        for setup in [
+            Setup::VanillaLustre,
+            Setup::Monarch(MonarchSimConfig::paper_default()),
+        ] {
             rows.push(monarch_bench::run_trials(
                 &setup,
                 &geom,
@@ -36,7 +37,10 @@ fn main() {
             .map(|r| r.total_mean)
             .unwrap_or(f64::NAN)
     };
-    for (model, anchor) in [("lenet", "2842 -> 2155, 24%"), ("alexnet", "3567 -> 3138, 12%")] {
+    for (model, anchor) in [
+        ("lenet", "2842 -> 2155, 24%"),
+        ("alexnet", "3567 -> 3138, 12%"),
+    ] {
         let lustre = total("vanilla-lustre", model);
         let monarch = total("monarch", model);
         println!(

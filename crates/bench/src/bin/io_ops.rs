@@ -43,8 +43,9 @@ fn main() {
         );
         let base_total = lustre.pfs_ops();
         for run in [&lustre, &monarch] {
-            let epoch_ops: Vec<u64> =
-                (0..run.epochs.len()).map(|e| run.pfs_ops_epoch(e)).collect();
+            let epoch_ops: Vec<u64> = (0..run.epochs.len())
+                .map(|e| run.pfs_ops_epoch(e))
+                .collect();
             rows.push(OpsRow {
                 dataset: geom.name.clone(),
                 setup: run.setup.clone(),

@@ -28,9 +28,7 @@ fn main() {
         }
     }
     monarch_bench::print_resource_table("Resource usage — 100 GiB dataset (§II-A/§IV-B)", &g100);
-    println!(
-        "paper anchors (cpu/gpu): lenet lustre 30/22 local 57/39 caching 37/28 monarch 44/31"
-    );
+    println!("paper anchors (cpu/gpu): lenet lustre 30/22 local 57/39 caching 37/28 monarch 44/31");
     println!(
         "                         alexnet lustre 31/58 local 42/72 caching 34/63 monarch 37/68"
     );
@@ -38,9 +36,10 @@ fn main() {
 
     let mut g200 = Vec::new();
     for model in ModelProfile::paper_models() {
-        for setup in
-            [Setup::VanillaLustre, Setup::Monarch(MonarchSimConfig::paper_default())]
-        {
+        for setup in [
+            Setup::VanillaLustre,
+            Setup::Monarch(MonarchSimConfig::paper_default()),
+        ] {
             g200.push(monarch_bench::run_trials(
                 &setup,
                 &DatasetGeom::imagenet_200g(),

@@ -28,6 +28,19 @@ fn sparkline(rate: f64, max: f64) -> String {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--snapshot") {
+        // Bench-history mode: skip the 100 GiB trace and write the
+        // normalized fixed-seed epoch snapshot instead.
+        let doc = monarch_bench::snapshot::sim_epoch_doc();
+        let path = monarch_bench::snapshot::write(&doc).expect("write snapshot");
+        println!(
+            "[saved {} — {} entries @ {}]",
+            path.display(),
+            doc.entries.len(),
+            doc.git_rev
+        );
+        return;
+    }
     let env = EnvConfig::default();
     let geom = DatasetGeom::imagenet_100g();
     let model = ModelProfile::lenet();
@@ -42,8 +55,7 @@ fn main() {
             trace_interval_secs: Some(window),
             ..PipelineConfig::default().with_seed(0x7ace)
         };
-        let r = SimTrainer::new(setup, geom.clone(), model.clone(), pipeline, env.clone())
-            .run(2);
+        let r = SimTrainer::new(setup, geom.clone(), model.clone(), pipeline, env.clone()).run(2);
         println!("\n## PFS read throughput over time — {label} (LeNet, 100 GiB, 2 epochs)");
         let max = r.pfs_throughput_series.max_value().max(1.0);
         for &(t, rate) in &r.pfs_throughput_series {

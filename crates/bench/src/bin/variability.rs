@@ -29,8 +29,7 @@ fn main() {
     for setup in [Setup::VanillaLustre, Setup::VanillaLocal] {
         let xs: Vec<f64> = (0..trials)
             .map(|t| {
-                monarch_bench::run_once(&setup, &geom, &model, &env, 0xaaaa + t * 37, 1)
-                    .epochs[0]
+                monarch_bench::run_once(&setup, &geom, &model, &env, 0xaaaa + t * 37, 1).epochs[0]
                     .seconds
             })
             .collect();

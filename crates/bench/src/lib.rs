@@ -5,6 +5,9 @@
 //! prints rows in the paper's format; results are also dumped as JSON
 //! under `results/` so `EXPERIMENTS.md` can cite exact numbers.
 
+pub mod micro;
+pub mod snapshot;
+
 use std::io::Write as _;
 use std::path::PathBuf;
 
@@ -40,8 +43,14 @@ pub fn run_trials(
     let runs: Vec<RunReport> = (0..n)
         .map(|t| {
             let pipeline = PipelineConfig::default().with_seed(0xbeef + t * 7919);
-            SimTrainer::new(setup.clone(), geom.clone(), model.clone(), pipeline, env.clone())
-                .run(epochs)
+            SimTrainer::new(
+                setup.clone(),
+                geom.clone(),
+                model.clone(),
+                pipeline,
+                env.clone(),
+            )
+            .run(epochs)
         })
         .collect();
     TrialSummary::from_runs(&runs)
@@ -58,8 +67,14 @@ pub fn run_once(
     epochs: usize,
 ) -> RunReport {
     let pipeline = PipelineConfig::default().with_seed(seed);
-    SimTrainer::new(setup.clone(), geom.clone(), model.clone(), pipeline, env.clone())
-        .run(epochs)
+    SimTrainer::new(
+        setup.clone(),
+        geom.clone(),
+        model.clone(),
+        pipeline,
+        env.clone(),
+    )
+    .run(epochs)
 }
 
 /// Print a figure-style table: one row per (setup, model) with per-epoch
@@ -93,7 +108,10 @@ pub fn print_epoch_table(title: &str, rows: &[TrialSummary]) {
 /// Print the resource-usage table (§II-A / §IV-B prose).
 pub fn print_resource_table(title: &str, rows: &[TrialSummary]) {
     println!("\n## {title}");
-    println!("{:<16} {:<9} {:>9} {:>9}", "setup", "model", "cpu %", "gpu %");
+    println!(
+        "{:<16} {:<9} {:>9} {:>9}",
+        "setup", "model", "cpu %", "gpu %"
+    );
     for r in rows {
         println!(
             "{:<16} {:<9} {:>8.0}% {:>8.0}%",

@@ -1,0 +1,283 @@
+//! Criterion microbenchmark groups for the hot components: metadata
+//! lookups, quota reservations, the copy pool, the CRC32C codec, the
+//! discrete-event engine itself — and the telemetry overhead of the
+//! instrumented read path (target: ≤ 5% over the disabled baseline).
+//!
+//! The groups live in the library (rather than only in
+//! `benches/microbench.rs`) so the `bench` regression tool can rerun
+//! them in-process and diff the results against a committed
+//! `BENCH_read_path.json` baseline.
+
+use std::sync::Arc;
+
+use criterion::{BatchSize, Criterion, Throughput};
+use monarch_core::driver::MemDriver;
+use monarch_core::hierarchy::{Quota, StorageHierarchy};
+use monarch_core::metadata::MetadataContainer;
+use monarch_core::placement::{FirstFit, PlacementPolicy};
+use monarch_core::pool::ThreadPool;
+use monarch_core::prefetch::{AccessPlan, PrefetchConfig};
+use monarch_core::{Monarch, MonarchBuilder, StorageDriver, TelemetryConfig};
+use simfs::clock::SimTime;
+use simfs::psdev::{Kind, PsDevice};
+use simfs::EventQueue;
+use tfrecord::crc32c::crc32c;
+use tfrecord::{RecordReader, RecordWriter};
+
+/// Metadata-container lookup throughput over a 10k-file namespace.
+pub fn bench_metadata(c: &mut Criterion) {
+    let meta = MetadataContainer::default();
+    for i in 0..10_000 {
+        meta.register(&format!("train-{i:05}.tfrecord"), 128 << 20, 1);
+    }
+    let mut g = c.benchmark_group("metadata");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("lookup_for_read", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let name = format!("train-{:05}.tfrecord", i % 10_000);
+            i = i.wrapping_add(7919);
+            meta.lookup_for_read(&name).unwrap()
+        });
+    });
+    g.finish();
+}
+
+/// Quota reserve/release round trip (two atomic CAS loops).
+pub fn bench_quota(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quota");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("reserve_release", |b| {
+        let q = Quota::new(u64::MAX / 2);
+        b.iter(|| {
+            assert!(q.try_reserve(4096));
+            q.release(4096);
+        });
+    });
+    g.finish();
+}
+
+/// First-fit placement decision against a two-tier hierarchy.
+pub fn bench_placement(c: &mut Criterion) {
+    let hierarchy = StorageHierarchy::new(vec![
+        (
+            "ssd".into(),
+            Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
+            Some(u64::MAX / 2),
+        ),
+        (
+            "pfs".into(),
+            Arc::new(MemDriver::new("pfs")) as Arc<dyn StorageDriver>,
+            None,
+        ),
+    ])
+    .unwrap();
+    let policy = FirstFit;
+    let mut g = c.benchmark_group("placement");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("first_fit_decision", |b| {
+        b.iter(|| policy.place(&hierarchy, "f", 4096).unwrap().unwrap());
+    });
+    g.finish();
+}
+
+/// Copy-pool submit/drain cycle for a burst of no-op jobs.
+pub fn bench_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("copy_pool");
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("submit_drain_256", |b| {
+        let pool = ThreadPool::new(6);
+        b.iter(|| {
+            for _ in 0..256 {
+                pool.submit(Box::new(|| std::hint::black_box(())));
+            }
+            pool.wait_idle();
+        });
+    });
+    g.finish();
+}
+
+/// A warmed-up in-memory Monarch: one 256 KiB file already placed on the
+/// local tier, so `read` exercises the steady-state hot path.
+fn warmed_monarch(tcfg: TelemetryConfig, pf: PrefetchConfig) -> Monarch {
+    let pfs = Arc::new(MemDriver::new("pfs"));
+    pfs.write_full("f", &vec![0xa5u8; 256 << 10]).unwrap();
+    let hierarchy = StorageHierarchy::new(vec![
+        (
+            "ssd".into(),
+            Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
+            Some(1 << 30),
+        ),
+        ("pfs".into(), pfs as Arc<dyn StorageDriver>, None),
+    ])
+    .unwrap();
+    let m = MonarchBuilder::new()
+        .hierarchy(hierarchy)
+        .policy(Arc::new(FirstFit))
+        .pool_threads(2)
+        .telemetry(tcfg)
+        .prefetch(pf)
+        .build()
+        .unwrap();
+    m.init().unwrap();
+    let mut buf = vec![0u8; 4096];
+    m.read("f", 0, &mut buf).unwrap();
+    m.wait_placement_idle();
+    m
+}
+
+/// The instrumented read path across telemetry/prefetch configurations.
+pub fn bench_telemetry_read_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_read_path");
+    g.throughput(Throughput::Bytes(4096));
+    let pf_on = PrefetchConfig {
+        lookahead: 4,
+        max_inflight_bytes: 256 << 20,
+    };
+    let variants: [(&str, TelemetryConfig, PrefetchConfig); 7] = [
+        (
+            "disabled",
+            TelemetryConfig::disabled(),
+            PrefetchConfig::disabled(),
+        ),
+        (
+            "journal_off",
+            TelemetryConfig {
+                journal: false,
+                ..TelemetryConfig::default()
+            },
+            PrefetchConfig::disabled(),
+        ),
+        // "full" has tracing *off* (the default): the read path pays one
+        // branch on an immutable bool. Comparing it with the trace_*
+        // variants quantifies the span-recording overhead and verifies
+        // the sampling-off path stays within noise of PR 1's full config.
+        (
+            "full",
+            TelemetryConfig::default(),
+            PrefetchConfig::disabled(),
+        ),
+        (
+            "trace_every_64",
+            TelemetryConfig {
+                trace_sample_every_n: 64,
+                ..TelemetryConfig::default()
+            },
+            PrefetchConfig::disabled(),
+        ),
+        (
+            "trace_all",
+            TelemetryConfig::with_tracing(),
+            PrefetchConfig::disabled(),
+        ),
+        // prefetch_off vs prefetch_on isolates the clairvoyant window's
+        // per-read cost: the cursor advance and hit bookkeeping against an
+        // active plan covering the file being read. prefetch_off is the
+        // engine compiled in but disabled (no plan, `None` fast path) —
+        // the configuration every non-clairvoyant user runs.
+        (
+            "prefetch_off",
+            TelemetryConfig::default(),
+            PrefetchConfig::disabled(),
+        ),
+        ("prefetch_on", TelemetryConfig::default(), pf_on),
+    ];
+    for (label, tcfg, pf) in variants {
+        let m = warmed_monarch(tcfg, pf);
+        if pf.enabled() {
+            // An active plan containing the benched file: every read pays
+            // the full on_read path (cursor advance + note bookkeeping).
+            m.submit_plan(&AccessPlan::new(vec!["f".into()]));
+            m.wait_placement_idle();
+        }
+        g.bench_function(label, |b| {
+            let mut buf = vec![0u8; 4096];
+            let mut off = 0u64;
+            b.iter(|| {
+                let n = m.read("f", off, &mut buf).unwrap();
+                off = (off + 4096) % (252 << 10);
+                std::hint::black_box(n)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// CRC32C over a 256 KiB shard.
+pub fn bench_crc32c(c: &mut Criterion) {
+    let data = vec![0xa5u8; 256 << 10];
+    let mut g = c.benchmark_group("crc32c");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("256KiB", |b| b.iter(|| crc32c(std::hint::black_box(&data))));
+    g.finish();
+}
+
+/// TFRecord shard decode (length + CRC validation per record).
+pub fn bench_tfrecord(c: &mut Criterion) {
+    // A shard of 64 records × 4 KiB.
+    let mut w = RecordWriter::new(Vec::new());
+    for _ in 0..64 {
+        w.write_record(&vec![7u8; 4096]).unwrap();
+    }
+    let shard = w.into_inner();
+    let mut g = c.benchmark_group("tfrecord");
+    g.throughput(Throughput::Bytes(shard.len() as u64));
+    g.bench_function("decode_shard", |b| {
+        b.iter(|| {
+            let mut r = RecordReader::new(std::io::Cursor::new(&shard));
+            r.count_remaining().unwrap()
+        });
+    });
+    g.finish();
+}
+
+/// The discrete-event engine: queue churn and a multi-stream device.
+pub fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.throughput(Throughput::Elements(1024));
+    g.bench_function("schedule_pop_1024", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..1024u64 {
+                    q.schedule(SimTime(i * 37 % 4096), i);
+                }
+                while q.pop().is_some() {}
+                q
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("psdev_32_streams", |b| {
+        b.iter(|| {
+            let mut dev = PsDevice::new("d", 500e6, 100e6);
+            for i in 0..32u64 {
+                dev.start(
+                    SimTime::from_millis(i),
+                    1 << 20,
+                    SimTime::ZERO,
+                    Kind::Read,
+                    1.0,
+                );
+            }
+            let mut done = 0;
+            while let Some(at) = dev.next_wake() {
+                done += dev.collect_finished(at).len();
+            }
+            assert_eq!(done, 32);
+        });
+    });
+    g.finish();
+}
+
+/// Run every microbenchmark group against `c`, in the canonical order.
+pub fn all(c: &mut Criterion) {
+    bench_metadata(c);
+    bench_quota(c);
+    bench_placement(c);
+    bench_pool(c);
+    bench_telemetry_read_path(c);
+    bench_crc32c(c);
+    bench_tfrecord(c);
+    bench_event_queue(c);
+}

@@ -1,0 +1,366 @@
+//! Bench-history snapshots: normalized `BENCH_<name>.json` documents
+//! committed at the repo root, plus the tolerance-gated comparison that
+//! `scripts/check.sh perf` runs against them.
+//!
+//! Two kinds of trajectory are tracked:
+//!
+//! * `read_path` — wall-clock medians/p95s from the criterion
+//!   microbenchmark groups ([`crate::micro`]). Noisy, so comparisons are
+//!   direction-aware (improvements always pass) and retried.
+//! * `sim_epoch` — virtual-time epoch seconds, bytes moved, and hit
+//!   ratios from a fixed-seed miniature MONARCH simulation. Deterministic:
+//!   any drift beyond tolerance is a behaviour change, not noise.
+
+use std::path::{Path, PathBuf};
+
+use criterion::{BenchResult, Criterion};
+use dlpipe::config::{EnvConfig, MonarchSimConfig, Setup};
+use dlpipe::geometry::DatasetGeom;
+use dlpipe::models::ModelProfile;
+use serde::{Deserialize, Serialize};
+
+/// One normalized measurement inside a [`BenchDoc`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Stable identifier, e.g. `metadata/lookup_for_read` or
+    /// `monarch/epoch1_seconds`.
+    pub id: String,
+    /// The gated value (median for timing entries).
+    pub value: f64,
+    /// Unit of `value`: `ns/iter`, `s`, `bytes`, `ratio`, `count`.
+    pub unit: String,
+    /// 95th percentile, for timing entries.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub p95: Option<f64>,
+    /// Samples behind the percentiles, for timing entries.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub samples: Option<u64>,
+    /// Comparison direction: `true` means a *drop* in `value` is the
+    /// regression (hit ratios); default `false` means a rise is (latency,
+    /// bytes moved).
+    #[serde(default)]
+    pub higher_is_better: bool,
+}
+
+/// A committed bench snapshot: the perf trajectory at one git revision.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchDoc {
+    /// Snapshot family (`read_path`, `sim_epoch`) — names the file
+    /// `BENCH_<name>.json` and selects the regeneration workload.
+    pub name: String,
+    /// `git rev-parse --short HEAD` at capture time (`unknown` outside a
+    /// checkout).
+    pub git_rev: String,
+    /// Normalized measurements, in execution order.
+    pub entries: Vec<BenchEntry>,
+}
+
+/// One entry that moved beyond tolerance (or disappeared).
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Entry id from the baseline.
+    pub id: String,
+    /// Human-readable description of the failure.
+    pub detail: String,
+}
+
+/// Short git revision of the working tree, or `"unknown"`.
+#[must_use]
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(repo_root())
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map_or_else(|| String::from("unknown"), |s| s.trim().to_string())
+}
+
+/// Repository root (where `BENCH_*.json` baselines live). Overridable
+/// with `MONARCH_BENCH_DIR` for tests.
+#[must_use]
+pub fn repo_root() -> PathBuf {
+    std::env::var("MONARCH_BENCH_DIR").map_or_else(
+        |_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        PathBuf::from,
+    )
+}
+
+/// Normalize criterion results into a [`BenchDoc`].
+#[must_use]
+pub fn from_criterion(name: &str, results: &[BenchResult]) -> BenchDoc {
+    BenchDoc {
+        name: name.to_string(),
+        git_rev: git_rev(),
+        entries: results
+            .iter()
+            .map(|r| BenchEntry {
+                id: format!("{}/{}", r.group, r.label),
+                value: r.median_ns,
+                unit: "ns/iter".into(),
+                p95: Some(r.p95_ns),
+                samples: Some(r.samples as u64),
+                higher_is_better: false,
+            })
+            .collect(),
+    }
+}
+
+fn sim_entry(id: &str, value: f64, unit: &str, higher_is_better: bool) -> BenchEntry {
+    BenchEntry {
+        id: id.to_string(),
+        value,
+        unit: unit.to_string(),
+        p95: None,
+        samples: None,
+        higher_is_better,
+    }
+}
+
+/// Generate the `sim_epoch` snapshot: a fixed-seed miniature MONARCH run
+/// (24 MiB dataset, 2 epochs) reduced to the paper's headline shape —
+/// per-epoch virtual seconds, PFS bytes moved, and the local-tier hit
+/// ratio. Deterministic, so the tolerance gate catches behaviour drift.
+#[must_use]
+pub fn sim_epoch_doc() -> BenchDoc {
+    let geom = DatasetGeom::miniature("bench", 24_576, 9);
+    let model = ModelProfile::lenet();
+    let r = crate::run_once(
+        &Setup::Monarch(MonarchSimConfig::with_ssd_capacity(8 << 30)),
+        &geom,
+        &model,
+        &EnvConfig::default(),
+        0x5eed,
+        2,
+    );
+    let t = r.telemetry.as_ref().expect("monarch runs attach telemetry");
+    let pfs_bytes: u64 = r
+        .epochs
+        .iter()
+        .map(|e| e.devices[r.pfs_device].bytes_read())
+        .sum();
+    let mut entries = Vec::new();
+    for (i, e) in r.epochs.iter().enumerate() {
+        entries.push(sim_entry(
+            &format!("monarch/epoch{}_seconds", i + 1),
+            e.seconds,
+            "s",
+            false,
+        ));
+    }
+    entries.push(sim_entry(
+        "monarch/pfs_bytes_read",
+        pfs_bytes as f64,
+        "bytes",
+        false,
+    ));
+    entries.push(sim_entry(
+        "monarch/local_hit_ratio",
+        t.stats.local_hit_ratio(),
+        "ratio",
+        true,
+    ));
+    entries.push(sim_entry(
+        "monarch/copies_completed",
+        t.stats.copies_completed as f64,
+        "count",
+        false,
+    ));
+    BenchDoc {
+        name: "sim_epoch".into(),
+        git_rev: git_rev(),
+        entries,
+    }
+}
+
+/// Generate the `read_path` snapshot by running the criterion groups
+/// quietly in-process.
+#[must_use]
+pub fn read_path_doc() -> BenchDoc {
+    let mut c = Criterion::default().quiet();
+    crate::micro::all(&mut c);
+    from_criterion("read_path", c.results())
+}
+
+/// Regenerate the snapshot family named by `name`.
+///
+/// # Errors
+/// Returns the list of known families when `name` is not one of them.
+pub fn generate(name: &str) -> Result<BenchDoc, String> {
+    match name {
+        "read_path" => Ok(read_path_doc()),
+        "sim_epoch" => Ok(sim_epoch_doc()),
+        other => Err(format!(
+            "unknown snapshot '{other}' (known: read_path, sim_epoch)"
+        )),
+    }
+}
+
+/// Write `doc` as `BENCH_<name>.json` at the repo root; returns the path.
+///
+/// # Errors
+/// Propagates serialization and I/O failures as strings.
+pub fn write(doc: &BenchDoc) -> Result<PathBuf, String> {
+    let path = repo_root().join(format!("BENCH_{}.json", doc.name));
+    let json = serde_json::to_string_pretty(doc).map_err(|e| e.to_string())?;
+    std::fs::write(&path, json + "\n").map_err(|e| e.to_string())?;
+    Ok(path)
+}
+
+/// Load a committed baseline.
+///
+/// # Errors
+/// Propagates read and parse failures as strings.
+pub fn load(path: &Path) -> Result<BenchDoc, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+/// Diff `run` against `baseline`: every baseline entry must be present
+/// and must not regress by more than `tolerance` (a fraction, e.g. 0.15)
+/// in its bad direction. Improvements always pass; entries new in `run`
+/// are ignored (they gate once committed).
+#[must_use]
+pub fn compare(baseline: &BenchDoc, run: &BenchDoc, tolerance: f64) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for base in &baseline.entries {
+        let Some(cur) = run.entries.iter().find(|e| e.id == base.id) else {
+            violations.push(Violation {
+                id: base.id.clone(),
+                detail: "present in baseline but missing from this run".into(),
+            });
+            continue;
+        };
+        if base.value == 0.0 {
+            // Zero baselines (e.g. a bytes counter at 0) gate exactly:
+            // any nonzero regression in the bad direction fails.
+            let regressed = if base.higher_is_better {
+                cur.value < 0.0
+            } else {
+                cur.value > 0.0
+            };
+            if regressed {
+                violations.push(Violation {
+                    id: base.id.clone(),
+                    detail: format!("baseline 0 {u}, now {v} {u}", v = cur.value, u = base.unit),
+                });
+            }
+            continue;
+        }
+        let rel = (cur.value - base.value) / base.value;
+        let regression = if base.higher_is_better { -rel } else { rel };
+        if regression > tolerance {
+            violations.push(Violation {
+                id: base.id.clone(),
+                detail: format!(
+                    "{dir} {pct:.1}% (baseline {b:.1} {u}, now {c:.1} {u}, tolerance {t:.0}%)",
+                    dir = if rel > 0.0 { "up" } else { "down" },
+                    pct = rel.abs() * 100.0,
+                    b = base.value,
+                    c = cur.value,
+                    u = base.unit,
+                    t = tolerance * 100.0,
+                ),
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(entries: Vec<BenchEntry>) -> BenchDoc {
+        BenchDoc {
+            name: "t".into(),
+            git_rev: "abc".into(),
+            entries,
+        }
+    }
+
+    fn entry(id: &str, value: f64, higher_is_better: bool) -> BenchEntry {
+        BenchEntry {
+            id: id.into(),
+            value,
+            unit: "ns/iter".into(),
+            p95: None,
+            samples: None,
+            higher_is_better,
+        }
+    }
+
+    #[test]
+    fn compare_is_direction_aware() {
+        let base = doc(vec![entry("lat", 100.0, false), entry("hits", 0.8, true)]);
+        // Latency down 50% and hits up: both improvements, no violations.
+        let better = doc(vec![entry("lat", 50.0, false), entry("hits", 0.9, true)]);
+        assert!(compare(&base, &better, 0.15).is_empty());
+        // Latency up 16% and hits down 20%: both out of tolerance.
+        let worse = doc(vec![entry("lat", 116.0, false), entry("hits", 0.64, true)]);
+        let v = compare(&base, &worse, 0.15);
+        assert_eq!(v.len(), 2, "{v:?}");
+        // Within tolerance: 10% either way passes.
+        let near = doc(vec![entry("lat", 110.0, false), entry("hits", 0.75, true)]);
+        assert!(compare(&base, &near, 0.15).is_empty());
+    }
+
+    #[test]
+    fn missing_entries_are_violations() {
+        let base = doc(vec![entry("lat", 100.0, false)]);
+        let run = doc(vec![entry("other", 1.0, false)]);
+        let v = compare(&base, &run, 0.15);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].detail.contains("missing"));
+    }
+
+    #[test]
+    fn zero_baselines_gate_exactly() {
+        let base = doc(vec![entry("pfs_bytes", 0.0, false)]);
+        assert!(compare(&base, &doc(vec![entry("pfs_bytes", 0.0, false)]), 0.15).is_empty());
+        assert_eq!(
+            compare(&base, &doc(vec![entry("pfs_bytes", 7.0, false)]), 0.15).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn doc_round_trips_through_json() {
+        let mut e = entry("metadata/lookup_for_read", 123.5, false);
+        e.p95 = Some(150.0);
+        e.samples = Some(20);
+        let d = doc(vec![e, entry("monarch/local_hit_ratio", 0.9, true)]);
+        let json = serde_json::to_string_pretty(&d).unwrap();
+        let back: BenchDoc = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.entries.len(), 2);
+        assert_eq!(back.entries[0].id, "metadata/lookup_for_read");
+        assert_eq!(back.entries[0].p95, Some(150.0));
+        assert!(back.entries[1].higher_is_better);
+        assert!(back.entries[1].p95.is_none());
+    }
+
+    #[test]
+    fn sim_epoch_doc_is_deterministic() {
+        let a = sim_epoch_doc();
+        let b = sim_epoch_doc();
+        assert!(!a.entries.is_empty());
+        for (x, y) in a.entries.iter().zip(&b.entries) {
+            assert_eq!(x.id, y.id);
+            assert!(
+                (x.value - y.value).abs() < 1e-9,
+                "{}: {} vs {}",
+                x.id,
+                x.value,
+                y.value
+            );
+        }
+        // The miniature dataset fully fits: epoch 2 must beat epoch 1 and
+        // the hit ratio must be meaningful.
+        let get = |id: &str| a.entries.iter().find(|e| e.id == id).unwrap().value;
+        assert!(get("monarch/epoch2_seconds") < get("monarch/epoch1_seconds"));
+        assert!(get("monarch/local_hit_ratio") > 0.5);
+        assert!(get("monarch/pfs_bytes_read") > 0.0);
+    }
+}

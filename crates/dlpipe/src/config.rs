@@ -204,20 +204,29 @@ impl MonarchSimConfig {
     /// what the sim side of the trace experiments uses.
     #[must_use]
     pub fn with_tracing() -> Self {
-        Self { trace_sample_every_n: 1, ..Self::paper_default() }
+        Self {
+            trace_sample_every_n: 1,
+            ..Self::paper_default()
+        }
     }
 
     /// Same but with a custom SSD quota (capacity sweeps).
     #[must_use]
     pub fn with_ssd_capacity(capacity: u64) -> Self {
-        Self { tiers: vec![(SimTierKind::Ssd, capacity)], ..Self::paper_default() }
+        Self {
+            tiers: vec![(SimTierKind::Ssd, capacity)],
+            ..Self::paper_default()
+        }
     }
 
     /// The paper default with clairvoyant prefetching at the given
     /// lookahead — the `prefetch` sim mode.
     #[must_use]
     pub fn with_prefetch(lookahead: usize) -> Self {
-        Self { prefetch_lookahead: lookahead, ..Self::paper_default() }
+        Self {
+            prefetch_lookahead: lookahead,
+            ..Self::paper_default()
+        }
     }
 }
 
@@ -271,7 +280,10 @@ mod tests {
     #[test]
     fn labels() {
         assert_eq!(Setup::VanillaLustre.label(), "vanilla-lustre");
-        assert_eq!(Setup::Monarch(MonarchSimConfig::paper_default()).label(), "monarch");
+        assert_eq!(
+            Setup::Monarch(MonarchSimConfig::paper_default()).label(),
+            "monarch"
+        );
     }
 
     #[test]

@@ -56,10 +56,16 @@ impl DatasetGeom {
             // nearly the same variance contribution at this scale.
             let f = 1.0 + jitter * (rng.unit() * 2.0 - 1.0) / (n as f64).sqrt();
             let payload = (mean_sample_bytes as f64 * n as f64 * f) as u64;
-            shards.push(ShardGeom { bytes: payload + n * FRAME_OVERHEAD, records: n });
+            shards.push(ShardGeom {
+                bytes: payload + n * FRAME_OVERHEAD,
+                records: n,
+            });
             remaining -= n;
         }
-        Self { name: name.into(), shards }
+        Self {
+            name: name.into(),
+            shards,
+        }
     }
 
     /// The paper's 100 GiB ImageNet-1k variant (900k images).
@@ -88,7 +94,10 @@ impl DatasetGeom {
     /// real run reads (the cross-validation tests rely on this).
     #[must_use]
     pub fn from_shards(name: impl Into<String>, shards: Vec<ShardGeom>) -> Self {
-        Self { name: name.into(), shards }
+        Self {
+            name: name.into(),
+            shards,
+        }
     }
 
     /// Total size in bytes.
@@ -112,7 +121,10 @@ impl DatasetGeom {
     /// Chunk reads needed to scan everything once at `chunk_bytes`.
     #[must_use]
     pub fn chunk_reads_per_epoch(&self, chunk_bytes: u64) -> u64 {
-        self.shards.iter().map(|s| s.bytes.div_ceil(chunk_bytes.max(1))).sum()
+        self.shards
+            .iter()
+            .map(|s| s.bytes.div_ceil(chunk_bytes.max(1)))
+            .sum()
     }
 
     /// Canonical shard file name for shard `i` (matches the on-disk
@@ -135,7 +147,11 @@ mod tests {
         assert_eq!(g.total_records(), 900_000);
         let gib = g.total_bytes() as f64 / GIB;
         assert!((95.0..105.0).contains(&gib), "{gib} GiB");
-        assert!((850..900).contains(&g.num_shards()), "{} shards", g.num_shards());
+        assert!(
+            (850..900).contains(&g.num_shards()),
+            "{} shards",
+            g.num_shards()
+        );
         let ops = g.chunk_reads_per_epoch(256 << 10);
         assert!((380_000..440_000).contains(&ops), "{ops} ops/epoch");
     }
@@ -146,7 +162,11 @@ mod tests {
         assert_eq!(g.total_records(), 3_000_000);
         let gib = g.total_bytes() as f64 / GIB;
         assert!((190.0..210.0).contains(&gib), "{gib} GiB");
-        assert!((2900..2960).contains(&g.num_shards()), "{} shards", g.num_shards());
+        assert!(
+            (2900..2960).contains(&g.num_shards()),
+            "{} shards",
+            g.num_shards()
+        );
         // Paper §IV-A: 798,340 ops per epoch.
         let ops = g.chunk_reads_per_epoch(256 << 10);
         assert!((760_000..840_000).contains(&ops), "{ops} ops/epoch");

@@ -133,10 +133,16 @@ mod tests {
         let samples = 900_000u64;
         let lenet = ModelProfile::lenet();
         let floor = lenet.epoch_compute_floor(samples);
-        assert!(floor < 217.0, "LeNet must be I/O-bound even on local: {floor}");
+        assert!(
+            floor < 217.0,
+            "LeNet must be I/O-bound even on local: {floor}"
+        );
         let gpu_work = floor * lenet.gpu_fraction;
         let util_local = gpu_work / 217.0;
-        assert!((0.34..0.44).contains(&util_local), "LeNet local GPU {util_local}");
+        assert!(
+            (0.34..0.44).contains(&util_local),
+            "LeNet local GPU {util_local}"
+        );
 
         let alex = ModelProfile::alexnet();
         let floor = alex.epoch_compute_floor(samples);

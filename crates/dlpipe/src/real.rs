@@ -84,7 +84,11 @@ impl RealTrainer {
             .map(|e| e.file_name().to_string_lossy().into_owned())
             .collect();
         shards.sort();
-        Ok(Self { backend: Arc::new(backend), shards, pipeline })
+        Ok(Self {
+            backend: Arc::new(backend),
+            shards,
+            pipeline,
+        })
     }
 
     /// Shard names the trainer will stream.
@@ -215,13 +219,17 @@ mod tests {
         let data = root.join("data");
         let total = make_dataset(&data);
         let backend = RealBackend::Direct(PosixDriver::new("pfs", &data).unwrap());
-        let t = RealTrainer::new(backend, &data, PipelineConfig {
-            readers: 4,
-            chunk_bytes: 8 << 10,
-            prefetch_batches: 2,
-            seed: 1,
-            trace_interval_secs: Some(0.0),
-        })
+        let t = RealTrainer::new(
+            backend,
+            &data,
+            PipelineConfig {
+                readers: 4,
+                chunk_bytes: 8 << 10,
+                prefetch_batches: 2,
+                seed: 1,
+                trace_interval_secs: Some(0.0),
+            },
+        )
         .unwrap();
         let e = t.run_epoch(0).unwrap();
         assert_eq!(e.bytes, total);
@@ -242,13 +250,17 @@ mod tests {
         let data = root.join("data");
         make_dataset(&data);
         let backend = RealBackend::Direct(PosixDriver::new("pfs", &data).unwrap());
-        let t = RealTrainer::new(backend, &data, PipelineConfig {
-            readers: 1,
-            chunk_bytes: 8 << 10,
-            prefetch_batches: 2,
-            seed: 42,
-            trace_interval_secs: None,
-        })
+        let t = RealTrainer::new(
+            backend,
+            &data,
+            PipelineConfig {
+                readers: 1,
+                chunk_bytes: 8 << 10,
+                prefetch_batches: 2,
+                seed: 42,
+                trace_interval_secs: None,
+            },
+        )
         .unwrap();
         // Deterministic, a permutation of the shard set, and epoch-varying.
         assert_eq!(t.epoch_order(0), t.epoch_order(0));
@@ -283,20 +295,15 @@ mod tests {
 
         let cfg = MonarchConfig::builder()
             .tier(
-                TierConfig::posix("ssd", cache.to_string_lossy().to_string())
-                    .with_capacity(total),
+                TierConfig::posix("ssd", cache.to_string_lossy().to_string()).with_capacity(total),
             )
             .tier(TierConfig::posix("pfs", data.to_string_lossy().to_string()))
             .pool_threads(3)
             .build();
         let monarch = Arc::new(Monarch::new(cfg).unwrap());
         monarch.init().unwrap();
-        let t = RealTrainer::new(
-            RealBackend::Monarch(Arc::clone(&monarch)),
-            &data,
-            pipeline,
-        )
-        .unwrap();
+        let t =
+            RealTrainer::new(RealBackend::Monarch(Arc::clone(&monarch)), &data, pipeline).unwrap();
 
         // Epoch 1: bytes identical even while placement races underneath.
         let e1 = t.run_epoch(0).unwrap();
@@ -313,7 +320,10 @@ mod tests {
         let stats = monarch.stats();
         let local_delta = stats.tiers[0].reads - placed.tiers[0].reads;
         let pfs_delta = stats.tiers[1].reads - placed.tiers[1].reads;
-        assert!(local_delta > 0, "epoch 2 never hit the local tier: {stats:?}");
+        assert!(
+            local_delta > 0,
+            "epoch 2 never hit the local tier: {stats:?}"
+        );
         assert_eq!(pfs_delta, 0, "epoch 2 should not touch the PFS: {stats:?}");
         fs::remove_dir_all(&root).unwrap();
     }

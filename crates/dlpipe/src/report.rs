@@ -70,7 +70,10 @@ impl RunReport {
     /// Total I/O operations submitted to the PFS (reads + writes).
     #[must_use]
     pub fn pfs_ops(&self) -> u64 {
-        self.epochs.iter().map(|e| e.devices[self.pfs_device].data_ops()).sum()
+        self.epochs
+            .iter()
+            .map(|e| e.devices[self.pfs_device].data_ops())
+            .sum()
     }
 
     /// PFS operations in one epoch.

@@ -201,7 +201,13 @@ impl ClusterTrainer {
         pipeline: PipelineConfig,
         env: EnvConfig,
     ) -> Self {
-        Self { cfg, geom, model, pipeline, env }
+        Self {
+            cfg,
+            geom,
+            model,
+            pipeline,
+            env,
+        }
     }
 
     /// Run `epochs` epochs and report.
@@ -252,7 +258,9 @@ impl ClusterWorld {
                 ssd: PsDevice::new("ssd", t.env.ssd.bandwidth, t.env.ssd.stream_cap),
                 nic_gen: None,
                 ssd_gen: None,
-                readers: (0..t.pipeline.readers.max(1)).map(|_| Reader::default()).collect(),
+                readers: (0..t.pipeline.readers.max(1))
+                    .map(|_| Reader::default())
+                    .collect(),
                 buffered: 0.0,
                 cache: t.cfg.monarch_ssd_capacity.map(|cap| NodeCache {
                     state: vec![ShardState::Remote; t.geom.num_shards()],
@@ -267,8 +275,12 @@ impl ClusterWorld {
                 remote_chunks: 0,
             })
             .collect();
-        let samples_per_byte =
-            t.geom.shards.iter().map(|s| s.records as f64 / s.bytes as f64).collect();
+        let samples_per_byte = t
+            .geom
+            .shards
+            .iter()
+            .map(|s| s.records as f64 / s.bytes as f64)
+            .collect();
         ClusterWorld {
             q: EventQueue::new(),
             nodes,
@@ -353,7 +365,12 @@ impl ClusterWorld {
     /// PFS backend bandwidth, each gets a proportional share (times the
     /// external-interference fraction).
     fn rebalance_backend(&mut self, now: SimTime) {
-        let active = self.nodes.iter().filter(|n| n.nic.active() > 0).count().max(1);
+        let active = self
+            .nodes
+            .iter()
+            .filter(|n| n.nic.active() > 0)
+            .count()
+            .max(1);
         let backend = self.cfg.pfs_backend_bandwidth * self.interference_fraction;
         let fair = backend / active as f64;
         let scale = (fair / self.env.lustre.bandwidth).min(1.0) * self.interference_fraction;
@@ -427,7 +444,9 @@ impl ClusterWorld {
                 for (i, s) in order.into_iter().enumerate() {
                     let k = i % n;
                     let readers = self.nodes[k].readers.len();
-                    self.nodes[k].readers[(i / n) % readers].pending.push_back(s);
+                    self.nodes[k].readers[(i / n) % readers]
+                        .pending
+                        .push_back(s);
                 }
             }
         }
@@ -467,7 +486,11 @@ impl ClusterWorld {
             local += node.local_chunks - self.local_snapshot[i].0;
             remote += node.remote_chunks - self.local_snapshot[i].1;
         }
-        let hit = if local + remote == 0 { 0.0 } else { local as f64 / (local + remote) as f64 };
+        let hit = if local + remote == 0 {
+            0.0
+        } else {
+            local as f64 / (local + remote) as f64
+        };
         self.reports.push(ClusterEpoch {
             epoch: self.epoch,
             seconds,
@@ -552,9 +575,7 @@ impl ClusterWorld {
     }
 
     fn reader_advance(&mut self, now: SimTime, k: usize, r: usize) {
-        if self.nodes[k].readers[r].inflight
-            || self.nodes[k].readers[r].done
-            || self.buffer_full(k)
+        if self.nodes[k].readers[r].inflight || self.nodes[k].readers[r].done || self.buffer_full(k)
         {
             return;
         }
@@ -585,7 +606,9 @@ impl ClusterWorld {
 
     /// 0 = remote (NIC), 1 = local SSD; first touch may enqueue a copy.
     fn route(&mut self, now: SimTime, k: usize, shard: usize) -> u8 {
-        let Some(cache) = self.nodes[k].cache.as_mut() else { return 0 };
+        let Some(cache) = self.nodes[k].cache.as_mut() else {
+            return 0;
+        };
         match cache.state[shard] {
             ShardState::Local => 1,
             ShardState::Copying => 0,
@@ -637,7 +660,8 @@ impl ClusterWorld {
                 Some(spec.sync_stream_cap),
             )
         };
-        self.purpose.insert((k, dev, id.0), Purpose::Chunk { reader: r, shard });
+        self.purpose
+            .insert((k, dev, id.0), Purpose::Chunk { reader: r, shard });
         self.nodes[k].readers[r].cur = Some((shard, offset + len));
         self.nodes[k].readers[r].inflight = true;
         if was_idle {
@@ -649,28 +673,27 @@ impl ClusterWorld {
 
     fn dispatch_copies(&mut self, now: SimTime, k: usize) {
         loop {
-            let Some(cache) = self.nodes[k].cache.as_mut() else { return };
+            let Some(cache) = self.nodes[k].cache.as_mut() else {
+                return;
+            };
             if cache.idle_workers == 0 || cache.pending_writes >= 2 * cache.pool {
                 return;
             }
-            let Some(shard) = cache.copy_queue.pop_front() else { return };
+            let Some(shard) = cache.copy_queue.pop_front() else {
+                return;
+            };
             cache.idle_workers -= 1;
             let size = self.geom.shards[shard].bytes;
             let spec = self.env.lustre.clone();
-            let latency = SimTime::from_secs_f64(
-                self.rng.lognormal(spec.latency_median, spec.latency_sigma),
-            );
+            let latency =
+                SimTime::from_secs_f64(self.rng.lognormal(spec.latency_median, spec.latency_sigma));
             let was_idle = self.nodes[k].nic.active() == 0;
             let share = self.bulk_share;
-            let id = self.nodes[k].nic.start_weighted(
-                now,
-                size,
-                latency,
-                Kind::Read,
-                1.0,
-                share,
-            );
-            self.purpose.insert((k, 0, id.0), Purpose::CopyFetch { shard });
+            let id = self.nodes[k]
+                .nic
+                .start_weighted(now, size, latency, Kind::Read, 1.0, share);
+            self.purpose
+                .insert((k, 0, id.0), Purpose::CopyFetch { shard });
             if was_idle {
                 self.rebalance_backend(now);
             }
@@ -695,14 +718,12 @@ impl ClusterWorld {
                 let latency = SimTime::from_secs_f64(
                     self.rng.lognormal(spec.latency_median, spec.latency_sigma),
                 );
-                let id = self.nodes[k].ssd.start(
-                    now,
-                    bytes,
-                    latency,
-                    Kind::Write,
-                    spec.write_weight,
-                );
-                self.purpose.insert((k, 1, id.0), Purpose::CopyWrite { shard });
+                let id =
+                    self.nodes[k]
+                        .ssd
+                        .start(now, bytes, latency, Kind::Write, spec.write_weight);
+                self.purpose
+                    .insert((k, 1, id.0), Purpose::CopyWrite { shard });
                 self.dispatch_copies(now, k);
             }
             Purpose::CopyWrite { shard } => {
@@ -729,10 +750,7 @@ impl ClusterWorld {
         // A node is ready when it has its share buffered, or when *its own*
         // readers are finished (it contributes what it has; stragglers that
         // exhausted an uneven partition must not block the cluster).
-        let tail = self
-            .nodes
-            .iter()
-            .all(|n| n.readers.iter().all(|r| r.done));
+        let tail = self.nodes.iter().all(|n| n.readers.iter().all(|r| r.done));
         let ready = tail
             || self
                 .nodes
@@ -749,13 +767,23 @@ impl ClusterWorld {
         let take: f64 = self
             .nodes
             .iter()
-            .map(|n| if tail { n.buffered } else { n.buffered.min(per_node) })
+            .map(|n| {
+                if tail {
+                    n.buffered
+                } else {
+                    n.buffered.min(per_node)
+                }
+            })
             .sum();
         if take <= 1e-9 || (!tail && take <= 0.25) {
             return;
         }
         for node in &mut self.nodes {
-            let t = if tail { node.buffered } else { node.buffered.min(per_node) };
+            let t = if tail {
+                node.buffered
+            } else {
+                node.buffered.min(per_node)
+            };
             node.buffered -= t;
         }
         self.computing = true;
@@ -763,9 +791,8 @@ impl ClusterWorld {
         // Data parallelism: the wall time of a step is the per-node batch
         // share's compute time (plus an allreduce term folded into the
         // per-sample cost).
-        let step = SimTime::from_secs_f64(
-            (take / self.nodes.len() as f64) * self.model.per_sample_step,
-        );
+        let step =
+            SimTime::from_secs_f64((take / self.nodes.len() as f64) * self.model.per_sample_step);
         self.q.schedule(now + step, Ev::StepDone);
     }
 }
@@ -793,7 +820,11 @@ mod tests {
             cfg,
             geom(),
             model(),
-            PipelineConfig { readers: 4, ..PipelineConfig::default() }.with_seed(3),
+            PipelineConfig {
+                readers: 4,
+                ..PipelineConfig::default()
+            }
+            .with_seed(3),
             EnvConfig::default(),
         )
         .run(epochs)
@@ -839,7 +870,10 @@ mod tests {
         assert!(
             r.epochs[2].local_hit_ratio > 0.95,
             "static sharding should be ~fully local by epoch 3: {:?}",
-            r.epochs.iter().map(|e| e.local_hit_ratio).collect::<Vec<_>>()
+            r.epochs
+                .iter()
+                .map(|e| e.local_hit_ratio)
+                .collect::<Vec<_>>()
         );
         assert!(r.epochs[2].pfs_ops < r.epochs[0].pfs_ops / 5);
     }

@@ -118,7 +118,11 @@ mod tests {
         // placed during epoch 1.
         for e in &r.epochs[1..] {
             let pfs = e.devices[r.pfs_device].data_ops();
-            assert!(pfs < 20, "epoch {} still sent {pfs} ops to the PFS", e.epoch);
+            assert!(
+                pfs < 20,
+                "epoch {} still sent {pfs} ops to the PFS",
+                e.epoch
+            );
         }
         // Total beats vanilla-lustre.
         let lustre = run(Setup::VanillaLustre, 3, 1);
@@ -206,7 +210,11 @@ mod tests {
             1,
             1,
         );
-        let reactive = run(Setup::Monarch(MonarchSimConfig::with_ssd_capacity(cap)), 1, 1);
+        let reactive = run(
+            Setup::Monarch(MonarchSimConfig::with_ssd_capacity(cap)),
+            1,
+            1,
+        );
         let caching = run(Setup::VanillaCaching, 1, 1);
         // The plan-driven run staged files ahead of the readers and served
         // foreground reads from the SSD within epoch 1.
@@ -314,7 +322,10 @@ mod tests {
         let lustre = mk(Setup::VanillaLustre);
         let local = mk(Setup::VanillaLocal);
         let ratio = lustre.total_seconds() / local.total_seconds();
-        assert!((0.97..1.05).contains(&ratio), "ResNet-like should be flat: {ratio}");
+        assert!(
+            (0.97..1.05).contains(&ratio),
+            "ResNet-like should be flat: {ratio}"
+        );
         // And utilisation reflects compute dominance.
         assert!(lustre.gpu_util() > 0.8);
     }

@@ -57,7 +57,12 @@ enum Purpose {
     /// A reader's chunk read; payload samples enter the prefetch buffer.
     /// `issued`/`traced` carry the trace-span start and the sampling
     /// decision from issue time to completion time.
-    Chunk { reader: usize, shard: usize, issued: SimTime, traced: bool },
+    Chunk {
+        reader: usize,
+        shard: usize,
+        issued: SimTime,
+        traced: bool,
+    },
     /// MONARCH placement: full-shard fetch from the PFS.
     CopyFetch { shard: usize },
     /// MONARCH placement: full-shard write to the destination tier.
@@ -193,7 +198,13 @@ impl SimTrainer {
         pipeline: PipelineConfig,
         env: EnvConfig,
     ) -> Self {
-        Self { setup, geom, model, pipeline, env }
+        Self {
+            setup,
+            geom,
+            model,
+            pipeline,
+            env,
+        }
     }
 
     /// Run `epochs` training epochs, returning the measurements.
@@ -359,10 +370,7 @@ impl World {
                     tr.set_track_name(QUEUE_TRACK, "copy-queue");
                     tr.set_track_name(SIM_PRESTAGE_TRACK, "sim-prestage");
                     for r in 0..t.pipeline.readers.max(1) {
-                        tr.set_track_name(
-                            SIM_READER_TRACK0 + r as u64,
-                            format!("sim-reader-{r}"),
-                        );
+                        tr.set_track_name(SIM_READER_TRACK0 + r as u64, format!("sim-reader-{r}"));
                     }
                     for w in 0..cfg.pool_threads.max(1) {
                         tr.set_track_name(SIM_COPY_TRACK0 + w as u64, format!("sim-copy-{w}"));
@@ -408,8 +416,9 @@ impl World {
         };
 
         let lustre = devs.len() - 1;
-        let shard_names: Vec<String> =
-            (0..t.geom.num_shards()).map(DatasetGeom::shard_name).collect();
+        let shard_names: Vec<String> = (0..t.geom.num_shards())
+            .map(DatasetGeom::shard_name)
+            .collect();
         let samples_per_byte: Vec<f64> = t
             .geom
             .shards
@@ -427,7 +436,10 @@ impl World {
         World {
             q: EventQueue::new(),
             devs,
-            mds: Mds::new(SimTime::from_secs_f64(t.env.mds_service_median), t.env.mds_sigma),
+            mds: Mds::new(
+                SimTime::from_secs_f64(t.env.mds_service_median),
+                t.env.mds_sigma,
+            ),
             interference,
             lustre,
             ssd: 0,
@@ -441,7 +453,9 @@ impl World {
             cache_expansion: t.env.cache_expansion.max(1.0),
             pending_cache_writes: 0,
             cache_write_limit: 4 * t.pipeline.readers.max(1) as u64,
-            readers: (0..t.pipeline.readers.max(1)).map(|_| Reader::default()).collect(),
+            readers: (0..t.pipeline.readers.max(1))
+                .map(|_| Reader::default())
+                .collect(),
             purpose: FxHashMap::default(),
             buffered_samples: 0.0,
             inflight_samples: 0.0,
@@ -461,13 +475,8 @@ impl World {
             reports: Vec::new(),
             metadata_init_seconds: 0.0,
             prestage_seconds: 0.0,
-            trace_interval: t
-                .pipeline
-                .trace_interval_secs
-                .map(SimTime::from_secs_f64),
-            sampler: ThroughputSampler::new(
-                t.pipeline.trace_interval_secs.unwrap_or(1.0),
-            ),
+            trace_interval: t.pipeline.trace_interval_secs.map(SimTime::from_secs_f64),
+            sampler: ThroughputSampler::new(t.pipeline.trace_interval_secs.unwrap_or(1.0)),
             rng,
         }
     }
@@ -483,7 +492,8 @@ impl World {
             let mut done = SimTime::ZERO;
             for (i, shard) in self.geom.shards.iter().enumerate() {
                 done = self.mds.submit(done, &mut self.rng);
-                ms.meta.register(&self.shard_names[i], shard.bytes, ms.tier_dev.len() - 1);
+                ms.meta
+                    .register(&self.shard_names[i], shard.bytes, ms.tier_dev.len() - 1);
             }
             self.metadata_init_seconds = done.as_secs_f64();
             if ms.prestage {
@@ -540,6 +550,10 @@ impl World {
             );
         }
 
+        // Final gauge refresh so the attached snapshot carries end-of-run
+        // values even when periodic tracing is disabled.
+        self.sample_gauges();
+
         let device_names = self.devs.iter().map(|d| d.spec.name.clone()).collect();
         RunReport {
             setup: match self.mode {
@@ -562,6 +576,68 @@ impl World {
             }),
             pfs_throughput_series: self.sampler.into_series(),
             epochs: self.reports,
+        }
+    }
+
+    /// Refresh the MONARCH gauge families from live sim state — the same
+    /// family names the real engine's `GaugeSampler` publishes, so a
+    /// sim-backed snapshot exposes an identical schema. Sampled on every
+    /// trace tick, so gauge values move over the course of an epoch.
+    fn sample_gauges(&self) {
+        let Some(ms) = self.monarch.as_ref() else {
+            return;
+        };
+        let g = ms.telemetry.gauges();
+        let levels = ms.hierarchy.levels();
+        let files = ms.meta.residency_histogram(levels);
+        for tier in ms.hierarchy.tiers() {
+            let labels = &[("tier", tier.name.as_str())];
+            if let Some(quota) = tier.quota.as_ref() {
+                g.gauge(
+                    "monarch_tier_occupancy_bytes",
+                    "Bytes resident on the tier (quota accounting).",
+                    labels,
+                )
+                .set(quota.used() as i64);
+                g.gauge(
+                    "monarch_tier_capacity_bytes",
+                    "Configured capacity of the tier in bytes.",
+                    labels,
+                )
+                .set(quota.capacity() as i64);
+            }
+            g.gauge(
+                "monarch_tier_files",
+                "Files currently resident on the tier.",
+                labels,
+            )
+            .set(files.get(tier.id).copied().unwrap_or(0) as i64);
+        }
+        g.gauge(
+            "monarch_lane_queued",
+            "Copies queued (not yet started) per pool lane.",
+            &[("lane", "demand")],
+        )
+        .set(ms.lanes.queued(Lane::Demand) as i64);
+        g.gauge(
+            "monarch_lane_queued",
+            "Copies queued (not yet started) per pool lane.",
+            &[("lane", "prefetch")],
+        )
+        .set(ms.lanes.queued(Lane::Prefetch) as i64);
+        g.gauge(
+            "monarch_pool_inflight_jobs",
+            "Copies currently executing on pool workers.",
+            &[],
+        )
+        .set(ms.pool_threads.saturating_sub(ms.idle_workers) as i64);
+        if ms.prefetch_lookahead > 0 {
+            g.gauge(
+                "monarch_prefetch_window_lag_entries",
+                "Plan entries issued ahead of the read cursor.",
+                &[],
+            )
+            .set(ms.plan_issued.saturating_sub(ms.plan_cursor) as i64);
         }
     }
 
@@ -604,6 +680,7 @@ impl World {
             Ev::TraceTick => {
                 let bytes = self.devs[self.lustre].ps.stats().bytes_read();
                 self.sampler.force_sample(now.as_secs_f64(), bytes);
+                self.sample_gauges();
                 if let Some(interval) = self.trace_interval {
                     self.q.schedule(now + interval, Ev::TraceTick);
                 }
@@ -615,7 +692,11 @@ impl World {
                 let source = ms.tier_dev.len() - 1;
                 let tr = Arc::clone(ms.telemetry.trace());
                 for i in 0..self.geom.num_shards() {
-                    if ms.meta.begin_copy(&self.shard_names[i], source).unwrap_or(false) {
+                    if ms
+                        .meta
+                        .begin_copy(&self.shard_names[i], source)
+                        .unwrap_or(false)
+                    {
                         ms.lanes.push(Lane::Demand, i);
                         ms.copy_enqueued.insert(i, now);
                         ms.telemetry.stats().copy_scheduled();
@@ -665,7 +746,8 @@ impl World {
                 continue;
             }
             if let Some(at) = self.devs[i].ps.next_wake() {
-                self.q.schedule(at.max(self.q.now()), Ev::DevWake { dev: i, gen });
+                self.q
+                    .schedule(at.max(self.q.now()), Ev::DevWake { dev: i, gen });
             }
             self.devs[i].scheduled_gen = Some(gen);
         }
@@ -675,8 +757,7 @@ impl World {
 
     fn begin_epoch(&mut self, now: SimTime) {
         debug_assert!(
-            self.inflight_samples.abs() < 0.5
-                && self.readers.iter().all(|r| !r.inflight),
+            self.inflight_samples.abs() < 0.5 && self.readers.iter().all(|r| !r.inflight),
             "epoch {} started with chunks in flight: inflight={} readers={:?}",
             self.epoch,
             self.inflight_samples,
@@ -738,8 +819,16 @@ impl World {
             epoch: self.epoch,
             seconds,
             devices,
-            gpu_util: if seconds > 0.0 { self.gpu_busy / seconds } else { 0.0 },
-            cpu_util: if seconds > 0.0 { cpu_work / seconds } else { 0.0 },
+            gpu_util: if seconds > 0.0 {
+                self.gpu_busy / seconds
+            } else {
+                0.0
+            },
+            cpu_util: if seconds > 0.0 {
+                cpu_work / seconds
+            } else {
+                0.0
+            },
         });
         self.epoch += 1;
         if self.epoch >= self.epochs_total {
@@ -854,7 +943,10 @@ impl World {
                             ms.telemetry.stats().copy_scheduled();
                             ms.telemetry.event_at(
                                 vmicros(now),
-                                EventKind::CopyScheduled { file: name.clone(), bytes: size },
+                                EventKind::CopyScheduled {
+                                    file: name.clone(),
+                                    bytes: size,
+                                },
                             );
                             match ms.policy.place(&ms.hierarchy, name, size) {
                                 Ok(Some(d)) => {
@@ -912,9 +1004,7 @@ impl World {
     fn spill_backpressure(&self) -> bool {
         let spilling = match self.mode {
             ModeTag::VanillaCaching => self.epoch == 0,
-            ModeTag::Monarch => {
-                self.monarch.as_ref().is_some_and(|ms| !ms.full_fetch)
-            }
+            ModeTag::Monarch => self.monarch.as_ref().is_some_and(|ms| !ms.full_fetch),
             _ => false,
         };
         spilling && self.pending_cache_writes >= self.cache_write_limit
@@ -1002,7 +1092,12 @@ impl World {
         );
         self.purpose.insert(
             (dev, id.0),
-            Purpose::Chunk { reader: r, shard, issued: now, traced },
+            Purpose::Chunk {
+                reader: r,
+                shard,
+                issued: now,
+                traced,
+            },
         );
         self.readers[r].cur = Some((shard, offset + len));
         self.readers[r].inflight = true;
@@ -1030,7 +1125,9 @@ impl World {
         bytes: u64,
     ) {
         let lustre = self.lustre;
-        let Some(ms) = self.monarch.as_mut() else { return };
+        let Some(ms) = self.monarch.as_mut() else {
+            return;
+        };
         let tr = Arc::clone(ms.telemetry.trace());
         if !tr.is_enabled() {
             return;
@@ -1044,8 +1141,11 @@ impl World {
             .iter()
             .position(|&d| d == dev)
             .unwrap_or(ms.tier_dev.len() - 1);
-        let tier_name =
-            ms.hierarchy.tier(tier).map(|t| t.name.clone()).unwrap_or_default();
+        let tier_name = ms
+            .hierarchy
+            .tier(tier)
+            .map(|t| t.name.clone())
+            .unwrap_or_default();
         // The lookup and resolve steps are instantaneous in virtual time;
         // zero-duration children keep the tree shape identical.
         tr.record(
@@ -1081,7 +1181,12 @@ impl World {
 
     fn on_transfer_done(&mut self, now: SimTime, dev: usize, purpose: Purpose, bytes: u64) {
         match purpose {
-            Purpose::Chunk { reader, shard, issued, traced } => {
+            Purpose::Chunk {
+                reader,
+                shard,
+                issued,
+                traced,
+            } => {
                 let samples = bytes as f64 * self.samples_per_byte[shard];
                 self.inflight_samples -= samples;
                 debug_assert!(
@@ -1125,8 +1230,11 @@ impl World {
                     };
                     let weight = self.devs[to].spec.write_weight * expansion;
                     let latency = self.sample_latency(to);
-                    let id = self.devs[to].ps.start(now, bytes, latency, Kind::Write, weight);
-                    self.purpose.insert((to, id.0), Purpose::CacheWrite { shard });
+                    let id = self.devs[to]
+                        .ps
+                        .start(now, bytes, latency, Kind::Write, weight);
+                    self.purpose
+                        .insert((to, id.0), Purpose::CacheWrite { shard });
                     self.pending_cache_writes += 1;
                 }
 
@@ -1177,7 +1285,8 @@ impl World {
                     weight,
                     share,
                 );
-                self.purpose.insert((to, id.0), Purpose::CopyWrite { shard });
+                self.purpose
+                    .insert((to, id.0), Purpose::CopyWrite { shard });
                 self.dispatch_copy_workers(now);
                 // The fetch stage moved the shard into memory: mark it
                 // buffer-ready and serve any parked readers out of the
@@ -1227,13 +1336,21 @@ impl World {
                 };
                 ms.telemetry.event_at(
                     vmicros(now),
-                    EventKind::CopyCompleted { file: name.clone(), tier, bytes: size, micros },
+                    EventKind::CopyCompleted {
+                        file: name.clone(),
+                        tier,
+                        bytes: size,
+                        micros,
+                    },
                 );
                 if let Some(ct) = ms.copy_trace.remove(&shard) {
                     let tr = Arc::clone(ms.telemetry.trace());
                     if tr.is_enabled() {
-                        let dst =
-                            ms.hierarchy.tier(tier).map(|t| t.name.clone()).unwrap_or_default();
+                        let dst = ms
+                            .hierarchy
+                            .tier(tier)
+                            .map(|t| t.name.clone())
+                            .unwrap_or_default();
                         tr.record(
                             SpanRecord::new(
                                 names::COPY_WRITE,
@@ -1248,10 +1365,16 @@ impl World {
                             .arg_u64("bytes", size),
                         );
                         tr.record(
-                            SpanRecord::new(names::METADATA_REGISTER, "copy", ct.tid, vmicros(now), 0)
-                                .with_id(tr.next_id())
-                                .with_parent(ct.exec_id)
-                                .arg_str("tier", dst),
+                            SpanRecord::new(
+                                names::METADATA_REGISTER,
+                                "copy",
+                                ct.tid,
+                                vmicros(now),
+                                0,
+                            )
+                            .with_id(tr.next_id())
+                            .with_parent(ct.exec_id)
+                            .arg_str("tier", dst),
                         );
                         let t_exec = vmicros(started.unwrap_or(now));
                         tr.record(
@@ -1331,7 +1454,9 @@ impl World {
     /// prefetcher issue further plan entries the cursor unlocked.
     fn prefetch_note_read(&mut self, now: SimTime, shard: usize) {
         {
-            let Some(ms) = self.monarch.as_mut() else { return };
+            let Some(ms) = self.monarch.as_mut() else {
+                return;
+            };
             if ms.prefetch_lookahead == 0 {
                 return;
             }
@@ -1470,7 +1595,9 @@ impl World {
             if ms.idle_workers == 0 || ms.pending_copy_writes >= 2 * ms.pool_threads {
                 return;
             }
-            let Some((shard, lane)) = ms.lanes.pop() else { return };
+            let Some((shard, lane)) = ms.lanes.pop() else {
+                return;
+            };
             let prefetch_lane = lane == Lane::Prefetch;
             let name = self.shard_names[shard].clone();
             let size = self.geom.shards[shard].bytes;
@@ -1479,10 +1606,7 @@ impl World {
                     // Eviction-capable ablation policies: release victims.
                     let mut reserved = decision.evict.is_empty();
                     if !reserved {
-                        let tier = ms
-                            .hierarchy
-                            .tier(decision.tier)
-                            .expect("tier exists");
+                        let tier = ms.hierarchy.tier(decision.tier).expect("tier exists");
                         for victim in &decision.evict {
                             if let Some(vinfo) = ms.meta.get(victim) {
                                 if vinfo.tier == decision.tier {
@@ -1548,10 +1672,8 @@ impl World {
                         }
                     }
                     ms.copy_started.insert(shard, now);
-                    ms.telemetry.event_at(
-                        vmicros(now),
-                        EventKind::CopyStarted { file: name.clone() },
-                    );
+                    ms.telemetry
+                        .event_at(vmicros(now), EventKind::CopyStarted { file: name.clone() });
                     let tr = Arc::clone(ms.telemetry.trace());
                     if tr.is_enabled() {
                         if let Some(flow) = ms.copy_flow.remove(&shard) {
@@ -1585,7 +1707,12 @@ impl World {
                             tr.record(pd);
                             ms.copy_trace.insert(
                                 shard,
-                                CopyTrace { flow, exec_id, tid, write_started: SimTime::ZERO },
+                                CopyTrace {
+                                    flow,
+                                    exec_id,
+                                    tid,
+                                    write_started: SimTime::ZERO,
+                                },
                             );
                         }
                     }
@@ -1620,7 +1747,8 @@ impl World {
                         1.0,
                         share,
                     );
-                    self.purpose.insert((lustre, id.0), Purpose::CopyFetch { shard });
+                    self.purpose
+                        .insert((lustre, id.0), Purpose::CopyFetch { shard });
                 }
                 Ok(None) => {
                     ms.skips += 1;
@@ -1681,8 +1809,7 @@ impl World {
     fn on_compute_done(&mut self, now: SimTime) {
         self.computing = false;
         self.consumed += self.cur_batch;
-        self.gpu_busy +=
-            self.cur_batch * self.model.per_sample_step * self.model.gpu_fraction;
+        self.gpu_busy += self.cur_batch * self.model.per_sample_step * self.model.gpu_fraction;
         self.cur_batch = 0.0;
         self.try_start_compute(now);
         // The buffer drained: unblock any waiting readers.

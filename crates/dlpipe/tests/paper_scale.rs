@@ -19,6 +19,11 @@ fn paper_scale_smoke() {
     .run(3);
     println!("wall: {:?}", start.elapsed());
     for e in &r.epochs {
-        println!("epoch {} {:.1}s ops={}", e.epoch, e.seconds, e.devices[r.pfs_device].data_ops());
+        println!(
+            "epoch {} {:.1}s ops={}",
+            e.epoch,
+            e.seconds,
+            e.devices[r.pfs_device].data_ops()
+        );
     }
 }

@@ -86,8 +86,7 @@ fn monarch_no_full_fetch_still_converges_but_slower_in_epoch1_hits() {
     );
     // Chunked spills the whole dataset through CacheWrite ops instead.
     assert_eq!(
-        chunked.epochs[0].devices[0].bytes_written()
-            + chunked.epochs[1].devices[0].bytes_written(),
+        chunked.epochs[0].devices[0].bytes_written() + chunked.epochs[1].devices[0].bytes_written(),
         geom().total_bytes()
     );
 }
@@ -146,7 +145,10 @@ fn interference_off_reduces_epoch_variance() {
         .collect();
     let quiet: Vec<f64> = (0..5)
         .map(|s| {
-            let env = EnvConfig { interference: false, ..EnvConfig::default() };
+            let env = EnvConfig {
+                interference: false,
+                ..EnvConfig::default()
+            };
             SimTrainer::new(
                 Setup::VanillaLustre,
                 geom(),
@@ -199,7 +201,10 @@ fn prestage_gives_warm_first_epoch() {
         2,
     );
     assert_eq!(on_demand.prestage_seconds, 0.0);
-    assert!(prestaged.prestage_seconds > 0.0, "staging time must be reported");
+    assert!(
+        prestaged.prestage_seconds > 0.0,
+        "staging time must be reported"
+    );
     // With a full fit, a pre-staged epoch 1 reads nothing from the PFS.
     assert_eq!(
         prestaged.epochs[0].devices[prestaged.pfs_device].reads(),
@@ -241,7 +246,11 @@ fn throughput_tracing_produces_a_series() {
     for w in r.pfs_throughput_series.windows(2) {
         assert!(w[1].0 > w[0].0);
     }
-    let max = r.pfs_throughput_series.iter().map(|&(_, v)| v).fold(0.0, f64::max);
+    let max = r
+        .pfs_throughput_series
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(0.0, f64::max);
     assert!(max > 0.0 && max < 1e10);
     // Without the flag, no series is collected.
     let quiet = SimTrainer::new(
@@ -257,8 +266,14 @@ fn throughput_tracing_produces_a_series() {
 
 #[test]
 fn monarch_sim_attaches_telemetry_snapshot() {
-    let r = run(Setup::Monarch(MonarchSimConfig::with_ssd_capacity(8 << 30)), 3);
-    let t = r.telemetry.as_ref().expect("monarch runs attach a telemetry snapshot");
+    let r = run(
+        Setup::Monarch(MonarchSimConfig::with_ssd_capacity(8 << 30)),
+        3,
+    );
+    let t = r
+        .telemetry
+        .as_ref()
+        .expect("monarch runs attach a telemetry snapshot");
     let shards = geom().num_shards() as u64;
     // Full fit: every shard is scheduled once and every copy completes
     // (epoch 3 is PFS-free, so placement drained earlier).
@@ -266,14 +281,64 @@ fn monarch_sim_attaches_telemetry_snapshot() {
     assert_eq!(t.stats.copies_completed, shards);
     assert_eq!(t.copy_duration.count, shards);
     assert_eq!(t.queue_wait.count, shards);
-    assert!(t.copy_duration.p50_nanos > 0, "virtual copy durations recorded");
+    assert!(
+        t.copy_duration.p50_nanos > 0,
+        "virtual copy durations recorded"
+    );
     // Each placement writes the full shard into tier 0.
     assert_eq!(t.stats.tiers[0].writes, shards);
     assert!(t.stats.tiers[0].reads > 0, "later epochs read locally");
     // Lifecycle events: scheduled, started, decided, completed per shard.
-    assert!(t.events_recorded >= 4 * shards, "events: {}", t.events_recorded);
+    assert!(
+        t.events_recorded >= 4 * shards,
+        "events: {}",
+        t.events_recorded
+    );
     // Vanilla setups carry no registry.
     assert!(run(Setup::VanillaLustre, 1).telemetry.is_none());
+}
+
+#[test]
+fn sim_epoch_populates_gauges() {
+    let r = run(
+        Setup::Monarch(MonarchSimConfig::with_ssd_capacity(8 << 30)),
+        2,
+    );
+    let t = r.telemetry.as_ref().expect("telemetry snapshot");
+    let gauge = |name: &str, label: Option<(&str, &str)>| {
+        t.gauges
+            .iter()
+            .find(|g| {
+                g.name == name
+                    && match label {
+                        Some((k, v)) => g.labels.iter().any(|(lk, lv)| lk == k && lv == v),
+                        None => g.labels.is_empty(),
+                    }
+            })
+            .unwrap_or_else(|| panic!("gauge {name} {label:?} missing from {:?}", t.gauges))
+            .value
+    };
+    // The dataset fits in the 8 GiB SSD quota, so by end of run every
+    // shard is resident locally: occupancy = total bytes, files = shards.
+    assert_eq!(
+        gauge("monarch_tier_occupancy_bytes", Some(("tier", "ssd0"))) as u64,
+        geom().total_bytes()
+    );
+    assert_eq!(
+        gauge("monarch_tier_capacity_bytes", Some(("tier", "ssd0"))) as u64,
+        8 << 30
+    );
+    assert_eq!(
+        gauge("monarch_tier_files", Some(("tier", "ssd0"))) as u64,
+        geom().num_shards() as u64
+    );
+    // Quiescent at end of run: queues drained, all workers idle.
+    assert_eq!(gauge("monarch_lane_queued", Some(("lane", "demand"))), 0.0);
+    assert_eq!(
+        gauge("monarch_lane_queued", Some(("lane", "prefetch"))),
+        0.0
+    );
+    assert_eq!(gauge("monarch_pool_inflight_jobs", None), 0.0);
 }
 
 #[test]

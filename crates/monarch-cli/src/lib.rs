@@ -63,6 +63,18 @@ pub enum Command {
         /// Re-render every N seconds until interrupted.
         watch: Option<f64>,
     },
+    /// Initialise the middleware and expose the observability endpoints
+    /// (`/metrics`, `/snapshot`, `/trace`, `/healthz`) over HTTP.
+    Serve {
+        /// Path to a `MonarchConfig` JSON file.
+        config: PathBuf,
+        /// Bind address (port `0` picks a free port; the bound address is
+        /// printed). Ignored when the config's `metrics_addr` already
+        /// started an exporter.
+        addr: String,
+        /// Shut down after this many seconds (`None` = until killed).
+        duration: Option<f64>,
+    },
     /// Stream the dataset through the middleware with causal tracing on
     /// and write a Chrome Trace Event / Perfetto JSON file.
     Trace {
@@ -103,6 +115,7 @@ impl Command {
          monarch inspect     --config CFG.json\n  \
          monarch epoch|run   --config CFG.json --data DIR [--readers N] [--chunk BYTES] [--epochs N] [--prefetch N]\n  \
          monarch metrics     --config CFG.json [--format text|json] [--watch SECS]\n  \
+         monarch serve       --config CFG.json [--addr HOST:PORT] [--duration SECS]\n  \
          monarch trace       --config CFG.json --data DIR --out TRACE.json [--readers N] [--chunk BYTES] [--duration SECS] [--sample N]"
     }
 
@@ -128,11 +141,16 @@ impl Command {
             return Err(format!("flag --{k} is missing a value"));
         }
         let get = |k: &str| -> Result<String, String> {
-            flags.get(k).cloned().ok_or_else(|| format!("missing --{k}"))
+            flags
+                .get(k)
+                .cloned()
+                .ok_or_else(|| format!("missing --{k}"))
         };
         let get_u64 = |k: &str, default: Option<u64>| -> Result<u64, String> {
             match flags.get(k) {
-                Some(v) => v.parse().map_err(|_| format!("--{k} wants a number, got {v}")),
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("--{k} wants a number, got {v}")),
                 None => default.ok_or_else(|| format!("missing --{k}")),
             }
         };
@@ -153,7 +171,9 @@ impl Command {
                     Some(other) => return Err(format!("unknown policy: {other}")),
                 },
             }),
-            "inspect" => Ok(Command::Inspect { config: PathBuf::from(get("config")?) }),
+            "inspect" => Ok(Command::Inspect {
+                config: PathBuf::from(get("config")?),
+            }),
             "epoch" | "run" => Ok(Command::Epoch {
                 config: PathBuf::from(get("config")?),
                 data: PathBuf::from(get("data")?),
@@ -173,7 +193,29 @@ impl Command {
                     None => None,
                     Some(v) => match v.parse::<f64>() {
                         Ok(secs) if secs > 0.0 => Some(secs),
-                        _ => return Err(format!("--watch wants a positive number of seconds, got {v}")),
+                        _ => {
+                            return Err(format!(
+                                "--watch wants a positive number of seconds, got {v}"
+                            ))
+                        }
+                    },
+                },
+            }),
+            "serve" => Ok(Command::Serve {
+                config: PathBuf::from(get("config")?),
+                addr: flags
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:9464".to_string()),
+                duration: match flags.get("duration") {
+                    None => None,
+                    Some(v) => match v.parse::<f64>() {
+                        Ok(secs) if secs > 0.0 => Some(secs),
+                        _ => {
+                            return Err(format!(
+                                "--duration wants a positive number of seconds, got {v}"
+                            ))
+                        }
                     },
                 },
             }),
@@ -211,8 +253,8 @@ fn load_monarch(
     policy: Option<PolicyKind>,
     prefetch: Option<usize>,
 ) -> Result<Monarch, String> {
-    let json = std::fs::read_to_string(config)
-        .map_err(|e| format!("read {}: {e}", config.display()))?;
+    let json =
+        std::fs::read_to_string(config).map_err(|e| format!("read {}: {e}", config.display()))?;
     let mut cfg = MonarchConfig::from_json(&json).map_err(|e| format!("parse config: {e}"))?;
     if let Some(p) = policy {
         cfg.policy = p;
@@ -234,7 +276,12 @@ fn load_monarch(
 /// Execute a parsed command.
 pub fn run(cmd: Command) -> Result<(), String> {
     match cmd {
-        Command::GenDataset { dir, bytes, samples, seed } => {
+        Command::GenDataset {
+            dir,
+            bytes,
+            samples,
+            seed,
+        } => {
             let spec = DatasetSpec::miniature(bytes, samples, seed);
             let ds = generate(&spec, &dir).map_err(|e| e.to_string())?;
             println!(
@@ -279,7 +326,14 @@ pub fn run(cmd: Command) -> Result<(), String> {
             );
             Ok(())
         }
-        Command::Epoch { config, data, readers, chunk, epochs, prefetch } => {
+        Command::Epoch {
+            config,
+            data,
+            readers,
+            chunk,
+            epochs,
+            prefetch,
+        } => {
             let m = std::sync::Arc::new(load_monarch(
                 &config,
                 None,
@@ -288,7 +342,13 @@ pub fn run(cmd: Command) -> Result<(), String> {
             let trainer = RealTrainer::new(
                 RealBackend::Monarch(std::sync::Arc::clone(&m)),
                 &data,
-                PipelineConfig { readers, chunk_bytes: chunk, prefetch_batches: 4, seed: 1, trace_interval_secs: None },
+                PipelineConfig {
+                    readers,
+                    chunk_bytes: chunk,
+                    prefetch_batches: 4,
+                    seed: 1,
+                    trace_interval_secs: None,
+                },
             )
             .map_err(|e| e.to_string())?;
             for epoch in 0..epochs {
@@ -301,8 +361,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
                 let e = trainer.run_epoch(epoch).map_err(|e| e.to_string())?;
                 m.wait_placement_idle();
                 let after = m.stats();
-                let local =
-                    after.local_reads().saturating_sub(before.local_reads());
+                let local = after.local_reads().saturating_sub(before.local_reads());
                 let pfs = after.pfs_reads().saturating_sub(before.pfs_reads());
                 print!(
                     "epoch {}: {:.2}s, {} chunk reads ({:.1} MiB) — local {} / pfs {}",
@@ -330,15 +389,17 @@ pub fn run(cmd: Command) -> Result<(), String> {
             );
             Ok(())
         }
-        Command::Metrics { config, format, watch } => {
+        Command::Metrics {
+            config,
+            format,
+            watch,
+        } => {
             let m = load_monarch(&config, None, None)?;
             let render = |m: &Monarch| -> Result<String, String> {
                 match format {
                     MetricsFormat::Text => Ok(m.metrics_text()),
-                    MetricsFormat::Json => {
-                        serde_json::to_string_pretty(&m.telemetry_snapshot())
-                            .map_err(|e| e.to_string())
-                    }
+                    MetricsFormat::Json => serde_json::to_string_pretty(&m.telemetry_snapshot())
+                        .map_err(|e| e.to_string()),
                 }
             };
             match watch {
@@ -353,7 +414,40 @@ pub fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
-        Command::Trace { config, data, out, readers, chunk, duration, sample } => {
+        Command::Serve {
+            config,
+            addr,
+            duration,
+        } => {
+            let m = load_monarch(&config, None, None)?;
+            // A `metrics_addr` in the config already started the exporter
+            // during build; otherwise bind the --addr flag now.
+            let bound = match m.serve_addr() {
+                Some(a) => a,
+                None => m.serve(&addr).map_err(|e| format!("start exporter: {e}"))?,
+            };
+            println!("serving /metrics /snapshot /trace /healthz on http://{bound}");
+            match duration {
+                Some(secs) => {
+                    std::thread::sleep(std::time::Duration::from_secs_f64(secs));
+                    println!("duration elapsed, shutting down");
+                    m.shutdown();
+                }
+                None => loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                },
+            }
+            Ok(())
+        }
+        Command::Trace {
+            config,
+            data,
+            out,
+            readers,
+            chunk,
+            duration,
+            sample,
+        } => {
             let json = std::fs::read_to_string(&config)
                 .map_err(|e| format!("read {}: {e}", config.display()))?;
             let mut cfg =
@@ -421,7 +515,13 @@ mod tests {
     #[test]
     fn parses_gen_dataset() {
         let cmd = parse(&[
-            "gen-dataset", "--dir", "/tmp/x", "--bytes", "1048576", "--samples", "64",
+            "gen-dataset",
+            "--dir",
+            "/tmp/x",
+            "--bytes",
+            "1048576",
+            "--samples",
+            "64",
         ])
         .unwrap();
         assert_eq!(
@@ -437,8 +537,7 @@ mod tests {
 
     #[test]
     fn parses_stage_with_policy() {
-        let cmd =
-            parse(&["stage", "--config", "c.json", "--policy", "lru_evict"]).unwrap();
+        let cmd = parse(&["stage", "--config", "c.json", "--policy", "lru_evict"]).unwrap();
         assert_eq!(
             cmd,
             Command::Stage {
@@ -466,8 +565,16 @@ mod tests {
 
     #[test]
     fn run_is_an_epoch_alias_with_prefetch() {
-        let cmd =
-            parse(&["run", "--config", "c.json", "--data", "/d", "--prefetch", "16"]).unwrap();
+        let cmd = parse(&[
+            "run",
+            "--config",
+            "c.json",
+            "--data",
+            "/d",
+            "--prefetch",
+            "16",
+        ])
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Epoch {
@@ -508,9 +615,44 @@ mod tests {
     }
 
     #[test]
+    fn parses_serve_defaults_and_overrides() {
+        let cmd = parse(&["serve", "--config", "c.json"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                config: PathBuf::from("c.json"),
+                addr: "127.0.0.1:9464".to_string(),
+                duration: None
+            }
+        );
+        let cmd = parse(&[
+            "serve",
+            "--config",
+            "c.json",
+            "--addr",
+            "0.0.0.0:0",
+            "--duration",
+            "1.5",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                config: PathBuf::from("c.json"),
+                addr: "0.0.0.0:0".to_string(),
+                duration: Some(1.5)
+            }
+        );
+        assert!(parse(&["serve", "--config", "c", "--duration", "0"]).is_err());
+        assert!(parse(&["serve", "--config", "c", "--duration", "x"]).is_err());
+    }
+
+    #[test]
     fn parses_trace_defaults_and_overrides() {
-        let cmd =
-            parse(&["trace", "--config", "c.json", "--data", "/d", "--out", "t.json"]).unwrap();
+        let cmd = parse(&[
+            "trace", "--config", "c.json", "--data", "/d", "--out", "t.json",
+        ])
+        .unwrap();
         assert_eq!(
             cmd,
             Command::Trace {
@@ -524,8 +666,21 @@ mod tests {
             }
         );
         let cmd = parse(&[
-            "trace", "--config", "c.json", "--data", "/d", "--out", "t.json", "--duration",
-            "2.5", "--sample", "8", "--readers", "2", "--chunk", "4096",
+            "trace",
+            "--config",
+            "c.json",
+            "--data",
+            "/d",
+            "--out",
+            "t.json",
+            "--duration",
+            "2.5",
+            "--sample",
+            "8",
+            "--readers",
+            "2",
+            "--chunk",
+            "4096",
         ])
         .unwrap();
         assert_eq!(
@@ -554,19 +709,31 @@ mod tests {
         assert!(parse(&["metrics", "--config", "c", "--format", "yaml"]).is_err());
         assert!(parse(&["metrics", "--config", "c", "--watch", "-1"]).is_err());
         assert!(parse(&["metrics", "--config", "c", "--watch", "soon"]).is_err());
-        assert!(parse(&["trace", "--config", "c", "--data", "/d"]).is_err(), "missing --out");
-        assert!(parse(&["trace", "--config", "c", "--data", "/d", "--out", "t", "--sample", "0"])
-            .is_err());
         assert!(
-            parse(&["trace", "--config", "c", "--data", "/d", "--out", "t", "--duration", "0"])
+            parse(&["trace", "--config", "c", "--data", "/d"]).is_err(),
+            "missing --out"
+        );
+        assert!(
+            parse(&["trace", "--config", "c", "--data", "/d", "--out", "t", "--sample", "0"])
                 .is_err()
         );
+        assert!(parse(&[
+            "trace",
+            "--config",
+            "c",
+            "--data",
+            "/d",
+            "--out",
+            "t",
+            "--duration",
+            "0"
+        ])
+        .is_err());
     }
 
     #[test]
     fn end_to_end_gen_stage_epoch() {
-        let root =
-            std::env::temp_dir().join(format!("monarch-cli-{}", std::process::id()));
+        let root = std::env::temp_dir().join(format!("monarch-cli-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         let data = root.join("pfs");
         run(Command::GenDataset {
@@ -595,8 +762,15 @@ mod tests {
         let cfg_path = root.join("cfg.json");
         std::fs::write(&cfg_path, cfg.to_json()).unwrap();
 
-        run(Command::Stage { config: cfg_path.clone(), policy: None }).unwrap();
-        run(Command::Inspect { config: cfg_path.clone() }).unwrap();
+        run(Command::Stage {
+            config: cfg_path.clone(),
+            policy: None,
+        })
+        .unwrap();
+        run(Command::Inspect {
+            config: cfg_path.clone(),
+        })
+        .unwrap();
         run(Command::Epoch {
             config: cfg_path.clone(),
             data: data.clone(),

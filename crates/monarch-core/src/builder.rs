@@ -10,7 +10,9 @@
 
 use std::sync::Arc;
 
-use crate::config::{default_pool_threads, BackendKind, MonarchConfig, PolicyKind, TelemetryConfig};
+use crate::config::{
+    default_pool_threads, BackendKind, MonarchConfig, PolicyKind, TelemetryConfig,
+};
 use crate::driver::{MemDriver, PosixDriver, StorageDriver, TimedDriver};
 use crate::hierarchy::StorageHierarchy;
 use crate::metadata::MetadataContainer;
@@ -30,6 +32,7 @@ pub struct MonarchBuilder {
     full_file_fetch: bool,
     telemetry: TelemetryConfig,
     prefetch: PrefetchConfig,
+    metrics_addr: Option<String>,
 }
 
 impl Default for MonarchBuilder {
@@ -41,6 +44,7 @@ impl Default for MonarchBuilder {
             full_file_fetch: true,
             telemetry: TelemetryConfig::default(),
             prefetch: PrefetchConfig::disabled(),
+            metrics_addr: None,
         }
     }
 }
@@ -83,6 +87,7 @@ impl MonarchBuilder {
                 lookahead: config.prefetch_lookahead,
                 max_inflight_bytes: config.prefetch_max_inflight_bytes,
             },
+            metrics_addr: config.metrics_addr,
         })
     }
 
@@ -129,6 +134,16 @@ impl MonarchBuilder {
         self
     }
 
+    /// Start the `/metrics` HTTP exporter on `addr` as part of
+    /// [`Self::build`] (e.g. `"127.0.0.1:9464"`; port `0` picks a free
+    /// port — read it back with [`Monarch::serve_addr`]). A failed bind
+    /// fails the build.
+    #[must_use]
+    pub fn with_metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.metrics_addr = Some(addr.into());
+        self
+    }
+
     /// Assemble the middleware: stats + telemetry registry, instrumented
     /// drivers (when telemetry is on), the transfer engine owning the copy
     /// pool and prefetch window, and the read-path facade over them.
@@ -138,8 +153,11 @@ impl MonarchBuilder {
         })?;
         let stats = Arc::new(Stats::new(hierarchy.levels()));
         let tier_names: Vec<String> = hierarchy.tiers().iter().map(|t| t.name.clone()).collect();
-        let telemetry =
-            Arc::new(TelemetryRegistry::new(tier_names, Arc::clone(&stats), &self.telemetry));
+        let telemetry = Arc::new(TelemetryRegistry::new(
+            tier_names,
+            Arc::clone(&stats),
+            &self.telemetry,
+        ));
         // When telemetry is off the drivers stay unwrapped — a true
         // zero-overhead baseline.
         if self.telemetry.enabled {
@@ -162,14 +180,24 @@ impl MonarchBuilder {
             self.pool_threads,
             self.prefetch,
         );
-        Ok(Monarch::from_parts(
+        let monarch = Monarch::from_parts(
             hierarchy,
             metadata,
             stats,
             telemetry,
             engine,
             self.full_file_fetch,
-        ))
+        );
+        if let Some(addr) = &self.metrics_addr {
+            // An unusable metrics address is a configuration error, not
+            // something to discover from silent scrape failures — but the
+            // engine's pool is already running, so drain it before failing.
+            if let Err(e) = monarch.serve(addr) {
+                monarch.shutdown();
+                return Err(e);
+            }
+        }
+        Ok(monarch)
     }
 }
 
@@ -252,7 +280,10 @@ mod tests {
 
     #[test]
     fn defaults_match_the_paper() {
-        let m = MonarchBuilder::new().hierarchy(tiny_hierarchy()).build().unwrap();
+        let m = MonarchBuilder::new()
+            .hierarchy(tiny_hierarchy())
+            .build()
+            .unwrap();
         assert_eq!(m.pool_threads(), 6);
     }
 

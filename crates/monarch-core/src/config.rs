@@ -42,7 +42,11 @@ impl TierConfig {
 
     /// An in-memory tier.
     pub fn mem(name: impl Into<String>) -> Self {
-        Self { name: name.into(), backend: BackendKind::Mem, capacity: None }
+        Self {
+            name: name.into(),
+            backend: BackendKind::Mem,
+            capacity: None,
+        }
     }
 
     /// Set the capacity quota.
@@ -111,14 +115,21 @@ impl TelemetryConfig {
     /// Everything off: no histograms, no journal, unwrapped drivers.
     #[must_use]
     pub fn disabled() -> Self {
-        Self { enabled: false, journal: false, ..Self::default() }
+        Self {
+            enabled: false,
+            journal: false,
+            ..Self::default()
+        }
     }
 
     /// Defaults plus tracing on every read — what `monarch trace` and the
     /// trace tests use.
     #[must_use]
     pub fn with_tracing() -> Self {
-        Self { trace_sample_every_n: 1, ..Self::default() }
+        Self {
+            trace_sample_every_n: 1,
+            ..Self::default()
+        }
     }
 }
 
@@ -153,6 +164,11 @@ pub struct MonarchConfig {
     /// `prefetch_lookahead > 0`.
     #[serde(default = "default_prefetch_max_inflight_bytes")]
     pub prefetch_max_inflight_bytes: u64,
+    /// When set, the built instance starts the `/metrics` HTTP exporter on
+    /// this address (e.g. `"127.0.0.1:9464"`; port `0` picks a free port).
+    /// `None` — the default — starts no server.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics_addr: Option<String>,
 }
 
 pub(crate) fn default_pool_threads() -> usize {
@@ -204,6 +220,7 @@ pub struct MonarchConfigBuilder {
     telemetry: Option<TelemetryConfig>,
     prefetch_lookahead: Option<usize>,
     prefetch_max_inflight_bytes: Option<u64>,
+    metrics_addr: Option<String>,
 }
 
 impl MonarchConfigBuilder {
@@ -257,6 +274,13 @@ impl MonarchConfigBuilder {
         self
     }
 
+    /// Address for the `/metrics` HTTP exporter (`None` = no server).
+    #[must_use]
+    pub fn metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.metrics_addr = Some(addr.into());
+        self
+    }
+
     /// Finish building.
     #[must_use]
     pub fn build(self) -> MonarchConfig {
@@ -270,6 +294,7 @@ impl MonarchConfigBuilder {
             prefetch_max_inflight_bytes: self
                 .prefetch_max_inflight_bytes
                 .unwrap_or_else(default_prefetch_max_inflight_bytes),
+            metrics_addr: self.metrics_addr,
         }
     }
 }
@@ -314,7 +339,11 @@ mod tests {
         }"#;
         let cfg = MonarchConfig::from_json(json).unwrap();
         assert_eq!(cfg.prefetch_lookahead, 8);
-        assert_eq!(cfg.prefetch_max_inflight_bytes, 256 << 20, "default cap applies");
+        assert_eq!(
+            cfg.prefetch_max_inflight_bytes,
+            256 << 20,
+            "default cap applies"
+        );
     }
 
     #[test]

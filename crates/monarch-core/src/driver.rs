@@ -69,7 +69,10 @@ impl PosixDriver {
     pub fn new(name: impl Into<String>, root: impl Into<PathBuf>) -> Result<Self> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(Self { name: name.into(), root })
+        Ok(Self {
+            name: name.into(),
+            root,
+        })
     }
 
     /// Root directory of this backend.
@@ -173,7 +176,10 @@ impl MemDriver {
     /// Empty in-memory backend.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), files: RwLock::new(FxHashMap::default()) }
+        Self {
+            name: name.into(),
+            files: RwLock::new(FxHashMap::default()),
+        }
     }
 
     /// Pre-populate a file (e.g. to stage a dataset on a test "PFS").
@@ -202,7 +208,10 @@ impl StorageDriver for MemDriver {
     fn read_at(&self, file: &str, offset: u64, buf: &mut [u8]) -> Result<usize> {
         let data = {
             let files = self.files.read();
-            files.get(file).cloned().ok_or_else(|| Error::UnknownFile(file.into()))?
+            files
+                .get(file)
+                .cloned()
+                .ok_or_else(|| Error::UnknownFile(file.into()))?
         };
         let start = (offset as usize).min(data.len());
         let n = buf.len().min(data.len() - start);
@@ -219,7 +228,9 @@ impl StorageDriver for MemDriver {
     }
 
     fn write_full(&self, file: &str, data: &[u8]) -> Result<()> {
-        self.files.write().insert(file.into(), Arc::new(data.to_vec()));
+        self.files
+            .write()
+            .insert(file.into(), Arc::new(data.to_vec()));
         Ok(())
     }
 
@@ -241,8 +252,10 @@ impl StorageDriver for MemDriver {
 
     fn list(&self) -> Result<Vec<(String, u64)>> {
         let files = self.files.read();
-        let mut out: Vec<_> =
-            files.iter().map(|(k, v)| (k.clone(), v.len() as u64)).collect();
+        let mut out: Vec<_> = files
+            .iter()
+            .map(|(k, v)| (k.clone(), v.len() as u64))
+            .collect();
         out.sort();
         Ok(out)
     }
@@ -274,7 +287,11 @@ impl TimedDriver {
         reads: Arc<LatencyHistogram>,
         writes: Arc<LatencyHistogram>,
     ) -> Self {
-        Self { inner, reads, writes }
+        Self {
+            inner,
+            reads,
+            writes,
+        }
     }
 
     /// The wrapped driver.
@@ -358,7 +375,13 @@ impl<D: StorageDriver> GatedDriver<D> {
     #[must_use]
     pub fn new(inner: D) -> (Self, Gate) {
         let gate: Gate = Arc::new((Mutex::new(false), Condvar::new()));
-        (Self { inner, gate: Arc::clone(&gate) }, gate)
+        (
+            Self {
+                inner,
+                gate: Arc::clone(&gate),
+            },
+            gate,
+        )
     }
 }
 
@@ -426,7 +449,12 @@ impl<D: StorageDriver> FaultyDriver<D> {
     /// Fail the first `budget` operations of kind `kind`, then pass through.
     #[must_use]
     pub fn new(inner: D, kind: FaultKind, budget: u64) -> Self {
-        Self { inner, kind, budget: AtomicU64::new(budget), injected: AtomicU64::new(0) }
+        Self {
+            inner,
+            kind,
+            budget: AtomicU64::new(budget),
+            injected: AtomicU64::new(0),
+        }
     }
 
     /// How many faults have been injected so far.

@@ -15,7 +15,14 @@ pub enum Error {
     /// or a capacity on the source tier).
     InvalidConfig(String),
     /// A read went past the end of the file.
-    OutOfRange { file: String, offset: u64, size: u64 },
+    OutOfRange {
+        /// Logical file name the read targeted.
+        file: String,
+        /// Requested offset.
+        offset: u64,
+        /// Actual file size in bytes.
+        size: u64,
+    },
     /// The middleware has been shut down and no longer accepts work.
     ShutDown,
     /// A fault injected by a test driver.
@@ -62,7 +69,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = Error::OutOfRange { file: "a".into(), offset: 10, size: 5 };
+        let e = Error::OutOfRange {
+            file: "a".into(),
+            offset: 10,
+            size: 5,
+        };
         assert!(e.to_string().contains("past end"));
         assert!(Error::UnknownFile("x".into()).to_string().contains('x'));
         assert!(Error::UnknownTier(3).to_string().contains('3'));

@@ -79,7 +79,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(hash_str("train-00001.tfrecord"), hash_str("train-00001.tfrecord"));
+        assert_eq!(
+            hash_str("train-00001.tfrecord"),
+            hash_str("train-00001.tfrecord")
+        );
     }
 
     #[test]

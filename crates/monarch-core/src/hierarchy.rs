@@ -31,7 +31,10 @@ impl Quota {
     /// A quota with `capacity` bytes.
     #[must_use]
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, used: AtomicU64::new(0) }
+        Self {
+            capacity,
+            used: AtomicU64::new(0),
+        }
     }
 
     /// Attempt to reserve `bytes`; returns `true` on success. Lock-free CAS
@@ -39,16 +42,16 @@ impl Quota {
     pub fn try_reserve(&self, bytes: u64) -> bool {
         let mut cur = self.used.load(Ordering::Relaxed);
         loop {
-            let Some(next) = cur.checked_add(bytes) else { return false };
+            let Some(next) = cur.checked_add(bytes) else {
+                return false;
+            };
             if next > self.capacity {
                 return false;
             }
-            match self.used.compare_exchange_weak(
-                cur,
-                next,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
+            match self
+                .used
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed)
+            {
                 Ok(_) => return true,
                 Err(actual) => cur = actual,
             }
@@ -292,7 +295,11 @@ mod tests {
         let hist = Arc::new(LatencyHistogram::new());
         let reads = Arc::clone(&hist);
         h.instrument_drivers(move |_, driver| {
-            Arc::new(TimedDriver::new(driver, Arc::clone(&reads), Arc::new(LatencyHistogram::new())))
+            Arc::new(TimedDriver::new(
+                driver,
+                Arc::clone(&reads),
+                Arc::new(LatencyHistogram::new()),
+            ))
         });
         let mut buf = [0u8; 1];
         let _ = h.tier(0).unwrap().driver.read_at("missing", 0, &mut buf);

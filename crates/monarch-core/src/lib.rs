@@ -56,6 +56,7 @@ pub mod middleware;
 pub mod placement;
 pub mod pool;
 pub mod prefetch;
+pub mod serve;
 pub mod stats;
 pub mod telemetry;
 pub mod trace;
@@ -70,10 +71,12 @@ pub use metadata::MetadataContainer;
 pub use middleware::{InitReport, Monarch};
 pub use placement::{PlacementDecision, PlacementPolicy};
 pub use prefetch::{AccessPlan, PrefetchConfig, PrefetchWindow};
+pub use serve::MetricsServer;
 pub use stats::{Stats, StatsSnapshot};
 pub use telemetry::{
-    Event, EventJournal, EventKind, HistogramSnapshot, LatencyHistogram, TelemetryRegistry,
+    Event, EventJournal, EventKind, Gauge, GaugeGuard, GaugeRegistry, GaugeSnapshot,
+    HistogramSnapshot, LatencyHistogram, StallProfile, StallProfileSnapshot, TelemetryRegistry,
     TelemetrySnapshot, ThroughputSampler, TimeSeries,
 };
 pub use trace::{ArgValue, FlowPhase, SpanRecord, TraceRecorder};
-pub use transfer::{DrainReport, LaneQueues, ReadCtx, TransferEngine};
+pub use transfer::{DrainReport, GaugeSampler, LaneQueues, ReadCtx, TransferEngine};

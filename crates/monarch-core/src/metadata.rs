@@ -56,7 +56,9 @@ pub struct MetadataContainer {
 
 impl std::fmt::Debug for MetadataContainer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MetadataContainer").field("files", &self.len()).finish()
+        f.debug_struct("MetadataContainer")
+            .field("files", &self.len())
+            .finish()
     }
 }
 
@@ -96,7 +98,12 @@ impl MetadataContainer {
         }
         shard.insert(
             Arc::from(name),
-            FileInfo { size, tier, state: PlacementState::Unplaced, reads: 0 },
+            FileInfo {
+                size,
+                tier,
+                state: PlacementState::Unplaced,
+                reads: 0,
+            },
         );
         true
     }
@@ -104,7 +111,9 @@ impl MetadataContainer {
     /// Look up a file, bumping its read counter.
     pub fn lookup_for_read(&self, name: &str) -> Result<FileInfo> {
         let mut shard = self.shard(name).write();
-        let info = shard.get_mut(name).ok_or_else(|| Error::UnknownFile(name.into()))?;
+        let info = shard
+            .get_mut(name)
+            .ok_or_else(|| Error::UnknownFile(name.into()))?;
         info.reads += 1;
         Ok(info.clone())
     }
@@ -119,7 +128,9 @@ impl MetadataContainer {
     /// must schedule exactly one background copy.
     pub fn begin_copy(&self, name: &str, target: TierId) -> Result<bool> {
         let mut shard = self.shard(name).write();
-        let info = shard.get_mut(name).ok_or_else(|| Error::UnknownFile(name.into()))?;
+        let info = shard
+            .get_mut(name)
+            .ok_or_else(|| Error::UnknownFile(name.into()))?;
         if info.state != PlacementState::Unplaced {
             return Ok(false);
         }
@@ -130,7 +141,9 @@ impl MetadataContainer {
     /// Complete an in-flight copy: the file now lives on `tier`.
     pub fn finish_copy(&self, name: &str, tier: TierId) -> Result<()> {
         let mut shard = self.shard(name).write();
-        let info = shard.get_mut(name).ok_or_else(|| Error::UnknownFile(name.into()))?;
+        let info = shard
+            .get_mut(name)
+            .ok_or_else(|| Error::UnknownFile(name.into()))?;
         debug_assert!(matches!(info.state, PlacementState::Copying { .. }));
         info.tier = tier;
         info.state = PlacementState::Placed;
@@ -142,8 +155,14 @@ impl MetadataContainer {
     /// further placement is attempted — used when local tiers are full.
     pub fn abort_copy(&self, name: &str, terminal: bool) -> Result<()> {
         let mut shard = self.shard(name).write();
-        let info = shard.get_mut(name).ok_or_else(|| Error::UnknownFile(name.into()))?;
-        info.state = if terminal { PlacementState::Placed } else { PlacementState::Unplaced };
+        let info = shard
+            .get_mut(name)
+            .ok_or_else(|| Error::UnknownFile(name.into()))?;
+        info.state = if terminal {
+            PlacementState::Placed
+        } else {
+            PlacementState::Unplaced
+        };
         Ok(())
     }
 
@@ -152,7 +171,9 @@ impl MetadataContainer {
     /// `to` — it can be re-placed later via [`Self::reopen_placement`].
     pub fn evict_to(&self, name: &str, to: TierId) -> Result<()> {
         let mut shard = self.shard(name).write();
-        let info = shard.get_mut(name).ok_or_else(|| Error::UnknownFile(name.into()))?;
+        let info = shard
+            .get_mut(name)
+            .ok_or_else(|| Error::UnknownFile(name.into()))?;
         info.tier = to;
         info.state = PlacementState::Unplaced;
         Ok(())
@@ -162,7 +183,9 @@ impl MetadataContainer {
     /// again (ablation-only).
     pub fn reopen_placement(&self, name: &str) -> Result<()> {
         let mut shard = self.shard(name).write();
-        let info = shard.get_mut(name).ok_or_else(|| Error::UnknownFile(name.into()))?;
+        let info = shard
+            .get_mut(name)
+            .ok_or_else(|| Error::UnknownFile(name.into()))?;
         info.state = PlacementState::Unplaced;
         Ok(())
     }
@@ -221,7 +244,10 @@ mod tests {
     fn register_and_lookup() {
         let m = MetadataContainer::default();
         assert!(m.register("a", 10, 1));
-        assert!(!m.register("a", 99, 0), "duplicate register must be refused");
+        assert!(
+            !m.register("a", 99, 0),
+            "duplicate register must be refused"
+        );
         let info = m.lookup_for_read("a").unwrap();
         assert_eq!(info.size, 10);
         assert_eq!(info.tier, 1);
@@ -232,8 +258,14 @@ mod tests {
     #[test]
     fn unknown_file_errors() {
         let m = MetadataContainer::default();
-        assert!(matches!(m.lookup_for_read("nope"), Err(Error::UnknownFile(_))));
-        assert!(matches!(m.begin_copy("nope", 0), Err(Error::UnknownFile(_))));
+        assert!(matches!(
+            m.lookup_for_read("nope"),
+            Err(Error::UnknownFile(_))
+        ));
+        assert!(matches!(
+            m.begin_copy("nope", 0),
+            Err(Error::UnknownFile(_))
+        ));
     }
 
     #[test]
@@ -241,14 +273,20 @@ mod tests {
         let m = MetadataContainer::default();
         m.register("f", 100, 1);
         assert!(m.begin_copy("f", 0).unwrap());
-        assert!(!m.begin_copy("f", 0).unwrap(), "second begin must lose the race");
+        assert!(
+            !m.begin_copy("f", 0).unwrap(),
+            "second begin must lose the race"
+        );
         // While copying, reads still resolve to the old tier.
         assert_eq!(m.lookup_for_read("f").unwrap().tier, 1);
         m.finish_copy("f", 0).unwrap();
         let info = m.get("f").unwrap();
         assert_eq!(info.tier, 0);
         assert_eq!(info.state, PlacementState::Placed);
-        assert!(!m.begin_copy("f", 0).unwrap(), "placed file must not re-copy");
+        assert!(
+            !m.begin_copy("f", 0).unwrap(),
+            "placed file must not re-copy"
+        );
     }
 
     #[test]
@@ -258,10 +296,16 @@ mod tests {
         assert!(m.begin_copy("f", 0).unwrap());
         m.abort_copy("f", false).unwrap();
         assert_eq!(m.get("f").unwrap().state, PlacementState::Unplaced);
-        assert!(m.begin_copy("f", 0).unwrap(), "non-terminal abort allows retry");
+        assert!(
+            m.begin_copy("f", 0).unwrap(),
+            "non-terminal abort allows retry"
+        );
         m.abort_copy("f", true).unwrap();
         assert_eq!(m.get("f").unwrap().state, PlacementState::Placed);
-        assert!(!m.begin_copy("f", 0).unwrap(), "terminal abort pins the file");
+        assert!(
+            !m.begin_copy("f", 0).unwrap(),
+            "terminal abort pins the file"
+        );
     }
 
     #[test]
@@ -274,7 +318,10 @@ mod tests {
         let info = m.get("f").unwrap();
         assert_eq!(info.tier, 1);
         assert_eq!(info.state, PlacementState::Unplaced);
-        assert!(m.begin_copy("f", 0).unwrap(), "evicted file is placeable again");
+        assert!(
+            m.begin_copy("f", 0).unwrap(),
+            "evicted file is placeable again"
+        );
     }
 
     #[test]

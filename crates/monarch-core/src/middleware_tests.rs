@@ -1,0 +1,626 @@
+//! Tests for the [`Monarch`](super::Monarch) facade, kept out of
+//! `middleware.rs` so the facade itself stays within the size gate.
+
+use super::*;
+use crate::config::{TelemetryConfig, TierConfig};
+use crate::driver::{FaultKind, FaultyDriver, MemDriver, StorageDriver};
+use crate::placement::{LruEvict, PlacementPolicy};
+
+fn two_tier(
+    local: Arc<dyn StorageDriver>,
+    cap: u64,
+    pfs: Arc<dyn StorageDriver>,
+) -> StorageHierarchy {
+    StorageHierarchy::new(vec![
+        ("ssd".into(), local, Some(cap)),
+        ("pfs".into(), pfs, None),
+    ])
+    .unwrap()
+}
+
+/// Monarch over two in-memory tiers with `n` files of `size` bytes
+/// staged on the "PFS".
+fn mem_monarch(local_cap: u64, n: usize, size: usize) -> Monarch {
+    let pfs = MemDriver::new("pfs");
+    for i in 0..n {
+        pfs.insert(&format!("f{i:03}"), vec![i as u8; size]);
+    }
+    let hierarchy = two_tier(Arc::new(MemDriver::new("ssd")), local_cap, Arc::new(pfs));
+    let m = MonarchBuilder::new()
+        .hierarchy(hierarchy)
+        .pool_threads(2)
+        .build()
+        .unwrap();
+    m.init().unwrap();
+    m
+}
+
+#[test]
+fn builder_requires_a_hierarchy() {
+    assert!(matches!(
+        MonarchBuilder::new().build(),
+        Err(Error::InvalidConfig(_))
+    ));
+}
+
+#[test]
+fn init_scans_namespace() {
+    let m = mem_monarch(1 << 20, 5, 100);
+    assert_eq!(m.metadata().len(), 5);
+    assert_eq!(m.metadata().total_bytes(), 500);
+    assert_eq!(m.file_size("f000").unwrap(), 100);
+}
+
+#[test]
+fn first_read_from_pfs_then_local() {
+    let m = mem_monarch(1 << 20, 1, 1000);
+    let mut buf = vec![0u8; 100];
+    // Partial first read: served by the PFS.
+    assert_eq!(m.read("f000", 0, &mut buf).unwrap(), 100);
+    m.wait_placement_idle();
+    // Placement done: second read must hit the local tier.
+    assert_eq!(m.read("f000", 100, &mut buf).unwrap(), 100);
+    let stats = m.stats();
+    assert_eq!(stats.tiers[0].reads, 1, "second read should be local");
+    // PFS saw: the first partial read + the background full fetch.
+    assert_eq!(stats.tiers[1].reads, 2);
+    assert_eq!(stats.copies_completed, 1);
+    assert_eq!(m.metadata().get("f000").unwrap().tier, 0);
+}
+
+#[test]
+fn prestage_places_everything_before_any_read() {
+    let m = mem_monarch(1 << 20, 5, 200);
+    let scheduled = m.prestage();
+    assert_eq!(scheduled, 5);
+    m.wait_placement_idle();
+    let stats = m.stats();
+    assert_eq!(stats.copies_completed, 5);
+    // Every file already local: the very first framework read hits
+    // tier 0 and the PFS sees only the staging fetches.
+    let mut buf = [0u8; 64];
+    m.read("f000", 0, &mut buf).unwrap();
+    let stats = m.stats();
+    assert_eq!(stats.tiers[0].reads, 1);
+    assert_eq!(stats.tiers[1].reads, 5, "one staging fetch per file");
+    // Idempotent: nothing left to schedule.
+    assert_eq!(m.prestage(), 0);
+}
+
+#[test]
+fn prestage_respects_quota() {
+    let m = mem_monarch(450, 4, 200); // room for two files
+    m.prestage();
+    m.wait_placement_idle();
+    let stats = m.stats();
+    assert_eq!(stats.copies_completed, 2);
+    assert_eq!(stats.placement_skipped, 2);
+    assert_eq!(m.metadata().residency_histogram(2), vec![2, 2]);
+}
+
+#[test]
+fn without_full_fetch_partial_reads_do_not_place() {
+    let pfs = MemDriver::new("pfs");
+    pfs.insert("f", vec![3u8; 1000]);
+    let hierarchy = two_tier(Arc::new(MemDriver::new("ssd")), 1 << 20, Arc::new(pfs));
+    let m = MonarchBuilder::new()
+        .hierarchy(hierarchy)
+        .pool_threads(1)
+        .full_file_fetch(false)
+        .build()
+        .unwrap();
+    m.init().unwrap();
+    let mut buf = [0u8; 100];
+    m.read("f", 0, &mut buf).unwrap();
+    m.wait_placement_idle();
+    assert_eq!(m.stats().copies_scheduled, 0, "partial read must not fetch");
+    // A whole-file read still places (inline data, no re-fetch).
+    let mut full = vec![0u8; 1000];
+    m.read("f", 0, &mut full).unwrap();
+    m.wait_placement_idle();
+    let stats = m.stats();
+    assert_eq!(stats.copies_completed, 1);
+    assert_eq!(m.metadata().get("f").unwrap().tier, 0);
+}
+
+#[test]
+fn full_read_skips_background_refetch() {
+    let m = mem_monarch(1 << 20, 1, 256);
+    let mut buf = vec![0u8; 256];
+    assert_eq!(m.read("f000", 0, &mut buf).unwrap(), 256);
+    m.wait_placement_idle();
+    let stats = m.stats();
+    // Only the triggering read touched the PFS (inline data reused).
+    assert_eq!(stats.tiers[1].reads, 1);
+    assert_eq!(stats.copies_completed, 1);
+    assert_eq!(stats.tiers[0].bytes_written, 256);
+}
+
+#[test]
+fn bytes_are_correct_across_tiers() {
+    let m = mem_monarch(1 << 20, 3, 512);
+    for i in 0..3 {
+        let name = format!("f{i:03}");
+        let data = m.read_full(&name).unwrap();
+        assert_eq!(data, vec![i as u8; 512]);
+    }
+    m.wait_placement_idle();
+    for i in 0..3 {
+        let name = format!("f{i:03}");
+        let data = m.read_full(&name).unwrap();
+        assert_eq!(data, vec![i as u8; 512], "post-placement bytes must match");
+    }
+}
+
+#[test]
+fn capacity_limits_placement() {
+    // Room for 2 of the 4 files only.
+    let m = mem_monarch(1200, 4, 500);
+    for i in 0..4 {
+        let mut buf = [0u8; 16];
+        m.read(&format!("f{i:03}"), 0, &mut buf).unwrap();
+    }
+    m.wait_placement_idle();
+    let stats = m.stats();
+    assert_eq!(stats.copies_completed, 2);
+    assert_eq!(stats.placement_skipped, 2);
+    let hist = m.metadata().residency_histogram(2);
+    assert_eq!(hist, vec![2, 2]);
+    // Quota reflects exactly the two placed files.
+    assert_eq!(
+        m.hierarchy()
+            .tier(0)
+            .unwrap()
+            .quota
+            .as_ref()
+            .unwrap()
+            .used(),
+        1000
+    );
+}
+
+#[test]
+fn no_eviction_under_first_fit() {
+    let m = mem_monarch(600, 3, 500);
+    for i in 0..3 {
+        let mut buf = [0u8; 16];
+        m.read(&format!("f{i:03}"), 0, &mut buf).unwrap();
+        m.wait_placement_idle();
+    }
+    let stats = m.stats();
+    assert_eq!(stats.evictions, 0);
+    assert_eq!(stats.copies_completed, 1);
+}
+
+#[test]
+fn reads_past_eof_return_zero() {
+    let m = mem_monarch(1 << 20, 1, 100);
+    let mut buf = [0u8; 10];
+    assert_eq!(m.read("f000", 100, &mut buf).unwrap(), 0);
+    assert_eq!(m.read("f000", 1000, &mut buf).unwrap(), 0);
+}
+
+#[test]
+fn unknown_file_is_an_error() {
+    let m = mem_monarch(1 << 20, 1, 100);
+    let mut buf = [0u8; 10];
+    assert!(matches!(
+        m.read("missing", 0, &mut buf),
+        Err(Error::UnknownFile(_))
+    ));
+}
+
+#[test]
+fn failed_copy_releases_quota_and_reverts_state() {
+    let pfs = MemDriver::new("pfs");
+    pfs.insert("f", vec![7u8; 400]);
+    let ssd = FaultyDriver::new(MemDriver::new("ssd"), FaultKind::Writes, 1);
+    let hierarchy = two_tier(Arc::new(ssd), 1000, Arc::new(pfs));
+    let m = MonarchBuilder::new()
+        .hierarchy(hierarchy)
+        .pool_threads(1)
+        .build()
+        .unwrap();
+    m.init().unwrap();
+    let mut buf = [0u8; 16];
+    m.read("f", 0, &mut buf).unwrap();
+    m.wait_placement_idle();
+    let stats = m.stats();
+    assert_eq!(stats.copies_failed, 1);
+    assert_eq!(
+        m.hierarchy()
+            .tier(0)
+            .unwrap()
+            .quota
+            .as_ref()
+            .unwrap()
+            .used(),
+        0
+    );
+    let info = m.metadata().get("f").unwrap();
+    assert_eq!(
+        info.tier, 1,
+        "file must stay on the PFS after a failed copy"
+    );
+    assert_eq!(info.state, PlacementState::Unplaced);
+    // A later read retries and succeeds (fault budget exhausted).
+    m.read("f", 0, &mut buf).unwrap();
+    m.wait_placement_idle();
+    assert_eq!(m.stats().copies_completed, 1);
+    assert_eq!(m.metadata().get("f").unwrap().tier, 0);
+}
+
+#[test]
+fn concurrent_readers_single_copy() {
+    let m = Arc::new(mem_monarch(1 << 20, 1, 4096));
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                let mut buf = vec![0u8; 256];
+                for off in (0..4096).step_by(256) {
+                    assert_eq!(m.read("f000", off, &mut buf).unwrap(), 256);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    m.wait_placement_idle();
+    let stats = m.stats();
+    assert_eq!(
+        stats.copies_scheduled, 1,
+        "dedup: one copy despite 8 readers"
+    );
+    assert_eq!(stats.copies_completed, 1);
+}
+
+#[test]
+fn shutdown_rejects_new_reads() {
+    let m = mem_monarch(1 << 20, 1, 100);
+    let stats = m.shutdown();
+    assert_eq!(stats.copies_failed, 0);
+}
+
+#[test]
+fn evict_frees_the_local_tier_through_the_facade() {
+    let m = mem_monarch(1 << 20, 1, 300);
+    let mut buf = [0u8; 300];
+    m.read("f000", 0, &mut buf).unwrap();
+    m.wait_placement_idle();
+    assert_eq!(m.metadata().get("f000").unwrap().tier, 0);
+    assert!(m.evict("f000").unwrap());
+    assert_eq!(m.metadata().get("f000").unwrap().tier, 1);
+    assert_eq!(
+        m.hierarchy()
+            .tier(0)
+            .unwrap()
+            .quota
+            .as_ref()
+            .unwrap()
+            .used(),
+        0
+    );
+    assert_eq!(m.stats().evictions, 1);
+    // Still readable (from the PFS), and the read re-places it.
+    m.read("f000", 0, &mut buf).unwrap();
+    m.wait_placement_idle();
+    assert_eq!(m.metadata().get("f000").unwrap().tier, 0);
+}
+
+#[test]
+fn constructs_from_config_with_mem_backends() {
+    let cfg = MonarchConfig::builder()
+        .tier(TierConfig::mem("ram").with_capacity(1 << 20))
+        .tier(TierConfig::mem("pfs"))
+        .pool_threads(2)
+        .build();
+    let m = Monarch::new(cfg).unwrap();
+    assert_eq!(m.pool_threads(), 2);
+    assert_eq!(m.hierarchy().levels(), 2);
+}
+
+#[test]
+fn journal_captures_copy_lifecycle_under_concurrency() {
+    // Acceptance: the journal records the full copy lifecycle
+    // (scheduled → started → completed) for every file while 8 reader
+    // threads hammer the read path concurrently.
+    let n_files = 8;
+    let m = Arc::new(mem_monarch(1 << 20, n_files, 4096));
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                let mut buf = vec![0u8; 512];
+                for i in 0..n_files {
+                    let name = format!("f{:03}", (i + t) % n_files);
+                    for off in (0..4096).step_by(512) {
+                        assert_eq!(m.read(&name, off, &mut buf).unwrap(), 512);
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    m.wait_placement_idle();
+    let stats = m.stats();
+    assert_eq!(stats.copies_completed, n_files as u64);
+    // All files are local now: this pass is guaranteed to time tier-0
+    // reads.
+    for i in 0..n_files {
+        m.read_full(&format!("f{i:03}")).unwrap();
+    }
+
+    let events = m.telemetry().journal().events();
+    // Sequence numbers strictly increase across the buffered events.
+    for pair in events.windows(2) {
+        assert!(pair[0].seq < pair[1].seq);
+    }
+    for i in 0..n_files {
+        let name = format!("f{i:03}");
+        let of = |tag: &str| {
+            events
+                .iter()
+                .find(|e| e.kind.tag() == tag && e.kind.file() == name)
+                .unwrap_or_else(|| panic!("{tag} event for {name}"))
+                .seq
+        };
+        let (sched, started, decided, done) = (
+            of("copy_scheduled"),
+            of("copy_started"),
+            of("placement_decided"),
+            of("copy_completed"),
+        );
+        assert!(sched < started && started < decided && decided < done);
+    }
+    // Exactly one lifecycle per file despite 8 racing readers.
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| e.kind.tag() == "copy_completed")
+            .count(),
+        n_files
+    );
+
+    // Histograms saw the traffic: local + PFS reads, copy durations,
+    // queue waits.
+    let snap = m.telemetry_snapshot();
+    assert_eq!(snap.copy_duration.count, n_files as u64);
+    assert_eq!(snap.queue_wait.count, n_files as u64);
+    assert!(snap.read_latency[0].count > 0, "local reads timed");
+    assert!(snap.read_latency[1].count > 0, "PFS reads timed");
+    assert!(
+        snap.write_latency[0].count == n_files as u64,
+        "one install write per file"
+    );
+    assert!(snap.read_latency[1].p99_nanos >= snap.read_latency[1].p50_nanos);
+
+    // Both exposition formats render the same registry.
+    let text = m.metrics_text();
+    assert!(text.contains(&format!("monarch_copies_completed_total {n_files}")));
+    assert!(text.contains("monarch_read_latency_seconds_bucket{tier=\"ssd\",le=\"+Inf\"}"));
+    let json_lines = m.events_json();
+    assert_eq!(json_lines.lines().count(), events.len());
+}
+
+#[test]
+fn telemetry_disabled_records_nothing() {
+    let pfs = MemDriver::new("pfs");
+    pfs.insert("f", vec![1u8; 1024]);
+    let hierarchy = two_tier(Arc::new(MemDriver::new("ssd")), 1 << 20, Arc::new(pfs));
+    let m = MonarchBuilder::new()
+        .hierarchy(hierarchy)
+        .pool_threads(1)
+        .telemetry(TelemetryConfig::disabled())
+        .build()
+        .unwrap();
+    m.init().unwrap();
+    let mut buf = [0u8; 128];
+    m.read("f", 0, &mut buf).unwrap();
+    m.wait_placement_idle();
+    assert_eq!(m.stats().copies_completed, 1, "placement still works");
+    let snap = m.telemetry_snapshot();
+    assert_eq!(snap.read_latency[0].count + snap.read_latency[1].count, 0);
+    assert_eq!(snap.queue_wait.count, 0);
+    assert_eq!(snap.copy_duration.count, 0);
+    assert_eq!(snap.events_recorded, 0);
+    assert_eq!(m.events_json(), "");
+    // Counters still render (they are stats-driven, not histogram-driven).
+    assert!(m
+        .metrics_text()
+        .contains("monarch_copies_completed_total 1"));
+}
+
+#[test]
+fn journal_disablable_separately_from_histograms() {
+    let pfs = MemDriver::new("pfs");
+    pfs.insert("f", vec![1u8; 256]);
+    let hierarchy = two_tier(Arc::new(MemDriver::new("ssd")), 1 << 20, Arc::new(pfs));
+    let m = MonarchBuilder::new()
+        .hierarchy(hierarchy)
+        .pool_threads(1)
+        .telemetry(TelemetryConfig {
+            journal: false,
+            ..TelemetryConfig::default()
+        })
+        .build()
+        .unwrap();
+    m.init().unwrap();
+    let mut buf = [0u8; 256];
+    m.read("f", 0, &mut buf).unwrap();
+    m.wait_placement_idle();
+    let snap = m.telemetry_snapshot();
+    assert_eq!(snap.events_recorded, 0, "journal off");
+    assert!(snap.read_latency[1].count > 0, "histograms still on");
+}
+
+#[test]
+fn panicking_copy_task_is_journaled_and_reverted() {
+    /// A policy whose `place` panics — models a buggy policy plugin.
+    struct PanickingPolicy;
+    impl PlacementPolicy for PanickingPolicy {
+        fn name(&self) -> &str {
+            "panicking"
+        }
+        fn place(
+            &self,
+            _hierarchy: &StorageHierarchy,
+            file: &str,
+            _size: u64,
+        ) -> Result<Option<crate::placement::PlacementDecision>> {
+            panic!("policy exploded for {file}");
+        }
+    }
+    let pfs = MemDriver::new("pfs");
+    pfs.insert("f", vec![1u8; 512]);
+    let hierarchy = two_tier(Arc::new(MemDriver::new("ssd")), 1 << 20, Arc::new(pfs));
+    let m = MonarchBuilder::new()
+        .hierarchy(hierarchy)
+        .policy(Arc::new(PanickingPolicy))
+        .pool_threads(1)
+        .build()
+        .unwrap();
+    m.init().unwrap();
+    let mut buf = [0u8; 64];
+    m.read("f", 0, &mut buf).unwrap();
+    m.wait_placement_idle();
+    // The panic handler reported which file's copy died and reverted
+    // the metadata so a later read can retry.
+    assert_eq!(m.stats().copies_failed, 1);
+    let events = m.telemetry().journal().events();
+    let failed = events
+        .iter()
+        .find(|e| e.kind.tag() == "copy_failed")
+        .expect("copy_failed journaled");
+    assert_eq!(failed.kind.file(), "f");
+    assert!(m.events_json().contains("panicked"));
+    let info = m.metadata().get("f").unwrap();
+    assert_eq!(info.state, PlacementState::Unplaced, "copy state reverted");
+    assert_eq!(info.tier, 1, "file stays on the PFS");
+}
+
+#[test]
+fn disabled_prefetch_makes_plans_a_no_op() {
+    // The builder defaults to prefetching disabled (lookahead 0) —
+    // submitting a plan must change nothing relative to reactive mode.
+    let m = mem_monarch(1 << 20, 3, 128);
+    let plan = AccessPlan::new((0..3).map(|i| format!("f{i:03}")).collect());
+    assert_eq!(m.submit_plan(&plan), 0);
+    assert_eq!(m.cancel_prefetch_plan(), 0);
+    m.wait_placement_idle();
+    let stats = m.stats();
+    assert_eq!(stats.copies_scheduled, 0);
+    assert_eq!(stats.prefetches_scheduled, 0);
+    assert_eq!(m.telemetry().journal().events().len(), 0);
+}
+
+#[test]
+fn lru_policy_evicts_through_middleware() {
+    let pfs = MemDriver::new("pfs");
+    for i in 0..3 {
+        pfs.insert(&format!("f{i}"), vec![i as u8; 400]);
+    }
+    let hierarchy = two_tier(Arc::new(MemDriver::new("ssd")), 900, Arc::new(pfs));
+    let m = MonarchBuilder::new()
+        .hierarchy(hierarchy)
+        .policy(Arc::new(LruEvict::new()))
+        .pool_threads(1)
+        .build()
+        .unwrap();
+    m.init().unwrap();
+    let mut buf = [0u8; 16];
+    for i in 0..3 {
+        m.read(&format!("f{i}"), 0, &mut buf).unwrap();
+        m.wait_placement_idle();
+    }
+    let stats = m.stats();
+    assert!(stats.evictions >= 1, "third file must evict an earlier one");
+    // Quota never oversubscribed.
+    assert!(
+        m.hierarchy()
+            .tier(0)
+            .unwrap()
+            .quota
+            .as_ref()
+            .unwrap()
+            .used()
+            <= 900
+    );
+    // All three files still readable with correct bytes.
+    for i in 0..3 {
+        assert_eq!(m.read_full(&format!("f{i}")).unwrap(), vec![i as u8; 400]);
+    }
+}
+
+#[test]
+fn stall_buckets_sum_to_read_wall_time() {
+    // The stall profiler's four buckets partition each read's wall time
+    // along one monotonic-clock chain, so their total must track what a
+    // caller measures around `Monarch::read` — within 5%, the slack being
+    // the instrumentation outside the first/last boundary instants
+    // (shutdown check, gauge guard, the record call itself). Reads are
+    // large enough that the pread dominates those fixed costs.
+    const FILES: usize = 8;
+    const SIZE: usize = 1 << 20;
+    let m = mem_monarch(64 << 20, FILES, SIZE);
+    let mut buf = vec![0u8; SIZE];
+    let mut wall = std::time::Duration::ZERO;
+    for round in 0..3 {
+        for i in 0..FILES {
+            let t = Instant::now();
+            let n = m.read(&format!("f{i:03}"), 0, &mut buf).unwrap();
+            wall += t.elapsed();
+            assert_eq!(n, SIZE, "round {round}");
+        }
+    }
+    m.wait_placement_idle();
+    let stall = m.telemetry_snapshot().stall_profile;
+    let reads = (3 * FILES) as u64;
+    assert_eq!(
+        stall.driver_pread.count, reads,
+        "every completed read is profiled"
+    );
+    let bucket_sum = stall.lock_wait.sum_nanos
+        + stall.queue_wait.sum_nanos
+        + stall.driver_pread.sum_nanos
+        + stall.copy_wait.sum_nanos;
+    let wall = wall.as_nanos() as u64;
+    assert!(
+        bucket_sum <= wall,
+        "buckets lie inside the measured wall time (buckets {bucket_sum}ns, wall {wall}ns)"
+    );
+    assert!(
+        bucket_sum as f64 >= wall as f64 * 0.95,
+        "buckets cover >=95% of wall time (buckets {bucket_sum}ns, wall {wall}ns)"
+    );
+}
+
+#[test]
+fn reads_in_flight_gauge_is_balanced() {
+    // The open-handle gauge must return to zero across successful reads,
+    // EOF early-returns, and error paths alike (the guard decrements on
+    // every exit).
+    let m = mem_monarch(1 << 20, 2, 128);
+    let gauge = m.telemetry().gauges().gauge(
+        "monarch_reads_in_flight",
+        "Read operations currently executing inside Monarch::read.",
+        &[],
+    );
+    let mut buf = [0u8; 64];
+    m.read("f000", 0, &mut buf).unwrap();
+    assert_eq!(
+        m.read("f001", 4096, &mut buf).unwrap(),
+        0,
+        "EOF early return"
+    );
+    assert!(m.read("missing", 0, &mut buf).is_err());
+    m.wait_placement_idle();
+    assert_eq!(
+        gauge.get(),
+        0,
+        "gauge balanced after success, EOF and error"
+    );
+}

@@ -100,9 +100,14 @@ impl PlacementPolicy for FirstFit {
         size: u64,
     ) -> Result<Option<PlacementDecision>> {
         for tier in hierarchy.local_tiers() {
-            let Some(quota) = tier.quota.as_ref() else { continue };
+            let Some(quota) = tier.quota.as_ref() else {
+                continue;
+            };
             if quota.try_reserve(size) {
-                return Ok(Some(PlacementDecision { tier: tier.id, evict: Vec::new() }));
+                return Ok(Some(PlacementDecision {
+                    tier: tier.id,
+                    evict: Vec::new(),
+                }));
             }
         }
         Ok(None)
@@ -143,7 +148,10 @@ impl PlacementPolicy for RoundRobin {
             let tier = hierarchy.tier((start + i) % locals)?;
             if let Some(q) = tier.quota.as_ref() {
                 if q.try_reserve(size) {
-                    return Ok(Some(PlacementDecision { tier: tier.id, evict: Vec::new() }));
+                    return Ok(Some(PlacementDecision {
+                        tier: tier.id,
+                        evict: Vec::new(),
+                    }));
                 }
             }
         }
@@ -176,7 +184,9 @@ impl LruEvict {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            inner: Mutex::new(LruState { queue: VecDeque::new() }),
+            inner: Mutex::new(LruState {
+                queue: VecDeque::new(),
+            }),
             max_evictions_per_place: 64,
         }
     }
@@ -204,9 +214,14 @@ impl PlacementPolicy for LruEvict {
         size: u64,
     ) -> Result<Option<PlacementDecision>> {
         let tier = hierarchy.tier(0)?;
-        let Some(quota) = tier.quota.as_ref() else { return Ok(None) };
+        let Some(quota) = tier.quota.as_ref() else {
+            return Ok(None);
+        };
         if quota.try_reserve(size) {
-            return Ok(Some(PlacementDecision { tier: 0, evict: Vec::new() }));
+            return Ok(Some(PlacementDecision {
+                tier: 0,
+                evict: Vec::new(),
+            }));
         }
         if size > quota.capacity() {
             return Ok(None); // can never fit

@@ -104,7 +104,10 @@ impl Shared {
             submitted: AtomicU64::new(0),
             panicked: AtomicU64::new(0),
             join_failures: AtomicU64::new(0),
-            queues: Mutex::new(Queues { lanes: LaneQueues::new(), closed }),
+            queues: Mutex::new(Queues {
+                lanes: LaneQueues::new(),
+                closed,
+            }),
             work_cv: Condvar::new(),
             idle_mutex: Mutex::new(()),
             idle_cv: Condvar::new(),
@@ -137,6 +140,37 @@ pub struct ThreadPool {
     hists: Option<Arc<PoolHists>>,
 }
 
+/// A cloneable, read-only view of a pool's queue accounting, detached from
+/// the pool's lifetime. Gauge samplers hold one so they can report lane
+/// depth and in-flight jobs without borrowing the [`ThreadPool`] (which the
+/// transfer engine owns by value).
+#[derive(Clone)]
+pub struct PoolProbe {
+    shared: Arc<Shared>,
+}
+
+impl PoolProbe {
+    /// Number of queued (not yet started) jobs on a lane.
+    #[must_use]
+    pub fn queued(&self, lane: Lane) -> usize {
+        self.shared.queues.lock().lanes.queued(lane)
+    }
+
+    /// Tasks submitted but not yet completed (queued + running).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.shared.pending.load(Ordering::Acquire)
+    }
+}
+
+impl std::fmt::Debug for PoolProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolProbe")
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
 impl ThreadPool {
     /// Spawn a pool with `threads` workers (minimum 1).
     #[must_use]
@@ -155,7 +189,11 @@ impl ThreadPool {
     ) -> Self {
         Self::build(
             threads,
-            Some(Arc::new(PoolHists { queue_wait_demand, queue_wait_prefetch, exec })),
+            Some(Arc::new(PoolHists {
+                queue_wait_demand,
+                queue_wait_prefetch,
+                exec,
+            })),
         )
     }
 
@@ -199,7 +237,11 @@ impl ThreadPool {
                     .expect("spawn pool worker")
             })
             .collect();
-        Self { workers, shared, hists }
+        Self {
+            workers,
+            shared,
+            hists,
+        }
     }
 
     /// Install the callback invoked when a task submitted with a
@@ -213,6 +255,14 @@ impl ThreadPool {
     #[must_use]
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// A detached [`PoolProbe`] over this pool's queue accounting.
+    #[must_use]
+    pub fn probe(&self) -> PoolProbe {
+        PoolProbe {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Submit a demand-lane task. Returns `false` if the pool is shutting
@@ -273,7 +323,8 @@ impl ThreadPool {
     /// already started, finished, or never existed.
     pub fn promote(&self, label: &str) -> bool {
         let mut q = self.shared.queues.lock();
-        q.lanes.promote_where(|j| j.ctx.as_ref().is_some_and(|c| c.label == label))
+        q.lanes
+            .promote_where(|j| j.ctx.as_ref().is_some_and(|c| c.label == label))
     }
 
     /// Cancel every queued-but-unstarted prefetch-lane job, balancing
@@ -446,7 +497,11 @@ mod tests {
             c.fetch_add(1, Ordering::Relaxed);
         }));
         pool.wait_idle();
-        assert_eq!(counter.load(Ordering::Relaxed), 1, "worker survived the panic");
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            1,
+            "worker survived the panic"
+        );
         assert_eq!(pool.pending(), 0);
         assert_eq!(pool.panicked(), 1);
     }
@@ -454,7 +509,11 @@ mod tests {
     /// A pool already closed with no workers, so `submit`
     /// deterministically hits the refused-submission branch.
     fn closed_pool() -> ThreadPool {
-        ThreadPool { workers: Vec::new(), shared: Arc::new(Shared::new(true)), hists: None }
+        ThreadPool {
+            workers: Vec::new(),
+            shared: Arc::new(Shared::new(true)),
+            hists: None,
+        }
     }
 
     #[test]
@@ -500,7 +559,10 @@ mod tests {
         pool.submit(Box::new(|| panic!("anonymous")));
         // A context-carrying panic reports which file's copy died.
         pool.submit_with(
-            Some(TaskCtx { label: "train-00042.tfrecord".into(), flow: 7 }),
+            Some(TaskCtx {
+                label: "train-00042.tfrecord".into(),
+                flow: 7,
+            }),
             Box::new(|| panic!("copy died")),
         );
         pool.wait_idle();
@@ -508,7 +570,10 @@ mod tests {
         let seen = seen.lock();
         assert_eq!(
             *seen,
-            vec![TaskCtx { label: "train-00042.tfrecord".into(), flow: 7 }]
+            vec![TaskCtx {
+                label: "train-00042.tfrecord".into(),
+                flow: 7
+            }]
         );
     }
 
@@ -536,7 +601,11 @@ mod tests {
         assert_eq!(queue_wait_prefetch.count(), 3, "prefetch lane histogram");
         assert_eq!(exec.count(), 13);
         // Execution spans include the 200µs sleep.
-        assert!(exec.quantile(0.5) >= 200_000, "p50 exec = {}", exec.quantile(0.5));
+        assert!(
+            exec.quantile(0.5) >= 200_000,
+            "p50 exec = {}",
+            exec.quantile(0.5)
+        );
     }
 
     /// Pin the single worker inside a gate task so queued jobs pile up
@@ -582,7 +651,12 @@ mod tests {
     fn promote_moves_queued_prefetch_into_demand_lane() {
         let (pool, gate) = gated_pool();
         let order = Arc::new(Mutex::new(Vec::new()));
-        let ctx = |label: &str| Some(TaskCtx { label: label.into(), flow: 0 });
+        let ctx = |label: &str| {
+            Some(TaskCtx {
+                label: label.into(),
+                flow: 0,
+            })
+        };
         pool.submit_on(Lane::Prefetch, ctx("a"), push(&order, "a"));
         pool.submit_on(Lane::Prefetch, ctx("b"), push(&order, "b"));
         pool.submit(push(&order, "demand"));
@@ -603,7 +677,12 @@ mod tests {
     fn drain_prefetch_cancels_queued_jobs_and_stays_balanced() {
         let (pool, gate) = gated_pool();
         let order = Arc::new(Mutex::new(Vec::new()));
-        let ctx = |label: &str| Some(TaskCtx { label: label.into(), flow: 3 });
+        let ctx = |label: &str| {
+            Some(TaskCtx {
+                label: label.into(),
+                flow: 3,
+            })
+        };
         pool.submit_on(Lane::Prefetch, ctx("a"), push(&order, "a"));
         pool.submit_on(Lane::Prefetch, ctx("b"), push(&order, "b"));
         pool.submit(push(&order, "demand"));
@@ -616,7 +695,29 @@ mod tests {
         gate.wait();
         pool.wait_idle();
         assert_eq!(*order.lock(), vec!["demand"], "canceled closures never ran");
-        assert_eq!(pool.pending(), 0, "drained jobs balanced their pending bumps");
+        assert_eq!(
+            pool.pending(),
+            0,
+            "drained jobs balanced their pending bumps"
+        );
+    }
+
+    #[test]
+    fn probe_tracks_queue_depth_independently_of_pool() {
+        let (pool, gate) = gated_pool();
+        let probe = pool.probe();
+        pool.submit_on(Lane::Prefetch, None, Box::new(|| {}));
+        pool.submit(Box::new(|| {}));
+        assert_eq!(probe.queued(Lane::Prefetch), 1);
+        assert_eq!(probe.queued(Lane::Demand), 1);
+        // gate task (running) + two queued jobs.
+        assert_eq!(probe.pending(), 3);
+        gate.wait();
+        pool.wait_idle();
+        assert_eq!(probe.pending(), 0);
+        // The clone keeps working after the pool shuts down.
+        drop(pool);
+        assert_eq!(probe.queued(Lane::Demand), 0);
     }
 
     #[test]
@@ -631,6 +732,9 @@ mod tests {
         pool.workers.push(doomed);
         pool.shutdown();
         assert_eq!(pool.join_failures(), 1);
-        assert!(!pool.submit(Box::new(|| {})), "pool is closed after shutdown");
+        assert!(
+            !pool.submit(Box::new(|| {})),
+            "pool is closed after shutdown"
+        );
     }
 }

@@ -92,7 +92,10 @@ impl PrefetchConfig {
     /// Disabled: plans are accepted but never issue a copy.
     #[must_use]
     pub fn disabled() -> Self {
-        Self { lookahead: 0, max_inflight_bytes: 0 }
+        Self {
+            lookahead: 0,
+            max_inflight_bytes: 0,
+        }
     }
 
     /// True when prefetching is active.
@@ -247,7 +250,13 @@ impl PrefetchWindow {
     /// the window is closed (plan exhausted, lookahead reached, or byte
     /// budget spent). Each entry is returned at most once, ever.
     pub fn next_to_issue(&mut self) -> Option<(usize, String, u64)> {
-        if self.next >= self.entries.len() || self.next >= self.cursor + self.lookahead {
+        // `lookahead == 0` is the disabled configuration: it must never
+        // issue, even after foreground reads drag the cursor past
+        // unissued entries (where `next < cursor + 0` would hold).
+        if self.lookahead == 0
+            || self.next >= self.entries.len()
+            || self.next >= self.cursor + self.lookahead
+        {
             return None;
         }
         let size = self.entries[self.next].size;
@@ -278,7 +287,9 @@ impl PrefetchWindow {
     /// Mark an issued entry terminal (copy completed, skipped, failed, or
     /// canceled), releasing its share of the byte budget. Idempotent.
     pub fn resolve(&mut self, index: usize) {
-        let Some(e) = self.entries.get_mut(index) else { return };
+        let Some(e) = self.entries.get_mut(index) else {
+            return;
+        };
         if !e.issued || e.resolved {
             return;
         }
@@ -322,7 +333,10 @@ impl PrefetchWindow {
         self.inflight_bytes = 0;
         self.next = self.entries.len();
         self.cursor = self.entries.len();
-        self.entries.iter().map(|e| (e.name.clone(), e.issued, e.read_seen)).collect()
+        self.entries
+            .iter()
+            .map(|e| (e.name.clone(), e.issued, e.read_seen))
+            .collect()
     }
 }
 
@@ -335,7 +349,10 @@ mod tests {
     }
 
     fn cfg(lookahead: usize, max_bytes: u64) -> PrefetchConfig {
-        PrefetchConfig { lookahead, max_inflight_bytes: max_bytes }
+        PrefetchConfig {
+            lookahead,
+            max_inflight_bytes: max_bytes,
+        }
     }
 
     #[test]
@@ -345,7 +362,11 @@ mod tests {
         while let Some((i, _, _)) = w.next_to_issue() {
             issued.push(i);
         }
-        assert_eq!(issued, vec![0, 1, 2], "cursor 0 + lookahead 3 bounds the burst");
+        assert_eq!(
+            issued,
+            vec![0, 1, 2],
+            "cursor 0 + lookahead 3 bounds the burst"
+        );
 
         // Reading f000 moves the cursor to 1 and releases exactly one more.
         assert!(w.on_read("f000").unwrap().first_read);
@@ -358,7 +379,11 @@ mod tests {
         let mut w = PrefetchWindow::new(plan(10, 100), cfg(10, 250));
         assert!(w.next_to_issue().is_some());
         assert!(w.next_to_issue().is_some());
-        assert_eq!(w.next_to_issue(), None, "third 100-byte copy would exceed 250");
+        assert_eq!(
+            w.next_to_issue(),
+            None,
+            "third 100-byte copy would exceed 250"
+        );
         assert_eq!(w.inflight_bytes(), 200);
 
         w.resolve(0);
@@ -369,7 +394,10 @@ mod tests {
     #[test]
     fn oversized_file_still_issues_when_alone() {
         let mut w = PrefetchWindow::new(plan(2, 1000), cfg(2, 64));
-        assert!(w.next_to_issue().is_some(), "one in-flight copy is always allowed");
+        assert!(
+            w.next_to_issue().is_some(),
+            "one in-flight copy is always allowed"
+        );
         assert_eq!(w.next_to_issue(), None);
         w.resolve(0);
         assert!(w.next_to_issue().is_some());
@@ -380,8 +408,8 @@ mod tests {
         let files = vec![("a".into(), 1), ("b".into(), 1), ("a".into(), 1)];
         let mut w = PrefetchWindow::new(files, cfg(10, 0));
         assert_eq!(w.len(), 2, "duplicate keeps first occurrence");
-        let names: Vec<String> = std::iter::from_fn(|| w.next_to_issue().map(|(_, n, _)| n))
-            .collect();
+        let names: Vec<String> =
+            std::iter::from_fn(|| w.next_to_issue().map(|(_, n, _)| n)).collect();
         assert_eq!(names, vec!["a", "b"]);
         w.on_read("a");
         w.on_read("b");

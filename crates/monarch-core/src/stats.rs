@@ -36,6 +36,7 @@ pub struct Stats {
     prefetch_promoted: AtomicU64,
     prefetch_canceled: AtomicU64,
     pool_join_failures: AtomicU64,
+    copies_deadline_expired: AtomicU64,
 }
 
 impl Stats {
@@ -56,6 +57,7 @@ impl Stats {
             prefetch_promoted: AtomicU64::new(0),
             prefetch_canceled: AtomicU64::new(0),
             pool_join_failures: AtomicU64::new(0),
+            copies_deadline_expired: AtomicU64::new(0),
         }
     }
 
@@ -148,6 +150,12 @@ impl Stats {
         self.pool_join_failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A queued copy's deadline expired before a worker picked it up (also
+    /// counted in `copies_failed` — the copy never ran).
+    pub fn copy_deadline_expired(&self) {
+        self.copies_deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Immutable snapshot for reporting.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -175,6 +183,7 @@ impl Stats {
             prefetch_promoted: self.prefetch_promoted.load(Ordering::Relaxed),
             prefetch_canceled: self.prefetch_canceled.load(Ordering::Relaxed),
             pool_join_failures: self.pool_join_failures.load(Ordering::Relaxed),
+            copies_deadline_expired: self.copies_deadline_expired.load(Ordering::Relaxed),
         }
     }
 }
@@ -233,6 +242,10 @@ pub struct StatsSnapshot {
     /// Copy-pool workers that could not be joined at shutdown.
     #[serde(default)]
     pub pool_join_failures: u64,
+    /// Queued copies dropped because their deadline expired before a
+    /// worker started them (subset of `copies_failed`).
+    #[serde(default)]
+    pub copies_deadline_expired: u64,
 }
 
 impl StatsSnapshot {
@@ -257,6 +270,18 @@ impl StatsSnapshot {
             0.0
         } else {
             local as f64 / total as f64
+        }
+    }
+
+    /// Fraction of issued prefetch copies that were never read before
+    /// their plan ended. Guarded: 0 (not NaN) before the first prefetch is
+    /// scheduled, so a scrape of a fresh instance serializes cleanly.
+    #[must_use]
+    pub fn wasted_prefetch_ratio(&self) -> f64 {
+        if self.prefetches_scheduled == 0 {
+            0.0
+        } else {
+            self.prefetch_wasted as f64 / self.prefetches_scheduled as f64
         }
     }
 }
@@ -342,6 +367,31 @@ mod tests {
         assert_eq!(snap.prefetch_promoted, 1);
         assert_eq!(snap.prefetch_canceled, 1);
         assert_eq!(snap.pool_join_failures, 1);
+    }
+
+    #[test]
+    fn ratios_are_guarded_against_empty_windows() {
+        // A scrape before the first read/prefetch must report 0, not NaN —
+        // NaN is not valid JSON and poisons downstream aggregation.
+        let empty = Stats::new(2).snapshot();
+        assert_eq!(empty.local_hit_ratio(), 0.0);
+        assert_eq!(empty.wasted_prefetch_ratio(), 0.0);
+        let s = Stats::new(2);
+        s.prefetch_scheduled();
+        s.prefetch_scheduled();
+        s.prefetch_scheduled();
+        s.prefetch_wasted();
+        assert!((s.snapshot().wasted_prefetch_ratio() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadline_expired_counter_accumulates() {
+        let s = Stats::new(2);
+        s.copy_deadline_expired();
+        s.copy_failed();
+        let snap = s.snapshot();
+        assert_eq!(snap.copies_deadline_expired, 1);
+        assert_eq!(snap.copies_failed, 1);
     }
 
     #[test]

@@ -19,7 +19,13 @@
 //!   ([`TelemetryRegistry::prometheus_text`]);
 //! - [`TimeSeries`] / [`ThroughputSampler`] — the shared time-series
 //!   schema used by both the simulator's PFS throughput trace and the
-//!   real trainer.
+//!   real trainer;
+//! - [`GaugeRegistry`] — labeled, interned atomic gauges (per-tier
+//!   occupancy/capacity, lane queue depth, in-flight copies) refreshed by
+//!   samplers and exported through the same snapshot/exposition paths;
+//! - [`StallProfile`] — the read-path stall profiler: four histograms
+//!   decomposing each sampled read's wall time into lock-wait /
+//!   queue-wait / driver-pread / copy-wait buckets.
 //!
 //! Recording is cheap by construction: histogram recording is a handful of
 //! relaxed atomic adds, the journal is an `O(1)` ring append behind a short
@@ -152,12 +158,7 @@ impl LatencyHistogram {
     /// Mean recorded value (0 when empty).
     #[must_use]
     pub fn mean(&self) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            0
-        } else {
-            self.sum() / n
-        }
+        self.sum().checked_div(self.count()).unwrap_or(0)
     }
 
     /// Estimate of the `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
@@ -165,8 +166,11 @@ impl LatencyHistogram {
     /// Within one bucket of the exact order statistic.
     #[must_use]
     pub fn quantile(&self, q: f64) -> u64 {
-        let counts: Vec<u64> =
-            self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
         let total: u64 = counts.iter().sum();
         if total == 0 {
             return 0;
@@ -465,24 +469,36 @@ impl Event {
         o.push_str("\",\"file\":");
         push_json_str(&mut o, self.kind.file());
         match &self.kind {
-            EventKind::CopyScheduled { bytes, .. }
-            | EventKind::PrefetchScheduled { bytes, .. } => {
+            EventKind::CopyScheduled { bytes, .. } | EventKind::PrefetchScheduled { bytes, .. } => {
                 o.push_str(&format!(",\"bytes\":{bytes}"));
             }
             EventKind::CopyStarted { .. }
             | EventKind::PrefetchPromoted { .. }
             | EventKind::PrefetchCanceled { .. }
             | EventKind::WorkerJoinFailed { .. } => {}
-            EventKind::CopyCompleted { tier, bytes, micros, .. } => {
-                o.push_str(&format!(",\"tier\":{tier},\"bytes\":{bytes},\"micros\":{micros}"));
+            EventKind::CopyCompleted {
+                tier,
+                bytes,
+                micros,
+                ..
+            } => {
+                o.push_str(&format!(
+                    ",\"tier\":{tier},\"bytes\":{bytes},\"micros\":{micros}"
+                ));
             }
-            EventKind::CopyFailed { reason, .. }
-            | EventKind::PlacementSkipped { reason, .. } => {
+            EventKind::CopyFailed { reason, .. } | EventKind::PlacementSkipped { reason, .. } => {
                 o.push_str(",\"reason\":");
                 push_json_str(&mut o, reason);
             }
-            EventKind::PlacementDecided { tier, used, capacity, .. } => {
-                o.push_str(&format!(",\"tier\":{tier},\"used\":{used},\"capacity\":{capacity}"));
+            EventKind::PlacementDecided {
+                tier,
+                used,
+                capacity,
+                ..
+            } => {
+                o.push_str(&format!(
+                    ",\"tier\":{tier},\"used\":{used},\"capacity\":{capacity}"
+                ));
             }
             EventKind::Evicted { tier, bytes, .. } => {
                 o.push_str(&format!(",\"tier\":{tier},\"bytes\":{bytes}"));
@@ -587,7 +603,12 @@ impl EventJournal {
     /// Copy out the buffered events, oldest first (non-destructive).
     #[must_use]
     pub fn events(&self) -> Vec<Event> {
-        self.buf.lock().expect("journal lock").iter().cloned().collect()
+        self.buf
+            .lock()
+            .expect("journal lock")
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// Remove and return the buffered events, oldest first.
@@ -706,7 +727,12 @@ impl ThroughputSampler {
     /// Sample every `interval` seconds.
     #[must_use]
     pub fn new(interval: f64) -> Self {
-        Self { interval: interval.max(f64::MIN_POSITIVE), last_t: 0.0, last_v: 0, series: TimeSeries::new() }
+        Self {
+            interval: interval.max(f64::MIN_POSITIVE),
+            last_t: 0.0,
+            last_v: 0,
+            series: TimeSeries::new(),
+        }
     }
 
     /// Observe the cumulative counter at time `t_secs`; emits a sample when
@@ -743,6 +769,367 @@ impl ThroughputSampler {
 }
 
 // ---------------------------------------------------------------------------
+// Gauges
+// ---------------------------------------------------------------------------
+
+/// Escape a Prometheus label value: `\`, `"` and newline must be
+/// backslash-escaped per the text exposition format. Returns the input
+/// unchanged (borrowed) when no escaping is needed — the common case for
+/// tier and lane names.
+fn escape_label_value(v: &str) -> std::borrow::Cow<'_, str> {
+    if !v.contains(['\\', '"', '\n']) {
+        return std::borrow::Cow::Borrowed(v);
+    }
+    let mut out = String::with_capacity(v.len() + 4);
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    std::borrow::Cow::Owned(out)
+}
+
+/// A single atomic gauge cell: an *instantaneous* value (tier occupancy
+/// bytes, queue depth, reads in flight) that samplers overwrite or adjust,
+/// unlike the monotone counters in [`Stats`].
+///
+/// The cell stores an `f64` bit pattern in one atomic word so integer and
+/// floating-point quantities share a type; the integer helpers are exact up
+/// to 2^53, far beyond any byte or queue count the middleware tracks.
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    /// A gauge holding 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Overwrite with an integer value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.set_f64(v as f64);
+    }
+
+    /// Overwrite with a floating-point value.
+    #[inline]
+    pub fn set_f64(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) integer delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.add_f64(delta as f64);
+    }
+
+    /// Add a (possibly negative) floating-point delta.
+    pub fn add_f64(&self, delta: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value, rounded to the nearest integer.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.get_f64() as i64
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get_f64(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.get_f64()).finish()
+    }
+}
+
+/// Ordered `(key, value)` label pairs identifying one cell in a family.
+type LabelSet = Vec<(String, String)>;
+
+/// One gauge family: a metric name, its help text, and the labeled cells
+/// registered under it (insertion-ordered for stable exposition output).
+struct GaugeFamily {
+    name: String,
+    help: String,
+    members: Vec<(LabelSet, Arc<Gauge>)>,
+}
+
+/// An interning registry of labeled gauge families.
+///
+/// [`GaugeRegistry::gauge`] returns the *same* [`Gauge`] cell for repeated
+/// calls with the same name and labels, so producers (the engine's sampler,
+/// the middleware's read path, the simulator) can resolve their cells once
+/// and update them with plain atomic stores. Families and cells render in
+/// registration order, which keeps the Prometheus text stable across
+/// scrapes.
+#[derive(Default)]
+pub struct GaugeRegistry {
+    families: Mutex<Vec<GaugeFamily>>,
+}
+
+impl GaugeRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the cell `name{labels}`, registering the family (with
+    /// `help`) on first use. Label order is significant and preserved.
+    #[must_use]
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let mut families = self.families.lock().expect("gauge registry lock");
+        let fam = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => f,
+            None => {
+                families.push(GaugeFamily {
+                    name: name.to_owned(),
+                    help: help.to_owned(),
+                    members: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some((_, g)) = fam.members.iter().find(|(ls, _)| {
+            ls.len() == labels.len()
+                && ls
+                    .iter()
+                    .zip(labels.iter())
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+        }) {
+            return Arc::clone(g);
+        }
+        let cell = Arc::new(Gauge::new());
+        let ls: LabelSet = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        fam.members.push((ls, Arc::clone(&cell)));
+        cell
+    }
+
+    /// Number of distinct cells across all families.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.families
+            .lock()
+            .expect("gauge registry lock")
+            .iter()
+            .map(|f| f.members.len())
+            .sum()
+    }
+
+    /// True when no cell has been registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current value of every cell, for the JSON snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<GaugeSnapshot> {
+        let families = self.families.lock().expect("gauge registry lock");
+        families
+            .iter()
+            .flat_map(|f| {
+                f.members.iter().map(|(ls, g)| GaugeSnapshot {
+                    name: f.name.clone(),
+                    labels: ls.clone(),
+                    value: g.get_f64(),
+                })
+            })
+            .collect()
+    }
+
+    /// Append the Prometheus text exposition of every family to `out`.
+    pub(crate) fn render_into(&self, out: &mut String) {
+        let families = self.families.lock().expect("gauge registry lock");
+        for fam in families.iter() {
+            out.push_str(&format!(
+                "# HELP {} {}\n# TYPE {} gauge\n",
+                fam.name, fam.help, fam.name
+            ));
+            for (labels, g) in &fam.members {
+                if labels.is_empty() {
+                    out.push_str(&format!("{} {}\n", fam.name, g.get_f64()));
+                } else {
+                    let rendered: Vec<String> = labels
+                        .iter()
+                        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+                        .collect();
+                    out.push_str(&format!(
+                        "{}{{{}}} {}\n",
+                        fam.name,
+                        rendered.join(","),
+                        g.get_f64()
+                    ));
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for GaugeRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GaugeRegistry")
+            .field("cells", &self.len())
+            .finish()
+    }
+}
+
+/// One gauge cell in a [`TelemetrySnapshot`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Family name, e.g. `monarch_tier_occupancy_bytes`.
+    pub name: String,
+    /// Ordered `(key, value)` label pairs (empty for unlabeled gauges).
+    #[serde(default)]
+    pub labels: Vec<(String, String)>,
+    /// Value at snapshot time.
+    pub value: f64,
+}
+
+///// RAII guard pairing a [`Gauge::inc`] with a [`Gauge::dec`] on drop — used
+/// for "in flight" gauges that must stay balanced across early returns.
+#[derive(Debug)]
+pub struct GaugeGuard {
+    gauge: Arc<Gauge>,
+}
+
+impl GaugeGuard {
+    /// Increment `gauge` now; the matching decrement runs on drop.
+    #[must_use]
+    pub fn enter(gauge: &Arc<Gauge>) -> Self {
+        gauge.inc();
+        Self {
+            gauge: Arc::clone(gauge),
+        }
+    }
+}
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.gauge.dec();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Read-path stall profiler
+// ---------------------------------------------------------------------------
+
+/// Read-path stall decomposition: four histograms partitioning each sampled
+/// read's wall time into consecutive phases.
+///
+/// - `lock_wait` — entry to metadata-lookup completion (shard lock plus
+///   namespace lookup);
+/// - `queue_wait` — access bookkeeping until the serving tier is resolved
+///   (the engine's window/cursor critical sections);
+/// - `driver_pread` — the backend `read_at` itself;
+/// - `copy_wait` — post-read copy machinery (demand hand-off, prefetch
+///   cursor advance, span recording).
+///
+/// The four buckets are measured from one monotonic-clock chain, so their
+/// sum equals the read's wall time up to clock-read cost — the invariant
+/// the e2e test checks.
+#[derive(Debug, Default)]
+pub struct StallProfile {
+    /// Lock/lookup phase durations.
+    pub lock_wait: LatencyHistogram,
+    /// Pre-pread bookkeeping durations.
+    pub queue_wait: LatencyHistogram,
+    /// Backend pread durations.
+    pub driver_pread: LatencyHistogram,
+    /// Post-pread copy-machinery durations.
+    pub copy_wait: LatencyHistogram,
+}
+
+impl StallProfile {
+    /// Record one sampled read from its phase boundary instants. Diffs are
+    /// saturating, so an out-of-order pair records 0 instead of panicking.
+    pub fn record(
+        &self,
+        t0: Instant,
+        lookup: Instant,
+        resolve: Instant,
+        pread: Instant,
+        end: Instant,
+    ) {
+        self.lock_wait
+            .record_duration(lookup.saturating_duration_since(t0));
+        self.queue_wait
+            .record_duration(resolve.saturating_duration_since(lookup));
+        self.driver_pread
+            .record_duration(pread.saturating_duration_since(resolve));
+        self.copy_wait
+            .record_duration(end.saturating_duration_since(pread));
+    }
+
+    /// Immutable summary of all four buckets.
+    #[must_use]
+    pub fn snapshot(&self) -> StallProfileSnapshot {
+        StallProfileSnapshot {
+            lock_wait: self.lock_wait.snapshot(),
+            queue_wait: self.queue_wait.snapshot(),
+            driver_pread: self.driver_pread.snapshot(),
+            copy_wait: self.copy_wait.snapshot(),
+        }
+    }
+}
+
+/// Serializable summary of a [`StallProfile`] — the `stall_profile` section
+/// of the JSON snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallProfileSnapshot {
+    /// Lock/lookup phase summary.
+    pub lock_wait: HistogramSnapshot,
+    /// Pre-pread bookkeeping summary.
+    pub queue_wait: HistogramSnapshot,
+    /// Backend pread summary.
+    pub driver_pread: HistogramSnapshot,
+    /// Post-pread copy-machinery summary.
+    pub copy_wait: HistogramSnapshot,
+}
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 
@@ -762,6 +1149,8 @@ pub struct TelemetryRegistry {
     queue_wait: Arc<LatencyHistogram>,
     queue_wait_prefetch: Arc<LatencyHistogram>,
     pool_exec: Arc<LatencyHistogram>,
+    stall: StallProfile,
+    gauges: GaugeRegistry,
     journal: EventJournal,
     trace: Arc<crate::trace::TraceRecorder>,
     origin: Instant,
@@ -781,15 +1170,25 @@ impl TelemetryRegistry {
             tier_names,
             enabled: cfg.enabled,
             stats,
-            read_latency: (0..levels).map(|_| Arc::new(LatencyHistogram::new())).collect(),
-            write_latency: (0..levels).map(|_| Arc::new(LatencyHistogram::new())).collect(),
+            read_latency: (0..levels)
+                .map(|_| Arc::new(LatencyHistogram::new()))
+                .collect(),
+            write_latency: (0..levels)
+                .map(|_| Arc::new(LatencyHistogram::new()))
+                .collect(),
             copy_duration: Arc::new(LatencyHistogram::new()),
             queue_wait: Arc::new(LatencyHistogram::new()),
             queue_wait_prefetch: Arc::new(LatencyHistogram::new()),
             pool_exec: Arc::new(LatencyHistogram::new()),
+            stall: StallProfile::default(),
+            gauges: GaugeRegistry::new(),
             journal: EventJournal::new(cfg.journal_capacity, cfg.enabled && cfg.journal),
             trace: Arc::new(crate::trace::TraceRecorder::new(
-                if cfg.enabled { cfg.trace_sample_every_n } else { 0 },
+                if cfg.enabled {
+                    cfg.trace_sample_every_n
+                } else {
+                    0
+                },
                 cfg.trace_capacity,
             )),
             origin: Instant::now(),
@@ -858,6 +1257,18 @@ impl TelemetryRegistry {
         &self.pool_exec
     }
 
+    /// The read-path stall profiler (four phase histograms).
+    #[must_use]
+    pub fn stall_profile(&self) -> &StallProfile {
+        &self.stall
+    }
+
+    /// The gauge registry: instantaneous values refreshed by samplers.
+    #[must_use]
+    pub fn gauges(&self) -> &GaugeRegistry {
+        &self.gauges
+    }
+
     /// The event journal.
     #[must_use]
     pub fn journal(&self) -> &EventJournal {
@@ -895,6 +1306,8 @@ impl TelemetryRegistry {
             queue_wait: self.queue_wait.snapshot(),
             queue_wait_prefetch: self.queue_wait_prefetch.snapshot(),
             pool_exec: self.pool_exec.snapshot(),
+            stall_profile: self.stall.snapshot(),
+            gauges: self.gauges.snapshot(),
             events_recorded: self.journal.recorded(),
             events_dropped: self.journal.dropped(),
             spans_recorded: self.trace.spans_recorded(),
@@ -929,16 +1342,19 @@ impl TelemetryRegistry {
         let snap = self.stats.snapshot();
         let mut o = String::with_capacity(4096);
 
-        let tier_counter =
-            |o: &mut String, name: &str, help: &str, get: &dyn Fn(usize) -> u64| {
-                o.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
-                for (i, tname) in self.tier_names.iter().enumerate() {
-                    o.push_str(&format!("{name}{{tier=\"{tname}\"}} {}\n", get(i)));
-                }
-            };
-        tier_counter(&mut o, "monarch_tier_reads_total", "Read operations served per tier.", &|i| {
-            snap.tiers[i].reads
-        });
+        let tier_counter = |o: &mut String, name: &str, help: &str, get: &dyn Fn(usize) -> u64| {
+            o.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+            for (i, tname) in self.tier_names.iter().enumerate() {
+                let tname = escape_label_value(tname);
+                o.push_str(&format!("{name}{{tier=\"{tname}\"}} {}\n", get(i)));
+            }
+        };
+        tier_counter(
+            &mut o,
+            "monarch_tier_reads_total",
+            "Read operations served per tier.",
+            &|i| snap.tiers[i].reads,
+        );
         tier_counter(
             &mut o,
             "monarch_tier_read_bytes_total",
@@ -965,24 +1381,112 @@ impl TelemetryRegistry {
         );
 
         let scalar = |o: &mut String, name: &str, help: &str, v: u64| {
-            o.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"));
+            o.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+            ));
         };
-        scalar(&mut o, "monarch_copies_scheduled_total", "Background copies scheduled.", snap.copies_scheduled);
-        scalar(&mut o, "monarch_copies_completed_total", "Background copies completed.", snap.copies_completed);
-        scalar(&mut o, "monarch_copies_failed_total", "Background copies failed.", snap.copies_failed);
-        scalar(&mut o, "monarch_placement_skipped_total", "Placements skipped (no local tier had room).", snap.placement_skipped);
-        scalar(&mut o, "monarch_evictions_total", "Files evicted from local tiers.", snap.evictions);
-        scalar(&mut o, "monarch_removes_total", "Files removed for any reason.", snap.removes);
-        scalar(&mut o, "monarch_prefetches_scheduled_total", "Prefetch copies issued from access plans.", snap.prefetches_scheduled);
-        scalar(&mut o, "monarch_prefetch_hits_total", "First reads served locally thanks to a prefetch copy.", snap.prefetch_hits);
-        scalar(&mut o, "monarch_prefetch_wasted_total", "Prefetched files never read before their plan ended.", snap.prefetch_wasted);
-        scalar(&mut o, "monarch_prefetch_promoted_total", "Queued prefetch copies promoted to the demand lane.", snap.prefetch_promoted);
-        scalar(&mut o, "monarch_prefetch_canceled_total", "Queued prefetch copies canceled before running.", snap.prefetch_canceled);
-        scalar(&mut o, "monarch_pool_join_failures_total", "Copy-pool workers that could not be joined at shutdown.", snap.pool_join_failures);
-        scalar(&mut o, "monarch_journal_events_total", "Telemetry events recorded.", self.journal.recorded());
-        scalar(&mut o, "monarch_journal_dropped_total", "Telemetry events overwritten by the ring bound.", self.journal.dropped());
-        scalar(&mut o, "monarch_trace_spans_total", "Trace spans recorded.", self.trace.spans_recorded());
-        scalar(&mut o, "monarch_trace_spans_dropped_total", "Trace spans dropped by the span-ring bound.", self.trace.spans_dropped());
+        scalar(
+            &mut o,
+            "monarch_copies_scheduled_total",
+            "Background copies scheduled.",
+            snap.copies_scheduled,
+        );
+        scalar(
+            &mut o,
+            "monarch_copies_completed_total",
+            "Background copies completed.",
+            snap.copies_completed,
+        );
+        scalar(
+            &mut o,
+            "monarch_copies_failed_total",
+            "Background copies failed.",
+            snap.copies_failed,
+        );
+        scalar(
+            &mut o,
+            "monarch_placement_skipped_total",
+            "Placements skipped (no local tier had room).",
+            snap.placement_skipped,
+        );
+        scalar(
+            &mut o,
+            "monarch_evictions_total",
+            "Files evicted from local tiers.",
+            snap.evictions,
+        );
+        scalar(
+            &mut o,
+            "monarch_removes_total",
+            "Files removed for any reason.",
+            snap.removes,
+        );
+        scalar(
+            &mut o,
+            "monarch_prefetches_scheduled_total",
+            "Prefetch copies issued from access plans.",
+            snap.prefetches_scheduled,
+        );
+        scalar(
+            &mut o,
+            "monarch_prefetch_hits_total",
+            "First reads served locally thanks to a prefetch copy.",
+            snap.prefetch_hits,
+        );
+        scalar(
+            &mut o,
+            "monarch_prefetch_wasted_total",
+            "Prefetched files never read before their plan ended.",
+            snap.prefetch_wasted,
+        );
+        scalar(
+            &mut o,
+            "monarch_prefetch_promoted_total",
+            "Queued prefetch copies promoted to the demand lane.",
+            snap.prefetch_promoted,
+        );
+        scalar(
+            &mut o,
+            "monarch_prefetch_canceled_total",
+            "Queued prefetch copies canceled before running.",
+            snap.prefetch_canceled,
+        );
+        scalar(
+            &mut o,
+            "monarch_pool_join_failures_total",
+            "Copy-pool workers that could not be joined at shutdown.",
+            snap.pool_join_failures,
+        );
+        scalar(
+            &mut o,
+            "monarch_copies_deadline_expired_total",
+            "Queued copies dropped because their deadline expired before a worker started them.",
+            snap.copies_deadline_expired,
+        );
+        scalar(
+            &mut o,
+            "monarch_journal_events_total",
+            "Telemetry events recorded.",
+            self.journal.recorded(),
+        );
+        scalar(
+            &mut o,
+            "monarch_journal_dropped_total",
+            "Telemetry events overwritten by the ring bound.",
+            self.journal.dropped(),
+        );
+        scalar(
+            &mut o,
+            "monarch_trace_spans_total",
+            "Trace spans recorded.",
+            self.trace.spans_recorded(),
+        );
+        scalar(
+            &mut o,
+            "monarch_trace_spans_dropped_total",
+            "Trace spans dropped by the span-ring bound.",
+            self.trace.spans_dropped(),
+        );
 
         // Cumulative histogram exposition so PromQL `histogram_quantile()`
         // works. The `le` ladder is in seconds; `count_le` quantizes to
@@ -1001,15 +1505,19 @@ impl TelemetryRegistry {
         let secs = |nanos: u64| nanos as f64 / 1e9;
         let buckets = |o: &mut String, name: &str, tier: Option<&str>, h: &LatencyHistogram| {
             let label = |le: &str| match tier {
-                Some(t) => format!("{{tier=\"{t}\",le=\"{le}\"}}"),
+                Some(t) => format!("{{tier=\"{}\",le=\"{le}\"}}", escape_label_value(t)),
                 None => format!("{{le=\"{le}\"}}"),
             };
             for (le, bound) in le_ladder {
-                o.push_str(&format!("{name}_bucket{} {}\n", label(le), h.count_le(bound)));
+                o.push_str(&format!(
+                    "{name}_bucket{} {}\n",
+                    label(le),
+                    h.count_le(bound)
+                ));
             }
             o.push_str(&format!("{name}_bucket{} {}\n", label("+Inf"), h.count()));
             let plain = |suffix: &str| match tier {
-                Some(t) => format!("{name}_{suffix}{{tier=\"{t}\"}}"),
+                Some(t) => format!("{name}_{suffix}{{tier=\"{}\"}}", escape_label_value(t)),
                 None => format!("{name}_{suffix}"),
             };
             o.push_str(&format!("{} {}\n", plain("sum"), secs(h.sum())));
@@ -1063,6 +1571,31 @@ impl TelemetryRegistry {
             "Copy-pool task execution time.",
             &self.pool_exec,
         );
+        plain_histogram(
+            &mut o,
+            "monarch_read_stall_lock_wait_seconds",
+            "Sampled-read stall: metadata lock/lookup phase.",
+            &self.stall.lock_wait,
+        );
+        plain_histogram(
+            &mut o,
+            "monarch_read_stall_queue_wait_seconds",
+            "Sampled-read stall: pre-pread bookkeeping phase.",
+            &self.stall.queue_wait,
+        );
+        plain_histogram(
+            &mut o,
+            "monarch_read_stall_driver_pread_seconds",
+            "Sampled-read stall: backend pread phase.",
+            &self.stall.driver_pread,
+        );
+        plain_histogram(
+            &mut o,
+            "monarch_read_stall_copy_wait_seconds",
+            "Sampled-read stall: post-pread copy-machinery phase.",
+            &self.stall.copy_wait,
+        );
+        self.gauges.render_into(&mut o);
         o
     }
 }
@@ -1079,7 +1612,7 @@ impl std::fmt::Debug for TelemetryRegistry {
 
 /// Serializable snapshot of the whole registry — attached to bench results
 /// JSON and rendered by `monarch metrics --format json`.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TelemetrySnapshot {
     /// Ordered tier names (PFS last).
     pub tier_names: Vec<String>,
@@ -1098,6 +1631,13 @@ pub struct TelemetrySnapshot {
     pub queue_wait_prefetch: HistogramSnapshot,
     /// Pool execution-time summary.
     pub pool_exec: HistogramSnapshot,
+    /// Read-path stall decomposition (empty until a read is sampled).
+    #[serde(default)]
+    pub stall_profile: StallProfileSnapshot,
+    /// Instantaneous gauge values at snapshot time (refreshed by the
+    /// caller's sampler; empty when no sampler has run).
+    #[serde(default)]
+    pub gauges: Vec<GaugeSnapshot>,
     /// Journal events recorded over the lifetime.
     pub events_recorded: u64,
     /// Journal events overwritten by the ring bound.
@@ -1146,9 +1686,15 @@ mod tests {
         assert_eq!(h.max(), 1000);
         // Within one log-linear bucket (≤ 1/16 relative) of exact.
         let p50 = h.quantile(0.5) as f64;
-        assert!((p50 - 500.0).abs() / 500.0 <= 1.0 / 16.0 + 1e-9, "p50 = {p50}");
+        assert!(
+            (p50 - 500.0).abs() / 500.0 <= 1.0 / 16.0 + 1e-9,
+            "p50 = {p50}"
+        );
         let p99 = h.quantile(0.99) as f64;
-        assert!((p99 - 990.0).abs() / 990.0 <= 1.0 / 16.0 + 1e-9, "p99 = {p99}");
+        assert!(
+            (p99 - 990.0).abs() / 990.0 <= 1.0 / 16.0 + 1e-9,
+            "p99 = {p99}"
+        );
         assert_eq!(h.quantile(1.0), 1000);
     }
 
@@ -1207,7 +1753,12 @@ mod tests {
     fn journal_ring_bound_and_order() {
         let j = EventJournal::new(4, true);
         for i in 0..10u64 {
-            j.record_at(i, EventKind::CopyStarted { file: format!("f{i}") });
+            j.record_at(
+                i,
+                EventKind::CopyStarted {
+                    file: format!("f{i}"),
+                },
+            );
         }
         assert_eq!(j.recorded(), 10);
         assert_eq!(j.dropped(), 6);
@@ -1234,15 +1785,37 @@ mod tests {
     #[test]
     fn event_json_lines() {
         let j = EventJournal::new(8, true);
-        j.record_at(5, EventKind::CopyScheduled { file: "a/b".into(), bytes: 42 });
+        j.record_at(
+            5,
+            EventKind::CopyScheduled {
+                file: "a/b".into(),
+                bytes: 42,
+            },
+        );
         j.record_at(
             9,
-            EventKind::CopyCompleted { file: "a\"b".into(), tier: 0, bytes: 7, micros: 3 },
+            EventKind::CopyCompleted {
+                file: "a\"b".into(),
+                tier: 0,
+                bytes: 7,
+                micros: 3,
+            },
         );
-        j.record_at(11, EventKind::PrefetchScheduled { file: "c".into(), bytes: 9 });
+        j.record_at(
+            11,
+            EventKind::PrefetchScheduled {
+                file: "c".into(),
+                bytes: 9,
+            },
+        );
         j.record_at(12, EventKind::PrefetchPromoted { file: "c".into() });
         j.record_at(13, EventKind::PrefetchCanceled { file: "d".into() });
-        j.record_at(14, EventKind::WorkerJoinFailed { file: "monarch-copy-1".into() });
+        j.record_at(
+            14,
+            EventKind::WorkerJoinFailed {
+                file: "monarch-copy-1".into(),
+            },
+        );
         let lines = j.json_lines(false);
         let mut it = lines.lines();
         assert_eq!(
@@ -1325,7 +1898,9 @@ mod tests {
         assert!(text.contains("monarch_pool_join_failures_total 0"));
         // The 4 µs observation lands in the ≤ 10 µs bucket and every
         // later one (cumulative), ending at +Inf = count.
-        assert!(text.contains("monarch_read_latency_seconds_bucket{tier=\"ssd\",le=\"0.000001\"} 0"));
+        assert!(
+            text.contains("monarch_read_latency_seconds_bucket{tier=\"ssd\",le=\"0.000001\"} 0")
+        );
         assert!(text.contains("monarch_read_latency_seconds_bucket{tier=\"ssd\",le=\"0.00001\"} 1"));
         assert!(text.contains("monarch_read_latency_seconds_bucket{tier=\"ssd\",le=\"+Inf\"} 1"));
         // The 1 ms copy duration sits in a bucket straddling the 1 ms
@@ -1348,13 +1923,166 @@ mod tests {
     }
 
     #[test]
+    fn gauge_registry_interns_cells() {
+        let g = GaugeRegistry::new();
+        let a = g.gauge(
+            "monarch_tier_files",
+            "Files resident per tier.",
+            &[("tier", "ssd")],
+        );
+        let b = g.gauge(
+            "monarch_tier_files",
+            "Files resident per tier.",
+            &[("tier", "ssd")],
+        );
+        let c = g.gauge(
+            "monarch_tier_files",
+            "Files resident per tier.",
+            &[("tier", "pfs")],
+        );
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(g.len(), 2);
+        a.set(7);
+        assert_eq!(b.get(), 7);
+        b.add(-3);
+        assert_eq!(a.get(), 4);
+        let guard = GaugeGuard::enter(&c);
+        assert_eq!(c.get(), 1);
+        drop(guard);
+        assert_eq!(c.get(), 0);
+        c.set_f64(0.25);
+        assert!((c.get_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_exposition_golden_format() {
+        // Golden check of the full gauge section, including label-value
+        // escaping of backslash, quote, and newline.
+        let g = GaugeRegistry::new();
+        g.gauge(
+            "monarch_tier_occupancy_bytes",
+            "Bytes resident per tier.",
+            &[("tier", "ssd")],
+        )
+        .set(1024);
+        g.gauge(
+            "monarch_tier_occupancy_bytes",
+            "Bytes resident per tier.",
+            &[("tier", "pfs")],
+        )
+        .set(0);
+        g.gauge("monarch_draining", "1 while the engine is draining.", &[])
+            .set(0);
+        g.gauge(
+            "monarch_mount_info",
+            "Mount label escaping probe.",
+            &[("path", "a\\b\"c\nd")],
+        )
+        .set(1);
+        let mut out = String::new();
+        g.render_into(&mut out);
+        let expected = concat!(
+            "# HELP monarch_tier_occupancy_bytes Bytes resident per tier.\n",
+            "# TYPE monarch_tier_occupancy_bytes gauge\n",
+            "monarch_tier_occupancy_bytes{tier=\"ssd\"} 1024\n",
+            "monarch_tier_occupancy_bytes{tier=\"pfs\"} 0\n",
+            "# HELP monarch_draining 1 while the engine is draining.\n",
+            "# TYPE monarch_draining gauge\n",
+            "monarch_draining 0\n",
+            "# HELP monarch_mount_info Mount label escaping probe.\n",
+            "# TYPE monarch_mount_info gauge\n",
+            "monarch_mount_info{path=\"a\\\\b\\\"c\\nd\"} 1\n",
+        );
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn exposition_has_help_and_type_for_every_family() {
+        // Every exposed family must carry # HELP and # TYPE lines —
+        // including _bucket/_sum/_count histogram series, stall profile
+        // histograms and gauges.
+        let r = registry();
+        let _ = r.gauges().gauge(
+            "monarch_tier_files",
+            "Files resident per tier.",
+            &[("tier", "ssd")],
+        );
+        let text = r.prometheus_text();
+        let mut typed: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                typed.insert(rest.split(' ').next().unwrap());
+            }
+        }
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let metric = line.split(['{', ' ']).next().unwrap();
+            let family = metric
+                .strip_suffix("_bucket")
+                .or_else(|| metric.strip_suffix("_sum"))
+                .or_else(|| metric.strip_suffix("_count"))
+                .unwrap_or(metric);
+            assert!(
+                typed.contains(family),
+                "family {family} (line `{line}`) lacks a # TYPE declaration"
+            );
+            let help = format!("# HELP {family} ");
+            assert!(text.contains(&help), "family {family} lacks a # HELP line");
+        }
+    }
+
+    #[test]
+    fn stall_profile_partitions_wall_time() {
+        let r = registry();
+        let t0 = Instant::now();
+        let lookup = t0 + Duration::from_micros(10);
+        let resolve = t0 + Duration::from_micros(25);
+        let pread = t0 + Duration::from_micros(1025);
+        let end = t0 + Duration::from_micros(1030);
+        r.stall_profile().record(t0, lookup, resolve, pread, end);
+        let s = r.stall_profile().snapshot();
+        assert_eq!(s.lock_wait.count, 1);
+        assert_eq!(s.lock_wait.sum_nanos, 10_000);
+        assert_eq!(s.queue_wait.sum_nanos, 15_000);
+        assert_eq!(s.driver_pread.sum_nanos, 1_000_000);
+        assert_eq!(s.copy_wait.sum_nanos, 5_000);
+        let total = s.lock_wait.sum_nanos
+            + s.queue_wait.sum_nanos
+            + s.driver_pread.sum_nanos
+            + s.copy_wait.sum_nanos;
+        assert_eq!(total, 1_030_000);
+        // Out-of-order instants saturate to zero instead of panicking.
+        r.stall_profile().record(end, t0, t0, t0, t0);
+        assert_eq!(r.stall_profile().snapshot().lock_wait.count, 2);
+        // The exposition includes the stall histograms.
+        let text = r.prometheus_text();
+        assert!(text.contains("# TYPE monarch_read_stall_driver_pread_seconds histogram"));
+        assert!(text.contains("monarch_read_stall_lock_wait_seconds_count 2"));
+    }
+
+    #[test]
     fn registry_snapshot_roundtrip() {
         let r = registry();
         r.stats().record_read(0, 10);
         r.read_latency(0).record(5_000);
-        r.event(EventKind::CopyScheduled { file: "f".into(), bytes: 10 });
+        r.event(EventKind::CopyScheduled {
+            file: "f".into(),
+            bytes: 10,
+        });
+        r.gauges()
+            .gauge(
+                "monarch_tier_files",
+                "Files resident per tier.",
+                &[("tier", "ssd")],
+            )
+            .set(3);
         let snap = r.snapshot();
         assert_eq!(snap.tier_names, vec!["ssd", "pfs"]);
+        assert_eq!(snap.gauges.len(), 1);
+        assert_eq!(snap.gauges[0].value, 3.0);
         assert_eq!(snap.stats.tiers[0].reads, 1);
         assert_eq!(snap.read_latency[0].count, 1);
         assert_eq!(snap.events_recorded, 1);
@@ -1365,7 +2093,10 @@ mod tests {
 
     #[test]
     fn disabled_registry_keeps_journal_off() {
-        let cfg = TelemetryConfig { enabled: false, ..TelemetryConfig::default() };
+        let cfg = TelemetryConfig {
+            enabled: false,
+            ..TelemetryConfig::default()
+        };
         let r = TelemetryRegistry::new(
             vec!["ssd".into(), "pfs".into()],
             Arc::new(Stats::new(2)),

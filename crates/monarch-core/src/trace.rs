@@ -270,7 +270,11 @@ impl TraceRecorder {
     /// immutable bool — no shared-cacheline traffic.
     #[inline]
     pub fn sample_read(&self) -> bool {
-        self.enabled && self.read_seq.fetch_add(1, Ordering::Relaxed) % self.sample_every_n == 0
+        self.enabled
+            && self
+                .read_seq
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(self.sample_every_n)
     }
 
     /// Allocate a fresh span/flow id (never 0).
@@ -294,7 +298,10 @@ impl TraceRecorder {
     /// Name a track explicitly (simulator tracks, reserved tracks).
     pub fn set_track_name(&self, tid: u64, name: impl Into<String>) {
         if self.enabled {
-            self.track_names.lock().expect("trace track names").insert(tid, name.into());
+            self.track_names
+                .lock()
+                .expect("trace track names")
+                .insert(tid, name.into());
         }
     }
 
@@ -353,7 +360,7 @@ impl TraceRecorder {
         let ring = self.ring.lock().expect("trace ring");
         let mut v: Vec<SpanRecord> = ring.iter().cloned().collect();
         drop(ring);
-        v.sort_by(|a, b| (a.ts_us, a.id).cmp(&(b.ts_us, b.id)));
+        v.sort_by_key(|s| (s.ts_us, s.id));
         v
     }
 
@@ -394,7 +401,9 @@ impl TraceRecorder {
         };
 
         let mut body = String::new();
-        body.push_str("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"monarch\"}}");
+        body.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"monarch\"}}",
+        );
         push_event(&mut out, &body);
         for (tid, name) in self.track_names.lock().expect("trace track names").iter() {
             body.clear();
@@ -456,7 +465,7 @@ impl TraceRecorder {
                     body.push_str(&s.tid.to_string());
                     body.push_str(",\"ts\":");
                     body.push_str(&s.ts_us.to_string());
-                    body.push_str("}");
+                    body.push('}');
                     push_event(&mut out, &body);
                 }
             }
@@ -567,7 +576,11 @@ mod tests {
     #[test]
     fn dangling_flows_are_suppressed() {
         let r = TraceRecorder::new(1, 128);
-        r.record(span("copy_scheduled", 1, 0, 1).with_id(1).with_flow(9, FlowPhase::Start));
+        r.record(
+            span("copy_scheduled", 1, 0, 1)
+                .with_id(1)
+                .with_flow(9, FlowPhase::Start),
+        );
         let json = r.export_chrome_json();
         // The flow id still appears as an arg, but no s/f pair is
         // emitted without both endpoints.

@@ -31,7 +31,7 @@ use parking_lot::Mutex;
 use crate::hierarchy::{StorageHierarchy, TierId};
 use crate::metadata::{FileInfo, MetadataContainer, PlacementState};
 use crate::placement::PlacementPolicy;
-use crate::pool::{Lane, TaskCtx, ThreadPool};
+use crate::pool::{Lane, PoolProbe, TaskCtx, ThreadPool};
 use crate::prefetch::{AccessPlan, PrefetchConfig, PrefetchWindow};
 use crate::stats::Stats;
 use crate::telemetry::{EventKind, TelemetryRegistry};
@@ -65,7 +65,10 @@ impl<T> LaneQueues<T> {
     /// Two empty lanes.
     #[must_use]
     pub fn new() -> Self {
-        Self { demand: VecDeque::new(), prefetch: VecDeque::new() }
+        Self {
+            demand: VecDeque::new(),
+            prefetch: VecDeque::new(),
+        }
     }
 
     /// Queue `item` at the back of `lane`.
@@ -163,21 +166,36 @@ impl ReadCtx {
     /// Unsampled demand-lane request — the common fast path.
     #[must_use]
     pub fn untraced() -> Self {
-        Self { parent: 0, flow: 0, start_flow: false, lane: Lane::Demand, deadline: None }
+        Self {
+            parent: 0,
+            flow: 0,
+            start_flow: false,
+            lane: Lane::Demand,
+            deadline: None,
+        }
     }
 
     /// Sampled request: the flow starts at the caller's foreground
     /// `driver_pread` span and finishes at the background `copy_exec`.
     #[must_use]
     pub fn traced(parent: u64, flow: u64) -> Self {
-        Self { parent, flow, ..Self::untraced() }
+        Self {
+            parent,
+            flow,
+            ..Self::untraced()
+        }
     }
 
     /// Sampled request with no foreground read (pre-staging): the flow
     /// starts at the `copy_scheduled` span itself.
     #[must_use]
     pub fn staged(parent: u64, flow: u64) -> Self {
-        Self { parent, flow, start_flow: true, ..Self::untraced() }
+        Self {
+            parent,
+            flow,
+            start_flow: true,
+            ..Self::untraced()
+        }
     }
 
     /// Queue on `lane` instead of the default demand lane.
@@ -231,7 +249,8 @@ pub struct TransferEngine {
     pool: ThreadPool,
     /// Present only when `prefetch.lookahead > 0`, so a disabled
     /// configuration takes zero extra branches beyond one `Option` check.
-    prefetch: Option<PrefetchState>,
+    /// Shared (`Arc`) with detached [`GaugeSampler`]s.
+    prefetch: Option<Arc<PrefetchState>>,
 }
 
 impl std::fmt::Debug for TransferEngine {
@@ -293,9 +312,12 @@ impl TransferEngine {
             telemetry,
             shutting_down: Arc::new(AtomicBool::new(false)),
             pool,
-            prefetch: prefetch
-                .enabled()
-                .then(|| PrefetchState { cfg: prefetch, window: Mutex::new(None) }),
+            prefetch: prefetch.enabled().then(|| {
+                Arc::new(PrefetchState {
+                    cfg: prefetch,
+                    window: Mutex::new(None),
+                })
+            }),
         }
     }
 
@@ -357,9 +379,16 @@ impl TransferEngine {
             _ => return false,
         }
         self.stats.copy_scheduled();
-        self.telemetry.event(EventKind::CopyScheduled { file: file.to_string(), bytes: size });
+        self.telemetry.event(EventKind::CopyScheduled {
+            file: file.to_string(),
+            bytes: size,
+        });
         let tr = self.telemetry.trace();
-        let queued_us = if ctx.flow != 0 { self.telemetry.now_micros() } else { 0 };
+        let queued_us = if ctx.flow != 0 {
+            self.telemetry.now_micros()
+        } else {
+            0
+        };
         if ctx.flow != 0 {
             let sched = SpanRecord::new(
                 names::COPY_SCHEDULED,
@@ -392,7 +421,10 @@ impl TransferEngine {
             deadline: ctx.deadline,
         };
         let owned = file.to_string();
-        let task_ctx = TaskCtx { label: file.to_string(), flow: ctx.flow };
+        let task_ctx = TaskCtx {
+            label: file.to_string(),
+            flow: ctx.flow,
+        };
         let submitted = self.pool.submit_on(
             ctx.lane,
             Some(task_ctx),
@@ -411,7 +443,9 @@ impl TransferEngine {
     /// namespace are dropped. Returns the number of admitted entries —
     /// `0` when prefetching is disabled, in which case this is a no-op.
     pub fn plan(&self, plan: &AccessPlan) -> usize {
-        let Some(state) = &self.prefetch else { return 0 };
+        let Some(state) = &self.prefetch else {
+            return 0;
+        };
         self.close_window(state);
         let mut files = Vec::with_capacity(plan.len());
         for name in plan.files() {
@@ -458,10 +492,14 @@ impl TransferEngine {
     /// the plan. Returns the flow id of the prefetch copy issued for this
     /// file (`0` if none / untraced) so the read span can point back at it.
     pub fn note_read(&self, file: &str, served: TierId) -> u64 {
-        let Some(state) = &self.prefetch else { return 0 };
+        let Some(state) = &self.prefetch else {
+            return 0;
+        };
         let note = {
             let mut guard = state.window.lock();
-            let Some(window) = guard.as_mut() else { return 0 };
+            let Some(window) = guard.as_mut() else {
+                return 0;
+            };
             match window.on_read(file) {
                 Some(note) => note,
                 None => return 0,
@@ -481,7 +519,9 @@ impl TransferEngine {
                 // (it cannot enqueue a duplicate: the metadata CAS is held
                 // by the queued job).
                 self.stats.prefetch_promote();
-                self.telemetry.event(EventKind::PrefetchPromoted { file: file.to_string() });
+                self.telemetry.event(EventKind::PrefetchPromoted {
+                    file: file.to_string(),
+                });
             }
         }
         // The cursor moved: more of the plan may now be issued.
@@ -496,15 +536,19 @@ impl TransferEngine {
     /// or a copy is in flight). The file reverts to `Unplaced`, so a later
     /// read may place it again.
     pub fn evict(&self, file: &str) -> Result<bool> {
-        let info =
-            self.metadata.get(file).ok_or_else(|| Error::UnknownFile(file.to_string()))?;
+        let info = self
+            .metadata
+            .get(file)
+            .ok_or_else(|| Error::UnknownFile(file.to_string()))?;
         let source = self.hierarchy.source_id();
         if info.state != PlacementState::Placed || info.tier == source {
             return Ok(false);
         }
         let tier = self.hierarchy.tier(info.tier)?;
-        tier.driver.remove(file)?;
+        // Metadata first, then the delete — see the placement-path
+        // eviction: readers racing the delete re-resolve to the source.
         self.metadata.evict_to(file, source)?;
+        tier.driver.remove(file)?;
         if let Some(quota) = tier.quota.as_ref() {
             quota.release(info.size);
         }
@@ -531,16 +575,22 @@ impl TransferEngine {
             None => self.withdraw_queued(None),
         };
         if canceled > 0 {
-            self.telemetry.event(EventKind::PrefetchDrained { canceled: canceled as u64 });
+            self.telemetry.event(EventKind::PrefetchDrained {
+                canceled: canceled as u64,
+            });
         }
         self.pool.shutdown();
         let join_failures = self.pool.join_failures();
         for _ in 0..join_failures {
             self.stats.pool_join_failure();
-            self.telemetry
-                .event(EventKind::WorkerJoinFailed { file: "monarch-copy-worker".to_string() });
+            self.telemetry.event(EventKind::WorkerJoinFailed {
+                file: "monarch-copy-worker".to_string(),
+            });
         }
-        DrainReport { canceled, join_failures }
+        DrainReport {
+            canceled,
+            join_failures,
+        }
     }
 
     /// Tear down the current window (plan switch, explicit cancel, or
@@ -550,7 +600,9 @@ impl TransferEngine {
         let mut guard = state.window.lock();
         let mut window = guard.take();
         let withdrawn = self.withdraw_queued(window.as_mut());
-        let Some(mut window) = window else { return withdrawn };
+        let Some(mut window) = window else {
+            return withdrawn;
+        };
         // Wasted work: staged onto a local tier but never read before the
         // plan closed. (Copies still running when the plan closes are in
         // `Copying` and settle as neither hit nor waste.)
@@ -576,7 +628,9 @@ impl TransferEngine {
         for ctx in canceled {
             let _ = self.metadata.abort_copy(&ctx.label, false);
             self.stats.prefetch_cancel();
-            self.telemetry.event(EventKind::PrefetchCanceled { file: ctx.label.clone() });
+            self.telemetry.event(EventKind::PrefetchCanceled {
+                file: ctx.label.clone(),
+            });
             if let Some(window) = window.as_deref_mut() {
                 window.resolve_by_name(&ctx.label);
             }
@@ -598,7 +652,10 @@ impl TransferEngine {
                 window.poll_resolved(|name| {
                     !matches!(
                         self.metadata.get(name),
-                        Some(FileInfo { state: PlacementState::Copying { .. }, .. })
+                        Some(FileInfo {
+                            state: PlacementState::Copying { .. },
+                            ..
+                        })
                     )
                 });
                 match window.next_to_issue() {
@@ -636,12 +693,18 @@ impl TransferEngine {
         }
         self.stats.copy_scheduled();
         self.stats.prefetch_scheduled();
-        self.telemetry
-            .event(EventKind::PrefetchScheduled { file: file.to_string(), bytes: size });
+        self.telemetry.event(EventKind::PrefetchScheduled {
+            file: file.to_string(),
+            bytes: size,
+        });
         let tr = self.telemetry.trace();
         let traced = tr.is_enabled();
         let flow = if traced { tr.next_id() } else { 0 };
-        let queued_us = if traced { self.telemetry.now_micros() } else { 0 };
+        let queued_us = if traced {
+            self.telemetry.now_micros()
+        } else {
+            0
+        };
         if traced {
             // Like prestage, the flow starts at the scheduling span (there
             // is no foreground pread yet — the read it serves may be far in
@@ -672,7 +735,10 @@ impl TransferEngine {
             deadline: None,
         };
         let owned = file.to_string();
-        let task_ctx = TaskCtx { label: file.to_string(), flow };
+        let task_ctx = TaskCtx {
+            label: file.to_string(),
+            flow,
+        };
         let submitted = self.pool.submit_on(
             Lane::Prefetch,
             Some(task_ctx),
@@ -683,6 +749,140 @@ impl TransferEngine {
             return None;
         }
         Some(flow)
+    }
+
+    /// A detached [`GaugeSampler`] over this engine's shared parts. The
+    /// sampler holds only `Arc`s (plus a pool probe), so the metrics
+    /// exporter can refresh gauges from its own threads without borrowing
+    /// the engine — and keeps working, reporting drained queues, after the
+    /// engine itself is gone.
+    #[must_use]
+    pub fn sampler(&self) -> GaugeSampler {
+        GaugeSampler {
+            hierarchy: Arc::clone(&self.hierarchy),
+            metadata: Arc::clone(&self.metadata),
+            telemetry: Arc::clone(&self.telemetry),
+            probe: self.pool.probe(),
+            prefetch: self.prefetch.as_ref().map(Arc::clone),
+            shutting_down: Arc::clone(&self.shutting_down),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GaugeSampler — point-in-time gauge refresh
+// ---------------------------------------------------------------------------
+
+/// Samples the live state of the hierarchy, the copy pool, and the
+/// prefetch window into the telemetry [`GaugeRegistry`]. Scrape-driven:
+/// the `/metrics` exporter (and the CLI snapshot path) calls
+/// [`GaugeSampler::refresh`] right before rendering, so gauge values are
+/// as fresh as the scrape without any background sampling thread.
+///
+/// [`GaugeRegistry`]: crate::telemetry::GaugeRegistry
+#[derive(Clone)]
+pub struct GaugeSampler {
+    hierarchy: Arc<StorageHierarchy>,
+    metadata: Arc<MetadataContainer>,
+    telemetry: Arc<TelemetryRegistry>,
+    probe: PoolProbe,
+    prefetch: Option<Arc<PrefetchState>>,
+    shutting_down: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for GaugeSampler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GaugeSampler")
+            .field("tiers", &self.hierarchy.levels())
+            .field("prefetch", &self.prefetch.is_some())
+            .finish()
+    }
+}
+
+impl GaugeSampler {
+    /// Re-sample every gauge family from live state. Cheap enough to run
+    /// on each scrape: a handful of atomic loads plus two short lock
+    /// acquisitions (pool queue, prefetch window).
+    pub fn refresh(&self) {
+        let g = self.telemetry.gauges();
+        let files = self.metadata.residency_histogram(self.hierarchy.levels());
+        for tier in self.hierarchy.tiers() {
+            let labels = &[("tier", tier.name.as_str())];
+            if let Some(quota) = tier.quota.as_ref() {
+                g.gauge(
+                    "monarch_tier_occupancy_bytes",
+                    "Bytes resident on the tier (quota accounting).",
+                    labels,
+                )
+                .set(quota.used() as i64);
+                g.gauge(
+                    "monarch_tier_capacity_bytes",
+                    "Configured capacity of the tier in bytes.",
+                    labels,
+                )
+                .set(quota.capacity() as i64);
+            }
+            g.gauge(
+                "monarch_tier_files",
+                "Files currently resident on the tier.",
+                labels,
+            )
+            .set(files.get(tier.id).copied().unwrap_or(0) as i64);
+        }
+        let demand = self.probe.queued(Lane::Demand);
+        let prefetch_q = self.probe.queued(Lane::Prefetch);
+        g.gauge(
+            "monarch_lane_queued",
+            "Copies queued (not yet started) per pool lane.",
+            &[("lane", "demand")],
+        )
+        .set(demand as i64);
+        g.gauge(
+            "monarch_lane_queued",
+            "Copies queued (not yet started) per pool lane.",
+            &[("lane", "prefetch")],
+        )
+        .set(prefetch_q as i64);
+        g.gauge(
+            "monarch_pool_inflight_jobs",
+            "Copies currently executing on pool workers.",
+            &[],
+        )
+        .set(self.probe.pending().saturating_sub(demand + prefetch_q) as i64);
+        if let Some(state) = &self.prefetch {
+            let (copies, bytes, lag) = match state.window.lock().as_ref() {
+                Some(w) => (
+                    w.inflight() as i64,
+                    w.inflight_bytes() as i64,
+                    w.next_index().saturating_sub(w.cursor()) as i64,
+                ),
+                None => (0, 0, 0),
+            };
+            g.gauge(
+                "monarch_prefetch_inflight_copies",
+                "Prefetch copies issued and not yet resolved.",
+                &[],
+            )
+            .set(copies);
+            g.gauge(
+                "monarch_prefetch_inflight_bytes",
+                "Bytes of prefetch copies issued and not yet resolved.",
+                &[],
+            )
+            .set(bytes);
+            g.gauge(
+                "monarch_prefetch_window_lag_entries",
+                "Plan entries issued ahead of the read cursor.",
+                &[],
+            )
+            .set(lag);
+        }
+        g.gauge(
+            "monarch_draining",
+            "1 while the transfer engine is shutting down, else 0.",
+            &[],
+        )
+        .set(i64::from(self.shutting_down.load(Ordering::Acquire)));
     }
 }
 
@@ -729,6 +929,7 @@ impl CopyJob {
             // Same degradation as a failed copy — revert, retry on a later
             // touch.
             self.stats.copy_failed();
+            self.stats.copy_deadline_expired();
             self.telemetry.event(EventKind::CopyFailed {
                 file: file.to_string(),
                 reason: "copy deadline expired before a worker started it".to_string(),
@@ -738,7 +939,11 @@ impl CopyJob {
         }
         let tr = self.telemetry.trace();
         let traced = self.flow != 0 && tr.is_enabled();
-        let exec_t0 = if traced { self.telemetry.now_micros() } else { 0 };
+        let exec_t0 = if traced {
+            self.telemetry.now_micros()
+        } else {
+            0
+        };
         let copy_trace = if traced {
             // The queue-wait interval spans enqueue → dequeue; it renders on
             // its own reserved track because it belongs to neither the
@@ -754,12 +959,17 @@ impl CopyJob {
                 .with_id(tr.next_id())
                 .arg_str("file", file),
             );
-            Some(CopyTraceCtx { tid: tr.register_current_thread(), exec_id: tr.next_id() })
+            Some(CopyTraceCtx {
+                tid: tr.register_current_thread(),
+                exec_id: tr.next_id(),
+            })
         } else {
             None
         };
         let started = Instant::now();
-        self.telemetry.event(EventKind::CopyStarted { file: file.to_string() });
+        self.telemetry.event(EventKind::CopyStarted {
+            file: file.to_string(),
+        });
         let result = self.try_place(file, size, inline_data, copy_trace.as_ref());
         if let Some(ct) = &copy_trace {
             let outcome = match &result {
@@ -829,7 +1039,11 @@ impl CopyJob {
         ct: Option<&CopyTraceCtx>,
     ) -> Result<Option<TierId>> {
         let tr = self.telemetry.trace();
-        let t_decide = if ct.is_some() { self.telemetry.now_micros() } else { 0 };
+        let t_decide = if ct.is_some() {
+            self.telemetry.now_micros()
+        } else {
+            0
+        };
         let decision = self.policy.place(&self.hierarchy, file, size)?;
         if let Some(ct) = ct {
             let mut span = SpanRecord::new(
@@ -855,7 +1069,10 @@ impl CopyJob {
             return Ok(None);
         };
         let dest = self.hierarchy.tier(decision.tier)?;
-        let quota = dest.quota.as_ref().ok_or(Error::UnknownTier(decision.tier))?;
+        let quota = dest
+            .quota
+            .as_ref()
+            .ok_or(Error::UnknownTier(decision.tier))?;
 
         // Evictions (ablation policies only): remove victims, release their
         // quota, then reserve for the newcomer.
@@ -865,8 +1082,11 @@ impl CopyJob {
             for victim in &decision.evict {
                 if let Some(vinfo) = self.metadata.get(victim) {
                     if vinfo.tier == decision.tier {
-                        dest.driver.remove(victim)?;
+                        // Metadata flips to the source *before* the local
+                        // copy disappears: a reader that raced the delete
+                        // re-resolves to the source on its retry.
                         self.metadata.evict_to(victim, self.hierarchy.source_id())?;
+                        dest.driver.remove(victim)?;
                         quota.release(vinfo.size);
                         self.stats.record_evict(decision.tier);
                         self.telemetry.event(EventKind::Evicted {
@@ -893,7 +1113,11 @@ impl CopyJob {
             let data = match inline_data {
                 Some(ref data) => data.clone(),
                 None => {
-                    let t_read = if ct.is_some() { self.telemetry.now_micros() } else { 0 };
+                    let t_read = if ct.is_some() {
+                        self.telemetry.now_micros()
+                    } else {
+                        0
+                    };
                     let source = self.hierarchy.source();
                     let data = source.driver.read_full(file)?;
                     self.stats.record_read(source.id, data.len() as u64);
@@ -915,7 +1139,11 @@ impl CopyJob {
                     data
                 }
             };
-            let t_write = if ct.is_some() { self.telemetry.now_micros() } else { 0 };
+            let t_write = if ct.is_some() {
+                self.telemetry.now_micros()
+            } else {
+                0
+            };
             dest.driver.write_full(file, &data)?;
             self.stats.record_write(decision.tier, data.len() as u64);
             if let Some(ct) = ct {
@@ -937,7 +1165,11 @@ impl CopyJob {
         };
         match install() {
             Ok(()) => {
-                let t_reg = if ct.is_some() { self.telemetry.now_micros() } else { 0 };
+                let t_reg = if ct.is_some() {
+                    self.telemetry.now_micros()
+                } else {
+                    0
+                };
                 self.metadata.finish_copy(file, decision.tier)?;
                 self.policy.on_placed(file, size, decision.tier);
                 if let Some(ct) = ct {
@@ -1006,7 +1238,10 @@ mod tests {
         q.push(Lane::Prefetch, "b");
         q.push(Lane::Demand, "d");
         assert!(q.promote_where(|&x| x == "b"));
-        assert!(!q.promote_where(|&x| x == "b"), "an entry promotes at most once");
+        assert!(
+            !q.promote_where(|&x| x == "b"),
+            "an entry promotes at most once"
+        );
         assert!(!q.promote_where(|&x| x == "missing"));
         // Promoted entries queue behind existing demand but report the
         // demand lane when popped.
@@ -1064,7 +1299,9 @@ mod tests {
             &TelemetryConfig::default(),
         ));
         let policy = Arc::new(FirstFit);
-        TransferEngine::new(hierarchy, metadata, policy, stats, telemetry, threads, prefetch)
+        TransferEngine::new(
+            hierarchy, metadata, policy, stats, telemetry, threads, prefetch,
+        )
     }
 
     /// Single-worker engine over a gated PFS: a demand copy pins the
@@ -1075,7 +1312,10 @@ mod tests {
         let engine = assemble(
             Arc::new(gated),
             1,
-            PrefetchConfig { lookahead, max_inflight_bytes: 0 },
+            PrefetchConfig {
+                lookahead,
+                max_inflight_bytes: 0,
+            },
         );
         (engine, gate)
     }
@@ -1131,7 +1371,13 @@ mod tests {
         assert_eq!(started_order(&engine), vec!["f000", "f003", "f001", "f002"]);
         assert_eq!(engine.stats.snapshot().copies_completed, 4);
         let report = engine.drain();
-        assert_eq!(report, DrainReport { canceled: 0, join_failures: 0 });
+        assert_eq!(
+            report,
+            DrainReport {
+                canceled: 0,
+                join_failures: 0
+            }
+        );
     }
 
     #[test]
@@ -1174,7 +1420,10 @@ mod tests {
         // The in-flight copy finished; the canceled ones never ran and
         // their metadata reverted.
         assert_eq!(started_order(&engine), vec!["f000"]);
-        assert_eq!(engine.metadata.get("f000").unwrap().state, PlacementState::Placed);
+        assert_eq!(
+            engine.metadata.get("f000").unwrap().state,
+            PlacementState::Placed
+        );
         for f in ["f001", "f002"] {
             let info = engine.metadata.get(f).unwrap();
             assert_eq!(info.state, PlacementState::Unplaced, "{f} reverted");
@@ -1206,7 +1455,12 @@ mod tests {
         // Queued behind the pinned worker with an already-expired deadline:
         // by the time a worker dequeues it, the freshness window is gone.
         let expired = Instant::now();
-        assert!(engine.demand("f001", 512, None, ReadCtx::untraced().with_deadline(expired)));
+        assert!(engine.demand(
+            "f001",
+            512,
+            None,
+            ReadCtx::untraced().with_deadline(expired)
+        ));
         std::thread::sleep(Duration::from_millis(2));
         open_gate(&gate);
         engine.wait_idle();
@@ -1214,7 +1468,11 @@ mod tests {
         assert_eq!(stats.copies_completed, 1, "only the pinned copy ran");
         assert_eq!(stats.copies_failed, 1);
         let info = engine.metadata.get("f001").unwrap();
-        assert_eq!(info.state, PlacementState::Unplaced, "dropped copy reverted");
+        assert_eq!(
+            info.state,
+            PlacementState::Unplaced,
+            "dropped copy reverted"
+        );
         let events = engine.telemetry.journal().events();
         let failed = events
             .iter()
@@ -1232,8 +1490,16 @@ mod tests {
         assert!(engine.demand("f000", 512, None, ReadCtx::untraced()));
         engine.wait_idle();
         assert_eq!(engine.metadata.get("f000").unwrap().tier, 0);
-        let quota_used =
-            || engine.hierarchy.tier(0).unwrap().quota.as_ref().unwrap().used();
+        let quota_used = || {
+            engine
+                .hierarchy
+                .tier(0)
+                .unwrap()
+                .quota
+                .as_ref()
+                .unwrap()
+                .used()
+        };
         assert_eq!(quota_used(), 512);
 
         assert!(engine.evict("f000").unwrap());
@@ -1252,7 +1518,10 @@ mod tests {
         // Not resident any more: a second evict is a no-op...
         assert!(!engine.evict("f000").unwrap());
         // ...an unknown name is an error...
-        assert!(matches!(engine.evict("missing"), Err(Error::UnknownFile(_))));
+        assert!(matches!(
+            engine.evict("missing"),
+            Err(Error::UnknownFile(_))
+        ));
         // ...and a later demand places the file again.
         assert!(engine.demand("f000", 512, None, ReadCtx::untraced()));
         engine.wait_idle();
@@ -1268,7 +1537,12 @@ mod tests {
         let (gated, gate) = GatedDriver::new(staged_pfs(3));
         let mut engine = assemble(Arc::new(gated), 1, PrefetchConfig::disabled());
         pin_worker(&engine, "f000");
-        assert!(engine.demand("f001", 512, None, ReadCtx::untraced().on_lane(Lane::Prefetch)));
+        assert!(engine.demand(
+            "f001",
+            512,
+            None,
+            ReadCtx::untraced().on_lane(Lane::Prefetch)
+        ));
         let opener = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(20));
             open_gate(&gate);
@@ -1276,7 +1550,91 @@ mod tests {
         let report = engine.drain();
         opener.join().unwrap();
         assert_eq!(report.canceled, 1);
-        assert_eq!(engine.metadata.get("f001").unwrap().state, PlacementState::Unplaced);
+        assert_eq!(
+            engine.metadata.get("f001").unwrap().state,
+            PlacementState::Unplaced
+        );
         assert_eq!(started_order(&engine), vec!["f000"]);
+    }
+
+    #[test]
+    fn sampler_refreshes_tier_lane_and_prefetch_gauges() {
+        let (mut engine, gate) = gated_engine(6, 8);
+        let sampler = engine.sampler();
+        pin_worker(&engine, "f000");
+        assert_eq!(engine.plan(&plan_of(&["f001", "f002", "f003"])), 3);
+        sampler.refresh();
+        let gauge_of = |name: &str, snap: &[crate::telemetry::GaugeSnapshot]| {
+            snap.iter()
+                .filter(|g| g.name == name)
+                .map(|g| (g.labels.clone(), g.value))
+                .collect::<Vec<_>>()
+        };
+        let snap = engine.telemetry.gauges().snapshot();
+        // The pinned copy is executing; the three plan entries queue
+        // behind it on the prefetch lane.
+        assert_eq!(
+            gauge_of("monarch_lane_queued", &snap),
+            vec![
+                (vec![("lane".into(), "demand".into())], 0.0),
+                (vec![("lane".into(), "prefetch".into())], 3.0),
+            ]
+        );
+        assert_eq!(
+            gauge_of("monarch_pool_inflight_jobs", &snap),
+            vec![(vec![], 1.0)]
+        );
+        assert_eq!(
+            gauge_of("monarch_prefetch_inflight_copies", &snap),
+            vec![(vec![], 3.0)]
+        );
+        assert_eq!(gauge_of("monarch_draining", &snap), vec![(vec![], 0.0)]);
+        // Capacity is the configured 1 MiB quota; nothing has landed yet.
+        assert_eq!(
+            gauge_of("monarch_tier_capacity_bytes", &snap),
+            vec![(vec![("tier".into(), "ssd".into())], (1 << 20) as f64)]
+        );
+        assert_eq!(
+            gauge_of("monarch_tier_files", &snap),
+            vec![
+                (vec![("tier".into(), "ssd".into())], 0.0),
+                (vec![("tier".into(), "pfs".into())], 6.0),
+            ]
+        );
+
+        open_gate(&gate);
+        engine.wait_idle();
+        engine.drain();
+        sampler.refresh();
+        let snap = engine.telemetry.gauges().snapshot();
+        // All four copies landed on the SSD: occupancy, files, and the
+        // drain flag all moved; both lanes are empty again.
+        assert_eq!(
+            gauge_of("monarch_tier_occupancy_bytes", &snap),
+            vec![(vec![("tier".into(), "ssd".into())], 4.0 * 512.0)]
+        );
+        assert_eq!(
+            gauge_of("monarch_tier_files", &snap),
+            vec![
+                (vec![("tier".into(), "ssd".into())], 4.0),
+                (vec![("tier".into(), "pfs".into())], 2.0),
+            ]
+        );
+        assert_eq!(
+            gauge_of("monarch_lane_queued", &snap),
+            vec![
+                (vec![("lane".into(), "demand".into())], 0.0),
+                (vec![("lane".into(), "prefetch".into())], 0.0),
+            ]
+        );
+        assert_eq!(
+            gauge_of("monarch_pool_inflight_jobs", &snap),
+            vec![(vec![], 0.0)]
+        );
+        assert_eq!(gauge_of("monarch_draining", &snap), vec![(vec![], 1.0)]);
+        // Rendered exposition carries the gauge families too.
+        let text = engine.telemetry.prometheus_text();
+        assert!(text.contains("# TYPE monarch_tier_occupancy_bytes gauge"));
+        assert!(text.contains("monarch_lane_queued{lane=\"demand\"} 0"));
     }
 }

@@ -50,7 +50,10 @@ fn full_plan_prefetch_stages_everything_before_first_read() {
         1 << 20,
         6,
         512,
-        PrefetchConfig { lookahead: 16, max_inflight_bytes: 0 },
+        PrefetchConfig {
+            lookahead: 16,
+            max_inflight_bytes: 0,
+        },
     );
     assert_eq!(m.submit_plan(&plan_of(6)), 6);
     m.wait_placement_idle();
@@ -67,7 +70,13 @@ fn full_plan_prefetch_stages_everything_before_first_read() {
     assert_eq!(stats.tiers[1].reads, 6, "PFS saw only the staging fetches");
     assert_eq!(stats.prefetch_hits, 6);
     let events = m.telemetry().journal().events();
-    assert_eq!(events.iter().filter(|e| e.kind.tag() == "prefetch_scheduled").count(), 6);
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| e.kind.tag() == "prefetch_scheduled")
+            .count(),
+        6
+    );
     // Everything was read: a clean shutdown reports no waste.
     let stats = m.shutdown();
     assert_eq!(stats.prefetch_wasted, 0);
@@ -80,7 +89,10 @@ fn lookahead_bounds_how_far_prefetch_runs_ahead() {
         1 << 20,
         8,
         256,
-        PrefetchConfig { lookahead: 2, max_inflight_bytes: 0 },
+        PrefetchConfig {
+            lookahead: 2,
+            max_inflight_bytes: 0,
+        },
     );
     assert_eq!(m.submit_plan(&plan_of(8)), 8);
     m.wait_placement_idle();
@@ -109,14 +121,21 @@ fn gated_prefetch_monarch(lookahead: usize) -> (Monarch, Gate) {
             Arc::new(MemDriver::new("ssd")) as Arc<dyn StorageDriver>,
             Some(1 << 20),
         ),
-        ("pfs".into(), Arc::new(gated) as Arc<dyn StorageDriver>, None),
+        (
+            "pfs".into(),
+            Arc::new(gated) as Arc<dyn StorageDriver>,
+            None,
+        ),
     ])
     .unwrap();
     let m = MonarchBuilder::new()
         .hierarchy(hierarchy)
         .pool_threads(1)
         .telemetry(TelemetryConfig::default())
-        .prefetch(PrefetchConfig { lookahead, max_inflight_bytes: 0 })
+        .prefetch(PrefetchConfig {
+            lookahead,
+            max_inflight_bytes: 0,
+        })
         .build()
         .unwrap();
     m.init().unwrap();
@@ -149,8 +168,10 @@ fn demand_read_promotes_queued_prefetch_instead_of_duplicating() {
     m.read("f000", 0, &mut buf).unwrap();
     assert_eq!(m.stats().prefetch_hits, 1);
     let events = m.telemetry().journal().events();
-    let promoted: Vec<_> =
-        events.iter().filter(|e| e.kind.tag() == "prefetch_promoted").collect();
+    let promoted: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind.tag() == "prefetch_promoted")
+        .collect();
     assert_eq!(promoted.len(), 1);
     assert_eq!(promoted[0].kind.file(), "f001");
 }
@@ -185,11 +206,17 @@ fn cancel_withdraws_queued_prefetches_and_reverts_metadata() {
     assert_eq!(stats.copies_completed, 1, "only the running copy finished");
     assert_eq!(m.metadata().get("f000").unwrap().tier, 0);
     let info = m.metadata().get("f001").unwrap();
-    assert_eq!(info.state, PlacementState::Unplaced, "canceled copy reverted");
+    assert_eq!(
+        info.state,
+        PlacementState::Unplaced,
+        "canceled copy reverted"
+    );
     assert_eq!(info.tier, 1);
     let events = m.telemetry().journal().events();
-    let canceled: Vec<_> =
-        events.iter().filter(|e| e.kind.tag() == "prefetch_canceled").collect();
+    let canceled: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind.tag() == "prefetch_canceled")
+        .collect();
     assert_eq!(canceled.len(), 1);
     assert_eq!(canceled[0].kind.file(), "f001");
     // A second cancel is a no-op: the window is gone.
@@ -202,7 +229,10 @@ fn unread_prefetched_files_count_as_wasted_at_plan_close() {
         1 << 20,
         4,
         256,
-        PrefetchConfig { lookahead: 8, max_inflight_bytes: 0 },
+        PrefetchConfig {
+            lookahead: 8,
+            max_inflight_bytes: 0,
+        },
     );
     assert_eq!(m.submit_plan(&plan_of(4)), 4);
     m.wait_placement_idle();

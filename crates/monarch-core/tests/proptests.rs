@@ -267,7 +267,7 @@ proptest! {
                         let n = note.expect("in-plan read observed");
                         prop_assert_eq!(n.index, arg);
                         prop_assert!(w.cursor() >= before, "cursor moved backwards");
-                        prop_assert!(w.cursor() >= arg + 1, "cursor behind the read");
+                        prop_assert!(w.cursor() > arg, "cursor behind the read");
                     } else {
                         prop_assert!(note.is_none(), "out-of-plan read noted");
                         prop_assert_eq!(w.cursor(), before);

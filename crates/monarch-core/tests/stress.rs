@@ -73,11 +73,25 @@ fn concurrent_reads_are_always_correct() {
             });
         }
     });
-    assert_eq!(errors.load(Ordering::Relaxed), 0, "byte corruption under concurrency");
+    assert_eq!(
+        errors.load(Ordering::Relaxed),
+        0,
+        "byte corruption under concurrency"
+    );
     m.wait_placement_idle();
     let stats = m.stats();
-    assert_eq!(stats.copies_scheduled, stats.copies_completed + stats.placement_skipped);
-    let used = m.hierarchy().tier(0).unwrap().quota.as_ref().unwrap().used();
+    assert_eq!(
+        stats.copies_scheduled,
+        stats.copies_completed + stats.placement_skipped
+    );
+    let used = m
+        .hierarchy()
+        .tier(0)
+        .unwrap()
+        .quota
+        .as_ref()
+        .unwrap()
+        .used();
     assert!(used <= (FILES as u64 * SIZE as u64) / 2);
 }
 
@@ -127,10 +141,23 @@ fn fault_storm_leaves_state_consistent() {
         m.wait_placement_idle();
     }
     let stats = m.stats();
-    assert!(stats.copies_failed > 0, "the fault budget should have fired");
-    assert_eq!(stats.copies_completed, FILES as u64, "every file placed eventually");
+    assert!(
+        stats.copies_failed > 0,
+        "the fault budget should have fired"
+    );
+    assert_eq!(
+        stats.copies_completed, FILES as u64,
+        "every file placed eventually"
+    );
     // Quota equals exactly the resident bytes (no leaked reservations).
-    let used = m.hierarchy().tier(0).unwrap().quota.as_ref().unwrap().used();
+    let used = m
+        .hierarchy()
+        .tier(0)
+        .unwrap()
+        .quota
+        .as_ref()
+        .unwrap()
+        .used();
     assert_eq!(used, (FILES * SIZE) as u64);
 }
 
@@ -173,7 +200,14 @@ fn lru_churn_under_concurrency() {
         }
     });
     m.wait_placement_idle();
-    let used = m.hierarchy().tier(0).unwrap().quota.as_ref().unwrap().used();
+    let used = m
+        .hierarchy()
+        .tier(0)
+        .unwrap()
+        .quota
+        .as_ref()
+        .unwrap()
+        .used();
     assert!(used <= cap, "quota exceeded under churn: {used} > {cap}");
     let stats = m.stats();
     assert!(stats.evictions > 0, "pressure should force evictions");

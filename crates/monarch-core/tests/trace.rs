@@ -18,7 +18,8 @@ const FILE_BYTES: usize = 64 << 10;
 fn traced_monarch(files: usize, tcfg: TelemetryConfig) -> Monarch {
     let pfs = Arc::new(MemDriver::new("pfs"));
     for i in 0..files {
-        pfs.write_full(&format!("f{i}"), &vec![i as u8; FILE_BYTES]).unwrap();
+        pfs.write_full(&format!("f{i}"), &vec![i as u8; FILE_BYTES])
+            .unwrap();
     }
     let hierarchy = StorageHierarchy::new(vec![
         (
@@ -94,7 +95,11 @@ fn span_tree_is_well_formed_under_thread_contention() {
     m.wait_placement_idle();
 
     let tr = m.telemetry().trace();
-    assert_eq!(tr.spans_dropped(), 0, "ring must not overflow at this scale");
+    assert_eq!(
+        tr.spans_dropped(),
+        0,
+        "ring must not overflow at this scale"
+    );
     let spans = tr.spans();
     // Every read is sampled, so there is at least a root span per read.
     assert!(spans.len() >= THREADS * READS, "only {} spans", spans.len());
@@ -102,7 +107,11 @@ fn span_tree_is_well_formed_under_thread_contention() {
     let mut by_id = HashMap::new();
     for s in &spans {
         assert_ne!(s.id, 0, "span {:?} has no id", s.name);
-        assert!(by_id.insert(s.id, s).is_none(), "duplicate span id {}", s.id);
+        assert!(
+            by_id.insert(s.id, s).is_none(),
+            "duplicate span id {}",
+            s.id
+        );
     }
 
     // Parent edges resolve and child intervals nest (2 us of slack
@@ -114,7 +123,12 @@ fn span_tree_is_well_formed_under_thread_contention() {
         let p = by_id
             .get(&s.parent)
             .unwrap_or_else(|| panic!("{} has dangling parent {}", s.name, s.parent));
-        assert!(s.ts_us >= p.ts_us, "{} starts before parent {}", s.name, p.name);
+        assert!(
+            s.ts_us >= p.ts_us,
+            "{} starts before parent {}",
+            s.name,
+            p.name
+        );
         assert!(
             s.ts_us + s.dur_us <= p.ts_us + p.dur_us + 2,
             "{} ends after parent {}",
@@ -134,7 +148,10 @@ fn span_tree_is_well_formed_under_thread_contention() {
             FlowPhase::None => {}
         }
     }
-    let execs: Vec<_> = spans.iter().filter(|s| s.name == names::COPY_EXEC).collect();
+    let execs: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == names::COPY_EXEC)
+        .collect();
     assert_eq!(execs.len(), FILES, "one completed copy per shared file");
     for e in &execs {
         assert_ne!(e.flow, 0, "copy_exec must be flow-linked");
@@ -144,7 +161,10 @@ fn span_tree_is_well_formed_under_thread_contention() {
     }
 
     // Queue-wait spans render on the dedicated queue track.
-    let qw: Vec<_> = spans.iter().filter(|s| s.name == names::QUEUE_WAIT).collect();
+    let qw: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == names::QUEUE_WAIT)
+        .collect();
     assert!(!qw.is_empty(), "copies must record queue time");
     for s in &qw {
         assert_eq!(s.tid, QUEUE_TRACK);
@@ -191,7 +211,10 @@ fn export_conforms_to_chrome_trace_schema() {
         }
     }
     assert!(!flow_starts.is_empty(), "warm-up copies must emit flows");
-    assert_eq!(flow_starts, flow_finishes, "every emitted flow must resolve");
+    assert_eq!(
+        flow_starts, flow_finishes,
+        "every emitted flow must resolve"
+    );
 }
 
 /// With tracing off (the default), the export is the empty golden shell
@@ -242,7 +265,10 @@ fn sampled_read_produces_flow_linked_span_tree() {
     }
     // The foreground pread starts the flow the background copy_exec
     // finishes — the causal link the trace subsystem is about.
-    let pread = spans.iter().find(|s| s.name == names::DRIVER_PREAD).unwrap();
+    let pread = spans
+        .iter()
+        .find(|s| s.name == names::DRIVER_PREAD)
+        .unwrap();
     let exec = spans.iter().find(|s| s.name == names::COPY_EXEC).unwrap();
     assert_ne!(pread.flow, 0);
     assert_eq!(pread.flow, exec.flow);
@@ -252,7 +278,10 @@ fn sampled_read_produces_flow_linked_span_tree() {
     // copy_exec.
     let read = spans.iter().find(|s| s.name == names::READ).unwrap();
     assert_eq!(pread.parent, read.id);
-    let reg = spans.iter().find(|s| s.name == names::METADATA_REGISTER).unwrap();
+    let reg = spans
+        .iter()
+        .find(|s| s.name == names::METADATA_REGISTER)
+        .unwrap();
     assert_eq!(reg.parent, exec.id);
     // The queue-wait interval renders on its reserved track.
     let qw = spans.iter().find(|s| s.name == names::QUEUE_WAIT).unwrap();
@@ -308,11 +337,21 @@ fn prestage_trace_links_copies_to_the_prestage_span() {
     m.wait_placement_idle();
     let spans = m.telemetry().trace().spans();
     let prestage = spans.iter().find(|s| s.name == names::PRESTAGE).unwrap();
-    let scheds: Vec<_> = spans.iter().filter(|s| s.name == names::COPY_SCHEDULED).collect();
+    let scheds: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == names::COPY_SCHEDULED)
+        .collect();
     assert_eq!(scheds.len(), 3);
     for s in &scheds {
         assert_eq!(s.parent, prestage.id);
-        assert_eq!(s.flow_phase, FlowPhase::Start, "prestage flows start at scheduling");
+        assert_eq!(
+            s.flow_phase,
+            FlowPhase::Start,
+            "prestage flows start at scheduling"
+        );
     }
-    assert_eq!(spans.iter().filter(|s| s.name == names::COPY_EXEC).count(), 3);
+    assert_eq!(
+        spans.iter().filter(|s| s.name == names::COPY_EXEC).count(),
+        3
+    );
 }

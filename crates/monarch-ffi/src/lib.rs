@@ -239,6 +239,55 @@ pub unsafe extern "C" fn monarch_trace_json(handle: *mut MonarchHandle) -> *mut 
     }
 }
 
+/// Start the observability HTTP exporter (`/metrics`, `/snapshot`,
+/// `/trace`, `/healthz`) on `addr` (e.g. `"127.0.0.1:9464"`; a `0` port
+/// picks a free one). Returns the *bound* port (> 0) on success, or a
+/// negative [`errcode`]: `EINVAL` for a null/invalid address string,
+/// `ECONFIG` when an exporter is already running on this handle, `EIO`
+/// when the bind fails.
+///
+/// # Safety
+/// `handle` must come from [`monarch_init_json`] and not be freed; `addr`
+/// must be a valid NUL-terminated C string.
+#[no_mangle]
+pub unsafe extern "C" fn monarch_serve_start(
+    handle: *mut MonarchHandle,
+    addr: *const c_char,
+) -> c_long {
+    if handle.is_null() {
+        return errcode::EINVAL as c_long;
+    }
+    let Some(addr) = to_str(addr) else {
+        return errcode::EINVAL as c_long;
+    };
+    let monarch = unsafe { &(*handle).inner };
+    let outcome = catch_unwind(AssertUnwindSafe(|| monarch.serve(addr)));
+    match outcome {
+        Ok(Ok(bound)) => c_long::from(bound.port()),
+        Ok(Err(monarch_core::Error::InvalidConfig(_))) => errcode::ECONFIG as c_long,
+        Ok(Err(_)) => errcode::EIO as c_long,
+        Err(_) => errcode::EPANIC as c_long,
+    }
+}
+
+/// Stop the exporter started by [`monarch_serve_start`] (or the config's
+/// `metrics_addr`), joining its threads. Returns 1 if one was running,
+/// 0 if not, or a negative [`errcode`].
+///
+/// # Safety
+/// `handle` must come from [`monarch_init_json`] and not be freed.
+#[no_mangle]
+pub unsafe extern "C" fn monarch_serve_stop(handle: *mut MonarchHandle) -> c_int {
+    if handle.is_null() {
+        return errcode::EINVAL as c_int;
+    }
+    let monarch = unsafe { &(*handle).inner };
+    match catch_unwind(AssertUnwindSafe(|| monarch.serve_stop())) {
+        Ok(was_running) => c_int::from(was_running),
+        Err(_) => errcode::EPANIC as c_int,
+    }
+}
+
 /// Release a string returned by [`monarch_stats_json`],
 /// [`monarch_metrics_text`], [`monarch_events_json`] or
 /// [`monarch_trace_json`].
@@ -347,8 +396,7 @@ mod tests {
 
     /// Build a config over two real directories with staged data.
     fn staged_config(tag: &str) -> (CString, std::path::PathBuf, u64) {
-        let root =
-            std::env::temp_dir().join(format!("monarch-ffi-{tag}-{}", std::process::id()));
+        let root = std::env::temp_dir().join(format!("monarch-ffi-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         let data = root.join("pfs");
         std::fs::create_dir_all(&data).unwrap();
@@ -424,10 +472,19 @@ mod tests {
             // and latency summaries, freed via monarch_string_free.
             let text_ptr = monarch_metrics_text(h);
             assert!(!text_ptr.is_null());
-            let text = CStr::from_ptr(text_ptr).to_str().expect("valid UTF-8").to_string();
-            assert!(text.contains("# TYPE monarch_tier_reads_total counter"), "{text}");
+            let text = CStr::from_ptr(text_ptr)
+                .to_str()
+                .expect("valid UTF-8")
+                .to_string();
+            assert!(
+                text.contains("# TYPE monarch_tier_reads_total counter"),
+                "{text}"
+            );
             assert!(text.contains("monarch_tier_reads_total{tier=\"ssd\"}"));
-            assert!(text.contains("# TYPE monarch_read_latency_seconds histogram"), "{text}");
+            assert!(
+                text.contains("# TYPE monarch_read_latency_seconds histogram"),
+                "{text}"
+            );
             assert!(text.contains("monarch_read_latency_seconds_bucket{tier=\"pfs\",le=\"+Inf\"}"));
             assert!(text.contains("monarch_copies_completed_total 1"));
             monarch_string_free(text_ptr);
@@ -436,7 +493,10 @@ mod tests {
             // the event schema.
             let ev_ptr = monarch_events_json(h);
             assert!(!ev_ptr.is_null());
-            let events = CStr::from_ptr(ev_ptr).to_str().expect("valid UTF-8").to_string();
+            let events = CStr::from_ptr(ev_ptr)
+                .to_str()
+                .expect("valid UTF-8")
+                .to_string();
             assert!(!events.is_empty());
             for line in events.lines() {
                 let v: serde_json::Value = serde_json::from_str(line).unwrap();
@@ -457,8 +517,7 @@ mod tests {
     #[test]
     fn trace_json_roundtrip() {
         use monarch_core::TelemetryConfig;
-        let root =
-            std::env::temp_dir().join(format!("monarch-ffi-trace-{}", std::process::id()));
+        let root = std::env::temp_dir().join(format!("monarch-ffi-trace-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         let data = root.join("pfs");
         std::fs::create_dir_all(&data).unwrap();
@@ -483,7 +542,10 @@ mod tests {
 
             let tr_ptr = monarch_trace_json(h);
             assert!(!tr_ptr.is_null());
-            let trace = CStr::from_ptr(tr_ptr).to_str().expect("valid UTF-8").to_string();
+            let trace = CStr::from_ptr(tr_ptr)
+                .to_str()
+                .expect("valid UTF-8")
+                .to_string();
             let v: serde_json::Value = serde_json::from_str(&trace).unwrap();
             let events = v["traceEvents"].as_array().unwrap();
             assert!(events.iter().any(|e| e["name"] == "driver_pread"));
@@ -501,8 +563,7 @@ mod tests {
 
     #[test]
     fn access_plan_through_c_abi() {
-        let root =
-            std::env::temp_dir().join(format!("monarch-ffi-plan-{}", std::process::id()));
+        let root = std::env::temp_dir().join(format!("monarch-ffi-plan-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&root);
         let data = root.join("pfs");
         std::fs::create_dir_all(&data).unwrap();
@@ -539,7 +600,10 @@ mod tests {
             // Reads now hit the fast tier and count as prefetch hits.
             let name = CString::new("f1").unwrap();
             let mut buf = vec![0u8; 4096];
-            assert_eq!(monarch_read(h, name.as_ptr(), 0, buf.as_mut_ptr(), buf.len()), 2048);
+            assert_eq!(
+                monarch_read(h, name.as_ptr(), 0, buf.as_mut_ptr(), buf.len()),
+                2048
+            );
             let stats = monarch_stats_json(h);
             let s = CStr::from_ptr(stats).to_str().unwrap().to_string();
             let v: serde_json::Value = serde_json::from_str(&s).unwrap();
@@ -550,12 +614,69 @@ mod tests {
             assert_eq!(monarch_cancel_plan(h), 0);
 
             // Argument validation.
-            assert_eq!(monarch_submit_plan(h, ptr::null()), errcode::EINVAL as c_long);
+            assert_eq!(
+                monarch_submit_plan(h, ptr::null()),
+                errcode::EINVAL as c_long
+            );
             assert_eq!(
                 monarch_submit_plan(ptr::null_mut(), plan.as_ptr()),
                 errcode::EINVAL as c_long
             );
-            assert_eq!(monarch_cancel_plan(ptr::null_mut()), errcode::EINVAL as c_long);
+            assert_eq!(
+                monarch_cancel_plan(ptr::null_mut()),
+                errcode::EINVAL as c_long
+            );
+
+            monarch_shutdown(h);
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn serve_through_c_abi() {
+        let (json, root, _) = staged_config("serve");
+        unsafe {
+            let h = monarch_init_json(json.as_ptr());
+            assert!(!h.is_null());
+            let addr = CString::new("127.0.0.1:0").unwrap();
+            let port = monarch_serve_start(h, addr.as_ptr());
+            assert!(port > 0, "expected a bound port, got {port}");
+            // A second start while one runs is a config error.
+            assert_eq!(
+                monarch_serve_start(h, addr.as_ptr()),
+                errcode::ECONFIG as c_long
+            );
+
+            // Scrape /metrics over plain TCP.
+            use std::io::{Read, Write};
+            let mut s = std::net::TcpStream::connect(("127.0.0.1", port as u16)).unwrap();
+            s.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            let mut resp = String::new();
+            s.read_to_string(&mut resp).unwrap();
+            assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+            assert!(resp.contains("monarch_tier_reads_total"), "{resp}");
+
+            assert_eq!(monarch_serve_stop(h), 1);
+            assert_eq!(
+                monarch_serve_stop(h),
+                0,
+                "second stop finds nothing running"
+            );
+
+            // Argument validation.
+            assert_eq!(
+                monarch_serve_start(ptr::null_mut(), addr.as_ptr()),
+                errcode::EINVAL as c_long
+            );
+            assert_eq!(
+                monarch_serve_start(h, ptr::null()),
+                errcode::EINVAL as c_long
+            );
+            assert_eq!(
+                monarch_serve_stop(ptr::null_mut()),
+                errcode::EINVAL as c_int
+            );
 
             monarch_shutdown(h);
         }
@@ -587,7 +708,10 @@ mod tests {
                 monarch_read(h, f0.as_ptr(), 0, ptr::null_mut(), 8),
                 errcode::EINVAL as c_long
             );
-            assert_eq!(monarch_file_size(h, missing.as_ptr()), errcode::ENOENT as c_long);
+            assert_eq!(
+                monarch_file_size(h, missing.as_ptr()),
+                errcode::ENOENT as c_long
+            );
             monarch_shutdown(h);
             monarch_shutdown(ptr::null_mut()); // tolerated
         }

@@ -78,7 +78,11 @@ impl<E> EventQueue<E> {
     /// (before `now`) is a logic error in debug builds and clamps to `now`
     /// in release builds.
     pub fn schedule(&mut self, at: SimTime, payload: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < {:?}",
+            self.now
+        );
         let at = at.max(self.now);
         let slot = match self.free.pop() {
             Some(slot) => {
@@ -90,7 +94,10 @@ impl<E> EventQueue<E> {
                 self.payloads.len() - 1
             }
         };
-        let key = Key { time: at, seq: self.seq };
+        let key = Key {
+            time: at,
+            seq: self.seq,
+        };
         self.seq += 1;
         self.heap.push(Reverse((key, slot as u64)));
     }
@@ -103,7 +110,9 @@ impl<E> EventQueue<E> {
     /// Pop the earliest event, advancing `now` to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let Reverse((key, slot)) = self.heap.pop()?;
-        let payload = self.payloads[slot as usize].take().expect("payload present");
+        let payload = self.payloads[slot as usize]
+            .take()
+            .expect("payload present");
         self.free.push(slot as usize);
         self.now = key.time;
         self.processed += 1;

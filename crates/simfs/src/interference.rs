@@ -36,7 +36,10 @@ impl Interference {
     #[must_use]
     pub fn new(states: Vec<LoadState>, initial: usize) -> Self {
         assert!(!states.is_empty() && initial < states.len());
-        Self { states, current: initial }
+        Self {
+            states,
+            current: initial,
+        }
     }
 
     /// The profile used for the Frontera Lustre experiments: mostly

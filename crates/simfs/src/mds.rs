@@ -25,16 +25,19 @@ impl Mds {
     /// jitter `sigma`.
     #[must_use]
     pub fn new(service_median: SimTime, sigma: f64) -> Self {
-        Self { service_median, sigma, busy_until: SimTime::ZERO, ops: 0 }
+        Self {
+            service_median,
+            sigma,
+            busy_until: SimTime::ZERO,
+            ops: 0,
+        }
     }
 
     /// Submit a metadata op at `now`; returns its completion time (FIFO
     /// behind everything already queued).
     pub fn submit(&mut self, now: SimTime, rng: &mut SimRng) -> SimTime {
         let service = if self.sigma > 0.0 {
-            SimTime::from_secs_f64(
-                rng.lognormal(self.service_median.as_secs_f64(), self.sigma),
-            )
+            SimTime::from_secs_f64(rng.lognormal(self.service_median.as_secs_f64(), self.sigma))
         } else {
             self.service_median
         };

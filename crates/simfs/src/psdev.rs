@@ -165,8 +165,7 @@ impl PsDevice {
                 let cut = self.last_update;
                 for t in &mut self.transfers {
                     if t.arm_at <= cut {
-                        let rate =
-                            (bw * t.share / total_share).min(t.cap.unwrap_or(dev_cap));
+                        let rate = (bw * t.share / total_share).min(t.cap.unwrap_or(dev_cap));
                         t.remaining = (t.remaining - rate * dt).max(0.0);
                     }
                 }
@@ -375,7 +374,13 @@ mod tests {
     #[test]
     fn latency_delays_arming() {
         let mut dev = PsDevice::new("d", 100e6, 1e9);
-        dev.start(SimTime::ZERO, 100_000_000, SimTime::from_secs(1), Kind::Read, 1.0);
+        dev.start(
+            SimTime::ZERO,
+            100_000_000,
+            SimTime::from_secs(1),
+            Kind::Read,
+            1.0,
+        );
         let done = drain(&mut dev);
         assert!((done[0].0.as_secs_f64() - 2.0).abs() < 1e-6);
     }
@@ -385,12 +390,28 @@ mod tests {
         let mut dev = PsDevice::new("d", 100e6, 1e9);
         let a = dev.start(SimTime::ZERO, 100_000_000, SimTime::ZERO, Kind::Read, 1.0);
         // Second transfer arms at t=0.5 s.
-        let b = dev.start(SimTime::ZERO, 50_000_000, SimTime::from_millis(500), Kind::Read, 1.0);
+        let b = dev.start(
+            SimTime::ZERO,
+            50_000_000,
+            SimTime::from_millis(500),
+            Kind::Read,
+            1.0,
+        );
         let done = drain(&mut dev);
         // a: 50 MB alone in [0,0.5], then shares 50 MB/s → needs 1 more s → 1.5 s.
         // b: 50 MB at 50 MB/s from 0.5 → also 1.5 s.
-        let ta = done.iter().find(|(_, id)| *id == a).unwrap().0.as_secs_f64();
-        let tb = done.iter().find(|(_, id)| *id == b).unwrap().0.as_secs_f64();
+        let ta = done
+            .iter()
+            .find(|(_, id)| *id == a)
+            .unwrap()
+            .0
+            .as_secs_f64();
+        let tb = done
+            .iter()
+            .find(|(_, id)| *id == b)
+            .unwrap()
+            .0
+            .as_secs_f64();
         assert!((ta - 1.5).abs() < 1e-6, "a at {ta}");
         assert!((tb - 1.5).abs() < 1e-6, "b at {tb}");
     }
@@ -440,8 +461,22 @@ mod tests {
     fn weighted_share_splits_bandwidth() {
         // share 3 vs share 1 on a 100 MB/s device: 75 vs 25 MB/s.
         let mut dev = PsDevice::new("d", 100e6, 1e9);
-        let big = dev.start_weighted(SimTime::ZERO, 75_000_000, SimTime::ZERO, Kind::Read, 1.0, 3.0);
-        let small = dev.start_weighted(SimTime::ZERO, 25_000_000, SimTime::ZERO, Kind::Read, 1.0, 1.0);
+        let big = dev.start_weighted(
+            SimTime::ZERO,
+            75_000_000,
+            SimTime::ZERO,
+            Kind::Read,
+            1.0,
+            3.0,
+        );
+        let small = dev.start_weighted(
+            SimTime::ZERO,
+            25_000_000,
+            SimTime::ZERO,
+            Kind::Read,
+            1.0,
+            1.0,
+        );
         let done = drain(&mut dev);
         // Both finish together at t = 1 s.
         for (t, id) in &done {
@@ -483,10 +518,27 @@ mod tests {
             1.0,
             Some(25e6),
         );
-        let bulk = dev.start_weighted(SimTime::ZERO, 100_000_000, SimTime::ZERO, Kind::Read, 1.0, 1.0);
+        let bulk = dev.start_weighted(
+            SimTime::ZERO,
+            100_000_000,
+            SimTime::ZERO,
+            Kind::Read,
+            1.0,
+            1.0,
+        );
         let done = drain(&mut dev);
-        let t_sync = done.iter().find(|(_, id)| *id == sync).unwrap().0.as_secs_f64();
-        let t_bulk = done.iter().find(|(_, id)| *id == bulk).unwrap().0.as_secs_f64();
+        let t_sync = done
+            .iter()
+            .find(|(_, id)| *id == sync)
+            .unwrap()
+            .0
+            .as_secs_f64();
+        let t_bulk = done
+            .iter()
+            .find(|(_, id)| *id == bulk)
+            .unwrap()
+            .0
+            .as_secs_f64();
         assert!((t_sync - 1.0).abs() < 1e-6, "sync at {t_sync}");
         assert!((t_bulk - 1.0).abs() < 1e-6, "bulk at {t_bulk}");
     }
@@ -495,7 +547,14 @@ mod tests {
     fn weighted_share_respects_cap() {
         // Huge share still cannot exceed the per-stream cap.
         let mut dev = PsDevice::new("d", 1e9, 50e6);
-        dev.start_weighted(SimTime::ZERO, 50_000_000, SimTime::ZERO, Kind::Read, 1.0, 100.0);
+        dev.start_weighted(
+            SimTime::ZERO,
+            50_000_000,
+            SimTime::ZERO,
+            Kind::Read,
+            1.0,
+            100.0,
+        );
         let done = drain(&mut dev);
         assert!((done[0].0.as_secs_f64() - 1.0).abs() < 1e-6);
     }
@@ -507,13 +566,22 @@ mod tests {
         let mut dev = PsDevice::new("d", 100e6, 30e6);
         let total_bytes: u64 = 40 * 10_000_000;
         for i in 0..40u64 {
-            dev.start(SimTime::from_millis(i * 10), 10_000_000, SimTime::ZERO, Kind::Read, 1.0);
+            dev.start(
+                SimTime::from_millis(i * 10),
+                10_000_000,
+                SimTime::ZERO,
+                Kind::Read,
+                1.0,
+            );
         }
         let done = drain(&mut dev);
         assert_eq!(done.len(), 40);
         let makespan = done.last().unwrap().0.as_secs_f64();
         let lower_bound = total_bytes as f64 / 100e6;
-        assert!(makespan >= lower_bound - 1e-3, "makespan {makespan} < bound {lower_bound}");
+        assert!(
+            makespan >= lower_bound - 1e-3,
+            "makespan {makespan} < bound {lower_bound}"
+        );
         // And the per-stream cap means it cannot be faster than
         // total/(cap × streams) either once streams < B/cap.
         assert_eq!(dev.stats().reads(), 40);

@@ -17,7 +17,9 @@ impl SimRng {
     /// Seeded RNG stream.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        Self { inner: StdRng::seed_from_u64(seed) }
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Derive an independent child stream (actor-local randomness that does
@@ -135,7 +137,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle should move things");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle should move things"
+        );
     }
 
     #[test]

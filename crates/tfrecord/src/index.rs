@@ -66,10 +66,16 @@ impl ShardIndex {
         let mut spans = Vec::with_capacity(lens.len());
         let mut offset = 0;
         for &len in lens {
-            spans.push(RecordSpan { offset, payload_len: len });
+            spans.push(RecordSpan {
+                offset,
+                payload_len: len,
+            });
             offset += len + crate::FRAME_OVERHEAD;
         }
-        Self { spans, total_len: offset }
+        Self {
+            spans,
+            total_len: offset,
+        }
     }
 
     /// Number of records.

@@ -38,13 +38,29 @@ pub enum TfRecordError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// The masked CRC of the length header did not match.
-    BadLengthCrc { offset: u64 },
+    BadLengthCrc {
+        /// Byte offset of the record header.
+        offset: u64,
+    },
     /// The masked CRC of the payload did not match.
-    BadDataCrc { offset: u64 },
+    BadDataCrc {
+        /// Byte offset of the record header.
+        offset: u64,
+    },
     /// A record claimed a length larger than the configured sanity limit.
-    OversizedRecord { offset: u64, len: u64, limit: u64 },
+    OversizedRecord {
+        /// Byte offset of the record header.
+        offset: u64,
+        /// Claimed payload length.
+        len: u64,
+        /// Configured sanity limit.
+        limit: u64,
+    },
     /// The file ended in the middle of a record.
-    Truncated { offset: u64 },
+    Truncated {
+        /// Byte offset of the truncated record.
+        offset: u64,
+    },
 }
 
 impl std::fmt::Display for TfRecordError {

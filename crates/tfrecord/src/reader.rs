@@ -22,7 +22,12 @@ pub struct RecordReader<R: Read> {
 impl<R: Read> RecordReader<R> {
     /// Wrap `inner` in a record reader.
     pub fn new(inner: R) -> Self {
-        Self { inner, offset: 0, max_record_len: DEFAULT_MAX_RECORD_LEN, buf: Vec::new() }
+        Self {
+            inner,
+            offset: 0,
+            max_record_len: DEFAULT_MAX_RECORD_LEN,
+            buf: Vec::new(),
+        }
     }
 
     /// Override the per-record length sanity limit.
@@ -115,7 +120,11 @@ fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<Read
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {
             Ok(0) => {
-                return Ok(if filled == 0 { ReadOutcome::Eof } else { ReadOutcome::Partial })
+                return Ok(if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Partial
+                })
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -165,7 +174,11 @@ mod tests {
         let mut r = RecordReader::new(Cursor::new(&buf)).with_max_record_len(50);
         assert!(matches!(
             r.next_record(),
-            Err(TfRecordError::OversizedRecord { len: 100, limit: 50, .. })
+            Err(TfRecordError::OversizedRecord {
+                len: 100,
+                limit: 50,
+                ..
+            })
         ));
     }
 

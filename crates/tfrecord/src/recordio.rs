@@ -29,10 +29,18 @@ pub enum RecordIoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
     /// The magic word did not match.
-    BadMagic { offset: u64, found: u32 },
+    BadMagic {
+        /// Frame offset.
+        offset: u64,
+        /// The word found in place of the magic.
+        found: u32,
+    },
     /// A continuation chain was malformed (e.g. middle part without a
     /// first part).
-    BadContinuation { offset: u64 },
+    BadContinuation {
+        /// Frame offset of the offending part.
+        offset: u64,
+    },
     /// A part claimed a length above the configured sanity limit.
     OversizedPart {
         /// Frame offset.
@@ -43,7 +51,10 @@ pub enum RecordIoError {
         limit: usize,
     },
     /// The file ended inside a record.
-    Truncated { offset: u64 },
+    Truncated {
+        /// Frame offset where input ran out.
+        offset: u64,
+    },
 }
 
 impl std::fmt::Display for RecordIoError {
@@ -57,7 +68,10 @@ impl std::fmt::Display for RecordIoError {
                 write!(f, "malformed continuation chain at offset {offset}")
             }
             RecordIoError::OversizedPart { offset, len, limit } => {
-                write!(f, "part at offset {offset} claims {len} bytes (limit {limit})")
+                write!(
+                    f,
+                    "part at offset {offset} claims {len} bytes (limit {limit})"
+                )
             }
             RecordIoError::Truncated { offset } => {
                 write!(f, "file truncated inside record at offset {offset}")
@@ -100,7 +114,11 @@ pub struct RecordIoWriter<W: Write> {
 impl<W: Write> RecordIoWriter<W> {
     /// Wrap `inner`.
     pub fn new(inner: W) -> Self {
-        Self { inner, records: 0, bytes: 0 }
+        Self {
+            inner,
+            records: 0,
+            bytes: 0,
+        }
     }
 
     /// Append one logical record, splitting into continuation parts if it
@@ -123,7 +141,8 @@ impl<W: Write> RecordIoWriter<W> {
                 2
             };
             self.inner.write_all(&MAGIC.to_le_bytes())?;
-            self.inner.write_all(&pack_lrecord(flag, part.len()).to_le_bytes())?;
+            self.inner
+                .write_all(&pack_lrecord(flag, part.len()).to_le_bytes())?;
             self.inner.write_all(part)?;
             let pad = padding_of(part.len());
             self.inner.write_all(&[0u8; 3][..pad])?;
@@ -161,7 +180,11 @@ pub struct RecordIoReader<R: Read> {
 impl<R: Read> RecordIoReader<R> {
     /// Wrap `inner`.
     pub fn new(inner: R) -> Self {
-        Self { inner, offset: 0, max_part_len: MAX_PART_LEN }
+        Self {
+            inner,
+            offset: 0,
+            max_part_len: MAX_PART_LEN,
+        }
     }
 
     /// Cap the per-part length accepted from headers — turns corrupt
@@ -184,7 +207,11 @@ impl<R: Read> RecordIoReader<R> {
         while filled < 4 {
             match self.inner.read(&mut buf[filled..]) {
                 Ok(0) if filled == 0 => return Ok(None),
-                Ok(0) => return Err(RecordIoError::Truncated { offset: self.offset }),
+                Ok(0) => {
+                    return Err(RecordIoError::Truncated {
+                        offset: self.offset,
+                    })
+                }
                 Ok(n) => filled += n,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e.into()),
@@ -212,12 +239,19 @@ impl<R: Read> RecordIoReader<R> {
     /// Read one part frame: `(flag, payload)`.
     fn next_part(&mut self) -> Result<Option<(u32, Vec<u8>)>> {
         let frame_start = self.offset;
-        let Some(magic) = self.read_u32()? else { return Ok(None) };
+        let Some(magic) = self.read_u32()? else {
+            return Ok(None);
+        };
         if magic != MAGIC {
-            return Err(RecordIoError::BadMagic { offset: frame_start, found: magic });
+            return Err(RecordIoError::BadMagic {
+                offset: frame_start,
+                found: magic,
+            });
         }
         let Some(word) = self.read_u32()? else {
-            return Err(RecordIoError::Truncated { offset: frame_start });
+            return Err(RecordIoError::Truncated {
+                offset: frame_start,
+            });
         };
         let (flag, len) = unpack_lrecord(word);
         if len > self.max_part_len {
@@ -237,7 +271,9 @@ impl<R: Read> RecordIoReader<R> {
     /// Read the next logical record, reassembling continuation chains.
     pub fn next_record(&mut self) -> Result<Option<Vec<u8>>> {
         let start = self.offset;
-        let Some((flag, payload)) = self.next_part()? else { return Ok(None) };
+        let Some((flag, payload)) = self.next_part()? else {
+            return Ok(None);
+        };
         match flag {
             0 => Ok(Some(payload)),
             1 => {
@@ -312,7 +348,10 @@ mod tests {
         let mut buf = w.into_inner();
         buf[0] ^= 0xff;
         let mut r = RecordIoReader::new(Cursor::new(buf));
-        assert!(matches!(r.next_record(), Err(RecordIoError::BadMagic { offset: 0, .. })));
+        assert!(matches!(
+            r.next_record(),
+            Err(RecordIoError::BadMagic { offset: 0, .. })
+        ));
     }
 
     #[test]
@@ -322,7 +361,10 @@ mod tests {
         let mut buf = w.into_inner();
         buf.truncate(buf.len() - 10);
         let mut r = RecordIoReader::new(Cursor::new(buf));
-        assert!(matches!(r.next_record(), Err(RecordIoError::Truncated { .. })));
+        assert!(matches!(
+            r.next_record(),
+            Err(RecordIoError::Truncated { .. })
+        ));
     }
 
     #[test]
@@ -365,4 +407,3 @@ mod tests {
         ));
     }
 }
-

@@ -162,7 +162,12 @@ pub fn generate(spec: &DatasetSpec, dir: &Path) -> Result<MaterializedDataset> {
         w.flush()?;
         shards.push(path);
     }
-    Ok(MaterializedDataset { dir: dir.to_path_buf(), shards, total_bytes, total_records })
+    Ok(MaterializedDataset {
+        dir: dir.to_path_buf(),
+        shards,
+        total_bytes,
+        total_records,
+    })
 }
 
 /// Canonical shard file name (mirrors TF's `train-00042-of-.....` style,
@@ -211,7 +216,10 @@ mod tests {
     fn layout_respects_shard_budget() {
         let spec = DatasetSpec::miniature(1 << 20, 64, 7);
         let layout = spec.shard_layout();
-        assert!(layout.len() > 1, "mini dataset should produce several shards");
+        assert!(
+            layout.len() > 1,
+            "mini dataset should produce several shards"
+        );
         for shard in &layout {
             let bytes: u64 = shard.iter().map(|l| l + crate::FRAME_OVERHEAD).sum();
             assert!(bytes <= spec.shard_bytes || shard.len() == 1);
@@ -272,6 +280,9 @@ mod tests {
         let g200 = DatasetSpec::imagenet_200g();
         let approx = g200.num_samples * (g200.mean_sample_bytes + crate::FRAME_OVERHEAD);
         let gib = approx as f64 / (1u64 << 30) as f64;
-        assert!((190.0..210.0).contains(&gib), "200G spec sizes to {gib} GiB");
+        assert!(
+            (190.0..210.0).contains(&gib),
+            "200G spec sizes to {gib} GiB"
+        );
     }
 }

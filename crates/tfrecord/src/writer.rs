@@ -20,7 +20,11 @@ pub struct RecordWriter<W: Write> {
 impl<W: Write> RecordWriter<W> {
     /// Wrap `inner` in a record writer.
     pub fn new(inner: W) -> Self {
-        Self { inner, records: 0, bytes: 0 }
+        Self {
+            inner,
+            records: 0,
+            bytes: 0,
+        }
     }
 
     /// Append one record.
@@ -28,9 +32,11 @@ impl<W: Write> RecordWriter<W> {
         let len = payload.len() as u64;
         let len_bytes = len.to_le_bytes();
         self.inner.write_all(&len_bytes)?;
-        self.inner.write_all(&masked_crc32c(&len_bytes).to_le_bytes())?;
+        self.inner
+            .write_all(&masked_crc32c(&len_bytes).to_le_bytes())?;
         self.inner.write_all(payload)?;
-        self.inner.write_all(&masked_crc32c(payload).to_le_bytes())?;
+        self.inner
+            .write_all(&masked_crc32c(payload).to_le_bytes())?;
         self.records += 1;
         self.bytes += len + crate::FRAME_OVERHEAD;
         Ok(())

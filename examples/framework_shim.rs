@@ -10,8 +10,8 @@ use std::ffi::CString;
 use monarch::core::config::{MonarchConfig, TierConfig};
 use monarch::tfrecord::synth::{generate, DatasetSpec};
 use monarch_ffi::{
-    monarch_file_count, monarch_init_json, monarch_read, monarch_shutdown,
-    monarch_stats_json, monarch_string_free, monarch_wait_idle,
+    monarch_file_count, monarch_init_json, monarch_read, monarch_shutdown, monarch_stats_json,
+    monarch_string_free, monarch_wait_idle,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             TierConfig::posix("ssd", root.join("ssd").to_string_lossy().to_string())
                 .with_capacity(ds.total_bytes),
         )
-        .tier(TierConfig::posix("pfs", pfs_dir.to_string_lossy().to_string()))
+        .tier(TierConfig::posix(
+            "pfs",
+            pfs_dir.to_string_lossy().to_string(),
+        ))
         .pool_threads(6)
         .build();
     let json = CString::new(cfg.to_json())?;
@@ -40,9 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut buf = vec![0u8; 256 << 10];
         for epoch in 1..=2 {
             for shard in &ds.shards {
-                let name = CString::new(
-                    shard.file_name().unwrap().to_string_lossy().as_bytes(),
-                )?;
+                let name = CString::new(shard.file_name().unwrap().to_string_lossy().as_bytes())?;
                 let mut offset = 0u64;
                 loop {
                     // 3: pread(fd, buf, len, off) → monarch_read(m, name, off, buf, len)

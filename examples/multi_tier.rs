@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let spec = DatasetSpec::miniature(6 << 20, 384, 23);
     let ds = generate(&spec, &pfs_dir)?;
-    println!("dataset {} KiB in {} shards", ds.total_bytes >> 10, ds.shards.len());
+    println!(
+        "dataset {} KiB in {} shards",
+        ds.total_bytes >> 10,
+        ds.shards.len()
+    );
 
     // Three levels: a small in-memory tier, a medium SSD tier, the PFS.
     let ram_cap = ds.total_bytes / 4;
@@ -26,10 +30,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = MonarchConfig::builder()
         .tier(TierConfig::mem("ram").with_capacity(ram_cap))
         .tier(
-            TierConfig::posix("ssd", ssd_dir.to_string_lossy().to_string())
-                .with_capacity(ssd_cap),
+            TierConfig::posix("ssd", ssd_dir.to_string_lossy().to_string()).with_capacity(ssd_cap),
         )
-        .tier(TierConfig::posix("pfs", pfs_dir.to_string_lossy().to_string()))
+        .tier(TierConfig::posix(
+            "pfs",
+            pfs_dir.to_string_lossy().to_string(),
+        ))
         .pool_threads(4)
         .build();
     let monarch = Arc::new(Monarch::new(cfg)?);
@@ -54,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     monarch.wait_placement_idle();
 
     let hist = monarch.metadata().residency_histogram(3);
-    println!("residency after one pass: ram={} ssd={} pfs={}", hist[0], hist[1], hist[2]);
+    println!(
+        "residency after one pass: ram={} ssd={} pfs={}",
+        hist[0], hist[1], hist[2]
+    );
     assert!(hist[0] > 0, "fastest tier must fill first (first-fit)");
     assert!(hist[1] > 0, "overflow goes to the SSD tier");
     assert!(hist[2] > 0, "the rest stays on the PFS");

@@ -30,11 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let cfg = MonarchConfig::builder()
-        .tier(
-            TierConfig::posix("ssd", ssd_dir.to_string_lossy().to_string())
-                .with_capacity(half),
-        )
-        .tier(TierConfig::posix("pfs", pfs_dir.to_string_lossy().to_string()))
+        .tier(TierConfig::posix("ssd", ssd_dir.to_string_lossy().to_string()).with_capacity(half))
+        .tier(TierConfig::posix(
+            "pfs",
+            pfs_dir.to_string_lossy().to_string(),
+        ))
         .pool_threads(4)
         .build();
     let monarch = Arc::new(Monarch::new(cfg)?);
@@ -43,7 +43,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trainer = RealTrainer::new(
         RealBackend::Monarch(Arc::clone(&monarch)),
         &pfs_dir,
-        PipelineConfig { readers: 4, chunk_bytes: 32 << 10, prefetch_batches: 2, seed: 3, trace_interval_secs: None },
+        PipelineConfig {
+            readers: 4,
+            chunk_bytes: 32 << 10,
+            prefetch_batches: 2,
+            seed: 3,
+            trace_interval_secs: None,
+        },
     )?;
 
     for epoch in 1..=3 {
@@ -68,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.copies_completed, stats.placement_skipped, hist[0], hist[1]
     );
     assert_eq!(stats.evictions, 0, "FirstFit never evicts");
-    assert!(stats.placement_skipped > 0, "half the dataset must stay on the PFS");
+    assert!(
+        stats.placement_skipped > 0,
+        "half the dataset must stay on the PFS"
+    );
     println!("no evictions, stable partial placement — as designed (§III-A).");
     std::fs::remove_dir_all(&root)?;
     Ok(())

@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             TierConfig::posix("ssd", ssd_dir.to_string_lossy().to_string())
                 .with_capacity(ds.total_bytes), // full fit
         )
-        .tier(TierConfig::posix("pfs", pfs_dir.to_string_lossy().to_string()))
+        .tier(TierConfig::posix(
+            "pfs",
+            pfs_dir.to_string_lossy().to_string(),
+        ))
         .pool_threads(6)
         .build();
     let monarch = Arc::new(Monarch::new(cfg)?);
@@ -74,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let final_stats = monarch.stats();
-    assert!(final_stats.local_hit_ratio() > 0.4, "second epoch should hit the SSD");
+    assert!(
+        final_stats.local_hit_ratio() > 0.4,
+        "second epoch should hit the SSD"
+    );
     println!("done — epoch 2 was served from the local tier.");
     std::fs::remove_dir_all(&root)?;
     Ok(())

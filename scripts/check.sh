@@ -117,6 +117,67 @@ EOF
     trap - EXIT
 }
 
+# Perf regression gate: rerun the committed BENCH_*.json workloads and
+# fail on regressions beyond tolerance. sim_epoch is virtual-time and
+# deterministic; read_path is wall-clock, so the tool retries and passes
+# if any attempt lands within tolerance.
+run_perf() {
+    echo "==> bench compare --baseline BENCH_sim_epoch.json --tolerance 15%"
+    cargo run -q --release -p monarch-bench --bin bench -- compare \
+        --baseline BENCH_sim_epoch.json --tolerance 15%
+    echo "==> bench compare --baseline BENCH_read_path.json --tolerance 15%"
+    cargo run -q --release -p monarch-bench --bin bench -- compare \
+        --baseline BENCH_read_path.json --tolerance 15%
+}
+
+# Exporter smoke: start `monarch serve` on an ephemeral port against a
+# generated dataset, scrape every endpoint, and check the Prometheus text
+# carries the gauge/histogram families.
+run_serve() {
+    echo "==> monarch serve smoke"
+    local tmp
+    tmp="$(mktemp -d)"
+    # shellcheck disable=SC2064  # expand $tmp now, not at exit
+    trap "rm -rf '$tmp'; kill \$(cat '$tmp/serve.pid' 2>/dev/null) 2>/dev/null || true" EXIT
+    cargo run -q -p monarch-cli -- gen-dataset \
+        --dir "$tmp/pfs" --bytes $((8 << 20)) --samples 256 --seed 7
+    cat > "$tmp/cfg.json" <<EOF
+{
+  "tiers": [
+    {"name": "ssd", "backend": {"posix": {"path": "$tmp/ssd"}}, "capacity": 1073741824},
+    {"name": "pfs", "backend": {"posix": {"path": "$tmp/pfs"}}}
+  ],
+  "pool_threads": 4
+}
+EOF
+    cargo run -q -p monarch-cli -- serve \
+        --config "$tmp/cfg.json" --addr 127.0.0.1:0 --duration 30 \
+        > "$tmp/serve.out" &
+    echo $! > "$tmp/serve.pid"
+    local addr=""
+    for _ in $(seq 1 50); do
+        addr=$(sed -n 's#^serving .* on http://##p' "$tmp/serve.out")
+        [ -n "$addr" ] && break
+        sleep 0.2
+    done
+    [ -n "$addr" ] || { echo "serve smoke: exporter never announced its address" >&2; exit 1; }
+    curl -fsS "http://$addr/healthz" | grep -q ok \
+        || { echo "serve smoke: /healthz not ok" >&2; exit 1; }
+    curl -fsS "http://$addr/metrics" > "$tmp/metrics.out"
+    for needle in 'monarch_tier_occupancy_bytes' 'monarch_lane_queued' \
+                  'monarch_read_stall_driver_pread_seconds' '# TYPE monarch_tier_reads_total counter'; do
+        grep -q "$needle" "$tmp/metrics.out" \
+            || { echo "serve smoke: /metrics missing $needle" >&2; exit 1; }
+    done
+    curl -fsS "http://$addr/snapshot" | python3 -m json.tool > /dev/null \
+        || { echo "serve smoke: /snapshot is not valid JSON" >&2; exit 1; }
+    curl -fsS "http://$addr/trace" > /dev/null \
+        || { echo "serve smoke: /trace failed" >&2; exit 1; }
+    kill "$(cat "$tmp/serve.pid")" 2>/dev/null || true
+    rm -rf "$tmp"
+    trap - EXIT
+}
+
 case "$stage" in
     fmt) run_fmt ;;
     clippy) run_clippy ;;
@@ -124,6 +185,8 @@ case "$stage" in
     test) run_test ;;
     trace) run_trace ;;
     prefetch) run_prefetch ;;
+    perf) run_perf ;;
+    serve) run_serve ;;
     all)
         run_fmt
         run_clippy
@@ -131,9 +194,11 @@ case "$stage" in
         run_test
         run_trace
         run_prefetch
+        run_serve
+        run_perf
         ;;
     *)
-        echo "usage: scripts/check.sh [fmt|clippy|size|test|trace|prefetch|all]" >&2
+        echo "usage: scripts/check.sh [fmt|clippy|size|test|trace|prefetch|perf|serve|all]" >&2
         exit 2
         ;;
 esac

@@ -42,9 +42,7 @@ fn pipeline() -> PipelineConfig {
 
 fn middleware(cache: &Path, data: &Path, cap: u64, lookahead: usize) -> Arc<Monarch> {
     let cfg = MonarchConfig::builder()
-        .tier(
-            TierConfig::posix("ssd", cache.to_string_lossy().to_string()).with_capacity(cap),
-        )
+        .tier(TierConfig::posix("ssd", cache.to_string_lossy().to_string()).with_capacity(cap))
         .tier(TierConfig::posix("pfs", data.to_string_lossy().to_string()))
         .pool_threads(4)
         .prefetch_lookahead(lookahead)
@@ -83,7 +81,10 @@ fn full_plan_prefetch_lifts_epoch_one_fast_tier_hit_rate() {
     let r_before = reactive.stats();
     let r_epoch = rt.run_epoch(0).unwrap();
     let r_rate = local_hit_rate(&r_before, &reactive.stats());
-    assert!(r_rate < 1.0, "reactive epoch 1 cannot be all-local ({r_rate})");
+    assert!(
+        r_rate < 1.0,
+        "reactive epoch 1 cannot be all-local ({r_rate})"
+    );
 
     // Clairvoyant epoch 1: submit the epoch's exact shuffle as the access
     // plan, let the full-plan prefetch stage it (capacity is sufficient),
@@ -104,8 +105,7 @@ fn full_plan_prefetch_lifts_epoch_one_fast_tier_hit_rate() {
         "prefetch epoch-1 hit rate {p_rate} not above reactive {r_rate}"
     );
     assert_eq!(
-        p_after.prefetches_scheduled,
-        admitted as u64,
+        p_after.prefetches_scheduled, admitted as u64,
         "full-plan prefetch stages every entry: {p_after:?}"
     );
     assert_eq!(
@@ -145,7 +145,10 @@ fn disabled_prefetch_is_reactive_byte_for_byte() {
     m.wait_placement_idle();
 
     assert_eq!(e.bytes, want.bytes);
-    assert_eq!(e.fingerprint, want.fingerprint, "disabled prefetch changed bytes");
+    assert_eq!(
+        e.fingerprint, want.fingerprint,
+        "disabled prefetch changed bytes"
+    );
     let stats = m.stats();
     assert_eq!(stats.prefetches_scheduled, 0);
     assert_eq!(stats.prefetch_hits, 0);

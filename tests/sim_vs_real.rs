@@ -40,13 +40,14 @@ fn geometry_of(dir: &PathBuf) -> DatasetGeom {
         .filter_map(|e| e.ok())
         .map(|e| {
             let bytes = e.metadata().unwrap().len();
-            let idx = ShardIndex::build(std::io::BufReader::new(
-                fs::File::open(e.path()).unwrap(),
-            ))
-            .unwrap();
+            let idx = ShardIndex::build(std::io::BufReader::new(fs::File::open(e.path()).unwrap()))
+                .unwrap();
             (
                 e.file_name().to_string_lossy().into_owned(),
-                ShardGeom { bytes, records: idx.len() as u64 },
+                ShardGeom {
+                    bytes,
+                    records: idx.len() as u64,
+                },
             )
         })
         .collect();
@@ -67,7 +68,13 @@ fn chunk_read_counts_agree_between_sim_and_real() {
     let real = RealTrainer::new(
         RealBackend::Direct(monarch::core::driver::PosixDriver::new("pfs", &data).unwrap()),
         &data,
-        PipelineConfig { readers: 4, chunk_bytes: chunk, prefetch_batches: 2, seed: 9, trace_interval_secs: None },
+        PipelineConfig {
+            readers: 4,
+            chunk_bytes: chunk,
+            prefetch_batches: 2,
+            seed: 9,
+            trace_interval_secs: None,
+        },
     )
     .unwrap()
     .run_epoch(0)
@@ -78,7 +85,13 @@ fn chunk_read_counts_agree_between_sim_and_real() {
         Setup::VanillaLustre,
         geom.clone(),
         tiny_model(),
-        PipelineConfig { readers: 4, chunk_bytes: chunk, prefetch_batches: 2, seed: 9, trace_interval_secs: None },
+        PipelineConfig {
+            readers: 4,
+            chunk_bytes: chunk,
+            prefetch_batches: 2,
+            seed: 9,
+            trace_interval_secs: None,
+        },
         EnvConfig::default(),
     )
     .run(1);
@@ -89,7 +102,10 @@ fn chunk_read_counts_agree_between_sim_and_real() {
         real.chunk_reads,
         "sim and real must issue identical chunk counts"
     );
-    assert_eq!(sim.epochs[0].devices[sim.pfs_device].bytes_read(), real.bytes);
+    assert_eq!(
+        sim.epochs[0].devices[sim.pfs_device].bytes_read(),
+        real.bytes
+    );
     fs::remove_dir_all(&root).unwrap();
 }
 
@@ -117,7 +133,13 @@ fn monarch_placement_outcomes_agree_between_sim_and_real() {
     let trainer = RealTrainer::new(
         RealBackend::Monarch(Arc::clone(&m)),
         &data,
-        PipelineConfig { readers: 4, chunk_bytes: 16 << 10, prefetch_batches: 2, seed: 4, trace_interval_secs: None },
+        PipelineConfig {
+            readers: 4,
+            chunk_bytes: 16 << 10,
+            prefetch_batches: 2,
+            seed: 4,
+            trace_interval_secs: None,
+        },
     )
     .unwrap();
     for e in 0..3 {
@@ -126,19 +148,35 @@ fn monarch_placement_outcomes_agree_between_sim_and_real() {
     }
     let real_placed = m.stats().copies_completed;
     let real_skipped = m.stats().placement_skipped;
-    let real_used = m.hierarchy().tier(0).unwrap().quota.as_ref().unwrap().used();
+    let real_used = m
+        .hierarchy()
+        .tier(0)
+        .unwrap()
+        .quota
+        .as_ref()
+        .unwrap()
+        .used();
 
     // Simulated middleware over the measured geometry, same quota.
     let sim = SimTrainer::new(
         Setup::Monarch(MonarchSimConfig::with_ssd_capacity(quota)),
         geom.clone(),
         tiny_model(),
-        PipelineConfig { readers: 4, chunk_bytes: 16 << 10, prefetch_batches: 2, seed: 4, trace_interval_secs: None },
+        PipelineConfig {
+            readers: 4,
+            chunk_bytes: 16 << 10,
+            prefetch_batches: 2,
+            seed: 4,
+            trace_interval_secs: None,
+        },
         EnvConfig::default(),
     )
     .run(3);
-    let sim_placed_bytes: u64 =
-        sim.epochs.iter().map(|e| e.devices[0].bytes_written()).sum();
+    let sim_placed_bytes: u64 = sim
+        .epochs
+        .iter()
+        .map(|e| e.devices[0].bytes_written())
+        .sum();
 
     // Placement outcomes: both fill the quota to within one shard (the
     // shuffle order differs, so the exact shard set may differ).

@@ -34,18 +34,25 @@ fn assert_flow_linked(json: &str, pfs_tier: &str, fast_tier: &str) {
     assert_eq!(v["displayTimeUnit"], "ms");
     let events = v["traceEvents"].as_array().expect("traceEvents array");
     let x = |name: &'static str| {
-        events.iter().filter(move |e| e["ph"] == "X" && e["name"] == name)
+        events
+            .iter()
+            .filter(move |e| e["ph"] == "X" && e["name"] == name)
     };
 
     let pread_flows: HashSet<u64> = x("driver_pread")
         .filter(|e| e["args"]["tier"] == pfs_tier)
         .filter_map(|e| e["args"]["flow"].as_u64())
         .collect();
-    assert!(!pread_flows.is_empty(), "no flow-carrying driver_pread on {pfs_tier}");
+    assert!(
+        !pread_flows.is_empty(),
+        "no flow-carrying driver_pread on {pfs_tier}"
+    );
 
     let mut linked = 0;
     for e in x("copy_exec") {
-        let Some(flow) = e["args"]["flow"].as_u64() else { continue };
+        let Some(flow) = e["args"]["flow"].as_u64() else {
+            continue;
+        };
         if !pread_flows.contains(&flow) || e["args"]["outcome"] != "completed" {
             continue;
         }
@@ -128,6 +135,9 @@ fn sim_epoch_exports_flow_linked_trace() {
         EnvConfig::default(),
     )
     .run(1);
-    let json = r.trace_json.as_deref().expect("traced sim run exports JSON");
+    let json = r
+        .trace_json
+        .as_deref()
+        .expect("traced sim run exports JSON");
     assert_flow_linked(json, "lustre", "ssd0");
 }

@@ -1,0 +1,318 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!`/`benchmark_group` API
+//! surface this workspace uses, backed by a simple wall-clock sampler:
+//! each benchmark is calibrated so one sample takes roughly 200 µs, then
+//! `sample_size` samples are collected and the median / p95 per
+//! iteration reported. Results accumulate on the [`Criterion`] value so
+//! snapshot tooling can read them after running a group
+//! ([`Criterion::results`]).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How a benchmark's work scales per iteration, for derived rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; only one variant is
+/// used in this workspace and the hint is ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A benchmark label of the form `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`, with the parameter rendered via `Display`.
+    pub fn new(function: &str, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// One finished benchmark: per-iteration timings in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name (first `benchmark_group` argument).
+    pub group: String,
+    /// Benchmark label within the group.
+    pub label: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// 95th-percentile nanoseconds per iteration.
+    pub p95_ns: f64,
+    /// Number of samples the percentiles were computed from.
+    pub samples: usize,
+    /// Declared per-iteration throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+/// The benchmark harness: collects [`BenchResult`]s as groups run.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    results: Vec<BenchResult>,
+    quiet: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            results: Vec::new(),
+            quiet: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Accept (and ignore) harness CLI arguments such as `--bench`.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Set the default number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Suppress per-benchmark stdout lines (snapshot mode).
+    #[must_use]
+    pub fn quiet(mut self) -> Self {
+        self.quiet = true;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Print a closing line; kept for `criterion_main!` compatibility.
+    pub fn final_summary(&self) {
+        if !self.quiet {
+            println!("completed {} benchmarks", self.results.len());
+        }
+    }
+
+    /// All results recorded so far, in execution order.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A group of benchmarks sharing a name, throughput, and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Run `f` as the benchmark `label`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher {
+            sample_target: samples,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        self.record(label.to_string(), &b);
+    }
+
+    /// Run `f` with `input` as the benchmark identified by `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher {
+            sample_target: samples,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b, input);
+        self.record(id.id, &b);
+    }
+
+    /// Close the group (no-op beyond upstream API compatibility).
+    pub fn finish(self) {}
+
+    fn record(&mut self, label: String, b: &Bencher) {
+        let mut sorted = b.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timings"));
+        let median = percentile(&sorted, 0.50);
+        let p95 = percentile(&sorted, 0.95);
+        if !self.criterion.quiet {
+            println!(
+                "{}/{}: median {:.1} ns/iter, p95 {:.1} ns/iter ({} samples)",
+                self.name,
+                label,
+                median,
+                p95,
+                sorted.len()
+            );
+        }
+        self.criterion.results.push(BenchResult {
+            group: self.name.clone(),
+            label,
+            median_ns: median,
+            p95_ns: p95,
+            samples: sorted.len(),
+            throughput: self.throughput,
+        });
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Per-sample minimum work, so fast routines aren't timed at clock
+/// resolution.
+const TARGET_SAMPLE: Duration = Duration::from_micros(200);
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    sample_target: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`, collecting the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fill one sample window?
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(25));
+        let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_target {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let t0 = Instant::now();
+        std::hint::black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(25));
+        let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_target {
+            let mut busy = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                std::hint::black_box(routine(input));
+                busy += t.elapsed();
+            }
+            self.samples_ns.push(busy.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+/// Bundle benchmark functions into one group function taking
+/// `&mut Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Run every benchmark in this group.
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `fn main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_results_with_throughput() {
+        let mut c = Criterion::default().sample_size(3).quiet();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("busy", |b| {
+            b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()))
+        });
+        g.bench_with_input(BenchmarkId::new("param", "x"), &7u64, |b, n| {
+            b.iter_batched(|| *n, |v| v * 2, BatchSize::SmallInput);
+        });
+        g.finish();
+        let results = c.results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].label, "busy");
+        assert_eq!(results[1].label, "param/x");
+        assert!(results[0].median_ns > 0.0);
+        assert!(results[0].p95_ns >= results[0].median_ns);
+        assert_eq!(results[0].throughput, Some(Throughput::Bytes(64)));
+    }
+}

@@ -1,0 +1,41 @@
+//! Deserialization error type.
+
+use std::fmt;
+
+/// A deserialization failure: a human-readable message, optionally
+/// annotated with the field path where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error carrying `msg`.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Self {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// A required field was absent from the input object.
+    pub fn missing_field(name: &str) -> Self {
+        Self {
+            msg: format!("missing field `{name}`"),
+        }
+    }
+
+    /// An enum tag did not name a known variant.
+    pub fn unknown_variant(tag: &str, ty: &str) -> Self {
+        Self {
+            msg: format!("unknown variant `{tag}` for {ty}"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,586 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` without
+//! `syn`/`quote`: the input item is parsed with a small token walker and
+//! the impl is emitted as a source string. Supports exactly the shapes
+//! this workspace uses — non-generic named-field structs, one-field
+//! tuple (newtype) structs, and enums with unit / newtype / struct
+//! variants — plus the attribute subset `rename_all = "snake_case"`,
+//! `tag = "..."`, `transparent`, `default`, `default = "fn"`, `flatten`,
+//! and `skip_serializing_if = "fn"`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (value-tree flavor) for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_serialize(&c)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (value-tree flavor) for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_deserialize(&c)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Container {
+    name: String,
+    rename_all: bool, // snake_case is the only convention used
+    tag: Option<String>,
+    transparent: bool,
+    data: Data,
+}
+
+enum Data {
+    /// Named-field struct.
+    Struct(Vec<Field>),
+    /// One-field tuple struct (serialized as its inner value).
+    Newtype,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    /// `Some(None)` = `#[serde(default)]`, `Some(Some(path))` = `default = "path"`.
+    default: Option<Option<String>>,
+    flatten: bool,
+    skip_if: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Token walking
+// ---------------------------------------------------------------------------
+
+/// Serde attribute arguments collected off `#[serde(...)]` groups: bare
+/// flags (`default`) and `key = "value"` pairs.
+#[derive(Default)]
+struct SerdeArgs {
+    items: Vec<(String, Option<String>)>,
+}
+
+impl SerdeArgs {
+    fn flag(&self, name: &str) -> bool {
+        self.items.iter().any(|(k, v)| k == name && v.is_none())
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.items
+            .iter()
+            .find_map(|(k, v)| (k == name).then_some(v.as_deref()).flatten())
+    }
+
+    /// `default` appears either bare or with a value.
+    fn default_spec(&self) -> Option<Option<String>> {
+        self.items
+            .iter()
+            .find(|(k, _)| k == "default")
+            .map(|(_, v)| v.clone())
+    }
+}
+
+/// Consume leading `#[...]` attributes, folding `serde(...)` contents into
+/// one [`SerdeArgs`]; every other attribute (docs, `derive`, `default`) is
+/// skipped. Returns the index of the first non-attribute token.
+fn take_attrs(tokens: &[TokenTree], mut i: usize, args: &mut SerdeArgs) -> usize {
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let TokenTree::Group(g) = &tokens[i + 1] else {
+                    panic!("malformed attribute");
+                };
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(list)) = inner.get(1) {
+                            parse_serde_args(list.stream(), args);
+                        }
+                    }
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Parse `a, b = "c", d = "e"` inside a `serde(...)` group.
+fn parse_serde_args(stream: TokenStream, args: &mut SerdeArgs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let TokenTree::Ident(key) = &tokens[i] else {
+            panic!(
+                "unsupported serde attribute shape: {:?}",
+                tokens[i].to_string()
+            );
+        };
+        let key = key.to_string();
+        i += 1;
+        let mut value = None;
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '=' {
+                let TokenTree::Literal(lit) = &tokens[i + 1] else {
+                    panic!("serde attribute `{key}` expects a string value");
+                };
+                value = Some(strip_quotes(&lit.to_string()));
+                i += 2;
+            }
+        }
+        args.items.push((key, value));
+        // Optional comma.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+    }
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut args = SerdeArgs::default();
+    let mut i = take_attrs(&tokens, 0, &mut args);
+    i = skip_vis(&tokens, i);
+    let TokenTree::Ident(kw) = &tokens[i] else {
+        panic!("expected `struct` or `enum`");
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &tokens[i] else {
+        panic!("expected item name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("the vendored serde derive does not support generic types ({name})");
+        }
+    }
+    let rename_all = match args.value("rename_all") {
+        None => false,
+        Some("snake_case") => true,
+        Some(other) => panic!("unsupported rename_all convention `{other}`"),
+    };
+    let tag = args.value("tag").map(str::to_string);
+    let transparent = args.flag("transparent");
+    let data = match (kw.as_str(), &tokens[i]) {
+        ("struct", TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Data::Struct(parse_fields(g.stream()))
+        }
+        ("struct", TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Data::Newtype,
+        ("enum", TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Data::Enum(parse_variants(g.stream()))
+        }
+        _ => panic!("unsupported item shape for {name}"),
+    };
+    Container {
+        name,
+        rename_all,
+        tag,
+        transparent,
+        data,
+    }
+}
+
+/// Parse named fields: `attrs vis name : Type ,` repeated. Types are
+/// skipped entirely — codegen infers them from field position.
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut args = SerdeArgs::default();
+        i = take_attrs(&tokens, i, &mut args);
+        i = skip_vis(&tokens, i);
+        let TokenTree::Ident(fname) = &tokens[i] else {
+            panic!("expected field name, got {:?}", tokens[i].to_string());
+        };
+        let fname = fname.to_string();
+        i += 1;
+        // Skip `:` then the type tokens up to a top-level comma. Generic
+        // argument lists nest `<`/`>` as plain puncts, so track depth.
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "expected `:` after field {fname}"
+        );
+        i += 1;
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name: fname,
+            default: args.default_spec(),
+            flatten: args.flag("flatten"),
+            skip_if: args.value("skip_serializing_if").map(str::to_string),
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut args = SerdeArgs::default();
+        i = take_attrs(&tokens, i, &mut args);
+        let TokenTree::Ident(vname) = &tokens[i] else {
+            panic!("expected variant name, got {:?}", tokens[i].to_string());
+        };
+        let vname = vname.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Newtype
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name: vname, kind });
+    }
+    variants
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.data {
+        Data::Newtype => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::Struct(fields) => {
+            if c.transparent {
+                assert_eq!(fields.len(), 1, "transparent struct must have one field");
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+            } else {
+                let mut b = String::from("let mut obj = ::serde::Map::new();\n");
+                for f in fields {
+                    b.push_str(&ser_field(&format!("self.{}", f.name), f));
+                }
+                b.push_str("::serde::Value::Object(obj)");
+                b
+            }
+        }
+        Data::Enum(variants) => gen_serialize_enum(c, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// One field's contribution to the surrounding `obj` map. `access` is the
+/// expression reaching the field value (`self.f` or a match binding).
+fn ser_field(access: &str, f: &Field) -> String {
+    let key = &f.name;
+    if f.flatten {
+        return format!(
+            "match ::serde::Serialize::to_value(&{access}) {{\n\
+                 ::serde::Value::Object(m) => {{ for (k, v) in &m {{ obj.insert(k.clone(), v.clone()); }} }}\n\
+                 v => {{ obj.insert(\"{key}\".to_string(), v); }}\n\
+             }}\n"
+        );
+    }
+    let insert =
+        format!("obj.insert(\"{key}\".to_string(), ::serde::Serialize::to_value(&{access}));\n");
+    match &f.skip_if {
+        Some(path) => format!("if !{path}(&{access}) {{ {insert} }}\n"),
+        None => insert,
+    }
+}
+
+fn variant_wire_name(c: &Container, v: &Variant) -> String {
+    if c.rename_all {
+        snake_case(&v.name)
+    } else {
+        v.name.clone()
+    }
+}
+
+fn gen_serialize_enum(c: &Container, variants: &[Variant]) -> String {
+    let name = &c.name;
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let wire = variant_wire_name(c, v);
+        let arm = match (&v.kind, &c.tag) {
+            (VariantKind::Unit, None) => format!(
+                "{name}::{vname} => ::serde::Value::String(\"{wire}\".to_string()),\n"
+            ),
+            (VariantKind::Unit, Some(tag)) => format!(
+                "{name}::{vname} => {{\n\
+                     let mut obj = ::serde::Map::new();\n\
+                     obj.insert(\"{tag}\".to_string(), ::serde::Value::String(\"{wire}\".to_string()));\n\
+                     ::serde::Value::Object(obj)\n\
+                 }}\n"
+            ),
+            (VariantKind::Newtype, None) => format!(
+                "{name}::{vname}(inner) => {{\n\
+                     let mut obj = ::serde::Map::new();\n\
+                     obj.insert(\"{wire}\".to_string(), ::serde::Serialize::to_value(inner));\n\
+                     ::serde::Value::Object(obj)\n\
+                 }}\n"
+            ),
+            (VariantKind::Newtype, Some(_)) => {
+                panic!("internally tagged newtype variants are not supported ({name}::{vname})")
+            }
+            (VariantKind::Struct(fields), tag) => {
+                let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let bind_list = binds.join(", ");
+                let mut body = String::from("let mut obj = ::serde::Map::new();\n");
+                if let Some(tag) = tag {
+                    body.push_str(&format!(
+                        "obj.insert(\"{tag}\".to_string(), ::serde::Value::String(\"{wire}\".to_string()));\n"
+                    ));
+                }
+                for f in fields {
+                    body.push_str(&ser_field(&format!("(*{})", f.name), f));
+                }
+                if tag.is_some() {
+                    body.push_str("::serde::Value::Object(obj)\n");
+                } else {
+                    body.push_str(&format!(
+                        "let mut outer = ::serde::Map::new();\n\
+                         outer.insert(\"{wire}\".to_string(), ::serde::Value::Object(obj));\n\
+                         ::serde::Value::Object(outer)\n"
+                    ));
+                }
+                format!("{name}::{vname} {{ {bind_list} }} => {{\n{body}}}\n")
+            }
+        };
+        arms.push_str(&arm);
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.data {
+        Data::Newtype => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Data::Struct(fields) => {
+            if c.transparent {
+                assert_eq!(fields.len(), 1, "transparent struct must have one field");
+                let f = &fields[0].name;
+                format!(
+                    "::std::result::Result::Ok({name} {{ {f}: ::serde::Deserialize::from_value(v)? }})"
+                )
+            } else {
+                let mut b = format!(
+                    "let obj = v.as_object().ok_or_else(|| ::serde::de::Error::custom(\
+                         \"expected an object for {name}\"))?;\n\
+                     ::std::result::Result::Ok({name} {{\n"
+                );
+                for f in fields {
+                    b.push_str(&format!("{}: {},\n", f.name, de_field_expr("v", f)));
+                }
+                b.push_str("})");
+                b
+            }
+        }
+        Data::Enum(variants) => gen_deserialize_enum(c, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Expression producing one struct field's value. Expects `obj` (the
+/// surrounding map) in scope; `whole` names the full `&Value` for
+/// `flatten` fields.
+fn de_field_expr(whole: &str, f: &Field) -> String {
+    let key = &f.name;
+    if f.flatten {
+        return format!("::serde::Deserialize::from_value({whole})?");
+    }
+    let missing = match &f.default {
+        Some(None) => "::std::default::Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+        // No default: types that accept null (Option) fall back to it;
+        // everything else reports the missing field.
+        None => format!(
+            "::serde::Deserialize::from_value(&::serde::Value::Null)\
+                 .map_err(|_| ::serde::de::Error::missing_field(\"{key}\"))?"
+        ),
+    };
+    format!(
+        "match obj.get(\"{key}\") {{\n\
+             ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+             ::std::option::Option::None => {missing},\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(c: &Container, variants: &[Variant]) -> String {
+    let name = &c.name;
+    if let Some(tag) = &c.tag {
+        // Internally tagged: the object carries the variant in `tag`.
+        let mut arms = String::new();
+        for v in variants {
+            let vname = &v.name;
+            let wire = variant_wire_name(c, v);
+            match &v.kind {
+                VariantKind::Unit => {
+                    arms.push_str(&format!(
+                        "\"{wire}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+                VariantKind::Struct(fields) => {
+                    let mut fexprs = String::new();
+                    for f in fields {
+                        fexprs.push_str(&format!("{}: {},\n", f.name, de_field_expr("v", f)));
+                    }
+                    arms.push_str(&format!(
+                        "\"{wire}\" => ::std::result::Result::Ok({name}::{vname} {{\n{fexprs}}}),\n"
+                    ));
+                }
+                VariantKind::Newtype => {
+                    panic!("internally tagged newtype variants are not supported ({name}::{vname})")
+                }
+            }
+        }
+        return format!(
+            "let obj = v.as_object().ok_or_else(|| ::serde::de::Error::custom(\
+                 \"expected a tagged object for {name}\"))?;\n\
+             let tag = obj.get(\"{tag}\").and_then(::serde::Value::as_str).ok_or_else(|| \
+                 ::serde::de::Error::missing_field(\"{tag}\"))?;\n\
+             match tag {{\n{arms}\
+                 other => ::std::result::Result::Err(::serde::de::Error::unknown_variant(other, \"{name}\")),\n\
+             }}"
+        );
+    }
+    // Externally tagged: unit variants are strings; data variants are
+    // single-key objects.
+    let mut unit_arms = String::new();
+    let mut keyed_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let wire = variant_wire_name(c, v);
+        match &v.kind {
+            VariantKind::Unit => unit_arms.push_str(&format!(
+                "\"{wire}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+            )),
+            VariantKind::Newtype => keyed_arms.push_str(&format!(
+                "\"{wire}\" => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(inner)?)),\n"
+            )),
+            VariantKind::Struct(fields) => {
+                let mut fexprs = String::new();
+                for f in fields {
+                    fexprs.push_str(&format!("{}: {},\n", f.name, de_field_expr("inner", f)));
+                }
+                keyed_arms.push_str(&format!(
+                    "\"{wire}\" => {{\n\
+                         let obj = inner.as_object().ok_or_else(|| ::serde::de::Error::custom(\
+                             \"expected an object for {name}::{vname}\"))?;\n\
+                         ::std::result::Result::Ok({name}::{vname} {{\n{fexprs}}})\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "match v {{\n\
+             ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::de::Error::unknown_variant(other, \"{name}\")),\n\
+             }},\n\
+             ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (k, inner) = m.iter().next().expect(\"len checked\");\n\
+                 match k.as_str() {{\n{keyed_arms}\
+                     other => ::std::result::Result::Err(::serde::de::Error::unknown_variant(other, \"{name}\")),\n\
+                 }}\n\
+             }}\n\
+             _ => ::std::result::Result::Err(::serde::de::Error::custom(\
+                 \"expected a string or single-key object for {name}\")),\n\
+         }}"
+    )
+}
