@@ -134,7 +134,7 @@ pub fn bench_telemetry_read_path(c: &mut Criterion) {
         lookahead: 4,
         max_inflight_bytes: 256 << 20,
     };
-    let variants: [(&str, TelemetryConfig, PrefetchConfig); 7] = [
+    let variants: [(&str, TelemetryConfig, PrefetchConfig); 9] = [
         (
             "disabled",
             TelemetryConfig::disabled(),
@@ -181,6 +181,23 @@ pub fn bench_telemetry_read_path(c: &mut Criterion) {
             PrefetchConfig::disabled(),
         ),
         ("prefetch_on", TelemetryConfig::default(), pf_on),
+        // profiler_off vs profiler_on isolates the access profiler's
+        // per-read cost: one shard lock, a hash probe, and the ledger's
+        // relaxed atomics. profiler_off is the default registry with only
+        // the observatory switched off.
+        (
+            "profiler_off",
+            TelemetryConfig {
+                profiler: false,
+                ..TelemetryConfig::default()
+            },
+            PrefetchConfig::disabled(),
+        ),
+        (
+            "profiler_on",
+            TelemetryConfig::default(),
+            PrefetchConfig::disabled(),
+        ),
     ];
     for (label, tcfg, pf) in variants {
         let m = warmed_monarch(tcfg, pf);

@@ -1,5 +1,6 @@
 //! Run reports: per-epoch times, device counters, resource-usage proxies.
 
+use monarch_core::observe::{LedgerBuckets, ObserveReport};
 use monarch_core::telemetry::{TelemetrySnapshot, TimeSeries};
 use serde::Serialize;
 use simfs::DeviceStats;
@@ -18,6 +19,11 @@ pub struct EpochReport {
     pub gpu_util: f64,
     /// CPU utilisation proxy: host work / epoch time.
     pub cpu_util: f64,
+    /// Bottleneck attribution for this epoch, from the time-lost ledger
+    /// delta across the epoch; `None` for non-MONARCH setups (or with
+    /// the profiler disabled).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub observe: Option<LedgerBuckets>,
 }
 
 /// Measurements of one full training run.
@@ -56,6 +62,11 @@ pub struct RunReport {
     /// both load identically in `ui.perfetto.dev`.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub trace_json: Option<String>,
+    /// Whole-run bottleneck-attribution report (buckets over the total
+    /// training time, top-K hot and wasted files); `None` for
+    /// non-MONARCH setups.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub observe: Option<ObserveReport>,
     /// Per-epoch measurements.
     pub epochs: Vec<EpochReport>,
 }
@@ -192,6 +203,7 @@ mod tests {
             pfs_throughput_series: TimeSeries::new(),
             telemetry: None,
             trace_json: None,
+            observe: None,
             epochs: secs
                 .iter()
                 .enumerate()
@@ -206,6 +218,7 @@ mod tests {
                         devices: vec![DeviceStats::default(), lustre],
                         gpu_util: 0.5,
                         cpu_util: 0.3,
+                        observe: None,
                     }
                 })
                 .collect(),

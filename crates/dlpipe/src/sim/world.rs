@@ -8,6 +8,10 @@ use monarch_core::driver::MemDriver;
 use monarch_core::hash::{FxHashMap, FxHashSet};
 use monarch_core::hierarchy::StorageHierarchy;
 use monarch_core::metadata::{MetadataContainer, PlacementState};
+use monarch_core::observe::{
+    LedgerBuckets, LedgerSnapshot, ObserveReport, ReadClass, ReadTiming, ResidencyEventKind,
+    TransitionCause,
+};
 use monarch_core::placement::{FirstFit, LruEvict, PlacementPolicy, RoundRobin};
 use monarch_core::pool::Lane;
 use monarch_core::stats::Stats;
@@ -131,6 +135,12 @@ struct MonarchSim {
     /// the clairvoyant contract serves such reads from the copy when it
     /// lands rather than double-reading the shard from the PFS.
     waiting_readers: FxHashMap<usize, Vec<usize>>,
+    /// Virtual instant each parked reader stopped, so the profiler can
+    /// attribute the wait to the prefetch-lag bucket when it resumes.
+    parked_at: FxHashMap<usize, SimTime>,
+    /// Time-lost ledger baseline at the current epoch's start; the epoch
+    /// report carries the delta against it.
+    epoch_ledger: LedgerSnapshot,
     /// Shards whose staging fetch has landed in memory but whose tier
     /// write-back is still draining: a foreground read is served straight
     /// from the copy's buffer, costing no device time.
@@ -395,6 +405,8 @@ impl World {
                     plan_issued: 0,
                     prefetch_issued: FxHashMap::default(),
                     waiting_readers: FxHashMap::default(),
+                    parked_at: FxHashMap::default(),
+                    epoch_ledger: LedgerSnapshot::default(),
                     buffer_ready: FxHashSet::default(),
                     idle_workers: cfg.pool_threads.max(1),
                     pool_threads: cfg.pool_threads.max(1),
@@ -555,6 +567,13 @@ impl World {
         self.sample_gauges();
 
         let device_names = self.devs.iter().map(|d| d.spec.name.clone()).collect();
+        let telemetry = self.monarch.as_ref().map(|ms| ms.telemetry.snapshot());
+        // Whole-run attribution: total training wall (virtual), folded by
+        // the reader count — identical roll-up to `monarch report`.
+        let total_seconds: f64 = self.reports.iter().map(|e| e.seconds).sum();
+        let observe = telemetry.as_ref().and_then(|snap| {
+            ObserveReport::from_snapshot(snap, total_seconds, self.readers.len(), 5)
+        });
         RunReport {
             setup: match self.mode {
                 ModeTag::VanillaLustre => "vanilla-lustre",
@@ -569,11 +588,12 @@ impl World {
             pfs_device: self.lustre,
             metadata_init_seconds: self.metadata_init_seconds,
             prestage_seconds: self.prestage_seconds,
-            telemetry: self.monarch.as_ref().map(|ms| ms.telemetry.snapshot()),
+            telemetry,
             trace_json: self.monarch.as_ref().and_then(|ms| {
                 let tr = ms.telemetry.trace();
                 tr.is_enabled().then(|| tr.export_chrome_json())
             }),
+            observe,
             pfs_throughput_series: self.sampler.into_series(),
             epochs: self.reports,
         }
@@ -789,14 +809,28 @@ impl World {
         // Clairvoyant mode: the shuffled order *is* the epoch's access
         // plan — hand it to the prefetcher before the readers start.
         if let Some(ms) = self.monarch.as_mut() {
+            ms.epoch_ledger = ms.telemetry.observe().profiler().ledger();
             if ms.prefetch_lookahead > 0 {
                 ms.plan_pos = order.iter().enumerate().map(|(i, &s)| (s, i)).collect();
                 ms.plan = order;
                 ms.plan_cursor = 0;
                 ms.plan_issued = 0;
-                ms.lanes.drain_prefetch();
+                let source = ms.tier_dev.len() - 1;
+                for shard in ms.lanes.drain_prefetch() {
+                    // A plan boundary withdraws still-queued prefetches;
+                    // the timeline records the cancellation like the real
+                    // engine's `plan()` does.
+                    ms.telemetry.observe().timeline().record_at(
+                        vmicros(now),
+                        &self.shard_names[shard],
+                        source,
+                        ResidencyEventKind::Canceled,
+                        TransitionCause::Plan,
+                    );
+                }
                 ms.prefetch_issued.clear();
                 ms.waiting_readers.clear();
+                ms.parked_at.clear();
                 ms.buffer_ready.clear();
                 self.pump_prefetch(now);
             }
@@ -815,6 +849,15 @@ impl World {
             .map(|(i, d)| d.ps.stats().delta_since(&self.dev_snapshot[i]))
             .collect();
         let cpu_work = self.consumed * self.model.cpu_per_sample;
+        // Attribute this epoch's wall from the ledger delta since the
+        // epoch began; the reader count is the fold-down concurrency.
+        let observe = self.monarch.as_ref().and_then(|ms| {
+            let p = ms.telemetry.observe().profiler();
+            p.is_enabled().then(|| {
+                let delta = p.ledger().delta(&ms.epoch_ledger);
+                LedgerBuckets::from_ledger(&delta, seconds, self.readers.len())
+            })
+        });
         self.reports.push(EpochReport {
             epoch: self.epoch,
             seconds,
@@ -829,6 +872,7 @@ impl World {
             } else {
                 0.0
             },
+            observe,
         });
         self.epoch += 1;
         if self.epoch >= self.epochs_total {
@@ -895,6 +939,13 @@ impl World {
                     ms.telemetry.event_at(
                         vmicros(now),
                         EventKind::PrefetchPromoted { file: name.clone() },
+                    );
+                    ms.telemetry.observe().timeline().record_at(
+                        vmicros(now),
+                        name,
+                        info.tier,
+                        ResidencyEventKind::Promoted,
+                        TransitionCause::Demand,
                     );
                     promoted = true;
                 }
@@ -1044,7 +1095,7 @@ impl World {
                     self.reader_advance(now, r);
                     return;
                 }
-                if self.prefetch_park(r, next) {
+                if self.prefetch_park(now, r, next) {
                     return;
                 }
                 if dev == self.lustre {
@@ -1177,6 +1228,63 @@ impl World {
         );
     }
 
+    /// Feed one completed chunk read to the access profiler, classified
+    /// the way the real read path classifies: a local-tier serve is
+    /// `Fast`; a PFS serve is `PrefetchLag` when the epoch plan covers
+    /// the shard, `LaneSaturated` when its copy is already in flight,
+    /// and `PfsCold` otherwise. Virtual lookups are instantaneous, so
+    /// the whole device time is pread time.
+    fn profile_chunk_read(
+        &mut self,
+        now: SimTime,
+        dev: usize,
+        shard: usize,
+        issued: SimTime,
+        bytes: u64,
+    ) {
+        let lustre = self.lustre;
+        let Some(ms) = self.monarch.as_ref() else {
+            return;
+        };
+        let profiler = ms.telemetry.observe().profiler();
+        if !profiler.is_enabled() {
+            return;
+        }
+        let name = &self.shard_names[shard];
+        let tier = ms
+            .tier_dev
+            .iter()
+            .position(|&d| d == dev)
+            .unwrap_or(ms.tier_dev.len() - 1);
+        let class = if dev != lustre {
+            ReadClass::Fast
+        } else if ms.prefetch_lookahead > 0 && ms.plan_pos.contains_key(&shard) {
+            ReadClass::PrefetchLag
+        } else if matches!(
+            ms.meta.get(name),
+            Some(info) if matches!(info.state, PlacementState::Copying { .. })
+        ) {
+            ReadClass::LaneSaturated
+        } else {
+            ReadClass::PfsCold
+        };
+        let d = vmicros(now - issued);
+        profiler.record_read(
+            name,
+            tier,
+            bytes,
+            class,
+            false,
+            ReadTiming {
+                wall_us: d,
+                pread_us: d,
+                lock_queue_us: 0,
+                copy_wait_us: 0,
+            },
+            vmicros(now),
+        );
+    }
+
     // -- transfer completions ----------------------------------------------
 
     fn on_transfer_done(&mut self, now: SimTime, dev: usize, purpose: Purpose, bytes: u64) {
@@ -1201,6 +1309,7 @@ impl World {
                 if traced {
                     self.record_read_spans(now, dev, reader, shard, issued, bytes);
                 }
+                self.profile_chunk_read(now, dev, shard, issued, bytes);
 
                 // Cache spills: vanilla-caching epoch 1, or MONARCH with
                 // the full-file fetch disabled.
@@ -1296,6 +1405,16 @@ impl World {
                     if ms.prefetch_lookahead > 0 {
                         ms.buffer_ready.insert(shard);
                     }
+                    if ms.prefetch_issued.contains_key(&shard) {
+                        // The staged bytes are servable from here on:
+                        // this is the instant the waste detector compares
+                        // later reads against.
+                        ms.telemetry.observe().profiler().record_prefetch_staged(
+                            &self.shard_names[shard],
+                            self.geom.shards[shard].bytes,
+                            vmicros(now),
+                        );
+                    }
                     ms.waiting_readers.remove(&shard).unwrap_or_default()
                 };
                 if !released.is_empty() {
@@ -1325,6 +1444,17 @@ impl World {
                 ms.pending_copy_writes -= 1;
                 ms.telemetry.stats().copy_completed();
                 ms.telemetry.stats().record_write(tier, size);
+                ms.telemetry.observe().timeline().record_at(
+                    vmicros(now),
+                    &name,
+                    tier,
+                    ResidencyEventKind::Admitted,
+                    if ms.prefetch_issued.contains_key(&shard) {
+                        TransitionCause::Plan
+                    } else {
+                        TransitionCause::Demand
+                    },
+                );
                 let started = ms.copy_started.remove(&shard);
                 let micros = match started {
                     Some(at) => {
@@ -1425,6 +1555,13 @@ impl World {
                             ms.meta.finish_copy(&name, tier).expect("finish");
                             ms.telemetry.stats().copy_completed();
                             ms.telemetry.stats().record_write(tier, total);
+                            ms.telemetry.observe().timeline().record_at(
+                                vmicros(now),
+                                &name,
+                                tier,
+                                ResidencyEventKind::Admitted,
+                                TransitionCause::Demand,
+                            );
                             ms.telemetry.event_at(
                                 vmicros(now),
                                 EventKind::CopyCompleted {
@@ -1485,7 +1622,7 @@ impl World {
     /// bulk copy streams the same bytes. Reactive mode (`lookahead == 0`)
     /// never parks, and neither do shards the prefetcher did not issue —
     /// demand copies keep today's read-through behaviour byte for byte.
-    fn prefetch_park(&mut self, r: usize, shard: usize) -> bool {
+    fn prefetch_park(&mut self, now: SimTime, r: usize, shard: usize) -> bool {
         let name = &self.shard_names[shard];
         let parked = match self.monarch.as_mut() {
             Some(ms)
@@ -1499,6 +1636,7 @@ impl World {
                 );
                 if copying {
                     ms.waiting_readers.entry(shard).or_default().push(r);
+                    ms.parked_at.insert(r, now);
                     true
                 } else {
                     false
@@ -1539,9 +1677,43 @@ impl World {
     /// trainer's own consumption rate.
     fn serve_from_buffer(&mut self, now: SimTime, r: usize, shard: usize) {
         let bytes = self.geom.shards[shard].bytes;
-        if let Some(ms) = self.monarch.as_ref() {
-            if let Some(&tier) = ms.copy_target.get(&shard) {
+        if let Some(ms) = self.monarch.as_mut() {
+            let tier = ms.copy_target.get(&shard).copied();
+            if let Some(tier) = tier {
                 ms.telemetry.stats().record_read(tier, bytes);
+            }
+            let waited = ms
+                .parked_at
+                .remove(&r)
+                .map(|at| vmicros(now - at))
+                .unwrap_or(0);
+            let profiler = ms.telemetry.observe().profiler();
+            if profiler.is_enabled() {
+                // A reader that parked on the staging copy charges its
+                // wait to the prefetch-lag bucket (the prefetcher knew,
+                // but was late); an un-parked buffer hit is a free read.
+                let (class, timing) = if waited > 0 {
+                    (
+                        ReadClass::PrefetchLag,
+                        ReadTiming {
+                            wall_us: waited,
+                            pread_us: 0,
+                            lock_queue_us: 0,
+                            copy_wait_us: waited,
+                        },
+                    )
+                } else {
+                    (ReadClass::Fast, ReadTiming::default())
+                };
+                profiler.record_read(
+                    &self.shard_names[shard],
+                    tier.unwrap_or(0),
+                    bytes,
+                    class,
+                    true,
+                    timing,
+                    vmicros(now),
+                );
             }
         }
         self.readers[r].cur = Some((shard, bytes));
@@ -1626,6 +1798,13 @@ impl World {
                                             bytes: vinfo.size,
                                         },
                                     );
+                                    ms.telemetry.observe().timeline().record_at(
+                                        vmicros(now),
+                                        victim,
+                                        decision.tier,
+                                        ResidencyEventKind::Evicted,
+                                        TransitionCause::Eviction,
+                                    );
                                 }
                             }
                         }
@@ -1654,6 +1833,7 @@ impl World {
                         ms.prefetch_issued.remove(&shard);
                         if let Some(stranded) = ms.waiting_readers.remove(&shard) {
                             for &r in &stranded {
+                                ms.parked_at.remove(&r);
                                 self.readers[r].inflight = false;
                             }
                             for r in stranded {
@@ -1767,6 +1947,7 @@ impl World {
                     ms.prefetch_issued.remove(&shard);
                     if let Some(stranded) = ms.waiting_readers.remove(&shard) {
                         for &r in &stranded {
+                            ms.parked_at.remove(&r);
                             self.readers[r].inflight = false;
                         }
                         for r in stranded {

@@ -75,6 +75,23 @@ pub enum Command {
         /// Shut down after this many seconds (`None` = until killed).
         duration: Option<f64>,
     },
+    /// Stream the dataset through the middleware with the access profiler
+    /// on and print the epoch bottleneck-attribution report.
+    Report {
+        /// Path to a `MonarchConfig` JSON file.
+        config: PathBuf,
+        /// Chunk size per read, bytes.
+        chunk: u64,
+        /// Number of epochs.
+        epochs: usize,
+        /// Clairvoyant prefetch lookahead (`0` = use the config file's
+        /// setting; the report is most useful with prefetch on).
+        prefetch: usize,
+        /// Top-K entries in the hot and wasted-prefetch lists.
+        top: usize,
+        /// Emit the report as JSON instead of the human table.
+        json: bool,
+    },
     /// Stream the dataset through the middleware with causal tracing on
     /// and write a Chrome Trace Event / Perfetto JSON file.
     Trace {
@@ -116,11 +133,14 @@ impl Command {
          monarch epoch|run   --config CFG.json --data DIR [--readers N] [--chunk BYTES] [--epochs N] [--prefetch N]\n  \
          monarch metrics     --config CFG.json [--format text|json] [--watch SECS]\n  \
          monarch serve       --config CFG.json [--addr HOST:PORT] [--duration SECS]\n  \
+         monarch report      --config CFG.json [--chunk BYTES] [--epochs N] [--prefetch N] [--top K] [--json]\n  \
          monarch trace       --config CFG.json --data DIR --out TRACE.json [--readers N] [--chunk BYTES] [--duration SECS] [--sample N]"
     }
 
     /// Parse an argument vector (without the program name).
     pub fn parse(args: &[String]) -> Result<Command, String> {
+        // Flags that take no value (presence alone means "true").
+        const SWITCHES: &[&str] = &["json"];
         let mut it = args.iter();
         let sub = it.next().ok_or("missing subcommand")?;
         let mut flags = std::collections::BTreeMap::new();
@@ -128,7 +148,11 @@ impl Command {
         for a in it {
             if let Some(stripped) = a.strip_prefix("--") {
                 if let Some(k) = key.take() {
-                    return Err(format!("flag --{k} is missing a value"));
+                    if SWITCHES.contains(&k.as_str()) {
+                        flags.insert(k, "true".to_string());
+                    } else {
+                        return Err(format!("flag --{k} is missing a value"));
+                    }
                 }
                 key = Some(stripped.to_string());
             } else if let Some(k) = key.take() {
@@ -138,7 +162,11 @@ impl Command {
             }
         }
         if let Some(k) = key {
-            return Err(format!("flag --{k} is missing a value"));
+            if SWITCHES.contains(&k.as_str()) {
+                flags.insert(k, "true".to_string());
+            } else {
+                return Err(format!("flag --{k} is missing a value"));
+            }
         }
         let get = |k: &str| -> Result<String, String> {
             flags
@@ -218,6 +246,17 @@ impl Command {
                         }
                     },
                 },
+            }),
+            "report" => Ok(Command::Report {
+                config: PathBuf::from(get("config")?),
+                chunk: get_u64("chunk", Some(256 << 10))?,
+                epochs: match get_u64("epochs", Some(2))? {
+                    0 => return Err("--epochs must be >= 1".into()),
+                    n => n as usize,
+                },
+                prefetch: get_u64("prefetch", Some(16))? as usize,
+                top: get_u64("top", Some(5))? as usize,
+                json: matches!(flags.get("json").map(String::as_str), Some("true")),
             }),
             "trace" => Ok(Command::Trace {
                 config: PathBuf::from(get("config")?),
@@ -439,6 +478,87 @@ pub fn run(cmd: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Report {
+            config,
+            chunk,
+            epochs,
+            prefetch,
+            top,
+            json,
+        } => {
+            let cfg_json = std::fs::read_to_string(&config)
+                .map_err(|e| format!("read {}: {e}", config.display()))?;
+            let mut cfg =
+                MonarchConfig::from_json(&cfg_json).map_err(|e| format!("parse config: {e}"))?;
+            // The subcommand's whole point is the observatory: force
+            // telemetry and the access profiler on regardless of the
+            // config file, like `trace` forces tracing on.
+            cfg.telemetry.enabled = true;
+            cfg.telemetry.profiler = true;
+            if prefetch > 0 {
+                cfg.prefetch_lookahead = prefetch;
+            }
+            let lookahead = cfg.prefetch_lookahead;
+            let m = Monarch::new(cfg).map_err(|e| format!("build middleware: {e}"))?;
+            let init = m.init().map_err(|e| format!("namespace scan: {e}"))?;
+            if !json {
+                println!(
+                    "namespace: {} files, {:.1} MiB, scanned in {:?}",
+                    init.files,
+                    init.bytes as f64 / (1 << 20) as f64,
+                    init.elapsed
+                );
+            }
+            let mut files: Vec<(String, u64)> = Vec::new();
+            m.metadata()
+                .for_each(|name, info| files.push((name.to_string(), info.size)));
+            files.sort();
+            if files.is_empty() {
+                return Err("the source tier holds no files — nothing to profile".into());
+            }
+            // Hold back a tail of the namespace: those files stay in the
+            // plan (so the prefetcher stages the ones within lookahead of
+            // the final cursor) but are never read — the report's
+            // wasted-prefetch list gets a deterministic population.
+            let hold = if files.len() >= 4 && lookahead > 0 {
+                (files.len() / 8).clamp(1, lookahead)
+            } else {
+                0
+            };
+            let read_set = &files[..files.len() - hold];
+            let plan_names: Vec<String> = files.iter().map(|(n, _)| n.clone()).collect();
+            let mut buf = vec![0u8; (chunk.max(1)) as usize];
+            let t0 = std::time::Instant::now();
+            for _ in 0..epochs {
+                let plan = monarch_core::AccessPlan::new(plan_names.clone());
+                m.submit_plan(&plan);
+                for (name, size) in read_set {
+                    let mut off = 0u64;
+                    while off < *size {
+                        let n = m.read(name, off, &mut buf).map_err(|e| e.to_string())?;
+                        if n == 0 {
+                            break;
+                        }
+                        off += n as u64;
+                    }
+                }
+            }
+            m.wait_placement_idle();
+            let wall = t0.elapsed().as_secs_f64();
+            let snap = m.telemetry_snapshot();
+            let report = monarch_core::ObserveReport::from_snapshot(&snap, wall, 1, top)
+                .ok_or("telemetry snapshot carries no observe section")?;
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+                );
+            } else {
+                print!("{}", report.render_table());
+            }
+            m.shutdown();
+            Ok(())
+        }
         Command::Trace {
             config,
             data,
@@ -648,6 +768,42 @@ mod tests {
     }
 
     #[test]
+    fn parses_report_defaults_switch_and_overrides() {
+        let cmd = parse(&["report", "--config", "c.json"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Report {
+                config: PathBuf::from("c.json"),
+                chunk: 256 << 10,
+                epochs: 2,
+                prefetch: 16,
+                top: 5,
+                json: false
+            }
+        );
+        // `--json` is a switch: valid bare, before another flag, or last.
+        let cmd = parse(&["report", "--json", "--config", "c.json", "--top", "3"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Report {
+                config: PathBuf::from("c.json"),
+                chunk: 256 << 10,
+                epochs: 2,
+                prefetch: 16,
+                top: 3,
+                json: true
+            }
+        );
+        let cmd = parse(&["report", "--config", "c.json", "--json"]).unwrap();
+        assert!(matches!(cmd, Command::Report { json: true, .. }));
+        assert!(parse(&["report", "--config", "c", "--epochs", "0"]).is_err());
+        assert!(
+            parse(&["report", "--json"]).is_err(),
+            "still missing --config"
+        );
+    }
+
+    #[test]
     fn parses_trace_defaults_and_overrides() {
         let cmd = parse(&[
             "trace", "--config", "c.json", "--data", "/d", "--out", "t.json",
@@ -801,6 +957,17 @@ mod tests {
             config: cfg_path.clone(),
             format: MetricsFormat::Json,
             watch: None,
+        })
+        .unwrap();
+        // The report subcommand runs its own plan-driven epoch loop and
+        // prints the bottleneck-attribution table.
+        run(Command::Report {
+            config: cfg_path.clone(),
+            chunk: 8 << 10,
+            epochs: 2,
+            prefetch: 8,
+            top: 5,
+            json: false,
         })
         .unwrap();
         // A traced run writes a Perfetto-loadable JSON file with flow-linked

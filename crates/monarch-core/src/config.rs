@@ -97,6 +97,18 @@ pub struct TelemetryConfig {
     /// Span-ring bound: oldest spans are dropped past this count.
     #[serde(default = "default_trace_capacity")]
     pub trace_capacity: usize,
+    /// Workload observatory: per-file access profiler + tier-residency
+    /// timeline. Gated by `enabled` as well — off when either is false.
+    #[serde(default = "default_true")]
+    pub profiler: bool,
+    /// Profiler bound: distinct files tracked; further names only bump a
+    /// global untracked-reads counter.
+    #[serde(default = "default_profiler_max_files")]
+    pub profiler_max_files: usize,
+    /// Residency-timeline ring bound: oldest transitions are dropped
+    /// past this count.
+    #[serde(default = "default_timeline_capacity")]
+    pub timeline_capacity: usize,
 }
 
 impl Default for TelemetryConfig {
@@ -107,6 +119,9 @@ impl Default for TelemetryConfig {
             journal_capacity: default_journal_capacity(),
             trace_sample_every_n: 0,
             trace_capacity: default_trace_capacity(),
+            profiler: true,
+            profiler_max_files: default_profiler_max_files(),
+            timeline_capacity: default_timeline_capacity(),
         }
     }
 }
@@ -118,6 +133,7 @@ impl TelemetryConfig {
         Self {
             enabled: false,
             journal: false,
+            profiler: false,
             ..Self::default()
         }
     }
@@ -189,6 +205,14 @@ fn default_journal_capacity() -> usize {
 
 fn default_trace_capacity() -> usize {
     65536
+}
+
+fn default_profiler_max_files() -> usize {
+    65536
+}
+
+fn default_timeline_capacity() -> usize {
+    4096
 }
 
 impl MonarchConfig {

@@ -53,6 +53,7 @@ pub mod hash;
 pub mod hierarchy;
 pub mod metadata;
 pub mod middleware;
+pub mod observe;
 pub mod placement;
 pub mod pool;
 pub mod prefetch;
@@ -69,6 +70,9 @@ pub use error::{Error, Result};
 pub use hierarchy::{StorageHierarchy, Tier, TierId};
 pub use metadata::MetadataContainer;
 pub use middleware::{InitReport, Monarch};
+pub use observe::{
+    AccessProfiler, Observatory, ObserveReport, ObserveSnapshot, ReadClass, ResidencyTimeline,
+};
 pub use placement::{PlacementDecision, PlacementPolicy};
 pub use prefetch::{AccessPlan, PrefetchConfig, PrefetchWindow};
 pub use serve::MetricsServer;
@@ -79,4 +83,4 @@ pub use telemetry::{
     TelemetrySnapshot, ThroughputSampler, TimeSeries,
 };
 pub use trace::{ArgValue, FlowPhase, SpanRecord, TraceRecorder};
-pub use transfer::{DrainReport, GaugeSampler, LaneQueues, ReadCtx, TransferEngine};
+pub use transfer::{DrainReport, GaugeSampler, LaneQueues, ReadCtx, ReadFeedback, TransferEngine};

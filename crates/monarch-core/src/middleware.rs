@@ -27,6 +27,7 @@ use crate::builder::MonarchBuilder;
 use crate::config::MonarchConfig;
 use crate::hierarchy::StorageHierarchy;
 use crate::metadata::{MetadataContainer, PlacementState};
+use crate::observe::{ReadClass, ReadTiming};
 use crate::prefetch::AccessPlan;
 use crate::serve::MetricsServer;
 use crate::stats::{Stats, StatsSnapshot};
@@ -223,7 +224,7 @@ impl Monarch {
         // Clairvoyant bookkeeping: advance the plan cursor past this file,
         // count a hit, upgrade a still-queued prefetch copy to the demand
         // lane, and release more of the plan to the prefetcher.
-        let prefetch_flow = self.engine.note_read(file, info.tier);
+        let feedback = self.engine.note_read(file, info.tier);
         if sampled {
             let tid = tr.register_current_thread();
             tr.record(
@@ -275,19 +276,49 @@ impl Monarch {
             // Point the read back at the prefetch copy that staged (or is
             // staging) its file — the clairvoyant analogue of the
             // demand-path flow arrow.
-            if prefetch_flow != 0 {
-                read_span = read_span.arg_u64("prefetch_flow", prefetch_flow);
+            if feedback.flow != 0 {
+                read_span = read_span.arg_u64("prefetch_flow", feedback.flow);
             }
             tr.record(read_span);
         }
         if profiled {
-            self.telemetry.stall_profile().record(
-                p_entry,
-                p_lookup,
-                p_resolve,
-                p_pread,
-                Instant::now(),
-            );
+            let p_end = Instant::now();
+            self.telemetry
+                .stall_profile()
+                .record(p_entry, p_lookup, p_resolve, p_pread, p_end);
+            let profiler = self.telemetry.observe().profiler();
+            if profiler.is_enabled() {
+                // Where did this read's time go? A read served off the
+                // source tier is classified by *why* the file was still
+                // there: the plan knew about it (prefetch lagged), a copy
+                // is in flight (lanes saturated), or placement never
+                // happened (cold PFS traffic).
+                let class = if info.tier != self.hierarchy.source_id() {
+                    ReadClass::Fast
+                } else if feedback.planned {
+                    ReadClass::PrefetchLag
+                } else if matches!(info.state, PlacementState::Copying { .. }) {
+                    ReadClass::LaneSaturated
+                } else {
+                    ReadClass::PfsCold
+                };
+                let us = |d: Duration| u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+                let timing = ReadTiming {
+                    wall_us: us(p_end - p_entry),
+                    pread_us: us(p_pread - p_resolve),
+                    lock_queue_us: us(p_resolve - p_entry),
+                    copy_wait_us: us(p_end - p_pread),
+                };
+                profiler.record_read(
+                    file,
+                    info.tier,
+                    n as u64,
+                    class,
+                    feedback.prefetch_hit,
+                    timing,
+                    self.telemetry.now_micros(),
+                );
+            }
         }
         Ok(n)
     }

@@ -437,6 +437,54 @@ mod tests {
     }
 
     #[test]
+    fn trace_scrapes_do_not_drain_the_span_buffer() {
+        // Regression: /trace must be a *view* of the recorder's ring, not
+        // a consumer — a dashboard polling it concurrently with a one-shot
+        // trace dump must not steal the spans.
+        let m = mem_monarch(2, 128);
+        let addr = m.serve("127.0.0.1:0").unwrap();
+        let mut buf = [0u8; 128];
+        m.read("f000", 0, &mut buf).unwrap();
+        m.read("f001", 0, &mut buf).unwrap();
+        m.wait_placement_idle();
+        let (status, first) = get_path(addr, "/trace");
+        assert_eq!(status, 200);
+        assert!(first.contains("driver_pread"), "spans were recorded");
+        let (status, second) = get_path(addr, "/trace");
+        assert_eq!(status, 200);
+        assert_eq!(first, second, "a scrape must not consume spans");
+        m.shutdown();
+    }
+
+    #[test]
+    fn observability_counters_and_observe_snapshot_are_exported() {
+        let m = mem_monarch(3, 128);
+        let addr = m.serve("127.0.0.1:0").unwrap();
+        let mut buf = [0u8; 128];
+        m.read("f000", 0, &mut buf).unwrap();
+        m.wait_placement_idle();
+        m.read("f000", 0, &mut buf).unwrap();
+
+        let (status, body) = get_path(addr, "/metrics");
+        assert_eq!(status, 200);
+        for metric in [
+            "monarch_events_dropped_total",
+            "monarch_trace_spans_dropped_total",
+            "monarch_profile_files_tracked",
+            "monarch_residency_transitions_total",
+        ] {
+            assert!(body.contains(metric), "{metric} missing from /metrics");
+        }
+
+        let (status, body) = get_path(addr, "/snapshot");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"observe\""), "observe section in snapshot");
+        assert!(body.contains("\"f000\""), "profiled file present");
+        assert!(body.contains("\"timeline\""), "residency timeline present");
+        m.shutdown();
+    }
+
+    #[test]
     fn concurrent_scrapes_all_succeed() {
         let m = mem_monarch(2, 64);
         let addr = m.serve("127.0.0.1:0").unwrap();

@@ -1153,6 +1153,7 @@ pub struct TelemetryRegistry {
     gauges: GaugeRegistry,
     journal: EventJournal,
     trace: Arc<crate::trace::TraceRecorder>,
+    observe: crate::observe::Observatory,
     origin: Instant,
 }
 
@@ -1191,6 +1192,12 @@ impl TelemetryRegistry {
                 },
                 cfg.trace_capacity,
             )),
+            observe: crate::observe::Observatory::new(
+                cfg.enabled && cfg.profiler,
+                levels,
+                cfg.profiler_max_files,
+                cfg.timeline_capacity,
+            ),
             origin: Instant::now(),
         }
     }
@@ -1281,6 +1288,13 @@ impl TelemetryRegistry {
         &self.trace
     }
 
+    /// The workload observatory: per-file access profiler + residency
+    /// timeline (disabled unless `enabled && profiler`).
+    #[must_use]
+    pub fn observe(&self) -> &crate::observe::Observatory {
+        &self.observe
+    }
+
     /// Record `kind` stamped with the registry's wall clock.
     pub fn event(&self, kind: EventKind) {
         if self.journal.is_enabled() {
@@ -1312,6 +1326,7 @@ impl TelemetryRegistry {
             events_dropped: self.journal.dropped(),
             spans_recorded: self.trace.spans_recorded(),
             spans_dropped: self.trace.spans_dropped(),
+            observe: self.observe.snapshot(),
         }
     }
 
@@ -1475,6 +1490,15 @@ impl TelemetryRegistry {
             "Telemetry events overwritten by the ring bound.",
             self.journal.dropped(),
         );
+        // Canonical ring-loss name (the `monarch_journal_*` pair above is
+        // kept for dashboard compatibility): bounded-buffer drops must be
+        // visible, not silent.
+        scalar(
+            &mut o,
+            "monarch_events_dropped_total",
+            "Journal events overwritten by the ring bound.",
+            self.journal.dropped(),
+        );
         scalar(
             &mut o,
             "monarch_trace_spans_total",
@@ -1486,6 +1510,30 @@ impl TelemetryRegistry {
             "monarch_trace_spans_dropped_total",
             "Trace spans dropped by the span-ring bound.",
             self.trace.spans_dropped(),
+        );
+        scalar(
+            &mut o,
+            "monarch_profile_files_tracked",
+            "Distinct files tracked by the access profiler.",
+            self.observe.profiler().snapshot_counts().0,
+        );
+        scalar(
+            &mut o,
+            "monarch_profile_untracked_reads_total",
+            "Reads of files past the profiler's tracking bound.",
+            self.observe.profiler().snapshot_counts().1,
+        );
+        scalar(
+            &mut o,
+            "monarch_residency_transitions_total",
+            "Tier-residency transitions recorded.",
+            self.observe.timeline().recorded(),
+        );
+        scalar(
+            &mut o,
+            "monarch_residency_transitions_dropped_total",
+            "Tier-residency transitions overwritten by the ring bound.",
+            self.observe.timeline().dropped(),
         );
 
         // Cumulative histogram exposition so PromQL `histogram_quantile()`
@@ -1648,6 +1696,10 @@ pub struct TelemetrySnapshot {
     /// Trace spans dropped by the span-ring bound.
     #[serde(default)]
     pub spans_dropped: u64,
+    /// Workload observatory (per-file profiles, time-lost ledger,
+    /// residency timeline); absent when the profiler is disabled.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub observe: Option<crate::observe::ObserveSnapshot>,
 }
 
 #[cfg(test)]

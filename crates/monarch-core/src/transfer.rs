@@ -30,6 +30,7 @@ use parking_lot::Mutex;
 
 use crate::hierarchy::{StorageHierarchy, TierId};
 use crate::metadata::{FileInfo, MetadataContainer, PlacementState};
+use crate::observe::{ResidencyEventKind, TransitionCause};
 use crate::placement::PlacementPolicy;
 use crate::pool::{Lane, PoolProbe, TaskCtx, ThreadPool};
 use crate::prefetch::{AccessPlan, PrefetchConfig, PrefetchWindow};
@@ -212,6 +213,22 @@ impl ReadCtx {
         self.deadline = Some(deadline);
         self
     }
+}
+
+/// What [`TransferEngine::note_read`] learned about a foreground read —
+/// the plan's answer to "did the prefetcher know about this file, and did
+/// it help?". The read path threads it into the trace span (flow) and the
+/// access profiler (classification).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReadFeedback {
+    /// Flow id of the prefetch copy issued for this file (`0` if none or
+    /// untraced).
+    pub flow: u64,
+    /// The file was covered by the submitted access plan.
+    pub planned: bool,
+    /// This read was the file's first, and the plan had already staged it
+    /// locally — a prefetch hit.
+    pub prefetch_hit: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -416,6 +433,7 @@ impl TransferEngine {
             stats: Arc::clone(&self.stats),
             telemetry: Arc::clone(&self.telemetry),
             shutting_down: Arc::clone(&self.shutting_down),
+            lane: ctx.lane,
             flow: ctx.flow,
             queued_us,
             deadline: ctx.deadline,
@@ -446,7 +464,7 @@ impl TransferEngine {
         let Some(state) = &self.prefetch else {
             return 0;
         };
-        self.close_window(state);
+        self.close_window(state, TransitionCause::Plan);
         let mut files = Vec::with_capacity(plan.len());
         for name in plan.files() {
             if let Some(info) = self.metadata.get(name) {
@@ -481,7 +499,7 @@ impl TransferEngine {
     /// are not interrupted.
     pub fn cancel_plan(&self) -> usize {
         match &self.prefetch {
-            Some(state) => self.close_window(state),
+            Some(state) => self.close_window(state, TransitionCause::Plan),
             None => 0,
         }
     }
@@ -489,28 +507,34 @@ impl TransferEngine {
     /// Read-path prefetch bookkeeping: advance the plan cursor past
     /// `file`, count a hit when the plan staged it in time, upgrade a
     /// still-queued prefetch copy to the demand lane, and release more of
-    /// the plan. Returns the flow id of the prefetch copy issued for this
-    /// file (`0` if none / untraced) so the read span can point back at it.
-    pub fn note_read(&self, file: &str, served: TierId) -> u64 {
+    /// the plan. The returned [`ReadFeedback`] carries the flow id of the
+    /// prefetch copy issued for this file (`0` if none / untraced) so the
+    /// read span can point back at it, plus the plan/hit facts the access
+    /// profiler classifies the read by.
+    pub fn note_read(&self, file: &str, served: TierId) -> ReadFeedback {
         let Some(state) = &self.prefetch else {
-            return 0;
+            return ReadFeedback::default();
         };
         let note = {
             let mut guard = state.window.lock();
             let Some(window) = guard.as_mut() else {
-                return 0;
+                return ReadFeedback::default();
             };
             match window.on_read(file) {
                 Some(note) => note,
-                None => return 0,
+                None => return ReadFeedback::default(),
             }
         };
-        let mut flow = 0;
+        let mut fb = ReadFeedback {
+            planned: true,
+            ..ReadFeedback::default()
+        };
         if note.issued {
-            flow = note.flow;
+            fb.flow = note.flow;
             if note.first_read && served != self.hierarchy.source_id() {
                 // The plan staged this file before its first read arrived.
                 self.stats.prefetch_hit();
+                fb.prefetch_hit = true;
             }
             if !note.resolved && self.pool.promote(file) {
                 // Dedup guard: the file's copy is still *queued* on the
@@ -522,11 +546,18 @@ impl TransferEngine {
                 self.telemetry.event(EventKind::PrefetchPromoted {
                     file: file.to_string(),
                 });
+                self.telemetry.observe().timeline().record_at(
+                    self.telemetry.now_micros(),
+                    file,
+                    served,
+                    ResidencyEventKind::Promoted,
+                    TransitionCause::Demand,
+                );
             }
         }
         // The cursor moved: more of the plan may now be issued.
         self.pump();
-        flow
+        fb
     }
 
     /// Evict `file` from its local tier back to the PFS source: the
@@ -558,6 +589,13 @@ impl TransferEngine {
             tier: info.tier,
             bytes: info.size,
         });
+        self.telemetry.observe().timeline().record_at(
+            self.telemetry.now_micros(),
+            file,
+            info.tier,
+            ResidencyEventKind::Evicted,
+            TransitionCause::Eviction,
+        );
         Ok(true)
     }
 
@@ -569,10 +607,10 @@ impl TransferEngine {
     pub fn drain(&mut self) -> DrainReport {
         self.shutting_down.store(true, Ordering::Release);
         let canceled = match &self.prefetch {
-            Some(state) => self.close_window(state),
+            Some(state) => self.close_window(state, TransitionCause::Drain),
             // No prefetcher was configured, but purge the lane anyway so
             // the ordering guarantee does not depend on configuration.
-            None => self.withdraw_queued(None),
+            None => self.withdraw_queued(None, TransitionCause::Drain),
         };
         if canceled > 0 {
             self.telemetry.event(EventKind::PrefetchDrained {
@@ -596,10 +634,10 @@ impl TransferEngine {
     /// Tear down the current window (plan switch, explicit cancel, or
     /// drain): pull queued prefetch jobs out of the pool, revert their
     /// metadata, and settle hit/waste accounting for the closed plan.
-    fn close_window(&self, state: &PrefetchState) -> usize {
+    fn close_window(&self, state: &PrefetchState, cause: TransitionCause) -> usize {
         let mut guard = state.window.lock();
         let mut window = guard.take();
-        let withdrawn = self.withdraw_queued(window.as_mut());
+        let withdrawn = self.withdraw_queued(window.as_mut(), cause);
         let Some(mut window) = window else {
             return withdrawn;
         };
@@ -622,7 +660,11 @@ impl TransferEngine {
     /// Withdraw every queued-but-unstarted prefetch copy from the pool and
     /// revert its side effects; settle the entries in `window` when one is
     /// still open. Returns the number withdrawn.
-    fn withdraw_queued(&self, mut window: Option<&mut PrefetchWindow>) -> usize {
+    fn withdraw_queued(
+        &self,
+        mut window: Option<&mut PrefetchWindow>,
+        cause: TransitionCause,
+    ) -> usize {
         let canceled = self.pool.drain_prefetch();
         let withdrawn = canceled.len();
         for ctx in canceled {
@@ -631,6 +673,13 @@ impl TransferEngine {
             self.telemetry.event(EventKind::PrefetchCanceled {
                 file: ctx.label.clone(),
             });
+            self.telemetry.observe().timeline().record_at(
+                self.telemetry.now_micros(),
+                &ctx.label,
+                self.hierarchy.source_id(),
+                ResidencyEventKind::Canceled,
+                cause,
+            );
             if let Some(window) = window.as_deref_mut() {
                 window.resolve_by_name(&ctx.label);
             }
@@ -730,6 +779,7 @@ impl TransferEngine {
             stats: Arc::clone(&self.stats),
             telemetry: Arc::clone(&self.telemetry),
             shutting_down: Arc::clone(&self.shutting_down),
+            lane: Lane::Prefetch,
             flow,
             queued_us,
             deadline: None,
@@ -899,6 +949,9 @@ struct CopyJob {
     stats: Arc<Stats>,
     telemetry: Arc<TelemetryRegistry>,
     shutting_down: Arc<AtomicBool>,
+    /// Lane the copy was queued on — the residency timeline attributes the
+    /// resulting admission to demand or to the plan accordingly.
+    lane: Lane,
     /// Flow id linking back to the sampled foreground operation that
     /// scheduled this copy; 0 when the trigger was not sampled.
     flow: u64,
@@ -1005,6 +1058,25 @@ impl CopyJob {
                     bytes: size,
                     micros: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
                 });
+                let observe = self.telemetry.observe();
+                let cause = match self.lane {
+                    Lane::Demand => TransitionCause::Demand,
+                    Lane::Prefetch => TransitionCause::Plan,
+                };
+                observe.timeline().record_at(
+                    self.telemetry.now_micros(),
+                    file,
+                    tier,
+                    ResidencyEventKind::Admitted,
+                    cause,
+                );
+                if self.lane == Lane::Prefetch {
+                    observe.profiler().record_prefetch_staged(
+                        file,
+                        size,
+                        self.telemetry.now_micros(),
+                    );
+                }
             }
             Ok(None) => {
                 // No room anywhere: pin the file to the PFS permanently
@@ -1094,6 +1166,13 @@ impl CopyJob {
                             tier: decision.tier,
                             bytes: vinfo.size,
                         });
+                        self.telemetry.observe().timeline().record_at(
+                            self.telemetry.now_micros(),
+                            victim,
+                            decision.tier,
+                            ResidencyEventKind::Evicted,
+                            TransitionCause::Eviction,
+                        );
                     }
                 }
             }
@@ -1387,7 +1466,9 @@ mod tests {
         assert_eq!(engine.plan(&plan_of(&["f001", "f002"])), 2);
         // A foreground read for the *second* queued entry upgrades its
         // existing job to the demand lane instead of duplicating the copy.
-        engine.note_read("f002", engine.hierarchy.source_id());
+        let fb = engine.note_read("f002", engine.hierarchy.source_id());
+        assert!(fb.planned, "f002 was covered by the submitted plan");
+        assert!(!fb.prefetch_hit, "still served from the source");
         let stats = engine.stats.snapshot();
         assert_eq!(stats.prefetch_promoted, 1);
         assert_eq!(stats.copies_scheduled, 3, "no duplicate copy for f002");

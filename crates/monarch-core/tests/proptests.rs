@@ -5,6 +5,7 @@ use std::sync::Arc;
 use monarch_core::driver::MemDriver;
 use monarch_core::hierarchy::{Quota, StorageHierarchy};
 use monarch_core::metadata::PlacementState;
+use monarch_core::observe::{AccessProfiler, ReadClass, ReadTiming};
 use monarch_core::placement::{FirstFit, LruEvict, PlacementPolicy, RoundRobin};
 use monarch_core::prefetch::{PrefetchConfig, PrefetchWindow};
 use monarch_core::telemetry::LatencyHistogram;
@@ -327,6 +328,83 @@ proptest! {
         for (name, was_issued, read_seen) in w.drain() {
             prop_assert!(was_issued && read_seen, "{} missed", name);
         }
+    }
+
+    /// Access-profiler EWMA invariant: whatever the (monotonic) access
+    /// rhythm, the smoothed inter-access gap is a convex combination of
+    /// observed gaps, so it stays within [min, max] of them — and the
+    /// first/last/accesses bookkeeping is exact.
+    #[test]
+    fn profiler_ewma_bounded_by_observed_gaps(
+        start in 0u64..1_000_000,
+        gaps in prop::collection::vec(0u64..1_000_000, 1..50),
+    ) {
+        let p = AccessProfiler::new(true, 2, 16);
+        let mut t = start;
+        p.record_read("f", 0, 1, ReadClass::Fast, false, ReadTiming::default(), t);
+        for &g in &gaps {
+            t += g;
+            p.record_read("f", 0, 1, ReadClass::Fast, false, ReadTiming::default(), t);
+        }
+        let snap = p.snapshot();
+        let f = &snap.files[0].profile;
+        prop_assert_eq!(f.accesses, gaps.len() as u64 + 1);
+        prop_assert_eq!(f.first_us, start);
+        prop_assert_eq!(f.last_us, t);
+        let lo = *gaps.iter().min().unwrap() as f64;
+        let hi = *gaps.iter().max().unwrap() as f64;
+        prop_assert!(
+            f.ewma_gap_us >= lo - 1e-9 && f.ewma_gap_us <= hi + 1e-9,
+            "ewma {} outside observed gap range [{}, {}]",
+            f.ewma_gap_us, lo, hi
+        );
+    }
+
+    /// Profiler accounting is exact across the shard merge and the
+    /// tracking bound: every read lands either in a tracked per-file
+    /// record or in the untracked tally, the ledger counts all of them,
+    /// and the per-class pread sums reproduce the input exactly.
+    #[test]
+    fn profiler_accounting_exact_across_shards(
+        max_files in 1usize..20,
+        reads in prop::collection::vec(
+            ((0usize..40, 0u8..4), (0u64..10_000, 0u64..5_000)), 1..200),
+    ) {
+        let p = AccessProfiler::new(true, 2, max_files);
+        let mut per_class = [0u64; 4];
+        let mut wall = 0u64;
+        for (i, &((fi, class_i), (bytes, pread))) in reads.iter().enumerate() {
+            let class = match class_i {
+                0 => ReadClass::Fast,
+                1 => ReadClass::PfsCold,
+                2 => ReadClass::LaneSaturated,
+                _ => ReadClass::PrefetchLag,
+            };
+            per_class[class_i as usize] += pread;
+            wall += pread + 2;
+            let timing = ReadTiming {
+                wall_us: pread + 2,
+                pread_us: pread,
+                lock_queue_us: 1,
+                copy_wait_us: 1,
+            };
+            p.record_read(
+                &format!("f{fi:03}"), 0, bytes, class, false, timing, i as u64,
+            );
+        }
+        let snap = p.snapshot();
+        prop_assert!(snap.tracked <= max_files as u64);
+        prop_assert_eq!(snap.files.len() as u64, snap.tracked);
+        let tracked_reads: u64 = snap.files.iter().map(|f| f.profile.accesses).sum();
+        prop_assert_eq!(tracked_reads + snap.untracked_reads, reads.len() as u64);
+        prop_assert_eq!(snap.ledger.reads, reads.len() as u64);
+        prop_assert_eq!(snap.ledger.read_wall_us, wall);
+        prop_assert_eq!(snap.ledger.fast_pread_us, per_class[0]);
+        prop_assert_eq!(snap.ledger.pfs_cold_pread_us, per_class[1]);
+        prop_assert_eq!(snap.ledger.lane_sat_pread_us, per_class[2]);
+        prop_assert_eq!(snap.ledger.prefetch_lag_pread_us, per_class[3]);
+        prop_assert_eq!(snap.ledger.lock_queue_us, reads.len() as u64);
+        prop_assert_eq!(snap.ledger.copy_wait_us, reads.len() as u64);
     }
 
     /// LRU ablation policy: tier-0 usage stays within quota across an

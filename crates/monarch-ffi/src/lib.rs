@@ -239,6 +239,39 @@ pub unsafe extern "C" fn monarch_trace_json(handle: *mut MonarchHandle) -> *mut 
     }
 }
 
+/// Export the workload observatory's bottleneck-attribution report as a
+/// JSON document: the five wall-time buckets (pfs-bound,
+/// copy-lane-saturated, prefetch-lag, lock-or-queue, compute-bound), the
+/// top-5 hot files, and the prefetched-never-read waste list. Wall time
+/// is measured from middleware construction; the ledger is folded at
+/// concurrency 1 (callers tracking their own reader count should rebuild
+/// the report from `/snapshot` instead). Null when telemetry or the
+/// access profiler is disabled, or on failure. The returned string must
+/// be released with [`monarch_string_free`].
+///
+/// # Safety
+/// `handle` must come from [`monarch_init_json`] and not be freed.
+#[no_mangle]
+pub unsafe extern "C" fn monarch_report_json(handle: *mut MonarchHandle) -> *mut c_char {
+    if handle.is_null() {
+        return ptr::null_mut();
+    }
+    let monarch = unsafe { &(*handle).inner };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let wall_s = monarch.telemetry().now_micros() as f64 / 1e6;
+        let snap = monarch.telemetry_snapshot();
+        monarch_core::ObserveReport::from_snapshot(&snap, wall_s, 1, 5)
+            .and_then(|report| serde_json::to_string(&report).ok())
+    }));
+    match outcome {
+        Ok(Some(json)) => match CString::new(json) {
+            Ok(c) => c.into_raw(),
+            Err(_) => ptr::null_mut(),
+        },
+        _ => ptr::null_mut(),
+    }
+}
+
 /// Start the observability HTTP exporter (`/metrics`, `/snapshot`,
 /// `/trace`, `/healthz`) on `addr` (e.g. `"127.0.0.1:9464"`; a `0` port
 /// picks a free one). Returns the *bound* port (> 0) on success, or a
@@ -555,6 +588,40 @@ mod tests {
 
             // Null handle → null, not a crash.
             assert!(monarch_trace_json(ptr::null_mut()).is_null());
+
+            monarch_shutdown(h);
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn report_json_roundtrip() {
+        let (json, root, _) = staged_config("report");
+        unsafe {
+            let h = monarch_init_json(json.as_ptr());
+            assert!(!h.is_null());
+            let name = CString::new("f0").unwrap();
+            let mut buf = vec![0u8; 4096];
+            assert!(monarch_read(h, name.as_ptr(), 0, buf.as_mut_ptr(), buf.len()) > 0);
+            assert_eq!(monarch_wait_idle(h), 0);
+            assert!(monarch_read(h, name.as_ptr(), 0, buf.as_mut_ptr(), buf.len()) > 0);
+
+            let rp_ptr = monarch_report_json(h);
+            assert!(!rp_ptr.is_null());
+            let report = CStr::from_ptr(rp_ptr)
+                .to_str()
+                .expect("valid UTF-8")
+                .to_string();
+            let v: serde_json::Value = serde_json::from_str(&report).unwrap();
+            assert!(v["wall_s"].as_f64().unwrap() > 0.0, "{report}");
+            assert!(v["ledger"].get("pfs_bound_s").is_some(), "{report}");
+            assert!(v["ledger"].get("compute_bound_s").is_some(), "{report}");
+            let hot = v["top_hot"].as_array().unwrap();
+            assert!(hot.iter().any(|f| f["file"] == "f0"), "{report}");
+            monarch_string_free(rp_ptr);
+
+            // Null handle → null, not a crash.
+            assert!(monarch_report_json(ptr::null_mut()).is_null());
 
             monarch_shutdown(h);
         }

@@ -3,7 +3,7 @@
 # errors), and the full test suite. Run before pushing.
 #
 #   scripts/check.sh            # everything
-#   scripts/check.sh fmt        # one stage: fmt | clippy | size | test | trace | prefetch
+#   scripts/check.sh fmt        # one stage: fmt | clippy | size | test | trace | prefetch | report | perf | serve
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -117,6 +117,52 @@ EOF
     trap - EXIT
 }
 
+# Workload observatory end to end: the focused test target, then a CLI
+# smoke run whose JSON report must attribute the measured wall across the
+# five buckets (sum within 5%), list hot files, and flag the held-back
+# tail as wasted prefetch.
+run_report() {
+    echo "==> cargo test -p monarch --test report_e2e -q"
+    cargo test -p monarch --test report_e2e -q
+
+    echo "==> monarch report smoke run"
+    local tmp
+    tmp="$(mktemp -d)"
+    # shellcheck disable=SC2064  # expand $tmp now, not at exit
+    trap "rm -rf '$tmp'" EXIT
+    cargo run -q -p monarch-cli -- gen-dataset \
+        --dir "$tmp/pfs" --bytes $((8 << 20)) --samples 256 --seed 7
+    cat > "$tmp/cfg.json" <<EOF
+{
+  "tiers": [
+    {"name": "ssd", "backend": {"posix": {"path": "$tmp/ssd"}}, "capacity": 1073741824},
+    {"name": "pfs", "backend": {"posix": {"path": "$tmp/pfs"}}}
+  ],
+  "pool_threads": 4
+}
+EOF
+    cargo run -q -p monarch-cli -- report \
+        --config "$tmp/cfg.json" --epochs 2 --prefetch 8 --json \
+        > "$tmp/report.json"
+    python3 - "$tmp/report.json" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+wall = r["wall_s"]
+assert wall > 0, "report smoke: zero wall time"
+buckets = r["ledger"]
+total = sum(buckets[k] for k in (
+    "pfs_bound_s", "copy_lane_saturated_s", "prefetch_lag_s",
+    "lock_or_queue_s", "compute_bound_s"))
+assert abs(total - wall) <= 0.05 * wall, \
+    f"report smoke: buckets sum {total} vs wall {wall}"
+assert r["reads"] > 0, "report smoke: no reads profiled"
+assert r["top_hot"], "report smoke: empty hot list"
+assert r["wasted_prefetch"], "report smoke: held-back tail not flagged"
+PY
+    rm -rf "$tmp"
+    trap - EXIT
+}
+
 # Perf regression gate: rerun the committed BENCH_*.json workloads and
 # fail on regressions beyond tolerance. sim_epoch is virtual-time and
 # deterministic; read_path is wall-clock, so the tool retries and passes
@@ -185,6 +231,7 @@ case "$stage" in
     test) run_test ;;
     trace) run_trace ;;
     prefetch) run_prefetch ;;
+    report) run_report ;;
     perf) run_perf ;;
     serve) run_serve ;;
     all)
@@ -194,11 +241,12 @@ case "$stage" in
         run_test
         run_trace
         run_prefetch
+        run_report
         run_serve
         run_perf
         ;;
     *)
-        echo "usage: scripts/check.sh [fmt|clippy|size|test|trace|prefetch|perf|serve|all]" >&2
+        echo "usage: scripts/check.sh [fmt|clippy|size|test|trace|prefetch|report|perf|serve|all]" >&2
         exit 2
         ;;
 esac
