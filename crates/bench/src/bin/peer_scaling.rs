@@ -1,0 +1,94 @@
+//! Distributed peer-cache scaling experiment (FanStore's shape): every
+//! node streams the whole dataset each epoch; shard ownership is a
+//! consistent hash over the cluster; remote hits travel node-to-node.
+//!
+//! The claim under test: aggregate training throughput grows with node
+//! count while per-node PFS traffic stays ~flat, because peers absorb
+//! the demand the PFS would otherwise see N times over. Reshuffling the
+//! owner assignment every epoch (the hard case) sends the cluster back
+//! to the PFS to re-warm.
+
+use dlpipe::config::{EnvConfig, PipelineConfig};
+use dlpipe::geometry::DatasetGeom;
+use dlpipe::models::ModelProfile;
+use dlpipe::sim::{ClusterConfig, ClusterTrainer, Sharding};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct PeerRow {
+    label: String,
+    nodes: usize,
+    warm_epoch_seconds: f64,
+    agg_gib_per_s: f64,
+    pfs_gib_per_node: f64,
+    peer_hits: u64,
+    peer_gib: f64,
+    peer_fallbacks: u64,
+}
+
+const GIB: f64 = (1u64 << 30) as f64;
+
+fn main() {
+    // Partial-cache workload: ~9.8 GiB dataset, per-node quota 1/16 of
+    // it, so the caches never cover the working set.
+    let geom = DatasetGeom::miniature("peer-scaling", 98_304, 11);
+    let quota = geom.total_bytes() / 16;
+    let model = ModelProfile::lenet();
+    let env = EnvConfig::default();
+    let mut rows = Vec::new();
+    for nodes in [1usize, 2, 4, 8] {
+        for sharding in [Sharding::Static, Sharding::Reshuffled] {
+            let cfg = ClusterConfig {
+                monarch_ssd_capacity: Some(quota),
+                ..ClusterConfig::monarch_peer(nodes, sharding)
+            };
+            let r = ClusterTrainer::new(
+                cfg,
+                geom.clone(),
+                model.clone(),
+                PipelineConfig::default().with_seed(0xfa2),
+                env.clone(),
+            )
+            .run(3);
+            let warm = r.epochs.len() - 1;
+            rows.push(PeerRow {
+                label: r.label.clone(),
+                nodes,
+                warm_epoch_seconds: r.epochs[warm].seconds,
+                agg_gib_per_s: r.agg_bytes_per_s(warm) / GIB,
+                pfs_gib_per_node: r.pfs_bytes_per_node(warm) / GIB,
+                peer_hits: r.epochs[warm].peer_hits,
+                peer_gib: r.epochs[warm].peer_bytes as f64 / GIB,
+                peer_fallbacks: r.epochs[warm].peer_fallbacks,
+            });
+        }
+    }
+    println!("\n## Extension — distributed peer cache (9.8 GiB dataset, 1/16 per-node quota, warm epoch)");
+    println!(
+        "{:<6} {:<24} {:>9} {:>11} {:>13} {:>10} {:>9} {:>10}",
+        "nodes",
+        "setup",
+        "epoch (s)",
+        "agg GiB/s",
+        "pfs GiB/node",
+        "peer hits",
+        "peer GiB",
+        "fallbacks"
+    );
+    for r in &rows {
+        println!(
+            "{:<6} {:<24} {:>9.1} {:>11.3} {:>13.2} {:>10} {:>9.2} {:>10}",
+            r.nodes,
+            r.label,
+            r.warm_epoch_seconds,
+            r.agg_gib_per_s,
+            r.pfs_gib_per_node,
+            r.peer_hits,
+            r.peer_gib,
+            r.peer_fallbacks
+        );
+    }
+    println!("\n(static ownership: aggregate throughput scales with nodes while per-node");
+    println!(" PFS bytes stay ~flat; reshuffled ownership re-warms from the PFS each epoch)");
+    monarch_bench::save_json("peer_scaling", &rows);
+}

@@ -14,9 +14,10 @@
 use std::path::{Path, PathBuf};
 
 use criterion::{BenchResult, Criterion};
-use dlpipe::config::{EnvConfig, MonarchSimConfig, Setup};
+use dlpipe::config::{EnvConfig, MonarchSimConfig, PipelineConfig, Setup};
 use dlpipe::geometry::DatasetGeom;
 use dlpipe::models::ModelProfile;
+use dlpipe::sim::{ClusterConfig, ClusterTrainer, Sharding};
 use serde::{Deserialize, Serialize};
 
 /// One normalized measurement inside a [`BenchDoc`].
@@ -121,7 +122,9 @@ fn sim_entry(id: &str, value: f64, unit: &str, higher_is_better: bool) -> BenchE
 /// Generate the `sim_epoch` snapshot: a fixed-seed miniature MONARCH run
 /// (24 MiB dataset, 2 epochs) reduced to the paper's headline shape —
 /// per-epoch virtual seconds, PFS bytes moved, and the local-tier hit
-/// ratio. Deterministic, so the tolerance gate catches behaviour drift.
+/// ratio — plus the `sim_cluster` peer-cache variant
+/// ([`sim_cluster_entries`]). Deterministic, so the tolerance gate
+/// catches behaviour drift.
 #[must_use]
 pub fn sim_epoch_doc() -> BenchDoc {
     let geom = DatasetGeom::miniature("bench", 24_576, 9);
@@ -167,11 +170,65 @@ pub fn sim_epoch_doc() -> BenchDoc {
         "count",
         false,
     ));
+    entries.extend(sim_cluster_entries());
     BenchDoc {
         name: "sim_epoch".into(),
         git_rev: git_rev(),
         entries,
     }
+}
+
+/// The `sim_cluster` variant inside the `sim_epoch` snapshot: a
+/// fixed-seed 4-node peer-cache run (global-shuffle workload, per-node
+/// quota 1/16 of the dataset) reduced to the scaling claim — warm-epoch
+/// aggregate throughput, per-node PFS bytes, and peer-hit volume.
+fn sim_cluster_entries() -> Vec<BenchEntry> {
+    let geom = DatasetGeom::miniature("cluster-bench", 12_288, 7);
+    let quota = geom.total_bytes() / 16;
+    let r = ClusterTrainer::new(
+        ClusterConfig {
+            monarch_ssd_capacity: Some(quota),
+            ..ClusterConfig::monarch_peer(4, Sharding::Static)
+        },
+        geom,
+        ModelProfile::lenet(),
+        PipelineConfig::default().with_seed(0xc1a5),
+        EnvConfig::default(),
+    )
+    .run(2);
+    let warm = r.epochs.len() - 1;
+    vec![
+        sim_entry(
+            "sim_cluster/warm_epoch_seconds",
+            r.epochs[warm].seconds,
+            "s",
+            false,
+        ),
+        sim_entry(
+            "sim_cluster/agg_bytes_per_s",
+            r.agg_bytes_per_s(warm),
+            "bytes/s",
+            true,
+        ),
+        sim_entry(
+            "sim_cluster/pfs_bytes_per_node",
+            r.pfs_bytes_per_node(warm),
+            "bytes",
+            false,
+        ),
+        sim_entry(
+            "sim_cluster/peer_hits",
+            r.epochs[warm].peer_hits as f64,
+            "count",
+            true,
+        ),
+        sim_entry(
+            "sim_cluster/peer_fallbacks",
+            r.epochs[warm].peer_fallbacks as f64,
+            "count",
+            false,
+        ),
+    ]
 }
 
 /// Generate the `read_path` snapshot by running the criterion groups
@@ -362,5 +419,10 @@ mod tests {
         assert!(get("monarch/epoch2_seconds") < get("monarch/epoch1_seconds"));
         assert!(get("monarch/local_hit_ratio") > 0.5);
         assert!(get("monarch/pfs_bytes_read") > 0.0);
+        // The sim_cluster variant rides in the same doc: peers must be
+        // serving traffic on the warm epoch.
+        assert!(get("sim_cluster/peer_hits") > 0.0);
+        assert!(get("sim_cluster/agg_bytes_per_s") > 0.0);
+        assert!(get("sim_cluster/pfs_bytes_per_node") > 0.0);
     }
 }

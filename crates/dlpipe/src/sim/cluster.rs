@@ -57,6 +57,19 @@ pub struct ClusterConfig {
     /// cluster, bytes/s. The default (2.2 GB/s, five times one client
     /// link) models a modest Lustre deployment.
     pub pfs_backend_bandwidth: f64,
+    /// FanStore-style peer cache: a consistent-hash [`ShardMap`] makes
+    /// each shard cacheable only on its owner node, every node streams
+    /// the *whole* dataset each epoch (global shuffle), and remote hits
+    /// travel node-to-node over a dedicated peer NIC instead of
+    /// re-reading the PFS. Requires `monarch_ssd_capacity`.
+    ///
+    /// [`ShardMap`]: monarch_core::ShardMap
+    pub peer_cache: bool,
+    /// Node-to-node NIC bandwidth, bytes/s (peer-cache mode only).
+    pub peer_bandwidth: f64,
+    /// Consistent-hash seed for the shard → owner assignment; all nodes
+    /// of a job agree on it (peer-cache mode only).
+    pub shard_seed: u64,
 }
 
 impl ClusterConfig {
@@ -69,6 +82,9 @@ impl ClusterConfig {
             pool_threads: 6,
             sharding: Sharding::Static,
             pfs_backend_bandwidth: 2.2e9,
+            peer_cache: false,
+            peer_bandwidth: 1.2e9,
+            shard_seed: 42,
         }
     }
 
@@ -76,11 +92,21 @@ impl ClusterConfig {
     #[must_use]
     pub fn monarch(nodes: usize, sharding: Sharding) -> Self {
         Self {
-            nodes,
             monarch_ssd_capacity: Some(115 << 30),
-            pool_threads: 6,
             sharding,
-            pfs_backend_bandwidth: 2.2e9,
+            ..Self::vanilla(nodes)
+        }
+    }
+
+    /// MONARCH with the distributed peer cache on: shard ownership via
+    /// consistent hash, node-to-node serving of remote hits. `Static`
+    /// keeps the owner assignment across epochs; `Reshuffled` rotates it
+    /// every epoch (re-salted hash), forcing the caches to re-warm.
+    #[must_use]
+    pub fn monarch_peer(nodes: usize, sharding: Sharding) -> Self {
+        Self {
+            peer_cache: true,
+            ..Self::monarch(nodes, sharding)
         }
     }
 }
@@ -98,6 +124,14 @@ pub struct ClusterEpoch {
     pub pfs_bytes: u64,
     /// Fraction of chunk reads served by node-local SSDs.
     pub local_hit_ratio: f64,
+    /// Chunk reads served node-to-node from a peer's SSD, summed over
+    /// nodes (peer-cache mode; 0 otherwise).
+    pub peer_hits: u64,
+    /// Bytes shipped node-to-node instead of read from the PFS.
+    pub peer_bytes: u64,
+    /// Chunk reads of peer-owned shards that fell back to the PFS
+    /// because the owner had not cached them (yet).
+    pub peer_fallbacks: u64,
 }
 
 /// Whole-run cluster measurements.
@@ -107,6 +141,10 @@ pub struct ClusterReport {
     pub label: String,
     /// Nodes in the run.
     pub nodes: usize,
+    /// Bytes the trainer consumes per epoch, summed over nodes (peer
+    /// mode streams the whole dataset on every node, so this is
+    /// `nodes × dataset`; partitioned modes consume the dataset once).
+    pub bytes_per_epoch: u64,
     /// Per-epoch rows.
     pub epochs: Vec<ClusterEpoch>,
 }
@@ -123,12 +161,30 @@ impl ClusterReport {
     pub fn pfs_ops(&self) -> u64 {
         self.epochs.iter().map(|e| e.pfs_ops).sum()
     }
+
+    /// Aggregate training throughput of epoch `i`, bytes/s: what the
+    /// whole cluster consumed divided by the epoch's wall time.
+    #[must_use]
+    pub fn agg_bytes_per_s(&self, i: usize) -> f64 {
+        let e = &self.epochs[i];
+        if e.seconds <= 0.0 {
+            return 0.0;
+        }
+        self.bytes_per_epoch as f64 / e.seconds
+    }
+
+    /// Per-node PFS bytes of epoch `i`.
+    #[must_use]
+    pub fn pfs_bytes_per_node(&self, i: usize) -> f64 {
+        self.epochs[i].pfs_bytes as f64 / self.nodes.max(1) as f64
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     NicWake { node: usize, gen: u64 },
     SsdWake { node: usize, gen: u64 },
+    PnicWake { node: usize, gen: u64 },
     MdsDone { node: usize, reader: usize },
     StepDone,
     InterferenceShift,
@@ -136,10 +192,48 @@ enum Ev {
 
 #[derive(Debug, Clone, Copy)]
 enum Purpose {
-    Chunk { reader: usize, shard: usize },
-    CopyFetch { shard: usize },
-    CopyWrite { shard: usize },
+    Chunk {
+        reader: usize,
+        shard: usize,
+    },
+    CopyFetch {
+        shard: usize,
+    },
+    CopyWrite {
+        shard: usize,
+    },
+    /// Hop 1 of a peer transfer: the owner's NIC streams the chunk out
+    /// of its SSD cache (runs on the *owner's* `pnic`).
+    PeerSend {
+        requester: usize,
+        reader: usize,
+        shard: usize,
+    },
+    /// Hop 2: the requester's NIC receives the chunk (its own `pnic`).
+    PeerRecv {
+        reader: usize,
+        shard: usize,
+    },
 }
+
+/// Where a chunk read is served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Route {
+    /// The shared PFS (client NIC).
+    Pfs,
+    /// The PFS again, but only because the shard's owner had not cached
+    /// it — counted as a peer fallback.
+    PfsFallback,
+    /// This node's own SSD cache.
+    Local,
+    /// A peer's SSD cache, over the peer NIC (owner node id).
+    Peer(usize),
+}
+
+/// Peer NIC latency: node-to-node on a cluster fabric, far below a
+/// Lustre client round-trip.
+const PEER_LAT_MEDIAN: f64 = 2e-4;
+const PEER_LAT_SIGMA: f64 = 0.3;
 
 #[derive(Debug, Default)]
 struct Reader {
@@ -161,8 +255,13 @@ enum ShardState {
 struct Node {
     nic: PsDevice,
     ssd: PsDevice,
+    /// Node-to-node NIC for peer-cache transfers: separate from the PFS
+    /// client link, so peer traffic is neither counted as PFS bytes nor
+    /// throttled by the shared-backend rebalance.
+    pnic: PsDevice,
     nic_gen: Option<u64>,
     ssd_gen: Option<u64>,
+    pnic_gen: Option<u64>,
     readers: Vec<Reader>,
     buffered: f64,
     /// MONARCH per-node state (None = vanilla).
@@ -170,6 +269,10 @@ struct Node {
     /// Chunk reads served locally / remotely this run.
     local_chunks: u64,
     remote_chunks: u64,
+    /// Chunk reads served from a peer's SSD / bytes shipped / fallbacks.
+    peer_chunks: u64,
+    peer_bytes: u64,
+    fallback_chunks: u64,
 }
 
 struct NodeCache {
@@ -232,8 +335,14 @@ struct ClusterWorld {
     model: ModelProfile,
     bulk_share: f64,
     /// Transfer purposes per (node, device-kind, id). Device kind: 0 =
-    /// nic, 1 = ssd.
+    /// nic, 1 = ssd, 2 = peer nic.
     purpose: FxHashMap<(usize, u8, u64), Purpose>,
+    /// Peer-cache mode: the consistent-hash shard → owner assignment
+    /// (None when `peer_cache` is off or there is no cache).
+    shard_map: Option<monarch_core::ShardMap>,
+    /// Owner per shard for the current epoch (re-salted each epoch under
+    /// `Sharding::Reshuffled`).
+    owners: Vec<usize>,
 
     // Global synchronous trainer.
     computing: bool,
@@ -246,18 +355,22 @@ struct ClusterWorld {
     epoch_start: SimTime,
     nic_snapshot: Vec<DeviceStats>,
     local_snapshot: Vec<(u64, u64)>,
+    peer_snapshot: Vec<(u64, u64, u64)>,
     reports: Vec<ClusterEpoch>,
 }
 
 impl ClusterWorld {
     fn build(t: &ClusterTrainer) -> Self {
         let n = t.cfg.nodes.max(1);
+        let peer_mode = t.cfg.peer_cache && t.cfg.monarch_ssd_capacity.is_some();
         let nodes = (0..n)
             .map(|_| Node {
                 nic: PsDevice::new("nic", t.env.lustre.bandwidth, t.env.lustre.stream_cap),
                 ssd: PsDevice::new("ssd", t.env.ssd.bandwidth, t.env.ssd.stream_cap),
+                pnic: PsDevice::new("pnic", t.cfg.peer_bandwidth, t.env.lustre.stream_cap),
                 nic_gen: None,
                 ssd_gen: None,
+                pnic_gen: None,
                 readers: (0..t.pipeline.readers.max(1))
                     .map(|_| Reader::default())
                     .collect(),
@@ -273,6 +386,9 @@ impl ClusterWorld {
                 }),
                 local_chunks: 0,
                 remote_chunks: 0,
+                peer_chunks: 0,
+                peer_bytes: 0,
+                fallback_chunks: 0,
             })
             .collect();
         let samples_per_byte = t
@@ -303,6 +419,8 @@ impl ClusterWorld {
             model: t.model.clone(),
             bulk_share: t.env.bulk_stream_share.max(1.0),
             purpose: FxHashMap::default(),
+            shard_map: peer_mode.then(|| monarch_core::ShardMap::new(n, t.cfg.shard_seed)),
+            owners: Vec::new(),
             computing: false,
             consumed: 0.0,
             epoch_samples: 0.0,
@@ -312,8 +430,13 @@ impl ClusterWorld {
             epoch_start: SimTime::ZERO,
             nic_snapshot: vec![DeviceStats::default(); n],
             local_snapshot: vec![(0, 0); n],
+            peer_snapshot: vec![(0, 0, 0); n],
             reports: Vec::new(),
         }
+    }
+
+    fn peer_mode(&self) -> bool {
+        self.shard_map.is_some()
     }
 
     fn run(mut self, epochs: usize) -> ClusterReport {
@@ -349,12 +472,19 @@ impl ClusterWorld {
             );
         }
         ClusterReport {
-            label: if self.cfg.monarch_ssd_capacity.is_some() {
+            label: if self.peer_mode() {
+                format!("monarch-peer-{:?}", self.cfg.sharding).to_lowercase()
+            } else if self.cfg.monarch_ssd_capacity.is_some() {
                 format!("monarch-{:?}", self.cfg.sharding).to_lowercase()
             } else {
                 "vanilla-lustre".into()
             },
             nodes: self.cfg.nodes,
+            bytes_per_epoch: if self.peer_mode() {
+                self.geom.total_bytes() * self.cfg.nodes as u64
+            } else {
+                self.geom.total_bytes()
+            },
             epochs: self.reports,
         }
     }
@@ -396,6 +526,13 @@ impl ClusterWorld {
                 }
                 self.nodes[i].ssd_gen = Some(gen);
             }
+            let gen = self.nodes[i].pnic.generation();
+            if self.nodes[i].pnic_gen != Some(gen) {
+                if let Some(at) = self.nodes[i].pnic.next_wake() {
+                    self.q.schedule(at.max(now), Ev::PnicWake { node: i, gen });
+                }
+                self.nodes[i].pnic_gen = Some(gen);
+            }
         }
     }
 
@@ -408,6 +545,7 @@ impl ClusterWorld {
         for (i, node) in self.nodes.iter_mut().enumerate() {
             self.nic_snapshot[i] = node.nic.stats().clone();
             self.local_snapshot[i] = (node.local_chunks, node.remote_chunks);
+            self.peer_snapshot[i] = (node.peer_chunks, node.peer_bytes, node.fallback_chunks);
             node.buffered = 0.0;
             for r in &mut node.readers {
                 r.pending.clear();
@@ -415,6 +553,49 @@ impl ClusterWorld {
                 r.inflight = false;
                 r.done = false;
             }
+        }
+
+        if let Some(map) = &self.shard_map {
+            // Re-derive the shard → owner assignment. Static keeps the
+            // same salt forever; Reshuffled salts with the epoch, which
+            // moves ~(n-1)/n of the shards to new owners.
+            let salt = match self.cfg.sharding {
+                Sharding::Static => 0,
+                Sharding::Reshuffled => self.epoch as u64,
+            };
+            self.owners = (0..self.geom.num_shards())
+                .map(|s| map.owner_salted(&format!("shard{s:05}"), salt))
+                .collect();
+            // A node only caches shards it owns: drop anything whose
+            // ownership moved away (no-op under Static).
+            for (k, node) in self.nodes.iter_mut().enumerate() {
+                let cache = node.cache.as_mut().expect("peer mode implies cache");
+                for (s, state) in cache.state.iter_mut().enumerate() {
+                    if *state == ShardState::Local && self.owners[s] != k {
+                        *state = ShardState::Remote;
+                        cache.quota_used =
+                            cache.quota_used.saturating_sub(self.geom.shards[s].bytes);
+                    }
+                }
+            }
+            // FanStore workload: every node streams the whole (locally
+            // shuffled) dataset each epoch, so the global consumption is
+            // n × the dataset.
+            self.epoch_samples = self.geom.total_records() as f64 * self.nodes.len() as f64;
+            for k in 0..self.nodes.len() {
+                let mut order: Vec<usize> = (0..self.geom.num_shards()).collect();
+                self.rng.shuffle(&mut order);
+                let readers = self.nodes[k].readers.len();
+                for (i, s) in order.into_iter().enumerate() {
+                    self.nodes[k].readers[i % readers].pending.push_back(s);
+                }
+            }
+            for k in 0..self.nodes.len() {
+                for r in 0..self.nodes[k].readers.len() {
+                    self.reader_advance(now, k, r);
+                }
+            }
+            return;
         }
 
         // Partition the (possibly reshuffled) shard list across nodes,
@@ -479,17 +660,23 @@ impl ClusterWorld {
         let mut pfs_bytes = 0;
         let mut local = 0u64;
         let mut remote = 0u64;
+        let mut peer = 0u64;
+        let mut peer_bytes = 0u64;
+        let mut fallbacks = 0u64;
         for (i, node) in self.nodes.iter().enumerate() {
             let d = node.nic.stats().delta_since(&self.nic_snapshot[i]);
             pfs_ops += d.data_ops();
             pfs_bytes += d.bytes_read();
             local += node.local_chunks - self.local_snapshot[i].0;
             remote += node.remote_chunks - self.local_snapshot[i].1;
+            peer += node.peer_chunks - self.peer_snapshot[i].0;
+            peer_bytes += node.peer_bytes - self.peer_snapshot[i].1;
+            fallbacks += node.fallback_chunks - self.peer_snapshot[i].2;
         }
-        let hit = if local + remote == 0 {
+        let hit = if local + remote + peer == 0 {
             0.0
         } else {
-            local as f64 / (local + remote) as f64
+            local as f64 / (local + remote + peer) as f64
         };
         self.reports.push(ClusterEpoch {
             epoch: self.epoch,
@@ -497,6 +684,9 @@ impl ClusterWorld {
             pfs_ops,
             pfs_bytes,
             local_hit_ratio: hit,
+            peer_hits: peer,
+            peer_bytes,
+            peer_fallbacks: fallbacks,
         });
         self.epoch += 1;
         if self.epoch < self.epochs_total {
@@ -532,6 +722,17 @@ impl ClusterWorld {
                 self.nodes[node].ssd_gen = None;
                 for (id, _, bytes) in finished {
                     let p = self.purpose.remove(&(node, 1, id.0)).expect("purpose");
+                    self.on_done(now, node, p, bytes);
+                }
+            }
+            Ev::PnicWake { node, gen } => {
+                if self.nodes[node].pnic.generation() != gen {
+                    return;
+                }
+                let finished = self.nodes[node].pnic.collect_finished(now);
+                self.nodes[node].pnic_gen = None;
+                for (id, _, bytes) in finished {
+                    let p = self.purpose.remove(&(node, 2, id.0)).expect("purpose");
                     self.on_done(now, node, p, bytes);
                 }
             }
@@ -588,8 +789,9 @@ impl ClusterWorld {
         match self.nodes[k].readers[r].pending.pop_front() {
             Some(next) => {
                 self.nodes[k].readers[r].cur = Some((next, 0));
-                if self.route(now, k, next) == 0 {
-                    // Remote (NIC) shard: pay an MDS open.
+                if matches!(self.route(now, k, next), Route::Pfs | Route::PfsFallback) {
+                    // Remote (NIC) shard: pay an MDS open. Peer reads
+                    // skip it — the owner already holds the metadata.
                     let done = self.mds.submit(now, &mut self.rng);
                     self.nodes[k].readers[r].inflight = true;
                     self.q.schedule(done, Ev::MdsDone { node: k, reader: r });
@@ -604,23 +806,42 @@ impl ClusterWorld {
         }
     }
 
-    /// 0 = remote (NIC), 1 = local SSD; first touch may enqueue a copy.
-    fn route(&mut self, now: SimTime, k: usize, shard: usize) -> u8 {
-        let Some(cache) = self.nodes[k].cache.as_mut() else {
-            return 0;
+    /// Where the next chunk of `shard` is served from; the first touch of
+    /// a cacheable (in peer mode: *owned*) shard may enqueue a copy.
+    fn route(&mut self, now: SimTime, k: usize, shard: usize) -> Route {
+        if self.nodes[k].cache.is_none() {
+            return Route::Pfs;
         };
-        match cache.state[shard] {
-            ShardState::Local => 1,
-            ShardState::Copying => 0,
+        let owner = self.owners.get(shard).copied();
+        let state = self.nodes[k].cache.as_ref().expect("cache").state[shard];
+        match state {
+            ShardState::Local => Route::Local,
+            ShardState::Copying => Route::Pfs,
             ShardState::Remote => {
+                if let Some(o) = owner {
+                    if o != k {
+                        // Peer-owned: served node-to-node when the owner
+                        // has it staged, else straight from the PFS.
+                        let held = self.nodes[o]
+                            .cache
+                            .as_ref()
+                            .is_some_and(|c| c.state[shard] == ShardState::Local);
+                        return if held {
+                            Route::Peer(o)
+                        } else {
+                            Route::PfsFallback
+                        };
+                    }
+                }
                 let size = self.geom.shards[shard].bytes;
+                let cache = self.nodes[k].cache.as_mut().expect("cache");
                 if cache.quota_used + size <= cache.quota_cap {
                     cache.quota_used += size;
                     cache.state[shard] = ShardState::Copying;
                     cache.copy_queue.push_back(shard);
                     self.dispatch_copies(now, k);
                 }
-                0
+                Route::Pfs
             }
         }
     }
@@ -628,8 +849,29 @@ impl ClusterWorld {
     fn issue_chunk(&mut self, now: SimTime, k: usize, r: usize, shard: usize, offset: u64) {
         let total = self.geom.shards[shard].bytes;
         let len = self.chunk_bytes.min(total - offset);
-        let dev = self.route(now, k, shard);
-        let (spec, was_idle) = if dev == 0 {
+        let route = self.route(now, k, shard);
+        if let Route::Peer(o) = route {
+            // Two-hop peer transfer: the owner's NIC streams the chunk
+            // out (contending with every other node it is serving), then
+            // the requester's NIC receives it. Neither hop touches the
+            // PFS link, so peer traffic is invisible to the backend cap.
+            let latency =
+                SimTime::from_secs_f64(self.rng.lognormal(PEER_LAT_MEDIAN, PEER_LAT_SIGMA));
+            let id = self.nodes[o].pnic.start(now, len, latency, Kind::Read, 1.0);
+            self.purpose.insert(
+                (o, 2, id.0),
+                Purpose::PeerSend {
+                    requester: k,
+                    reader: r,
+                    shard,
+                },
+            );
+            self.nodes[k].readers[r].cur = Some((shard, offset + len));
+            self.nodes[k].readers[r].inflight = true;
+            return;
+        }
+        let pfs = matches!(route, Route::Pfs | Route::PfsFallback);
+        let (spec, was_idle) = if pfs {
             (self.env.lustre.clone(), self.nodes[k].nic.active() == 0)
         } else {
             (self.env.ssd.clone(), false)
@@ -637,27 +879,36 @@ impl ClusterWorld {
         let latency =
             SimTime::from_secs_f64(self.rng.lognormal(spec.latency_median, spec.latency_sigma));
         let node = &mut self.nodes[k];
-        let id = if dev == 0 {
+        if route == Route::PfsFallback {
+            node.fallback_chunks += 1;
+        }
+        let (dev, id) = if pfs {
             node.remote_chunks += 1;
-            node.nic.start_custom(
-                now,
-                len,
-                latency,
-                Kind::Read,
-                1.0,
-                1.0,
-                Some(spec.sync_stream_cap),
+            (
+                0,
+                node.nic.start_custom(
+                    now,
+                    len,
+                    latency,
+                    Kind::Read,
+                    1.0,
+                    1.0,
+                    Some(spec.sync_stream_cap),
+                ),
             )
         } else {
             node.local_chunks += 1;
-            node.ssd.start_custom(
-                now,
-                len,
-                latency,
-                Kind::Read,
-                1.0,
-                1.0,
-                Some(spec.sync_stream_cap),
+            (
+                1,
+                node.ssd.start_custom(
+                    now,
+                    len,
+                    latency,
+                    Kind::Read,
+                    1.0,
+                    1.0,
+                    Some(spec.sync_stream_cap),
+                ),
             )
         };
         self.purpose
@@ -731,6 +982,31 @@ impl ClusterWorld {
                 cache.pending_writes -= 1;
                 cache.state[shard] = ShardState::Local;
                 self.dispatch_copies(now, k);
+            }
+            Purpose::PeerSend {
+                requester,
+                reader,
+                shard,
+            } => {
+                // Hop 2: the chunk lands on the requester's peer NIC.
+                let latency =
+                    SimTime::from_secs_f64(self.rng.lognormal(PEER_LAT_MEDIAN, PEER_LAT_SIGMA));
+                let id = self.nodes[requester]
+                    .pnic
+                    .start(now, bytes, latency, Kind::Read, 1.0);
+                self.purpose
+                    .insert((requester, 2, id.0), Purpose::PeerRecv { reader, shard });
+            }
+            Purpose::PeerRecv { reader, shard } => {
+                let samples = bytes as f64 * self.samples_per_byte[shard];
+                let node = &mut self.nodes[k];
+                node.buffered += samples;
+                node.peer_chunks += 1;
+                node.peer_bytes += bytes;
+                node.readers[reader].inflight = false;
+                self.try_step(now);
+                self.reader_advance(now, k, reader);
+                self.maybe_finish_epoch(now);
             }
         }
     }
@@ -904,6 +1180,95 @@ mod tests {
             "static {s_hit} should beat reshuffled {r_hit} clearly"
         );
         assert!(stat.epochs[2].pfs_ops < resh.epochs[2].pfs_ops);
+    }
+
+    #[test]
+    fn peer_cache_scales_aggregate_throughput_with_flat_pfs() {
+        // Partial-cache workload: each node's quota holds ~1/16 of the
+        // dataset, so caches never cover the working set.
+        let quota = geom().total_bytes() / 16;
+        let one = run(
+            ClusterConfig {
+                monarch_ssd_capacity: Some(quota),
+                ..ClusterConfig::monarch_peer(1, Sharding::Static)
+            },
+            3,
+        );
+        let four = run(
+            ClusterConfig {
+                monarch_ssd_capacity: Some(quota),
+                ..ClusterConfig::monarch_peer(4, Sharding::Static)
+            },
+            3,
+        );
+        assert_eq!(one.label, "monarch-peer-static");
+        assert_eq!(one.bytes_per_epoch, geom().total_bytes());
+        assert_eq!(four.bytes_per_epoch, 4 * geom().total_bytes());
+        // FanStore's scaling shape, on the warm epoch: aggregate
+        // throughput grows with node count...
+        let agg1 = one.agg_bytes_per_s(2);
+        let agg4 = four.agg_bytes_per_s(2);
+        assert!(
+            agg4 >= 2.0 * agg1,
+            "4 nodes should at least double aggregate throughput: {agg4:.3e} vs {agg1:.3e}"
+        );
+        // ...while per-node PFS traffic stays ~flat (peers absorb the
+        // extra demand; only uncached shards still hit the PFS).
+        let p1 = one.pfs_bytes_per_node(2);
+        let p4 = four.pfs_bytes_per_node(2);
+        assert!(
+            p4 <= p1 * 1.1 && p4 >= p1 * 0.5,
+            "per-node PFS bytes should stay ~flat: {p4:.3e} vs {p1:.3e}"
+        );
+        // A single node owns everything, so nothing travels peer-to-peer;
+        // at 4 nodes the warm epoch serves peer hits and still falls back
+        // to the PFS for the uncached tail.
+        assert_eq!(one.epochs[2].peer_hits, 0);
+        assert!(four.epochs[2].peer_hits > 0, "{:?}", four.epochs[2]);
+        assert!(four.epochs[2].peer_bytes > 0);
+        assert!(four.epochs[2].peer_fallbacks > 0);
+    }
+
+    #[test]
+    fn peer_reshuffled_ownership_rewarms_from_the_pfs() {
+        let quota = geom().total_bytes() / 16;
+        let stat = run(
+            ClusterConfig {
+                monarch_ssd_capacity: Some(quota),
+                ..ClusterConfig::monarch_peer(4, Sharding::Static)
+            },
+            3,
+        );
+        let resh = run(
+            ClusterConfig {
+                monarch_ssd_capacity: Some(quota),
+                ..ClusterConfig::monarch_peer(4, Sharding::Reshuffled)
+            },
+            3,
+        );
+        assert_eq!(resh.label, "monarch-peer-reshuffled");
+        // Rotating the owner assignment every epoch drops most of the
+        // cache, so the warm epoch re-stages from the PFS.
+        assert!(
+            resh.epochs[2].pfs_bytes > stat.epochs[2].pfs_bytes,
+            "reshuffled {} should out-read static {}",
+            resh.epochs[2].pfs_bytes,
+            stat.epochs[2].pfs_bytes
+        );
+    }
+
+    #[test]
+    fn peer_runs_are_deterministic() {
+        let cfg = ClusterConfig {
+            monarch_ssd_capacity: Some(geom().total_bytes() / 8),
+            ..ClusterConfig::monarch_peer(2, Sharding::Static)
+        };
+        let a = run(cfg.clone(), 2);
+        let b = run(cfg, 2);
+        assert_eq!(a.total_seconds(), b.total_seconds());
+        assert_eq!(a.pfs_ops(), b.pfs_ops());
+        assert_eq!(a.epochs[1].peer_hits, b.epochs[1].peer_hits);
+        assert_eq!(a.epochs[1].peer_bytes, b.epochs[1].peer_bytes);
     }
 
     #[test]

@@ -92,6 +92,15 @@ pub enum Command {
         /// Emit the report as JSON instead of the human table.
         json: bool,
     },
+    /// Initialise the middleware in cluster mode and print the node
+    /// roster plus shard statistics for the scanned namespace.
+    Cluster {
+        /// Path to a `MonarchConfig` JSON file (must carry a `cluster`
+        /// section).
+        config: PathBuf,
+        /// Emit the snapshot as JSON instead of the human table.
+        json: bool,
+    },
     /// Stream the dataset through the middleware with causal tracing on
     /// and write a Chrome Trace Event / Perfetto JSON file.
     Trace {
@@ -134,6 +143,7 @@ impl Command {
          monarch metrics     --config CFG.json [--format text|json] [--watch SECS]\n  \
          monarch serve       --config CFG.json [--addr HOST:PORT] [--duration SECS]\n  \
          monarch report      --config CFG.json [--chunk BYTES] [--epochs N] [--prefetch N] [--top K] [--json]\n  \
+         monarch cluster     --config CFG.json [--json]\n  \
          monarch trace       --config CFG.json --data DIR --out TRACE.json [--readers N] [--chunk BYTES] [--duration SECS] [--sample N]"
     }
 
@@ -256,6 +266,10 @@ impl Command {
                 },
                 prefetch: get_u64("prefetch", Some(16))? as usize,
                 top: get_u64("top", Some(5))? as usize,
+                json: matches!(flags.get("json").map(String::as_str), Some("true")),
+            }),
+            "cluster" => Ok(Command::Cluster {
+                config: PathBuf::from(get("config")?),
                 json: matches!(flags.get("json").map(String::as_str), Some("true")),
             }),
             "trace" => Ok(Command::Trace {
@@ -559,6 +573,75 @@ pub fn run(cmd: Command) -> Result<(), String> {
             m.shutdown();
             Ok(())
         }
+        Command::Cluster { config, json } => {
+            let cfg_json = std::fs::read_to_string(&config)
+                .map_err(|e| format!("read {}: {e}", config.display()))?;
+            let cfg =
+                MonarchConfig::from_json(&cfg_json).map_err(|e| format!("parse config: {e}"))?;
+            if cfg.cluster.is_none() {
+                return Err("config has no `cluster` section — nothing to report".into());
+            }
+            let m = Monarch::new(cfg).map_err(|e| format!("build middleware: {e}"))?;
+            let init = m.init().map_err(|e| format!("namespace scan: {e}"))?;
+            let cluster = m
+                .cluster()
+                .ok_or("middleware built without a cluster handle")?;
+            // Shard statistics over the scanned namespace: how the
+            // consistent-hash ring splits this node's file set by count
+            // and by bytes.
+            let mut nodes = vec![(0u64, 0u64); cluster.config().nodes.len()];
+            m.metadata().for_each(|name, info| {
+                let owner = cluster.shard_map().owner(name);
+                if let Some((files, bytes)) = nodes.get_mut(owner) {
+                    *files += 1;
+                    *bytes += info.size;
+                }
+            });
+            let snap = m
+                .cluster_snapshot()
+                .ok_or("cluster handle produced no snapshot")?;
+            if json {
+                let shard: Vec<serde_json::Value> = nodes
+                    .iter()
+                    .enumerate()
+                    .map(|(id, (files, bytes))| {
+                        let mut entry = serde_json::Map::new();
+                        entry.insert("node".into(), serde_json::Value::UInt(id as u64));
+                        entry.insert("files".into(), serde_json::Value::UInt(*files));
+                        entry.insert("bytes".into(), serde_json::Value::UInt(*bytes));
+                        serde_json::Value::Object(entry)
+                    })
+                    .collect();
+                let mut out = serde_json::Map::new();
+                out.insert(
+                    "cluster".into(),
+                    serde_json::to_value(&snap).map_err(|e| e.to_string())?,
+                );
+                out.insert("shard_load".into(), serde_json::Value::Array(shard));
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&serde_json::Value::Object(out))
+                        .map_err(|e| e.to_string())?
+                );
+            } else {
+                println!(
+                    "namespace: {} files, {:.1} MiB, scanned in {:?}",
+                    init.files,
+                    init.bytes as f64 / (1 << 20) as f64,
+                    init.elapsed
+                );
+                print!("{}", snap.render_table());
+                println!("shard assignment over the namespace:");
+                for (id, (files, bytes)) in nodes.iter().enumerate() {
+                    println!(
+                        "   node {id:<3} owns {files:>6} file(s) / {:.1} MiB",
+                        *bytes as f64 / (1 << 20) as f64
+                    );
+                }
+            }
+            m.shutdown();
+            Ok(())
+        }
         Command::Trace {
             config,
             data,
@@ -804,6 +887,21 @@ mod tests {
     }
 
     #[test]
+    fn parses_cluster_defaults_and_json_switch() {
+        let cmd = parse(&["cluster", "--config", "c.json"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Cluster {
+                config: PathBuf::from("c.json"),
+                json: false
+            }
+        );
+        let cmd = parse(&["cluster", "--config", "c.json", "--json"]).unwrap();
+        assert!(matches!(cmd, Command::Cluster { json: true, .. }));
+        assert!(parse(&["cluster"]).is_err(), "missing --config");
+    }
+
+    #[test]
     fn parses_trace_defaults_and_overrides() {
         let cmd = parse(&[
             "trace", "--config", "c.json", "--data", "/d", "--out", "t.json",
@@ -968,6 +1066,38 @@ mod tests {
             prefetch: 8,
             top: 5,
             json: false,
+        })
+        .unwrap();
+        // A cluster-mode config renders the node roster and the shard
+        // assignment over the generated namespace.
+        let ccfg = monarch_core::config::MonarchConfig::builder()
+            .tier(
+                monarch_core::config::TierConfig::posix(
+                    "ssd",
+                    root.join("ssd-cluster").to_string_lossy().to_string(),
+                )
+                .with_capacity(1 << 20),
+            )
+            .tier(monarch_core::config::TierConfig::posix(
+                "pfs",
+                root.join("pfs").to_string_lossy().to_string(),
+            ))
+            .pool_threads(2)
+            .cluster(monarch_core::ClusterConfig::new(
+                0,
+                vec!["127.0.0.1:0".to_string()],
+            ))
+            .build();
+        let ccfg_path = root.join("cluster-cfg.json");
+        std::fs::write(&ccfg_path, ccfg.to_json()).unwrap();
+        run(Command::Cluster {
+            config: ccfg_path.clone(),
+            json: false,
+        })
+        .unwrap();
+        run(Command::Cluster {
+            config: ccfg_path,
+            json: true,
         })
         .unwrap();
         // A traced run writes a Perfetto-loadable JSON file with flow-linked

@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use crate::cluster::{Cluster, ClusterConfig, PeerTransport};
 use crate::config::{
     default_pool_threads, BackendKind, MonarchConfig, PolicyKind, TelemetryConfig,
 };
@@ -33,6 +34,8 @@ pub struct MonarchBuilder {
     telemetry: TelemetryConfig,
     prefetch: PrefetchConfig,
     metrics_addr: Option<String>,
+    cluster: Option<ClusterConfig>,
+    peer_transport: Option<Arc<dyn PeerTransport>>,
 }
 
 impl Default for MonarchBuilder {
@@ -45,6 +48,8 @@ impl Default for MonarchBuilder {
             telemetry: TelemetryConfig::default(),
             prefetch: PrefetchConfig::disabled(),
             metrics_addr: None,
+            cluster: None,
+            peer_transport: None,
         }
     }
 }
@@ -88,6 +93,8 @@ impl MonarchBuilder {
                 max_inflight_bytes: config.prefetch_max_inflight_bytes,
             },
             metrics_addr: config.metrics_addr,
+            cluster: config.cluster,
+            peer_transport: None,
         })
     }
 
@@ -144,6 +151,25 @@ impl MonarchBuilder {
         self
     }
 
+    /// Join a distributed peer cache: shard the dataset across `cfg.nodes`
+    /// and serve/fetch hot files node-to-node (default: single-node, no
+    /// cluster). The peer server starts on `cfg.nodes[cfg.node_id]` during
+    /// [`Self::build`] unless `cfg.serve` is false.
+    #[must_use]
+    pub fn cluster(mut self, cfg: ClusterConfig) -> Self {
+        self.cluster = Some(cfg);
+        self
+    }
+
+    /// Override the peer transport (tests and the simulator; default: the
+    /// real TCP transport over the configured peer addresses). Only
+    /// meaningful together with [`Self::cluster`].
+    #[must_use]
+    pub fn peer_transport(mut self, transport: Arc<dyn PeerTransport>) -> Self {
+        self.peer_transport = Some(transport);
+        self
+    }
+
     /// Assemble the middleware: stats + telemetry registry, instrumented
     /// drivers (when telemetry is on), the transfer engine owning the copy
     /// pool and prefetch window, and the read-path facade over them.
@@ -151,6 +177,10 @@ impl MonarchBuilder {
         let mut hierarchy = self.hierarchy.ok_or_else(|| {
             Error::InvalidConfig("MonarchBuilder requires a storage hierarchy".into())
         })?;
+        // Validate cluster membership before any threads spin up.
+        if let Some(cfg) = &self.cluster {
+            cfg.validate()?;
+        }
         let stats = Arc::new(Stats::new(hierarchy.levels()));
         let tier_names: Vec<String> = hierarchy.tiers().iter().map(|t| t.name.clone()).collect();
         let telemetry = Arc::new(TelemetryRegistry::new(
@@ -171,7 +201,7 @@ impl MonarchBuilder {
         }
         let hierarchy = Arc::new(hierarchy);
         let metadata = Arc::new(MetadataContainer::default());
-        let engine = TransferEngine::new(
+        let mut engine = TransferEngine::new(
             Arc::clone(&hierarchy),
             Arc::clone(&metadata),
             self.policy,
@@ -180,6 +210,31 @@ impl MonarchBuilder {
             self.pool_threads,
             self.prefetch,
         );
+        // Peer cache: build the handle, feed the engine's admit/evict
+        // transitions into the residency view, and start serving this
+        // node's shard (unless the config says client-only).
+        let cluster = match self.cluster {
+            Some(cfg) => {
+                let cluster = match self.peer_transport {
+                    Some(transport) => Arc::new(Cluster::new(cfg, transport)),
+                    None => Arc::new(Cluster::with_tcp_transport(cfg)),
+                };
+                engine.set_cluster_feed(Arc::clone(cluster.view()), cluster.node_id());
+                if cluster.config().serve {
+                    if let Err(e) =
+                        cluster.start_server(Arc::clone(&hierarchy), Arc::clone(&metadata))
+                    {
+                        // A node that cannot serve its shard silently
+                        // degrades the whole cluster's hit rate — fail the
+                        // build, but drain the already-running pool first.
+                        engine.drain();
+                        return Err(e);
+                    }
+                }
+                Some(cluster)
+            }
+            None => None,
+        };
         let monarch = Monarch::from_parts(
             hierarchy,
             metadata,
@@ -187,6 +242,7 @@ impl MonarchBuilder {
             telemetry,
             engine,
             self.full_file_fetch,
+            cluster,
         );
         if let Some(addr) = &self.metrics_addr {
             // An unusable metrics address is a configuration error, not

@@ -185,6 +185,10 @@ pub struct MonarchConfig {
     /// `None` — the default — starts no server.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub metrics_addr: Option<String>,
+    /// Distributed peer cache membership. `None` — the default — runs
+    /// single-node: no shard map, no peer server, no remote lane traffic.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cluster: Option<crate::cluster::ClusterConfig>,
 }
 
 pub(crate) fn default_pool_threads() -> usize {
@@ -245,6 +249,7 @@ pub struct MonarchConfigBuilder {
     prefetch_lookahead: Option<usize>,
     prefetch_max_inflight_bytes: Option<u64>,
     metrics_addr: Option<String>,
+    cluster: Option<crate::cluster::ClusterConfig>,
 }
 
 impl MonarchConfigBuilder {
@@ -305,6 +310,13 @@ impl MonarchConfigBuilder {
         self
     }
 
+    /// Join a distributed peer cache (`None` default = single-node).
+    #[must_use]
+    pub fn cluster(mut self, cfg: crate::cluster::ClusterConfig) -> Self {
+        self.cluster = Some(cfg);
+        self
+    }
+
     /// Finish building.
     #[must_use]
     pub fn build(self) -> MonarchConfig {
@@ -319,6 +331,7 @@ impl MonarchConfigBuilder {
                 .prefetch_max_inflight_bytes
                 .unwrap_or_else(default_prefetch_max_inflight_bytes),
             metrics_addr: self.metrics_addr,
+            cluster: self.cluster,
         }
     }
 }
@@ -400,6 +413,33 @@ mod tests {
         assert_eq!(cfg.telemetry.journal_capacity, 4096);
         assert_eq!(cfg.telemetry.trace_sample_every_n, 0, "tracing is opt-in");
         assert_eq!(cfg.telemetry.trace_capacity, 65536);
+    }
+
+    #[test]
+    fn cluster_section_parses_and_roundtrips() {
+        let json = r#"{
+            "tiers": [
+                {"name": "ssd", "backend": "mem", "capacity": 10},
+                {"name": "pfs", "backend": "mem"}
+            ],
+            "cluster": {"node_id": 1, "nodes": ["10.0.0.1:9470", "10.0.0.2:9470"],
+                        "shard_seed": 7}
+        }"#;
+        let cfg = MonarchConfig::from_json(json).unwrap();
+        let cluster = cfg.cluster.as_ref().expect("cluster section parsed");
+        assert_eq!(cluster.node_id, 1);
+        assert_eq!(cluster.nodes.len(), 2);
+        assert_eq!(cluster.shard_seed, 7);
+        assert_eq!(cluster.peer_timeout_ms, 250, "timeout defaults apply");
+        assert!(cluster.serve);
+        let back = MonarchConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(cfg, back);
+        // Absent section stays absent (and is not serialized).
+        let solo = MonarchConfig::builder()
+            .tier(TierConfig::mem("pfs"))
+            .build();
+        assert!(solo.cluster.is_none());
+        assert!(!solo.to_json().contains("cluster"));
     }
 
     #[test]

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod builder;
+pub mod cluster;
 pub mod config;
 pub mod driver;
 pub mod error;
@@ -64,6 +65,10 @@ pub mod trace;
 pub mod transfer;
 
 pub use builder::MonarchBuilder;
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterSnapshot, ClusterView, PeerError, PeerServer, PeerTransport,
+    ShardMap, TcpPeerTransport,
+};
 pub use config::{MonarchConfig, TelemetryConfig};
 pub use driver::StorageDriver;
 pub use error::{Error, Result};

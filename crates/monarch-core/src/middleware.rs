@@ -24,6 +24,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::builder::MonarchBuilder;
+use crate::cluster::{Cluster, ClusterSnapshot, PeerError};
 use crate::config::MonarchConfig;
 use crate::hierarchy::StorageHierarchy;
 use crate::metadata::{MetadataContainer, PlacementState};
@@ -31,7 +32,7 @@ use crate::observe::{ReadClass, ReadTiming};
 use crate::prefetch::AccessPlan;
 use crate::serve::MetricsServer;
 use crate::stats::{Stats, StatsSnapshot};
-use crate::telemetry::{Gauge, GaugeGuard, TelemetryRegistry, TelemetrySnapshot};
+use crate::telemetry::{EventKind, Gauge, GaugeGuard, TelemetryRegistry, TelemetrySnapshot};
 use crate::trace::{names, FlowPhase, SpanRecord};
 use crate::transfer::{GaugeSampler, ReadCtx, TransferEngine};
 use crate::{Error, Result};
@@ -55,6 +56,9 @@ pub struct Monarch {
     telemetry: Arc<TelemetryRegistry>,
     engine: TransferEngine,
     full_file_fetch: bool,
+    /// Distributed peer cache, when configured: a miss on a peer-owned
+    /// file tries the owner's fast tier before falling back to the PFS.
+    cluster: Option<Arc<Cluster>>,
     /// Shared with the engine (its drain sets it), so reads are rejected
     /// as soon as shutdown begins.
     shutting_down: Arc<AtomicBool>,
@@ -82,6 +86,7 @@ impl Monarch {
         telemetry: Arc<TelemetryRegistry>,
         engine: TransferEngine,
         full_file_fetch: bool,
+        cluster: Option<Arc<Cluster>>,
     ) -> Self {
         let shutting_down = engine.shutdown_flag();
         let reads_in_flight = telemetry.gauges().gauge(
@@ -96,6 +101,7 @@ impl Monarch {
             telemetry,
             engine,
             full_file_fetch,
+            cluster,
             shutting_down,
             reads_in_flight,
             server: std::sync::Mutex::new(None),
@@ -154,6 +160,12 @@ impl Monarch {
         } else {
             0
         };
+        // Peer cache: a miss on a peer-owned file is served node-to-node
+        // from the owner's fast tier, skipping the PFS entirely when the
+        // peer answers. Any peer failure falls through to the normal path.
+        if let Some(n) = self.peer_read(file, offset, buf, p_entry, profiled) {
+            return Ok(n);
+        }
         // Residency can change between the lookup and the pread (an LRU
         // eviction may delete the cache-tier copy we just resolved). A
         // vanished file is retried against fresh metadata, which by then
@@ -323,6 +335,100 @@ impl Monarch {
         Ok(n)
     }
 
+    /// Try to serve a read of an unplaced, peer-owned file from its owner
+    /// node's fast tier. Returns `Some(n)` when the peer answered — the
+    /// requested range was copied into `buf` and the whole file was handed
+    /// to the remote install lane — and `None` when this read should take
+    /// the normal local path (no cluster, locally owned, already placed,
+    /// or the peer was slow/down, in which case the fallback is counted
+    /// and the read degrades to the PFS).
+    fn peer_read(
+        &self,
+        file: &str,
+        offset: u64,
+        buf: &mut [u8],
+        p_entry: Instant,
+        profiled: bool,
+    ) -> Option<usize> {
+        let cluster = self.cluster.as_ref()?;
+        let info = self.metadata.get(file)?;
+        // Only first-touch misses go to a peer: placed files are local,
+        // and an in-flight copy means bytes are already on their way.
+        if info.state != PlacementState::Unplaced || offset >= info.size {
+            return None;
+        }
+        let owner = cluster.peer_owner(file)?;
+        let p_fetch = Instant::now();
+        let bytes = match cluster.fetch_from(owner, file) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                // Degrade to the PFS path, never to an error. A timeout is
+                // journaled distinctly: "the peer was too slow" reads very
+                // differently from "the peer does not hold the shard yet".
+                self.stats.peer_fallback();
+                if e == PeerError::Timeout {
+                    self.stats.remote_timeout();
+                    self.telemetry.event(EventKind::RemoteTimeout {
+                        file: file.to_string(),
+                        reason: format!(
+                            "peer {owner} read exceeded its deadline; falling back to the PFS"
+                        ),
+                    });
+                }
+                return None;
+            }
+        };
+        let p_pread = Instant::now();
+        // Serve the requested range straight from the fetched buffer. The
+        // namespace read counter still ticks; the per-tier counters do not
+        // (no local tier did any work — `peer_bytes` accounts the traffic).
+        let _ = self.metadata.lookup_for_read(file);
+        let want = buf.len().min(bytes.len().saturating_sub(offset as usize));
+        buf[..want].copy_from_slice(&bytes[offset as usize..offset as usize + want]);
+        self.stats.peer_hit(want as u64);
+        // The remaining bytes become a remote-lane install so later chunks
+        // (and later epochs) hit the local tier. Bounded by the remote
+        // deadline: if the install queue is backed up past it, the install
+        // reverts and the file stays on the PFS.
+        self.engine.remote_admit(
+            file,
+            info.size,
+            bytes,
+            owner as u64,
+            ReadCtx::untraced().with_deadline(Instant::now() + cluster.remote_deadline()),
+        );
+        // Advance the plan cursor as any read does; the source-tier id
+        // keeps this from counting as a prefetch hit (the plan did not
+        // stage these bytes — the peer did).
+        let _ = self.engine.note_read(file, self.hierarchy.source_id());
+        if profiled {
+            let p_end = Instant::now();
+            self.telemetry
+                .stall_profile()
+                .record(p_entry, p_fetch, p_fetch, p_pread, p_end);
+            let profiler = self.telemetry.observe().profiler();
+            if profiler.is_enabled() {
+                let us = |d: Duration| u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+                let timing = ReadTiming {
+                    wall_us: us(p_end - p_entry),
+                    pread_us: us(p_pread - p_fetch),
+                    lock_queue_us: us(p_fetch - p_entry),
+                    copy_wait_us: us(p_end - p_pread),
+                };
+                profiler.record_read(
+                    file,
+                    0,
+                    want as u64,
+                    ReadClass::PeerBound,
+                    false,
+                    timing,
+                    self.telemetry.now_micros(),
+                );
+            }
+        }
+        Some(want)
+    }
+
     /// Read the entire file through the middleware.
     pub fn read_full(&self, file: &str) -> Result<Vec<u8>> {
         let info = self
@@ -478,7 +584,26 @@ impl Monarch {
     #[must_use]
     pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
         self.engine.sampler().refresh();
-        self.telemetry.snapshot()
+        let mut snap = self.telemetry.snapshot();
+        if let Some(cluster) = &self.cluster {
+            snap.cluster = Some(cluster.snapshot(&self.stats.snapshot()));
+        }
+        snap
+    }
+
+    /// The peer-cache handle, when a cluster is configured.
+    #[must_use]
+    pub fn cluster(&self) -> Option<&Arc<Cluster>> {
+        self.cluster.as_ref()
+    }
+
+    /// Roster + peer-counter snapshot of the configured cluster (`None`
+    /// when running single-node).
+    #[must_use]
+    pub fn cluster_snapshot(&self) -> Option<ClusterSnapshot> {
+        self.cluster
+            .as_ref()
+            .map(|c| c.snapshot(&self.stats.snapshot()))
     }
 
     /// Prometheus-style text exposition of the registry, with gauges
@@ -552,10 +677,14 @@ impl Monarch {
     /// being silently discarded.
     pub fn shutdown(mut self) -> StatsSnapshot {
         // Drain first (the flag flips immediately, so a scrape racing the
-        // drain sees `draining` on /healthz), then stop the exporter.
+        // drain sees `draining` on /healthz), then stop the exporter and
+        // the peer server — peers still fetching degrade to their PFS.
         self.engine.drain();
         if let Some(server) = self.server.lock().expect("server slot lock").take() {
             server.stop();
+        }
+        if let Some(cluster) = &self.cluster {
+            cluster.stop_server();
         }
         self.stats.snapshot()
     }

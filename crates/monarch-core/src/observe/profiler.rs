@@ -51,6 +51,10 @@ pub enum ReadClass {
     /// Served from the PFS although the access plan covers the file: the
     /// prefetcher knew, but did not get there in time.
     PrefetchLag,
+    /// Served node-to-node from a peer's fast tier: cheaper than the PFS
+    /// but still a network hop, so its wall time is attributed separately
+    /// from both `Fast` and `PfsCold`.
+    PeerBound,
 }
 
 /// Wall-clock decomposition of one read, in microseconds. The real read
@@ -144,6 +148,7 @@ pub struct LedgerAccum {
     pfs_cold_pread_us: AtomicU64,
     lane_sat_pread_us: AtomicU64,
     prefetch_lag_pread_us: AtomicU64,
+    peer_bound_pread_us: AtomicU64,
     lock_queue_us: AtomicU64,
     copy_wait_us: AtomicU64,
 }
@@ -161,6 +166,7 @@ impl LedgerAccum {
             ReadClass::PfsCold => &self.pfs_cold_pread_us,
             ReadClass::LaneSaturated => &self.lane_sat_pread_us,
             ReadClass::PrefetchLag => &self.prefetch_lag_pread_us,
+            ReadClass::PeerBound => &self.peer_bound_pread_us,
         };
         bucket.fetch_add(t.pread_us, Ordering::Relaxed);
     }
@@ -175,6 +181,7 @@ impl LedgerAccum {
             pfs_cold_pread_us: self.pfs_cold_pread_us.load(Ordering::Relaxed),
             lane_sat_pread_us: self.lane_sat_pread_us.load(Ordering::Relaxed),
             prefetch_lag_pread_us: self.prefetch_lag_pread_us.load(Ordering::Relaxed),
+            peer_bound_pread_us: self.peer_bound_pread_us.load(Ordering::Relaxed),
             lock_queue_us: self.lock_queue_us.load(Ordering::Relaxed),
             copy_wait_us: self.copy_wait_us.load(Ordering::Relaxed),
         }
@@ -198,6 +205,9 @@ pub struct LedgerSnapshot {
     pub lane_sat_pread_us: u64,
     /// Pread time on the PFS for plan-covered files, µs.
     pub prefetch_lag_pread_us: u64,
+    /// Fetch time for reads served node-to-node from a peer's tier, µs.
+    #[serde(default)]
+    pub peer_bound_pread_us: u64,
     /// Lock/lookup and pre-pread bookkeeping time, µs.
     pub lock_queue_us: u64,
     /// Post-pread copy-machinery time (and simulated park waits), µs.
@@ -222,6 +232,9 @@ impl LedgerSnapshot {
             prefetch_lag_pread_us: self
                 .prefetch_lag_pread_us
                 .saturating_sub(prev.prefetch_lag_pread_us),
+            peer_bound_pread_us: self
+                .peer_bound_pread_us
+                .saturating_sub(prev.peer_bound_pread_us),
             lock_queue_us: self.lock_queue_us.saturating_sub(prev.lock_queue_us),
             copy_wait_us: self.copy_wait_us.saturating_sub(prev.copy_wait_us),
         }

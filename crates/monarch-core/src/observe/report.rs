@@ -36,6 +36,9 @@ pub struct LedgerBuckets {
     pub copy_lane_saturated_s: f64,
     /// Plan-covered PFS reads plus copy-machinery waits.
     pub prefetch_lag_s: f64,
+    /// Reads served node-to-node from a peer's fast tier.
+    #[serde(default)]
+    pub peer_bound_s: f64,
     /// Metadata lock/lookup and bookkeeping.
     pub lock_or_queue_s: f64,
     /// Wall time storage was not the bottleneck for.
@@ -56,17 +59,19 @@ impl LedgerBuckets {
             pfs_bound_s: s(ledger.pfs_cold_pread_us),
             copy_lane_saturated_s: s(ledger.lane_sat_pread_us),
             prefetch_lag_s: s(ledger.prefetch_lag_pread_us) + s(ledger.copy_wait_us),
+            peer_bound_s: s(ledger.peer_bound_pread_us),
             lock_or_queue_s: s(ledger.lock_queue_us),
             compute_bound_s: (wall_s - storage_s).max(0.0),
         }
     }
 
-    /// Sum of all five buckets.
+    /// Sum of all six buckets.
     #[must_use]
     pub fn sum_s(&self) -> f64 {
         self.pfs_bound_s
             + self.copy_lane_saturated_s
             + self.prefetch_lag_s
+            + self.peer_bound_s
             + self.lock_or_queue_s
             + self.compute_bound_s
     }
@@ -78,6 +83,7 @@ impl LedgerBuckets {
             ("pfs-bound", self.pfs_bound_s),
             ("copy-lane-saturated", self.copy_lane_saturated_s),
             ("prefetch-lag", self.prefetch_lag_s),
+            ("peer-bound", self.peer_bound_s),
             ("lock-or-queue", self.lock_or_queue_s),
             ("compute-bound", self.compute_bound_s),
         ];
@@ -236,6 +242,7 @@ impl ObserveReport {
             ("pfs-bound", self.ledger.pfs_bound_s),
             ("copy-lane-saturated", self.ledger.copy_lane_saturated_s),
             ("prefetch-lag", self.ledger.prefetch_lag_s),
+            ("peer-bound", self.ledger.peer_bound_s),
             ("lock-or-queue", self.ledger.lock_or_queue_s),
             ("compute-bound", self.ledger.compute_bound_s),
         ] {
@@ -292,6 +299,7 @@ mod tests {
             prefetch_lag_pread_us: 1_500_000,
             lock_queue_us: 500_000,
             copy_wait_us: 1_000_000,
+            peer_bound_pread_us: 0,
         }
     }
 

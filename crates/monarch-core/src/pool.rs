@@ -41,6 +41,11 @@ pub type Task = Box<dyn FnOnce() + Send + 'static>;
 pub enum Lane {
     /// Copies scheduled by a foreground read miss. Always drained first.
     Demand,
+    /// Installs of file bytes fetched from a peer node's fast tier. Demand
+    /// driven (a foreground read triggered the fetch) but the read was
+    /// already served from the fetched buffer, so these yield to local
+    /// demand copies while still outranking speculative prefetch.
+    Remote,
     /// Copies issued ahead of the read cursor. Run only when the demand
     /// lane is empty; may be promoted or canceled while queued.
     Prefetch,
@@ -129,6 +134,7 @@ impl Shared {
 /// demand-path latency.
 struct PoolHists {
     queue_wait_demand: Arc<LatencyHistogram>,
+    queue_wait_remote: Arc<LatencyHistogram>,
     queue_wait_prefetch: Arc<LatencyHistogram>,
     exec: Arc<LatencyHistogram>,
 }
@@ -184,6 +190,7 @@ impl ThreadPool {
     pub fn with_telemetry(
         threads: usize,
         queue_wait_demand: Arc<LatencyHistogram>,
+        queue_wait_remote: Arc<LatencyHistogram>,
         queue_wait_prefetch: Arc<LatencyHistogram>,
         exec: Arc<LatencyHistogram>,
     ) -> Self {
@@ -191,6 +198,7 @@ impl ThreadPool {
             threads,
             Some(Arc::new(PoolHists {
                 queue_wait_demand,
+                queue_wait_remote,
                 queue_wait_prefetch,
                 exec,
             })),
@@ -287,6 +295,7 @@ impl ThreadPool {
                 Box::new(move || {
                     let wait = match lane {
                         Lane::Demand => &hists.queue_wait_demand,
+                        Lane::Remote => &hists.queue_wait_remote,
                         Lane::Prefetch => &hists.queue_wait_prefetch,
                     };
                     wait.record_duration(queued_at.elapsed());
@@ -580,11 +589,13 @@ mod tests {
     #[test]
     fn telemetry_pool_records_spans_per_lane() {
         let queue_wait = Arc::new(LatencyHistogram::new());
+        let queue_wait_remote = Arc::new(LatencyHistogram::new());
         let queue_wait_prefetch = Arc::new(LatencyHistogram::new());
         let exec = Arc::new(LatencyHistogram::new());
         let pool = ThreadPool::with_telemetry(
             2,
             Arc::clone(&queue_wait),
+            Arc::clone(&queue_wait_remote),
             Arc::clone(&queue_wait_prefetch),
             Arc::clone(&exec),
         );
@@ -596,10 +607,14 @@ mod tests {
         for _ in 0..3 {
             pool.submit_on(Lane::Prefetch, None, Box::new(|| {}));
         }
+        for _ in 0..2 {
+            pool.submit_on(Lane::Remote, None, Box::new(|| {}));
+        }
         pool.wait_idle();
         assert_eq!(queue_wait.count(), 10, "demand lane histogram");
+        assert_eq!(queue_wait_remote.count(), 2, "remote lane histogram");
         assert_eq!(queue_wait_prefetch.count(), 3, "prefetch lane histogram");
-        assert_eq!(exec.count(), 13);
+        assert_eq!(exec.count(), 15);
         // Execution spans include the 200µs sleep.
         assert!(
             exec.quantile(0.5) >= 200_000,

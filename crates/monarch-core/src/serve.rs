@@ -59,6 +59,9 @@ pub(crate) struct ServeParts {
     sampler: GaugeSampler,
     stats: Arc<Stats>,
     shutting_down: Arc<AtomicBool>,
+    /// Peer-cache handle, when clustered: `/snapshot` carries the roster
+    /// and peer counters in its `cluster` section.
+    cluster: Option<Arc<crate::cluster::Cluster>>,
 }
 
 /// Handle to a running exporter. Dropping the handle without calling
@@ -184,6 +187,7 @@ impl Monarch {
             sampler: self.sampler(),
             stats: self.stats_arc(),
             shutting_down: self.shutdown_flag(),
+            cluster: self.cluster().map(Arc::clone),
         };
         let server = MetricsServer::start(addr, parts)?;
         let bound = server.addr();
@@ -287,7 +291,11 @@ fn route(head: &str, parts: &ServeParts) -> (u16, &'static str, String) {
         }
         "/snapshot" => {
             parts.sampler.refresh();
-            match serde_json::to_string_pretty(&parts.telemetry.snapshot()) {
+            let mut snap = parts.telemetry.snapshot();
+            if let Some(cluster) = &parts.cluster {
+                snap.cluster = Some(cluster.snapshot(&parts.stats.snapshot()));
+            }
+            match serde_json::to_string_pretty(&snap) {
                 Ok(json) => (200, JSON, json),
                 Err(e) => (500, TEXT, format!("snapshot serialization failed: {e}\n")),
             }
@@ -533,6 +541,7 @@ mod tests {
             sampler: m.sampler(),
             stats: Arc::clone(&stats),
             shutting_down: Arc::clone(&shutting_down),
+            cluster: None,
         };
         let server = MetricsServer::start("127.0.0.1:0", parts).unwrap();
         let addr = server.addr();

@@ -37,6 +37,10 @@ pub struct Stats {
     prefetch_canceled: AtomicU64,
     pool_join_failures: AtomicU64,
     copies_deadline_expired: AtomicU64,
+    peer_hits: AtomicU64,
+    peer_bytes: AtomicU64,
+    peer_fallbacks: AtomicU64,
+    remote_timeouts: AtomicU64,
 }
 
 impl Stats {
@@ -58,6 +62,10 @@ impl Stats {
             prefetch_canceled: AtomicU64::new(0),
             pool_join_failures: AtomicU64::new(0),
             copies_deadline_expired: AtomicU64::new(0),
+            peer_hits: AtomicU64::new(0),
+            peer_bytes: AtomicU64::new(0),
+            peer_fallbacks: AtomicU64::new(0),
+            remote_timeouts: AtomicU64::new(0),
         }
     }
 
@@ -156,6 +164,26 @@ impl Stats {
         self.copies_deadline_expired.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A read of a peer-owned file was served from the owner's fast tier
+    /// over the cluster transport: `bytes` crossed the wire instead of a
+    /// second PFS read.
+    pub fn peer_hit(&self, bytes: u64) {
+        self.peer_hits.fetch_add(1, Ordering::Relaxed);
+        self.peer_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// A peer fetch failed (peer down, slow, or refused) and the read fell
+    /// back to the PFS path.
+    pub fn peer_fallback(&self) {
+        self.peer_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A remote-lane job's deadline expired (peer too slow); the install
+    /// fell back to copying from the PFS source instead of aborting.
+    pub fn remote_timeout(&self) {
+        self.remote_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Immutable snapshot for reporting.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -184,6 +212,10 @@ impl Stats {
             prefetch_canceled: self.prefetch_canceled.load(Ordering::Relaxed),
             pool_join_failures: self.pool_join_failures.load(Ordering::Relaxed),
             copies_deadline_expired: self.copies_deadline_expired.load(Ordering::Relaxed),
+            peer_hits: self.peer_hits.load(Ordering::Relaxed),
+            peer_bytes: self.peer_bytes.load(Ordering::Relaxed),
+            peer_fallbacks: self.peer_fallbacks.load(Ordering::Relaxed),
+            remote_timeouts: self.remote_timeouts.load(Ordering::Relaxed),
         }
     }
 }
@@ -246,6 +278,20 @@ pub struct StatsSnapshot {
     /// worker started them (subset of `copies_failed`).
     #[serde(default)]
     pub copies_deadline_expired: u64,
+    /// Reads of peer-owned files served node-to-node from the owner's
+    /// fast tier (no PFS read).
+    #[serde(default)]
+    pub peer_hits: u64,
+    /// Bytes served over the cluster transport instead of the PFS.
+    #[serde(default)]
+    pub peer_bytes: u64,
+    /// Peer fetches that failed and fell back to the PFS path.
+    #[serde(default)]
+    pub peer_fallbacks: u64,
+    /// Remote-lane installs whose deadline expired waiting on a peer; the
+    /// copy fell back to the PFS source.
+    #[serde(default)]
+    pub remote_timeouts: u64,
 }
 
 impl StatsSnapshot {
@@ -382,6 +428,20 @@ mod tests {
         s.prefetch_scheduled();
         s.prefetch_wasted();
         assert!((s.snapshot().wasted_prefetch_ratio() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peer_counters_accumulate() {
+        let s = Stats::new(2);
+        s.peer_hit(100);
+        s.peer_hit(50);
+        s.peer_fallback();
+        s.remote_timeout();
+        let snap = s.snapshot();
+        assert_eq!(snap.peer_hits, 2);
+        assert_eq!(snap.peer_bytes, 150);
+        assert_eq!(snap.peer_fallbacks, 1);
+        assert_eq!(snap.remote_timeouts, 1);
     }
 
     #[test]

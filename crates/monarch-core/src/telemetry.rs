@@ -373,6 +373,26 @@ pub enum EventKind {
         /// Number of queued prefetch copies withdrawn.
         canceled: u64,
     },
+    /// A remote-lane install was scheduled: a peer served the file's bytes
+    /// node-to-node and the install stages them locally (the peer-cache
+    /// analogue of `copy_scheduled`).
+    RemoteScheduled {
+        /// Logical file name.
+        file: String,
+        /// File size in bytes.
+        bytes: u64,
+        /// Owning peer's node id.
+        peer: u64,
+    },
+    /// A remote read exceeded its deadline (peer slow or down); the job
+    /// fell back to copying from the PFS source instead of aborting.
+    /// Distinct from `copy_failed` so peer slowness is attributable.
+    RemoteTimeout {
+        /// Logical file name.
+        file: String,
+        /// What timed out.
+        reason: String,
+    },
 }
 
 impl EventKind {
@@ -393,6 +413,8 @@ impl EventKind {
             EventKind::PrefetchCanceled { .. } => "prefetch_canceled",
             EventKind::WorkerJoinFailed { .. } => "worker_join_failed",
             EventKind::PrefetchDrained { .. } => "prefetch_drained",
+            EventKind::RemoteScheduled { .. } => "remote_scheduled",
+            EventKind::RemoteTimeout { .. } => "remote_timeout",
         }
     }
 
@@ -411,7 +433,9 @@ impl EventKind {
             | EventKind::PrefetchScheduled { file, .. }
             | EventKind::PrefetchPromoted { file }
             | EventKind::PrefetchCanceled { file }
-            | EventKind::WorkerJoinFailed { file } => file,
+            | EventKind::WorkerJoinFailed { file }
+            | EventKind::RemoteScheduled { file, .. }
+            | EventKind::RemoteTimeout { file, .. } => file,
             // A drain summary is not about any one file.
             EventKind::PrefetchDrained { .. } => "",
         }
@@ -486,9 +510,14 @@ impl Event {
                     ",\"tier\":{tier},\"bytes\":{bytes},\"micros\":{micros}"
                 ));
             }
-            EventKind::CopyFailed { reason, .. } | EventKind::PlacementSkipped { reason, .. } => {
+            EventKind::CopyFailed { reason, .. }
+            | EventKind::PlacementSkipped { reason, .. }
+            | EventKind::RemoteTimeout { reason, .. } => {
                 o.push_str(",\"reason\":");
                 push_json_str(&mut o, reason);
+            }
+            EventKind::RemoteScheduled { bytes, peer, .. } => {
+                o.push_str(&format!(",\"bytes\":{bytes},\"peer\":{peer}"));
             }
             EventKind::PlacementDecided {
                 tier,
@@ -1147,6 +1176,7 @@ pub struct TelemetryRegistry {
     write_latency: Vec<Arc<LatencyHistogram>>,
     copy_duration: Arc<LatencyHistogram>,
     queue_wait: Arc<LatencyHistogram>,
+    queue_wait_remote: Arc<LatencyHistogram>,
     queue_wait_prefetch: Arc<LatencyHistogram>,
     pool_exec: Arc<LatencyHistogram>,
     stall: StallProfile,
@@ -1179,6 +1209,7 @@ impl TelemetryRegistry {
                 .collect(),
             copy_duration: Arc::new(LatencyHistogram::new()),
             queue_wait: Arc::new(LatencyHistogram::new()),
+            queue_wait_remote: Arc::new(LatencyHistogram::new()),
             queue_wait_prefetch: Arc::new(LatencyHistogram::new()),
             pool_exec: Arc::new(LatencyHistogram::new()),
             stall: StallProfile::default(),
@@ -1250,6 +1281,12 @@ impl TelemetryRegistry {
         &self.queue_wait
     }
 
+    /// Remote-lane pool queue-wait histogram (peer-served installs).
+    #[must_use]
+    pub fn queue_wait_remote(&self) -> &Arc<LatencyHistogram> {
+        &self.queue_wait_remote
+    }
+
     /// Prefetch-lane pool queue-wait histogram. Split from the demand lane
     /// so prefetch backlog (expected — the lane only runs when demand is
     /// empty) cannot be mistaken for demand-path latency.
@@ -1318,6 +1355,7 @@ impl TelemetryRegistry {
             write_latency: self.write_latency.iter().map(|h| h.snapshot()).collect(),
             copy_duration: self.copy_duration.snapshot(),
             queue_wait: self.queue_wait.snapshot(),
+            queue_wait_remote: self.queue_wait_remote.snapshot(),
             queue_wait_prefetch: self.queue_wait_prefetch.snapshot(),
             pool_exec: self.pool_exec.snapshot(),
             stall_profile: self.stall.snapshot(),
@@ -1327,6 +1365,7 @@ impl TelemetryRegistry {
             spans_recorded: self.trace.spans_recorded(),
             spans_dropped: self.trace.spans_dropped(),
             observe: self.observe.snapshot(),
+            cluster: None,
         }
     }
 
@@ -1480,6 +1519,30 @@ impl TelemetryRegistry {
         );
         scalar(
             &mut o,
+            "monarch_peer_hits_total",
+            "Reads of peer-owned files served node-to-node from a peer's fast tier.",
+            snap.peer_hits,
+        );
+        scalar(
+            &mut o,
+            "monarch_peer_bytes_total",
+            "Bytes served over the cluster transport instead of the PFS.",
+            snap.peer_bytes,
+        );
+        scalar(
+            &mut o,
+            "monarch_peer_fallbacks_total",
+            "Peer fetches that failed and fell back to the PFS path.",
+            snap.peer_fallbacks,
+        );
+        scalar(
+            &mut o,
+            "monarch_remote_timeouts_total",
+            "Remote-lane installs whose deadline expired waiting on a peer.",
+            snap.remote_timeouts,
+        );
+        scalar(
+            &mut o,
             "monarch_journal_events_total",
             "Telemetry events recorded.",
             self.journal.recorded(),
@@ -1609,6 +1672,12 @@ impl TelemetryRegistry {
         );
         plain_histogram(
             &mut o,
+            "monarch_pool_remote_queue_wait_seconds",
+            "Remote-lane copy-pool queue wait (submit to task start).",
+            &self.queue_wait_remote,
+        );
+        plain_histogram(
+            &mut o,
             "monarch_pool_prefetch_queue_wait_seconds",
             "Prefetch-lane copy-pool queue wait (submit to task start).",
             &self.queue_wait_prefetch,
@@ -1674,6 +1743,9 @@ pub struct TelemetrySnapshot {
     pub copy_duration: HistogramSnapshot,
     /// Demand-lane pool queue-wait summary.
     pub queue_wait: HistogramSnapshot,
+    /// Remote-lane pool queue-wait summary (peer-served installs).
+    #[serde(default)]
+    pub queue_wait_remote: HistogramSnapshot,
     /// Prefetch-lane pool queue-wait summary.
     #[serde(default)]
     pub queue_wait_prefetch: HistogramSnapshot,
@@ -1700,6 +1772,11 @@ pub struct TelemetrySnapshot {
     /// residency timeline); absent when the profiler is disabled.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub observe: Option<crate::observe::ObserveSnapshot>,
+    /// Cluster peer-cache state (shard map + peer counters); absent when
+    /// the node runs without a cluster config. Attached by the middleware,
+    /// which owns the cluster handle — the registry itself never sets it.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cluster: Option<crate::cluster::ClusterSnapshot>,
 }
 
 #[cfg(test)]

@@ -43,16 +43,20 @@ use crate::{Error, Result};
 // LaneQueues — the shared two-lane queue discipline
 // ---------------------------------------------------------------------------
 
-/// Two priority lanes, generic over what queues on them.
+/// Three priority lanes, generic over what queues on them.
 ///
 /// The [`ThreadPool`] queues whole jobs; the `dlpipe` simulator queues
 /// shard indices — both need the same discipline: the demand lane always
-/// drains first, a queued prefetch entry can be promoted into the demand
-/// lane when a foreground read arrives for it, and queued prefetch entries
-/// can be bulk-canceled at a plan boundary.
+/// drains first, then the remote lane (peer-fetched installs: demand
+/// driven, but the triggering read was already served), then prefetch. A
+/// queued prefetch entry can be promoted into the demand lane when a
+/// foreground read arrives for it, and queued prefetch entries can be
+/// bulk-canceled at a plan boundary — remote entries are *not* touched by
+/// the bulk cancel; they are not speculative.
 #[derive(Debug)]
 pub struct LaneQueues<T> {
     demand: VecDeque<T>,
+    remote: VecDeque<T>,
     prefetch: VecDeque<T>,
 }
 
@@ -63,11 +67,12 @@ impl<T> Default for LaneQueues<T> {
 }
 
 impl<T> LaneQueues<T> {
-    /// Two empty lanes.
+    /// Three empty lanes.
     #[must_use]
     pub fn new() -> Self {
         Self {
             demand: VecDeque::new(),
+            remote: VecDeque::new(),
             prefetch: VecDeque::new(),
         }
     }
@@ -76,16 +81,21 @@ impl<T> LaneQueues<T> {
     pub fn push(&mut self, lane: Lane, item: T) {
         match lane {
             Lane::Demand => self.demand.push_back(item),
+            Lane::Remote => self.remote.push_back(item),
             Lane::Prefetch => self.prefetch.push_back(item),
         }
     }
 
-    /// Dequeue the next item, demand lane first. Returns the lane the item
-    /// was popped from (an entry promoted out of the prefetch lane reports
-    /// [`Lane::Demand`] — it runs at demand priority).
+    /// Dequeue the next item, demand lane first, then remote, then
+    /// prefetch. Returns the lane the item was popped from (an entry
+    /// promoted out of the prefetch lane reports [`Lane::Demand`] — it
+    /// runs at demand priority).
     pub fn pop(&mut self) -> Option<(T, Lane)> {
         if let Some(item) = self.demand.pop_front() {
             return Some((item, Lane::Demand));
+        }
+        if let Some(item) = self.remote.pop_front() {
+            return Some((item, Lane::Remote));
         }
         self.prefetch.pop_front().map(|item| (item, Lane::Prefetch))
     }
@@ -104,7 +114,10 @@ impl<T> LaneQueues<T> {
     }
 
     /// Remove and return every queued prefetch entry (bulk cancel). The
-    /// demand lane is untouched.
+    /// demand and remote lanes are untouched: remote entries are demand
+    /// driven (a foreground read triggered the fetch), so canceling them
+    /// at a plan boundary would throw away work a trainer already waited
+    /// for.
     pub fn drain_prefetch(&mut self) -> Vec<T> {
         self.prefetch.drain(..).collect()
     }
@@ -114,20 +127,21 @@ impl<T> LaneQueues<T> {
     pub fn queued(&self, lane: Lane) -> usize {
         match lane {
             Lane::Demand => self.demand.len(),
+            Lane::Remote => self.remote.len(),
             Lane::Prefetch => self.prefetch.len(),
         }
     }
 
-    /// Total queued entries across both lanes.
+    /// Total queued entries across all lanes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.demand.len() + self.prefetch.len()
+        self.demand.len() + self.remote.len() + self.prefetch.len()
     }
 
-    /// Whether both lanes are empty.
+    /// Whether all lanes are empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.demand.is_empty() && self.prefetch.is_empty()
+        self.demand.is_empty() && self.remote.is_empty() && self.prefetch.is_empty()
     }
 }
 
@@ -268,6 +282,13 @@ pub struct TransferEngine {
     /// configuration takes zero extra branches beyond one `Option` check.
     /// Shared (`Arc`) with detached [`GaugeSampler`]s.
     prefetch: Option<Arc<PrefetchState>>,
+    /// Peer-cache residency feed: `(view, this node's id)`. When set, the
+    /// admit/evict transitions that already feed the residency timeline
+    /// also update the [`ClusterView`] so peers' shard state is tracked
+    /// from actual placement, not intent.
+    ///
+    /// [`ClusterView`]: crate::cluster::ClusterView
+    cluster_feed: Mutex<Option<(Arc<crate::cluster::ClusterView>, usize)>>,
 }
 
 impl std::fmt::Debug for TransferEngine {
@@ -299,6 +320,7 @@ impl TransferEngine {
             ThreadPool::with_telemetry(
                 pool_threads,
                 Arc::clone(telemetry.queue_wait()),
+                Arc::clone(telemetry.queue_wait_remote()),
                 Arc::clone(telemetry.queue_wait_prefetch()),
                 Arc::clone(telemetry.pool_exec()),
             )
@@ -335,7 +357,19 @@ impl TransferEngine {
                     window: Mutex::new(None),
                 })
             }),
+            cluster_feed: Mutex::new(None),
         }
+    }
+
+    /// Attach the peer-cache residency feed: from now on every admit and
+    /// evict this engine performs is mirrored into `view` under `node`.
+    /// Called once by the builder when a cluster is configured.
+    pub fn set_cluster_feed(&self, view: Arc<crate::cluster::ClusterView>, node: usize) {
+        *self.cluster_feed.lock() = Some((view, node));
+    }
+
+    fn cluster_feed(&self) -> Option<(Arc<crate::cluster::ClusterView>, usize)> {
+        self.cluster_feed.lock().clone()
     }
 
     /// The engine's shutdown flag — shared with the read path so reads are
@@ -437,6 +471,7 @@ impl TransferEngine {
             flow: ctx.flow,
             queued_us,
             deadline: ctx.deadline,
+            cluster_feed: self.cluster_feed(),
         };
         let owned = file.to_string();
         let task_ctx = TaskCtx {
@@ -453,6 +488,39 @@ impl TransferEngine {
             let _ = self.metadata.abort_copy(file, false);
         }
         submitted
+    }
+
+    /// Install bytes fetched from a peer node's fast tier: the remote-lane
+    /// counterpart to [`TransferEngine::demand`]. The triggering read was
+    /// already served from `bytes`, so the install queues on
+    /// [`Lane::Remote`] — behind local demand misses (a trainer is waiting
+    /// on those), ahead of speculative prefetch. Carries the same
+    /// deadline/cancellation/trace semantics as any other copy; a
+    /// `remote_scheduled` event (with the serving peer) is journaled
+    /// beside the usual copy lifecycle. Returns whether an install was
+    /// scheduled (`false`: lost the CAS to a concurrent copy, or the pool
+    /// is shutting down).
+    pub fn remote_admit(
+        &self,
+        file: &str,
+        size: u64,
+        bytes: Vec<u8>,
+        peer: u64,
+        ctx: ReadCtx,
+    ) -> bool {
+        let ctx = ReadCtx {
+            lane: Lane::Remote,
+            ..ctx
+        };
+        let scheduled = self.demand(file, size, Some(bytes), ctx);
+        if scheduled {
+            self.telemetry.event(EventKind::RemoteScheduled {
+                file: file.to_string(),
+                bytes: size,
+                peer,
+            });
+        }
+        scheduled
     }
 
     /// Submit the access plan for the upcoming epoch. A previously
@@ -596,6 +664,9 @@ impl TransferEngine {
             ResidencyEventKind::Evicted,
             TransitionCause::Eviction,
         );
+        if let Some((view, node)) = self.cluster_feed() {
+            view.note_evicted(file, node);
+        }
         Ok(true)
     }
 
@@ -783,6 +854,7 @@ impl TransferEngine {
             flow,
             queued_us,
             deadline: None,
+            cluster_feed: self.cluster_feed(),
         };
         let owned = file.to_string();
         let task_ctx = TaskCtx {
@@ -880,6 +952,7 @@ impl GaugeSampler {
             .set(files.get(tier.id).copied().unwrap_or(0) as i64);
         }
         let demand = self.probe.queued(Lane::Demand);
+        let remote_q = self.probe.queued(Lane::Remote);
         let prefetch_q = self.probe.queued(Lane::Prefetch);
         g.gauge(
             "monarch_lane_queued",
@@ -887,6 +960,12 @@ impl GaugeSampler {
             &[("lane", "demand")],
         )
         .set(demand as i64);
+        g.gauge(
+            "monarch_lane_queued",
+            "Copies queued (not yet started) per pool lane.",
+            &[("lane", "remote")],
+        )
+        .set(remote_q as i64);
         g.gauge(
             "monarch_lane_queued",
             "Copies queued (not yet started) per pool lane.",
@@ -898,7 +977,11 @@ impl GaugeSampler {
             "Copies currently executing on pool workers.",
             &[],
         )
-        .set(self.probe.pending().saturating_sub(demand + prefetch_q) as i64);
+        .set(
+            self.probe
+                .pending()
+                .saturating_sub(demand + remote_q + prefetch_q) as i64,
+        );
         if let Some(state) = &self.prefetch {
             let (copies, bytes, lag) = match state.window.lock().as_ref() {
                 Some(w) => (
@@ -960,6 +1043,8 @@ struct CopyJob {
     queued_us: u64,
     /// Drop the copy if a worker has not started it by this instant.
     deadline: Option<Instant>,
+    /// Peer-cache residency feed, mirrored on admit/evict when present.
+    cluster_feed: Option<(Arc<crate::cluster::ClusterView>, usize)>,
 }
 
 /// Per-copy trace context threaded into `try_place` so the chunk-level
@@ -980,13 +1065,25 @@ impl CopyJob {
             // The request's freshness window closed while the copy sat in
             // the queue: doing the work now would be wasted bandwidth.
             // Same degradation as a failed copy — revert, retry on a later
-            // touch.
+            // touch. Remote installs journal the distinct `remote_timeout`
+            // event (not a generic `copy_failed`): the peer bytes went
+            // stale in the queue and the file falls back to the PFS, which
+            // an operator reads very differently from a broken copy path.
             self.stats.copy_failed();
             self.stats.copy_deadline_expired();
-            self.telemetry.event(EventKind::CopyFailed {
-                file: file.to_string(),
-                reason: "copy deadline expired before a worker started it".to_string(),
-            });
+            if self.lane == Lane::Remote {
+                self.stats.remote_timeout();
+                self.telemetry.event(EventKind::RemoteTimeout {
+                    file: file.to_string(),
+                    reason: "remote install deadline expired before a worker started it; file stays on the PFS"
+                        .to_string(),
+                });
+            } else {
+                self.telemetry.event(EventKind::CopyFailed {
+                    file: file.to_string(),
+                    reason: "copy deadline expired before a worker started it".to_string(),
+                });
+            }
             let _ = self.metadata.abort_copy(file, false);
             return;
         }
@@ -1060,7 +1157,9 @@ impl CopyJob {
                 });
                 let observe = self.telemetry.observe();
                 let cause = match self.lane {
-                    Lane::Demand => TransitionCause::Demand,
+                    // Remote installs are demand driven: a foreground read
+                    // triggered the peer fetch, only the install ran later.
+                    Lane::Demand | Lane::Remote => TransitionCause::Demand,
                     Lane::Prefetch => TransitionCause::Plan,
                 };
                 observe.timeline().record_at(
@@ -1070,6 +1169,9 @@ impl CopyJob {
                     ResidencyEventKind::Admitted,
                     cause,
                 );
+                if let Some((view, node)) = &self.cluster_feed {
+                    view.note_admitted(file, *node);
+                }
                 if self.lane == Lane::Prefetch {
                     observe.profiler().record_prefetch_staged(
                         file,
@@ -1173,6 +1275,9 @@ impl CopyJob {
                             ResidencyEventKind::Evicted,
                             TransitionCause::Eviction,
                         );
+                        if let Some((view, node)) = &self.cluster_feed {
+                            view.note_evicted(victim, *node);
+                        }
                     }
                 }
             }
@@ -1338,6 +1443,32 @@ mod tests {
         assert_eq!(q.drain_prefetch(), vec![1, 3]);
         assert_eq!(q.queued(Lane::Prefetch), 0);
         assert_eq!(q.pop(), Some((2, Lane::Demand)));
+    }
+
+    #[test]
+    fn lane_queues_remote_sits_between_demand_and_prefetch() {
+        let mut q = LaneQueues::new();
+        q.push(Lane::Prefetch, "p");
+        q.push(Lane::Remote, "r");
+        q.push(Lane::Demand, "d");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.queued(Lane::Remote), 1);
+        assert_eq!(q.pop(), Some(("d", Lane::Demand)));
+        assert_eq!(q.pop(), Some(("r", Lane::Remote)));
+        assert_eq!(q.pop(), Some(("p", Lane::Prefetch)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn lane_queues_drain_prefetch_leaves_remote() {
+        // Remote entries are demand driven (a trainer already waited for
+        // the peer fetch); a plan boundary must not throw them away.
+        let mut q = LaneQueues::new();
+        q.push(Lane::Remote, 1);
+        q.push(Lane::Prefetch, 2);
+        assert_eq!(q.drain_prefetch(), vec![2]);
+        assert_eq!(q.queued(Lane::Remote), 1);
+        assert_eq!(q.pop(), Some((1, Lane::Remote)));
     }
 
     // -- TransferEngine driven directly (no Monarch) ------------------------
@@ -1530,6 +1661,100 @@ mod tests {
     }
 
     #[test]
+    fn remote_admit_runs_after_demand_but_before_prefetch() {
+        let (mut engine, gate) = gated_engine(5, 8);
+        let view = Arc::new(crate::cluster::ClusterView::new());
+        engine.set_cluster_feed(Arc::clone(&view), 3);
+        pin_worker(&engine, "f000");
+        assert_eq!(engine.plan(&plan_of(&["f001"])), 1);
+        // Peer-fetched install queues on the remote lane; a later local
+        // demand miss still outranks it.
+        assert!(engine.remote_admit("f002", 512, vec![2u8; 512], 1, ReadCtx::untraced()));
+        assert!(engine.demand("f003", 512, None, ReadCtx::untraced()));
+        assert_eq!(engine.queued(Lane::Remote), 1);
+        open_gate(&gate);
+        engine.wait_idle();
+        assert_eq!(started_order(&engine), vec!["f000", "f003", "f002", "f001"]);
+        // The install ran from the inline peer bytes — placed without a
+        // second source fetch — and journaled the scheduling peer.
+        assert_eq!(
+            engine.metadata.get("f002").unwrap().state,
+            PlacementState::Placed
+        );
+        let events = engine.telemetry.journal().events();
+        let sched = events
+            .iter()
+            .find(|e| e.kind.tag() == "remote_scheduled")
+            .expect("remote install journaled");
+        let line = sched.to_json_line();
+        assert!(line.contains("\"file\":\"f002\""), "{line}");
+        assert!(line.contains("\"peer\":1"), "{line}");
+        // Every admit this engine performed fed the cluster view under the
+        // configured node id.
+        for f in ["f000", "f001", "f002", "f003"] {
+            assert!(view.holds(f, 3), "{f} missing from the cluster view");
+        }
+        engine.drain();
+    }
+
+    #[test]
+    fn remote_admit_dedups_against_inflight_copies() {
+        let (mut engine, gate) = gated_engine(2, 0);
+        pin_worker(&engine, "f000");
+        // The pinned demand copy holds f000's CAS: a remote install for
+        // the same file must not double-schedule (or double-journal).
+        assert!(!engine.remote_admit("f000", 512, vec![0u8; 512], 1, ReadCtx::untraced()));
+        open_gate(&gate);
+        engine.wait_idle();
+        assert!(engine
+            .telemetry
+            .journal()
+            .events()
+            .iter()
+            .all(|e| e.kind.tag() != "remote_scheduled"));
+        engine.drain();
+    }
+
+    #[test]
+    fn remote_deadline_expiry_journals_remote_timeout() {
+        // Satellite fix: a remote install whose deadline lapses in the
+        // queue journals the distinct `remote_timeout` event, not a
+        // generic `copy_failed`, and the file falls back to the PFS.
+        let (mut engine, gate) = gated_engine(2, 0);
+        pin_worker(&engine, "f000");
+        assert!(engine.remote_admit(
+            "f001",
+            512,
+            vec![1u8; 512],
+            1,
+            ReadCtx::untraced().with_deadline(Instant::now())
+        ));
+        std::thread::sleep(Duration::from_millis(2));
+        open_gate(&gate);
+        engine.wait_idle();
+        let stats = engine.stats.snapshot();
+        assert_eq!(stats.remote_timeouts, 1);
+        assert_eq!(stats.copies_completed, 1, "only the pinned copy ran");
+        let info = engine.metadata.get("f001").unwrap();
+        assert_eq!(info.state, PlacementState::Unplaced, "fell back to the PFS");
+        assert_eq!(info.tier, engine.hierarchy.source_id());
+        let events = engine.telemetry.journal().events();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind.tag() == "remote_timeout" && e.kind.file() == "f001"),
+            "distinct remote_timeout event journaled"
+        );
+        assert!(
+            events
+                .iter()
+                .all(|e| !(e.kind.tag() == "copy_failed" && e.kind.file() == "f001")),
+            "no generic copy_failed for the timed-out remote install"
+        );
+        engine.drain();
+    }
+
+    #[test]
     fn expired_deadline_drops_copy_instead_of_running_it() {
         let (mut engine, gate) = gated_engine(2, 0);
         pin_worker(&engine, "f000");
@@ -1658,6 +1883,7 @@ mod tests {
             gauge_of("monarch_lane_queued", &snap),
             vec![
                 (vec![("lane".into(), "demand".into())], 0.0),
+                (vec![("lane".into(), "remote".into())], 0.0),
                 (vec![("lane".into(), "prefetch".into())], 3.0),
             ]
         );
@@ -1705,6 +1931,7 @@ mod tests {
             gauge_of("monarch_lane_queued", &snap),
             vec![
                 (vec![("lane".into(), "demand".into())], 0.0),
+                (vec![("lane".into(), "remote".into())], 0.0),
                 (vec![("lane".into(), "prefetch".into())], 0.0),
             ]
         );

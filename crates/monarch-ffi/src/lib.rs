@@ -74,6 +74,79 @@ pub unsafe extern "C" fn monarch_init_json(config_json: *const c_char) -> *mut M
     }
 }
 
+/// Apply one `key = value` override to a JSON configuration string and
+/// return the updated JSON (release it with [`monarch_string_free`]).
+/// Chain calls to build up a config without a JSON library on the C side,
+/// then hand the result to [`monarch_init_json`]. Supported keys:
+///
+/// | key                         | value                                    |
+/// |-----------------------------|------------------------------------------|
+/// | `cluster.node_id`           | this node's index into the peer list     |
+/// | `cluster.nodes`             | comma-separated `host:port` peer list    |
+/// | `cluster.shard_seed`        | consistent-hash seed all nodes agree on  |
+/// | `cluster.peer_timeout_ms`   | per-request peer I/O timeout             |
+/// | `cluster.remote_deadline_ms`| queued remote-install deadline           |
+/// | `cluster.serve`             | `1`/`true` or `0`/`false`                |
+///
+/// Returns null when the config does not parse, the key is unknown, or
+/// the value does not parse for that key. Validation of the assembled
+/// cluster section (node id in range, non-empty roster) happens at init.
+///
+/// # Safety
+/// All three arguments must be valid NUL-terminated C strings or null.
+#[no_mangle]
+pub unsafe extern "C" fn monarch_configure(
+    config_json: *const c_char,
+    key: *const c_char,
+    value: *const c_char,
+) -> *mut c_char {
+    let outcome = catch_unwind(|| {
+        let json = to_str(config_json)?;
+        let key = to_str(key)?;
+        let value = to_str(value)?;
+        let mut cfg = MonarchConfig::from_json(json).ok()?;
+        apply_config_key(&mut cfg, key, value)?;
+        Some(cfg.to_json())
+    });
+    match outcome {
+        Ok(Some(json)) => match CString::new(json) {
+            Ok(c) => c.into_raw(),
+            Err(_) => ptr::null_mut(),
+        },
+        _ => ptr::null_mut(),
+    }
+}
+
+/// [`monarch_configure`]'s key dispatch, separated for unit testing.
+fn apply_config_key(cfg: &mut MonarchConfig, key: &str, value: &str) -> Option<()> {
+    let cluster = cfg
+        .cluster
+        .get_or_insert_with(|| monarch_core::ClusterConfig::new(0, Vec::new()));
+    match key {
+        "cluster.node_id" => cluster.node_id = value.parse().ok()?,
+        "cluster.nodes" => {
+            cluster.nodes = value
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+        }
+        "cluster.shard_seed" => cluster.shard_seed = value.parse().ok()?,
+        "cluster.peer_timeout_ms" => cluster.peer_timeout_ms = value.parse().ok()?,
+        "cluster.remote_deadline_ms" => cluster.remote_deadline_ms = value.parse().ok()?,
+        "cluster.serve" => {
+            cluster.serve = match value {
+                "1" | "true" => true,
+                "0" | "false" => false,
+                _ => return None,
+            }
+        }
+        _ => return None,
+    }
+    Some(())
+}
+
 /// The `Monarch.read` operation: read up to `len` bytes of `filename`
 /// starting at `offset` into `buf`. Returns the byte count (0 at EOF) or a
 /// negative [`errcode`].
@@ -158,6 +231,35 @@ pub unsafe extern "C" fn monarch_stats_json(handle: *mut MonarchHandle) -> *mut 
     let monarch = unsafe { &(*handle).inner };
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         serde_json::to_string(&monarch.stats()).ok()
+    }));
+    match outcome {
+        Ok(Some(json)) => match CString::new(json) {
+            Ok(c) => c.into_raw(),
+            Err(_) => ptr::null_mut(),
+        },
+        _ => ptr::null_mut(),
+    }
+}
+
+/// Export the distributed peer-cache snapshot as a JSON document: the
+/// node roster, shard seed, peer hit/fallback/timeout counters, the bytes
+/// served to peers, and the residency view — what a framework shim needs
+/// to judge its peer hit rate. Null when the middleware was built without
+/// a `cluster` section, or on failure. The returned string must be
+/// released with [`monarch_string_free`].
+///
+/// # Safety
+/// `handle` must come from [`monarch_init_json`] and not be freed.
+#[no_mangle]
+pub unsafe extern "C" fn monarch_cluster_stats_json(handle: *mut MonarchHandle) -> *mut c_char {
+    if handle.is_null() {
+        return ptr::null_mut();
+    }
+    let monarch = unsafe { &(*handle).inner };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        monarch
+            .cluster_snapshot()
+            .and_then(|snap| serde_json::to_string(&snap).ok())
     }));
     match outcome {
         Ok(Some(json)) => match CString::new(json) {
@@ -746,6 +848,62 @@ mod tests {
             );
 
             monarch_shutdown(h);
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn cluster_config_and_stats_through_c_abi() {
+        let (json, root, _) = staged_config("cluster");
+        unsafe {
+            // Chain monarch_configure calls to graft a single-node cluster
+            // section onto a plain config, C-shim style.
+            let key = CString::new("cluster.nodes").unwrap();
+            let val = CString::new("127.0.0.1:0").unwrap();
+            let step1 = monarch_configure(json.as_ptr(), key.as_ptr(), val.as_ptr());
+            assert!(!step1.is_null());
+            let key = CString::new("cluster.shard_seed").unwrap();
+            let val = CString::new("42").unwrap();
+            let step2 = monarch_configure(step1, key.as_ptr(), val.as_ptr());
+            assert!(!step2.is_null());
+            monarch_string_free(step1);
+
+            let h = monarch_init_json(step2);
+            assert!(!h.is_null());
+            monarch_string_free(step2);
+
+            // Single-node cluster: every file is self-owned, so reads stay
+            // local, but the snapshot is live and carries the roster.
+            let name = CString::new("f0").unwrap();
+            let mut buf = vec![0u8; 4096];
+            assert!(monarch_read(h, name.as_ptr(), 0, buf.as_mut_ptr(), buf.len()) > 0);
+            assert_eq!(monarch_wait_idle(h), 0);
+
+            let cs_ptr = monarch_cluster_stats_json(h);
+            assert!(!cs_ptr.is_null());
+            let s = CStr::from_ptr(cs_ptr).to_str().unwrap().to_string();
+            let v: serde_json::Value = serde_json::from_str(&s).unwrap();
+            assert_eq!(v["shard_seed"], 42, "{s}");
+            assert_eq!(v["nodes"].as_array().unwrap().len(), 1, "{s}");
+            assert_eq!(v["peer_hits"], 0, "{s}");
+            assert!(v.get("peer_fallbacks").is_some(), "{s}");
+            monarch_string_free(cs_ptr);
+            monarch_shutdown(h);
+
+            // A handle without a cluster section yields null, not junk.
+            let h2 = monarch_init_json(json.as_ptr());
+            assert!(!h2.is_null());
+            assert!(monarch_cluster_stats_json(h2).is_null());
+            monarch_shutdown(h2);
+            assert!(monarch_cluster_stats_json(ptr::null_mut()).is_null());
+
+            // Unknown keys and unparsable values are rejected.
+            let bad_key = CString::new("cluster.bogus").unwrap();
+            assert!(monarch_configure(json.as_ptr(), bad_key.as_ptr(), val.as_ptr()).is_null());
+            let key = CString::new("cluster.node_id").unwrap();
+            let bad_val = CString::new("not-a-number").unwrap();
+            assert!(monarch_configure(json.as_ptr(), key.as_ptr(), bad_val.as_ptr()).is_null());
+            assert!(monarch_configure(ptr::null(), key.as_ptr(), val.as_ptr()).is_null());
         }
         std::fs::remove_dir_all(&root).unwrap();
     }

@@ -3,7 +3,7 @@
 # errors), and the full test suite. Run before pushing.
 #
 #   scripts/check.sh            # everything
-#   scripts/check.sh fmt        # one stage: fmt | clippy | size | test | trace | prefetch | report | perf | serve
+#   scripts/check.sh fmt        # one stage: fmt | clippy | size | test | trace | prefetch | report | cluster | perf | serve
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -152,7 +152,7 @@ assert wall > 0, "report smoke: zero wall time"
 buckets = r["ledger"]
 total = sum(buckets[k] for k in (
     "pfs_bound_s", "copy_lane_saturated_s", "prefetch_lag_s",
-    "lock_or_queue_s", "compute_bound_s"))
+    "peer_bound_s", "lock_or_queue_s", "compute_bound_s"))
 assert abs(total - wall) <= 0.05 * wall, \
     f"report smoke: buckets sum {total} vs wall {wall}"
 assert r["reads"] > 0, "report smoke: no reads profiled"
@@ -161,6 +161,17 @@ assert r["wasted_prefetch"], "report smoke: held-back tail not flagged"
 PY
     rm -rf "$tmp"
     trap - EXIT
+}
+
+# Distributed peer cache end to end: the focused cluster test targets,
+# then the cross-crate loopback e2e — two in-process nodes over real TCP,
+# peer serving without a second PFS read, graceful PFS degradation when
+# the owner's listener dies mid-epoch.
+run_cluster() {
+    echo "==> cargo test -p monarch-core cluster -q"
+    cargo test -p monarch-core cluster -q
+    echo "==> cargo test -p monarch --test cluster_e2e -q"
+    cargo test -p monarch --test cluster_e2e -q
 }
 
 # Perf regression gate: rerun the committed BENCH_*.json workloads and
@@ -232,6 +243,7 @@ case "$stage" in
     trace) run_trace ;;
     prefetch) run_prefetch ;;
     report) run_report ;;
+    cluster) run_cluster ;;
     perf) run_perf ;;
     serve) run_serve ;;
     all)
@@ -242,11 +254,12 @@ case "$stage" in
         run_trace
         run_prefetch
         run_report
+        run_cluster
         run_serve
         run_perf
         ;;
     *)
-        echo "usage: scripts/check.sh [fmt|clippy|size|test|trace|prefetch|report|perf|serve|all]" >&2
+        echo "usage: scripts/check.sh [fmt|clippy|size|test|trace|prefetch|report|cluster|perf|serve|all]" >&2
         exit 2
         ;;
 esac
