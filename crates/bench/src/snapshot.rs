@@ -171,11 +171,93 @@ pub fn sim_epoch_doc() -> BenchDoc {
         false,
     ));
     entries.extend(sim_cluster_entries());
+    entries.extend(sim_outage_entries());
     BenchDoc {
         name: "sim_epoch".into(),
         git_rev: git_rev(),
         entries,
     }
+}
+
+/// The `sim_outage` variant inside the `sim_epoch` snapshot: the chaos
+/// scenario — a full SSD outage spanning the middle half of epoch 2 of a
+/// fully-fitting run. Gated claims: degraded-mode throughput stays at the
+/// no-fast-tier (vanilla-lustre) floor, the breaker quarantines and then
+/// re-admits the tier, and the post-recovery epoch returns to local-read
+/// speed. The window bounds come from a healthy probe run with the same
+/// seed, so the whole triple is deterministic.
+fn sim_outage_entries() -> Vec<BenchEntry> {
+    use simfs::{FaultKind, FaultPlan};
+    let geom = DatasetGeom::miniature("outage-bench", 24_576, 9);
+    let model = ModelProfile::lenet();
+    let env = EnvConfig {
+        interference: false,
+        ..EnvConfig::default()
+    };
+    let setup = Setup::Monarch(MonarchSimConfig::with_ssd_capacity(8 << 30));
+    let healthy = crate::run_once(&setup, &geom, &model, &env, 0x5eed, 3);
+    let e1_start = healthy.metadata_init_seconds + healthy.epochs[0].seconds;
+    let plan = FaultPlan::new(0xfa11).with_window(
+        "ssd",
+        e1_start + 0.25 * healthy.epochs[1].seconds,
+        e1_start + 0.75 * healthy.epochs[1].seconds,
+        FaultKind::Outage,
+    );
+    let faulted_env = EnvConfig {
+        fault_plan: Some(plan),
+        ..env.clone()
+    };
+    let faulted = crate::run_once(&setup, &geom, &model, &faulted_env, 0x5eed, 3);
+    // Vanilla-lustre never routes through the SSD, so with the same plan
+    // attached the window entry is a pure no-fast-tier throughput marker
+    // over the identical virtual-time interval.
+    let baseline = crate::run_once(
+        &Setup::VanillaLustre,
+        &geom,
+        &model,
+        &faulted_env,
+        0x5eed,
+        3,
+    );
+    let t = faulted
+        .telemetry
+        .as_ref()
+        .expect("monarch attaches telemetry");
+    let health = t.health.as_ref().expect("monarch attaches health");
+    let window_rate = faulted.fault_windows[0].samples_per_s;
+    let floor_rate = baseline.fault_windows[0].samples_per_s;
+    vec![
+        sim_entry(
+            "sim_outage/degraded_samples_per_s",
+            window_rate,
+            "samples/s",
+            true,
+        ),
+        sim_entry(
+            "sim_outage/degraded_vs_lustre_ratio",
+            window_rate / floor_rate,
+            "ratio",
+            true,
+        ),
+        sim_entry(
+            "sim_outage/recovery_epoch_seconds",
+            faulted.epochs[2].seconds,
+            "s",
+            false,
+        ),
+        sim_entry(
+            "sim_outage/recoveries",
+            health.tiers.iter().map(|h| h.recoveries).sum::<u64>() as f64,
+            "count",
+            true,
+        ),
+        sim_entry(
+            "sim_outage/degraded_reads",
+            t.stats.degraded_reads as f64,
+            "count",
+            false,
+        ),
+    ]
 }
 
 /// The `sim_cluster` variant inside the `sim_epoch` snapshot: a
@@ -424,5 +506,10 @@ mod tests {
         assert!(get("sim_cluster/peer_hits") > 0.0);
         assert!(get("sim_cluster/agg_bytes_per_s") > 0.0);
         assert!(get("sim_cluster/pfs_bytes_per_node") > 0.0);
+        // The sim_outage chaos variant: degraded mode holds the
+        // no-fast-tier floor and the breaker re-admitted the tier.
+        assert!(get("sim_outage/degraded_vs_lustre_ratio") > 0.9);
+        assert!(get("sim_outage/recoveries") >= 1.0);
+        assert!(get("sim_outage/degraded_reads") > 0.0);
     }
 }

@@ -2,6 +2,7 @@
 
 use monarch_core::config::PolicyKind;
 use serde::Serialize;
+use simfs::FaultPlan;
 
 /// Input-pipeline knobs (the tf.data configuration of §II).
 #[derive(Debug, Clone, Serialize)]
@@ -98,6 +99,11 @@ pub struct EnvConfig {
     /// both reading the same SSD. MONARCH copies the *original* files and
     /// does not pay this.
     pub cache_expansion: f64,
+    /// Optional deterministic fault schedule (tier outages, error-rate
+    /// windows, SSD-full, MDS stalls) injected at the device layer. `None`
+    /// (the default) leaves every run bit-identical to a fault-free build.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for EnvConfig {
@@ -140,6 +146,7 @@ impl Default for EnvConfig {
             interference: true,
             bulk_stream_share: 12.0,
             cache_expansion: 1.15,
+            fault_plan: None,
         }
     }
 }

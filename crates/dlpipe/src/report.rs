@@ -26,6 +26,23 @@ pub struct EpochReport {
     pub observe: Option<LedgerBuckets>,
 }
 
+/// Throughput accounting for one fault-plan window: the sample
+/// consumption rate while the window was active, for comparing a degraded
+/// run against its healthy and no-fast-tier baselines.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultWindowReport {
+    /// Device the window targeted.
+    pub device: String,
+    /// Failure mode (debug rendering of the `FaultKind`).
+    pub kind: String,
+    /// Window start, virtual seconds.
+    pub start_s: f64,
+    /// Window end, virtual seconds.
+    pub end_s: f64,
+    /// Samples consumed per second while the window was active.
+    pub samples_per_s: f64,
+}
+
 /// Measurements of one full training run.
 #[derive(Debug, Clone, Serialize)]
 pub struct RunReport {
@@ -67,6 +84,10 @@ pub struct RunReport {
     /// non-MONARCH setups.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub observe: Option<ObserveReport>,
+    /// Per-window throughput when a fault plan was attached (empty
+    /// otherwise). Windows the run never reached are omitted.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub fault_windows: Vec<FaultWindowReport>,
     /// Per-epoch measurements.
     pub epochs: Vec<EpochReport>,
 }
@@ -204,6 +225,7 @@ mod tests {
             telemetry: None,
             trace_json: None,
             observe: None,
+            fault_windows: Vec::new(),
             epochs: secs
                 .iter()
                 .enumerate()

@@ -291,6 +291,121 @@ mod tests {
     }
 
     #[test]
+    fn no_op_fault_plan_is_bit_identical_to_a_healthy_run() {
+        use simfs::{FaultKind, FaultPlan};
+        let cfg = MonarchSimConfig::with_ssd_capacity(4 << 30);
+        let healthy = run(Setup::Monarch(cfg.clone()), 2, 1);
+        // A plan whose only window never fires (0% error rate) must not
+        // perturb the virtual clock or any device counter: fault checks
+        // hash their own seed and never touch the shared RNG.
+        let env = EnvConfig {
+            fault_plan: Some(FaultPlan::new(3).with_window(
+                "ssd",
+                5.0,
+                1e9,
+                FaultKind::ErrorRate(0.0),
+            )),
+            ..EnvConfig::default()
+        };
+        let marked = SimTrainer::new(
+            Setup::Monarch(cfg),
+            mini(),
+            mini_model(),
+            PipelineConfig::default().with_seed(1),
+            env,
+        )
+        .run(2);
+        assert_eq!(marked.total_seconds(), healthy.total_seconds());
+        assert_eq!(marked.pfs_ops(), healthy.pfs_ops());
+        // And the window ledger still reports the healthy consumption rate.
+        assert_eq!(marked.fault_windows.len(), 1);
+        assert!(marked.fault_windows[0].samples_per_s > 0.0);
+    }
+
+    #[test]
+    fn ssd_outage_mid_epoch_degrades_to_lustre_and_recovers() {
+        use simfs::{FaultKind, FaultPlan};
+        let cap = 4 << 30; // dataset ≈1.6 GiB fits entirely
+        let quiet = EnvConfig {
+            interference: false,
+            ..EnvConfig::default()
+        };
+        let mk = |setup: Setup, plan: Option<FaultPlan>| {
+            SimTrainer::new(
+                setup,
+                mini(),
+                mini_model(),
+                PipelineConfig::default().with_seed(1),
+                EnvConfig {
+                    fault_plan: plan,
+                    ..quiet.clone()
+                },
+            )
+            .run(3)
+        };
+        // Healthy run fixes the epoch boundaries; the outage window is the
+        // middle half of epoch 2, when every shard is SSD-resident.
+        let healthy = mk(
+            Setup::Monarch(MonarchSimConfig::with_ssd_capacity(cap)),
+            None,
+        );
+        let e1_start = healthy.metadata_init_seconds + healthy.epochs[0].seconds;
+        let (start, end) = (
+            e1_start + 0.25 * healthy.epochs[1].seconds,
+            e1_start + 0.75 * healthy.epochs[1].seconds,
+        );
+        let plan = FaultPlan::new(9).with_window("ssd", start, end, FaultKind::Outage);
+        let faulted = mk(
+            Setup::Monarch(MonarchSimConfig::with_ssd_capacity(cap)),
+            Some(plan.clone()),
+        );
+        // No-fast-tier baseline over the same wall-clock window: the plan
+        // rides along purely as a throughput marker (vanilla-lustre never
+        // touches the SSD).
+        let baseline = mk(Setup::VanillaLustre, Some(plan));
+
+        // The breaker tripped, probed, and re-admitted the tier.
+        let stats = &faulted.telemetry.as_ref().expect("telemetry").stats;
+        assert!(stats.tier_quarantines >= 1, "{stats:?}");
+        assert!(stats.tier_recoveries >= 1, "{stats:?}");
+        assert!(stats.degraded_reads > 0, "{stats:?}");
+        let health = faulted
+            .telemetry
+            .as_ref()
+            .unwrap()
+            .health
+            .as_ref()
+            .expect("health snapshot");
+        assert!(
+            health.tiers.iter().all(|t| t.state == "closed"),
+            "tier must be re-admitted after the outage: {health:?}"
+        );
+
+        // During the outage, throughput degrades to within 10% of the
+        // no-fast-tier baseline (reads fall back to Lustre)...
+        let f_rate = faulted.fault_windows[0].samples_per_s;
+        let b_rate = baseline.fault_windows[0].samples_per_s;
+        assert!(
+            f_rate >= b_rate * 0.9,
+            "degraded throughput {f_rate} not within 10% of baseline {b_rate}"
+        );
+        // ...which is a real degradation against the healthy run...
+        assert!(
+            faulted.epochs[1].seconds > healthy.epochs[1].seconds * 1.1,
+            "outage epoch should slow down: {} vs healthy {}",
+            faulted.epochs[1].seconds,
+            healthy.epochs[1].seconds
+        );
+        // ...and the post-recovery epoch returns to near-healthy speed.
+        assert!(
+            faulted.epochs[2].seconds < healthy.epochs[2].seconds * 1.25,
+            "post-recovery epoch should match healthy: {} vs {}",
+            faulted.epochs[2].seconds,
+            healthy.epochs[2].seconds
+        );
+    }
+
+    #[test]
     fn deterministic_given_seed() {
         let a = run(Setup::VanillaLustre, 2, 7);
         let b = run(Setup::VanillaLustre, 2, 7);

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use monarch_core::config::{PolicyKind, TelemetryConfig};
 use monarch_core::driver::MemDriver;
 use monarch_core::hash::{FxHashMap, FxHashSet};
+use monarch_core::health::{ErrorClass, TierState};
 use monarch_core::hierarchy::StorageHierarchy;
 use monarch_core::metadata::{MetadataContainer, PlacementState};
 use monarch_core::observe::{
@@ -19,6 +20,7 @@ use monarch_core::telemetry::{EventKind, TelemetryRegistry, ThroughputSampler};
 use monarch_core::trace::{names, FlowPhase, SpanRecord, QUEUE_TRACK};
 use monarch_core::{LaneQueues, StorageDriver};
 use simfs::clock::SimTime;
+use simfs::fault::FaultPlan;
 use simfs::interference::Interference;
 use simfs::psdev::{Kind, PsDevice};
 use simfs::rng::SimRng;
@@ -27,7 +29,7 @@ use simfs::{DeviceStats, EventQueue, Mds};
 use crate::config::{DeviceSpec, EnvConfig, PipelineConfig, Setup, SimTierKind};
 use crate::geometry::DatasetGeom;
 use crate::models::ModelProfile;
-use crate::report::{EpochReport, RunReport};
+use crate::report::{EpochReport, FaultWindowReport, RunReport};
 
 /// Events of the training world.
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +48,9 @@ enum Ev {
     StartPrestage,
     /// Sample the PFS throughput (tracing only).
     TraceTick,
+    /// A fault-plan window boundary: mark the throughput ledger and kick
+    /// idle readers so a recovered tier gets probed promptly.
+    FaultEdge { window: usize, start: bool },
 }
 
 /// Synthetic trace track for the pre-stage scheduler (no reader owns it).
@@ -224,6 +229,9 @@ impl SimTrainer {
     }
 }
 
+/// `(virtual_seconds, total_consumed)` snapshot at a fault-window edge.
+type WindowMark = Option<(f64, f64)>;
+
 struct World {
     q: EventQueue<Ev>,
     devs: Vec<Dev>,
@@ -283,6 +291,19 @@ struct World {
     /// cumulative PFS read bytes at each tick.
     trace_interval: Option<SimTime>,
     sampler: ThroughputSampler,
+    /// Deterministic fault schedule; `None` keeps the run bit-identical
+    /// to a fault-free build.
+    fault_plan: Option<FaultPlan>,
+    /// Per-operation counter feeding the plan's deterministic error rolls
+    /// (only advanced while a plan is attached).
+    fault_ops: u64,
+    /// Samples consumed across the whole run (fault-window ledger).
+    total_consumed: f64,
+    /// `(virtual_seconds, total_consumed)` at each window's start/end
+    /// edge, indexed like `fault_plan.windows`.
+    window_marks: Vec<(WindowMark, WindowMark)>,
+    /// Virtual instant the last epoch ended (closes still-open windows).
+    run_end: SimTime,
 }
 
 /// Virtual-clock timestamp in microseconds (journal resolution).
@@ -489,6 +510,14 @@ impl World {
             prestage_seconds: 0.0,
             trace_interval: t.pipeline.trace_interval_secs.map(SimTime::from_secs_f64),
             sampler: ThroughputSampler::new(t.pipeline.trace_interval_secs.unwrap_or(1.0)),
+            window_marks: vec![
+                (None, None);
+                t.env.fault_plan.as_ref().map_or(0, |p| p.windows.len())
+            ],
+            fault_plan: t.env.fault_plan.clone(),
+            fault_ops: 0,
+            total_consumed: 0.0,
+            run_end: SimTime::ZERO,
             rng,
         }
     }
@@ -524,6 +553,25 @@ impl World {
         self.q.schedule(SimTime::ZERO, Ev::InterferenceShift);
         if let Some(dt) = self.trace_interval {
             self.q.schedule(dt, Ev::TraceTick);
+        }
+        // Fault-window boundary markers.
+        if let Some(plan) = self.fault_plan.as_ref() {
+            for (i, w) in plan.windows.iter().enumerate() {
+                self.q.schedule(
+                    SimTime::from_secs_f64(w.start_s),
+                    Ev::FaultEdge {
+                        window: i,
+                        start: true,
+                    },
+                );
+                self.q.schedule(
+                    SimTime::from_secs_f64(w.end_s),
+                    Ev::FaultEdge {
+                        window: i,
+                        start: false,
+                    },
+                );
+            }
         }
 
         // Runaway guard: hitting the cap means a livelock, not a big run.
@@ -566,8 +614,36 @@ impl World {
         // values even when periodic tracing is disabled.
         self.sample_gauges();
 
-        let device_names = self.devs.iter().map(|d| d.spec.name.clone()).collect();
-        let telemetry = self.monarch.as_ref().map(|ms| ms.telemetry.snapshot());
+        let device_names: Vec<String> = self.devs.iter().map(|d| d.spec.name.clone()).collect();
+        let telemetry = self.monarch.as_ref().map(|ms| {
+            let mut snap = ms.telemetry.snapshot();
+            snap.health = Some(ms.hierarchy.health().snapshot());
+            snap
+        });
+        // Per-window throughput ledger from the edge marks; a window the
+        // run ended inside closes at the run's final instant.
+        let fault_windows: Vec<FaultWindowReport> = match self.fault_plan.as_ref() {
+            Some(plan) => plan
+                .windows
+                .iter()
+                .enumerate()
+                .filter_map(|(i, w)| {
+                    let (t0, c0) = self.window_marks[i].0?;
+                    let (t1, c1) = self.window_marks[i]
+                        .1
+                        .unwrap_or((self.run_end.as_secs_f64(), self.total_consumed));
+                    let dt = t1 - t0;
+                    (dt > 0.0).then(|| FaultWindowReport {
+                        device: w.device.clone(),
+                        kind: format!("{:?}", w.kind),
+                        start_s: w.start_s,
+                        end_s: w.end_s,
+                        samples_per_s: (c1 - c0) / dt,
+                    })
+                })
+                .collect(),
+            None => Vec::new(),
+        };
         // Whole-run attribution: total training wall (virtual), folded by
         // the reader count — identical roll-up to `monarch report`.
         let total_seconds: f64 = self.reports.iter().map(|e| e.seconds).sum();
@@ -594,6 +670,7 @@ impl World {
                 tr.is_enabled().then(|| tr.export_chrome_json())
             }),
             observe,
+            fault_windows,
             pfs_throughput_series: self.sampler.into_series(),
             epochs: self.reports,
         }
@@ -632,7 +709,23 @@ impl World {
                 labels,
             )
             .set(files.get(tier.id).copied().unwrap_or(0) as i64);
+            g.gauge(
+                "monarch_tier_health_state",
+                "Tier breaker state (0 closed, 1 suspect, 2 quarantined).",
+                labels,
+            )
+            .set(match ms.hierarchy.health().tier(tier.id).state() {
+                TierState::Closed => 0,
+                TierState::Suspect => 1,
+                TierState::Quarantined => 2,
+            });
         }
+        g.gauge(
+            "monarch_degraded",
+            "1 while at least one tier is quarantined.",
+            &[],
+        )
+        .set(i64::from(ms.hierarchy.health().degraded()));
         g.gauge(
             "monarch_lane_queued",
             "Copies queued (not yet started) per pool lane.",
@@ -697,6 +790,20 @@ impl World {
                 self.q.schedule(at, Ev::InterferenceShift);
             }
             Ev::StartEpoch => self.begin_epoch(now),
+            Ev::FaultEdge { window, start } => {
+                let mark = (now.as_secs_f64(), self.total_consumed);
+                if start {
+                    self.window_marks[window].0 = Some(mark);
+                } else {
+                    self.window_marks[window].1 = Some(mark);
+                }
+                self.sample_gauges();
+                // A window edge can change what route_chunk decides: kick
+                // any idle readers so a recovered tier is probed promptly.
+                for r in 0..self.readers.len() {
+                    self.reader_advance(now, r);
+                }
+            }
             Ev::TraceTick => {
                 let bytes = self.devs[self.lustre].ps.stats().bytes_read();
                 self.sampler.force_sample(now.as_secs_f64(), bytes);
@@ -841,6 +948,7 @@ impl World {
     }
 
     fn end_epoch(&mut self, now: SimTime) {
+        self.run_end = now;
         let seconds = (now - self.epoch_start).as_secs_f64();
         let devices: Vec<DeviceStats> = self
             .devs
@@ -929,7 +1037,72 @@ impl World {
                 let ms = self.monarch.as_mut().expect("monarch state");
                 let info = ms.meta.lookup_for_read(name).expect("shard registered");
                 ms.policy.on_access(name, info.tier);
-                let dev = ms.tier_dev[info.tier];
+                // Fault-aware serving, mirroring the real read path: a
+                // failing fast-tier read records against the tier's
+                // breaker and falls back to the PFS; a quarantined tier
+                // is skipped outright except for the timed half-open
+                // probe, whose success re-admits it.
+                let source_tier = ms.tier_dev.len() - 1;
+                let mut serve_tier = info.tier;
+                if info.tier != source_tier {
+                    let t_us = vmicros(now);
+                    let faulted = match self.fault_plan.as_ref() {
+                        Some(plan) => {
+                            let dev_name = &self.devs[ms.tier_dev[info.tier]].spec.name;
+                            let fails =
+                                plan.read_fails(dev_name, now.as_secs_f64(), self.fault_ops);
+                            self.fault_ops += 1;
+                            fails
+                        }
+                        None => false,
+                    };
+                    let health = ms.hierarchy.health();
+                    let tier_health = health.tier(info.tier);
+                    if tier_health.is_quarantined() {
+                        if tier_health.probe_permit(t_us) {
+                            let cfg = health.config();
+                            tier_health.probe_result(!faulted, &cfg, t_us);
+                            ms.telemetry.event_at(
+                                t_us,
+                                EventKind::TierProbed {
+                                    tier: info.tier,
+                                    ok: !faulted,
+                                },
+                            );
+                            if faulted {
+                                serve_tier = source_tier;
+                            } else {
+                                ms.telemetry.stats().tier_recovery();
+                                ms.telemetry
+                                    .event_at(t_us, EventKind::TierRecovered { tier: info.tier });
+                            }
+                        } else {
+                            serve_tier = source_tier;
+                        }
+                    } else if faulted {
+                        let cfg = health.config();
+                        ms.telemetry.stats().read_retry();
+                        let (state, transitioned) =
+                            tier_health.record_error(ErrorClass::Transient, &cfg, t_us);
+                        if transitioned && state == TierState::Quarantined {
+                            ms.telemetry.stats().tier_quarantine();
+                            ms.telemetry.event_at(
+                                t_us,
+                                EventKind::TierQuarantined {
+                                    tier: info.tier,
+                                    reason: "injected device fault".into(),
+                                },
+                            );
+                        }
+                        serve_tier = source_tier;
+                    } else {
+                        tier_health.record_success(&health.config(), t_us);
+                    }
+                    if serve_tier != info.tier {
+                        ms.telemetry.stats().degraded_read();
+                    }
+                }
+                let dev = ms.tier_dev[serve_tier];
                 // Demand preemption: a foreground read of a shard still
                 // sitting in the prefetch lane moves it to the demand lane
                 // — one copy, higher priority, no duplicate.
@@ -1099,7 +1272,12 @@ impl World {
                     return;
                 }
                 if dev == self.lustre {
-                    let done = self.mds.submit(now, &mut self.rng);
+                    // MDS-stall windows stretch the open's service time
+                    // (same jitter draw, so healthy runs are identical).
+                    let scale = self.fault_plan.as_ref().map_or(1.0, |p| {
+                        p.mds_scale(&self.devs[self.lustre].spec.name, now.as_secs_f64())
+                    });
+                    let done = self.mds.submit_scaled(now, &mut self.rng, scale);
                     self.readers[r].inflight = true;
                     self.q.schedule(done, Ev::MdsDone { reader: r });
                 } else {
@@ -1258,6 +1436,14 @@ impl World {
             .unwrap_or(ms.tier_dev.len() - 1);
         let class = if dev != lustre {
             ReadClass::Fast
+        } else if matches!(
+            ms.meta.get(name),
+            Some(info) if info.tier != ms.tier_dev.len() - 1
+                && info.state == PlacementState::Placed
+        ) {
+            // Resident on a local tier but served from the PFS: the tier
+            // is quarantined (or failing) and the read fell back.
+            ReadClass::DegradedFallback
         } else if ms.prefetch_lookahead > 0 && ms.plan_pos.contains_key(&shard) {
             ReadClass::PrefetchLag
         } else if matches!(
@@ -1434,6 +1620,27 @@ impl World {
             Purpose::CopyWrite { shard } => {
                 let name = self.shard_names[shard].clone();
                 let size = self.geom.shards[shard].bytes;
+                // Injected fault: the destination device failed (outage /
+                // error roll) or filled (the simulated ENOSPC) before the
+                // write-back drained — the copy aborts, its reservation is
+                // released, and the shard stays retriable so recovery
+                // re-admits it.
+                let mut write_fault: Option<ErrorClass> = None;
+                if let Some(plan) = self.fault_plan.as_ref() {
+                    let t_s = now.as_secs_f64();
+                    let dev_name = &self.devs[dev].spec.name;
+                    if plan.outage(dev_name, t_s) || plan.error_fires(dev_name, t_s, self.fault_ops)
+                    {
+                        write_fault = Some(ErrorClass::Transient);
+                    } else if plan.write_full(dev_name, t_s) {
+                        write_fault = Some(ErrorClass::Capacity);
+                    }
+                    self.fault_ops += 1;
+                }
+                if let Some(class) = write_fault {
+                    self.fail_copy_write(now, shard, &name, size, class);
+                    return;
+                }
                 let ms = self.monarch.as_mut().expect("monarch");
                 let tier = ms.copy_target.remove(&shard).expect("copy target");
                 // Write-back drained: the copy buffer is gone; later reads
@@ -1580,6 +1787,76 @@ impl World {
                     self.reader_advance(now, r);
                 }
                 self.maybe_finish_epoch(now);
+            }
+        }
+    }
+
+    /// Abort an in-flight placement write whose destination device failed
+    /// under the fault plan: release the capacity reservation, feed the
+    /// tier's breaker, journal a `CopyRequeued`, and leave the shard
+    /// `Unplaced` so a post-recovery read re-admits it.
+    fn fail_copy_write(
+        &mut self,
+        now: SimTime,
+        shard: usize,
+        name: &str,
+        size: u64,
+        class: ErrorClass,
+    ) {
+        let t_us = vmicros(now);
+        {
+            let ms = self.monarch.as_mut().expect("monarch");
+            let tier = ms.copy_target.remove(&shard).expect("copy target");
+            ms.buffer_ready.remove(&shard);
+            ms.pending_copy_writes -= 1;
+            ms.copy_started.remove(&shard);
+            ms.copy_trace.remove(&shard);
+            ms.prefetch_issued.remove(&shard);
+            if let Some(quota) = ms.hierarchy.tier(tier).ok().and_then(|t| t.quota.as_ref()) {
+                quota.release(size);
+            }
+            let _ = ms.meta.abort_copy(name, false);
+            let health = ms.hierarchy.health();
+            let cfg = health.config();
+            let (state, transitioned) = health.tier(tier).record_error(class, &cfg, t_us);
+            if transitioned && state == TierState::Quarantined {
+                ms.telemetry.stats().tier_quarantine();
+                ms.telemetry.event_at(
+                    t_us,
+                    EventKind::TierQuarantined {
+                        tier,
+                        reason: "copy write-back failed under injected fault".into(),
+                    },
+                );
+            }
+            ms.telemetry.stats().copy_requeue();
+            ms.telemetry.event_at(
+                t_us,
+                EventKind::CopyRequeued {
+                    file: name.to_string(),
+                    reason: "target tier failed during write-back".into(),
+                },
+            );
+            ms.telemetry.observe().timeline().record_at(
+                t_us,
+                name,
+                tier,
+                ResidencyEventKind::Canceled,
+                TransitionCause::Demand,
+            );
+        }
+        self.dispatch_copy_workers(now);
+        // Option (i): a failed write still counts toward staging drain.
+        if self.prestaging {
+            let ms = self.monarch.as_ref().expect("monarch");
+            if ms.lanes.queued(Lane::Demand) == 0
+                && ms.pending_copy_writes == 0
+                && ms.copy_target.is_empty()
+                && ms.idle_workers == ms.pool_threads
+            {
+                self.prestaging = false;
+                self.prestage_seconds = (now - self.prestage_started).as_secs_f64();
+                self.q.schedule(now, Ev::StartEpoch);
             }
         }
     }
@@ -1761,6 +2038,38 @@ impl World {
 
     // -- MONARCH copy pool ---------------------------------------------------
 
+    /// Resolve a copy that found no placement. A quarantined tier requeues
+    /// the shard (non-terminal abort, so a post-recovery read re-admits
+    /// it); a genuinely full hierarchy skips it terminally, as before.
+    fn skip_or_requeue(ms: &mut MonarchSim, now: SimTime, name: &str) {
+        let quarantined = ms
+            .hierarchy
+            .local_tiers()
+            .any(|t| ms.hierarchy.health().tier(t.id).is_quarantined());
+        if quarantined {
+            ms.telemetry.stats().copy_requeue();
+            ms.telemetry.event_at(
+                vmicros(now),
+                EventKind::CopyRequeued {
+                    file: name.to_string(),
+                    reason: "tier quarantined".into(),
+                },
+            );
+            let _ = ms.meta.abort_copy(name, false);
+        } else {
+            ms.skips += 1;
+            ms.telemetry.stats().placement_skip();
+            ms.telemetry.event_at(
+                vmicros(now),
+                EventKind::PlacementSkipped {
+                    file: name.to_string(),
+                    reason: "no local tier had room".into(),
+                },
+            );
+            let _ = ms.meta.abort_copy(name, true);
+        }
+    }
+
     fn dispatch_copy_workers(&mut self, now: SimTime) {
         loop {
             let ms = self.monarch.as_mut().expect("monarch");
@@ -1815,19 +2124,10 @@ impl World {
                             .try_reserve(size);
                     }
                     if !reserved {
-                        ms.skips += 1;
-                        ms.telemetry.stats().placement_skip();
                         ms.copy_enqueued.remove(&shard);
                         ms.copy_flow.remove(&shard);
                         ms.flow_start_pending.remove(&shard);
-                        ms.telemetry.event_at(
-                            vmicros(now),
-                            EventKind::PlacementSkipped {
-                                file: name.clone(),
-                                reason: "no local tier had room".into(),
-                            },
-                        );
-                        let _ = ms.meta.abort_copy(&name, true);
+                        Self::skip_or_requeue(ms, now, &name);
                         // A parked reader must not wait on a copy that
                         // will never land: fall back to reading through.
                         ms.prefetch_issued.remove(&shard);
@@ -1931,19 +2231,10 @@ impl World {
                         .insert((lustre, id.0), Purpose::CopyFetch { shard });
                 }
                 Ok(None) => {
-                    ms.skips += 1;
-                    ms.telemetry.stats().placement_skip();
                     ms.copy_enqueued.remove(&shard);
                     ms.copy_flow.remove(&shard);
                     ms.flow_start_pending.remove(&shard);
-                    ms.telemetry.event_at(
-                        vmicros(now),
-                        EventKind::PlacementSkipped {
-                            file: name.clone(),
-                            reason: "no local tier had room".into(),
-                        },
-                    );
-                    let _ = ms.meta.abort_copy(&name, true);
+                    Self::skip_or_requeue(ms, now, &name);
                     ms.prefetch_issued.remove(&shard);
                     if let Some(stranded) = ms.waiting_readers.remove(&shard) {
                         for &r in &stranded {
@@ -1990,6 +2281,7 @@ impl World {
     fn on_compute_done(&mut self, now: SimTime) {
         self.computing = false;
         self.consumed += self.cur_batch;
+        self.total_consumed += self.cur_batch;
         self.gpu_busy += self.cur_batch * self.model.per_sample_step * self.model.gpu_fraction;
         self.cur_batch = 0.0;
         self.try_start_compute(now);

@@ -101,6 +101,14 @@ pub enum Command {
         /// Emit the snapshot as JSON instead of the human table.
         json: bool,
     },
+    /// Initialise the middleware and print the per-tier health table
+    /// (state machine, error rates, quarantine/probe counters).
+    Health {
+        /// Path to a `MonarchConfig` JSON file.
+        config: PathBuf,
+        /// Emit the snapshot as JSON instead of the human table.
+        json: bool,
+    },
     /// Stream the dataset through the middleware with causal tracing on
     /// and write a Chrome Trace Event / Perfetto JSON file.
     Trace {
@@ -144,6 +152,7 @@ impl Command {
          monarch serve       --config CFG.json [--addr HOST:PORT] [--duration SECS]\n  \
          monarch report      --config CFG.json [--chunk BYTES] [--epochs N] [--prefetch N] [--top K] [--json]\n  \
          monarch cluster     --config CFG.json [--json]\n  \
+         monarch health      --config CFG.json [--json]\n  \
          monarch trace       --config CFG.json --data DIR --out TRACE.json [--readers N] [--chunk BYTES] [--duration SECS] [--sample N]"
     }
 
@@ -272,6 +281,10 @@ impl Command {
                 config: PathBuf::from(get("config")?),
                 json: matches!(flags.get("json").map(String::as_str), Some("true")),
             }),
+            "health" => Ok(Command::Health {
+                config: PathBuf::from(get("config")?),
+                json: matches!(flags.get("json").map(String::as_str), Some("true")),
+            }),
             "trace" => Ok(Command::Trace {
                 config: PathBuf::from(get("config")?),
                 data: PathBuf::from(get("data")?),
@@ -317,7 +330,9 @@ fn load_monarch(
     }
     let m = Monarch::new(cfg).map_err(|e| format!("build middleware: {e}"))?;
     let report = m.init().map_err(|e| format!("namespace scan: {e}"))?;
-    println!(
+    // Status goes to stderr: commands like `health --json` must keep
+    // stdout machine-parseable.
+    eprintln!(
         "namespace: {} files, {:.1} MiB, scanned in {:?}",
         report.files,
         report.bytes as f64 / (1 << 20) as f64,
@@ -642,6 +657,20 @@ pub fn run(cmd: Command) -> Result<(), String> {
             m.shutdown();
             Ok(())
         }
+        Command::Health { config, json } => {
+            let m = load_monarch(&config, None, None)?;
+            let snap = m.hierarchy().health().snapshot();
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&snap).map_err(|e| e.to_string())?
+                );
+            } else {
+                print!("{}", snap.render_table());
+            }
+            m.shutdown();
+            Ok(())
+        }
         Command::Trace {
             config,
             data,
@@ -899,6 +928,21 @@ mod tests {
         let cmd = parse(&["cluster", "--config", "c.json", "--json"]).unwrap();
         assert!(matches!(cmd, Command::Cluster { json: true, .. }));
         assert!(parse(&["cluster"]).is_err(), "missing --config");
+    }
+
+    #[test]
+    fn parses_health_defaults_and_json_switch() {
+        let cmd = parse(&["health", "--config", "c.json"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Health {
+                config: PathBuf::from("c.json"),
+                json: false
+            }
+        );
+        let cmd = parse(&["health", "--config", "c.json", "--json"]).unwrap();
+        assert!(matches!(cmd, Command::Health { json: true, .. }));
+        assert!(parse(&["health"]).is_err(), "missing --config");
     }
 
     #[test]

@@ -35,12 +35,13 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::hash::hash_str;
+use crate::health::{ErrorClass, HealthConfig, TierHealth};
 use crate::hierarchy::StorageHierarchy;
 use crate::metadata::{MetadataContainer, PlacementState};
 use crate::{Error, Result};
@@ -324,6 +325,9 @@ pub enum PeerError {
     Timeout,
     /// The peer answered garbage (bad status byte, oversized length).
     Protocol(String),
+    /// The peer is marked dead (too many consecutive timeouts/failures) and
+    /// its probe cooldown has not elapsed — the dial was skipped entirely.
+    Dead,
 }
 
 impl std::fmt::Display for PeerError {
@@ -333,6 +337,7 @@ impl std::fmt::Display for PeerError {
             PeerError::NotResident => write!(f, "peer does not hold the file"),
             PeerError::Timeout => write!(f, "peer fetch timed out"),
             PeerError::Protocol(e) => write!(f, "peer protocol error: {e}"),
+            PeerError::Dead => write!(f, "peer marked dead; dial skipped until probe cooldown"),
         }
     }
 }
@@ -678,6 +683,14 @@ pub struct Cluster {
     transport: Arc<dyn PeerTransport>,
     served: Arc<ServeCounters>,
     server: Mutex<Option<PeerServer>>,
+    /// Per-peer dial gate, one [`TierHealth`] state machine per node:
+    /// consecutive timeouts/failures quarantine the peer ("dead"), dials
+    /// are skipped for the probe cooldown, then one fetch at a time is let
+    /// through as a half-open probe. A peer that answers (even with
+    /// "not resident") is alive.
+    peer_health: Vec<TierHealth>,
+    health_cfg: HealthConfig,
+    epoch: Instant,
 }
 
 impl Cluster {
@@ -687,6 +700,9 @@ impl Cluster {
     #[must_use]
     pub fn new(cfg: ClusterConfig, transport: Arc<dyn PeerTransport>) -> Self {
         let shard = ShardMap::new(cfg.nodes.len(), cfg.shard_seed);
+        let peer_health = (0..cfg.nodes.len())
+            .map(|_| TierHealth::default())
+            .collect();
         Self {
             cfg,
             shard,
@@ -694,6 +710,9 @@ impl Cluster {
             transport,
             served: Arc::new(ServeCounters::default()),
             server: Mutex::new(None),
+            peer_health,
+            health_cfg: HealthConfig::default(),
+            epoch: Instant::now(),
         }
     }
 
@@ -783,9 +802,53 @@ impl Cluster {
         (owner != self.cfg.node_id).then_some(owner)
     }
 
-    /// Fetch `file` from `peer` over the transport.
+    /// Fetch `file` from `peer` over the transport, gated by the peer's
+    /// health state: a dead peer is not dialed at all (`PeerError::Dead`,
+    /// instant) until its probe cooldown elapses, after which a single
+    /// fetch probes it. Timeouts and connection failures feed the state
+    /// machine; an answering peer — including "not resident" — is healthy.
     pub fn fetch_from(&self, peer: usize, file: &str) -> std::result::Result<Vec<u8>, PeerError> {
-        self.transport.fetch(peer, file)
+        let Some(health) = self.peer_health.get(peer) else {
+            return self.transport.fetch(peer, file);
+        };
+        let now = self.now_us();
+        let mut probing = false;
+        if health.is_quarantined() {
+            if health.probe_permit(now) {
+                probing = true;
+            } else {
+                return Err(PeerError::Dead);
+            }
+        }
+        let out = self.transport.fetch(peer, file);
+        let answered = !matches!(
+            &out,
+            Err(PeerError::Timeout | PeerError::Unavailable(_) | PeerError::Protocol(_))
+        );
+        if probing {
+            health.probe_result(answered, &self.health_cfg, self.now_us());
+        } else if answered {
+            health.record_success(&self.health_cfg, self.now_us());
+        } else {
+            let _ = health.record_error(ErrorClass::Transient, &self.health_cfg, self.now_us());
+        }
+        out
+    }
+
+    /// Registry-free microsecond clock for the peer health machines.
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Node ids currently marked dead (quarantined by the dial gate).
+    #[must_use]
+    pub fn dead_peers(&self) -> Vec<usize> {
+        self.peer_health
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.is_quarantined())
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// Serializable roster + counter snapshot. `stats` supplies the
@@ -802,6 +865,8 @@ impl Cluster {
             peer_bytes: stats.peer_bytes,
             peer_fallbacks: stats.peer_fallbacks,
             remote_timeouts: stats.remote_timeouts,
+            peer_dead_skips: stats.peer_dead_skips,
+            dead_peers: self.dead_peers(),
             served_requests: requests,
             served_hits: hits,
             served_bytes: bytes,
@@ -840,6 +905,13 @@ pub struct ClusterSnapshot {
     pub peer_fallbacks: u64,
     /// Remote-lane installs that timed out waiting on a peer.
     pub remote_timeouts: u64,
+    /// Peer fetches skipped without dialing because the peer was marked
+    /// dead (quarantined after consecutive timeouts).
+    #[serde(default)]
+    pub peer_dead_skips: u64,
+    /// Node ids currently marked dead by the dial gate.
+    #[serde(default)]
+    pub dead_peers: Vec<usize>,
     /// Requests this node's server answered (hits plus not-resident).
     pub served_requests: u64,
     /// Requests this node's server answered with file bytes.
@@ -866,13 +938,22 @@ impl ClusterSnapshot {
         for (id, addr) in self.nodes.iter().enumerate() {
             let held = self.held_by_node.get(id).copied().unwrap_or(0);
             let marker = if id == self.node_id { "*" } else { " " };
+            let dead = if self.dead_peers.contains(&id) {
+                "  DEAD"
+            } else {
+                ""
+            };
             o.push_str(&format!(
-                " {marker} node {id:<3} {addr:<24} {held:>8} file(s) held\n"
+                " {marker} node {id:<3} {addr:<24} {held:>8} file(s) held{dead}\n"
             ));
         }
         o.push_str(&format!(
-            "peer cache: {} hits / {} fallbacks / {} remote timeouts, {} B fetched\n",
-            self.peer_hits, self.peer_fallbacks, self.remote_timeouts, self.peer_bytes
+            "peer cache: {} hits / {} fallbacks / {} remote timeouts / {} dead skips, {} B fetched\n",
+            self.peer_hits,
+            self.peer_fallbacks,
+            self.remote_timeouts,
+            self.peer_dead_skips,
+            self.peer_bytes
         ));
         o.push_str(&format!(
             "served to peers: {} hits of {} requests, {} B shipped; view tracks {} file(s)\n",
@@ -1090,6 +1171,64 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: ClusterSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn dead_peer_is_not_dialed_until_probe_recovers_it() {
+        use std::sync::atomic::AtomicU64;
+        // A transport that times out until told otherwise, counting dials.
+        struct Flaky {
+            dials: AtomicU64,
+            healthy: AtomicBool,
+        }
+        impl PeerTransport for Flaky {
+            fn fetch(&self, _peer: usize, file: &str) -> std::result::Result<Vec<u8>, PeerError> {
+                self.dials.fetch_add(1, Ordering::SeqCst);
+                if self.healthy.load(Ordering::SeqCst) {
+                    Ok(file.as_bytes().to_vec())
+                } else {
+                    Err(PeerError::Timeout)
+                }
+            }
+        }
+        let transport = Arc::new(Flaky {
+            dials: AtomicU64::new(0),
+            healthy: AtomicBool::new(false),
+        });
+        let cfg = ClusterConfig::new(0, vec!["a:1".into(), "b:2".into()]);
+        let cluster = Cluster::new(cfg, Arc::clone(&transport) as Arc<dyn PeerTransport>);
+
+        // Consecutive timeouts trip the peer's dial gate.
+        for _ in 0..3 {
+            assert_eq!(cluster.fetch_from(1, "f"), Err(PeerError::Timeout));
+        }
+        assert_eq!(cluster.dead_peers(), vec![1]);
+        let dialed = transport.dials.load(Ordering::SeqCst);
+        // Dead peer: fetches are refused without touching the transport.
+        for _ in 0..5 {
+            assert_eq!(cluster.fetch_from(1, "f"), Err(PeerError::Dead));
+        }
+        assert_eq!(
+            transport.dials.load(Ordering::SeqCst),
+            dialed,
+            "a dead peer must not be dialed during the cooldown"
+        );
+        // Recovery: once the cooldown elapses, a single probe dial goes
+        // through; it succeeds and the peer is live again. (The default
+        // cooldown is seconds of wall clock — too slow for a unit test —
+        // so verify the probe path via the state machine directly.)
+        cluster.peer_health[1].probe_result(true, &cluster.health_cfg, cluster.now_us());
+        assert!(cluster.dead_peers().is_empty());
+        transport.healthy.store(true, Ordering::SeqCst);
+        assert_eq!(cluster.fetch_from(1, "f").unwrap(), b"f");
+
+        // Snapshot carries the dead-peer roster and the skip counter.
+        let stats = crate::Stats::new(2);
+        stats.peer_dead_skip();
+        let snap = cluster.snapshot(&stats.snapshot());
+        assert_eq!(snap.peer_dead_skips, 1);
+        assert!(snap.dead_peers.is_empty());
+        assert!(snap.render_table().contains("dead skips"));
     }
 
     #[test]

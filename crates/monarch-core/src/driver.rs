@@ -10,7 +10,7 @@
 use std::fs;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -521,6 +521,133 @@ impl<D: StorageDriver> StorageDriver for FaultyDriver<D> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Scripted fault injection (health-machinery test harness)
+// ---------------------------------------------------------------------------
+
+/// Outcome of one scripted [`FlakyDriver`] operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlakyOutcome {
+    /// Pass through to the inner driver.
+    Ok,
+    /// Fail with a transient I/O error (`TimedOut` — retried with backoff
+    /// by the health machinery).
+    Transient,
+    /// Fail with a permanent I/O error (`PermissionDenied` — quarantines
+    /// the tier).
+    Permanent,
+    /// Fail with `ENOSPC` (the install path's evict-and-retry trigger).
+    Enospc,
+}
+
+impl FlakyOutcome {
+    fn into_error(self, what: &str) -> Error {
+        match self {
+            FlakyOutcome::Ok => unreachable!("Ok outcomes never build errors"),
+            FlakyOutcome::Transient => Error::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!("injected transient fault in {what}"),
+            )),
+            FlakyOutcome::Permanent => Error::Io(std::io::Error::new(
+                std::io::ErrorKind::PermissionDenied,
+                format!("injected permanent fault in {what}"),
+            )),
+            FlakyOutcome::Enospc => Error::Io(std::io::Error::from_raw_os_error(28)),
+        }
+    }
+}
+
+/// Test harness driver that fails operations from *scripted sequences*
+/// (unlike [`FaultyDriver`]'s single budget) and supports a shared outage
+/// switch that fails every data operation while set — the building blocks
+/// for retry, quarantine, half-open-probe, and ENOSPC tests.
+///
+/// Reads (`read_at`/`read_full`) consume the read script; `write_full`
+/// consumes the write script. An exhausted script passes through.
+pub struct FlakyDriver<D> {
+    inner: D,
+    reads: Mutex<std::collections::VecDeque<FlakyOutcome>>,
+    writes: Mutex<std::collections::VecDeque<FlakyOutcome>>,
+    outage: Arc<AtomicBool>,
+}
+
+impl<D: StorageDriver> FlakyDriver<D> {
+    /// Wrap `inner` with empty scripts and the outage switch off.
+    #[must_use]
+    pub fn new(inner: D) -> Self {
+        Self {
+            inner,
+            reads: Mutex::new(std::collections::VecDeque::new()),
+            writes: Mutex::new(std::collections::VecDeque::new()),
+            outage: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Append outcomes to the read script.
+    pub fn script_reads(&self, outcomes: impl IntoIterator<Item = FlakyOutcome>) {
+        self.reads.lock().extend(outcomes);
+    }
+
+    /// Append outcomes to the write script.
+    pub fn script_writes(&self, outcomes: impl IntoIterator<Item = FlakyOutcome>) {
+        self.writes.lock().extend(outcomes);
+    }
+
+    /// The shared outage switch: while `true`, every data operation fails
+    /// with a transient error (a tier-loss window).
+    #[must_use]
+    pub fn outage_switch(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.outage)
+    }
+
+    fn next(
+        &self,
+        script: &Mutex<std::collections::VecDeque<FlakyOutcome>>,
+        what: &str,
+    ) -> Result<()> {
+        if self.outage.load(Ordering::Acquire) {
+            return Err(FlakyOutcome::Transient.into_error(what));
+        }
+        match script.lock().pop_front() {
+            None | Some(FlakyOutcome::Ok) => Ok(()),
+            Some(fail) => Err(fail.into_error(what)),
+        }
+    }
+}
+
+impl<D: StorageDriver> StorageDriver for FlakyDriver<D> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn read_at(&self, file: &str, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        self.next(&self.reads, "read_at")?;
+        self.inner.read_at(file, offset, buf)
+    }
+
+    fn read_full(&self, file: &str) -> Result<Vec<u8>> {
+        self.next(&self.reads, "read_full")?;
+        self.inner.read_full(file)
+    }
+
+    fn write_full(&self, file: &str, data: &[u8]) -> Result<()> {
+        self.next(&self.writes, "write_full")?;
+        self.inner.write_full(file, data)
+    }
+
+    fn remove(&self, file: &str) -> Result<()> {
+        self.inner.remove(file)
+    }
+
+    fn file_size(&self, file: &str) -> Result<u64> {
+        self.inner.file_size(file)
+    }
+
+    fn list(&self) -> Result<Vec<(String, u64)>> {
+        self.inner.list()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -591,6 +718,41 @@ mod tests {
         let d = FaultyDriver::new(inner, FaultKind::All, 1);
         assert!(d.read_full("a").is_err());
         assert!(d.read_full("a").is_ok());
+    }
+
+    #[test]
+    fn flaky_driver_scripts_and_outage() {
+        let inner = MemDriver::new("m");
+        inner.insert("a", vec![7u8; 4]);
+        let d = FlakyDriver::new(inner);
+        d.script_reads([
+            FlakyOutcome::Transient,
+            FlakyOutcome::Ok,
+            FlakyOutcome::Permanent,
+        ]);
+        d.script_writes([FlakyOutcome::Enospc]);
+        let mut buf = [0u8; 4];
+        // Scripted: transient, then pass, then permanent, then exhausted.
+        match d.read_at("a", 0, &mut buf) {
+            Err(Error::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::TimedOut),
+            other => panic!("expected transient error, got {other:?}"),
+        }
+        assert_eq!(d.read_at("a", 0, &mut buf).unwrap(), 4);
+        assert!(d.read_full("a").is_err());
+        assert_eq!(d.read_full("a").unwrap().len(), 4);
+        match d.write_full("b", &[1]) {
+            Err(Error::Io(e)) => assert_eq!(e.raw_os_error(), Some(28)),
+            other => panic!("expected ENOSPC, got {other:?}"),
+        }
+        d.write_full("b", &[1]).unwrap();
+        // Outage switch fails every data op until cleared.
+        let outage = d.outage_switch();
+        outage.store(true, Ordering::Release);
+        assert!(d.read_at("a", 0, &mut buf).is_err());
+        assert!(d.write_full("c", &[2]).is_err());
+        assert!(d.file_size("a").is_ok(), "metadata ops pass through");
+        outage.store(false, Ordering::Release);
+        assert_eq!(d.read_at("a", 0, &mut buf).unwrap(), 4);
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::driver::StorageDriver;
+use crate::health::HealthRegistry;
 use crate::{Error, Result};
 
 /// Index of a tier inside the hierarchy; 0 is the fastest tier and
@@ -112,6 +113,9 @@ impl std::fmt::Debug for Tier {
 #[derive(Debug)]
 pub struct StorageHierarchy {
     tiers: Vec<Tier>,
+    /// Per-tier fault-tolerance trackers (see [`crate::health`]); shared
+    /// by the read path, placement policies, and the transfer engine.
+    health: Arc<HealthRegistry>,
 }
 
 impl StorageHierarchy {
@@ -141,7 +145,16 @@ impl StorageHierarchy {
                 read_only,
             });
         }
-        Ok(Self { tiers })
+        let health = Arc::new(HealthRegistry::new(
+            tiers.iter().map(|t| t.name.clone()).collect(),
+        ));
+        Ok(Self { tiers, health })
+    }
+
+    /// The hierarchy's health registry.
+    #[must_use]
+    pub fn health(&self) -> &Arc<HealthRegistry> {
+        &self.health
     }
 
     /// Number of levels, including the PFS.

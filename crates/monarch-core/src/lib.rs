@@ -51,6 +51,7 @@ pub mod config;
 pub mod driver;
 pub mod error;
 pub mod hash;
+pub mod health;
 pub mod hierarchy;
 pub mod metadata;
 pub mod middleware;
@@ -72,6 +73,10 @@ pub use cluster::{
 pub use config::{MonarchConfig, TelemetryConfig};
 pub use driver::StorageDriver;
 pub use error::{Error, Result};
+pub use health::{
+    classify, device_error_class, ErrorClass, HealthConfig, HealthRegistry, HealthSnapshot,
+    RetryPolicy, TierHealth, TierHealthSnapshot, TierState,
+};
 pub use hierarchy::{StorageHierarchy, Tier, TierId};
 pub use metadata::MetadataContainer;
 pub use middleware::{InitReport, Monarch};

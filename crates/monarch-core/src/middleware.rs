@@ -170,8 +170,21 @@ impl Monarch {
         // eviction may delete the cache-tier copy we just resolved). A
         // vanished file is retried against fresh metadata, which by then
         // points back at the source tier.
-        let mut attempts = 0;
-        let (info, tier, n, t_lookup, t_resolve, t_pread, p_lookup, p_resolve, p_pread) = loop {
+        //
+        // Fault tolerance rides on the same loop: transient device errors
+        // are retried in place with backoff, sustained failure quarantines
+        // the tier and the read falls back down-hierarchy to the PFS
+        // source (graceful degradation — never an error while the source
+        // is healthy), and a read arriving after the quarantine cooldown
+        // may win the half-open probe slot and test the tier directly.
+        let health = Arc::clone(self.hierarchy.health());
+        let retry = health.retry_policy();
+        let source_id = self.hierarchy.source_id();
+        let mut attempts = 0u32;
+        // Once a pread on the resident tier has failed terminally, every
+        // later iteration serves from the PFS source instead.
+        let mut fallback = false;
+        let (info, tier, degraded, n, t_lookup, t_resolve, t_pread, p_lookup, p_resolve, p_pread) = loop {
             let info = self.metadata.lookup_for_read(file)?;
             self.engine.note_access(file, info.tier);
             let p_lookup = Instant::now();
@@ -183,7 +196,24 @@ impl Monarch {
             if offset >= info.size {
                 return Ok(0);
             }
-            let tier = self.hierarchy.tier(info.tier)?;
+            let resident = self.hierarchy.tier(info.tier)?;
+            // Pick the serving tier: normally the resident one; the PFS
+            // source when the resident tier is quarantined or already
+            // failed this read — unless this read wins the probe slot.
+            let mut probing = false;
+            let tier = if info.tier != source_id
+                && (fallback || health.tier(info.tier).is_quarantined())
+            {
+                if !fallback && health.tier(info.tier).probe_permit(health.now_us()) {
+                    probing = true;
+                    resident
+                } else {
+                    self.hierarchy.tier(source_id)?
+                }
+            } else {
+                resident
+            };
+            let degraded = tier.id != info.tier;
             let p_resolve = Instant::now();
             let t_resolve = if sampled {
                 self.telemetry.now_micros()
@@ -199,17 +229,84 @@ impl Monarch {
                     } else {
                         0
                     };
+                    if probing {
+                        health
+                            .tier(tier.id)
+                            .probe_result(true, &health.config(), health.now_us());
+                        self.stats.tier_recovery();
+                        self.telemetry.event(EventKind::TierProbed {
+                            tier: tier.id,
+                            ok: true,
+                        });
+                        self.telemetry
+                            .event(EventKind::TierRecovered { tier: tier.id });
+                    } else if !degraded {
+                        health.record_success(tier.id);
+                    }
                     break (
-                        info, tier, n, t_lookup, t_resolve, t_pread, p_lookup, p_resolve, p_pread,
+                        info, tier, degraded, n, t_lookup, t_resolve, t_pread, p_lookup, p_resolve,
+                        p_pread,
                     );
                 }
-                Err(Error::Io(e)) if e.kind() == std::io::ErrorKind::NotFound && attempts < 3 => {
-                    attempts += 1;
+                Err(e) => {
+                    if probing {
+                        // Failed probe: re-arm the cooldown and serve this
+                        // read from the source on the next iteration.
+                        health
+                            .tier(tier.id)
+                            .probe_result(false, &health.config(), health.now_us());
+                        self.telemetry.event(EventKind::TierProbed {
+                            tier: tier.id,
+                            ok: false,
+                        });
+                        continue;
+                    }
+                    let Some(class) = crate::health::device_error_class(&e) else {
+                        // Logic errors (unknown file, shutdown, injected
+                        // test faults) propagate untouched.
+                        return Err(e);
+                    };
+                    let (_, quarantined_now) = health.record_error(tier.id, class);
+                    if quarantined_now {
+                        self.stats.tier_quarantine();
+                        self.telemetry.event(EventKind::TierQuarantined {
+                            tier: tier.id,
+                            reason: format!("read failed: {e}"),
+                        });
+                    }
+                    let transient_not_found = matches!(
+                        &e,
+                        Error::Io(io) if io.kind() == std::io::ErrorKind::NotFound
+                    );
+                    if class == crate::health::ErrorClass::Transient
+                        && attempts < retry.max_attempts
+                    {
+                        attempts += 1;
+                        // An eviction race (NotFound) retries immediately
+                        // against fresh metadata, as it always has; real
+                        // device hiccups back off first.
+                        if !transient_not_found {
+                            self.stats.read_retry();
+                            std::thread::sleep(Duration::from_micros(
+                                retry.backoff_us(attempts, offset ^ file.len() as u64),
+                            ));
+                        }
+                        continue;
+                    }
+                    if tier.id != source_id {
+                        // Out of retries (or permanent): degrade to the
+                        // PFS source instead of failing the read.
+                        fallback = true;
+                        continue;
+                    }
+                    return Err(e);
                 }
-                Err(e) => return Err(e),
             }
         };
-        self.stats.record_read(info.tier, n as u64);
+        self.stats.record_read(tier.id, n as u64);
+        if degraded {
+            self.stats.degraded_read();
+        }
 
         // Allocate the read span id eagerly so the background copy it may
         // spawn can be parented/flow-linked to it.
@@ -298,14 +395,23 @@ impl Monarch {
             self.telemetry
                 .stall_profile()
                 .record(p_entry, p_lookup, p_resolve, p_pread, p_end);
+            if degraded {
+                self.telemetry
+                    .stall_profile()
+                    .record_degraded(p_end - p_entry);
+            }
             let profiler = self.telemetry.observe().profiler();
             if profiler.is_enabled() {
                 // Where did this read's time go? A read served off the
                 // source tier is classified by *why* the file was still
                 // there: the plan knew about it (prefetch lagged), a copy
                 // is in flight (lanes saturated), or placement never
-                // happened (cold PFS traffic).
-                let class = if info.tier != self.hierarchy.source_id() {
+                // happened (cold PFS traffic). A read that *should* have
+                // been fast but was rerouted around a quarantined tier is
+                // its own bucket — the cost of degraded operation.
+                let class = if degraded {
+                    ReadClass::DegradedFallback
+                } else if info.tier != self.hierarchy.source_id() {
                     ReadClass::Fast
                 } else if feedback.planned {
                     ReadClass::PrefetchLag
@@ -374,6 +480,10 @@ impl Monarch {
                             "peer {owner} read exceeded its deadline; falling back to the PFS"
                         ),
                     });
+                } else if e == PeerError::Dead {
+                    // The dial gate refused without touching the network:
+                    // the peer is quarantined after consecutive timeouts.
+                    self.stats.peer_dead_skip();
                 }
                 return None;
             }
@@ -585,6 +695,7 @@ impl Monarch {
     pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
         self.engine.sampler().refresh();
         let mut snap = self.telemetry.snapshot();
+        snap.health = Some(self.hierarchy.health().snapshot());
         if let Some(cluster) = &self.cluster {
             snap.cluster = Some(cluster.snapshot(&self.stats.snapshot()));
         }

@@ -3,7 +3,8 @@
 
 use super::*;
 use crate::config::{TelemetryConfig, TierConfig};
-use crate::driver::{FaultKind, FaultyDriver, MemDriver, StorageDriver};
+use crate::driver::{FaultKind, FaultyDriver, FlakyDriver, FlakyOutcome, MemDriver, StorageDriver};
+use crate::health::HealthConfig;
 use crate::placement::{LruEvict, PlacementPolicy};
 
 fn two_tier(
@@ -623,4 +624,145 @@ fn reads_in_flight_gauge_is_balanced() {
         0,
         "gauge balanced after success, EOF and error"
     );
+}
+
+/// Monarch over a [`FlakyDriver`]-wrapped local tier, with `n` files of
+/// `size` bytes staged on the "PFS". The returned driver handle scripts
+/// faults after placement settles.
+fn flaky_monarch(cap: u64, n: usize, size: usize) -> (Monarch, Arc<FlakyDriver<MemDriver>>) {
+    let pfs = MemDriver::new("pfs");
+    for i in 0..n {
+        pfs.insert(&format!("f{i:03}"), vec![i as u8; size]);
+    }
+    let flaky = Arc::new(FlakyDriver::new(MemDriver::new("ssd")));
+    let hierarchy = two_tier(
+        Arc::clone(&flaky) as Arc<dyn StorageDriver>,
+        cap,
+        Arc::new(pfs),
+    );
+    let m = MonarchBuilder::new()
+        .hierarchy(hierarchy)
+        .pool_threads(2)
+        .build()
+        .unwrap();
+    m.init().unwrap();
+    (m, flaky)
+}
+
+#[test]
+fn transient_read_fault_retries_in_place_and_succeeds() {
+    let (m, flaky) = flaky_monarch(1 << 20, 1, 1000);
+    let mut buf = vec![0u8; 100];
+    m.read("f000", 0, &mut buf).unwrap();
+    m.wait_placement_idle();
+    assert_eq!(m.metadata().get("f000").unwrap().tier, 0);
+
+    flaky.script_reads([FlakyOutcome::Transient, FlakyOutcome::Ok]);
+    assert_eq!(m.read("f000", 0, &mut buf).unwrap(), 100);
+    assert_eq!(buf, vec![0u8; 100]);
+    let s = m.stats();
+    assert_eq!(s.read_retries, 1, "one backoff retry");
+    assert_eq!(s.degraded_reads, 0, "retry succeeded locally");
+    assert_eq!(s.tier_quarantines, 0);
+    // One fault leaves the tier suspect (still serving locally); further
+    // successes decay the EWMA back under the closing threshold.
+    let h = m.hierarchy().health().snapshot();
+    assert_eq!(h.tiers[0].state, "suspect");
+    assert_eq!(h.tiers[0].errors_total, 1);
+    m.read("f000", 0, &mut buf).unwrap();
+    assert_eq!(m.hierarchy().health().snapshot().tiers[0].state, "closed");
+    m.shutdown();
+}
+
+#[test]
+fn permanent_read_fault_quarantines_and_serves_from_source() {
+    let (m, flaky) = flaky_monarch(1 << 20, 1, 1000);
+    let mut buf = vec![0u8; 100];
+    m.read("f000", 0, &mut buf).unwrap();
+    m.wait_placement_idle();
+
+    // A permanent error is not retried: the tier quarantines immediately
+    // and the read degrades to the PFS source instead of failing.
+    flaky.script_reads([FlakyOutcome::Permanent]);
+    assert_eq!(m.read("f000", 50, &mut buf).unwrap(), 100);
+    assert_eq!(buf, vec![0u8; 100]);
+    let s = m.stats();
+    assert_eq!(s.tier_quarantines, 1);
+    assert_eq!(s.degraded_reads, 1);
+    assert_eq!(s.read_retries, 0, "permanent faults skip the retry loop");
+    let h = m.hierarchy().health().snapshot();
+    assert!(h.degraded);
+    assert_eq!(h.tiers[0].state, "quarantined");
+
+    // While the probe cooldown holds, further reads keep degrading (no
+    // local attempts, so the exhausted script is never consulted).
+    assert_eq!(m.read("f000", 0, &mut buf).unwrap(), 100);
+    assert_eq!(m.stats().degraded_reads, 2);
+    m.shutdown();
+}
+
+#[test]
+fn half_open_probe_readmits_a_recovered_tier() {
+    let (m, flaky) = flaky_monarch(1 << 20, 1, 1000);
+    m.hierarchy().health().set_config(HealthConfig {
+        probe_cooldown_us: 1_000,
+        ..HealthConfig::default()
+    });
+    let mut buf = vec![0u8; 100];
+    m.read("f000", 0, &mut buf).unwrap();
+    m.wait_placement_idle();
+
+    flaky.script_reads([FlakyOutcome::Permanent]);
+    m.read("f000", 0, &mut buf).unwrap();
+    assert_eq!(
+        m.hierarchy().health().snapshot().tiers[0].state,
+        "quarantined"
+    );
+
+    // After the cooldown the next read wins the half-open probe slot; the
+    // device answers (script exhausted) and the tier is re-admitted.
+    std::thread::sleep(Duration::from_millis(10));
+    assert_eq!(m.read("f000", 0, &mut buf).unwrap(), 100);
+    let s = m.stats();
+    assert_eq!(s.tier_recoveries, 1);
+    let h = m.hierarchy().health().snapshot();
+    assert!(!h.degraded);
+    assert_eq!(h.tiers[0].state, "closed");
+    assert_eq!(h.tiers[0].recoveries, 1);
+
+    // Back to normal local service: no further degraded reads.
+    let degraded = s.degraded_reads;
+    m.read("f000", 0, &mut buf).unwrap();
+    assert_eq!(m.stats().degraded_reads, degraded);
+    assert_eq!(m.stats().tiers[0].reads, s.tiers[0].reads + 1);
+    m.shutdown();
+}
+
+#[test]
+fn enospc_install_evicts_a_victim_and_retries_once() {
+    let (m, flaky) = flaky_monarch(1 << 20, 2, 1000);
+    let mut buf = vec![0u8; 100];
+    m.read("f000", 0, &mut buf).unwrap();
+    m.wait_placement_idle();
+    assert_eq!(m.metadata().get("f000").unwrap().tier, 0);
+
+    // The quota has room but the device reports ENOSPC once: the install
+    // evicts the resident victim and retries, landing the new file.
+    flaky.script_writes([FlakyOutcome::Enospc]);
+    m.read("f001", 0, &mut buf).unwrap();
+    m.wait_placement_idle();
+    let s = m.stats();
+    assert_eq!(s.enospc_evictions, 1);
+    assert_eq!(s.copies_failed, 0);
+    assert_eq!(m.metadata().get("f001").unwrap().tier, 0, "install landed");
+    assert_eq!(
+        m.metadata().get("f000").unwrap().tier,
+        1,
+        "victim re-resolved to the PFS"
+    );
+    // Capacity pressure never counts against tier health.
+    let h = m.hierarchy().health().snapshot();
+    assert_eq!(h.tiers[0].state, "closed");
+    assert_eq!(h.tiers[0].errors_total, 0);
+    m.shutdown();
 }

@@ -55,6 +55,11 @@ pub enum ReadClass {
     /// but still a network hop, so its wall time is attributed separately
     /// from both `Fast` and `PfsCold`.
     PeerBound,
+    /// The file was resident on a local tier, but that tier is failing or
+    /// quarantined, so the bytes came from a lower tier (ultimately the
+    /// PFS). Attributed separately so fault-induced slowdown is not
+    /// mistaken for cold misses.
+    DegradedFallback,
 }
 
 /// Wall-clock decomposition of one read, in microseconds. The real read
@@ -149,6 +154,7 @@ pub struct LedgerAccum {
     lane_sat_pread_us: AtomicU64,
     prefetch_lag_pread_us: AtomicU64,
     peer_bound_pread_us: AtomicU64,
+    degraded_pread_us: AtomicU64,
     lock_queue_us: AtomicU64,
     copy_wait_us: AtomicU64,
 }
@@ -167,6 +173,7 @@ impl LedgerAccum {
             ReadClass::LaneSaturated => &self.lane_sat_pread_us,
             ReadClass::PrefetchLag => &self.prefetch_lag_pread_us,
             ReadClass::PeerBound => &self.peer_bound_pread_us,
+            ReadClass::DegradedFallback => &self.degraded_pread_us,
         };
         bucket.fetch_add(t.pread_us, Ordering::Relaxed);
     }
@@ -182,6 +189,7 @@ impl LedgerAccum {
             lane_sat_pread_us: self.lane_sat_pread_us.load(Ordering::Relaxed),
             prefetch_lag_pread_us: self.prefetch_lag_pread_us.load(Ordering::Relaxed),
             peer_bound_pread_us: self.peer_bound_pread_us.load(Ordering::Relaxed),
+            degraded_pread_us: self.degraded_pread_us.load(Ordering::Relaxed),
             lock_queue_us: self.lock_queue_us.load(Ordering::Relaxed),
             copy_wait_us: self.copy_wait_us.load(Ordering::Relaxed),
         }
@@ -208,6 +216,10 @@ pub struct LedgerSnapshot {
     /// Fetch time for reads served node-to-node from a peer's tier, µs.
     #[serde(default)]
     pub peer_bound_pread_us: u64,
+    /// Pread time of degraded-fallback reads (resident tier failing,
+    /// served down-hierarchy), µs.
+    #[serde(default)]
+    pub degraded_pread_us: u64,
     /// Lock/lookup and pre-pread bookkeeping time, µs.
     pub lock_queue_us: u64,
     /// Post-pread copy-machinery time (and simulated park waits), µs.
@@ -235,6 +247,9 @@ impl LedgerSnapshot {
             peer_bound_pread_us: self
                 .peer_bound_pread_us
                 .saturating_sub(prev.peer_bound_pread_us),
+            degraded_pread_us: self
+                .degraded_pread_us
+                .saturating_sub(prev.degraded_pread_us),
             lock_queue_us: self.lock_queue_us.saturating_sub(prev.lock_queue_us),
             copy_wait_us: self.copy_wait_us.saturating_sub(prev.copy_wait_us),
         }

@@ -39,6 +39,10 @@ pub struct LedgerBuckets {
     /// Reads served node-to-node from a peer's fast tier.
     #[serde(default)]
     pub peer_bound_s: f64,
+    /// Reads of failed-tier residents served down-hierarchy (fault-induced
+    /// slowdown, distinct from cold misses).
+    #[serde(default)]
+    pub degraded_fallback_s: f64,
     /// Metadata lock/lookup and bookkeeping.
     pub lock_or_queue_s: f64,
     /// Wall time storage was not the bottleneck for.
@@ -60,6 +64,7 @@ impl LedgerBuckets {
             copy_lane_saturated_s: s(ledger.lane_sat_pread_us),
             prefetch_lag_s: s(ledger.prefetch_lag_pread_us) + s(ledger.copy_wait_us),
             peer_bound_s: s(ledger.peer_bound_pread_us),
+            degraded_fallback_s: s(ledger.degraded_pread_us),
             lock_or_queue_s: s(ledger.lock_queue_us),
             compute_bound_s: (wall_s - storage_s).max(0.0),
         }
@@ -72,6 +77,7 @@ impl LedgerBuckets {
             + self.copy_lane_saturated_s
             + self.prefetch_lag_s
             + self.peer_bound_s
+            + self.degraded_fallback_s
             + self.lock_or_queue_s
             + self.compute_bound_s
     }
@@ -84,6 +90,7 @@ impl LedgerBuckets {
             ("copy-lane-saturated", self.copy_lane_saturated_s),
             ("prefetch-lag", self.prefetch_lag_s),
             ("peer-bound", self.peer_bound_s),
+            ("degraded-fallback", self.degraded_fallback_s),
             ("lock-or-queue", self.lock_or_queue_s),
             ("compute-bound", self.compute_bound_s),
         ];
@@ -243,6 +250,7 @@ impl ObserveReport {
             ("copy-lane-saturated", self.ledger.copy_lane_saturated_s),
             ("prefetch-lag", self.ledger.prefetch_lag_s),
             ("peer-bound", self.ledger.peer_bound_s),
+            ("degraded-fallback", self.ledger.degraded_fallback_s),
             ("lock-or-queue", self.ledger.lock_or_queue_s),
             ("compute-bound", self.ledger.compute_bound_s),
         ] {
@@ -300,6 +308,7 @@ mod tests {
             lock_queue_us: 500_000,
             copy_wait_us: 1_000_000,
             peer_bound_pread_us: 0,
+            degraded_pread_us: 0,
         }
     }
 

@@ -100,6 +100,9 @@ impl PlacementPolicy for FirstFit {
         size: u64,
     ) -> Result<Option<PlacementDecision>> {
         for tier in hierarchy.local_tiers() {
+            if hierarchy.health().tier(tier.id).is_quarantined() {
+                continue;
+            }
             let Some(quota) = tier.quota.as_ref() else {
                 continue;
             };
@@ -146,6 +149,9 @@ impl PlacementPolicy for RoundRobin {
         };
         for i in 0..locals {
             let tier = hierarchy.tier((start + i) % locals)?;
+            if hierarchy.health().tier(tier.id).is_quarantined() {
+                continue;
+            }
             if let Some(q) = tier.quota.as_ref() {
                 if q.try_reserve(size) {
                     return Ok(Some(PlacementDecision {
@@ -214,6 +220,9 @@ impl PlacementPolicy for LruEvict {
         size: u64,
     ) -> Result<Option<PlacementDecision>> {
         let tier = hierarchy.tier(0)?;
+        if hierarchy.health().tier(0).is_quarantined() {
+            return Ok(None);
+        }
         let Some(quota) = tier.quota.as_ref() else {
             return Ok(None);
         };
@@ -392,6 +401,34 @@ mod tests {
         p.on_access("a", 0);
         let d = p.place(&h, "c", 40).unwrap().unwrap();
         assert_eq!(d.evict, vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn quarantined_tier_is_skipped_by_every_policy() {
+        use crate::health::ErrorClass;
+        let h = hierarchy(&[100, 100]);
+        h.health().record_error(0, ErrorClass::Permanent);
+        assert!(h.health().tier(0).is_quarantined());
+
+        let d = FirstFit.place(&h, "a", 10).unwrap().unwrap();
+        assert_eq!(d.tier, 1, "first-fit skips the quarantined top tier");
+
+        let rr = RoundRobin::default();
+        for name in ["b", "c", "d"] {
+            let d = rr.place(&h, name, 10).unwrap().unwrap();
+            assert_eq!(d.tier, 1, "round-robin never lands on quarantine");
+        }
+
+        let lru = LruEvict::new();
+        assert!(
+            lru.place(&h, "e", 10).unwrap().is_none(),
+            "lru is tier-0-only, so quarantine means no placement"
+        );
+        assert_eq!(
+            h.tier(0).unwrap().quota.as_ref().unwrap().used(),
+            0,
+            "no quota leaked onto the quarantined tier"
+        );
     }
 
     #[test]

@@ -59,6 +59,9 @@ pub(crate) struct ServeParts {
     sampler: GaugeSampler,
     stats: Arc<Stats>,
     shutting_down: Arc<AtomicBool>,
+    /// Tier health registry: `/healthz` reports `degraded` while any tier
+    /// is quarantined, and `/snapshot` carries the per-tier health section.
+    health: Arc<crate::health::HealthRegistry>,
     /// Peer-cache handle, when clustered: `/snapshot` carries the roster
     /// and peer counters in its `cluster` section.
     cluster: Option<Arc<crate::cluster::Cluster>>,
@@ -187,6 +190,7 @@ impl Monarch {
             sampler: self.sampler(),
             stats: self.stats_arc(),
             shutting_down: self.shutdown_flag(),
+            health: Arc::clone(self.hierarchy().health()),
             cluster: self.cluster().map(Arc::clone),
         };
         let server = MetricsServer::start(addr, parts)?;
@@ -292,6 +296,7 @@ fn route(head: &str, parts: &ServeParts) -> (u16, &'static str, String) {
         "/snapshot" => {
             parts.sampler.refresh();
             let mut snap = parts.telemetry.snapshot();
+            snap.health = Some(parts.health.snapshot());
             if let Some(cluster) = &parts.cluster {
                 snap.cluster = Some(cluster.snapshot(&parts.stats.snapshot()));
             }
@@ -304,7 +309,7 @@ fn route(head: &str, parts: &ServeParts) -> (u16, &'static str, String) {
         "/healthz" => {
             let state = if parts.shutting_down.load(Ordering::Acquire) {
                 "draining"
-            } else if parts.stats.snapshot().pool_join_failures > 0 {
+            } else if parts.health.degraded() || parts.stats.snapshot().pool_join_failures > 0 {
                 "degraded"
             } else {
                 "ok"
@@ -536,11 +541,16 @@ mod tests {
         let m = mem_monarch(1, 64);
         let shutting_down = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(Stats::new(2));
+        let health = Arc::new(crate::health::HealthRegistry::new(vec![
+            "ssd".into(),
+            "pfs".into(),
+        ]));
         let parts = ServeParts {
             telemetry: Arc::clone(m.telemetry()),
             sampler: m.sampler(),
             stats: Arc::clone(&stats),
             shutting_down: Arc::clone(&shutting_down),
+            health: Arc::clone(&health),
             cluster: None,
         };
         let server = MetricsServer::start("127.0.0.1:0", parts).unwrap();
@@ -555,6 +565,24 @@ mod tests {
             "drain wins over degraded"
         );
         server.stop();
+        m.shutdown();
+    }
+
+    #[test]
+    fn healthz_reports_degraded_while_a_tier_is_quarantined() {
+        let m = mem_monarch(1, 64);
+        let addr = m.serve("127.0.0.1:0").unwrap();
+        assert_eq!(get_path(addr, "/healthz").1, "ok\n");
+        // A permanent device error quarantines the tier instantly.
+        m.hierarchy()
+            .health()
+            .record_error(0, crate::health::ErrorClass::Permanent);
+        assert_eq!(get_path(addr, "/healthz").1, "degraded\n");
+        // The snapshot carries the health section with the quarantined tier.
+        let (status, body) = get_path(addr, "/snapshot");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"health\""));
+        assert!(body.contains("\"quarantined\""));
         m.shutdown();
     }
 

@@ -41,6 +41,14 @@ pub struct Stats {
     peer_bytes: AtomicU64,
     peer_fallbacks: AtomicU64,
     remote_timeouts: AtomicU64,
+    degraded_reads: AtomicU64,
+    read_retries: AtomicU64,
+    copy_retries: AtomicU64,
+    copy_requeues: AtomicU64,
+    tier_quarantines: AtomicU64,
+    tier_recoveries: AtomicU64,
+    enospc_evictions: AtomicU64,
+    peer_dead_skips: AtomicU64,
 }
 
 impl Stats {
@@ -66,6 +74,14 @@ impl Stats {
             peer_bytes: AtomicU64::new(0),
             peer_fallbacks: AtomicU64::new(0),
             remote_timeouts: AtomicU64::new(0),
+            degraded_reads: AtomicU64::new(0),
+            read_retries: AtomicU64::new(0),
+            copy_retries: AtomicU64::new(0),
+            copy_requeues: AtomicU64::new(0),
+            tier_quarantines: AtomicU64::new(0),
+            tier_recoveries: AtomicU64::new(0),
+            enospc_evictions: AtomicU64::new(0),
+            peer_dead_skips: AtomicU64::new(0),
         }
     }
 
@@ -184,6 +200,48 @@ impl Stats {
         self.remote_timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A read of a file resident on a failed tier was served from a lower
+    /// tier instead of erroring (the graceful-degradation path).
+    pub fn degraded_read(&self) {
+        self.degraded_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A foreground pread failed transiently and was retried in place.
+    pub fn read_retry(&self) {
+        self.read_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A copy's install step failed transiently and was retried in place.
+    pub fn copy_retry(&self) {
+        self.copy_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A copy was requeued (placement re-run) after a transient failure.
+    pub fn copy_requeue(&self) {
+        self.copy_requeues.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A tier entered quarantine.
+    pub fn tier_quarantine(&self) {
+        self.tier_quarantines.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A quarantined tier was re-admitted by a successful half-open probe.
+    pub fn tier_recovery(&self) {
+        self.tier_recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An `ENOSPC` on install evicted a resident file to make room.
+    pub fn enospc_eviction(&self) {
+        self.enospc_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A peer fetch was skipped because the peer is marked dead (inside
+    /// its cooldown window); the read went straight to the PFS.
+    pub fn peer_dead_skip(&self) {
+        self.peer_dead_skips.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Immutable snapshot for reporting.
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -216,6 +274,14 @@ impl Stats {
             peer_bytes: self.peer_bytes.load(Ordering::Relaxed),
             peer_fallbacks: self.peer_fallbacks.load(Ordering::Relaxed),
             remote_timeouts: self.remote_timeouts.load(Ordering::Relaxed),
+            degraded_reads: self.degraded_reads.load(Ordering::Relaxed),
+            read_retries: self.read_retries.load(Ordering::Relaxed),
+            copy_retries: self.copy_retries.load(Ordering::Relaxed),
+            copy_requeues: self.copy_requeues.load(Ordering::Relaxed),
+            tier_quarantines: self.tier_quarantines.load(Ordering::Relaxed),
+            tier_recoveries: self.tier_recoveries.load(Ordering::Relaxed),
+            enospc_evictions: self.enospc_evictions.load(Ordering::Relaxed),
+            peer_dead_skips: self.peer_dead_skips.load(Ordering::Relaxed),
         }
     }
 }
@@ -292,6 +358,31 @@ pub struct StatsSnapshot {
     /// copy fell back to the PFS source.
     #[serde(default)]
     pub remote_timeouts: u64,
+    /// Reads of files resident on a failed tier served down-hierarchy
+    /// instead of erroring.
+    #[serde(default)]
+    pub degraded_reads: u64,
+    /// Foreground preads retried in place after a transient failure.
+    #[serde(default)]
+    pub read_retries: u64,
+    /// Copy installs retried in place after a transient failure.
+    #[serde(default)]
+    pub copy_retries: u64,
+    /// Copies requeued (placement re-run) after a transient failure.
+    #[serde(default)]
+    pub copy_requeues: u64,
+    /// Tier quarantine transitions.
+    #[serde(default)]
+    pub tier_quarantines: u64,
+    /// Quarantined tiers re-admitted by a successful half-open probe.
+    #[serde(default)]
+    pub tier_recoveries: u64,
+    /// `ENOSPC`-triggered evictions on the install path.
+    #[serde(default)]
+    pub enospc_evictions: u64,
+    /// Peer fetches skipped because the peer was marked dead.
+    #[serde(default)]
+    pub peer_dead_skips: u64,
 }
 
 impl StatsSnapshot {
@@ -442,6 +533,29 @@ mod tests {
         assert_eq!(snap.peer_bytes, 150);
         assert_eq!(snap.peer_fallbacks, 1);
         assert_eq!(snap.remote_timeouts, 1);
+    }
+
+    #[test]
+    fn health_counters_accumulate() {
+        let s = Stats::new(2);
+        s.degraded_read();
+        s.degraded_read();
+        s.read_retry();
+        s.copy_retry();
+        s.copy_requeue();
+        s.tier_quarantine();
+        s.tier_recovery();
+        s.enospc_eviction();
+        s.peer_dead_skip();
+        let snap = s.snapshot();
+        assert_eq!(snap.degraded_reads, 2);
+        assert_eq!(snap.read_retries, 1);
+        assert_eq!(snap.copy_retries, 1);
+        assert_eq!(snap.copy_requeues, 1);
+        assert_eq!(snap.tier_quarantines, 1);
+        assert_eq!(snap.tier_recoveries, 1);
+        assert_eq!(snap.enospc_evictions, 1);
+        assert_eq!(snap.peer_dead_skips, 1);
     }
 
     #[test]

@@ -393,6 +393,45 @@ pub enum EventKind {
         /// What timed out.
         reason: String,
     },
+    /// A tier crossed the quarantine threshold (permanent error, too many
+    /// consecutive failures, or error-rate EWMA); placement skips it and
+    /// reads of its resident files fall back down-hierarchy.
+    TierQuarantined {
+        /// Quarantined tier.
+        tier: TierId,
+        /// What pushed it over (error class / threshold description).
+        reason: String,
+    },
+    /// A half-open probe ran against a quarantined tier.
+    TierProbed {
+        /// Probed tier.
+        tier: TierId,
+        /// Whether the probe I/O succeeded.
+        ok: bool,
+    },
+    /// A quarantined tier was re-admitted after a successful probe.
+    TierRecovered {
+        /// Recovered tier.
+        tier: TierId,
+    },
+    /// A copy aimed at a now-quarantined tier was requeued (placement
+    /// re-run against the healthy tiers) instead of failing outright.
+    CopyRequeued {
+        /// Logical file name.
+        file: String,
+        /// Why the original target was abandoned.
+        reason: String,
+    },
+    /// A dead copy's tier-capacity reservation was reclaimed during
+    /// panic-revert cleanup (quota released, metadata already reverted).
+    ReservationReclaimed {
+        /// Logical file name.
+        file: String,
+        /// Tier whose quota was released.
+        tier: TierId,
+        /// Bytes released.
+        bytes: u64,
+    },
 }
 
 impl EventKind {
@@ -415,6 +454,11 @@ impl EventKind {
             EventKind::PrefetchDrained { .. } => "prefetch_drained",
             EventKind::RemoteScheduled { .. } => "remote_scheduled",
             EventKind::RemoteTimeout { .. } => "remote_timeout",
+            EventKind::TierQuarantined { .. } => "tier_quarantined",
+            EventKind::TierProbed { .. } => "tier_probed",
+            EventKind::TierRecovered { .. } => "tier_recovered",
+            EventKind::CopyRequeued { .. } => "copy_requeued",
+            EventKind::ReservationReclaimed { .. } => "reservation_reclaimed",
         }
     }
 
@@ -435,9 +479,15 @@ impl EventKind {
             | EventKind::PrefetchCanceled { file }
             | EventKind::WorkerJoinFailed { file }
             | EventKind::RemoteScheduled { file, .. }
-            | EventKind::RemoteTimeout { file, .. } => file,
-            // A drain summary is not about any one file.
-            EventKind::PrefetchDrained { .. } => "",
+            | EventKind::RemoteTimeout { file, .. }
+            | EventKind::CopyRequeued { file, .. }
+            | EventKind::ReservationReclaimed { file, .. } => file,
+            // Drain summaries and tier-health transitions are not about
+            // any one file.
+            EventKind::PrefetchDrained { .. }
+            | EventKind::TierQuarantined { .. }
+            | EventKind::TierProbed { .. }
+            | EventKind::TierRecovered { .. } => "",
         }
     }
 }
@@ -512,9 +562,23 @@ impl Event {
             }
             EventKind::CopyFailed { reason, .. }
             | EventKind::PlacementSkipped { reason, .. }
-            | EventKind::RemoteTimeout { reason, .. } => {
+            | EventKind::RemoteTimeout { reason, .. }
+            | EventKind::CopyRequeued { reason, .. } => {
                 o.push_str(",\"reason\":");
                 push_json_str(&mut o, reason);
+            }
+            EventKind::TierQuarantined { tier, reason } => {
+                o.push_str(&format!(",\"tier\":{tier},\"reason\":"));
+                push_json_str(&mut o, reason);
+            }
+            EventKind::TierProbed { tier, ok } => {
+                o.push_str(&format!(",\"tier\":{tier},\"ok\":{ok}"));
+            }
+            EventKind::TierRecovered { tier } => {
+                o.push_str(&format!(",\"tier\":{tier}"));
+            }
+            EventKind::ReservationReclaimed { tier, bytes, .. } => {
+                o.push_str(&format!(",\"tier\":{tier},\"bytes\":{bytes}"));
             }
             EventKind::RemoteScheduled { bytes, peer, .. } => {
                 o.push_str(&format!(",\"bytes\":{bytes},\"peer\":{peer}"));
@@ -1109,6 +1173,12 @@ pub struct StallProfile {
     pub driver_pread: LatencyHistogram,
     /// Post-pread copy-machinery durations.
     pub copy_wait: LatencyHistogram,
+    /// Wall time of reads served down-hierarchy because the resident tier
+    /// was failing or quarantined. **Not** part of the four-bucket wall
+    /// partition above — these reads record their phase buckets normally;
+    /// this histogram tracks the same reads' total wall time separately so
+    /// degradation cost is attributable.
+    pub degraded_fallback: LatencyHistogram,
 }
 
 impl StallProfile {
@@ -1132,7 +1202,13 @@ impl StallProfile {
             .record_duration(end.saturating_duration_since(pread));
     }
 
-    /// Immutable summary of all four buckets.
+    /// Record the wall time of one degraded-fallback read (resident tier
+    /// failing, bytes served from a lower tier).
+    pub fn record_degraded(&self, wall: Duration) {
+        self.degraded_fallback.record_duration(wall);
+    }
+
+    /// Immutable summary of all buckets.
     #[must_use]
     pub fn snapshot(&self) -> StallProfileSnapshot {
         StallProfileSnapshot {
@@ -1140,6 +1216,7 @@ impl StallProfile {
             queue_wait: self.queue_wait.snapshot(),
             driver_pread: self.driver_pread.snapshot(),
             copy_wait: self.copy_wait.snapshot(),
+            degraded_fallback: self.degraded_fallback.snapshot(),
         }
     }
 }
@@ -1156,6 +1233,10 @@ pub struct StallProfileSnapshot {
     pub driver_pread: HistogramSnapshot,
     /// Post-pread copy-machinery summary.
     pub copy_wait: HistogramSnapshot,
+    /// Degraded-fallback read wall time (outside the four-bucket wall
+    /// partition; see [`StallProfile::degraded_fallback`]).
+    #[serde(default)]
+    pub degraded_fallback: HistogramSnapshot,
 }
 
 // ---------------------------------------------------------------------------
@@ -1366,6 +1447,7 @@ impl TelemetryRegistry {
             spans_dropped: self.trace.spans_dropped(),
             observe: self.observe.snapshot(),
             cluster: None,
+            health: None,
         }
     }
 
@@ -1543,6 +1625,54 @@ impl TelemetryRegistry {
         );
         scalar(
             &mut o,
+            "monarch_degraded_reads_total",
+            "Reads of failed-tier residents served down-hierarchy.",
+            snap.degraded_reads,
+        );
+        scalar(
+            &mut o,
+            "monarch_read_retries_total",
+            "Foreground preads retried after a transient failure.",
+            snap.read_retries,
+        );
+        scalar(
+            &mut o,
+            "monarch_copy_retries_total",
+            "Copy installs retried after a transient failure.",
+            snap.copy_retries,
+        );
+        scalar(
+            &mut o,
+            "monarch_copy_requeues_total",
+            "Copies requeued after their target tier failed.",
+            snap.copy_requeues,
+        );
+        scalar(
+            &mut o,
+            "monarch_tier_quarantines_total",
+            "Tier quarantine transitions.",
+            snap.tier_quarantines,
+        );
+        scalar(
+            &mut o,
+            "monarch_tier_recoveries_total",
+            "Quarantined tiers re-admitted by a successful probe.",
+            snap.tier_recoveries,
+        );
+        scalar(
+            &mut o,
+            "monarch_enospc_evictions_total",
+            "ENOSPC-triggered evictions on the install path.",
+            snap.enospc_evictions,
+        );
+        scalar(
+            &mut o,
+            "monarch_peer_dead_skips_total",
+            "Peer fetches skipped because the peer was marked dead.",
+            snap.peer_dead_skips,
+        );
+        scalar(
+            &mut o,
             "monarch_journal_events_total",
             "Telemetry events recorded.",
             self.journal.recorded(),
@@ -1712,6 +1842,12 @@ impl TelemetryRegistry {
             "Sampled-read stall: post-pread copy-machinery phase.",
             &self.stall.copy_wait,
         );
+        plain_histogram(
+            &mut o,
+            "monarch_read_degraded_fallback_seconds",
+            "Wall time of reads served down-hierarchy from a failing tier.",
+            &self.stall.degraded_fallback,
+        );
         self.gauges.render_into(&mut o);
         o
     }
@@ -1777,6 +1913,12 @@ pub struct TelemetrySnapshot {
     /// which owns the cluster handle — the registry itself never sets it.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub cluster: Option<crate::cluster::ClusterSnapshot>,
+    /// Per-tier fault-tolerance state (health state machine, error EWMA,
+    /// quarantine counters); absent on snapshots taken without a
+    /// hierarchy. Attached by the middleware, which owns the hierarchy —
+    /// the registry itself never sets it.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub health: Option<crate::health::HealthSnapshot>,
 }
 
 #[cfg(test)]

@@ -21,13 +21,14 @@
 //! and the `dlpipe` discrete-event simulator so both backends run one copy
 //! pipeline rather than two hand-maintained replicas.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use crate::health::{device_error_class, ErrorClass, TierState};
 use crate::hierarchy::{StorageHierarchy, TierId};
 use crate::metadata::{FileInfo, MetadataContainer, PlacementState};
 use crate::observe::{ResidencyEventKind, TransitionCause};
@@ -289,6 +290,12 @@ pub struct TransferEngine {
     ///
     /// [`ClusterView`]: crate::cluster::ClusterView
     cluster_feed: Mutex<Option<(Arc<crate::cluster::ClusterView>, usize)>>,
+    /// Capacity reservations currently held by in-flight copy tasks
+    /// (`file → (tier, bytes)`). Registered after `try_place` reserves,
+    /// cleared when the copy settles either way; the pool's panic handler
+    /// reclaims whatever a dying task left behind, so a panicking copy
+    /// cannot leak its target tier's quota until shutdown.
+    reservations: Arc<Mutex<HashMap<String, (TierId, u64)>>>,
 }
 
 impl std::fmt::Debug for TransferEngine {
@@ -330,16 +337,35 @@ impl TransferEngine {
         // A panicking copy task must not strand the file in `Copying`:
         // report which copy died and revert it so a later read can retry
         // (same degradation as an I/O failure — the file stays on the PFS).
+        let reservations: Arc<Mutex<HashMap<String, (TierId, u64)>>> =
+            Arc::new(Mutex::new(HashMap::new()));
         {
             let stats = Arc::clone(&stats);
             let telemetry = Arc::clone(&telemetry);
             let metadata = Arc::clone(&metadata);
+            let hierarchy = Arc::clone(&hierarchy);
+            let reservations = Arc::clone(&reservations);
             pool.set_panic_handler(Arc::new(move |ctx: &TaskCtx| {
                 stats.copy_failed();
                 telemetry.event(EventKind::CopyFailed {
                     file: ctx.label.clone(),
                     reason: "background copy task panicked".to_string(),
                 });
+                // The dying task may still hold the capacity reservation it
+                // made on its target tier; release it here or the bytes stay
+                // accounted-for (and unusable) until shutdown.
+                if let Some((tier, bytes)) = reservations.lock().remove(&ctx.label) {
+                    if let Ok(t) = hierarchy.tier(tier) {
+                        if let Some(quota) = t.quota.as_ref() {
+                            quota.release(bytes);
+                        }
+                    }
+                    telemetry.event(EventKind::ReservationReclaimed {
+                        file: ctx.label.clone(),
+                        tier,
+                        bytes,
+                    });
+                }
                 let _ = metadata.abort_copy(&ctx.label, false);
             }));
         }
@@ -358,6 +384,7 @@ impl TransferEngine {
                 })
             }),
             cluster_feed: Mutex::new(None),
+            reservations,
         }
     }
 
@@ -472,6 +499,7 @@ impl TransferEngine {
             queued_us,
             deadline: ctx.deadline,
             cluster_feed: self.cluster_feed(),
+            reservations: Arc::clone(&self.reservations),
         };
         let owned = file.to_string();
         let task_ctx = TaskCtx {
@@ -855,6 +883,7 @@ impl TransferEngine {
             queued_us,
             deadline: None,
             cluster_feed: self.cluster_feed(),
+            reservations: Arc::clone(&self.reservations),
         };
         let owned = file.to_string();
         let task_ctx = TaskCtx {
@@ -950,7 +979,23 @@ impl GaugeSampler {
                 labels,
             )
             .set(files.get(tier.id).copied().unwrap_or(0) as i64);
+            g.gauge(
+                "monarch_tier_health_state",
+                "Tier health: 0 = closed (healthy), 1 = suspect, 2 = quarantined.",
+                labels,
+            )
+            .set(match self.hierarchy.health().tier(tier.id).state() {
+                TierState::Closed => 0,
+                TierState::Suspect => 1,
+                TierState::Quarantined => 2,
+            });
         }
+        g.gauge(
+            "monarch_degraded",
+            "1 while any tier is quarantined (reads falling back down-hierarchy), else 0.",
+            &[],
+        )
+        .set(i64::from(self.hierarchy.health().degraded()));
         let demand = self.probe.queued(Lane::Demand);
         let remote_q = self.probe.queued(Lane::Remote);
         let prefetch_q = self.probe.queued(Lane::Prefetch);
@@ -1045,6 +1090,9 @@ struct CopyJob {
     deadline: Option<Instant>,
     /// Peer-cache residency feed, mirrored on admit/evict when present.
     cluster_feed: Option<(Arc<crate::cluster::ClusterView>, usize)>,
+    /// The engine's live-reservation registry (see
+    /// [`TransferEngine::reservations`]).
+    reservations: Arc<Mutex<HashMap<String, (TierId, u64)>>>,
 }
 
 /// Per-copy trace context threaded into `try_place` so the chunk-level
@@ -1181,22 +1229,56 @@ impl CopyJob {
                 }
             }
             Ok(None) => {
-                // No room anywhere: pin the file to the PFS permanently
-                // (placement for it has ended, paper §III-B last paragraph).
-                self.stats.placement_skip();
-                self.telemetry.event(EventKind::PlacementSkipped {
-                    file: file.to_string(),
-                    reason: "no local tier had room".to_string(),
-                });
-                let _ = self.metadata.abort_copy(file, true);
+                // No tier accepted the file. When a quarantined tier is the
+                // reason, the skip is temporary: revert to `Unplaced` so a
+                // read after the tier's recovery re-arms demand placement.
+                // Otherwise the dataset genuinely does not fit — pin the
+                // file to the PFS permanently (placement for it has ended,
+                // paper §III-B last paragraph).
+                let quarantined = self
+                    .hierarchy
+                    .local_tiers()
+                    .any(|t| self.hierarchy.health().tier(t.id).is_quarantined());
+                if quarantined {
+                    self.stats.copy_requeue();
+                    self.telemetry.event(EventKind::CopyRequeued {
+                        file: file.to_string(),
+                        reason: "placement skipped while a tier is quarantined".to_string(),
+                    });
+                } else {
+                    self.stats.placement_skip();
+                    self.telemetry.event(EventKind::PlacementSkipped {
+                        file: file.to_string(),
+                        reason: "no local tier had room".to_string(),
+                    });
+                }
+                let _ = self.metadata.abort_copy(file, !quarantined);
             }
             Err(e) => {
                 // I/O failure: revert to Unplaced so a later read may retry.
-                self.stats.copy_failed();
-                self.telemetry.event(EventKind::CopyFailed {
-                    file: file.to_string(),
-                    reason: e.to_string(),
-                });
+                // When a local tier is quarantined (this copy's failure may
+                // be what tripped it), the revert is journaled as a
+                // *requeue* rather than a plain failure: `Unplaced` re-arms
+                // demand placement, and the policy's quarantine skip routes
+                // the next attempt around the sick tier.
+                let quarantined = device_error_class(&e).is_some()
+                    && self
+                        .hierarchy
+                        .local_tiers()
+                        .any(|t| self.hierarchy.health().tier(t.id).is_quarantined());
+                if quarantined {
+                    self.stats.copy_requeue();
+                    self.telemetry.event(EventKind::CopyRequeued {
+                        file: file.to_string(),
+                        reason: format!("target tier quarantined: {e}"),
+                    });
+                } else {
+                    self.stats.copy_failed();
+                    self.telemetry.event(EventKind::CopyFailed {
+                        file: file.to_string(),
+                        reason: e.to_string(),
+                    });
+                }
                 let _ = self.metadata.abort_copy(file, false);
             }
         }
@@ -1286,6 +1368,11 @@ impl CopyJob {
         if !reserved {
             return Ok(None);
         }
+        // Register the live reservation so the pool's panic handler can
+        // reclaim it if this task dies before the settlement below runs.
+        self.reservations
+            .lock()
+            .insert(file.to_string(), (decision.tier, size));
         self.telemetry.event(EventKind::PlacementDecided {
             file: file.to_string(),
             tier: decision.tier,
@@ -1293,7 +1380,10 @@ impl CopyJob {
             capacity: quota.capacity(),
         });
 
-        let install = || -> Result<()> {
+        // The install either succeeds or reports *which* tier failed, so
+        // health accounting blames the source on a failed read and the
+        // destination on a failed write.
+        let install = || -> std::result::Result<(), (TierId, Error)> {
             let data = match inline_data {
                 Some(ref data) => data.clone(),
                 None => {
@@ -1303,7 +1393,7 @@ impl CopyJob {
                         0
                     };
                     let source = self.hierarchy.source();
-                    let data = source.driver.read_full(file)?;
+                    let data = source.driver.read_full(file).map_err(|e| (source.id, e))?;
                     self.stats.record_read(source.id, data.len() as u64);
                     if let Some(ct) = ct {
                         tr.record(
@@ -1328,7 +1418,9 @@ impl CopyJob {
             } else {
                 0
             };
-            dest.driver.write_full(file, &data)?;
+            dest.driver
+                .write_full(file, &data)
+                .map_err(|e| (decision.tier, e))?;
             self.stats.record_write(decision.tier, data.len() as u64);
             if let Some(ct) = ct {
                 tr.record(
@@ -1347,15 +1439,59 @@ impl CopyJob {
             }
             Ok(())
         };
-        match install() {
-            Ok(()) => {
+        // Copy-path fault handling: transient device errors back off and
+        // retry in place; ENOSPC (the quota had room but the device
+        // disagrees — accounting drift or a shared device filling up
+        // outside Monarch) evicts one resident file and retries once;
+        // anything else fails the copy. Every device error feeds the tier
+        // health tracker of the tier that produced it.
+        let health = self.hierarchy.health();
+        let retry = health.retry_policy();
+        let mut attempts = 0u32;
+        let mut evicted_for_space = false;
+        let failure = loop {
+            let (err_tier, e) = match install() {
+                Ok(()) => break None,
+                Err(te) => te,
+            };
+            let Some(class) = device_error_class(&e) else {
+                break Some(e);
+            };
+            let (_, quarantined_now) = health.record_error(err_tier, class);
+            if quarantined_now {
+                self.stats.tier_quarantine();
+                self.telemetry.event(EventKind::TierQuarantined {
+                    tier: err_tier,
+                    reason: format!("copy of '{file}' failed: {e}"),
+                });
+            }
+            match class {
+                ErrorClass::Transient if attempts < retry.max_attempts => {
+                    attempts += 1;
+                    self.stats.copy_retry();
+                    std::thread::sleep(Duration::from_micros(retry.backoff_us(attempts, size)));
+                }
+                ErrorClass::Capacity if !evicted_for_space && err_tier == decision.tier => {
+                    evicted_for_space = true;
+                    if !self.evict_for_space(file, decision.tier) {
+                        break Some(e);
+                    }
+                    self.stats.enospc_eviction();
+                }
+                _ => break Some(e),
+            }
+        };
+        match failure {
+            None => {
                 let t_reg = if ct.is_some() {
                     self.telemetry.now_micros()
                 } else {
                     0
                 };
+                self.reservations.lock().remove(file);
                 self.metadata.finish_copy(file, decision.tier)?;
                 self.policy.on_placed(file, size, decision.tier);
+                health.record_success(decision.tier);
                 if let Some(ct) = ct {
                     tr.record(
                         SpanRecord::new(
@@ -1372,7 +1508,8 @@ impl CopyJob {
                 }
                 Ok(Some(decision.tier))
             }
-            Err(e) => {
+            Some(e) => {
+                self.reservations.lock().remove(file);
                 quota.release(size);
                 // Best effort: remove a possibly half-written destination
                 // file (the POSIX driver's rename makes this a no-op there).
@@ -1386,6 +1523,57 @@ impl CopyJob {
                 Err(e)
             }
         }
+    }
+
+    /// ENOSPC recovery: evict one file resident on `tier` (other than
+    /// `keep`, the file being installed) back to the PFS to free real
+    /// device space. Returns whether a victim was evicted.
+    fn evict_for_space(&self, keep: &str, tier_id: TierId) -> bool {
+        let Ok(dest) = self.hierarchy.tier(tier_id) else {
+            return false;
+        };
+        let Some(quota) = dest.quota.as_ref() else {
+            return false;
+        };
+        let mut victim: Option<(String, u64)> = None;
+        self.metadata.for_each(|name, info| {
+            if victim.is_none()
+                && name != keep
+                && info.state == PlacementState::Placed
+                && info.tier == tier_id
+            {
+                victim = Some((name.to_string(), info.size));
+            }
+        });
+        let Some((victim, vsize)) = victim else {
+            return false;
+        };
+        if self
+            .metadata
+            .evict_to(&victim, self.hierarchy.source_id())
+            .is_err()
+        {
+            return false;
+        }
+        let _ = dest.driver.remove(&victim);
+        quota.release(vsize);
+        self.stats.record_evict(tier_id);
+        self.telemetry.event(EventKind::Evicted {
+            file: victim.clone(),
+            tier: tier_id,
+            bytes: vsize,
+        });
+        self.telemetry.observe().timeline().record_at(
+            self.telemetry.now_micros(),
+            &victim,
+            tier_id,
+            ResidencyEventKind::Evicted,
+            TransitionCause::Eviction,
+        );
+        if let Some((view, node)) = &self.cluster_feed {
+            view.note_evicted(&victim, *node);
+        }
+        true
     }
 }
 

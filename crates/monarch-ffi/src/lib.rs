@@ -270,6 +270,34 @@ pub unsafe extern "C" fn monarch_cluster_stats_json(handle: *mut MonarchHandle) 
     }
 }
 
+/// Export the tier-health snapshot as a JSON document: the hierarchy
+/// degraded flag plus, per tier, the breaker state
+/// (closed/suspect/quarantined), error-rate EWMA, consecutive-failure
+/// count, and the quarantine/probe/recovery counters — what a framework
+/// shim needs to decide whether the fast tier is currently trustworthy.
+/// Null on failure. The returned string must be released with
+/// [`monarch_string_free`].
+///
+/// # Safety
+/// `handle` must come from [`monarch_init_json`] and not be freed.
+#[no_mangle]
+pub unsafe extern "C" fn monarch_health_json(handle: *mut MonarchHandle) -> *mut c_char {
+    if handle.is_null() {
+        return ptr::null_mut();
+    }
+    let monarch = unsafe { &(*handle).inner };
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        serde_json::to_string(&monarch.hierarchy().health().snapshot()).ok()
+    }));
+    match outcome {
+        Ok(Some(json)) => match CString::new(json) {
+            Ok(c) => c.into_raw(),
+            Err(_) => ptr::null_mut(),
+        },
+        _ => ptr::null_mut(),
+    }
+}
+
 /// Export the telemetry registry as Prometheus-style text exposition
 /// (counters plus cumulative latency histograms, `histogram_quantile()`
 /// ready) — the same registry the CLI's `monarch metrics` renders. The
@@ -894,8 +922,19 @@ mod tests {
             let h2 = monarch_init_json(json.as_ptr());
             assert!(!h2.is_null());
             assert!(monarch_cluster_stats_json(h2).is_null());
+
+            // Health, by contrast, is always present: every hierarchy
+            // carries a breaker per tier, closed while nothing has failed.
+            let hj_ptr = monarch_health_json(h2);
+            assert!(!hj_ptr.is_null());
+            let hs = CStr::from_ptr(hj_ptr).to_str().unwrap().to_string();
+            let hv: serde_json::Value = serde_json::from_str(&hs).unwrap();
+            assert_eq!(hv["degraded"], false, "{hs}");
+            assert_eq!(hv["tiers"][0]["state"], "closed", "{hs}");
+            monarch_string_free(hj_ptr);
             monarch_shutdown(h2);
             assert!(monarch_cluster_stats_json(ptr::null_mut()).is_null());
+            assert!(monarch_health_json(ptr::null_mut()).is_null());
 
             // Unknown keys and unparsable values are rejected.
             let bad_key = CString::new("cluster.bogus").unwrap();

@@ -1,0 +1,258 @@
+//! Deterministic, seedable fault injection for the simulated devices.
+//!
+//! A [`FaultPlan`] is a list of timed windows, each naming a device and a
+//! failure mode: full outage, a per-operation error rate, a full SSD
+//! (writes fail with a capacity error), or an MDS stall (metadata service
+//! times multiplied). The `dlpipe` world consults the plan at the device
+//! layer, so mid-epoch tier-loss scenarios exercise the same
+//! health/quarantine machinery the real read path uses.
+//!
+//! Everything is deterministic: error rolls hash `(seed, device, op
+//! counter)` instead of drawing from the shared simulation RNG, so a run
+//! with a plan attached perturbs no other stochastic stream, and a run
+//! without one is bit-identical to a build of the crate without this
+//! module.
+
+use serde::Serialize;
+
+/// One failure mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum FaultKind {
+    /// Every operation on the device fails while the window is active.
+    Outage,
+    /// Each operation fails independently with this probability
+    /// (deterministic per-op hash, not the simulation RNG).
+    ErrorRate(f64),
+    /// Writes fail with a capacity error (reads are unaffected) — the
+    /// simulated ENOSPC.
+    Full,
+    /// Metadata service times are multiplied by this factor.
+    MdsStall(f64),
+}
+
+/// A failure mode applied to one device over a virtual-time interval
+/// `[start_s, end_s)`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultWindow {
+    /// Device name ("ssd", "lustre", ...), matched against the spec name.
+    pub device: String,
+    /// Window start, virtual seconds.
+    pub start_s: f64,
+    /// Window end (exclusive), virtual seconds.
+    pub end_s: f64,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault schedule for one simulated run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultPlan {
+    /// Seed for the per-operation error rolls (independent of the
+    /// simulation seed).
+    pub seed: u64,
+    /// The scheduled windows; may overlap.
+    pub windows: Vec<FaultWindow>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given roll seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            windows: Vec::new(),
+        }
+    }
+
+    /// Builder: append a window.
+    #[must_use]
+    pub fn with_window(
+        mut self,
+        device: impl Into<String>,
+        start_s: f64,
+        end_s: f64,
+        kind: FaultKind,
+    ) -> Self {
+        self.windows.push(FaultWindow {
+            device: device.into(),
+            start_s,
+            end_s,
+            kind,
+        });
+        self
+    }
+
+    /// Windows active on `device` at `t_s`.
+    fn active<'a>(&'a self, device: &'a str, t_s: f64) -> impl Iterator<Item = &'a FaultWindow> {
+        self.windows
+            .iter()
+            .filter(move |w| w.device == device && t_s >= w.start_s && t_s < w.end_s)
+    }
+
+    /// Whether the device is in a full outage at `t_s`.
+    #[must_use]
+    pub fn outage(&self, device: &str, t_s: f64) -> bool {
+        self.active(device, t_s)
+            .any(|w| matches!(w.kind, FaultKind::Outage))
+    }
+
+    /// Whether writes to the device fail with a capacity error at `t_s`.
+    #[must_use]
+    pub fn write_full(&self, device: &str, t_s: f64) -> bool {
+        self.active(device, t_s)
+            .any(|w| matches!(w.kind, FaultKind::Full))
+    }
+
+    /// Whether the `op`-th faultable operation on `device` fails under an
+    /// active error-rate window. The roll hashes `(seed, device, op)`, so
+    /// it is reproducible and consumes no shared randomness.
+    #[must_use]
+    pub fn error_fires(&self, device: &str, t_s: f64, op: u64) -> bool {
+        self.active(device, t_s).any(|w| match w.kind {
+            FaultKind::ErrorRate(p) => {
+                unit(mix64(
+                    self.seed ^ fnv1a(device) ^ op.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                )) < p
+            }
+            _ => false,
+        })
+    }
+
+    /// Whether a read against `device` fails right now: a full outage, or
+    /// the per-op error roll under an error-rate window.
+    #[must_use]
+    pub fn read_fails(&self, device: &str, t_s: f64, op: u64) -> bool {
+        self.outage(device, t_s) || self.error_fires(device, t_s, op)
+    }
+
+    /// Whether a write against `device` fails right now (outage or error
+    /// roll; a `Full` window is reported separately via
+    /// [`Self::write_full`] so callers can classify it as a capacity
+    /// error).
+    #[must_use]
+    pub fn write_fails(&self, device: &str, t_s: f64, op: u64) -> bool {
+        self.read_fails(device, t_s, op)
+    }
+
+    /// Metadata service-time multiplier at `t_s`: the product of active
+    /// `MdsStall` windows on `device` (1.0 when none are active).
+    #[must_use]
+    pub fn mds_scale(&self, device: &str, t_s: f64) -> f64 {
+        self.active(device, t_s)
+            .filter_map(|w| match w.kind {
+                FaultKind::MdsStall(x) => Some(x),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Sorted, deduplicated window boundary instants — where the world
+    /// schedules its fault-edge marker events.
+    #[must_use]
+    pub fn edges(&self) -> Vec<f64> {
+        let mut e: Vec<f64> = self
+            .windows
+            .iter()
+            .flat_map(|w| [w.start_s, w.end_s])
+            .collect();
+        e.sort_by(|a, b| a.partial_cmp(b).expect("finite edges"));
+        e.dedup();
+        e
+    }
+}
+
+/// FNV-1a over the device name (stable across runs and platforms).
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer — a cheap, well-mixed hash of the roll key.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Map the high 53 bits to `[0, 1)`.
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FaultPlan {
+        FaultPlan::new(7)
+            .with_window("ssd", 10.0, 20.0, FaultKind::Outage)
+            .with_window("ssd", 30.0, 40.0, FaultKind::ErrorRate(0.5))
+            .with_window("ssd", 50.0, 60.0, FaultKind::Full)
+            .with_window("lustre", 15.0, 25.0, FaultKind::MdsStall(4.0))
+    }
+
+    #[test]
+    fn windows_gate_by_device_and_time() {
+        let p = plan();
+        assert!(!p.outage("ssd", 9.99));
+        assert!(p.outage("ssd", 10.0));
+        assert!(p.outage("ssd", 19.99));
+        assert!(!p.outage("ssd", 20.0), "end is exclusive");
+        assert!(!p.outage("lustre", 15.0), "wrong device");
+        assert!(p.write_full("ssd", 55.0));
+        assert!(!p.write_full("ssd", 45.0));
+    }
+
+    #[test]
+    fn error_rolls_are_deterministic_and_near_the_rate() {
+        let p = plan();
+        let fires: Vec<bool> = (0..2000).map(|op| p.error_fires("ssd", 35.0, op)).collect();
+        let again: Vec<bool> = (0..2000).map(|op| p.error_fires("ssd", 35.0, op)).collect();
+        assert_eq!(fires, again, "rolls must be reproducible");
+        let rate = fires.iter().filter(|&&f| f).count() as f64 / fires.len() as f64;
+        assert!((rate - 0.5).abs() < 0.05, "observed rate {rate}");
+        // Outside the window nothing fires; a different seed rolls
+        // differently.
+        assert!((0..100).all(|op| !p.error_fires("ssd", 45.0, op)));
+        let other = FaultPlan { seed: 8, ..plan() };
+        let reseed: Vec<bool> = (0..2000)
+            .map(|op| other.error_fires("ssd", 35.0, op))
+            .collect();
+        assert_ne!(fires, reseed);
+    }
+
+    #[test]
+    fn read_fails_covers_outage_and_rolls() {
+        let p = plan();
+        assert!(
+            (0..16).all(|op| p.read_fails("ssd", 12.0, op)),
+            "outage fails every op"
+        );
+        assert!((0..16).any(|op| p.read_fails("ssd", 35.0, op)));
+        assert!((0..16).all(|op| !p.read_fails("ssd", 70.0, op)));
+    }
+
+    #[test]
+    fn mds_scale_products_active_stalls() {
+        let p = plan();
+        assert_eq!(p.mds_scale("lustre", 20.0), 4.0);
+        assert_eq!(p.mds_scale("lustre", 30.0), 1.0);
+        assert_eq!(p.mds_scale("ssd", 20.0), 1.0, "stall targets a device");
+        let double = plan().with_window("lustre", 18.0, 22.0, FaultKind::MdsStall(2.0));
+        assert_eq!(double.mds_scale("lustre", 20.0), 8.0);
+    }
+
+    #[test]
+    fn edges_are_sorted_and_unique() {
+        let p = plan().with_window("ram", 20.0, 30.0, FaultKind::Outage);
+        assert_eq!(
+            p.edges(),
+            vec![10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 50.0, 60.0]
+        );
+        assert!(FaultPlan::new(1).edges().is_empty());
+    }
+}

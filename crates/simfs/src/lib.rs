@@ -25,6 +25,7 @@
 pub mod clock;
 pub mod device;
 pub mod engine;
+pub mod fault;
 pub mod interference;
 pub mod mds;
 pub mod psdev;
@@ -33,6 +34,7 @@ pub mod rng;
 pub use clock::SimTime;
 pub use device::DeviceStats;
 pub use engine::EventQueue;
+pub use fault::{FaultKind, FaultPlan, FaultWindow};
 pub use interference::Interference;
 pub use mds::Mds;
 pub use psdev::{PsDevice, TransferId};

@@ -36,11 +36,22 @@ impl Mds {
     /// Submit a metadata op at `now`; returns its completion time (FIFO
     /// behind everything already queued).
     pub fn submit(&mut self, now: SimTime, rng: &mut SimRng) -> SimTime {
-        let service = if self.sigma > 0.0 {
+        self.submit_scaled(now, rng, 1.0)
+    }
+
+    /// [`Self::submit`] with the service time multiplied by `scale` — how
+    /// fault plans model an MDS stall. Draws the same jitter sample as the
+    /// unscaled path, so a run at `scale == 1.0` is RNG-identical to one
+    /// that never calls this.
+    pub fn submit_scaled(&mut self, now: SimTime, rng: &mut SimRng, scale: f64) -> SimTime {
+        let mut service = if self.sigma > 0.0 {
             SimTime::from_secs_f64(rng.lognormal(self.service_median.as_secs_f64(), self.sigma))
         } else {
             self.service_median
         };
+        if scale != 1.0 {
+            service = SimTime::from_secs_f64(service.as_secs_f64() * scale);
+        }
         let start = now.max(self.busy_until);
         let done = start + service;
         self.busy_until = done;
@@ -102,6 +113,27 @@ mod tests {
             last = done;
         }
         assert!(distinct.len() > 10, "service times should vary");
+    }
+
+    #[test]
+    fn scaled_submit_stretches_service_but_not_the_rng() {
+        let mut a = Mds::new(SimTime::from_millis(1), 0.5);
+        let mut b = Mds::new(SimTime::from_millis(1), 0.5);
+        let mut ra = SimRng::new(11);
+        let mut rb = SimRng::new(11);
+        // scale 1.0 is byte-identical to the plain path.
+        for _ in 0..20 {
+            assert_eq!(
+                a.submit(SimTime::ZERO, &mut ra),
+                b.submit_scaled(SimTime::ZERO, &mut rb, 1.0)
+            );
+        }
+        // A stalled server takes proportionally longer but consumes the
+        // same jitter stream.
+        let mut c = Mds::new(SimTime::from_millis(1), 0.0);
+        let mut rc = SimRng::new(11);
+        let t = c.submit_scaled(SimTime::ZERO, &mut rc, 8.0);
+        assert_eq!(t, SimTime::from_millis(8));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 # errors), and the full test suite. Run before pushing.
 #
 #   scripts/check.sh            # everything
-#   scripts/check.sh fmt        # one stage: fmt | clippy | size | test | trace | prefetch | report | cluster | perf | serve
+#   scripts/check.sh fmt        # one stage: fmt | clippy | size | test | trace | prefetch | report | cluster | chaos | perf | serve
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -152,7 +152,8 @@ assert wall > 0, "report smoke: zero wall time"
 buckets = r["ledger"]
 total = sum(buckets[k] for k in (
     "pfs_bound_s", "copy_lane_saturated_s", "prefetch_lag_s",
-    "peer_bound_s", "lock_or_queue_s", "compute_bound_s"))
+    "peer_bound_s", "degraded_fallback_s", "lock_or_queue_s",
+    "compute_bound_s"))
 assert abs(total - wall) <= 0.05 * wall, \
     f"report smoke: buckets sum {total} vs wall {wall}"
 assert r["reads"] > 0, "report smoke: no reads profiled"
@@ -172,6 +173,49 @@ run_cluster() {
     cargo test -p monarch-core cluster -q
     echo "==> cargo test -p monarch --test cluster_e2e -q"
     cargo test -p monarch --test cluster_e2e -q
+}
+
+# Tier fault tolerance end to end: the scripted-fault unit targets
+# (transient retry, permanent-error quarantine, half-open probe recovery,
+# ENOSPC evict-and-retry), the real-tempdir chaos epochs, the
+# deterministic sim outage scenario, and a `monarch health` CLI smoke.
+run_chaos() {
+    echo "==> cargo test -p monarch-core fault/quarantine/probe targets"
+    cargo test -p monarch-core --lib -q -- transient_read_fault \
+        permanent_read_fault half_open_probe enospc_install \
+        flaky_driver quarantined_tier
+    echo "==> cargo test -p monarch --test chaos_e2e -q"
+    cargo test -p monarch --test chaos_e2e -q
+    echo "==> cargo test -p dlpipe sim outage targets"
+    cargo test -p dlpipe --lib -q -- ssd_outage no_op_fault_plan
+    echo "==> monarch health smoke"
+    local tmp
+    tmp="$(mktemp -d)"
+    # shellcheck disable=SC2064  # expand $tmp now, not at exit
+    trap "rm -rf '$tmp'" EXIT
+    cargo run -q -p monarch-cli -- gen-dataset \
+        --dir "$tmp/pfs" --bytes $((8 << 20)) --samples 256 --seed 7
+    cat > "$tmp/cfg.json" <<EOF
+{
+  "tiers": [
+    {"name": "ssd", "backend": {"posix": {"path": "$tmp/ssd"}}, "capacity": 1073741824},
+    {"name": "pfs", "backend": {"posix": {"path": "$tmp/pfs"}}}
+  ],
+  "pool_threads": 4
+}
+EOF
+    cargo run -q -p monarch-cli -- health --config "$tmp/cfg.json" --json \
+        > "$tmp/health.json"
+    python3 - "$tmp/health.json" <<'PY'
+import json, sys
+h = json.load(open(sys.argv[1]))
+assert h["degraded"] is False, "health smoke: fresh hierarchy degraded"
+states = [t["state"] for t in h["tiers"]]
+assert states and all(s == "closed" for s in states), \
+    f"health smoke: unexpected states {states}"
+PY
+    rm -rf "$tmp"
+    trap - EXIT
 }
 
 # Perf regression gate: rerun the committed BENCH_*.json workloads and
@@ -244,6 +288,7 @@ case "$stage" in
     prefetch) run_prefetch ;;
     report) run_report ;;
     cluster) run_cluster ;;
+    chaos) run_chaos ;;
     perf) run_perf ;;
     serve) run_serve ;;
     all)
@@ -255,11 +300,12 @@ case "$stage" in
         run_prefetch
         run_report
         run_cluster
+        run_chaos
         run_serve
         run_perf
         ;;
     *)
-        echo "usage: scripts/check.sh [fmt|clippy|size|test|trace|prefetch|report|cluster|perf|serve|all]" >&2
+        echo "usage: scripts/check.sh [fmt|clippy|size|test|trace|prefetch|report|cluster|chaos|perf|serve|all]" >&2
         exit 2
         ;;
 esac
