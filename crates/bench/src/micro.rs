@@ -11,10 +11,11 @@
 use std::sync::Arc;
 
 use criterion::{BatchSize, Criterion, Throughput};
+use monarch_core::config::{AdmissionKind, PolicyKind};
 use monarch_core::driver::MemDriver;
 use monarch_core::hierarchy::{Quota, StorageHierarchy};
 use monarch_core::metadata::MetadataContainer;
-use monarch_core::placement::{FirstFit, PlacementPolicy};
+use monarch_core::policy::PolicyEngine;
 use monarch_core::pool::ThreadPool;
 use monarch_core::prefetch::{AccessPlan, PrefetchConfig};
 use monarch_core::{Monarch, MonarchBuilder, StorageDriver, TelemetryConfig};
@@ -72,7 +73,7 @@ pub fn bench_placement(c: &mut Criterion) {
         ),
     ])
     .unwrap();
-    let policy = FirstFit;
+    let policy = PolicyEngine::from_kind(PolicyKind::FirstFit, AdmissionKind::AdmitAll);
     let mut g = c.benchmark_group("placement");
     g.throughput(Throughput::Elements(1));
     g.bench_function("first_fit_decision", |b| {
@@ -113,7 +114,7 @@ fn warmed_monarch(tcfg: TelemetryConfig, pf: PrefetchConfig) -> Monarch {
     .unwrap();
     let m = MonarchBuilder::new()
         .hierarchy(hierarchy)
-        .policy(Arc::new(FirstFit))
+        .policy(PolicyKind::FirstFit)
         .pool_threads(2)
         .telemetry(tcfg)
         .prefetch(pf)

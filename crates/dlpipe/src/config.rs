@@ -1,6 +1,6 @@
 //! Pipeline, environment and setup configuration.
 
-use monarch_core::config::PolicyKind;
+use monarch_core::config::{AdmissionKind, PolicyKind};
 use serde::Serialize;
 use simfs::FaultPlan;
 
@@ -22,6 +22,15 @@ pub struct PipelineConfig {
     /// Used by the `throughput_trace` experiment to show the interference
     /// regimes inside an epoch.
     pub trace_interval_secs: Option<f64>,
+    /// Hot-set skew: the first `hot_shards` shards of the dataset are
+    /// re-read this many extra times per epoch, interleaved into the
+    /// shuffled order. 0 (the default) keeps the uniform one-pass epoch.
+    /// Models a second job (or a weighted sampler) hammering a subset of
+    /// the dataset — the contention scenario where eviction policies that
+    /// track reuse separate from blind first-fit.
+    pub hot_shards: usize,
+    /// Extra reads per hot shard per epoch (see [`Self::hot_shards`]).
+    pub hot_replays: usize,
 }
 
 impl Default for PipelineConfig {
@@ -32,6 +41,8 @@ impl Default for PipelineConfig {
             prefetch_batches: 4,
             seed: 1,
             trace_interval_secs: None,
+            hot_shards: 0,
+            hot_replays: 0,
         }
     }
 }
@@ -151,6 +162,23 @@ impl Default for EnvConfig {
     }
 }
 
+impl EnvConfig {
+    /// A congested shared PFS: the synchronous-chunk per-stream rate
+    /// collapses (deep client queues on a busy Lustre push a QD-1 256 KiB
+    /// read stream down to ~12 MB/s) while bulk read-ahead streams keep
+    /// most of their throughput. This is the regime where eviction
+    /// policies pay off: converting repeated synchronous PFS chunk reads
+    /// into a few bulk placement fetches is worth far more than the
+    /// SSD write-back traffic it costs. Used by the `sim_policy` bench
+    /// scenario and `scripts/check.sh policy`.
+    #[must_use]
+    pub fn congested_pfs() -> Self {
+        let mut env = Self::default();
+        env.lustre.sync_stream_cap = 12e6;
+        env
+    }
+}
+
 /// A MONARCH tier in simulation: which device backs it and its quota.
 #[derive(Debug, Clone, Serialize, PartialEq, Eq)]
 pub enum SimTierKind {
@@ -168,8 +196,12 @@ pub struct MonarchSimConfig {
     pub tiers: Vec<(SimTierKind, u64)>,
     /// Background copy workers (paper: 6).
     pub pool_threads: usize,
-    /// Placement policy.
+    /// Eviction/placement policy triple, selected by kind (the composed
+    /// `PolicyEngine` the real engine uses; first-fit is the paper
+    /// baseline).
     pub policy: PolicyKind,
+    /// Admission gate in front of demand and prefetch copies.
+    pub admission: AdmissionKind,
     /// Fetch the whole file on first partial read (paper's optimisation;
     /// disabling it is the ablation).
     pub full_file_fetch: bool,
@@ -200,6 +232,7 @@ impl MonarchSimConfig {
             tiers: vec![(SimTierKind::Ssd, 115 << 30)],
             pool_threads: 6,
             policy: PolicyKind::FirstFit,
+            admission: AdmissionKind::AdmitAll,
             full_file_fetch: true,
             prestage: false,
             trace_sample_every_n: 0,
@@ -233,6 +266,19 @@ impl MonarchSimConfig {
         Self {
             prefetch_lookahead: lookahead,
             ..Self::paper_default()
+        }
+    }
+
+    /// The policy-ablation configuration: a capped SSD tier, clairvoyant
+    /// lookahead of 64 so eviction policies see an access plan, and the
+    /// given policy triple. Pair with [`EnvConfig::congested_pfs`] and a
+    /// quota of half the dataset for the partial-cache scenario.
+    #[must_use]
+    pub fn policy_ablation(policy: PolicyKind, capacity: u64) -> Self {
+        Self {
+            policy,
+            prefetch_lookahead: 64,
+            ..Self::with_ssd_capacity(capacity)
         }
     }
 }
@@ -274,7 +320,9 @@ mod tests {
     fn defaults_match_paper() {
         let p = PipelineConfig::default();
         assert_eq!(p.chunk_bytes, 256 << 10);
+        assert_eq!((p.hot_shards, p.hot_replays), (0, 0), "hot set is opt-in");
         let m = MonarchSimConfig::paper_default();
+        assert_eq!(m.admission, AdmissionKind::AdmitAll);
         assert_eq!(m.pool_threads, 6);
         assert_eq!(m.tiers, vec![(SimTierKind::Ssd, 115u64 << 30)]);
         assert!(m.full_file_fetch);
@@ -282,6 +330,10 @@ mod tests {
         assert_eq!(m.prefetch_lookahead, 0, "prefetch is opt-in");
         assert_eq!(MonarchSimConfig::with_tracing().trace_sample_every_n, 1);
         assert_eq!(MonarchSimConfig::with_prefetch(32).prefetch_lookahead, 32);
+        let a = MonarchSimConfig::policy_ablation(PolicyKind::LruEvict, 1 << 20);
+        assert_eq!(a.policy, PolicyKind::LruEvict);
+        assert_eq!(a.prefetch_lookahead, 64);
+        assert_eq!(a.tiers, vec![(SimTierKind::Ssd, 1u64 << 20)]);
     }
 
     #[test]
@@ -300,5 +352,8 @@ mod tests {
         assert!(e.ram.bandwidth > e.ssd.bandwidth);
         assert!(e.lustre.interference && !e.ssd.interference);
         assert!(e.ssd.write_weight > 1.0);
+        let c = EnvConfig::congested_pfs();
+        assert!(c.lustre.sync_stream_cap < e.lustre.sync_stream_cap / 3.0);
+        assert_eq!(c.lustre.stream_cap, e.lustre.stream_cap);
     }
 }

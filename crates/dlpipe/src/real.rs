@@ -228,6 +228,7 @@ mod tests {
                 prefetch_batches: 2,
                 seed: 1,
                 trace_interval_secs: Some(0.0),
+                ..PipelineConfig::default()
             },
         )
         .unwrap();
@@ -259,6 +260,7 @@ mod tests {
                 prefetch_batches: 2,
                 seed: 42,
                 trace_interval_secs: None,
+                ..PipelineConfig::default()
             },
         )
         .unwrap();
@@ -284,6 +286,7 @@ mod tests {
             prefetch_batches: 2,
             seed: 1,
             trace_interval_secs: None,
+            ..PipelineConfig::default()
         };
         let direct = RealTrainer::new(
             RealBackend::Direct(PosixDriver::new("pfs", &data).unwrap()),

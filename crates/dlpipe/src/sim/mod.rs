@@ -462,4 +462,92 @@ mod tests {
         // All bytes were read exactly once.
         assert_eq!(e.devices[r.pfs_device].bytes_read(), mini().total_bytes());
     }
+
+    /// The `sim_policy` scenario: fast tier at half the dataset, congested
+    /// PFS, lookahead 64, three epochs.
+    fn run_policy(
+        policy: monarch_core::config::PolicyKind,
+        pipeline: PipelineConfig,
+    ) -> crate::report::RunReport {
+        let cap = mini().total_bytes() / 2;
+        SimTrainer::new(
+            Setup::Monarch(MonarchSimConfig::policy_ablation(policy, cap)),
+            mini(),
+            mini_model(),
+            pipeline,
+            EnvConfig::congested_pfs(),
+        )
+        .run(3)
+    }
+
+    #[test]
+    fn eviction_policies_beat_first_fit_on_partial_cache() {
+        use monarch_core::config::PolicyKind;
+        let p = || PipelineConfig::default().with_seed(1);
+        let ff = run_policy(PolicyKind::FirstFit, p());
+        let lru = run_policy(PolicyKind::LruEvict, p());
+        let clair = run_policy(PolicyKind::Clairvoyant, p());
+        // The no-eviction baseline fills its half-dataset quota during
+        // epoch 1 and then strands the rest of the shards on the congested
+        // PFS for every later epoch.
+        assert_eq!(ff.telemetry.as_ref().unwrap().stats.evictions, 0);
+        assert!(lru.telemetry.as_ref().unwrap().stats.evictions > 0);
+        // Observed 17.7s vs 44.7s — assert with a wide safety margin.
+        assert!(
+            lru.total_seconds() < ff.total_seconds() * 0.6,
+            "lru {} !< 0.6 × first-fit {}",
+            lru.total_seconds(),
+            ff.total_seconds()
+        );
+        // The clairvoyant policy, which evicts the plan-farthest file,
+        // must at least match plain LRU (observed 17.2s vs 17.7s).
+        assert!(
+            clair.total_seconds() <= lru.total_seconds() * 1.05,
+            "clairvoyant {} !<= lru {}",
+            clair.total_seconds(),
+            lru.total_seconds()
+        );
+        // Recycling the quota converts synchronous PFS chunk reads into
+        // bulk placement fetches (observed 9418 → 1159 ops).
+        assert!(
+            lru.pfs_ops() < ff.pfs_ops() / 3,
+            "lru pfs ops {} !< first-fit {} / 3",
+            lru.pfs_ops(),
+            ff.pfs_ops()
+        );
+    }
+
+    #[test]
+    fn hot_set_contention_rewards_reuse_tracking() {
+        use monarch_core::config::PolicyKind;
+        // A second job hammering the first 4 shards 4 extra times per
+        // epoch: frequency-aware eviction keeps the hot set resident while
+        // first-fit's frozen placement thrashes on the PFS (observed 26.1s
+        // vs 58.7s).
+        let hot = || PipelineConfig {
+            hot_shards: 4,
+            hot_replays: 4,
+            ..PipelineConfig::default().with_seed(1)
+        };
+        let ff = run_policy(PolicyKind::FirstFit, hot());
+        let lfu = run_policy(PolicyKind::Lfu, hot());
+        assert!(lfu.telemetry.as_ref().unwrap().stats.evictions > 0);
+        assert!(
+            lfu.total_seconds() < ff.total_seconds() * 0.6,
+            "lfu {} !< 0.6 × first-fit {}",
+            lfu.total_seconds(),
+            ff.total_seconds()
+        );
+    }
+
+    #[test]
+    fn policy_runs_are_deterministic() {
+        use monarch_core::config::PolicyKind;
+        // The learned scorer trains online from the access stream; same
+        // seed must still reproduce bit-identical virtual time.
+        let a = run_policy(PolicyKind::Learned, PipelineConfig::default().with_seed(1));
+        let b = run_policy(PolicyKind::Learned, PipelineConfig::default().with_seed(1));
+        assert_eq!(a.total_seconds(), b.total_seconds());
+        assert_eq!(a.pfs_ops(), b.pfs_ops());
+    }
 }

@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use monarch_core::config::{PolicyKind, TelemetryConfig};
+use monarch_core::config::TelemetryConfig;
 use monarch_core::driver::MemDriver;
 use monarch_core::hash::{FxHashMap, FxHashSet};
 use monarch_core::health::{ErrorClass, TierState};
@@ -13,7 +13,7 @@ use monarch_core::observe::{
     LedgerBuckets, LedgerSnapshot, ObserveReport, ReadClass, ReadTiming, ResidencyEventKind,
     TransitionCause,
 };
-use monarch_core::placement::{FirstFit, LruEvict, PlacementPolicy, RoundRobin};
+use monarch_core::policy::{DecisionPoint, FeatureSource, PolicyEngine};
 use monarch_core::pool::Lane;
 use monarch_core::stats::Stats;
 use monarch_core::telemetry::{EventKind, TelemetryRegistry, ThroughputSampler};
@@ -111,11 +111,11 @@ enum ModeTag {
 
 /// MONARCH state inside the simulation — built from the *real*
 /// `monarch-core` components (metadata container, hierarchy quotas,
-/// placement policy), with the copy pool modelled as K servers.
+/// composed policy engine), with the copy pool modelled as K servers.
 struct MonarchSim {
     meta: MetadataContainer,
     hierarchy: StorageHierarchy,
-    policy: Arc<dyn PlacementPolicy>,
+    policy: Arc<PolicyEngine>,
     /// Tier id → device index.
     tier_dev: Vec<usize>,
     /// Shard ids awaiting a copy worker, on the same two-lane discipline
@@ -248,6 +248,10 @@ struct World {
     /// records / bytes per shard (samples carried per byte).
     samples_per_byte: Vec<f64>,
     chunk_bytes: u64,
+    /// Hot-set skew: `hot_shards` shards get `hot_replays` extra reads
+    /// per epoch (see `PipelineConfig`).
+    hot_shards: usize,
+    hot_replays: usize,
 
     mode: ModeTag,
     monarch: Option<MonarchSim>,
@@ -408,11 +412,11 @@ impl World {
                     }
                 }
                 let hierarchy = StorageHierarchy::new(levels).expect("valid sim hierarchy");
-                let policy: Arc<dyn PlacementPolicy> = match cfg.policy {
-                    PolicyKind::FirstFit => Arc::new(FirstFit),
-                    PolicyKind::RoundRobin => Arc::new(RoundRobin::default()),
-                    PolicyKind::LruEvict => Arc::new(LruEvict::new()),
-                };
+                let policy = Arc::new(PolicyEngine::from_kind(cfg.policy, cfg.admission));
+                // Reuse-aware admission and the learned scorer read the
+                // sim's access profiler through the same bridge the real
+                // engine uses.
+                policy.bind_features(Arc::clone(&telemetry) as Arc<dyn FeatureSource>);
                 let ms = MonarchSim {
                     meta: MetadataContainer::default(),
                     hierarchy,
@@ -480,6 +484,8 @@ impl World {
             shard_names,
             samples_per_byte,
             chunk_bytes: t.pipeline.chunk_bytes,
+            hot_shards: t.pipeline.hot_shards.min(t.geom.num_shards()),
+            hot_replays: t.pipeline.hot_replays,
             mode,
             monarch,
             bulk_share: t.env.bulk_stream_share.max(1.0),
@@ -496,7 +502,15 @@ impl World {
             computing: false,
             cur_batch: 0.0,
             consumed: 0.0,
-            epoch_samples: t.geom.total_records() as f64,
+            // Hot-set replays re-deliver their samples, so the epoch's
+            // consumption target grows accordingly.
+            epoch_samples: t.geom.total_records() as f64
+                + t.geom
+                    .shards
+                    .iter()
+                    .take(t.pipeline.hot_shards.min(t.geom.num_shards()))
+                    .map(|s| (s.records * t.pipeline.hot_replays as u64) as f64)
+                    .sum::<f64>(),
             gpu_busy: 0.0,
             model: t.model.clone(),
             epoch: 0,
@@ -901,7 +915,15 @@ impl World {
 
         // tf.data: shuffle the shard list, then deal shards to the readers
         // round-robin (parallel interleave with cycle length = readers).
+        // Hot-set replays join the list before the shuffle, so the extra
+        // reads interleave with the one-pass scan like a second job's
+        // sampler would.
         let mut order: Vec<usize> = (0..self.geom.num_shards()).collect();
+        for s in 0..self.hot_shards {
+            for _ in 0..self.hot_replays {
+                order.push(s);
+            }
+        }
         self.rng.shuffle(&mut order);
         for r in &mut self.readers {
             r.pending.clear();
@@ -918,6 +940,12 @@ impl World {
         if let Some(ms) = self.monarch.as_mut() {
             ms.epoch_ledger = ms.telemetry.observe().profiler().ledger();
             if ms.prefetch_lookahead > 0 {
+                // Hand the epoch's read order to the policy engine: the
+                // clairvoyant eviction ranks by next use, and the plan
+                // boundary clears last epoch's staged-but-unread pins.
+                let names: Vec<String> =
+                    order.iter().map(|&s| self.shard_names[s].clone()).collect();
+                ms.policy.set_plan(&names);
                 ms.plan_pos = order.iter().enumerate().map(|(i, &s)| (s, i)).collect();
                 ms.plan = order;
                 ms.plan_cursor = 0;
@@ -1123,8 +1151,15 @@ impl World {
                     promoted = true;
                 }
                 if info.state == PlacementState::Unplaced {
+                    let bytes = self.geom.shards[shard].bytes;
                     if ms.full_fetch {
-                        if ms.meta.begin_copy(name, 0).unwrap_or(false) {
+                        if Self::begin_admitted_copy(
+                            ms,
+                            now,
+                            name,
+                            bytes,
+                            DecisionPoint::DemandAdmit,
+                        ) {
                             ms.lanes.push(Lane::Demand, shard);
                             ms.copy_enqueued.insert(shard, now);
                             ms.telemetry.stats().copy_scheduled();
@@ -1162,8 +1197,14 @@ impl World {
                     } else {
                         // Ablation: chunk-granular caching. Reserve quota
                         // once per shard; spill each chunk as it is read.
-                        if ms.meta.begin_copy(name, 0).unwrap_or(false) {
-                            let size = self.geom.shards[shard].bytes;
+                        if Self::begin_admitted_copy(
+                            ms,
+                            now,
+                            name,
+                            bytes,
+                            DecisionPoint::DemandAdmit,
+                        ) {
+                            let size = bytes;
                             ms.telemetry.stats().copy_scheduled();
                             ms.telemetry.event_at(
                                 vmicros(now),
@@ -1172,8 +1213,11 @@ impl World {
                                     bytes: size,
                                 },
                             );
+                            // The chunk-spill path cannot execute victim
+                            // evictions mid-read, so only an already-
+                            // reserved (evict-free) decision proceeds.
                             match ms.policy.place(&ms.hierarchy, name, size) {
-                                Ok(Some(d)) => {
+                                Ok(Some(d)) if d.evict.is_empty() => {
                                     let (used, capacity) = ms
                                         .hierarchy
                                         .tier(d.tier)
@@ -1812,6 +1856,7 @@ impl World {
             ms.copy_started.remove(&shard);
             ms.copy_trace.remove(&shard);
             ms.prefetch_issued.remove(&shard);
+            ms.policy.unpin(name);
             if let Some(quota) = ms.hierarchy.tier(tier).ok().and_then(|t| t.quota.as_ref()) {
                 quota.release(size);
             }
@@ -1877,6 +1922,11 @@ impl World {
             if let Some(&pos) = ms.plan_pos.get(&shard) {
                 ms.plan_cursor = ms.plan_cursor.max(pos + 1);
             }
+            // The foreground cursor reached the shard: it is no longer a
+            // staged-but-unread entry, so it re-enters the evictable set,
+            // and the clairvoyant ranking advances past this plan entry.
+            ms.policy.unpin(&self.shard_names[shard]);
+            ms.policy.note_plan_read(&self.shard_names[shard]);
             let source = ms.tier_dev.len() - 1;
             if let Some(read_seen) = ms.prefetch_issued.get_mut(&shard) {
                 if !*read_seen {
@@ -2014,10 +2064,19 @@ impl World {
                 let shard = ms.plan[ms.plan_issued];
                 ms.plan_issued += 1;
                 let name = &self.shard_names[shard];
-                if ms.meta.begin_copy(name, 0).unwrap_or(false) {
+                if Self::begin_admitted_copy(
+                    ms,
+                    now,
+                    name,
+                    self.geom.shards[shard].bytes,
+                    DecisionPoint::PrefetchAdmit,
+                ) {
                     ms.lanes.push(Lane::Prefetch, shard);
                     ms.copy_enqueued.insert(shard, now);
                     ms.prefetch_issued.insert(shard, false);
+                    // Staged-but-unread entries are pinned against
+                    // eviction until the foreground cursor passes them.
+                    ms.policy.pin(name);
                     ms.telemetry.stats().copy_scheduled();
                     ms.telemetry.stats().prefetch_scheduled();
                     ms.telemetry.event_at(
@@ -2037,6 +2096,64 @@ impl World {
     }
 
     // -- MONARCH copy pool ---------------------------------------------------
+
+    /// CAS the shard into `Copying` and ask the admission gate, with the
+    /// verdict journalled like the real engine's. A denial reverts the
+    /// CAS (non-terminal), so a later read re-asks once the access
+    /// profile has warmed.
+    fn begin_admitted_copy(
+        ms: &mut MonarchSim,
+        now: SimTime,
+        name: &str,
+        bytes: u64,
+        point: DecisionPoint,
+    ) -> bool {
+        if !ms.meta.begin_copy(name, 0).unwrap_or(false) {
+            return false;
+        }
+        let admitted = ms.policy.admit(name, bytes, point);
+        let (verdict, reason) = match (admitted, point) {
+            (true, DecisionPoint::DemandAdmit) => {
+                ("admit", "demand miss admitted to the copy pipeline")
+            }
+            (true, _) => ("admit", "plan entry admitted to the prefetch lane"),
+            (false, _) => (
+                "deny",
+                "admission policy refused the copy; the file stays on the PFS",
+            ),
+        };
+        ms.telemetry.event_at(
+            vmicros(now),
+            EventKind::PolicyDecision {
+                file: name.to_string(),
+                point: point.as_str().to_string(),
+                policy: ms.policy.name().to_string(),
+                verdict: verdict.into(),
+                reason: reason.into(),
+            },
+        );
+        if !admitted {
+            ms.telemetry.stats().policy_denial();
+            let _ = ms.meta.abort_copy(name, false);
+        }
+        admitted
+    }
+
+    /// Journal a policy-driven eviction and update the policy book — the
+    /// companion of `begin_admitted_copy` for the evict side.
+    fn note_policy_evicted(ms: &MonarchSim, now: SimTime, victim: &str, reason: &str) {
+        ms.policy.on_evicted(victim);
+        ms.telemetry.event_at(
+            vmicros(now),
+            EventKind::PolicyDecision {
+                file: victim.to_string(),
+                point: DecisionPoint::PressureEvict.as_str().to_string(),
+                policy: ms.policy.name().to_string(),
+                verdict: "evict".into(),
+                reason: reason.into(),
+            },
+        );
+    }
 
     /// Resolve a copy that found no placement. A quarantined tier requeues
     /// the shard (non-terminal abort, so a post-recovery read re-admits
@@ -2112,7 +2229,14 @@ impl World {
                                         victim,
                                         decision.tier,
                                         ResidencyEventKind::Evicted,
-                                        TransitionCause::Eviction,
+                                        TransitionCause::Policy,
+                                    );
+                                    Self::note_policy_evicted(
+                                        ms,
+                                        now,
+                                        victim,
+                                        "selected by the eviction policy to make room for an \
+                                         incoming copy",
                                     );
                                 }
                             }
@@ -2131,6 +2255,7 @@ impl World {
                         // A parked reader must not wait on a copy that
                         // will never land: fall back to reading through.
                         ms.prefetch_issued.remove(&shard);
+                        ms.policy.unpin(&name);
                         if let Some(stranded) = ms.waiting_readers.remove(&shard) {
                             for &r in &stranded {
                                 ms.parked_at.remove(&r);
@@ -2236,6 +2361,7 @@ impl World {
                     ms.flow_start_pending.remove(&shard);
                     Self::skip_or_requeue(ms, now, &name);
                     ms.prefetch_issued.remove(&shard);
+                    ms.policy.unpin(&name);
                     if let Some(stranded) = ms.waiting_readers.remove(&shard) {
                         for &r in &stranded {
                             ms.parked_at.remove(&r);

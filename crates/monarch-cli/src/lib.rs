@@ -30,6 +30,16 @@ pub enum Command {
         /// Placement policy override.
         policy: Option<PolicyKind>,
     },
+    /// Initialise the middleware and print the composed policy engine:
+    /// the admission/eviction/scorer triple and its decision counters.
+    Policy {
+        /// Path to a `MonarchConfig` JSON file.
+        config: PathBuf,
+        /// Policy override (same spellings as `stage --policy`).
+        policy: Option<PolicyKind>,
+        /// Emit the snapshot as JSON instead of the human table.
+        json: bool,
+    },
     /// Initialise the middleware and print the namespace summary.
     Inspect {
         /// Path to a `MonarchConfig` JSON file.
@@ -145,7 +155,9 @@ impl Command {
     pub fn usage() -> &'static str {
         "usage:\n  \
          monarch gen-dataset --dir DIR --bytes N --samples N [--seed N]\n  \
-         monarch stage       --config CFG.json [--policy first_fit|lru_evict|round_robin]\n  \
+         monarch stage       --config CFG.json [--policy KIND]\n  \
+         monarch policy      --config CFG.json [--policy KIND] [--json]\n  \
+         \x20                (KIND: first_fit|round_robin|lru_evict|lfu|cost_aware|clairvoyant|learned)\n  \
          monarch inspect     --config CFG.json\n  \
          monarch epoch|run   --config CFG.json --data DIR [--readers N] [--chunk BYTES] [--epochs N] [--prefetch N]\n  \
          monarch metrics     --config CFG.json [--format text|json] [--watch SECS]\n  \
@@ -210,13 +222,12 @@ impl Command {
             }),
             "stage" => Ok(Command::Stage {
                 config: PathBuf::from(get("config")?),
-                policy: match flags.get("policy").map(String::as_str) {
-                    None => None,
-                    Some("first_fit") => Some(PolicyKind::FirstFit),
-                    Some("lru_evict") => Some(PolicyKind::LruEvict),
-                    Some("round_robin") => Some(PolicyKind::RoundRobin),
-                    Some(other) => return Err(format!("unknown policy: {other}")),
-                },
+                policy: parse_policy_flag(&flags)?,
+            }),
+            "policy" => Ok(Command::Policy {
+                config: PathBuf::from(get("config")?),
+                policy: parse_policy_flag(&flags)?,
+                json: matches!(flags.get("json").map(String::as_str), Some("true")),
             }),
             "inspect" => Ok(Command::Inspect {
                 config: PathBuf::from(get("config")?),
@@ -312,6 +323,19 @@ impl Command {
     }
 }
 
+/// Resolve an optional `--policy` flag through [`PolicyKind::parse`].
+fn parse_policy_flag(
+    flags: &std::collections::BTreeMap<String, String>,
+) -> Result<Option<PolicyKind>, String> {
+    match flags.get("policy") {
+        None => Ok(None),
+        Some(s) => PolicyKind::parse(s).map(Some).ok_or_else(|| {
+            let known = PolicyKind::all().map(PolicyKind::as_str).join("|");
+            format!("unknown policy: {s} (known: {known})")
+        }),
+    }
+}
+
 /// Load a `MonarchConfig` from a JSON file, optionally overriding the
 /// policy and the prefetch lookahead, and build + init the middleware.
 fn load_monarch(
@@ -374,6 +398,46 @@ pub fn run(cmd: Command) -> Result<(), String> {
             println!("residency per tier: {hist:?}");
             Ok(())
         }
+        Command::Policy {
+            config,
+            policy,
+            json,
+        } => {
+            let m = load_monarch(&config, policy, None)?;
+            let snap = m.policy_snapshot();
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&snap).map_err(|e| e.to_string())?
+                );
+            } else {
+                println!("policy: {}", snap.name);
+                println!("  admission: {}", snap.admission);
+                println!(
+                    "  eviction:  {} ({})",
+                    snap.eviction,
+                    if snap.may_evict {
+                        "may evict"
+                    } else {
+                        "never evicts"
+                    }
+                );
+                println!("  scorer:    {}", snap.scorer);
+                println!(
+                    "  demand admits/denials:   {} / {}",
+                    snap.demand_admits, snap.demand_denials
+                );
+                println!(
+                    "  prefetch admits/denials: {} / {}",
+                    snap.prefetch_admits, snap.prefetch_denials
+                );
+                println!(
+                    "  evictions selected: {} (+{} under pressure), {} pinned",
+                    snap.evictions_selected, snap.pressure_victims, snap.pinned
+                );
+            }
+            Ok(())
+        }
         Command::Inspect { config } => {
             let m = load_monarch(&config, None, None)?;
             for tier in m.hierarchy().tiers() {
@@ -416,6 +480,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
                     prefetch_batches: 4,
                     seed: 1,
                     trace_interval_secs: None,
+                    ..PipelineConfig::default()
                 },
             )
             .map_err(|e| e.to_string())?;
@@ -701,6 +766,7 @@ pub fn run(cmd: Command) -> Result<(), String> {
                     prefetch_batches: 4,
                     seed: 1,
                     trace_interval_secs: None,
+                    ..PipelineConfig::default()
                 },
             )
             .map_err(|e| e.to_string())?;
@@ -777,6 +843,43 @@ mod tests {
                 policy: Some(PolicyKind::LruEvict)
             }
         );
+        // Every selector the core knows parses here too.
+        for kind in PolicyKind::all() {
+            let cmd = parse(&["stage", "--config", "c.json", "--policy", kind.as_str()]).unwrap();
+            assert_eq!(
+                cmd,
+                Command::Stage {
+                    config: PathBuf::from("c.json"),
+                    policy: Some(kind)
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn parses_policy_view() {
+        let cmd = parse(&["policy", "--config", "c.json"]).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Policy {
+                config: PathBuf::from("c.json"),
+                policy: None,
+                json: false
+            }
+        );
+        let cmd = parse(&[
+            "policy", "--config", "c.json", "--policy", "learned", "--json",
+        ])
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Policy {
+                config: PathBuf::from("c.json"),
+                policy: Some(PolicyKind::Learned),
+                json: true
+            }
+        );
+        assert!(parse(&["policy", "--config", "c", "--policy", "nope"]).is_err());
     }
 
     #[test]

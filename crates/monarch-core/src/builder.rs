@@ -1,6 +1,6 @@
 //! [`MonarchBuilder`]: the one way to assemble a [`Monarch`] instance.
 //!
-//! Every optional part — placement policy, pool size, telemetry knobs,
+//! Every optional part — the policy engine, pool size, telemetry knobs,
 //! clairvoyant prefetch — has a sensible default, so the common test setup
 //! is `MonarchBuilder::new().hierarchy(h).build()?`. Production configs go
 //! through [`MonarchBuilder::from_config`], which also constructs the
@@ -12,13 +12,13 @@ use std::sync::Arc;
 
 use crate::cluster::{Cluster, ClusterConfig, PeerTransport};
 use crate::config::{
-    default_pool_threads, BackendKind, MonarchConfig, PolicyKind, TelemetryConfig,
+    default_pool_threads, AdmissionKind, BackendKind, MonarchConfig, PolicyKind, TelemetryConfig,
 };
 use crate::driver::{MemDriver, PosixDriver, StorageDriver, TimedDriver};
 use crate::hierarchy::StorageHierarchy;
 use crate::metadata::MetadataContainer;
 use crate::middleware::Monarch;
-use crate::placement::{FirstFit, LruEvict, PlacementPolicy, RoundRobin};
+use crate::policy::PolicyEngine;
 use crate::prefetch::PrefetchConfig;
 use crate::stats::Stats;
 use crate::telemetry::TelemetryRegistry;
@@ -28,7 +28,9 @@ use crate::{Error, Result};
 /// Builder for [`Monarch`]. Only the storage hierarchy is mandatory.
 pub struct MonarchBuilder {
     hierarchy: Option<StorageHierarchy>,
-    policy: Arc<dyn PlacementPolicy>,
+    policy: Option<Arc<PolicyEngine>>,
+    policy_kind: PolicyKind,
+    admission: AdmissionKind,
     pool_threads: usize,
     full_file_fetch: bool,
     telemetry: TelemetryConfig,
@@ -42,7 +44,9 @@ impl Default for MonarchBuilder {
     fn default() -> Self {
         Self {
             hierarchy: None,
-            policy: Arc::new(FirstFit),
+            policy: None,
+            policy_kind: PolicyKind::default(),
+            admission: AdmissionKind::default(),
             pool_threads: default_pool_threads(),
             full_file_fetch: true,
             telemetry: TelemetryConfig::default(),
@@ -55,8 +59,9 @@ impl Default for MonarchBuilder {
 }
 
 impl MonarchBuilder {
-    /// Start with defaults: first-fit placement, the paper's 6-thread copy
-    /// pool, full-file fetch on, default telemetry, prefetching off.
+    /// Start with defaults: admit-all/no-eviction/first-fit policy, the
+    /// paper's 6-thread copy pool, full-file fetch on, default telemetry,
+    /// prefetching off.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
@@ -77,14 +82,11 @@ impl MonarchBuilder {
             };
             levels.push((tier.name.clone(), driver, tier.capacity));
         }
-        let policy: Arc<dyn PlacementPolicy> = match config.policy {
-            PolicyKind::FirstFit => Arc::new(FirstFit),
-            PolicyKind::RoundRobin => Arc::new(RoundRobin::default()),
-            PolicyKind::LruEvict => Arc::new(LruEvict::new()),
-        };
         Ok(Self {
             hierarchy: Some(StorageHierarchy::new(levels)?),
-            policy,
+            policy: None,
+            policy_kind: config.policy,
+            admission: config.admission,
             pool_threads: config.pool_threads,
             full_file_fetch: config.full_file_fetch,
             telemetry: config.telemetry,
@@ -105,10 +107,31 @@ impl MonarchBuilder {
         self
     }
 
-    /// Placement policy (default: [`FirstFit`]).
+    /// Select the policy triple by config kind (default:
+    /// [`PolicyKind::FirstFit`], the paper baseline). The admission gate
+    /// composes independently via [`Self::admission`].
     #[must_use]
-    pub fn policy(mut self, policy: Arc<dyn PlacementPolicy>) -> Self {
-        self.policy = policy;
+    pub fn policy(mut self, kind: PolicyKind) -> Self {
+        self.policy_kind = kind;
+        self.policy = None;
+        self
+    }
+
+    /// Admission gate in front of demand and prefetch copies (default:
+    /// [`AdmissionKind::AdmitAll`]).
+    #[must_use]
+    pub fn admission(mut self, admission: AdmissionKind) -> Self {
+        self.admission = admission;
+        self.policy = None;
+        self
+    }
+
+    /// Install a fully custom policy engine (tests, embedders composing
+    /// their own trait implementations). Overrides [`Self::policy`] and
+    /// [`Self::admission`].
+    #[must_use]
+    pub fn policy_engine(mut self, engine: Arc<PolicyEngine>) -> Self {
+        self.policy = Some(engine);
         self
     }
 
@@ -181,6 +204,9 @@ impl MonarchBuilder {
         if let Some(cfg) = &self.cluster {
             cfg.validate()?;
         }
+        let policy = self
+            .policy
+            .unwrap_or_else(|| Arc::new(PolicyEngine::from_kind(self.policy_kind, self.admission)));
         let stats = Arc::new(Stats::new(hierarchy.levels()));
         let tier_names: Vec<String> = hierarchy.tiers().iter().map(|t| t.name.clone()).collect();
         let telemetry = Arc::new(TelemetryRegistry::new(
@@ -204,7 +230,7 @@ impl MonarchBuilder {
         let mut engine = TransferEngine::new(
             Arc::clone(&hierarchy),
             Arc::clone(&metadata),
-            self.policy,
+            policy,
             Arc::clone(&stats),
             Arc::clone(&telemetry),
             self.pool_threads,
@@ -257,68 +283,6 @@ impl MonarchBuilder {
     }
 }
 
-impl Monarch {
-    /// Build from pre-constructed parts.
-    #[deprecated(note = "use `MonarchBuilder` instead")]
-    #[must_use]
-    pub fn with_parts(
-        hierarchy: StorageHierarchy,
-        policy: Arc<dyn PlacementPolicy>,
-        pool_threads: usize,
-        full_file_fetch: bool,
-    ) -> Self {
-        MonarchBuilder::new()
-            .hierarchy(hierarchy)
-            .policy(policy)
-            .pool_threads(pool_threads)
-            .full_file_fetch(full_file_fetch)
-            .build()
-            .expect("hierarchy is provided")
-    }
-
-    /// Build from parts with explicit telemetry configuration.
-    #[deprecated(note = "use `MonarchBuilder` instead")]
-    #[must_use]
-    pub fn with_parts_telemetry(
-        hierarchy: StorageHierarchy,
-        policy: Arc<dyn PlacementPolicy>,
-        pool_threads: usize,
-        full_file_fetch: bool,
-        telemetry: TelemetryConfig,
-    ) -> Self {
-        MonarchBuilder::new()
-            .hierarchy(hierarchy)
-            .policy(policy)
-            .pool_threads(pool_threads)
-            .full_file_fetch(full_file_fetch)
-            .telemetry(telemetry)
-            .build()
-            .expect("hierarchy is provided")
-    }
-
-    /// Build from parts with telemetry and prefetch configuration.
-    #[deprecated(note = "use `MonarchBuilder` instead")]
-    #[must_use]
-    pub fn with_parts_prefetch(
-        hierarchy: StorageHierarchy,
-        policy: Arc<dyn PlacementPolicy>,
-        pool_threads: usize,
-        full_file_fetch: bool,
-        telemetry: TelemetryConfig,
-        prefetch: PrefetchConfig,
-    ) -> Self {
-        MonarchBuilder::new()
-            .hierarchy(hierarchy)
-            .policy(policy)
-            .pool_threads(pool_threads)
-            .full_file_fetch(full_file_fetch)
-            .telemetry(telemetry)
-            .prefetch(prefetch)
-            .build()
-            .expect("hierarchy is provided")
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,18 +305,32 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(m.pool_threads(), 6);
+        assert_eq!(m.policy_name(), "admit_all/none/first_fit");
     }
 
-    /// The deprecated constructors must stay behaviour-compatible until
-    /// external embedders migrate to the builder.
     #[test]
-    #[allow(deprecated)]
-    fn with_parts_shims_still_assemble_a_working_instance() {
-        let m = Monarch::with_parts(tiny_hierarchy(), Arc::new(FirstFit), 1, true);
-        m.init().unwrap();
-        let mut buf = [0u8; 64];
-        assert_eq!(m.read("f", 0, &mut buf).unwrap(), 64);
-        m.wait_placement_idle();
-        assert_eq!(m.stats().copies_completed, 1);
+    fn policy_and_admission_compose_by_kind() {
+        let m = MonarchBuilder::new()
+            .hierarchy(tiny_hierarchy())
+            .policy(PolicyKind::LruEvict)
+            .admission(AdmissionKind::ReuseAware)
+            .build()
+            .unwrap();
+        assert_eq!(m.policy_name(), "reuse_aware/lru/first_fit");
+    }
+
+    #[test]
+    fn custom_policy_engine_overrides_the_kinds() {
+        let engine = Arc::new(PolicyEngine::from_kind(
+            PolicyKind::Learned,
+            AdmissionKind::AdmitAll,
+        ));
+        let m = MonarchBuilder::new()
+            .hierarchy(tiny_hierarchy())
+            .policy(PolicyKind::FirstFit)
+            .policy_engine(engine)
+            .build()
+            .unwrap();
+        assert_eq!(m.policy_name(), "admit_all/scored/learned");
     }
 }

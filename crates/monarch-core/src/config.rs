@@ -57,17 +57,112 @@ impl TierConfig {
     }
 }
 
-/// Placement policy selector.
+/// Policy selector: which admission/eviction/scorer composition the
+/// [`crate::policy::PolicyEngine`] runs (see
+/// [`crate::policy::PolicyEngine::from_kind`] for the exact triples).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 #[serde(rename_all = "snake_case")]
 pub enum PolicyKind {
     /// The paper's top-down first-fit without eviction.
     #[default]
     FirstFit,
-    /// Rotate across local tiers (ablation).
+    /// Rotate across local tiers, no eviction (ablation).
     RoundRobin,
-    /// LRU with eviction on tier 0 (ablation).
+    /// First-fit with LRU eviction (ablation; named for the legacy
+    /// `LruEvict` policy this selector used to construct).
     LruEvict,
+    /// First-fit with LFU eviction (recency tie-break).
+    Lfu,
+    /// First-fit with GDSF-style cost-aware eviction.
+    CostAware,
+    /// First-fit with Belady-style eviction driven by the access plan.
+    Clairvoyant,
+    /// Learned placement scoring + score-ranked eviction (online
+    /// logistic model over profiler features).
+    Learned,
+}
+
+impl PolicyKind {
+    /// Parse the CLI/FFI spelling (the serde snake_case names, plus the
+    /// `lru` shorthand). `None` for unknown spellings.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "first_fit" => PolicyKind::FirstFit,
+            "round_robin" => PolicyKind::RoundRobin,
+            "lru_evict" | "lru" => PolicyKind::LruEvict,
+            "lfu" => PolicyKind::Lfu,
+            "cost_aware" => PolicyKind::CostAware,
+            "clairvoyant" => PolicyKind::Clairvoyant,
+            "learned" => PolicyKind::Learned,
+            _ => return None,
+        })
+    }
+
+    /// Every selector, in ablation order (CLI usage text, experiment
+    /// sweeps).
+    #[must_use]
+    pub fn all() -> [PolicyKind; 7] {
+        [
+            PolicyKind::FirstFit,
+            PolicyKind::RoundRobin,
+            PolicyKind::LruEvict,
+            PolicyKind::Lfu,
+            PolicyKind::CostAware,
+            PolicyKind::Clairvoyant,
+            PolicyKind::Learned,
+        ]
+    }
+
+    /// The canonical snake_case spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PolicyKind::FirstFit => "first_fit",
+            PolicyKind::RoundRobin => "round_robin",
+            PolicyKind::LruEvict => "lru_evict",
+            PolicyKind::Lfu => "lfu",
+            PolicyKind::CostAware => "cost_aware",
+            PolicyKind::Clairvoyant => "clairvoyant",
+            PolicyKind::Learned => "learned",
+        }
+    }
+}
+
+/// Admission selector: the "is this file worth a tier slot?" half of the
+/// policy engine, orthogonal to [`PolicyKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum AdmissionKind {
+    /// Admit everything (the paper's implicit behaviour; default).
+    #[default]
+    AdmitAll,
+    /// Deny files larger than a byte threshold.
+    SizeThreshold {
+        /// Largest admissible file in bytes.
+        max_bytes: u64,
+    },
+    /// Deny demand admissions for profiler-proven cold files.
+    ReuseAware,
+}
+
+impl AdmissionKind {
+    /// Parse the CLI/FFI spelling: `admit_all`, `reuse_aware`, or
+    /// `size_threshold:<bytes>`.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        if let Some(bytes) = s.strip_prefix("size_threshold:") {
+            return bytes
+                .parse()
+                .ok()
+                .map(|max_bytes| AdmissionKind::SizeThreshold { max_bytes });
+        }
+        Some(match s {
+            "admit_all" => AdmissionKind::AdmitAll,
+            "reuse_aware" => AdmissionKind::ReuseAware,
+            _ => return None,
+        })
+    }
 }
 
 /// Telemetry knobs: histogram/journal recording and the journal bound.
@@ -160,6 +255,9 @@ pub struct MonarchConfig {
     /// Placement policy.
     #[serde(default)]
     pub policy: PolicyKind,
+    /// Admission policy (orthogonal to `policy`; default admits all).
+    #[serde(default)]
+    pub admission: AdmissionKind,
     /// When true (paper behaviour) a partial read of an unplaced file
     /// triggers a background fetch of the *full* file, so subsequent chunks
     /// of the same file hit local storage.
@@ -244,6 +342,7 @@ pub struct MonarchConfigBuilder {
     tiers: Vec<TierConfig>,
     pool_threads: Option<usize>,
     policy: PolicyKind,
+    admission: AdmissionKind,
     full_file_fetch: Option<bool>,
     telemetry: Option<TelemetryConfig>,
     prefetch_lookahead: Option<usize>,
@@ -271,6 +370,13 @@ impl MonarchConfigBuilder {
     #[must_use]
     pub fn policy(mut self, policy: PolicyKind) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Admission policy.
+    #[must_use]
+    pub fn admission(mut self, admission: AdmissionKind) -> Self {
+        self.admission = admission;
         self
     }
 
@@ -324,6 +430,7 @@ impl MonarchConfigBuilder {
             tiers: self.tiers,
             pool_threads: self.pool_threads.unwrap_or_else(default_pool_threads),
             policy: self.policy,
+            admission: self.admission,
             full_file_fetch: self.full_file_fetch.unwrap_or(true),
             telemetry: self.telemetry.unwrap_or_default(),
             prefetch_lookahead: self.prefetch_lookahead.unwrap_or(0),
@@ -440,6 +547,45 @@ mod tests {
             .build();
         assert!(solo.cluster.is_none());
         assert!(!solo.to_json().contains("cluster"));
+    }
+
+    #[test]
+    fn policy_kinds_parse_and_roundtrip() {
+        for kind in PolicyKind::all() {
+            assert_eq!(PolicyKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(PolicyKind::parse("lru"), Some(PolicyKind::LruEvict));
+        assert_eq!(PolicyKind::parse("belady"), None);
+        let cfg = MonarchConfig::builder()
+            .tier(TierConfig::mem("pfs"))
+            .policy(PolicyKind::Learned)
+            .admission(AdmissionKind::SizeThreshold { max_bytes: 1 << 20 })
+            .build();
+        let back = MonarchConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(back.policy, PolicyKind::Learned);
+        assert_eq!(
+            back.admission,
+            AdmissionKind::SizeThreshold { max_bytes: 1 << 20 }
+        );
+        // Absent fields default.
+        let json = r#"{"tiers": [{"name": "pfs", "backend": "mem"}]}"#;
+        let cfg = MonarchConfig::from_json(json).unwrap();
+        assert_eq!(cfg.admission, AdmissionKind::AdmitAll);
+        // Admission spellings.
+        assert_eq!(
+            AdmissionKind::parse("admit_all"),
+            Some(AdmissionKind::AdmitAll)
+        );
+        assert_eq!(
+            AdmissionKind::parse("reuse_aware"),
+            Some(AdmissionKind::ReuseAware)
+        );
+        assert_eq!(
+            AdmissionKind::parse("size_threshold:4096"),
+            Some(AdmissionKind::SizeThreshold { max_bytes: 4096 })
+        );
+        assert_eq!(AdmissionKind::parse("size_threshold:x"), None);
+        assert_eq!(AdmissionKind::parse("nope"), None);
     }
 
     #[test]

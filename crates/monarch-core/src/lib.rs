@@ -13,9 +13,10 @@
 //! - [`hierarchy`] — the *storage hierarchy*: an ordered list of tiers, each
 //!   backed by a [`driver::StorageDriver`] with a capacity quota; the last
 //!   tier is the read-only PFS holding the full dataset.
-//! - [`placement`] — the *placement handler*: policies deciding where a file
-//!   goes ([`placement::FirstFit`] is the paper's policy — top-down,
-//!   first tier with space, **no eviction**), plus a background copy
+//! - [`policy`] — the *placement handler*, generalised: a composed
+//!   [`policy::PolicyEngine`] of admission gate, eviction policy, and
+//!   placement scorer (the paper's policy is the default triple — admit
+//!   all, top-down first-fit, **no eviction**), plus a background copy
 //!   [`pool::ThreadPool`] that moves file contents between tiers.
 //! - [`metadata`] — the *metadata container*: an ephemeral, thread-safe
 //!   virtual namespace mapping each file to its size and current tier.
@@ -56,7 +57,7 @@ pub mod hierarchy;
 pub mod metadata;
 pub mod middleware;
 pub mod observe;
-pub mod placement;
+pub mod policy;
 pub mod pool;
 pub mod prefetch;
 pub mod serve;
@@ -83,7 +84,10 @@ pub use middleware::{InitReport, Monarch};
 pub use observe::{
     AccessProfiler, Observatory, ObserveReport, ObserveSnapshot, ReadClass, ResidencyTimeline,
 };
-pub use placement::{PlacementDecision, PlacementPolicy};
+pub use policy::{
+    AdmissionPolicy, DecisionPoint, EvictionPolicy, FeatureSource, FileFeatures, PlacementDecision,
+    PlacementScorer, PolicyEngine, PolicySnapshot,
+};
 pub use prefetch::{AccessPlan, PrefetchConfig, PrefetchWindow};
 pub use serve::MetricsServer;
 pub use stats::{Stats, StatsSnapshot};

@@ -682,6 +682,20 @@ impl Monarch {
         self.stats.snapshot()
     }
 
+    /// Composed name (`admission/eviction/scorer`) of the policy engine
+    /// driving tier decisions.
+    #[must_use]
+    pub fn policy_name(&self) -> &str {
+        self.engine.policy_name()
+    }
+
+    /// Composition and decision counters of the policy engine — the
+    /// `monarch policy` view.
+    #[must_use]
+    pub fn policy_snapshot(&self) -> crate::policy::PolicySnapshot {
+        self.engine.policy_snapshot()
+    }
+
     /// The telemetry registry (histograms, journal, stats).
     #[must_use]
     pub fn telemetry(&self) -> &Arc<TelemetryRegistry> {

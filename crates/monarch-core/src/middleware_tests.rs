@@ -2,10 +2,11 @@
 //! `middleware.rs` so the facade itself stays within the size gate.
 
 use super::*;
+use crate::config::{AdmissionKind, PolicyKind};
 use crate::config::{TelemetryConfig, TierConfig};
 use crate::driver::{FaultKind, FaultyDriver, FlakyDriver, FlakyOutcome, MemDriver, StorageDriver};
 use crate::health::HealthConfig;
-use crate::placement::{LruEvict, PlacementPolicy};
+use crate::policy::{AdmitAll, NoEviction, PlacementScorer, PolicyEngine};
 
 fn two_tier(
     local: Arc<dyn StorageDriver>,
@@ -460,27 +461,32 @@ fn journal_disablable_separately_from_histograms() {
 
 #[test]
 fn panicking_copy_task_is_journaled_and_reverted() {
-    /// A policy whose `place` panics — models a buggy policy plugin.
-    struct PanickingPolicy;
-    impl PlacementPolicy for PanickingPolicy {
-        fn name(&self) -> &str {
+    /// A scorer whose `choose` panics — models a buggy policy plugin.
+    struct PanickingScorer;
+    impl PlacementScorer for PanickingScorer {
+        fn name(&self) -> &'static str {
             "panicking"
         }
-        fn place(
+        fn choose(
             &self,
             _hierarchy: &StorageHierarchy,
             file: &str,
             _size: u64,
-        ) -> Result<Option<crate::placement::PlacementDecision>> {
+        ) -> Result<Option<crate::hierarchy::TierId>> {
             panic!("policy exploded for {file}");
         }
     }
     let pfs = MemDriver::new("pfs");
     pfs.insert("f", vec![1u8; 512]);
     let hierarchy = two_tier(Arc::new(MemDriver::new("ssd")), 1 << 20, Arc::new(pfs));
+    let engine = PolicyEngine::new(
+        Arc::new(AdmitAll),
+        Arc::new(NoEviction),
+        Arc::new(PanickingScorer),
+    );
     let m = MonarchBuilder::new()
         .hierarchy(hierarchy)
-        .policy(Arc::new(PanickingPolicy))
+        .policy_engine(Arc::new(engine))
         .pool_threads(1)
         .build()
         .unwrap();
@@ -527,7 +533,8 @@ fn lru_policy_evicts_through_middleware() {
     let hierarchy = two_tier(Arc::new(MemDriver::new("ssd")), 900, Arc::new(pfs));
     let m = MonarchBuilder::new()
         .hierarchy(hierarchy)
-        .policy(Arc::new(LruEvict::new()))
+        .policy(PolicyKind::LruEvict)
+        .admission(AdmissionKind::AdmitAll)
         .pool_threads(1)
         .build()
         .unwrap();

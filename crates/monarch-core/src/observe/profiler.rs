@@ -372,6 +372,17 @@ impl AccessProfiler {
         }
     }
 
+    /// One file's profile, cloned out of its shard — the policy engine's
+    /// [`crate::policy::FeatureSource`] path. `None` for files the
+    /// profiler never saw (or a disabled profiler).
+    #[must_use]
+    pub fn profile(&self, file: &str) -> Option<FileProfile> {
+        if !self.enabled {
+            return None;
+        }
+        self.shards[self.shard_of(file)].lock().get(file).cloned()
+    }
+
     /// The live ledger sums.
     #[must_use]
     pub fn ledger(&self) -> LedgerSnapshot {

@@ -41,8 +41,11 @@ pub enum TransitionCause {
     Demand,
     /// The access plan (clairvoyant prefetch) drove it.
     Plan,
-    /// A placement or policy decision pushed it out.
+    /// A placement decision pushed it out (legacy/explicit evictions).
     Eviction,
+    /// An eviction-policy verdict pushed it out (LRU/LFU/cost-aware/
+    /// clairvoyant/learned selection making room for a newcomer).
+    Policy,
     /// Engine shutdown withdrew it.
     Drain,
 }

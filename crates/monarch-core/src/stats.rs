@@ -48,6 +48,7 @@ pub struct Stats {
     tier_quarantines: AtomicU64,
     tier_recoveries: AtomicU64,
     enospc_evictions: AtomicU64,
+    policy_denials: AtomicU64,
     peer_dead_skips: AtomicU64,
 }
 
@@ -81,6 +82,7 @@ impl Stats {
             tier_quarantines: AtomicU64::new(0),
             tier_recoveries: AtomicU64::new(0),
             enospc_evictions: AtomicU64::new(0),
+            policy_denials: AtomicU64::new(0),
             peer_dead_skips: AtomicU64::new(0),
         }
     }
@@ -236,6 +238,12 @@ impl Stats {
         self.enospc_evictions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The admission policy denied a copy a tier slot (the read stays on
+    /// the PFS; the next miss re-asks).
+    pub fn policy_denial(&self) {
+        self.policy_denials.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A peer fetch was skipped because the peer is marked dead (inside
     /// its cooldown window); the read went straight to the PFS.
     pub fn peer_dead_skip(&self) {
@@ -281,6 +289,7 @@ impl Stats {
             tier_quarantines: self.tier_quarantines.load(Ordering::Relaxed),
             tier_recoveries: self.tier_recoveries.load(Ordering::Relaxed),
             enospc_evictions: self.enospc_evictions.load(Ordering::Relaxed),
+            policy_denials: self.policy_denials.load(Ordering::Relaxed),
             peer_dead_skips: self.peer_dead_skips.load(Ordering::Relaxed),
         }
     }
@@ -380,6 +389,9 @@ pub struct StatsSnapshot {
     /// `ENOSPC`-triggered evictions on the install path.
     #[serde(default)]
     pub enospc_evictions: u64,
+    /// Copies the admission policy denied a tier slot.
+    #[serde(default)]
+    pub policy_denials: u64,
     /// Peer fetches skipped because the peer was marked dead.
     #[serde(default)]
     pub peer_dead_skips: u64,

@@ -432,6 +432,21 @@ pub enum EventKind {
         /// Bytes released.
         bytes: u64,
     },
+    /// A policy verdict at one of the engine's four decision points
+    /// (demand admit, prefetch admit, pressure/ENOSPC evict, plan evict).
+    PolicyDecision {
+        /// Logical file name the verdict applies to.
+        file: String,
+        /// Decision point (`demand_admit` / `prefetch_admit` /
+        /// `pressure_evict` / `plan_evict`).
+        point: String,
+        /// Composed policy name (`admission/eviction/scorer`).
+        policy: String,
+        /// Verdict: `admit`, `deny`, or `evict`.
+        verdict: String,
+        /// Why (cause attribution for `monarch report`).
+        reason: String,
+    },
 }
 
 impl EventKind {
@@ -459,6 +474,7 @@ impl EventKind {
             EventKind::TierRecovered { .. } => "tier_recovered",
             EventKind::CopyRequeued { .. } => "copy_requeued",
             EventKind::ReservationReclaimed { .. } => "reservation_reclaimed",
+            EventKind::PolicyDecision { .. } => "policy_decision",
         }
     }
 
@@ -481,7 +497,8 @@ impl EventKind {
             | EventKind::RemoteScheduled { file, .. }
             | EventKind::RemoteTimeout { file, .. }
             | EventKind::CopyRequeued { file, .. }
-            | EventKind::ReservationReclaimed { file, .. } => file,
+            | EventKind::ReservationReclaimed { file, .. }
+            | EventKind::PolicyDecision { file, .. } => file,
             // Drain summaries and tier-health transitions are not about
             // any one file.
             EventKind::PrefetchDrained { .. }
@@ -601,6 +618,22 @@ impl Event {
             }
             EventKind::PrefetchDrained { canceled } => {
                 o.push_str(&format!(",\"canceled\":{canceled}"));
+            }
+            EventKind::PolicyDecision {
+                point,
+                policy,
+                verdict,
+                reason,
+                ..
+            } => {
+                o.push_str(",\"point\":");
+                push_json_str(&mut o, point);
+                o.push_str(",\"policy\":");
+                push_json_str(&mut o, policy);
+                o.push_str(",\"verdict\":");
+                push_json_str(&mut o, verdict);
+                o.push_str(",\"reason\":");
+                push_json_str(&mut o, reason);
             }
         }
         o.push('}');

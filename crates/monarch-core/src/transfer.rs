@@ -4,8 +4,8 @@
 //! MONARCH's data movement used to be wired directly into the `Monarch`
 //! facade; this module carves it out as [`TransferEngine`], which owns the
 //! two-lane copy [`ThreadPool`], the [`PrefetchWindow`] over the submitted
-//! access plan, the [`PlacementPolicy`], and all copy-lifecycle telemetry
-//! and trace emission. The read path keeps only lookup → tier-resolve →
+//! access plan, the composed [`PolicyEngine`], and all copy-lifecycle
+//! telemetry and trace emission. The read path keeps only lookup → tier-resolve →
 //! `driver.pread` and hands every movement *intent* to the engine:
 //!
 //! - [`TransferEngine::demand`] — place a file after a foreground miss
@@ -32,7 +32,7 @@ use crate::health::{device_error_class, ErrorClass, TierState};
 use crate::hierarchy::{StorageHierarchy, TierId};
 use crate::metadata::{FileInfo, MetadataContainer, PlacementState};
 use crate::observe::{ResidencyEventKind, TransitionCause};
-use crate::placement::PlacementPolicy;
+use crate::policy::{DecisionPoint, FeatureSource, PolicyEngine, PolicySnapshot};
 use crate::pool::{Lane, PoolProbe, TaskCtx, ThreadPool};
 use crate::prefetch::{AccessPlan, PrefetchConfig, PrefetchWindow};
 use crate::stats::Stats;
@@ -274,7 +274,7 @@ struct PrefetchState {
 pub struct TransferEngine {
     hierarchy: Arc<StorageHierarchy>,
     metadata: Arc<MetadataContainer>,
-    policy: Arc<dyn PlacementPolicy>,
+    policy: Arc<PolicyEngine>,
     stats: Arc<Stats>,
     telemetry: Arc<TelemetryRegistry>,
     shutting_down: Arc<AtomicBool>,
@@ -317,7 +317,7 @@ impl TransferEngine {
     pub fn new(
         hierarchy: Arc<StorageHierarchy>,
         metadata: Arc<MetadataContainer>,
-        policy: Arc<dyn PlacementPolicy>,
+        policy: Arc<PolicyEngine>,
         stats: Arc<Stats>,
         telemetry: Arc<TelemetryRegistry>,
         pool_threads: usize,
@@ -369,6 +369,9 @@ impl TransferEngine {
                 let _ = metadata.abort_copy(&ctx.label, false);
             }));
         }
+        // Reuse-aware admission and the learned scorer read the access
+        // profiler through this bridge; rebinding is idempotent.
+        policy.bind_features(Arc::clone(&telemetry) as Arc<dyn FeatureSource>);
         Self {
             hierarchy,
             metadata,
@@ -406,10 +409,29 @@ impl TransferEngine {
         Arc::clone(&self.shutting_down)
     }
 
-    /// Name of the placement policy driving this engine.
+    /// Composed name (`admission/eviction/scorer`) of the policy engine
+    /// driving this engine's decisions.
     #[must_use]
     pub fn policy_name(&self) -> &str {
         self.policy.name()
+    }
+
+    /// Composition and decision counters of the policy engine — the
+    /// `monarch policy` view.
+    #[must_use]
+    pub fn policy_snapshot(&self) -> PolicySnapshot {
+        self.policy.snapshot()
+    }
+
+    /// Journal one policy verdict with its decision point and cause.
+    fn journal_policy(&self, file: &str, point: DecisionPoint, verdict: &str, reason: &str) {
+        self.telemetry.event(EventKind::PolicyDecision {
+            file: file.to_string(),
+            point: point.as_str().to_string(),
+            policy: self.policy.name().to_string(),
+            verdict: verdict.to_string(),
+            reason: reason.to_string(),
+        });
     }
 
     /// Number of copy worker threads.
@@ -455,6 +477,30 @@ impl TransferEngine {
         match self.metadata.begin_copy(file, 0) {
             Ok(true) => {}
             _ => return false,
+        }
+        // The CAS is won; now ask admission whether the copy is worth the
+        // bandwidth. A denial is non-terminal: the CAS reverts and a later
+        // miss re-asks, so a file can earn admission as its profile warms.
+        // Remote installs skip the gate — the bytes are already fetched.
+        if ctx.lane == Lane::Demand {
+            if self.policy.admit(file, size, DecisionPoint::DemandAdmit) {
+                self.journal_policy(
+                    file,
+                    DecisionPoint::DemandAdmit,
+                    "admit",
+                    "demand miss admitted to the copy pipeline",
+                );
+            } else {
+                self.stats.policy_denial();
+                self.journal_policy(
+                    file,
+                    DecisionPoint::DemandAdmit,
+                    "deny",
+                    "admission policy refused the copy; the file stays on the PFS",
+                );
+                let _ = self.metadata.abort_copy(file, false);
+                return false;
+            }
         }
         self.stats.copy_scheduled();
         self.telemetry.event(EventKind::CopyScheduled {
@@ -567,6 +613,10 @@ impl TransferEngine {
                 files.push((name.clone(), info.size));
             }
         }
+        // The clairvoyant eviction book ranks residents by their next
+        // planned use; pins from the previous plan are reset with it.
+        let names: Vec<String> = files.iter().map(|(name, _)| name.clone()).collect();
+        self.policy.set_plan(&names);
         let window = PrefetchWindow::new(files, state.cfg);
         let admitted = window.len();
         *state.window.lock() = Some(window);
@@ -621,6 +671,10 @@ impl TransferEngine {
                 None => return ReadFeedback::default(),
             }
         };
+        // The plan's cursor moved past `file`: the prefetch pin (staged but
+        // unread) lifts, and the clairvoyant book advances to its next use.
+        self.policy.unpin(file);
+        self.policy.note_plan_read(file);
         let mut fb = ReadFeedback {
             planned: true,
             ..ReadFeedback::default()
@@ -680,6 +734,13 @@ impl TransferEngine {
             quota.release(info.size);
         }
         self.stats.record_evict(info.tier);
+        self.policy.on_evicted(file);
+        self.journal_policy(
+            file,
+            DecisionPoint::PlanEvict,
+            "evict",
+            "explicit eviction pushed the file back to the PFS",
+        );
         self.telemetry.event(EventKind::Evicted {
             file: file.to_string(),
             tier: info.tier,
@@ -737,6 +798,9 @@ impl TransferEngine {
         let mut guard = state.window.lock();
         let mut window = guard.take();
         let withdrawn = self.withdraw_queued(window.as_mut(), cause);
+        // Pins belong to the closing plan; the next plan re-pins as it
+        // stages.
+        self.policy.clear_pins();
         let Some(mut window) = window else {
             return withdrawn;
         };
@@ -768,6 +832,7 @@ impl TransferEngine {
         let withdrawn = canceled.len();
         for ctx in canceled {
             let _ = self.metadata.abort_copy(&ctx.label, false);
+            self.policy.unpin(&ctx.label);
             self.stats.prefetch_cancel();
             self.telemetry.event(EventKind::PrefetchCanceled {
                 file: ctx.label.clone(),
@@ -839,6 +904,23 @@ impl TransferEngine {
             Ok(true) => {}
             _ => return None,
         }
+        if !self.policy.admit(file, size, DecisionPoint::PrefetchAdmit) {
+            self.stats.policy_denial();
+            self.journal_policy(
+                file,
+                DecisionPoint::PrefetchAdmit,
+                "deny",
+                "admission policy refused the speculative copy",
+            );
+            let _ = self.metadata.abort_copy(file, false);
+            return None;
+        }
+        self.journal_policy(
+            file,
+            DecisionPoint::PrefetchAdmit,
+            "admit",
+            "plan entry admitted to the prefetch lane",
+        );
         self.stats.copy_scheduled();
         self.stats.prefetch_scheduled();
         self.telemetry.event(EventKind::PrefetchScheduled {
@@ -899,6 +981,10 @@ impl TransferEngine {
             let _ = self.metadata.abort_copy(file, false);
             return None;
         }
+        // Staged speculatively: protect it from eviction until its planned
+        // read arrives (or the plan closes) — evicting an unread prefetch
+        // would waste the copy the plan just paid for.
+        self.policy.pin(file);
         Some(flow)
     }
 
@@ -1073,7 +1159,7 @@ impl GaugeSampler {
 struct CopyJob {
     hierarchy: Arc<StorageHierarchy>,
     metadata: Arc<MetadataContainer>,
-    policy: Arc<dyn PlacementPolicy>,
+    policy: Arc<PolicyEngine>,
     stats: Arc<Stats>,
     telemetry: Arc<TelemetryRegistry>,
     shutting_down: Arc<AtomicBool>,
@@ -1104,6 +1190,18 @@ struct CopyTraceCtx {
 }
 
 impl CopyJob {
+    /// Journal one policy verdict with its decision point and cause (same
+    /// shape as the engine-side helper; the task owns its own `Arc`s).
+    fn journal_policy(&self, file: &str, point: DecisionPoint, verdict: &str, reason: &str) {
+        self.telemetry.event(EventKind::PolicyDecision {
+            file: file.to_string(),
+            point: point.as_str().to_string(),
+            policy: self.policy.name().to_string(),
+            verdict: verdict.to_string(),
+            reason: reason.to_string(),
+        });
+    }
+
     fn run(&self, file: &str, size: u64, inline_data: Option<Vec<u8>>) {
         if self.shutting_down.load(Ordering::Acquire) {
             let _ = self.metadata.abort_copy(file, false);
@@ -1330,8 +1428,8 @@ impl CopyJob {
             .as_ref()
             .ok_or(Error::UnknownTier(decision.tier))?;
 
-        // Evictions (ablation policies only): remove victims, release their
-        // quota, then reserve for the newcomer.
+        // Evictions (eviction-capable policies only): remove victims,
+        // release their quota, then reserve for the newcomer.
         let reserved = if decision.evict.is_empty() {
             true // policy reserved during `place`
         } else {
@@ -1345,6 +1443,13 @@ impl CopyJob {
                         dest.driver.remove(victim)?;
                         quota.release(vinfo.size);
                         self.stats.record_evict(decision.tier);
+                        self.policy.on_evicted(victim);
+                        self.journal_policy(
+                            victim,
+                            DecisionPoint::PressureEvict,
+                            "evict",
+                            "selected by the eviction policy to make room for an incoming copy",
+                        );
                         self.telemetry.event(EventKind::Evicted {
                             file: victim.clone(),
                             tier: decision.tier,
@@ -1355,7 +1460,7 @@ impl CopyJob {
                             victim,
                             decision.tier,
                             ResidencyEventKind::Evicted,
-                            TransitionCause::Eviction,
+                            TransitionCause::Policy,
                         );
                         if let Some((view, node)) = &self.cluster_feed {
                             view.note_evicted(victim, *node);
@@ -1527,7 +1632,10 @@ impl CopyJob {
 
     /// ENOSPC recovery: evict one file resident on `tier` (other than
     /// `keep`, the file being installed) back to the PFS to free real
-    /// device space. Returns whether a victim was evicted.
+    /// device space. The eviction policy picks the victim when it has a
+    /// preference among the resident candidates; otherwise the first
+    /// non-exempt resident goes, so pressure is relieved even under
+    /// no-eviction policies. Returns whether a victim was evicted.
     fn evict_for_space(&self, keep: &str, tier_id: TierId) -> bool {
         let Ok(dest) = self.hierarchy.tier(tier_id) else {
             return false;
@@ -1535,19 +1643,19 @@ impl CopyJob {
         let Some(quota) = dest.quota.as_ref() else {
             return false;
         };
-        let mut victim: Option<(String, u64)> = None;
+        let mut candidates: Vec<(String, u64)> = Vec::new();
         self.metadata.for_each(|name, info| {
-            if victim.is_none()
-                && name != keep
-                && info.state == PlacementState::Placed
-                && info.tier == tier_id
-            {
-                victim = Some((name.to_string(), info.size));
+            if name != keep && info.state == PlacementState::Placed && info.tier == tier_id {
+                candidates.push((name.to_string(), info.size));
             }
         });
-        let Some((victim, vsize)) = victim else {
+        let Some(victim) = self.policy.pressure_victim(tier_id, &candidates, keep) else {
             return false;
         };
+        let vsize = candidates
+            .iter()
+            .find(|(name, _)| *name == victim)
+            .map_or(0, |(_, size)| *size);
         if self
             .metadata
             .evict_to(&victim, self.hierarchy.source_id())
@@ -1558,6 +1666,13 @@ impl CopyJob {
         let _ = dest.driver.remove(&victim);
         quota.release(vsize);
         self.stats.record_evict(tier_id);
+        self.policy.on_evicted(&victim);
+        self.journal_policy(
+            &victim,
+            DecisionPoint::PressureEvict,
+            "evict",
+            "evicted under ENOSPC pressure to free real device space",
+        );
         self.telemetry.event(EventKind::Evicted {
             file: victim.clone(),
             tier: tier_id,
@@ -1568,7 +1683,7 @@ impl CopyJob {
             &victim,
             tier_id,
             ResidencyEventKind::Evicted,
-            TransitionCause::Eviction,
+            TransitionCause::Policy,
         );
         if let Some((view, node)) = &self.cluster_feed {
             view.note_evicted(&victim, *node);
@@ -1581,8 +1696,8 @@ impl CopyJob {
 mod tests {
     use super::*;
     use crate::config::TelemetryConfig;
+    use crate::config::{AdmissionKind, PolicyKind};
     use crate::driver::{open_gate, Gate, GatedDriver, MemDriver, StorageDriver};
-    use crate::placement::FirstFit;
     use std::time::Duration;
 
     // -- LaneQueues ---------------------------------------------------------
@@ -1696,7 +1811,10 @@ mod tests {
             Arc::clone(&stats),
             &TelemetryConfig::default(),
         ));
-        let policy = Arc::new(FirstFit);
+        let policy = Arc::new(PolicyEngine::from_kind(
+            PolicyKind::FirstFit,
+            AdmissionKind::AdmitAll,
+        ));
         TransferEngine::new(
             hierarchy, metadata, policy, stats, telemetry, threads, prefetch,
         )

@@ -2,11 +2,12 @@
 
 use std::sync::Arc;
 
+use monarch_core::config::{AdmissionKind, PolicyKind};
 use monarch_core::driver::MemDriver;
 use monarch_core::hierarchy::{Quota, StorageHierarchy};
 use monarch_core::metadata::PlacementState;
 use monarch_core::observe::{AccessProfiler, ReadClass, ReadTiming};
-use monarch_core::placement::{FirstFit, LruEvict, PlacementPolicy, RoundRobin};
+use monarch_core::policy::{EvictCtx, EvictionPolicy, LfuEviction, LruEviction, PolicyEngine};
 use monarch_core::prefetch::{PrefetchConfig, PrefetchWindow};
 use monarch_core::telemetry::LatencyHistogram;
 use monarch_core::{MonarchBuilder, StorageDriver};
@@ -80,7 +81,7 @@ proptest! {
             .map(|(i, &s)| (format!("f{i:04}"), s))
             .collect();
         let h = build(&caps, &file_set(files.len()));
-        let p = FirstFit;
+        let p = PolicyEngine::from_kind(PolicyKind::FirstFit, AdmissionKind::AdmitAll);
         for (name, size) in &files {
             if let Some(d) = p.place(&h, name, *size).unwrap() {
                 prop_assert!(d.evict.is_empty());
@@ -103,7 +104,7 @@ proptest! {
     fn round_robin_respects_quota(caps in prop::collection::vec(64u64..1024, 2..4),
                                   sizes in prop::collection::vec(1u64..256, 1..64)) {
         let h = build(&caps, &[]);
-        let p = RoundRobin::default();
+        let p = PolicyEngine::from_kind(PolicyKind::RoundRobin, AdmissionKind::AdmitAll);
         for (i, &size) in sizes.iter().enumerate() {
             let _ = p.place(&h, &format!("f{i}"), size).unwrap();
         }
@@ -138,7 +139,7 @@ proptest! {
         ]).unwrap();
         let m = MonarchBuilder::new()
             .hierarchy(h)
-            .policy(Arc::new(FirstFit))
+            .policy(PolicyKind::FirstFit)
             .pool_threads(2)
             .build()
             .unwrap();
@@ -425,7 +426,7 @@ proptest! {
         ]).unwrap();
         let m = MonarchBuilder::new()
             .hierarchy(h)
-            .policy(Arc::new(LruEvict::new()))
+            .policy(PolicyKind::LruEvict)
             .pool_threads(1)
             .build()
             .unwrap();
@@ -438,5 +439,105 @@ proptest! {
             let used = m.hierarchy().tier(0).unwrap().quota.as_ref().unwrap().used();
             prop_assert!(used <= cap, "used {used} > cap {cap}");
         }
+    }
+
+    /// Eviction-policy safety: whatever the interleaving of placements and
+    /// touches, victims never include an exempt (pinned) file — and files
+    /// never placed (still in flight) are structurally unselectable because
+    /// they are not in the resident book. Selection is pure: re-asking
+    /// returns the same victims, and a non-empty answer covers the request.
+    #[test]
+    fn eviction_never_selects_exempt_or_inflight_files(
+        n in 1usize..12,
+        touches in prop::collection::vec(0usize..12, 0..60),
+        pins in prop::collection::vec(any::<bool>(), 12),
+        needed in 1u64..1500,
+    ) {
+        let p = LruEviction::new();
+        for i in 0..n {
+            p.on_placed(&format!("f{i}"), 100, 0);
+        }
+        for fi in &touches {
+            p.on_access(&format!("f{}", fi % n), 0);
+        }
+        // "g0" is accessed but never placed — an in-flight copy's touches
+        // must not conjure it into the book.
+        p.on_access("g0", 0);
+        let exempt = |name: &str| {
+            name.strip_prefix('f')
+                .and_then(|i| i.parse::<usize>().ok())
+                .is_some_and(|i| pins[i])
+        };
+        let score = |_: &str| 0.5;
+        let c = EvictCtx { exempt: &exempt, score: &score, max_victims: 64 };
+        let victims = p.victims(0, needed, &c);
+        for v in &victims {
+            prop_assert!(!exempt(v), "{} was exempt", v);
+            prop_assert!(v != "g0", "in-flight file selected");
+        }
+        prop_assert_eq!(&p.victims(0, needed, &c), &victims, "selection must be pure");
+        if !victims.is_empty() {
+            prop_assert!(victims.len() as u64 * 100 >= needed, "undersized selection");
+        }
+    }
+
+    /// LRU ordering under interleaved placements and touches: the single
+    /// victim for a minimal request is exactly the least-recently-touched
+    /// non-exempt resident (each event gets a unique logical clock tick, so
+    /// the order is total).
+    #[test]
+    fn lru_victim_is_least_recently_touched(
+        n in 2usize..10,
+        touches in prop::collection::vec(0usize..10, 1..80),
+    ) {
+        let p = LruEviction::new();
+        let mut last = vec![0u64; n];
+        let mut clock = 0u64;
+        for (i, slot) in last.iter_mut().enumerate() {
+            p.on_placed(&format!("f{i}"), 1, 0);
+            clock += 1;
+            *slot = clock;
+        }
+        for fi in touches {
+            let fi = fi % n;
+            p.on_access(&format!("f{fi}"), 0);
+            clock += 1;
+            last[fi] = clock;
+        }
+        let expected = (0..n).min_by_key(|&i| last[i]).unwrap();
+        let exempt = |_: &str| false;
+        let score = |_: &str| 0.5;
+        let c = EvictCtx { exempt: &exempt, score: &score, max_victims: 64 };
+        prop_assert_eq!(p.victims(0, 1, &c), vec![format!("f{expected}")]);
+    }
+
+    /// LFU ordering under interleaved touches: the single victim is the
+    /// least-frequently-touched resident, with recency breaking ties.
+    #[test]
+    fn lfu_victim_is_least_frequently_touched(
+        n in 2usize..10,
+        touches in prop::collection::vec(0usize..10, 1..80),
+    ) {
+        let p = LfuEviction::new();
+        let mut count = vec![0u64; n];
+        let mut last = vec![0u64; n];
+        let mut clock = 0u64;
+        for (i, slot) in last.iter_mut().enumerate() {
+            p.on_placed(&format!("f{i}"), 1, 0);
+            clock += 1;
+            *slot = clock;
+        }
+        for fi in touches {
+            let fi = fi % n;
+            p.on_access(&format!("f{fi}"), 0);
+            clock += 1;
+            count[fi] += 1;
+            last[fi] = clock;
+        }
+        let expected = (0..n).min_by_key(|&i| (count[i], last[i])).unwrap();
+        let exempt = |_: &str| false;
+        let score = |_: &str| 0.5;
+        let c = EvictCtx { exempt: &exempt, score: &score, max_victims: 64 };
+        prop_assert_eq!(p.victims(0, 1, &c), vec![format!("f{expected}")]);
     }
 }

@@ -6,9 +6,9 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use monarch_core::config::PolicyKind;
 use monarch_core::driver::{FaultKind, FaultyDriver, MemDriver, StorageDriver};
 use monarch_core::hierarchy::StorageHierarchy;
-use monarch_core::placement::{FirstFit, LruEvict};
 use monarch_core::MonarchBuilder;
 
 /// Stage `n` files of `size` bytes with deterministic contents.
@@ -43,7 +43,7 @@ fn concurrent_reads_are_always_correct() {
     let m = Arc::new(
         MonarchBuilder::new()
             .hierarchy(hierarchy(pfs, (FILES as u64 * SIZE as u64) / 2))
-            .policy(Arc::new(FirstFit))
+            .policy(PolicyKind::FirstFit)
             .pool_threads(4)
             .build()
             .unwrap(),
@@ -115,7 +115,7 @@ fn fault_storm_leaves_state_consistent() {
     let m = Arc::new(
         MonarchBuilder::new()
             .hierarchy(hierarchy)
-            .policy(Arc::new(FirstFit))
+            .policy(PolicyKind::FirstFit)
             .pool_threads(3)
             .build()
             .unwrap(),
@@ -172,7 +172,7 @@ fn lru_churn_under_concurrency() {
     let m = Arc::new(
         MonarchBuilder::new()
             .hierarchy(hierarchy(pfs, cap))
-            .policy(Arc::new(LruEvict::new()))
+            .policy(PolicyKind::LruEvict)
             .pool_threads(3)
             .build()
             .unwrap(),
@@ -222,7 +222,7 @@ fn prestage_races_with_readers() {
     let m = Arc::new(
         MonarchBuilder::new()
             .hierarchy(hierarchy(pfs, u64::MAX / 2))
-            .policy(Arc::new(FirstFit))
+            .policy(PolicyKind::FirstFit)
             .pool_threads(4)
             .build()
             .unwrap(),

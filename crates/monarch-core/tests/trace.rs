@@ -5,9 +5,9 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use monarch_core::config::PolicyKind;
 use monarch_core::driver::MemDriver;
 use monarch_core::hierarchy::StorageHierarchy;
-use monarch_core::placement::FirstFit;
 use monarch_core::trace::{names, FlowPhase, QUEUE_TRACK};
 use monarch_core::{Monarch, MonarchBuilder, StorageDriver, TelemetryConfig};
 
@@ -32,7 +32,7 @@ fn traced_monarch(files: usize, tcfg: TelemetryConfig) -> Monarch {
     .unwrap();
     let m = MonarchBuilder::new()
         .hierarchy(hierarchy)
-        .policy(Arc::new(FirstFit))
+        .policy(PolicyKind::FirstFit)
         .pool_threads(4)
         .telemetry(tcfg)
         .build()

@@ -87,6 +87,11 @@ pub unsafe extern "C" fn monarch_init_json(config_json: *const c_char) -> *mut M
 /// | `cluster.peer_timeout_ms`   | per-request peer I/O timeout             |
 /// | `cluster.remote_deadline_ms`| queued remote-install deadline           |
 /// | `cluster.serve`             | `1`/`true` or `0`/`false`                |
+/// | `policy.kind`               | `first_fit`, `round_robin`, `lru_evict`, |
+/// |                             | `lfu`, `cost_aware`, `clairvoyant`,      |
+/// |                             | `learned`                                |
+/// | `policy.admission`          | `admit_all`, `reuse_aware`, or           |
+/// |                             | `size_threshold:<bytes>`                 |
 ///
 /// Returns null when the config does not parse, the key is unknown, or
 /// the value does not parse for that key. Validation of the assembled
@@ -119,6 +124,19 @@ pub unsafe extern "C" fn monarch_configure(
 
 /// [`monarch_configure`]'s key dispatch, separated for unit testing.
 fn apply_config_key(cfg: &mut MonarchConfig, key: &str, value: &str) -> Option<()> {
+    // Policy keys must not materialise a cluster section as a side
+    // effect, so they dispatch before the cluster get-or-insert.
+    match key {
+        "policy.kind" => {
+            cfg.policy = monarch_core::config::PolicyKind::parse(value)?;
+            return Some(());
+        }
+        "policy.admission" => {
+            cfg.admission = monarch_core::config::AdmissionKind::parse(value)?;
+            return Some(());
+        }
+        _ => {}
+    }
     let cluster = cfg
         .cluster
         .get_or_insert_with(|| monarch_core::ClusterConfig::new(0, Vec::new()));
@@ -943,6 +961,36 @@ mod tests {
             let bad_val = CString::new("not-a-number").unwrap();
             assert!(monarch_configure(json.as_ptr(), key.as_ptr(), bad_val.as_ptr()).is_null());
             assert!(monarch_configure(ptr::null(), key.as_ptr(), val.as_ptr()).is_null());
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn policy_keys_route_through_configure() {
+        use monarch_core::config::{AdmissionKind, PolicyKind};
+        let (json, root, _) = staged_config("policy-keys");
+        let mut cfg = MonarchConfig::from_json(json.to_str().unwrap()).unwrap();
+        assert!(apply_config_key(&mut cfg, "policy.kind", "learned").is_some());
+        assert!(apply_config_key(&mut cfg, "policy.admission", "size_threshold:1048576").is_some());
+        assert_eq!(cfg.policy, PolicyKind::Learned);
+        assert_eq!(
+            cfg.admission,
+            AdmissionKind::SizeThreshold { max_bytes: 1 << 20 }
+        );
+        // Policy keys must not graft a cluster section as a side effect.
+        assert!(cfg.cluster.is_none());
+        // Unknown spellings are rejected.
+        assert!(apply_config_key(&mut cfg, "policy.kind", "bogus").is_none());
+        assert!(apply_config_key(&mut cfg, "policy.admission", "size_threshold:x").is_none());
+        // And the composed config survives the C round trip.
+        unsafe {
+            let key = CString::new("policy.kind").unwrap();
+            let val = CString::new("lru_evict").unwrap();
+            let out = monarch_configure(json.as_ptr(), key.as_ptr(), val.as_ptr());
+            assert!(!out.is_null());
+            let back = MonarchConfig::from_json(CStr::from_ptr(out).to_str().unwrap()).unwrap();
+            assert_eq!(back.policy, PolicyKind::LruEvict);
+            monarch_string_free(out);
         }
         std::fs::remove_dir_all(&root).unwrap();
     }

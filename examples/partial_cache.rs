@@ -49,6 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             prefetch_batches: 2,
             seed: 3,
             trace_interval_secs: None,
+            ..PipelineConfig::default()
         },
     )?;
 

@@ -3,7 +3,7 @@
 # errors), and the full test suite. Run before pushing.
 #
 #   scripts/check.sh            # everything
-#   scripts/check.sh fmt        # one stage: fmt | clippy | size | test | trace | prefetch | report | cluster | chaos | perf | serve
+#   scripts/check.sh fmt        # one stage: fmt | clippy | size | test | trace | prefetch | policy | report | cluster | chaos | perf | serve
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -113,6 +113,49 @@ EOF
         || { echo "prefetch smoke: nothing staged" >&2; exit 1; }
     grep -Eq ' [1-9][0-9]* hits,' "$tmp/run.out" \
         || { echo "prefetch smoke: no planned read was served locally" >&2; exit 1; }
+    rm -rf "$tmp"
+    trap - EXIT
+}
+
+# Policy framework end to end: the composed-engine unit targets, the
+# eviction-invariant proptests, the sim ablations (LRU eviction must beat
+# the paper's no-eviction first-fit on the congested-PFS partial cache,
+# clairvoyant must at least match LRU, reuse tracking must win the
+# hot-set contention scenario), and a `monarch policy` CLI smoke.
+run_policy() {
+    echo "==> cargo test -p monarch-core --lib policy targets"
+    cargo test -p monarch-core --lib -q policy
+    echo "==> cargo test -p monarch-core --test proptests eviction invariants"
+    cargo test -p monarch-core --test proptests -q -- \
+        eviction_never_selects lru_victim lfu_victim
+    echo "==> cargo test -p dlpipe sim policy ablations"
+    cargo test -p dlpipe --lib -q -- eviction_policies_beat_first_fit \
+        hot_set_contention policy_runs_are_deterministic
+    echo "==> monarch policy smoke"
+    local tmp
+    tmp="$(mktemp -d)"
+    # shellcheck disable=SC2064  # expand $tmp now, not at exit
+    trap "rm -rf '$tmp'" EXIT
+    cargo run -q -p monarch-cli -- gen-dataset \
+        --dir "$tmp/pfs" --bytes $((4 << 20)) --samples 128 --seed 7
+    cat > "$tmp/cfg.json" <<EOF
+{
+  "tiers": [
+    {"name": "ssd", "backend": {"posix": {"path": "$tmp/ssd"}}, "capacity": 1073741824},
+    {"name": "pfs", "backend": {"posix": {"path": "$tmp/pfs"}}}
+  ],
+  "pool_threads": 4
+}
+EOF
+    cargo run -q -p monarch-cli -- policy \
+        --config "$tmp/cfg.json" --policy learned --json > "$tmp/policy.json"
+    python3 - "$tmp/policy.json" <<'PY'
+import json, sys
+p = json.load(open(sys.argv[1]))
+assert p["name"] == "admit_all/scored/learned", p
+assert p["eviction"] == "scored" and p["scorer"] == "learned", p
+assert p["may_evict"] is True, p
+PY
     rm -rf "$tmp"
     trap - EXIT
 }
@@ -286,6 +329,7 @@ case "$stage" in
     test) run_test ;;
     trace) run_trace ;;
     prefetch) run_prefetch ;;
+    policy) run_policy ;;
     report) run_report ;;
     cluster) run_cluster ;;
     chaos) run_chaos ;;
@@ -298,6 +342,7 @@ case "$stage" in
         run_test
         run_trace
         run_prefetch
+        run_policy
         run_report
         run_cluster
         run_chaos
@@ -305,7 +350,7 @@ case "$stage" in
         run_perf
         ;;
     *)
-        echo "usage: scripts/check.sh [fmt|clippy|size|test|trace|prefetch|report|cluster|chaos|perf|serve|all]" >&2
+        echo "usage: scripts/check.sh [fmt|clippy|size|test|trace|prefetch|policy|report|cluster|chaos|perf|serve|all]" >&2
         exit 2
         ;;
 esac

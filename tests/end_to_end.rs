@@ -26,6 +26,7 @@ fn pipeline() -> PipelineConfig {
         prefetch_batches: 2,
         seed: 5,
         trace_interval_secs: None,
+        ..PipelineConfig::default()
     }
 }
 

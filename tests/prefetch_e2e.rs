@@ -37,6 +37,7 @@ fn pipeline() -> PipelineConfig {
         prefetch_batches: 2,
         seed: 7,
         trace_interval_secs: None,
+        ..PipelineConfig::default()
     }
 }
 

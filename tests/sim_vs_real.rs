@@ -74,6 +74,7 @@ fn chunk_read_counts_agree_between_sim_and_real() {
             prefetch_batches: 2,
             seed: 9,
             trace_interval_secs: None,
+            ..PipelineConfig::default()
         },
     )
     .unwrap()
@@ -91,6 +92,7 @@ fn chunk_read_counts_agree_between_sim_and_real() {
             prefetch_batches: 2,
             seed: 9,
             trace_interval_secs: None,
+            ..PipelineConfig::default()
         },
         EnvConfig::default(),
     )
@@ -139,6 +141,7 @@ fn monarch_placement_outcomes_agree_between_sim_and_real() {
             prefetch_batches: 2,
             seed: 4,
             trace_interval_secs: None,
+            ..PipelineConfig::default()
         },
     )
     .unwrap();
@@ -168,6 +171,7 @@ fn monarch_placement_outcomes_agree_between_sim_and_real() {
             prefetch_batches: 2,
             seed: 4,
             trace_interval_secs: None,
+            ..PipelineConfig::default()
         },
         EnvConfig::default(),
     )

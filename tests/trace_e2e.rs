@@ -106,6 +106,7 @@ fn real_epoch_exports_flow_linked_trace() {
             prefetch_batches: 2,
             seed: 11,
             trace_interval_secs: None,
+            ..PipelineConfig::default()
         },
     )
     .unwrap();
